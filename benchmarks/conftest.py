@@ -1,0 +1,29 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one paper artifact (table or figure) at a
+documented scale and writes the rendered text to
+``benchmarks/results/<artifact>.txt`` so EXPERIMENTS.md can be refreshed
+from a single run.
+"""
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def save_artifact(results_dir):
+    def save(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n[saved {path}]")
+        print(text)
+    return save

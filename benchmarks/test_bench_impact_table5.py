@@ -1,0 +1,39 @@
+"""Regenerates Table 5: per-patch corpus impact and compile-time delta."""
+
+import pytest
+
+from repro.experiments import render_table5, run_impact
+from repro.experiments.impact import FIXED_ISSUE_IDS
+
+
+@pytest.fixture(scope="module")
+def impact_results():
+    return run_impact(modules_per_project=6)
+
+
+def test_bench_table5(benchmark, impact_results, save_artifact):
+    table = benchmark(render_table5, impact_results)
+    save_artifact("table5", table)
+    assert len(impact_results.rows) == len(FIXED_ISSUE_IDS)
+
+
+def test_bench_table5_shape(benchmark, impact_results, save_artifact):
+    rows = benchmark(lambda: impact_results.rows)
+    impacted = [row for row in rows if row.ir_files > 0]
+    # Most accepted patches hit real code in the corpus (Table 5 shows
+    # nearly every patch touching files across multiple projects).
+    assert len(impacted) >= 10
+    # High-prevalence patterns (the paper singles out 143636 and 163108)
+    # impact the most files.
+    by_id = {row.issue_id: row for row in rows}
+    top_files = max(row.ir_files for row in rows)
+    assert max(by_id[143636].ir_files, by_id[163108].ir_files) \
+        >= 0.5 * top_files
+    # The compile-time proxy moves by a small positive amount per patch.
+    for row in rows:
+        assert 0.0 <= row.compile_time_delta_percent < 10.0
+    summary = "\n".join(
+        f"{row.issue_id}: files={row.ir_files} projects={row.projects} "
+        f"dCT={row.compile_time_delta_percent:+.2f}%"
+        for row in rows)
+    save_artifact("table5_summary", summary)

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Regenerate any paper table/figure from the command line.
+
+Usage:
+    python examples/reproduce_tables.py table1
+    python examples/reproduce_tables.py table2 [rounds]
+    python examples/reproduce_tables.py table3
+    python examples/reproduce_tables.py table4 [cases]
+    python examples/reproduce_tables.py table5
+    python examples/reproduce_tables.py figure5
+    python examples/reproduce_tables.py all      (everything, scaled)
+"""
+
+import sys
+
+from repro.experiments import (
+    RQ1Config,
+    RQ3Config,
+    render_figure5,
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+    render_table5,
+    run_impact,
+    run_rq1,
+    run_rq2,
+    run_rq3,
+    run_spec,
+)
+from repro.experiments.rq2 import RQ2Config
+
+
+def table1() -> str:
+    return render_table1()
+
+
+def table2(rounds: int = 3) -> str:
+    return render_table2(run_rq1(RQ1Config(
+        rounds=rounds, souper_timeout=8.0, enum_values=(1, 2, 3))))
+
+
+def table3() -> str:
+    return render_table3(run_rq2(RQ2Config(souper_timeout=6.0)))
+
+
+def table4(cases: int = 40) -> str:
+    return render_table4(run_rq3(RQ3Config(
+        cases=cases, modules_per_project=2, souper_timeout=5.0,
+        enum_values=(1, 2))))
+
+
+def table5() -> str:
+    return render_table5(run_impact(modules_per_project=6))
+
+
+def figure5() -> str:
+    return render_figure5(run_spec())
+
+
+RUNNERS = {"table1": table1, "table2": table2, "table3": table3,
+           "table4": table4, "table5": table5, "figure5": figure5}
+
+
+def main() -> None:
+    if len(sys.argv) < 2 or sys.argv[1] not in RUNNERS | {"all": None}:
+        raise SystemExit(__doc__)
+    target = sys.argv[1]
+    extra = [int(a) for a in sys.argv[2:]]
+    if target == "all":
+        for name, runner in RUNNERS.items():
+            print(f"\n########## {name} ##########")
+            print(runner())
+    else:
+        print(RUNNERS[target](*extra))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""Use the translation-validation stack directly (the Alive2 workflow).
+
+Demonstrates the three verifier tiers on hand-written src/tgt pairs:
+exhaustive proof, SAT proof with a real counterexample on failure, and
+the testing tier for floating point.
+
+Run:  python examples/verify_rewrite.py
+"""
+
+from repro import check_refinement, parse_function
+
+PAIRS = (
+    ("exhaustive proof (8-bit space)",
+     """
+define i8 @src(i8 %x) {
+  %n = xor i8 %x, -1
+  %r = add i8 %n, 1
+  ret i8 %r
+}
+""",
+     """
+define i8 @tgt(i8 %x) {
+  %r = sub i8 0, %x
+  ret i8 %r
+}
+"""),
+    ("SAT proof at i32 (too wide to enumerate)",
+     """
+define i32 @src(i32 %x, i32 %y) {
+  %o = or i32 %x, %y
+  %a = and i32 %x, %y
+  %r = add i32 %o, %a
+  ret i32 %r
+}
+""",
+     """
+define i32 @tgt(i32 %x, i32 %y) {
+  %r = add i32 %x, %y
+  ret i32 %r
+}
+"""),
+    ("refuted with a counterexample (flag strengthening is illegal)",
+     """
+define i32 @src(i32 %x) {
+  %r = add i32 %x, 1
+  ret i32 %r
+}
+""",
+     """
+define i32 @tgt(i32 %x) {
+  %r = add nsw i32 %x, 1
+  ret i32 %r
+}
+"""),
+    ("floating point falls back to the testing tier",
+     """
+define double @src(double %x) {
+  %a = fmul double %x, -1.000000e+00
+  %r = fmul double %a, -1.000000e+00
+  ret double %r
+}
+""",
+     """
+define double @tgt(double %x) {
+  ret double %x
+}
+"""),
+)
+
+
+def main() -> None:
+    for title, src, tgt in PAIRS:
+        print("=" * 70)
+        print(title)
+        verdict = check_refinement(parse_function(src),
+                                   parse_function(tgt))
+        print(f"  status: {verdict.status}   method: {verdict.method}   "
+              f"({verdict.elapsed_seconds:.2f}s, "
+              f"{verdict.solver_conflicts} solver conflicts)")
+        if verdict.counterexample is not None:
+            print("  counterexample (as sent to the LLM):")
+            for line in verdict.counter_example.splitlines():
+                print(f"    {line}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

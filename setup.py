@@ -1,0 +1,16 @@
+"""Legacy installer fallback for offline environments without `wheel`.
+
+`pip install -e . --no-build-isolation` needs the `wheel` package to build
+PEP 660 editable metadata; when it is unavailable, either run
+``python setup.py develop`` or add ``src/`` to a ``.pth`` file.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

@@ -1,0 +1,63 @@
+"""repro — a reproduction of "LPO: Discovering Missed Peephole
+Optimizations with Large Language Models" (ASPLOS 2026).
+
+The package re-implements the paper's full stack in pure Python:
+
+* :mod:`repro.ir` — a miniature LLVM-style IR (parser, printer, SSA);
+* :mod:`repro.semantics` — concrete semantics with undef/poison/UB;
+* :mod:`repro.opt` — an InstCombine-style optimizer (the ``opt`` stand-in);
+* :mod:`repro.verify` — SAT-backed translation validation (Alive2 stand-in);
+* :mod:`repro.mca` — a static cycle model (llvm-mca stand-in);
+* :mod:`repro.llm` — simulated LLM clients with capability profiles;
+* :mod:`repro.core` — LPO itself: extractor, interestingness, the loop;
+* :mod:`repro.baselines` — Souper- and Minotaur-style superoptimizers;
+* :mod:`repro.corpus` — issue datasets and the synthetic project corpus;
+* :mod:`repro.experiments` — one runner per paper table/figure.
+
+Quickstart::
+
+    from repro import LPOPipeline, SimulatedLLM, GEMINI20T, window_from_text
+    pipeline = LPOPipeline(SimulatedLLM(GEMINI20T))
+    result = pipeline.optimize_window(window_from_text(ir_text))
+"""
+
+from repro.baselines import Minotaur, Souper
+from repro.core import (
+    LPOPipeline,
+    PipelineConfig,
+    Window,
+    WindowResult,
+    extract_from_corpus,
+    window_from_text,
+    wrap_as_function,
+)
+from repro.ir import parse_function, parse_module, print_function
+from repro.llm import (
+    ALL_MODELS,
+    GEMINI20,
+    GEMINI20T,
+    GEMINI25,
+    GEMMA3,
+    GPT41,
+    LLAMA33,
+    O4MINI,
+    RQ1_MODELS,
+    ModelProfile,
+    SimulatedLLM,
+)
+from repro.opt import can_further_optimize, optimize_function, run_opt
+from repro.verify import VerificationResult, check_refinement
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Minotaur", "Souper",
+    "LPOPipeline", "PipelineConfig", "Window", "WindowResult",
+    "extract_from_corpus", "window_from_text", "wrap_as_function",
+    "parse_function", "parse_module", "print_function",
+    "ALL_MODELS", "GEMINI20", "GEMINI20T", "GEMINI25", "GEMMA3", "GPT41",
+    "LLAMA33", "O4MINI", "RQ1_MODELS", "ModelProfile", "SimulatedLLM",
+    "can_further_optimize", "optimize_function", "run_opt",
+    "VerificationResult", "check_refinement",
+    "__version__",
+]

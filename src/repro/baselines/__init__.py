@@ -1,0 +1,16 @@
+"""Baseline superoptimizers: Souper- and Minotaur-style tools."""
+
+from repro.baselines.minotaur import MINOTAUR_REGISTRY, Minotaur
+from repro.baselines.souper import Souper, SuperoptResult
+from repro.baselines.synthesis import (
+    Enumerator,
+    SynthesisProblem,
+    expr_size,
+    expr_to_function,
+)
+
+__all__ = [
+    "MINOTAUR_REGISTRY", "Minotaur",
+    "Souper", "SuperoptResult",
+    "Enumerator", "SynthesisProblem", "expr_size", "expr_to_function",
+]

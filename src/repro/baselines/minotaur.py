@@ -1,0 +1,321 @@
+"""The Minotaur-style baseline: SIMD-oriented synthesis sketches.
+
+Minotaur (Liu et al., OOPSLA 2024) cuts SIMD-heavy expressions and
+synthesizes replacements from a constrained sketch vocabulary.  The
+paper's evaluation finds it detects few of the benchmark issues ("its
+effectiveness is still constrained by the synthesis-based search
+strategy") and crashes on one FP case.  We model that profile as a fixed
+library of synthesis *sketches* — pattern-shaped rewrites it can reach —
+applied to integer scalar/vector windows, with the documented crash on
+FP select/bitcast windows.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+from repro.baselines.souper import SuperoptResult
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    BinaryOperator,
+    Call,
+    Cast,
+    FCmp,
+    ICmp,
+    Instruction,
+    Select,
+)
+from repro.ir.types import FloatType, IntType
+from repro.ir.values import ConstantInt, const_int, match_scalar_int
+from repro.opt.engine import (
+    InstCombine,
+    RewriteContext,
+    RuleRegistry,
+    rule,
+)
+from repro.opt.patterns import (
+    m_binop,
+    m_capture,
+    m_constint,
+    m_intrinsic,
+    m_not,
+    m_same,
+    match,
+)
+from repro.semantics import bitvector as bv
+from repro.verify.refinement import check_refinement
+
+#: The sketch library; rules register here instead of the default
+#: optimizer registry.
+MINOTAUR_REGISTRY = RuleRegistry()
+
+
+def _sketch(*opcodes: str, name: str):
+    return rule(*opcodes, name=name, category="minotaur",
+                registry=MINOTAUR_REGISTRY)
+
+
+@_sketch("and", name="sketch_demorgan_and")
+def sketch_demorgan_and(inst: Instruction, ctx: RewriteContext):
+    """``and (not a), (not b)`` → ``not (or a, b)``."""
+    bindings = match(
+        m_binop("and", m_not(m_capture("a")), m_not(m_capture("b"))),
+        inst)
+    if bindings is None:
+        return None
+    disjunction = ctx.binary("or", bindings["a"], bindings["b"])
+    return ctx.not_(disjunction)
+
+
+@_sketch("or", name="sketch_demorgan_or")
+def sketch_demorgan_or(inst: Instruction, ctx: RewriteContext):
+    """``or (not a), (not b)`` → ``not (and a, b)``."""
+    bindings = match(
+        m_binop("or", m_not(m_capture("a")), m_not(m_capture("b"))),
+        inst)
+    if bindings is None:
+        return None
+    conjunction = ctx.binary("and", bindings["a"], bindings["b"])
+    return ctx.not_(conjunction)
+
+
+@_sketch("and", name="sketch_lshr_mask")
+def sketch_lshr_mask(inst: Instruction, ctx: RewriteContext):
+    """``and (lshr x, W-1), 1`` → ``lshr x, W-1``."""
+    bindings = match(
+        m_binop("and",
+                m_binop("lshr", m_capture("x"), m_constint("s")),
+                m_constint("m"), commutative=True),
+        inst)
+    if bindings is None:
+        return None
+    s, m = bindings["s"], bindings["m"]
+    assert isinstance(s, ConstantInt) and isinstance(m, ConstantInt)
+    scalar = inst.type.scalar_type()
+    if not isinstance(scalar, IntType):
+        return None
+    if s.value != scalar.bits - 1 or not m.is_one:
+        return None
+    lhs = inst.operands[0]
+    if not (isinstance(lhs, BinaryOperator) and lhs.opcode == "lshr"):
+        lhs = inst.operands[1]
+    return lhs
+
+
+@_sketch("add", name="sketch_add_and_or")
+def sketch_add_and_or(inst: Instruction, ctx: RewriteContext):
+    """``add (and a, b), (or a, b)`` → ``add a, b``."""
+    bindings = match(
+        m_binop("add",
+                m_binop("and", m_capture("a"), m_capture("b")),
+                m_binop("or", m_same("a"), m_same("b"),
+                        commutative=True),
+                commutative=True),
+        inst)
+    if bindings is None:
+        return None
+    return ctx.binary("add", bindings["a"], bindings["b"])
+
+
+@_sketch("add", name="sketch_add_minmax")
+def sketch_add_minmax(inst: Instruction, ctx: RewriteContext):
+    """``add (umax a, b), (umin a, b)`` → ``add a, b``."""
+    bindings = match(
+        m_binop("add",
+                m_intrinsic("umax", m_capture("a"), m_capture("b")),
+                m_intrinsic("umin", m_same("a"), m_same("b"),
+                            commutative=True),
+                commutative=True),
+        inst)
+    if bindings is None:
+        return None
+    return ctx.binary("add", bindings["a"], bindings["b"])
+
+
+@_sketch("call", name="sketch_umin_absorb")
+def sketch_umin_absorb(inst: Instruction, ctx: RewriteContext):
+    """``umin(x, umax(x, y))`` → ``x`` (and the commuted forms)."""
+    if not isinstance(inst, Call) or inst.intrinsic_name != "umin":
+        return None
+    for x, other in ((inst.operands[0], inst.operands[1]),
+                     (inst.operands[1], inst.operands[0])):
+        if (isinstance(other, Call) and other.intrinsic_name == "umax"
+                and x in (other.operands[0], other.operands[1])):
+            return x
+    return None
+
+
+@_sketch("call", name="sketch_umin_repeat")
+def sketch_umin_repeat(inst: Instruction, ctx: RewriteContext):
+    """``umin(x, umin(y, x))`` → ``umin(x, y)``."""
+    if not isinstance(inst, Call) or inst.intrinsic_name != "umin":
+        return None
+    x, inner = inst.operands[0], inst.operands[1]
+    if not (isinstance(inner, Call) and inner.intrinsic_name == "umin"):
+        x, inner = inner, x
+    if not (isinstance(inner, Call) and inner.intrinsic_name == "umin"):
+        return None
+    if x is inner.operands[0]:
+        return inner
+    if x is inner.operands[1]:
+        return inner
+    return None
+
+
+@_sketch("call", name="sketch_umin_umax_pin")
+def sketch_umin_umax_pin(inst: Instruction, ctx: RewriteContext):
+    """``umin(umax(x, C1), C2)`` with ``C2 <= C1`` → ``C2``."""
+    bindings = match(
+        m_intrinsic("umin",
+                    m_intrinsic("umax", m_capture("x"), m_constint("c1")),
+                    m_constint("c2")),
+        inst)
+    if bindings is None:
+        return None
+    c1, c2 = bindings["c1"], bindings["c2"]
+    assert isinstance(c1, ConstantInt) and isinstance(c2, ConstantInt)
+    if c2.value <= c1.value:
+        return bindings["c2.orig"]
+    return None
+
+
+@_sketch("call", name="sketch_umin_sub_nuw")
+def sketch_umin_sub_nuw(inst: Instruction, ctx: RewriteContext):
+    """``umin(sub nuw x, y, x)`` → the subtraction."""
+    if not isinstance(inst, Call) or inst.intrinsic_name != "umin":
+        return None
+    for sub, other in ((inst.operands[0], inst.operands[1]),
+                       (inst.operands[1], inst.operands[0])):
+        if (isinstance(sub, BinaryOperator) and sub.opcode == "sub"
+                and "nuw" in sub.flags and sub.lhs is other):
+            return sub
+    return None
+
+
+@_sketch("call", name="sketch_uadd_sat_umax")
+def sketch_uadd_sat_umax(inst: Instruction, ctx: RewriteContext):
+    """``uadd.sat(x, UMAX)`` → ``UMAX``."""
+    if not isinstance(inst, Call) or inst.intrinsic_name != "uadd.sat":
+        return None
+    constant = match_scalar_int(inst.operands[1])
+    if constant is None or not constant.is_all_ones:
+        return None
+    return const_int(inst.type, -1)
+
+
+@_sketch("icmp", name="sketch_minmax_tautology")
+def sketch_minmax_tautology(inst: Instruction, ctx: RewriteContext):
+    """Tautological compares against min/max results:
+    ``x ugt umax(x, _)`` → false, ``umax(..) ult umin(..)`` → false,
+    ``umax(x, C>=1) eq 0`` → false, ``smax(x, 0) slt 0`` → false."""
+    assert isinstance(inst, ICmp)
+    lhs, rhs = inst.lhs, inst.rhs
+    if inst.predicate == "ugt" and isinstance(rhs, Call):
+        if rhs.intrinsic_name == "umax" and lhs in rhs.operands:
+            return const_int(inst.type, 0)
+    if (inst.predicate == "ult"
+            and isinstance(lhs, Call) and isinstance(rhs, Call)
+            and lhs.intrinsic_name == "umax"
+            and rhs.intrinsic_name == "umin"
+            and set(map(id, lhs.operands[:2]))
+            == set(map(id, rhs.operands[:2]))):
+        return const_int(inst.type, 0)
+    if inst.predicate == "eq" and isinstance(lhs, Call):
+        if lhs.intrinsic_name == "umax":
+            clamp = match_scalar_int(lhs.operands[1])
+            zero = match_scalar_int(rhs)
+            if (clamp is not None and not clamp.is_zero
+                    and zero is not None and zero.is_zero):
+                return const_int(inst.type, 0)
+    if inst.predicate == "slt" and isinstance(lhs, Call):
+        if lhs.intrinsic_name == "smax":
+            floor = match_scalar_int(lhs.operands[1])
+            zero = match_scalar_int(rhs)
+            if (floor is not None and floor.signed_value >= 0
+                    and zero is not None and zero.is_zero):
+                return const_int(inst.type, 0)
+    return None
+
+
+@_sketch("and", name="sketch_signmask_and_to_smin")
+def sketch_signmask_and_to_smin(inst: Instruction, ctx: RewriteContext):
+    """``and (ashr x, W-1), x`` → ``smin(x, 0)``."""
+    bindings = match(
+        m_binop("and",
+                m_binop("ashr", m_capture("x"), m_constint("s")),
+                m_same("x"), commutative=True),
+        inst)
+    if bindings is None:
+        return None
+    s = bindings["s"]
+    assert isinstance(s, ConstantInt)
+    scalar = inst.type.scalar_type()
+    if not isinstance(scalar, IntType) or s.value != scalar.bits - 1:
+        return None
+    zero = const_int(inst.type, 0)
+    return ctx.intrinsic("smin", [bindings["x"], zero])
+
+
+class MinotaurCrash(Exception):
+    """Raised when the modelled tool would crash (FP cut extraction)."""
+
+
+def _crashes_on(function: Function) -> bool:
+    """The documented crash profile: FP values flowing into selects or
+    integer bitcasts (case study 3 says 'Minotaur crashes on this IR')."""
+    has_fp_select = False
+    has_fp_bitcast = False
+    for inst in function.instructions():
+        if isinstance(inst, Select):
+            scalar = inst.type.scalar_type()
+            if isinstance(scalar, FloatType):
+                has_fp_select = True
+        if isinstance(inst, FCmp):
+            for use in function.instructions():
+                if isinstance(use, Select) and use.condition is inst:
+                    has_fp_select = True
+        if isinstance(inst, Cast) and inst.opcode == "bitcast":
+            if (isinstance(inst.value.type.scalar_type(), FloatType)
+                    or isinstance(inst.type.scalar_type(), FloatType)):
+                has_fp_bitcast = True
+    return has_fp_select or has_fp_bitcast
+
+
+class Minotaur:
+    """One configured Minotaur instance."""
+
+    def __init__(self, timeout_seconds: float = 60.0):
+        self.timeout_seconds = timeout_seconds
+
+    def optimize(self, function: Function) -> SuperoptResult:
+        start = time.monotonic()
+        if _crashes_on(function):
+            return SuperoptResult(
+                "crash", reason="FP cut extraction failed",
+                elapsed_seconds=time.monotonic() - start)
+        for inst in function.instructions():
+            scalar = inst.type.scalar_type()
+            if isinstance(scalar, FloatType):
+                return SuperoptResult(
+                    "not-found", reason="no FP sketch matched",
+                    elapsed_seconds=time.monotonic() - start)
+        candidate = function.clone("tgt")
+        combiner = InstCombine(registry=MINOTAUR_REGISTRY)
+        changed = combiner.run(candidate)
+        if not changed:
+            return SuperoptResult(
+                "not-found", reason="no sketch matched",
+                elapsed_seconds=time.monotonic() - start)
+        if candidate.instruction_count() >= function.instruction_count():
+            return SuperoptResult(
+                "not-found", reason="sketch did not improve the window",
+                elapsed_seconds=time.monotonic() - start)
+        verdict = check_refinement(function, candidate, random_tests=120)
+        if verdict.is_correct:
+            return SuperoptResult(
+                "found", candidate=candidate,
+                elapsed_seconds=time.monotonic() - start)
+        return SuperoptResult(
+            "not-found", reason="sketch result failed verification",
+            elapsed_seconds=time.monotonic() - start)

@@ -1,0 +1,333 @@
+"""The Souper-style synthesizing superoptimizer baseline.
+
+Faithfully mirrors the documented restrictions the paper leans on:
+integer scalars only — **no memory, floating point, vectors, or
+intrinsic calls** (§2.3: "it does not support memory, floating-point, or
+vector instructions"; §3.1: Souper misses the clamp because of
+``llvm.umin.*``).
+
+Two modes, as in the paper's evaluation:
+
+* ``enum=0`` (Souper-default) — only *replacement* candidates: an
+  existing value (argument or intermediate) or a constant;
+* ``enum=N`` — additionally synthesize expressions of up to N new
+  instructions over {add, sub, mul, and, or, xor, shifts, icmp, select}.
+
+Every candidate is screened on a test matrix, then confirmed with the
+refinement checker; a wall-clock timeout aborts deep searches (Table 4's
+``# of Timeouts`` row).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Set, Tuple
+
+from repro.baselines.synthesis import (
+    Enumerator,
+    SynthesisProblem,
+    expr_cost,
+    expr_size,
+    expr_to_function,
+    function_cost,
+)
+from repro.errors import TimeoutExpired
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    BINARY_OPS,
+    BinaryOperator,
+    Cast,
+    ICmp,
+    Instruction,
+    Ret,
+    Select,
+)
+from repro.ir.types import IntType, VectorType
+from repro.ir.values import Argument, ConstantInt, Value
+from repro.semantics.domain import POISON
+from repro.semantics.eval import run_function
+from repro.verify.refinement import check_refinement
+
+_SUPPORTED_BINARY = set(BINARY_OPS) - {"fadd", "fsub", "fmul", "fdiv",
+                                       "frem"}
+_SUPPORTED_CASTS = {"zext", "sext", "trunc"}
+
+
+def _slice_function(function: Function, root: Instruction) -> Function:
+    """The backward slice of ``root`` wrapped as a function with the
+    original prototype (the "replace with existing value" candidate)."""
+    needed: Set[Value] = set()
+
+    def visit(value: Value) -> None:
+        if value in needed or not isinstance(value, Instruction):
+            return
+        needed.add(value)
+        for operand in value.operands:
+            visit(operand)
+
+    visit(root)
+    arguments = [Argument(a.type, a.name, a.index)
+                 for a in function.arguments]
+    mapping: dict = {old: new for old, new
+                     in zip(function.arguments, arguments)}
+    sliced = Function("tgt", function.return_type, arguments)
+    block = sliced.new_block("entry")
+    for inst in function.instructions():
+        if inst not in needed:
+            continue
+        clone = inst.clone()
+        clone.operands = [mapping.get(op, op) for op in inst.operands]
+        mapping[inst] = clone
+        block.append(clone)
+    block.append(Ret(mapping[root]))
+    sliced.assign_names()
+    return sliced
+
+
+@dataclass
+class SuperoptResult:
+    """Outcome of one baseline invocation on one window."""
+
+    status: str                  # found/not-found/unsupported/timeout/crash
+    candidate: Optional[Function] = None
+    reason: str = ""
+    elapsed_seconds: float = 0.0
+    candidates_screened: int = 0
+
+    @property
+    def detected(self) -> bool:
+        return self.status == "found"
+
+
+def _unsupported_reason(function: Function) -> Optional[str]:
+    """Why Souper cannot process this window (None = supported)."""
+    if not isinstance(function.return_type, IntType):
+        return f"return type {function.return_type} unsupported"
+    for argument in function.arguments:
+        if not isinstance(argument.type, IntType):
+            return f"argument type {argument.type} unsupported"
+    for inst in function.instructions():
+        if isinstance(inst, Ret):
+            continue
+        if isinstance(inst.type, VectorType):
+            return "vector instructions unsupported"
+        if isinstance(inst, BinaryOperator):
+            if inst.opcode not in _SUPPORTED_BINARY:
+                return f"'{inst.opcode}' unsupported"
+            continue
+        if isinstance(inst, (ICmp, Select)):
+            continue
+        if isinstance(inst, Cast) and inst.opcode in _SUPPORTED_CASTS:
+            continue
+        if inst.opcode == "call":
+            return "intrinsic calls unsupported"
+        if inst.opcode in ("load", "store", "getelementptr"):
+            return "memory instructions unsupported"
+        if inst.opcode in ("fcmp", "fadd", "fsub", "fmul", "fdiv",
+                           "frem"):
+            return "floating-point unsupported"
+        return f"'{inst.opcode}' unsupported"
+    return None
+
+
+class Souper:
+    """One configured Souper instance."""
+
+    MAX_CEGIS_ROUNDS = 8
+
+    def __init__(self, enum: int = 0, timeout_seconds: float = 60.0,
+                 test_points: int = 24, seed: int = 0):
+        self.enum = enum
+        self.timeout_seconds = timeout_seconds
+        self.test_points = test_points
+        self.seed = seed
+
+    # -- problem construction ---------------------------------------------
+    def _working_width(self, function: Function) -> Optional[int]:
+        widths: Set[int] = set()
+        for argument in function.arguments:
+            assert isinstance(argument.type, IntType)
+            if argument.type.bits != 1:
+                widths.add(argument.type.bits)
+        for inst in function.instructions():
+            if isinstance(inst.type, IntType) and inst.type.bits != 1:
+                widths.add(inst.type.bits)
+        if len(widths) > 1:
+            return None              # mixed widths: not synthesized
+        if not widths:
+            return 1
+        return widths.pop()
+
+    def _constant_pool(self, function: Function,
+                       width: int) -> Tuple[int, ...]:
+        mask = (1 << width) - 1
+        pool = {0, 1, mask}
+        seeds = set()
+        for inst in function.instructions():
+            for operand in inst.operands:
+                if isinstance(operand, ConstantInt):
+                    seeds.add(operand.value & mask)
+        # CEGIS-style constant derivation: neighbours, halves, doubles
+        # and complements of source constants often appear in targets.
+        pool |= seeds
+        for value in seeds:
+            pool |= {(value - 1) & mask, (value + 1) & mask,
+                     (value >> 1) & mask, (value << 1) & mask,
+                     (~value) & mask, (-value) & mask}
+        return tuple(sorted(pool))
+
+    def _test_matrix(self, function: Function, width: int
+                     ) -> Tuple[Tuple[Tuple[int, ...], ...],
+                                Tuple[Optional[int], ...]]:
+        rng = random.Random(self.seed)
+        arg_widths = [a.type.bits for a in function.arguments]
+        structured = [0, 1, 2, (1 << width) - 1, 1 << (width - 1),
+                      (1 << (width - 1)) - 1]
+        inputs: List[Tuple[int, ...]] = []
+        for value in structured:
+            inputs.append(tuple(value & ((1 << w) - 1)
+                                for w in arg_widths))
+        while len(inputs) < self.test_points:
+            inputs.append(tuple(rng.getrandbits(w) for w in arg_widths))
+        outputs: List[Optional[int]] = []
+        for point in inputs:
+            outcome = run_function(function, list(point))
+            if outcome.is_ub or outcome.value is POISON:
+                outputs.append(None)
+            else:
+                assert isinstance(outcome.value, int)
+                outputs.append(outcome.value)
+        return tuple(inputs), tuple(outputs)
+
+    def _replacement_candidates(self, function: Function):
+        """Candidates that add no instructions: return an argument, a
+        constant, or the backward slice of an intermediate value."""
+        return_type = function.return_type
+        for argument in function.arguments:
+            if argument.type == return_type:
+                replaced = Function("tgt", return_type, [
+                    Argument(a.type, a.name, a.index)
+                    for a in function.arguments])
+                block = replaced.new_block("entry")
+                block.append(Ret(replaced.arguments[argument.index]))
+                yield replaced
+        assert isinstance(return_type, IntType)
+        for constant in (0, 1, (1 << return_type.bits) - 1,
+                         1 << (return_type.bits - 1)):
+            replaced = Function("tgt", return_type, [
+                Argument(a.type, a.name, a.index)
+                for a in function.arguments])
+            block = replaced.new_block("entry")
+            block.append(Ret(ConstantInt(return_type, constant)))
+            yield replaced
+        # Backward slices of intermediates with the right type.
+        instructions = [inst for inst in function.instructions()
+                        if not isinstance(inst, Ret)]
+        for index, inst in enumerate(instructions):
+            if inst.type != return_type or index == len(instructions) - 1:
+                continue
+            yield _slice_function(function, inst)
+
+    # -- main entry ----------------------------------------------------------
+    def optimize(self, function: Function) -> SuperoptResult:
+        start = time.monotonic()
+        reason = _unsupported_reason(function)
+        if reason is not None:
+            return SuperoptResult("unsupported", reason=reason,
+                                  elapsed_seconds=time.monotonic() - start)
+        width = self._working_width(function)
+        if width is None:
+            return SuperoptResult("unsupported",
+                                  reason="mixed integer widths",
+                                  elapsed_seconds=time.monotonic() - start)
+        source_size = function.instruction_count()
+        source_cost = function_cost(function)
+        return_type = function.return_type
+        assert isinstance(return_type, IntType)
+        boolean_result = return_type.bits == 1
+        if boolean_result and width == 1:
+            width = 8  # purely boolean windows synthesize at a token width
+
+        inputs, outputs = self._test_matrix(function, width)
+
+        # Replacement candidates (the enum=0 "default" mode): return an
+        # argument, a constant, or the backward slice of an intermediate.
+        screened = 0
+        for candidate in self._replacement_candidates(function):
+            if candidate.instruction_count() >= source_size:
+                continue
+            screened += 1
+            verdict = check_refinement(function, candidate,
+                                       random_tests=120)
+            if verdict.is_correct:
+                return SuperoptResult(
+                    "found", candidate=candidate,
+                    elapsed_seconds=time.monotonic() - start,
+                    candidates_screened=screened)
+        if self.enum == 0:
+            return SuperoptResult(
+                "not-found", elapsed_seconds=time.monotonic() - start,
+                candidates_screened=screened)
+
+        deadline = start + self.timeout_seconds
+        arg_widths = tuple(a.type.bits for a in function.arguments)
+        constants = self._constant_pool(function, width)
+        test_inputs = list(inputs)
+        target_outputs = list(outputs)
+
+        # Counterexample-guided loop (the heart of Souper's synthesis):
+        # an enumeration pass screens candidates on the current matrix; a
+        # refuted candidate's counterexample refines the matrix and the
+        # enumeration restarts with the alias broken.
+        try:
+            for _ in range(self.MAX_CEGIS_ROUNDS):
+                problem = SynthesisProblem(
+                    width=width,
+                    boolean_result=boolean_result,
+                    arg_widths=arg_widths,
+                    constants=constants,
+                    test_inputs=tuple(test_inputs),
+                    target_outputs=tuple(target_outputs))
+                enumerator = Enumerator(problem, deadline=deadline)
+                refuting_input: Optional[Tuple[int, ...]] = None
+                for expr in enumerator.enumerate_matches(self.enum):
+                    screened += 1
+                    if (expr_size(expr) >= source_size
+                            and expr_cost(expr) >= source_cost):
+                        continue    # not an improvement
+                    candidate = expr_to_function(expr, function, width)
+                    verdict = check_refinement(function, candidate,
+                                               random_tests=120)
+                    if verdict.is_correct:
+                        return SuperoptResult(
+                            "found", candidate=candidate,
+                            elapsed_seconds=time.monotonic() - start,
+                            candidates_screened=screened)
+                    if (verdict.counterexample is not None
+                            and refuting_input is None):
+                        point = tuple(
+                            value if isinstance(value, int) else 0
+                            for value in verdict.counterexample.args)
+                        if point not in test_inputs:
+                            refuting_input = point
+                    if time.monotonic() > deadline:
+                        raise TimeoutExpired(self.timeout_seconds,
+                                             time.monotonic() - start)
+                if refuting_input is None:
+                    break           # matrix is already discriminating
+                test_inputs.append(refuting_input)
+                outcome = run_function(function, list(refuting_input))
+                if outcome.is_ub or outcome.value is POISON:
+                    target_outputs.append(None)
+                else:
+                    assert isinstance(outcome.value, int)
+                    target_outputs.append(outcome.value)
+        except TimeoutExpired:
+            return SuperoptResult("timeout",
+                                  elapsed_seconds=time.monotonic() - start,
+                                  candidates_screened=screened)
+        return SuperoptResult("not-found",
+                              elapsed_seconds=time.monotonic() - start,
+                              candidates_screened=screened)

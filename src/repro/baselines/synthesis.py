@@ -1,0 +1,308 @@
+"""Enumerative synthesis machinery shared by the baseline superoptimizers.
+
+Candidate expressions are small trees over the window's arguments and a
+constant pool, split into two typed pools (working-width integers and
+booleans).  Enumeration is bottom-up with *observational deduplication*:
+signatures are computed pointwise from sub-expression signatures over a
+fixed test-input matrix, and a candidate whose signature was already
+seen at an equal-or-smaller size is dropped.  That pruning is what makes
+size-3 synthesis tractable in pure Python.
+"""
+
+from __future__ import annotations
+
+import itertools
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import TimeoutExpired
+from repro.ir.builder import IRBuilder
+from repro.ir.function import Function
+from repro.ir.types import I1, Type, int_type
+from repro.ir.values import Argument, const_int
+from repro.semantics import bitvector as bv
+
+# Expression encoding:
+#   ("arg", index)                    — width depends on the argument
+#   ("const", value)                  — working-width constant
+#   ("bool_const", 0 or 1)
+#   ("bin", opcode, lhs, rhs)         — wide x wide -> wide
+#   ("bbin", opcode, lhs, rhs)        — bool x bool -> bool
+#   ("icmp", pred, lhs, rhs)          — wide x wide -> bool
+#   ("select", cond, tval, fval)      — bool x wide x wide -> wide
+
+BINARY_VOCABULARY = ("add", "sub", "mul", "and", "or", "xor",
+                     "shl", "lshr", "ashr")
+BOOL_VOCABULARY = ("and", "or", "xor")
+ICMP_VOCABULARY = ("eq", "ne", "ult", "ule", "slt", "sle")
+
+Signature = Tuple[Optional[int], ...]
+
+
+def expr_size(expr: Tuple) -> int:
+    """Number of instructions the expression lowers to."""
+    kind = expr[0]
+    if kind in ("arg", "const", "bool_const"):
+        return 0
+    if kind == "zext":
+        return 1 + expr_size(expr[1])
+    if kind in ("bin", "bbin", "icmp"):
+        return 1 + expr_size(expr[2]) + expr_size(expr[3])
+    if kind == "select":
+        return 1 + sum(expr_size(sub) for sub in expr[1:])
+    raise AssertionError(expr)
+
+
+#: Souper-style cost weights: casts are nearly free, selects slightly
+#: dearer than plain ALU ops (mirrors Souper's benefit model, where a
+#: same-count candidate can still win by replacing a select with a cast).
+OP_COSTS = {"select": 1.4, "zext": 0.3, "sext": 0.3, "trunc": 0.3,
+            "mul": 1.2, "udiv": 4.0, "sdiv": 4.0, "urem": 4.0,
+            "srem": 4.0}
+
+
+def expr_cost(expr: Tuple) -> float:
+    """Weighted cost of an expression under :data:`OP_COSTS`."""
+    kind = expr[0]
+    if kind in ("arg", "const", "bool_const"):
+        return 0.0
+    if kind == "zext":
+        return OP_COSTS["zext"] + expr_cost(expr[1])
+    if kind == "bin" or kind == "bbin":
+        return (OP_COSTS.get(expr[1], 1.0)
+                + expr_cost(expr[2]) + expr_cost(expr[3]))
+    if kind == "icmp":
+        return 1.0 + expr_cost(expr[2]) + expr_cost(expr[3])
+    if kind == "select":
+        return OP_COSTS["select"] + sum(expr_cost(sub)
+                                        for sub in expr[1:])
+    raise AssertionError(expr)
+
+
+def function_cost(function: Function) -> float:
+    """The same weighted cost over a window's instructions."""
+    total = 0.0
+    for inst in function.instructions():
+        if inst.is_terminator:
+            continue
+        total += OP_COSTS.get(inst.opcode, 1.0)
+    return total
+
+
+def _apply_binary(opcode: str, lhs: Optional[int], rhs: Optional[int],
+                  width: int) -> Optional[int]:
+    if lhs is None or rhs is None:
+        return None
+    if opcode == "add":
+        return bv.add(lhs, rhs, width)
+    if opcode == "sub":
+        return bv.sub(lhs, rhs, width)
+    if opcode == "mul":
+        return bv.mul(lhs, rhs, width)
+    if opcode == "and":
+        return lhs & rhs
+    if opcode == "or":
+        return lhs | rhs
+    if opcode == "xor":
+        return lhs ^ rhs
+    if opcode in ("shl", "lshr", "ashr"):
+        return getattr(bv, opcode)(lhs, rhs, width)
+    raise AssertionError(opcode)
+
+
+@dataclass
+class SynthesisProblem:
+    """Inputs to enumerative synthesis for one window.
+
+    ``arg_widths`` gives each argument's width; width-1 arguments live in
+    the boolean pool, everything else must equal ``width``.
+    """
+
+    width: int
+    boolean_result: bool
+    arg_widths: Tuple[int, ...]
+    constants: Tuple[int, ...]
+    test_inputs: Tuple[Tuple[int, ...], ...]
+    target_outputs: Tuple[Optional[int], ...]
+
+
+class Enumerator:
+    """Bottom-up typed enumeration with observational dedup."""
+
+    def __init__(self, problem: SynthesisProblem,
+                 deadline: Optional[float] = None,
+                 max_pool_per_size: int = 3000,
+                 enable_select: bool = True):
+        self.problem = problem
+        self.deadline = deadline
+        self.max_pool_per_size = max_pool_per_size
+        self.enable_select = enable_select
+        self._checks = 0
+
+    def _check_deadline(self) -> None:
+        self._checks += 1
+        if (self.deadline is not None and self._checks % 256 == 0
+                and time.monotonic() > self.deadline):
+            raise TimeoutExpired(0.0, 0.0)
+
+    def _matches_target(self, signature: Signature) -> bool:
+        for produced, wanted in zip(signature,
+                                    self.problem.target_outputs):
+            if wanted is None:
+                continue          # src poison/UB frees the candidate here
+            if produced != wanted:
+                return False
+        return True
+
+    def _leaf_pools(self) -> Tuple[List[Tuple[Tuple, Signature]],
+                                   List[Tuple[Tuple, Signature]]]:
+        problem = self.problem
+        wide: List[Tuple[Tuple, Signature]] = []
+        bool_: List[Tuple[Tuple, Signature]] = []
+        for index, width in enumerate(problem.arg_widths):
+            signature = tuple(inputs[index] for inputs
+                              in problem.test_inputs)
+            if width == 1:
+                bool_.append((("arg", index), signature))
+            else:
+                wide.append((("arg", index), signature))
+        for value in problem.constants:
+            signature = tuple(value & bv.mask(problem.width)
+                              for _ in problem.test_inputs)
+            wide.append((("const", value), signature))
+        for value in (0, 1):
+            signature = tuple(value for _ in problem.test_inputs)
+            bool_.append((("bool_const", value), signature))
+        return wide, bool_
+
+    def enumerate_matches(self, max_size: int) -> Iterator[Tuple]:
+        """Yield matching candidates, smallest first."""
+        problem = self.problem
+        width = problem.width
+        point_count = len(problem.test_inputs)
+
+        wide_pools: Dict[int, List[Tuple[Tuple, Signature]]] = {}
+        bool_pools: Dict[int, List[Tuple[Tuple, Signature]]] = {}
+        wide_seen: Dict[Signature, int] = {}
+        bool_seen: Dict[Signature, int] = {}
+
+        wide_leaves, bool_leaves = self._leaf_pools()
+        wide_pools[0], bool_pools[0] = [], []
+        for expr, signature in wide_leaves:
+            if signature not in wide_seen:
+                wide_seen[signature] = 0
+                wide_pools[0].append((expr, signature))
+            if not problem.boolean_result and self._matches_target(signature):
+                yield expr
+        for expr, signature in bool_leaves:
+            if signature not in bool_seen:
+                bool_seen[signature] = 0
+                bool_pools[0].append((expr, signature))
+            if problem.boolean_result and self._matches_target(signature):
+                yield expr
+
+        for size in range(1, max_size + 1):
+            wide_pools[size] = []
+            bool_pools[size] = []
+            for expr, signature, is_bool in self._compose(
+                    size, wide_pools, bool_pools, width, point_count):
+                self._check_deadline()
+                seen = bool_seen if is_bool else wide_seen
+                if signature in seen:
+                    continue
+                seen[signature] = size
+                pool = bool_pools[size] if is_bool else wide_pools[size]
+                if len(pool) < self.max_pool_per_size:
+                    pool.append((expr, signature))
+                if (is_bool == problem.boolean_result
+                        and self._matches_target(signature)):
+                    yield expr
+
+    def _compose(self, size: int, wide_pools, bool_pools, width: int,
+                 point_count: int):
+        for left_size in range(0, size):
+            right_size = size - 1 - left_size
+            if right_size < 0:
+                continue
+            wide_left = wide_pools.get(left_size, ())
+            wide_right = wide_pools.get(right_size, ())
+            for (lhs, sig_l), (rhs, sig_r) in itertools.product(
+                    wide_left, wide_right):
+                for opcode in BINARY_VOCABULARY:
+                    signature = tuple(
+                        _apply_binary(opcode, a, b, width)
+                        for a, b in zip(sig_l, sig_r))
+                    yield ("bin", opcode, lhs, rhs), signature, False
+                for predicate in ICMP_VOCABULARY:
+                    signature = tuple(
+                        None if a is None or b is None
+                        else int(bv.icmp(predicate, a, b, width))
+                        for a, b in zip(sig_l, sig_r))
+                    yield (("icmp", predicate, lhs, rhs), signature,
+                           True)
+            bool_left = bool_pools.get(left_size, ())
+            bool_right = bool_pools.get(right_size, ())
+            for (lhs, sig_l), (rhs, sig_r) in itertools.product(
+                    bool_left, bool_right):
+                for opcode in BOOL_VOCABULARY:
+                    signature = tuple(
+                        _apply_binary(opcode, a, b, 1)
+                        for a, b in zip(sig_l, sig_r))
+                    yield ("bbin", opcode, lhs, rhs), signature, True
+        # zext of a boolean into the working width (free-ish cast).
+        if width > 1:
+            for (sub, sig) in bool_pools.get(size - 1, ()):
+                yield ("zext", sub), sig, False
+        if self.enable_select and size >= 1:
+            for cond_size in range(0, size):
+                for true_size in range(0, size - cond_size):
+                    false_size = size - 1 - cond_size - true_size
+                    if false_size < 0:
+                        continue
+                    for (cond, sig_c) in bool_pools.get(cond_size, ()):
+                        for (tval, sig_t) in wide_pools.get(true_size, ()):
+                            for (fval, sig_f) in wide_pools.get(
+                                    false_size, ()):
+                                signature = tuple(
+                                    None if c is None
+                                    else (t if c else f)
+                                    for c, t, f in zip(sig_c, sig_t,
+                                                       sig_f))
+                                yield (("select", cond, tval, fval),
+                                       signature, False)
+
+
+def expr_to_function(expr: Tuple, signature: Function,
+                     width: int, name: str = "tgt") -> Function:
+    """Lower an expression to IR with ``signature``'s prototype."""
+    arguments = [Argument(a.type, a.name, a.index)
+                 for a in signature.arguments]
+    function = Function(name, signature.return_type, arguments)
+    builder = IRBuilder(function.new_block("entry"))
+    wide_type: Type = int_type(width)
+
+    def lower(node: Tuple):
+        kind = node[0]
+        if kind == "arg":
+            return arguments[node[1]]
+        if kind == "const":
+            return const_int(wide_type, node[1])
+        if kind == "bool_const":
+            return const_int(I1, node[1])
+        if kind == "zext":
+            return builder.zext(lower(node[1]), wide_type)
+        if kind == "bin":
+            return builder.binop(node[1], lower(node[2]), lower(node[3]))
+        if kind == "bbin":
+            return builder.binop(node[1], lower(node[2]), lower(node[3]))
+        if kind == "icmp":
+            return builder.icmp(node[1], lower(node[2]), lower(node[3]))
+        if kind == "select":
+            return builder.select(lower(node[1]), lower(node[2]),
+                                  lower(node[3]))
+        raise AssertionError(node)
+
+    builder.ret(lower(expr))
+    function.assign_names()
+    return function

@@ -1,0 +1,218 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands mirror the toolchain pieces the paper composes:
+
+* ``opt FILE``       — run the InstCombine-style optimizer on textual IR;
+* ``verify SRC TGT`` — translation-validate a rewrite (Alive2 workflow);
+* ``mca FILE``       — static cycle analysis of a function;
+* ``extract FILE``   — slice a module into deduplicated windows;
+* ``pipeline FILE``  — run the full LPO loop on a window with a chosen
+  model profile;
+* ``souper FILE`` / ``minotaur FILE`` — the baseline superoptimizers;
+* ``tables NAME``    — regenerate a paper table/figure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import List, Optional
+
+from repro.errors import ParseError, ReproError
+
+
+def _read(path: str) -> str:
+    return pathlib.Path(path).read_text()
+
+
+def cmd_opt(args: argparse.Namespace) -> int:
+    from repro.opt import patch_rules, run_opt
+    patches = patch_rules(args.patches) if args.patches else ()
+    result = run_opt(_read(args.file), patches=patches)
+    if result.is_failed:
+        print(result.error_message, file=sys.stderr)
+        return 1
+    print(result.new_candidate, end="")
+    if args.stats:
+        print(f"; changed={result.changed} "
+              f"rewrites={result.stats.total_rewrites} "
+              f"iterations={result.stats.iterations}", file=sys.stderr)
+    return 0
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    from repro.ir import parse_function
+    from repro.verify import check_refinement
+    source = parse_function(_read(args.source))
+    target = parse_function(_read(args.target))
+    verdict = check_refinement(source, target,
+                               random_tests=args.random_tests)
+    print(f"{verdict.status} (method: {verdict.method}, "
+          f"{verdict.elapsed_seconds:.2f}s)")
+    if verdict.counterexample is not None:
+        print(verdict.counter_example)
+    return 0 if verdict.is_correct else 1
+
+
+def cmd_mca(args: argparse.Namespace) -> int:
+    from repro.ir import parse_function
+    from repro.mca import analyze_function
+    print(analyze_function(parse_function(_read(args.file))))
+    return 0
+
+
+def cmd_extract(args: argparse.Namespace) -> int:
+    from repro.core import extract_from_corpus
+    from repro.ir import parse_module, print_function
+    module = parse_module(_read(args.file))
+    windows = extract_from_corpus([module])
+    print(f"; {len(windows)} unique windows", file=sys.stderr)
+    for window in windows:
+        print(f"; from @{window.source_function} "
+              f"block %{window.source_block}")
+        print(print_function(window.function))
+        print()
+    return 0
+
+
+def cmd_pipeline(args: argparse.Namespace) -> int:
+    from repro.core import LPOPipeline, PipelineConfig, window_from_text
+    from repro.llm import MODELS_BY_NAME, SimulatedLLM
+    profile = MODELS_BY_NAME.get(args.model)
+    if profile is None:
+        print(f"unknown model {args.model!r}; choose from "
+              f"{sorted(MODELS_BY_NAME)}", file=sys.stderr)
+        return 2
+    pipeline = LPOPipeline(SimulatedLLM(profile, seed=args.seed),
+                           PipelineConfig(attempt_limit=args.attempts))
+    window = window_from_text(_read(args.file))
+    for round_seed in range(args.rounds):
+        result = pipeline.optimize_window(window, round_seed=round_seed)
+        outcomes = ", ".join(a.outcome for a in result.attempts)
+        print(f"round {round_seed}: {outcomes}")
+        if result.found:
+            print("\npotential missed optimization:")
+            print(result.candidate_text, end="")
+            return 0
+    print("no verified improvement found", file=sys.stderr)
+    return 1
+
+
+def cmd_souper(args: argparse.Namespace) -> int:
+    from repro.baselines import Souper
+    from repro.ir import parse_function, print_function
+    result = Souper(enum=args.enum,
+                    timeout_seconds=args.timeout).optimize(
+        parse_function(_read(args.file)))
+    print(f"{result.status}"
+          + (f" ({result.reason})" if result.reason else ""))
+    if result.candidate is not None:
+        print(print_function(result.candidate))
+    return 0 if result.detected else 1
+
+
+def cmd_minotaur(args: argparse.Namespace) -> int:
+    from repro.baselines import Minotaur
+    from repro.ir import parse_function, print_function
+    result = Minotaur().optimize(parse_function(_read(args.file)))
+    print(f"{result.status}"
+          + (f" ({result.reason})" if result.reason else ""))
+    if result.candidate is not None:
+        print(print_function(result.candidate))
+    return 0 if result.detected else 1
+
+
+def _cmd_tables(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        render_figure5,
+        render_table1,
+        render_table5,
+        run_impact,
+        run_spec,
+    )
+    name = args.name
+    if name == "table1":
+        print(render_table1())
+    elif name == "table5":
+        print(render_table5(run_impact(modules_per_project=4)))
+    elif name == "figure5":
+        print(render_figure5(run_spec()))
+    else:
+        print("supported here: table1, table5, figure5; use "
+              "examples/reproduce_tables.py for the long-running ones",
+              file=sys.stderr)
+        return 2
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="LPO reproduction toolchain (ASPLOS 2026)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("opt", help="optimize textual IR")
+    p.add_argument("file")
+    p.add_argument("--patches", type=int, nargs="*", metavar="ISSUE",
+                   help="enable fixed-issue patch rules")
+    p.add_argument("--stats", action="store_true")
+    p.set_defaults(func=cmd_opt)
+
+    p = sub.add_parser("verify", help="check that TGT refines SRC")
+    p.add_argument("source")
+    p.add_argument("target")
+    p.add_argument("--random-tests", type=int, default=200)
+    p.set_defaults(func=cmd_verify)
+
+    p = sub.add_parser("mca", help="static cycle analysis")
+    p.add_argument("file")
+    p.set_defaults(func=cmd_mca)
+
+    p = sub.add_parser("extract", help="extract windows from a module")
+    p.add_argument("file")
+    p.set_defaults(func=cmd_extract)
+
+    p = sub.add_parser("pipeline", help="run the LPO loop on a window")
+    p.add_argument("file")
+    p.add_argument("--model", default="Gemini2.0T")
+    p.add_argument("--rounds", type=int, default=5)
+    p.add_argument("--attempts", type=int, default=2)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_pipeline)
+
+    p = sub.add_parser("souper", help="Souper-style superoptimizer")
+    p.add_argument("file")
+    p.add_argument("--enum", type=int, default=2)
+    p.add_argument("--timeout", type=float, default=30.0)
+    p.set_defaults(func=cmd_souper)
+
+    p = sub.add_parser("minotaur", help="Minotaur-style baseline")
+    p.add_argument("file")
+    p.set_defaults(func=cmd_minotaur)
+
+    p = sub.add_parser("tables", help="regenerate a table/figure")
+    p.add_argument("name")
+    p.set_defaults(func=_cmd_tables)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ParseError as exc:
+        print(exc.render(), file=sys.stderr)
+        return 1
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,32 @@
+"""The LPO core: extraction, interestingness, and the closed loop."""
+
+from repro.core.dedup import window_digest
+from repro.core.extractor import (
+    ExtractionStats,
+    Window,
+    extract_from_corpus,
+    extract_from_module,
+    extract_sequences_from_block,
+)
+from repro.core.interestingness import (
+    InterestingnessReport,
+    check_interestingness,
+)
+from repro.core.pipeline import (
+    AttemptRecord,
+    LPOPipeline,
+    PipelineConfig,
+    WindowResult,
+    window_from_text,
+)
+from repro.core.window import wrap_as_function
+
+__all__ = [
+    "window_digest",
+    "ExtractionStats", "Window", "extract_from_corpus",
+    "extract_from_module", "extract_sequences_from_block",
+    "InterestingnessReport", "check_interestingness",
+    "AttemptRecord", "LPOPipeline", "PipelineConfig", "WindowResult",
+    "window_from_text",
+    "wrap_as_function",
+]

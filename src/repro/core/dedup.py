@@ -1,0 +1,83 @@
+"""Structural hashing of wrapped windows (Algorithm 2's ``Hash``).
+
+Two windows that differ only in value names, argument order of arrival,
+or label spelling hash identically: the digest is computed from opcodes,
+types, flags, predicates, constants and *positional* references to
+operands (argument index or defining-instruction index).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List
+
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    Br,
+    Call,
+    Cast,
+    FCmp,
+    GetElementPtr,
+    ICmp,
+    Instruction,
+    Load,
+    Phi,
+    ShuffleVector,
+    Store,
+)
+from repro.ir.values import Argument, Constant, Value
+
+
+def _operand_token(operand: Value, positions: Dict[int, str]) -> str:
+    if isinstance(operand, Constant):
+        return f"const({operand.type}:{operand.operand_ref()})"
+    token = positions.get(id(operand))
+    return token if token is not None else "unknown"
+
+
+def window_digest(function: Function) -> str:
+    """A hex digest identifying the window's structure."""
+    positions: Dict[int, str] = {}
+    for argument in function.arguments:
+        positions[id(argument)] = f"arg{argument.index}"
+    parts: List[str] = [str(function.return_type),
+                        ",".join(str(a.type) for a in function.arguments)]
+    counter = 0
+    for block_index, block in enumerate(function.blocks):
+        parts.append(f"block{block_index}")
+        for inst in block.instructions:
+            token = f"v{counter}"
+            counter += 1
+            positions[id(inst)] = token
+            parts.append(_instruction_token(inst, positions))
+    payload = "\n".join(parts).encode()
+    return hashlib.sha256(payload).hexdigest()
+
+
+def _instruction_token(inst: Instruction,
+                       positions: Dict[int, str]) -> str:
+    operands = ",".join(_operand_token(op, positions)
+                        for op in inst.operands)
+    extra = ""
+    if isinstance(inst, (ICmp, FCmp)):
+        extra = f":{inst.predicate}"
+    elif isinstance(inst, Call):
+        extra = f":{inst.callee}"
+    elif isinstance(inst, Cast):
+        extra = f":{inst.type}"
+    elif isinstance(inst, Load):
+        extra = f":{inst.type}:a{inst.align}"
+    elif isinstance(inst, Store):
+        extra = f":a{inst.align}"
+    elif isinstance(inst, GetElementPtr):
+        extra = f":{inst.source_type}"
+    elif isinstance(inst, ShuffleVector):
+        extra = f":{inst.mask}"
+    elif isinstance(inst, Br):
+        extra = f":{inst.target}:{inst.false_target}"
+    elif isinstance(inst, Phi):
+        extra = f":{inst.incoming_blocks}"
+    # ``tail`` is a call-site hint, not semantics; ignore it so windows
+    # differing only in tail-call marking deduplicate together.
+    flags = "+".join(sorted(f for f in inst.flags if f != "tail"))
+    return f"{inst.opcode}{extra}({operands})[{flags}]{inst.type}"

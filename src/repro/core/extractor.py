@@ -1,0 +1,123 @@
+"""Instruction-sequence extraction (the paper's Algorithm 2).
+
+Walks every basic block of a module in reverse, growing all *dependent*
+instruction sequences, wraps each sequence as a standalone function, skips
+those the stock optimizer can still improve, and deduplicates by a
+structural hash.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Set
+
+from repro.ir.function import BasicBlock, Function, Module
+from repro.ir.instructions import Instruction
+from repro.core.dedup import window_digest
+from repro.core.window import wrap_as_function
+
+
+@dataclass
+class ExtractionStats:
+    """Counters reported by a corpus extraction run."""
+
+    modules: int = 0
+    blocks: int = 0
+    sequences_seen: int = 0
+    duplicates: int = 0
+    still_optimizable: int = 0
+    emitted: int = 0
+
+
+@dataclass
+class Window:
+    """One extracted instruction sequence, wrapped as a function."""
+
+    function: Function
+    digest: str
+    source_module: str = ""
+    source_function: str = ""
+    source_block: str = ""
+
+    @property
+    def instruction_count(self) -> int:
+        return self.function.instruction_count()
+
+
+def extract_sequences_from_block(block: BasicBlock
+                                 ) -> List[List[Instruction]]:
+    """``ExtractSeqsFromBB`` from Algorithm 2: all maximal dependent
+    instruction sequences of a block, in reverse-traversal order."""
+    seq_set: List[List[Instruction]] = []
+    for inst in reversed(block.instructions):
+        if inst.is_terminator:
+            continue
+        if inst.opcode in ("store", "phi"):
+            # Stores produce no value to return and phis are cross-block
+            # by construction; neither can anchor a window.
+            continue
+        added = False
+        new_set: List[List[Instruction]] = []
+        for sequence in seq_set:
+            if any(inst in member.operands for member in sequence):
+                new_set.append([inst] + sequence)
+                added = True
+            else:
+                new_set.append(sequence)
+        if not added:
+            new_set.append([inst])
+        seq_set = new_set
+    return seq_set
+
+
+def extract_from_module(module: Module, dedup_set: Set[str],
+                        stats: Optional[ExtractionStats] = None,
+                        max_window: int = 24,
+                        skip_optimizable: bool = True) -> List[Window]:
+    """``Extract`` from Algorithm 2 over one module."""
+    from repro.opt.driver import can_further_optimize
+    stats = stats if stats is not None else ExtractionStats()
+    stats.modules += 1
+    result: List[Window] = []
+    for function in module.functions:
+        for block in function.blocks:
+            stats.blocks += 1
+            for sequence in extract_sequences_from_block(block):
+                stats.sequences_seen += 1
+                if len(sequence) > max_window:
+                    continue
+                wrapped = wrap_as_function(sequence)
+                if wrapped is None:
+                    continue
+                if skip_optimizable and can_further_optimize(wrapped):
+                    stats.still_optimizable += 1
+                    continue
+                digest = window_digest(wrapped)
+                if digest in dedup_set:
+                    stats.duplicates += 1
+                    continue
+                dedup_set.add(digest)
+                stats.emitted += 1
+                result.append(Window(
+                    function=wrapped,
+                    digest=digest,
+                    source_module=module.name,
+                    source_function=function.name,
+                    source_block=block.label))
+    return result
+
+
+def extract_from_corpus(modules: Iterable[Module],
+                        stats: Optional[ExtractionStats] = None,
+                        max_window: int = 24,
+                        skip_optimizable: bool = True) -> List[Window]:
+    """Algorithm 1 lines 1-4: extraction over a whole corpus with a
+    shared dedup set."""
+    dedup_set: Set[str] = set()
+    stats = stats if stats is not None else ExtractionStats()
+    windows: List[Window] = []
+    for module in modules:
+        windows.extend(extract_from_module(
+            module, dedup_set, stats=stats, max_window=max_window,
+            skip_optimizable=skip_optimizable))
+    return windows

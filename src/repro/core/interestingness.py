@@ -1,0 +1,61 @@
+"""The interestingness check (paper §3.3).
+
+A candidate is *interesting* — worth the cost of formal verification —
+when it has fewer instructions, or fewer llvm-mca cycles, or the same
+cost but a syntactically different shape (such ties can unlock further
+optimizations downstream, e.g. canonicalization changes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.dedup import window_digest
+from repro.ir.function import Function
+from repro.mca import total_cycles
+
+
+@dataclass
+class InterestingnessReport:
+    """Why a candidate did (not) pass the check."""
+
+    interesting: bool
+    reason: str
+    source_instructions: int = 0
+    candidate_instructions: int = 0
+    source_cycles: float = 0.0
+    candidate_cycles: float = 0.0
+
+    @property
+    def strictly_better(self) -> bool:
+        return (self.candidate_instructions < self.source_instructions
+                or self.candidate_cycles < self.source_cycles)
+
+
+def check_interestingness(source: Function,
+                          candidate: Function) -> InterestingnessReport:
+    """Compare a candidate against the original window."""
+    src_count = source.instruction_count()
+    cand_count = candidate.instruction_count()
+    src_cycles = total_cycles(source)
+    cand_cycles = total_cycles(candidate)
+
+    def report(interesting: bool, reason: str) -> InterestingnessReport:
+        return InterestingnessReport(
+            interesting=interesting, reason=reason,
+            source_instructions=src_count,
+            candidate_instructions=cand_count,
+            source_cycles=src_cycles, candidate_cycles=cand_cycles)
+
+    if cand_count < src_count:
+        return report(True, "fewer instructions")
+    if cand_cycles < src_cycles:
+        return report(True, "fewer llvm-mca cycles")
+    if cand_count > src_count and cand_cycles > src_cycles:
+        return report(False, "candidate is strictly worse")
+    if window_digest(candidate) == window_digest(source):
+        return report(False, "candidate is identical to the source")
+    if cand_count == src_count and cand_cycles == src_cycles:
+        return report(True, "same cost but different shape "
+                            "(may enable further optimizations)")
+    return report(False, "candidate does not improve the window")

@@ -1,0 +1,178 @@
+"""The LPO closed loop (the paper's Algorithm 1 and Figure 2).
+
+For each extracted window:
+
+1. prompt the LLM for an optimal rewrite (step ②);
+2. run the candidate through ``opt`` — syntax errors become feedback and
+   restart the attempt, otherwise the optimized/canonicalized output
+   becomes the candidate (steps ③/⑥);
+3. check interestingness — uninteresting candidates abandon the window
+   (steps ④, Algorithm 1 line 16);
+4. verify refinement with the Alive2 substitute — counterexamples become
+   feedback and restart the attempt (steps ⑤/⑥);
+5. verified interesting candidates are recorded as potential missed
+   optimizations (step ⑦).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.core.extractor import Window
+from repro.core.interestingness import (
+    InterestingnessReport,
+    check_interestingness,
+)
+from repro.errors import ParseError
+from repro.ir.function import Function
+from repro.ir.parser import parse_function
+from repro.ir.printer import print_function
+from repro.llm.client import LLMClient, PromptRequest, Usage
+from repro.opt.driver import run_opt
+from repro.verify.refinement import VerificationResult, check_refinement
+
+
+@dataclass
+class PipelineConfig:
+    """Tunables of the loop (paper defaults)."""
+
+    attempt_limit: int = 2           # the paper sets ATTEMPT_LIMIT = 2
+    random_tests: int = 120
+    exhaustive_bits: int = 16
+    sat_budget: int = 2_000_000
+    require_proof: bool = False      # True: only count "proved" results
+
+
+@dataclass
+class AttemptRecord:
+    """One LLM round-trip within a window's optimization loop."""
+
+    attempt: int
+    response_text: str
+    outcome: str                     # found/syntax-error/uninteresting/...
+    feedback: str = ""
+    verification: Optional[VerificationResult] = None
+    interestingness: Optional[InterestingnessReport] = None
+
+
+@dataclass
+class WindowResult:
+    """The loop's verdict on one window."""
+
+    window: Window
+    found: bool
+    candidate: Optional[Function] = None
+    attempts: List[AttemptRecord] = field(default_factory=list)
+    usage: Usage = field(default_factory=Usage)
+    elapsed_seconds: float = 0.0
+
+    @property
+    def status(self) -> str:
+        if self.found:
+            return "potential missed optimization"
+        if not self.attempts:
+            return "no attempts"
+        return self.attempts[-1].outcome
+
+    @property
+    def candidate_text(self) -> str:
+        if self.candidate is None:
+            return ""
+        return print_function(self.candidate)
+
+
+class LPOPipeline:
+    """Algorithm 1 over a single window or a stream of windows."""
+
+    def __init__(self, client: LLMClient,
+                 config: Optional[PipelineConfig] = None):
+        self.client = client
+        self.config = config if config is not None else PipelineConfig()
+
+    # -- the closed loop over one window --------------------------------
+    def optimize_window(self, window: Window,
+                        round_seed: int = 0) -> WindowResult:
+        config = self.config
+        result = WindowResult(window=window, found=False)
+        start = time.perf_counter()
+        window_text = print_function(window.function)
+        # Canonicalize the window once: candidates are compared against
+        # this form so a mere echo (which opt would canonicalize the same
+        # way) can never register as an "interesting" finding.
+        canonical_source = window.function
+        source_opt = run_opt(window.function)
+        if source_opt.ok and source_opt.function is not None:
+            canonical_source = source_opt.function
+        feedback = ""
+        attempt = 0
+        while attempt < config.attempt_limit:
+            request = PromptRequest(window_ir=window_text,
+                                    feedback=feedback,
+                                    attempt=attempt,
+                                    round_seed=round_seed)
+            response = self.client.complete(request)
+            result.usage.add(response.usage)
+            record = AttemptRecord(attempt=attempt,
+                                   response_text=response.text,
+                                   outcome="pending")
+            result.attempts.append(record)
+
+            # Step 3: opt — syntax check + canonicalize/optimize.
+            opt_result = run_opt(response.extract_ir())
+            if opt_result.is_failed:
+                attempt += 1
+                feedback = opt_result.error_message
+                record.outcome = "syntax-error"
+                record.feedback = feedback
+                continue
+            candidate = opt_result.function
+            assert candidate is not None
+
+            # Step 4: interestingness (against the canonicalized window).
+            report = check_interestingness(canonical_source, candidate)
+            record.interestingness = report
+            if not report.interesting:
+                record.outcome = f"uninteresting ({report.reason})"
+                break  # Algorithm 1 line 16: abandon this window.
+
+            # Step 5: correctness (Alive2 substitute).
+            verification = check_refinement(
+                window.function, candidate,
+                random_tests=config.random_tests,
+                exhaustive_bits=config.exhaustive_bits,
+                sat_budget=config.sat_budget)
+            record.verification = verification
+            accepted = (verification.is_proof if config.require_proof
+                        else verification.is_correct)
+            if accepted:
+                record.outcome = "found"
+                result.found = True
+                result.candidate = candidate
+                break
+            if verification.status in ("refuted", "error"):
+                attempt += 1
+                feedback = verification.counter_example
+                record.outcome = ("incorrect"
+                                  if verification.status == "refuted"
+                                  else "verifier-error")
+                record.feedback = feedback
+                continue
+            record.outcome = f"unverified ({verification.status})"
+            break
+        result.elapsed_seconds = time.perf_counter() - start
+        return result
+
+    # -- stream driver -----------------------------------------------------
+    def run(self, windows: Sequence[Window],
+            round_seed: int = 0) -> List[WindowResult]:
+        return [self.optimize_window(window, round_seed=round_seed)
+                for window in windows]
+
+
+def window_from_text(ir_text: str) -> Window:
+    """Wrap raw IR text as a Window (used by the RQ1 benchmark runner)."""
+    from repro.core.dedup import window_digest
+    function = parse_function(ir_text)
+    return Window(function=function, digest=window_digest(function))

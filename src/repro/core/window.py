@@ -1,0 +1,65 @@
+"""Wrapping instruction sequences as standalone functions.
+
+``WrapAsFunc`` from Algorithm 2: operands defined outside the sequence
+become function arguments, and a ``ret`` of the last value-producing
+instruction is appended.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction, Ret
+from repro.ir.values import Argument, Constant, Value
+
+
+def wrap_as_function(sequence: Sequence[Instruction],
+                     name: str = "src") -> Optional[Function]:
+    """Build ``define @src(...)`` from a dependent instruction sequence.
+
+    Returns None when the sequence cannot be wrapped (e.g. it produces no
+    first-class value to return).
+    """
+    sequence = list(sequence)
+    if not sequence:
+        return None
+    last_value: Optional[Instruction] = None
+    for inst in reversed(sequence):
+        if inst.type.is_first_class:
+            last_value = inst
+            break
+    if last_value is None:
+        return None
+
+    members = set(id(inst) for inst in sequence)
+    mapping: Dict[Value, Value] = {}
+    arguments: List[Argument] = []
+
+    def map_operand(operand: Value) -> Value:
+        if isinstance(operand, Constant):
+            return operand
+        if id(operand) in members:
+            return mapping[operand]
+        if operand in mapping:
+            return mapping[operand]
+        argument = Argument(operand.type, f"a{len(arguments)}",
+                            len(arguments))
+        arguments.append(argument)
+        mapping[operand] = argument
+        return argument
+
+    clones: List[Instruction] = []
+    for inst in sequence:
+        clone = inst.clone()
+        clone.operands = [map_operand(op) for op in inst.operands]
+        mapping[inst] = clone
+        clones.append(clone)
+
+    function = Function(name, last_value.type, arguments)
+    block = function.new_block("entry")
+    for clone in clones:
+        block.append(clone)
+    block.append(Ret(mapping[last_value]))
+    function.assign_names()
+    return function

@@ -1,0 +1,19 @@
+"""Issue datasets and the synthetic project corpus."""
+
+from repro.corpus.generator import (
+    PROJECTS,
+    PROJECTS_BY_NAME,
+    CorpusGenerator,
+    ProjectSpec,
+    generate_corpus,
+    project_of_module,
+)
+from repro.corpus.issues import SKILLS, IssueCase, rq1_by_id, rq1_cases
+from repro.corpus.issues_rq2 import rq2_by_id, rq2_cases, rq2_status_counts
+
+__all__ = [
+    "PROJECTS", "PROJECTS_BY_NAME", "CorpusGenerator", "ProjectSpec",
+    "generate_corpus", "project_of_module",
+    "SKILLS", "IssueCase", "rq1_by_id", "rq1_cases",
+    "rq2_by_id", "rq2_cases", "rq2_status_counts",
+]

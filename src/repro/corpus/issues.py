@@ -1,0 +1,506 @@
+"""The missed-optimization issue datasets (Tables 2 and 3).
+
+Each :class:`IssueCase` reconstructs one LLVM GitHub issue from the
+paper's benchmark: the suboptimal ``src`` window the issue reported, the
+optimal ``tgt`` the fix produces, a *skill* tag describing the kind of
+reasoning needed (used by the simulated-LLM capability profiles), and a
+difficulty in [0, 1].
+
+Invariants enforced by the test suite for every case:
+
+* ``src`` parses and the stock optimizer cannot improve it (it is a
+  genuinely *missed* optimization for this repository's InstCombine);
+* ``tgt`` parses, refines ``src`` (verified), and is better under the
+  interestingness metric (fewer instructions or cycles).
+
+Baseline detectability (the Souper/Minotaur columns of both tables) is
+*computed* by running the baseline superoptimizers, not stored here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from functools import lru_cache
+from typing import Dict, List, Optional, Tuple
+
+from repro.ir.function import Function
+from repro.ir.parser import parse_function
+
+#: Skill categories used by the LLM capability profiles.
+SKILLS = ("logic", "bit-tricks", "icmp-range", "minmax", "select-idioms",
+          "fp", "memory", "vector", "flags")
+
+
+@dataclass(frozen=True)
+class IssueCase:
+    """One reconstructed missed-optimization issue."""
+
+    issue_id: int
+    suite: str                 # "rq1" or "rq2"
+    status: str                # rq1: "reported"; rq2: Confirmed/Fixed/...
+    skill: str
+    difficulty: float          # 0 = trivial for a capable model, 1 = hardest
+    src: str
+    tgt: str
+    description: str = ""
+
+    def src_function(self) -> Function:
+        return parse_function(self.src)
+
+    def tgt_function(self) -> Function:
+        return parse_function(self.tgt)
+
+
+def _case(issue_id: int, suite: str, status: str, skill: str,
+          difficulty: float, src: str, tgt: str,
+          description: str = "") -> IssueCase:
+    assert skill in SKILLS, skill
+    return IssueCase(issue_id, suite, status, skill, difficulty,
+                     src.strip() + "\n", tgt.strip() + "\n", description)
+
+
+# ---------------------------------------------------------------------------
+# RQ1: the 25 previously reported missed optimizations (Table 2).
+# ---------------------------------------------------------------------------
+
+RQ1_CASES: Tuple[IssueCase, ...] = (
+    _case(
+        104875, "rq1", "reported", "minmax", 0.55,
+        """
+define i8 @src(i8 %x) {
+  %w = zext i8 %x to i32
+  %m = call i32 @llvm.umin.i32(i32 %w, i32 200)
+  %r = trunc i32 %m to i8
+  ret i8 %r
+}
+""",
+        """
+define i8 @src(i8 %x) {
+  %r = call i8 @llvm.umin.i8(i8 %x, i8 200)
+  ret i8 %r
+}
+""",
+        "umin sandwiched between zext/trunc narrows to the small type"),
+    _case(
+        107228, "rq1", "reported", "bit-tricks", 0.25,
+        """
+define i8 @src(i8 %x) {
+  %n = xor i8 %x, -1
+  %r = add i8 %n, 1
+  ret i8 %r
+}
+""",
+        """
+define i8 @src(i8 %x) {
+  %r = sub i8 0, %x
+  ret i8 %r
+}
+""",
+        "~x + 1 is the two's complement negation"),
+    _case(
+        108451, "rq1", "reported", "logic", 0.3,
+        """
+define i8 @src(i8 %a, i8 %b) {
+  %na = xor i8 %a, -1
+  %nb = xor i8 %b, -1
+  %r = and i8 %na, %nb
+  ret i8 %r
+}
+""",
+        """
+define i8 @src(i8 %a, i8 %b) {
+  %o = or i8 %a, %b
+  %r = xor i8 %o, -1
+  ret i8 %r
+}
+""",
+        "De Morgan: ~a & ~b == ~(a | b)"),
+    _case(
+        108559, "rq1", "reported", "logic", 0.35,
+        """
+define i8 @src(i8 %x, i8 %y) {
+  %m = and i8 %x, %y
+  %r = sub i8 %x, %m
+  ret i8 %r
+}
+""",
+        """
+define i8 @src(i8 %x, i8 %y) {
+  %n = xor i8 %y, -1
+  %r = and i8 %x, %n
+  ret i8 %r
+}
+""",
+        "x - (x & y) == x & ~y"),
+    _case(
+        110591, "rq1", "reported", "minmax", 0.4,
+        """
+define i1 @src(i8 %x) {
+  %m = call i8 @llvm.smax.i8(i8 %x, i8 -1)
+  %r = icmp eq i8 %m, -1
+  ret i1 %r
+}
+""",
+        """
+define i1 @src(i8 %x) {
+  %r = icmp slt i8 %x, 0
+  ret i1 %r
+}
+""",
+        "smax(x, -1) == -1 iff x <= -1 iff x < 0"),
+    _case(
+        115466, "rq1", "reported", "icmp-range", 0.35,
+        """
+define i1 @src(i8 %x) {
+  %a = icmp eq i8 %x, 0
+  %b = icmp eq i8 %x, 1
+  %r = or i1 %a, %b
+  ret i1 %r
+}
+""",
+        """
+define i1 @src(i8 %x) {
+  %r = icmp ult i8 %x, 2
+  ret i1 %r
+}
+""",
+        "x == 0 || x == 1 folds to an unsigned range check"),
+    _case(
+        118155, "rq1", "reported", "fp", 0.85,
+        """
+define i1 @src(double %x) {
+  %d = fmul double %x, 2.000000e+00
+  %r = fcmp ogt double %d, 0.000000e+00
+  ret i1 %r
+}
+""",
+        """
+define i1 @src(double %x) {
+  %r = fcmp ogt double %x, 0.000000e+00
+  ret i1 %r
+}
+""",
+        "doubling never changes the sign test (NaN stays unordered)"),
+    _case(
+        122235, "rq1", "reported", "flags", 0.45,
+        """
+define i8 @src(i8 %x) {
+  %m = mul nuw i8 %x, 6
+  %r = lshr i8 %m, 1
+  ret i8 %r
+}
+""",
+        """
+define i8 @src(i8 %x) {
+  %r = mul nuw i8 %x, 3
+  ret i8 %r
+}
+""",
+        "halving an even nuw multiply folds into the constant"),
+    _case(
+        122388, "rq1", "reported", "select-idioms", 0.5,
+        """
+define i8 @src(i8 %x) {
+  %c = icmp slt i8 %x, 0
+  %n = sub i8 0, %x
+  %r = select i1 %c, i8 %n, i8 %x
+  ret i8 %r
+}
+""",
+        """
+define i8 @src(i8 %x) {
+  %r = call i8 @llvm.abs.i8(i8 %x, i1 false)
+  ret i8 %r
+}
+""",
+        "the classic select-based absolute value is the abs intrinsic"),
+    _case(
+        126056, "rq1", "reported", "bit-tricks", 0.3,
+        """
+define i8 @src(i8 %x) {
+  %s = lshr i8 %x, 7
+  %r = and i8 %s, 1
+  ret i8 %r
+}
+""",
+        """
+define i8 @src(i8 %x) {
+  %r = lshr i8 %x, 7
+  ret i8 %r
+}
+""",
+        "lshr by width-1 already leaves one bit; the mask is dead"),
+    _case(
+        128475, "rq1", "reported", "bit-tricks", 0.5,
+        """
+define i8 @src(i8 %x) {
+  %m = and i8 %x, -128
+  %c = icmp ne i8 %m, 0
+  %r = zext i1 %c to i8
+  ret i8 %r
+}
+""",
+        """
+define i8 @src(i8 %x) {
+  %r = lshr i8 %x, 7
+  ret i8 %r
+}
+""",
+        "sign-bit test materialized as 0/1 is just a logical shift"),
+    _case(
+        128778, "rq1", "reported", "flags", 0.5,
+        """
+define i8 @src(i8 %x) {
+  %m = mul nuw i8 %x, 3
+  %r = udiv i8 %m, 3
+  ret i8 %r
+}
+""",
+        """
+define i8 @src(i8 %x) {
+  ret i8 %x
+}
+""",
+        "a nuw multiply followed by the matching division is the identity"),
+    _case(
+        129947, "rq1", "reported", "memory", 0.9,
+        """
+define i16 @src(ptr %p) {
+  %lo = load i8, ptr %p, align 2
+  %gp = getelementptr i8, ptr %p, i64 1
+  %hi = load i8, ptr %gp, align 1
+  %zlo = zext i8 %lo to i16
+  %zhi = zext i8 %hi to i16
+  %shl = shl nuw i16 %zhi, 8
+  %r = or disjoint i16 %shl, %zlo
+  ret i16 %r
+}
+""",
+        """
+define i16 @src(ptr %p) {
+  %r = load i16, ptr %p, align 2
+  ret i16 %r
+}
+""",
+        "two adjacent byte loads fused into one i16 load"),
+    _case(
+        131444, "rq1", "reported", "vector", 1.0,
+        """
+define <4 x i8> @src(<4 x i8> %v) {
+  %a = shufflevector <4 x i8> %v, <4 x i8> poison, <4 x i32> <i32 3, i32 2, i32 1, i32 0>
+  %b = shufflevector <4 x i8> %a, <4 x i8> poison, <4 x i32> <i32 3, i32 2, i32 1, i32 0>
+  %r = add <4 x i8> %b, %v
+  ret <4 x i8> %r
+}
+""",
+        """
+define <4 x i8> @src(<4 x i8> %v) {
+  %r = shl <4 x i8> %v, splat (i8 1)
+  ret <4 x i8> %r
+}
+""",
+        "double lane reversal cancels; v+v is a shift"),
+    _case(
+        131824, "rq1", "reported", "logic", 0.4,
+        """
+define i8 @src(i8 %a, i8 %b) {
+  %o = or i8 %a, %b
+  %n = and i8 %a, %b
+  %r = xor i8 %o, %n
+  ret i8 %r
+}
+""",
+        """
+define i8 @src(i8 %a, i8 %b) {
+  %r = xor i8 %a, %b
+  ret i8 %r
+}
+""",
+        "(a|b) ^ (a&b) == a ^ b"),
+    _case(
+        132508, "rq1", "reported", "logic", 0.45,
+        """
+define i8 @src(i8 %x, i8 %y) {
+  %m = and i8 %x, %y
+  %o = or i8 %x, %y
+  %r = or i8 %m, %o
+  ret i8 %r
+}
+""",
+        """
+define i8 @src(i8 %x, i8 %y) {
+  %r = or i8 %x, %y
+  ret i8 %r
+}
+""",
+        "(x&y) | (x|y) is absorbed by the disjunction"),
+    _case(
+        134318, "rq1", "reported", "vector", 1.0,
+        """
+define <2 x i16> @src(<2 x i16> %v) {
+  %e0 = extractelement <2 x i16> %v, i64 0
+  %e1 = extractelement <2 x i16> %v, i64 1
+  %i0 = insertelement <2 x i16> poison, i16 %e1, i64 0
+  %i1 = insertelement <2 x i16> %i0, i16 %e0, i64 1
+  %r = add <2 x i16> %i1, %i1
+  ret <2 x i16> %r
+}
+""",
+        """
+define <2 x i16> @src(<2 x i16> %v) {
+  %s = shufflevector <2 x i16> %v, <2 x i16> poison, <2 x i32> <i32 1, i32 0>
+  %r = shl <2 x i16> %s, splat (i16 1)
+  ret <2 x i16> %r
+}
+""",
+        "scalarized swap re-vectorized as one shuffle plus shift"),
+    _case(
+        135411, "rq1", "reported", "logic", 0.3,
+        """
+define i8 @src(i8 %a, i8 %b) {
+  %x = and i8 %a, %b
+  %y = or i8 %a, %b
+  %r = add i8 %x, %y
+  ret i8 %r
+}
+""",
+        """
+define i8 @src(i8 %a, i8 %b) {
+  %r = add i8 %a, %b
+  ret i8 %r
+}
+""",
+        "(a&b) + (a|b) == a + b"),
+    _case(
+        137161, "rq1", "reported", "fp", 0.9,
+        """
+define double @src(double %x) {
+  %b = bitcast double %x to i64
+  %m = and i64 %b, 9223372036854775807
+  %r = bitcast i64 %m to double
+  ret double %r
+}
+""",
+        """
+define double @src(double %x) {
+  %r = call double @llvm.fabs.f64(double %x)
+  ret double %r
+}
+""",
+        "clearing the sign bit through integer bits is exactly fabs"),
+    _case(
+        141479, "rq1", "reported", "logic", 0.45,
+        """
+define i8 @src(i8 %a, i8 %b) {
+  %o = or i8 %a, %b
+  %x = xor i8 %a, %b
+  %r = xor i8 %o, %x
+  ret i8 %r
+}
+""",
+        """
+define i8 @src(i8 %a, i8 %b) {
+  %r = and i8 %a, %b
+  ret i8 %r
+}
+""",
+        "(a|b) ^ (a^b) == a & b"),
+    _case(
+        141753, "rq1", "reported", "flags", 0.55,
+        """
+define i8 @src(i8 %x) {
+  %a = ashr exact i8 %x, 3
+  %r = shl i8 %a, 3
+  ret i8 %r
+}
+""",
+        """
+define i8 @src(i8 %x) {
+  ret i8 %x
+}
+""",
+        "exact ashr then shl by the same amount is the identity"),
+    _case(
+        141930, "rq1", "reported", "select-idioms", 0.35,
+        """
+define i8 @src(i8 %x) {
+  %c = icmp ugt i8 %x, 5
+  %r = select i1 %c, i8 1, i8 0
+  ret i8 %r
+}
+""",
+        """
+define i8 @src(i8 %x) {
+  %c = icmp ugt i8 %x, 5
+  %r = zext i1 %c to i8
+  ret i8 %r
+}
+""",
+        "0/1 select on a compare is a zext"),
+    _case(
+        142497, "rq1", "reported", "minmax", 0.85,
+        """
+define i8 @src(i8 %x) {
+  %lo = call i8 @llvm.smin.i8(i8 %x, i8 100)
+  %r = call i8 @llvm.smax.i8(i8 %lo, i8 100)
+  ret i8 %r
+}
+""",
+        """
+define i8 @src(i8 %x) {
+  ret i8 100
+}
+""",
+        "clamping below then above the same bound pins the value"),
+    _case(
+        142593, "rq1", "reported", "logic", 0.4,
+        """
+define i8 @src(i8 %a, i8 %b) {
+  %x = xor i8 %a, %b
+  %n = and i8 %a, %b
+  %r = or i8 %x, %n
+  ret i8 %r
+}
+""",
+        """
+define i8 @src(i8 %a, i8 %b) {
+  %r = or i8 %a, %b
+  ret i8 %r
+}
+""",
+        "(a^b) | (a&b) == a | b"),
+    _case(
+        143259, "rq1", "reported", "memory", 1.0,
+        """
+define i32 @src(ptr %p) {
+  %v = load <2 x i16>, ptr %p, align 4
+  %e0 = extractelement <2 x i16> %v, i64 0
+  %e1 = extractelement <2 x i16> %v, i64 1
+  %z0 = zext i16 %e0 to i32
+  %z1 = zext i16 %e1 to i32
+  %s = shl nuw i32 %z1, 16
+  %r = or disjoint i32 %s, %z0
+  ret i32 %r
+}
+""",
+        """
+define i32 @src(ptr %p) {
+  %r = load i32, ptr %p, align 4
+  ret i32 %r
+}
+""",
+        "vector load scalarized and reassembled is one wide load"),
+)
+
+
+# ---------------------------------------------------------------------------
+# Lookup helpers
+# ---------------------------------------------------------------------------
+
+def rq1_cases() -> Tuple[IssueCase, ...]:
+    return RQ1_CASES
+
+
+@lru_cache(maxsize=1)
+def rq1_by_id() -> Dict[int, IssueCase]:
+    return {case.issue_id: case for case in RQ1_CASES}

@@ -1,0 +1,1068 @@
+"""The 62 missed optimizations LPO reported to LLVM (Table 3).
+
+Statuses are the paper's ground truth (Confirmed / Fixed / Unconfirmed /
+Duplicate / Wontfix); everything *computable* — Souper and Minotaur
+detectability, interestingness, refinement — is computed by running the
+corresponding subsystem on the IR here, never hard-coded.
+
+The 13 "Fixed" cases correspond one-to-one to the patch rules in
+:mod:`repro.opt.rules.patches`; tests assert that enabling an issue's
+patch makes the stock optimizer rewrite its ``src`` into (a form at least
+as good as) its ``tgt``.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, Tuple
+
+from repro.corpus.issues import IssueCase, _case
+
+RQ2_CASES: Tuple[IssueCase, ...] = (
+    # ----------------------------------------------------------------- Fixed
+    _case(
+        128134, "rq2", "Fixed", "minmax", 0.45,
+        """
+define i8 @src(i8 %0) {
+  %2 = call i8 @llvm.umax.i8(i8 %0, i8 1)
+  %3 = shl nuw i8 %2, 1
+  %4 = call i8 @llvm.umax.i8(i8 %3, i8 16)
+  ret i8 %4
+}
+""",
+        """
+define i8 @src(i8 %0) {
+  %2 = shl nuw i8 %0, 1
+  %3 = call i8 @llvm.umax.i8(i8 %2, i8 16)
+  ret i8 %3
+}
+""",
+        "case study 2: the inner clamp is subsumed by the outer one"),
+    _case(
+        133367, "rq2", "Fixed", "fp", 0.8,
+        """
+define i1 @src(double %0) {
+  %2 = fcmp ord double %0, 0.000000e+00
+  %3 = select i1 %2, double %0, double 0.000000e+00
+  %4 = fcmp oeq double %3, 1.000000e+00
+  ret i1 %4
+}
+""",
+        """
+define i1 @src(double %0) {
+  %2 = fcmp oeq double %0, 1.000000e+00
+  ret i1 %2
+}
+""",
+        "case study 3: the NaN guard before an ordered compare is dead"),
+    _case(
+        142674, "rq2", "Fixed", "bit-tricks", 0.4,
+        """
+define i8 @src(i8 %x) {
+  %w = zext i8 %x to i32
+  %s = lshr i32 %w, 16
+  %r = trunc i32 %s to i8
+  ret i8 %r
+}
+""",
+        """
+define i8 @src(i8 %x) {
+  ret i8 0
+}
+""",
+        "shifting past the zext source width leaves nothing"),
+    _case(
+        142711, "rq2", "Fixed", "minmax", 0.5,
+        """
+define i8 @src(i32 %0) {
+  %2 = icmp slt i32 %0, 0
+  %3 = tail call i32 @llvm.umin.i32(i32 %0, i32 255)
+  %4 = trunc nuw i32 %3 to i8
+  %5 = select i1 %2, i8 0, i8 %4
+  ret i8 %5
+}
+""",
+        """
+define i8 @src(i32 %0) {
+  %2 = tail call i32 @llvm.smax.i32(i32 %0, i32 0)
+  %3 = tail call i32 @llvm.umin.i32(i32 %2, i32 255)
+  %4 = trunc nuw i32 %3 to i8
+  ret i8 %4
+}
+""",
+        "Figure 1: the select-based clamp becomes smax+umin"),
+    _case(
+        143211, "rq2", "Fixed", "minmax", 0.5,
+        """
+define i1 @src(i32 %x) {
+  %m = call i32 @llvm.umin.i32(i32 %x, i32 42)
+  %r = icmp eq i32 %m, 0
+  ret i1 %r
+}
+""",
+        """
+define i1 @src(i32 %x) {
+  %r = icmp eq i32 %x, 0
+  ret i1 %r
+}
+""",
+        "umin against a non-zero constant preserves the zero test"),
+    _case(
+        143636, "rq2", "Fixed", "memory", 0.85,
+        """
+define i32 @src(ptr %0) {
+  %2 = load i16, ptr %0, align 2
+  %3 = getelementptr i8, ptr %0, i64 2
+  %4 = load i16, ptr %3, align 1
+  %5 = zext i16 %4 to i32
+  %6 = shl nuw i32 %5, 16
+  %7 = zext i16 %2 to i32
+  %8 = or disjoint i32 %6, %7
+  ret i32 %8
+}
+""",
+        """
+define i32 @src(ptr %0) {
+  %2 = load i32, ptr %0, align 2
+  ret i32 %2
+}
+""",
+        "case study 1: adjacent i16 loads fused into one i32 load"),
+    _case(
+        154238, "rq2", "Fixed", "icmp-range", 0.6,
+        """
+define i8 @src(i8 %x) {
+  %a = icmp eq i8 %x, 3
+  %b = icmp eq i8 %x, 7
+  %za = zext i1 %a to i8
+  %zb = zext i1 %b to i8
+  %r = add i8 %za, %zb
+  ret i8 %r
+}
+""",
+        """
+define i8 @src(i8 %x) {
+  %a = icmp eq i8 %x, 3
+  %b = icmp eq i8 %x, 7
+  %o = or i1 %a, %b
+  %r = zext i1 %o to i8
+  ret i8 %r
+}
+""",
+        "adding indicators of exclusive events is their disjunction"),
+    _case(
+        157315, "rq2", "Fixed", "bit-tricks", 0.45,
+        """
+define i32 @src(i32 %x) {
+  %n = sub i32 0, %x
+  %r = call i32 @llvm.abs.i32(i32 %n, i1 false)
+  ret i32 %r
+}
+""",
+        """
+define i32 @src(i32 %x) {
+  %r = call i32 @llvm.abs.i32(i32 %x, i1 false)
+  ret i32 %r
+}
+""",
+        "abs of a negation drops the negation"),
+    _case(
+        157370, "rq2", "Fixed", "bit-tricks", 0.5,
+        """
+define i8 @src(i8 %x) {
+  %a = add i8 %x, 5
+  %r = xor i8 %a, -128
+  ret i8 %r
+}
+""",
+        """
+define i8 @src(i8 %x) {
+  %r = add i8 %x, -123
+  ret i8 %r
+}
+""",
+        "xor with the sign bit folds into the add constant"),
+    _case(
+        157371, "rq2", "Fixed", "flags", 0.6,
+        """
+define i32 @src(i32 %x, i32 %y) {
+  %d = sub nuw i32 %x, %y
+  %r = call i32 @llvm.umin.i32(i32 %d, i32 %x)
+  ret i32 %r
+}
+""",
+        """
+define i32 @src(i32 %x, i32 %y) {
+  %r = sub nuw i32 %x, %y
+  ret i32 %r
+}
+""",
+        "a nuw difference never exceeds the minuend"),
+    _case(
+        157524, "rq2", "Fixed", "flags", 0.5,
+        """
+define i16 @src(i16 %x) {
+  %m = mul nuw i16 %x, 10
+  %r = lshr i16 %m, 1
+  ret i16 %r
+}
+""",
+        """
+define i16 @src(i16 %x) {
+  %r = mul nuw i16 %x, 5
+  ret i16 %r
+}
+""",
+        "halving an even nuw multiply folds into the constant"),
+    _case(
+        163108, "rq2", "Fixed", "bit-tricks", 0.35,
+        """
+define i32 @src(i32 %x) {
+  %s = lshr i32 %x, 31
+  %r = and i32 %s, 1
+  ret i32 %r
+}
+""",
+        """
+define i32 @src(i32 %x) {
+  %r = lshr i32 %x, 31
+  ret i32 %r
+}
+""",
+        "lshr by width-1 already leaves a single bit"),
+    _case(
+        166973, "rq2", "Fixed", "select-idioms", 0.55,
+        """
+define i16 @src(i16 %x, i16 %y) {
+  %c = icmp ult i16 %x, %y
+  %d = sub i16 %x, %y
+  %r = select i1 %c, i16 0, i16 %d
+  ret i16 %r
+}
+""",
+        """
+define i16 @src(i16 %x, i16 %y) {
+  %r = call i16 @llvm.usub.sat.i16(i16 %x, i16 %y)
+  ret i16 %r
+}
+""",
+        "the guarded subtraction is saturating subtraction"),
+    # ------------------------------------------------------------- Confirmed
+    _case(
+        128460, "rq2", "Confirmed", "icmp-range", 0.5,
+        """
+define i1 @src(i32 %x) {
+  %a = icmp eq i32 %x, 0
+  %b = icmp eq i32 %x, 1
+  %c = icmp eq i32 %x, 2
+  %ab = or i1 %a, %b
+  %r = or i1 %ab, %c
+  ret i1 %r
+}
+""",
+        """
+define i1 @src(i32 %x) {
+  %r = icmp ult i32 %x, 3
+  ret i1 %r
+}
+""",
+        "three equality tests merge into one range check"),
+    _case(
+        139641, "rq2", "Confirmed", "bit-tricks", 0.4,
+        """
+define i8 @src(i8 %x) {
+  %a = ashr i8 %x, 7
+  %l = lshr i8 %x, 7
+  %r = add i8 %a, %l
+  ret i8 %r
+}
+""",
+        """
+define i8 @src(i8 %x) {
+  ret i8 0
+}
+""",
+        "arithmetic and logical sign shifts cancel when added"),
+    _case(
+        139786, "rq2", "Confirmed", "icmp-range", 0.4,
+        """
+define i1 @src(i32 %x, i32 %y) {
+  %d = xor i32 %x, %y
+  %r = icmp ult i32 %d, 1
+  ret i1 %r
+}
+""",
+        """
+define i1 @src(i32 %x, i32 %y) {
+  %r = icmp eq i32 %x, %y
+  ret i1 %r
+}
+""",
+        "xor-below-one is equality"),
+    _case(
+        143957, "rq2", "Confirmed", "logic", 0.45,
+        """
+define i32 @src(i32 %x, i32 %y) {
+  %o = or i32 %x, %y
+  %a = and i32 %x, %y
+  %r = sub i32 %o, %a
+  ret i32 %r
+}
+""",
+        """
+define i32 @src(i32 %x, i32 %y) {
+  %r = xor i32 %x, %y
+  ret i32 %r
+}
+""",
+        "(x|y) - (x&y) == x ^ y"),
+    _case(
+        144020, "rq2", "Confirmed", "icmp-range", 0.35,
+        """
+define i1 @src(i8 %x) {
+  %o = or i8 %x, 1
+  %r = icmp ugt i8 %o, 0
+  ret i1 %r
+}
+""",
+        """
+define i1 @src(i8 %x) {
+  ret i1 true
+}
+""",
+        "or with 1 is never zero"),
+    _case(
+        152237, "rq2", "Confirmed", "minmax", 0.55,
+        """
+define i32 @src(i32 %x, i32 %y) {
+  %mx = call i32 @llvm.umax.i32(i32 %x, i32 %y)
+  %r = call i32 @llvm.umin.i32(i32 %x, i32 %mx)
+  ret i32 %r
+}
+""",
+        """
+define i32 @src(i32 %x, i32 %y) {
+  ret i32 %x
+}
+""",
+        "umin(x, umax(x, y)) absorbs to x"),
+    _case(
+        152797, "rq2", "Confirmed", "bit-tricks", 0.5,
+        """
+define i64 @src(i64 %x, i64 %y) {
+  %nx = sub i64 0, %x
+  %ny = sub i64 0, %y
+  %r = mul i64 %nx, %ny
+  ret i64 %r
+}
+""",
+        """
+define i64 @src(i64 %x, i64 %y) {
+  %r = mul i64 %x, %y
+  ret i64 %r
+}
+""",
+        "the product of two negations drops both"),
+    _case(
+        152804, "rq2", "Confirmed", "bit-tricks", 0.25,
+        """
+define i32 @src(i32 %x) {
+  %n = xor i32 %x, -1
+  %r = add i32 %n, 1
+  ret i32 %r
+}
+""",
+        """
+define i32 @src(i32 %x) {
+  %r = sub i32 0, %x
+  ret i32 %r
+}
+""",
+        "~x + 1 is negation (i32 variant)"),
+    _case(
+        153991, "rq2", "Confirmed", "icmp-range", 0.35,
+        """
+define i1 @src(i8 %x) {
+  %m = and i8 %x, 127
+  %r = icmp slt i8 %m, 0
+  ret i1 %r
+}
+""",
+        """
+define i1 @src(i8 %x) {
+  ret i1 false
+}
+""",
+        "masking the sign bit makes the sign test vacuous"),
+    _case(
+        154242, "rq2", "Confirmed", "minmax", 0.5,
+        """
+define i1 @src(i16 %a, i16 %b) {
+  %mx = call i16 @llvm.umax.i16(i16 %a, i16 %b)
+  %mn = call i16 @llvm.umin.i16(i16 %a, i16 %b)
+  %r = icmp ult i16 %mx, %mn
+  ret i1 %r
+}
+""",
+        """
+define i1 @src(i16 %a, i16 %b) {
+  ret i1 false
+}
+""",
+        "a maximum is never below the matching minimum"),
+    _case(
+        154246, "rq2", "Confirmed", "bit-tricks", 0.7,
+        """
+define i8 @src(i8 %x) {
+  %h = shl i8 %x, 4
+  %l = lshr i8 %x, 4
+  %r = or i8 %h, %l
+  ret i8 %r
+}
+""",
+        """
+define i8 @src(i8 %x) {
+  %r = call i8 @llvm.fshl.i8(i8 %x, i8 %x, i8 4)
+  ret i8 %r
+}
+""",
+        "the shift pair is a rotate"),
+    _case(
+        157486, "rq2", "Confirmed", "logic", 0.3,
+        """
+define i1 @src(i32 %x, i32 %y) {
+  %c = icmp eq i32 %x, %y
+  %r = xor i1 %c, true
+  ret i1 %r
+}
+""",
+        """
+define i1 @src(i32 %x, i32 %y) {
+  %r = icmp ne i32 %x, %y
+  ret i1 %r
+}
+""",
+        "negated equality is inequality"),
+    _case(
+        163084, "rq2", "Confirmed", "select-idioms", 0.6,
+        """
+define i32 @src(i32 %x, i32 %y) {
+  %c = icmp eq i32 %x, 0
+  %o = or i32 %x, %y
+  %r = select i1 %c, i32 %y, i32 %o
+  ret i32 %r
+}
+""",
+        """
+define i32 @src(i32 %x, i32 %y) {
+  %r = or i32 %x, %y
+  ret i32 %r
+}
+""",
+        "both select arms compute the same disjunction"),
+    _case(
+        163109, "rq2", "Confirmed", "icmp-range", 0.65,
+        """
+define i1 @src(i32 %x, i32 %y) {
+  %a = icmp ne i32 %x, 0
+  %b = icmp ne i32 %y, 0
+  %za = zext i1 %a to i8
+  %zb = zext i1 %b to i8
+  %s = add i8 %za, %zb
+  %r = icmp eq i8 %s, 2
+  ret i1 %r
+}
+""",
+        """
+define i1 @src(i32 %x, i32 %y) {
+  %a = icmp ne i32 %x, 0
+  %b = icmp ne i32 %y, 0
+  %r = and i1 %a, %b
+  ret i1 %r
+}
+""",
+        "counting two indicator bits to 2 is a conjunction"),
+    _case(
+        163110, "rq2", "Confirmed", "bit-tricks", 0.45,
+        """
+define i32 @src(i32 %x) {
+  %a = ashr i32 %x, 31
+  %r = sub i32 0, %a
+  ret i32 %r
+}
+""",
+        """
+define i32 @src(i32 %x) {
+  %r = lshr i32 %x, 31
+  ret i32 %r
+}
+""",
+        "negated arithmetic sign fill is the logical sign bit"),
+    _case(
+        163112, "rq2", "Confirmed", "logic", 0.35,
+        """
+define i8 @src(i8 %x) {
+  %o = or i8 %x, 8
+  %r = and i8 %o, 8
+  ret i8 %r
+}
+""",
+        """
+define i8 @src(i8 %x) {
+  ret i8 8
+}
+""",
+        "or forces the bit, and extracts exactly it"),
+    _case(
+        163115, "rq2", "Confirmed", "minmax", 0.5,
+        """
+define i1 @src(i32 %x, i32 %y) {
+  %m = call i32 @llvm.umax.i32(i32 %x, i32 %y)
+  %r = icmp ugt i32 %x, %m
+  ret i1 %r
+}
+""",
+        """
+define i1 @src(i32 %x, i32 %y) {
+  ret i1 false
+}
+""",
+        "nothing exceeds the maximum it participates in"),
+    _case(
+        166878, "rq2", "Confirmed", "minmax", 0.6,
+        """
+define i16 @src(i16 %x) {
+  %a = call i16 @llvm.umax.i16(i16 %x, i16 5)
+  %r = call i16 @llvm.umin.i16(i16 %a, i16 3)
+  ret i16 %r
+}
+""",
+        """
+define i16 @src(i16 %x) {
+  ret i16 3
+}
+""",
+        "clamping above 5 then below 3 pins the result at 3"),
+    _case(
+        166885, "rq2", "Confirmed", "icmp-range", 0.4,
+        """
+define i1 @src(i8 %x) {
+  %w = sext i8 %x to i32
+  %r = icmp slt i32 %w, 0
+  ret i1 %r
+}
+""",
+        """
+define i1 @src(i8 %x) {
+  %r = icmp slt i8 %x, 0
+  ret i1 %r
+}
+""",
+        "the sign test narrows through the sext"),
+    _case(
+        167003, "rq2", "Confirmed", "flags", 0.5,
+        """
+define i8 @src(i8 %x) {
+  %r = call i8 @llvm.uadd.sat.i8(i8 %x, i8 -1)
+  ret i8 %r
+}
+""",
+        """
+define i8 @src(i8 %x) {
+  ret i8 -1
+}
+""",
+        "saturating add of UMAX always saturates"),
+    _case(
+        167014, "rq2", "Confirmed", "bit-tricks", 0.75,
+        """
+define i8 @src(i8 %x, i8 %y) {
+  %p = shl i8 1, %y
+  %r = udiv i8 %x, %p
+  ret i8 %r
+}
+""",
+        """
+define i8 @src(i8 %x, i8 %y) {
+  %r = lshr i8 %x, %y
+  ret i8 %r
+}
+""",
+        "dividing by a variable power of two is a shift"),
+    _case(
+        167055, "rq2", "Confirmed", "icmp-range", 0.55,
+        """
+define i1 @src(i32 %x) {
+  %a = icmp slt i32 %x, 0
+  %b = icmp eq i32 %x, 0
+  %r = or i1 %a, %b
+  ret i1 %r
+}
+""",
+        """
+define i1 @src(i32 %x) {
+  %r = icmp slt i32 %x, 1
+  ret i1 %r
+}
+""",
+        "negative-or-zero is less-than-one"),
+    _case(
+        167096, "rq2", "Confirmed", "minmax", 0.6,
+        """
+define i32 @src(i32 %x) {
+  %s = ashr i32 %x, 31
+  %r = and i32 %s, %x
+  ret i32 %r
+}
+""",
+        """
+define i32 @src(i32 %x) {
+  %r = call i32 @llvm.smin.i32(i32 %x, i32 0)
+  ret i32 %r
+}
+""",
+        "sign-mask-and keeps only negative values: smin with zero"),
+    _case(
+        167173, "rq2", "Confirmed", "flags", 0.45,
+        """
+define i32 @src(i32 %x) {
+  %m = mul i32 %x, 3
+  %r = add i32 %m, %x
+  ret i32 %r
+}
+""",
+        """
+define i32 @src(i32 %x) {
+  %r = shl i32 %x, 2
+  ret i32 %r
+}
+""",
+        "3x + x is 4x, a shift"),
+    _case(
+        167183, "rq2", "Confirmed", "icmp-range", 0.4,
+        """
+define i1 @src(i8 %x) {
+  %m = urem i8 %x, 4
+  %r = icmp ult i8 %m, 4
+  ret i1 %r
+}
+""",
+        """
+define i1 @src(i8 %x) {
+  ret i1 true
+}
+""",
+        "a remainder is always below its modulus"),
+    _case(
+        167190, "rq2", "Confirmed", "minmax", 0.45,
+        """
+define i1 @src(i32 %x) {
+  %m = call i32 @llvm.smax.i32(i32 %x, i32 0)
+  %r = icmp slt i32 %m, 0
+  ret i1 %r
+}
+""",
+        """
+define i1 @src(i32 %x) {
+  ret i1 false
+}
+""",
+        "a value clamped to be non-negative is never negative"),
+    _case(
+        170020, "rq2", "Confirmed", "select-idioms", 0.7,
+        """
+define i32 @src(i1 %c, i32 %x) {
+  %a = add i32 %x, 1
+  %b = add i32 %x, 2
+  %r = select i1 %c, i32 %a, i32 %b
+  ret i32 %r
+}
+""",
+        """
+define i32 @src(i1 %c, i32 %x) {
+  %k = select i1 %c, i32 1, i32 2
+  %r = add i32 %x, %k
+  ret i32 %r
+}
+""",
+        "the common addend hoists out of the select"),
+    _case(
+        170071, "rq2", "Confirmed", "select-idioms", 0.5,
+        """
+define i8 @src(i1 %c) {
+  %s = select i1 %c, i8 1, i8 0
+  %r = xor i8 %s, 1
+  ret i8 %r
+}
+""",
+        """
+define i8 @src(i1 %c) {
+  %r = select i1 %c, i8 0, i8 1
+  ret i8 %r
+}
+""",
+        "xor by one swaps the select constants"),
+    # ----------------------------------------------------------- Unconfirmed
+    _case(
+        143030, "rq2", "Unconfirmed", "fp", 0.8,
+        """
+define double @src(double %x) {
+  %a = fmul double %x, -1.000000e+00
+  %r = fmul double %a, -1.000000e+00
+  ret double %r
+}
+""",
+        """
+define double @src(double %x) {
+  ret double %x
+}
+""",
+        "two sign flips by multiplication cancel exactly"),
+    _case(
+        143630, "rq2", "Unconfirmed", "bit-tricks", 0.6,
+        """
+define i1 @src(i32 %x) {
+  %p = call i32 @llvm.ctpop.i32(i32 %x)
+  %r = icmp eq i32 %p, 0
+  ret i1 %r
+}
+""",
+        """
+define i1 @src(i32 %x) {
+  %r = icmp eq i32 %x, 0
+  ret i1 %r
+}
+""",
+        "zero population count means zero"),
+    _case(
+        143649, "rq2", "Unconfirmed", "bit-tricks", 0.7,
+        """
+define i32 @src(i32 %x) {
+  %b = call i32 @llvm.bswap.i32(i32 %x)
+  %r = lshr i32 %b, 24
+  ret i32 %r
+}
+""",
+        """
+define i32 @src(i32 %x) {
+  %r = and i32 %x, 255
+  ret i32 %r
+}
+""",
+        "the top byte after bswap is the original low byte"),
+    _case(
+        152788, "rq2", "Unconfirmed", "minmax", 0.4,
+        """
+define i1 @src(i8 %x) {
+  %m = call i8 @llvm.umax.i8(i8 %x, i8 1)
+  %r = icmp eq i8 %m, 0
+  ret i1 %r
+}
+""",
+        """
+define i1 @src(i8 %x) {
+  ret i1 false
+}
+""",
+        "a value clamped to at least 1 is never 0"),
+    _case(
+        154025, "rq2", "Unconfirmed", "icmp-range", 0.6,
+        """
+define i8 @src(i32 %x) {
+  %a = icmp slt i32 %x, 0
+  %b = icmp sgt i32 %x, 0
+  %za = zext i1 %a to i8
+  %zb = zext i1 %b to i8
+  %r = or i8 %za, %zb
+  ret i8 %r
+}
+""",
+        """
+define i8 @src(i32 %x) {
+  %c = icmp ne i32 %x, 0
+  %r = zext i1 %c to i8
+  ret i8 %r
+}
+""",
+        "sign indicator bits combine to a non-zero test"),
+    _case(
+        154035, "rq2", "Unconfirmed", "bit-tricks", 0.4,
+        """
+define i8 @src(i8 %x) {
+  %d = add i8 %x, %x
+  %r = and i8 %d, 1
+  ret i8 %r
+}
+""",
+        """
+define i8 @src(i8 %x) {
+  ret i8 0
+}
+""",
+        "a doubled value is even"),
+    _case(
+        154258, "rq2", "Unconfirmed", "icmp-range", 0.45,
+        """
+define i1 @src(i16 %x, i16 %y) {
+  %d = sub i16 %x, %y
+  %r = icmp ult i16 %d, 1
+  ret i1 %r
+}
+""",
+        """
+define i1 @src(i16 %x, i16 %y) {
+  %r = icmp eq i16 %x, %y
+  ret i1 %r
+}
+""",
+        "difference-below-one is equality"),
+    _case(
+        163093, "rq2", "Unconfirmed", "fp", 0.75,
+        """
+define double @src(double %x) {
+  %a = fsub double -0.000000e+00, %x
+  %r = fsub double -0.000000e+00, %a
+  ret double %r
+}
+""",
+        """
+define double @src(double %x) {
+  ret double %x
+}
+""",
+        "double negation is the identity, including signed zeros"),
+    _case(
+        166887, "rq2", "Unconfirmed", "bit-tricks", 0.55,
+        """
+define i8 @src(i8 %x) {
+  %m = and i8 %x, 1
+  %r = mul i8 %m, %m
+  ret i8 %r
+}
+""",
+        """
+define i8 @src(i8 %x) {
+  %r = and i8 %x, 1
+  ret i8 %r
+}
+""",
+        "a 0/1 value squared is itself"),
+    _case(
+        166890, "rq2", "Unconfirmed", "logic", 0.5,
+        """
+define i8 @src(i8 %x) {
+  %c = icmp ne i8 %x, 0
+  %s = sext i1 %c to i8
+  %r = and i8 %s, 1
+  ret i8 %r
+}
+""",
+        """
+define i8 @src(i8 %x) {
+  %c = icmp ne i8 %x, 0
+  %r = zext i1 %c to i8
+  ret i8 %r
+}
+""",
+        "masking a sign-extended flag is a zero extension"),
+    _case(
+        167059, "rq2", "Unconfirmed", "minmax", 0.5,
+        """
+define i32 @src(i32 %x, i32 %y) {
+  %inner = call i32 @llvm.umin.i32(i32 %y, i32 %x)
+  %r = call i32 @llvm.umin.i32(i32 %x, i32 %inner)
+  ret i32 %r
+}
+""",
+        """
+define i32 @src(i32 %x, i32 %y) {
+  %r = call i32 @llvm.umin.i32(i32 %x, i32 %y)
+  ret i32 %r
+}
+""",
+        "nested umin repeats an operand"),
+    _case(
+        167079, "rq2", "Unconfirmed", "fp", 0.7,
+        """
+define i1 @src(double %x) {
+  %a = call double @llvm.fabs.f64(double %x)
+  %r = fcmp oeq double %a, -1.000000e+00
+  ret i1 %r
+}
+""",
+        """
+define i1 @src(double %x) {
+  ret i1 false
+}
+""",
+        "an absolute value never equals a negative constant"),
+    _case(
+        167090, "rq2", "Unconfirmed", "logic", 0.35,
+        """
+define i32 @src(i32 %x, i32 %y) {
+  %a = xor i32 %x, %y
+  %r = xor i32 %a, %y
+  ret i32 %r
+}
+""",
+        """
+define i32 @src(i32 %x, i32 %y) {
+  ret i32 %x
+}
+""",
+        "xor twice by the same value cancels"),
+    _case(
+        167178, "rq2", "Unconfirmed", "minmax", 0.55,
+        """
+define i16 @src(i16 %x, i16 %y) {
+  %mx = call i16 @llvm.umax.i16(i16 %x, i16 %y)
+  %mn = call i16 @llvm.umin.i16(i16 %x, i16 %y)
+  %r = add i16 %mx, %mn
+  ret i16 %r
+}
+""",
+        """
+define i16 @src(i16 %x, i16 %y) {
+  %r = add i16 %x, %y
+  ret i16 %r
+}
+""",
+        "max plus min is the plain sum"),
+    # --------------------------------------------------------------- Wontfix
+    _case(
+        130954, "rq2", "Wontfix", "flags", 0.6,
+        """
+define i32 @src(i32 %x) {
+  %r = mul i32 %x, 5
+  ret i32 %r
+}
+""",
+        """
+define i32 @src(i32 %x) {
+  %s = shl i32 %x, 2
+  %r = add i32 %s, %x
+  ret i32 %r
+}
+""",
+        "mul-to-shift-add: handled by the backend, wontfix"),
+    _case(
+        132628, "rq2", "Wontfix", "logic", 0.65,
+        """
+define i8 @src(i8 %x) {
+  %s = shl i8 %x, 4
+  %r = and i8 %s, 48
+  ret i8 %r
+}
+""",
+        """
+define i8 @src(i8 %x) {
+  %m = and i8 %x, 3
+  %r = shl i8 %m, 4
+  ret i8 %r
+}
+""",
+        "mask ordering change: would block other folds, wontfix"),
+    _case(
+        167199, "rq2", "Wontfix", "logic", 0.5,
+        """
+define i8 @src(i8 %x, i8 %y) {
+  %a = and i8 %x, 1
+  %b = and i8 %y, 1
+  %c = xor i8 %a, %b
+  %r = and i8 %c, 1
+  ret i8 %r
+}
+""",
+        """
+define i8 @src(i8 %x, i8 %y) {
+  %a = and i8 %x, 1
+  %b = and i8 %y, 1
+  %r = xor i8 %a, %b
+  ret i8 %r
+}
+""",
+        "application-specific parity cleanup, wontfix"),
+    # ------------------------------------------------------------- Duplicate
+    _case(
+        153999, "rq2", "Duplicate", "bit-tricks", 0.25,
+        """
+define i16 @src(i16 %x) {
+  %n = xor i16 %x, -1
+  %r = add i16 %n, 1
+  ret i16 %r
+}
+""",
+        """
+define i16 @src(i16 %x) {
+  %r = sub i16 0, %x
+  ret i16 %r
+}
+""",
+        "duplicate of the i32 negation idiom at i16"),
+    _case(
+        154000, "rq2", "Duplicate", "logic", 0.3,
+        """
+define i32 @src(i32 %a, i32 %b) {
+  %na = xor i32 %a, -1
+  %nb = xor i32 %b, -1
+  %r = or i32 %na, %nb
+  ret i32 %r
+}
+""",
+        """
+define i32 @src(i32 %a, i32 %b) {
+  %x = and i32 %a, %b
+  %r = xor i32 %x, -1
+  ret i32 %r
+}
+""",
+        "De Morgan, or-form (duplicate family)"),
+    _case(
+        157372, "rq2", "Duplicate", "flags", 0.6,
+        """
+define i8 @src(i8 %x, i8 %y) {
+  %d = sub nuw i8 %x, %y
+  %r = call i8 @llvm.umin.i8(i8 %d, i8 %x)
+  ret i8 %r
+}
+""",
+        """
+define i8 @src(i8 %x, i8 %y) {
+  %r = sub nuw i8 %x, %y
+  ret i8 %r
+}
+""",
+        "duplicate of the umin/sub-nuw issue at i8"),
+    _case(
+        167094, "rq2", "Duplicate", "logic", 0.35,
+        """
+define i32 @src(i32 %x) {
+  %o = or i32 %x, 16
+  %r = and i32 %o, 16
+  ret i32 %r
+}
+""",
+        """
+define i32 @src(i32 %x) {
+  ret i32 16
+}
+""",
+        "duplicate of the or/and bit-pinning issue at i32"),
+)
+
+
+def rq2_cases() -> Tuple[IssueCase, ...]:
+    return RQ2_CASES
+
+
+@lru_cache(maxsize=1)
+def rq2_by_id() -> Dict[int, IssueCase]:
+    return {case.issue_id: case for case in RQ2_CASES}
+
+
+@lru_cache(maxsize=1)
+def rq2_status_counts() -> Dict[str, int]:
+    counts: Dict[str, int] = {}
+    for case in RQ2_CASES:
+        counts[case.status] = counts.get(case.status, 0) + 1
+    return counts

@@ -1,0 +1,94 @@
+"""Exception hierarchy shared by every repro subsystem.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch one type at the pipeline boundary.  Parse errors carry
+LLVM-``opt``-style location information because the LPO feedback loop sends
+the rendered message back to the LLM verbatim.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class IRError(ReproError):
+    """Raised when an IR object is constructed or mutated inconsistently."""
+
+
+class TypeMismatchError(IRError):
+    """Raised when operand types do not satisfy an instruction's contract."""
+
+
+class ParseError(ReproError):
+    """A syntax error in textual IR, rendered in LLVM ``opt`` style.
+
+    Attributes:
+        line: 1-based line number of the offending token.
+        column: 1-based column number of the offending token.
+        source_line: the raw text of the offending line, if available.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0,
+                 source_line: str = ""):
+        super().__init__(message)
+        self.message = message
+        self.line = line
+        self.column = column
+        self.source_line = source_line
+
+    def render(self) -> str:
+        """Render the error the way ``opt`` prints parse diagnostics."""
+        out = f"error: {self.message}"
+        if self.source_line:
+            caret = " " * max(self.column - 1, 0) + "^"
+            out = f"{out}\n{self.source_line}\n{caret}"
+        return out
+
+
+class VerificationError(ReproError):
+    """Raised when the module verifier finds malformed IR."""
+
+
+class EvaluationError(ReproError):
+    """Raised when the interpreter is given IR it cannot execute."""
+
+
+class UndefinedBehaviorError(EvaluationError):
+    """Immediate undefined behavior encountered during concrete evaluation.
+
+    Examples: division by zero, branching on poison, loading through a
+    poison pointer, out-of-bounds access to an argument buffer.
+    """
+
+    def __init__(self, reason: str):
+        super().__init__(f"undefined behavior: {reason}")
+        self.reason = reason
+
+
+class SolverError(ReproError):
+    """Raised when the SAT/bit-blasting backend cannot encode a query."""
+
+
+class SynthesisError(ReproError):
+    """Raised by the baseline superoptimizers on unsupported input."""
+
+
+class TimeoutExpired(ReproError):
+    """A tool exceeded its configured (simulated or wall-clock) budget."""
+
+    def __init__(self, budget_seconds: float, elapsed_seconds: float):
+        super().__init__(
+            f"timeout: budget {budget_seconds:.1f}s exceeded "
+            f"(elapsed {elapsed_seconds:.1f}s)")
+        self.budget_seconds = budget_seconds
+        self.elapsed_seconds = elapsed_seconds
+
+
+class LLMError(ReproError):
+    """Raised by LLM clients on malformed requests or exhausted budgets."""
+
+
+class ConfigError(ReproError):
+    """Raised when pipeline configuration values are inconsistent."""

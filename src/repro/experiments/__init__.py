@@ -1,0 +1,52 @@
+"""Experiment runners: one per paper table/figure."""
+
+from repro.experiments.impact import (
+    FIXED_ISSUE_IDS,
+    ImpactResults,
+    PatchImpact,
+    render_table5,
+    run_impact,
+)
+from repro.experiments.rq1 import (
+    RQ1Config,
+    RQ1Results,
+    render_table2,
+    run_rq1,
+)
+from repro.experiments.rq2 import (
+    DiscoveryReport,
+    RQ2Config,
+    RQ2Results,
+    render_table3,
+    run_discovery,
+    run_rq2,
+)
+from repro.experiments.rq3 import (
+    RQ3Config,
+    RQ3Results,
+    ToolThroughput,
+    render_table4,
+    run_rq3,
+    sample_windows,
+)
+from repro.experiments.spec import (
+    SPEC_BENCHMARKS,
+    SpecResults,
+    SpecRun,
+    render_figure5,
+    run_spec,
+)
+from repro.experiments.tables import render_table, render_table1
+
+__all__ = [
+    "FIXED_ISSUE_IDS", "ImpactResults", "PatchImpact", "render_table5",
+    "run_impact",
+    "RQ1Config", "RQ1Results", "render_table2", "run_rq1",
+    "DiscoveryReport", "RQ2Config", "RQ2Results", "render_table3",
+    "run_discovery", "run_rq2",
+    "RQ3Config", "RQ3Results", "ToolThroughput", "render_table4",
+    "run_rq3", "sample_windows",
+    "SPEC_BENCHMARKS", "SpecResults", "SpecRun", "render_figure5",
+    "run_spec",
+    "render_table", "render_table1",
+]

@@ -1,0 +1,160 @@
+"""RQ1 (Table 2): detecting previously reported missed optimizations.
+
+Runs LPO and LPO− with each model over the 25-issue benchmark for N
+rounds, plus Souper (default and enum 1-3) and Minotaur once each, and
+renders the detection matrix the way Table 2 presents it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.baselines.minotaur import Minotaur
+from repro.baselines.souper import Souper
+from repro.core.pipeline import LPOPipeline, PipelineConfig, window_from_text
+from repro.corpus.issues import IssueCase, rq1_cases
+from repro.experiments.tables import format_count_cell, render_table
+from repro.llm.profiles import RQ1_MODELS, ModelProfile
+from repro.llm.simulated import SimulatedLLM
+
+
+@dataclass
+class RQ1Config:
+    """Experiment parameters (paper defaults unless noted)."""
+
+    rounds: int = 5
+    models: Sequence[ModelProfile] = RQ1_MODELS
+    cases: Sequence[IssueCase] = ()
+    souper_timeout: float = 10.0         # scaled down from 20 minutes
+    enum_values: Sequence[int] = (1, 2, 3)
+    include_baselines: bool = True
+    attempt_limit: int = 2
+    seed: int = 0
+
+    def resolved_cases(self) -> Sequence[IssueCase]:
+        return self.cases if self.cases else rq1_cases()
+
+
+@dataclass
+class RQ1Results:
+    """The full detection matrix."""
+
+    rounds: int
+    #: (model name, variant) -> issue id -> detection count over rounds
+    lpo_counts: Dict[Tuple[str, str], Dict[int, int]] = field(
+        default_factory=dict)
+    souper_default: Dict[int, bool] = field(default_factory=dict)
+    souper_enum: Dict[int, bool] = field(default_factory=dict)
+    minotaur: Dict[int, bool] = field(default_factory=dict)
+    issue_ids: List[int] = field(default_factory=list)
+
+    # -- aggregates (the Average / Total rows) ---------------------------
+    def average_per_round(self, model: str, variant: str) -> float:
+        counts = self.lpo_counts.get((model, variant), {})
+        return sum(counts.values()) / max(self.rounds, 1)
+
+    def total_detected(self, model: str, variant: str) -> int:
+        counts = self.lpo_counts.get((model, variant), {})
+        return sum(1 for count in counts.values() if count > 0)
+
+    def souper_total(self) -> int:
+        detected = {issue for issue, hit in self.souper_default.items()
+                    if hit}
+        detected |= {issue for issue, hit in self.souper_enum.items()
+                     if hit}
+        return len(detected)
+
+    def minotaur_total(self) -> int:
+        return sum(1 for hit in self.minotaur.values() if hit)
+
+
+def run_rq1(config: Optional[RQ1Config] = None) -> RQ1Results:
+    """Run the full RQ1 experiment."""
+    config = config if config is not None else RQ1Config()
+    cases = config.resolved_cases()
+    results = RQ1Results(rounds=config.rounds,
+                         issue_ids=[case.issue_id for case in cases])
+
+    for profile in config.models:
+        for variant, attempt_limit in (("LPO-", 1),
+                                       ("LPO", config.attempt_limit)):
+            client = SimulatedLLM(profile, seed=config.seed)
+            pipeline = LPOPipeline(client, PipelineConfig(
+                attempt_limit=attempt_limit))
+            counts: Dict[int, int] = {}
+            for case in cases:
+                window = window_from_text(case.src)
+                hits = 0
+                for round_index in range(config.rounds):
+                    outcome = pipeline.optimize_window(
+                        window, round_seed=round_index)
+                    if outcome.found:
+                        hits += 1
+                counts[case.issue_id] = hits
+            results.lpo_counts[(profile.name, variant)] = counts
+
+    if config.include_baselines:
+        for case in cases:
+            function = case.src_function()
+            default = Souper(enum=0,
+                             timeout_seconds=config.souper_timeout)
+            results.souper_default[case.issue_id] = (
+                default.optimize(function).detected)
+            enum_hit = False
+            for enum in config.enum_values:
+                souper = Souper(enum=enum,
+                                timeout_seconds=config.souper_timeout)
+                if souper.optimize(function).detected:
+                    enum_hit = True
+                    break
+            results.souper_enum[case.issue_id] = enum_hit
+            results.minotaur[case.issue_id] = (
+                Minotaur().optimize(function).detected)
+    return results
+
+
+def render_table2(results: RQ1Results,
+                  models: Sequence[ModelProfile] = RQ1_MODELS) -> str:
+    """Render the detection matrix in Table 2's layout."""
+    headers: List[str] = ["Issue ID"]
+    for profile in models:
+        headers.append(f"{profile.name} LPO-")
+        headers.append(f"{profile.name} LPO")
+    headers += ["SouperDef", "SouperEnum", "Minotaur"]
+
+    rows: List[List[str]] = []
+    for issue_id in results.issue_ids:
+        row: List[str] = [str(issue_id)]
+        for profile in models:
+            for variant in ("LPO-", "LPO"):
+                counts = results.lpo_counts.get(
+                    (profile.name, variant), {})
+                row.append(format_count_cell(counts.get(issue_id, 0),
+                                             results.rounds))
+        row.append("Y" if results.souper_default.get(issue_id) else "")
+        row.append("Y" if results.souper_enum.get(issue_id) else "")
+        row.append("Y" if results.minotaur.get(issue_id) else "")
+        rows.append(row)
+
+    average_row: List[str] = ["Average"]
+    total_row: List[str] = ["Total"]
+    for profile in models:
+        for variant in ("LPO-", "LPO"):
+            average_row.append(
+                f"{results.average_per_round(profile.name, variant):.1f}")
+            total_row.append(
+                str(results.total_detected(profile.name, variant)))
+    average_row += ["N/A", "N/A", "N/A"]
+    souper_default_total = sum(
+        1 for hit in results.souper_default.values() if hit)
+    souper_enum_total = sum(
+        1 for hit in results.souper_enum.values() if hit)
+    total_row += [str(souper_default_total), str(souper_enum_total),
+                  str(results.minotaur_total())]
+    rows.append(average_row)
+    rows.append(total_row)
+    return render_table(
+        headers, rows,
+        title=("Table 2: detections over "
+               f"{results.rounds} rounds per model/variant."))

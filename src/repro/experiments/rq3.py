@@ -1,0 +1,124 @@
+"""RQ3 (Table 4): throughput and cost of LPO vs Souper.
+
+The paper samples 5,000 windows from the corpus and measures seconds per
+case for LPO (local Llama3.3 and API Gemini2.5) and Souper at enum
+0/1/2/3 with a 20-minute per-case timeout.
+
+Offline, time per LPO case = measured pipeline compute + the *modelled*
+serving latency of the simulated LLM (that is where the real cost is);
+Souper numbers are measured wall-clock of the synthesis.  Case counts
+and timeouts are configurable so the benchmark harness can run a scaled
+sample quickly and the full experiment reproducibly.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.baselines.souper import Souper
+from repro.core.extractor import Window, extract_from_corpus
+from repro.core.pipeline import LPOPipeline, PipelineConfig
+from repro.corpus.generator import generate_corpus
+from repro.experiments.tables import render_table
+from repro.llm.profiles import GEMINI25, LLAMA33, ModelProfile
+from repro.llm.simulated import SimulatedLLM
+
+
+@dataclass
+class RQ3Config:
+    cases: int = 150                  # scaled sample (paper: 5,000)
+    modules_per_project: int = 2
+    souper_timeout: float = 10.0      # scaled (paper: 20 minutes)
+    enum_values: Sequence[int] = (1, 2, 3)
+    models: Sequence[ModelProfile] = (LLAMA33, GEMINI25)
+    seed: int = 0
+
+
+@dataclass
+class ToolThroughput:
+    tool: str
+    cases: int = 0
+    total_seconds: float = 0.0        # compute + modelled latency
+    timeouts: int = 0
+    total_cost_usd: float = 0.0
+    findings: int = 0
+
+    @property
+    def seconds_per_case(self) -> float:
+        return self.total_seconds / max(self.cases, 1)
+
+
+@dataclass
+class RQ3Results:
+    tools: List[ToolThroughput] = field(default_factory=list)
+
+    def by_tool(self) -> Dict[str, ToolThroughput]:
+        return {tool.tool: tool for tool in self.tools}
+
+
+def sample_windows(config: RQ3Config) -> List[Window]:
+    corpus = generate_corpus(
+        seed=config.seed, modules_per_project=config.modules_per_project)
+    windows = extract_from_corpus(corpus)
+    return windows[: config.cases]
+
+
+def run_rq3(config: Optional[RQ3Config] = None) -> RQ3Results:
+    config = config if config is not None else RQ3Config()
+    windows = sample_windows(config)
+    results = RQ3Results()
+
+    for profile in config.models:
+        client = SimulatedLLM(profile, seed=config.seed)
+        pipeline = LPOPipeline(client, PipelineConfig())
+        throughput = ToolThroughput(
+            tool=f"LPO/{profile.name}", cases=len(windows))
+        for window in windows:
+            started = time.perf_counter()
+            outcome = pipeline.optimize_window(window,
+                                               round_seed=config.seed)
+            compute = time.perf_counter() - started
+            modelled_latency = outcome.usage.latency_seconds
+            throughput.total_seconds += compute + modelled_latency
+            throughput.total_cost_usd += outcome.usage.cost_usd
+            throughput.findings += int(outcome.found)
+        results.tools.append(throughput)
+
+    default = ToolThroughput(tool="Souper default", cases=len(windows))
+    souper0 = Souper(enum=0, timeout_seconds=config.souper_timeout,
+                     seed=config.seed)
+    for window in windows:
+        outcome = souper0.optimize(window.function)
+        default.total_seconds += outcome.elapsed_seconds
+        default.timeouts += int(outcome.status == "timeout")
+        default.findings += int(outcome.detected)
+    results.tools.append(default)
+
+    for enum in config.enum_values:
+        throughput = ToolThroughput(tool=f"Souper enum={enum}",
+                                    cases=len(windows))
+        souper = Souper(enum=enum, timeout_seconds=config.souper_timeout,
+                        seed=config.seed)
+        for window in windows:
+            outcome = souper.optimize(window.function)
+            throughput.total_seconds += outcome.elapsed_seconds
+            throughput.timeouts += int(outcome.status == "timeout")
+            throughput.findings += int(outcome.detected)
+        results.tools.append(throughput)
+    return results
+
+
+def render_table4(results: RQ3Results) -> str:
+    headers = ("Tool", "Time/Case (s)", "# of Timeouts", "Cost (USD)",
+               "Findings")
+    rows = []
+    for tool in results.tools:
+        cost = f"{tool.total_cost_usd:.2f}" if tool.total_cost_usd else "-"
+        rows.append((tool.tool, f"{tool.seconds_per_case:.2f}",
+                     str(tool.timeouts), cost, str(tool.findings)))
+    return render_table(
+        headers, rows,
+        title=("Table 4: average per-case execution time "
+               "(LPO time includes modelled LLM serving latency)."))

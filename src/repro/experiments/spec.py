@@ -1,0 +1,115 @@
+"""Figure 5: runtime effect of the fixed patches on SPEC CPU2017 Integer.
+
+The paper's finding is a *negative result*: no patch moves the geomean
+outside the ±2% noise band, and neither does a whole year of LLVM
+development.  We reproduce the experiment's structure with a workload
+performance model: each SPEC benchmark's runtime is dominated by memory
+and control behaviour; a peephole patch removes a few instructions from
+the small fraction of hot code that contains its pattern, producing a
+real-but-tiny speedup which measurement noise (modelled per the paper's
+median-of-three protocol) swamps.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.tables import geometric_mean, render_table
+
+#: C/C++ SPEC CPU2017 Integer benchmarks (footnote 3 excludes Fortran).
+SPEC_BENCHMARKS: Tuple[str, ...] = (
+    "500.perlbench", "502.gcc", "505.mcf", "520.omnetpp",
+    "523.xalancbmk", "525.x264", "531.deepsjeng", "541.leela",
+    "557.xz")
+
+#: Patches evaluated in Figure 5 (those most likely to affect SPEC).
+FIGURE5_PATCHES: Tuple[str, ...] = (
+    "128134", "142674", "143211", "143636", "157315", "157370",
+    "157524", "163108 (1)", "163108 (2)")
+
+
+@dataclass
+class SpecRun:
+    """Geomean speedup of one patched compiler vs baseline."""
+
+    label: str
+    speedup: float
+    per_benchmark: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass
+class SpecResults:
+    runs: List[SpecRun] = field(default_factory=list)
+    yearly: Optional[SpecRun] = None
+    noise_band: float = 0.02
+
+
+def _pattern_density(rng: random.Random) -> float:
+    """Fraction of a benchmark's *hot* instructions matching a peephole
+    pattern — realistically O(1e-4..1e-3)."""
+    return rng.uniform(0.5e-4, 8e-4)
+
+
+def _median_of_three(rng: random.Random, true_speedup: float,
+                     noise_sigma: float) -> float:
+    samples = sorted(true_speedup * (1.0 + rng.gauss(0.0, noise_sigma))
+                     for _ in range(3))
+    return samples[1]
+
+
+def run_spec(seed: int = 0, noise_sigma: float = 0.008) -> SpecResults:
+    """Simulate the Figure 5 measurement campaign."""
+    results = SpecResults()
+    for patch in FIGURE5_PATCHES:
+        rng = random.Random((seed, patch).__hash__())
+        per_benchmark: Dict[str, float] = {}
+        for benchmark in SPEC_BENCHMARKS:
+            density = _pattern_density(rng)
+            # Removing ~1 cycle per matched instruction out of ~1 IPC
+            # hot code: the *true* effect is measured in hundredths of
+            # a percent.
+            true_speedup = 1.0 + density * rng.uniform(0.3, 1.5)
+            per_benchmark[benchmark] = _median_of_three(
+                rng, true_speedup, noise_sigma)
+        speedup = geometric_mean(list(per_benchmark.values()))
+        results.runs.append(SpecRun(label=patch, speedup=speedup,
+                                    per_benchmark=per_benchmark))
+    # Yearly comparison: one year of LLVM ≈ the union of many small
+    # patches plus unrelated churn; still inside the noise band.
+    rng = random.Random((seed, "yearly").__hash__())
+    per_benchmark = {}
+    for benchmark in SPEC_BENCHMARKS:
+        true_speedup = 1.0 + rng.uniform(-0.004, 0.012)
+        per_benchmark[benchmark] = _median_of_three(rng, true_speedup,
+                                                    noise_sigma)
+    results.yearly = SpecRun(label="Yearly",
+                             speedup=geometric_mean(
+                                 list(per_benchmark.values())),
+                             per_benchmark=per_benchmark)
+    return results
+
+
+def render_figure5(results: SpecResults) -> str:
+    """Render Figure 5 as a table plus an ASCII speedup chart."""
+    rows = []
+    all_runs = list(results.runs)
+    if results.yearly is not None:
+        all_runs.append(results.yearly)
+    for run in all_runs:
+        rows.append((run.label, f"{run.speedup:.4f}x",
+                     "within noise" if abs(run.speedup - 1.0)
+                     < results.noise_band else "SIGNIFICANT"))
+    table = render_table(("Patch", "Geomean Speedup", "Verdict"), rows,
+                         title="Figure 5: SPEC CPU2017 Integer geomean "
+                               "speedup per patch.")
+    chart_lines = ["", "        0.95x      1.00x      1.05x"]
+    for run in all_runs:
+        offset = int(round((run.speedup - 0.95) / 0.10 * 22))
+        offset = max(0, min(offset, 22))
+        bar = [" "] * 23
+        bar[11] = "|"
+        bar[offset] = "*"
+        chart_lines.append(f"{run.label:>12}  {''.join(bar)}")
+    return table + "\n" + "\n".join(chart_lines)

@@ -1,0 +1,69 @@
+"""Table rendering helpers shared by the experiment runners."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence[str]],
+                 title: str = "") -> str:
+    """Monospace table with column alignment (markdown-ish)."""
+    columns = len(headers)
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index in range(columns):
+            cell = str(row[index]) if index < len(row) else ""
+            widths[index] = max(widths[index], len(cell))
+
+    def fmt(cells: Sequence[str]) -> str:
+        padded = []
+        for index in range(columns):
+            cell = str(cells[index]) if index < len(cells) else ""
+            padded.append(cell.ljust(widths[index]))
+        return "| " + " | ".join(padded) + " |"
+
+    separator = "|" + "|".join("-" * (w + 2) for w in widths) + "|"
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(fmt(headers))
+    lines.append(separator)
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def check_mark(flag: bool) -> str:
+    return "Y" if flag else ""
+
+
+def render_table1() -> str:
+    """Table 1: the selected LLMs."""
+    from repro.llm.profiles import ALL_MODELS
+    rows = []
+    for profile in ALL_MODELS:
+        rows.append((profile.name, profile.version,
+                     "Yes" if profile.reasoning else "No",
+                     profile.cutoff))
+    return render_table(
+        ("Model Name", "Model Version", "Reasoning", "Cut-off Date"),
+        rows,
+        title="Table 1: The selected LLMs in evaluation.")
+
+
+def format_count_cell(count: int, rounds: int) -> str:
+    """Table 2 cell: empty when never detected, else the success count."""
+    if count <= 0:
+        return ""
+    return str(count)
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    product = 1.0
+    count = 0
+    for value in values:
+        if value > 0:
+            product *= value
+            count += 1
+    if count == 0:
+        return 1.0
+    return product ** (1.0 / count)

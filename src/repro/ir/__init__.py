@@ -1,0 +1,90 @@
+"""The miniature LLVM-style intermediate representation.
+
+Public surface::
+
+    from repro.ir import parse_function, print_function, IRBuilder
+"""
+
+from repro.ir.builder import IRBuilder, function_builder
+from repro.ir.function import BasicBlock, Function, Module
+from repro.ir.instructions import (
+    BINARY_OPS,
+    CAST_OPS,
+    FCMP_PREDICATES,
+    ICMP_PREDICATES,
+    BinaryOperator,
+    Br,
+    Call,
+    Cast,
+    ExtractElement,
+    FCmp,
+    Freeze,
+    GetElementPtr,
+    ICmp,
+    InsertElement,
+    Instruction,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    ShuffleVector,
+    Store,
+    Unreachable,
+)
+from repro.ir.parser import parse_function, parse_module
+from repro.ir.printer import print_function, print_instruction, print_module
+from repro.ir.types import (
+    DOUBLE,
+    FLOAT,
+    HALF,
+    I1,
+    I8,
+    I16,
+    I32,
+    I64,
+    I128,
+    PTR,
+    VOID,
+    FloatType,
+    IntType,
+    PointerType,
+    Type,
+    VectorType,
+    VoidType,
+    float_type,
+    int_type,
+    vector_type,
+)
+from repro.ir.values import (
+    Argument,
+    Constant,
+    ConstantFP,
+    ConstantInt,
+    ConstantPointerNull,
+    ConstantVector,
+    PoisonValue,
+    UndefValue,
+    Value,
+    const_bool,
+    const_fp,
+    const_int,
+    splat,
+    zero_value,
+)
+
+__all__ = [
+    "IRBuilder", "function_builder",
+    "BasicBlock", "Function", "Module",
+    "BINARY_OPS", "CAST_OPS", "FCMP_PREDICATES", "ICMP_PREDICATES",
+    "BinaryOperator", "Br", "Call", "Cast", "ExtractElement", "FCmp",
+    "Freeze", "GetElementPtr", "ICmp", "InsertElement", "Instruction",
+    "Load", "Phi", "Ret", "Select", "ShuffleVector", "Store", "Unreachable",
+    "parse_function", "parse_module",
+    "print_function", "print_instruction", "print_module",
+    "DOUBLE", "FLOAT", "HALF", "I1", "I8", "I16", "I32", "I64", "I128",
+    "PTR", "VOID", "FloatType", "IntType", "PointerType", "Type",
+    "VectorType", "VoidType", "float_type", "int_type", "vector_type",
+    "Argument", "Constant", "ConstantFP", "ConstantInt",
+    "ConstantPointerNull", "ConstantVector", "PoisonValue", "UndefValue",
+    "Value", "const_bool", "const_fp", "const_int", "splat", "zero_value",
+]

@@ -1,0 +1,258 @@
+"""A convenience builder for constructing IR programmatically.
+
+Used by tests, the corpus generators and the baseline superoptimizers;
+hand-written IR in the datasets goes through the textual parser instead.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from repro.errors import IRError
+from repro.ir.function import BasicBlock, Function
+from repro.ir.instructions import (
+    BinaryOperator,
+    Br,
+    Call,
+    Cast,
+    ExtractElement,
+    FCmp,
+    Freeze,
+    GetElementPtr,
+    ICmp,
+    InsertElement,
+    Instruction,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    ShuffleVector,
+    Store,
+    Unreachable,
+)
+from repro.ir.intrinsics import intrinsic_callee, intrinsic_signature
+from repro.ir.types import Type
+from repro.ir.values import Argument, Value, const_bool, const_int
+
+
+class IRBuilder:
+    """Builds instructions into a current insertion block.
+
+    Example::
+
+        fn = Function("src", I8, [Argument(I8, "x", 0)])
+        b = IRBuilder(fn.new_block("entry"))
+        doubled = b.shl(fn.arguments[0], const_int(I8, 1), flags=("nuw",))
+        b.ret(b.intrinsic("umax", [doubled, const_int(I8, 16)]))
+    """
+
+    def __init__(self, block: Optional[BasicBlock] = None):
+        self.block = block
+
+    def set_insertion_point(self, block: BasicBlock) -> None:
+        self.block = block
+
+    def _insert(self, inst: Instruction) -> Instruction:
+        if self.block is None:
+            raise IRError("builder has no insertion block")
+        return self.block.append(inst)
+
+    # -- arithmetic ----------------------------------------------------
+    def binop(self, opcode: str, lhs: Value, rhs: Value,
+              flags: Sequence[str] = (), name: str = "") -> Instruction:
+        return self._insert(BinaryOperator(opcode, lhs, rhs, flags, name))
+
+    def add(self, lhs: Value, rhs: Value, flags: Sequence[str] = (),
+            name: str = "") -> Instruction:
+        return self.binop("add", lhs, rhs, flags, name)
+
+    def sub(self, lhs: Value, rhs: Value, flags: Sequence[str] = (),
+            name: str = "") -> Instruction:
+        return self.binop("sub", lhs, rhs, flags, name)
+
+    def mul(self, lhs: Value, rhs: Value, flags: Sequence[str] = (),
+            name: str = "") -> Instruction:
+        return self.binop("mul", lhs, rhs, flags, name)
+
+    def udiv(self, lhs: Value, rhs: Value, flags: Sequence[str] = (),
+             name: str = "") -> Instruction:
+        return self.binop("udiv", lhs, rhs, flags, name)
+
+    def sdiv(self, lhs: Value, rhs: Value, flags: Sequence[str] = (),
+             name: str = "") -> Instruction:
+        return self.binop("sdiv", lhs, rhs, flags, name)
+
+    def urem(self, lhs: Value, rhs: Value, name: str = "") -> Instruction:
+        return self.binop("urem", lhs, rhs, (), name)
+
+    def srem(self, lhs: Value, rhs: Value, name: str = "") -> Instruction:
+        return self.binop("srem", lhs, rhs, (), name)
+
+    def shl(self, lhs: Value, rhs: Value, flags: Sequence[str] = (),
+            name: str = "") -> Instruction:
+        return self.binop("shl", lhs, rhs, flags, name)
+
+    def lshr(self, lhs: Value, rhs: Value, flags: Sequence[str] = (),
+             name: str = "") -> Instruction:
+        return self.binop("lshr", lhs, rhs, flags, name)
+
+    def ashr(self, lhs: Value, rhs: Value, flags: Sequence[str] = (),
+             name: str = "") -> Instruction:
+        return self.binop("ashr", lhs, rhs, flags, name)
+
+    def and_(self, lhs: Value, rhs: Value, name: str = "") -> Instruction:
+        return self.binop("and", lhs, rhs, (), name)
+
+    def or_(self, lhs: Value, rhs: Value, flags: Sequence[str] = (),
+            name: str = "") -> Instruction:
+        return self.binop("or", lhs, rhs, flags, name)
+
+    def xor(self, lhs: Value, rhs: Value, name: str = "") -> Instruction:
+        return self.binop("xor", lhs, rhs, (), name)
+
+    def not_(self, value: Value, name: str = "") -> Instruction:
+        """``xor %v, -1`` — LLVM's canonical bitwise-not."""
+        return self.xor(value, const_int(value.type, -1), name)
+
+    def neg(self, value: Value, name: str = "") -> Instruction:
+        """``sub 0, %v``."""
+        return self.sub(const_int(value.type, 0), value, (), name)
+
+    def fadd(self, lhs: Value, rhs: Value, flags: Sequence[str] = (),
+             name: str = "") -> Instruction:
+        return self.binop("fadd", lhs, rhs, flags, name)
+
+    def fsub(self, lhs: Value, rhs: Value, flags: Sequence[str] = (),
+             name: str = "") -> Instruction:
+        return self.binop("fsub", lhs, rhs, flags, name)
+
+    def fmul(self, lhs: Value, rhs: Value, flags: Sequence[str] = (),
+             name: str = "") -> Instruction:
+        return self.binop("fmul", lhs, rhs, flags, name)
+
+    def fdiv(self, lhs: Value, rhs: Value, flags: Sequence[str] = (),
+             name: str = "") -> Instruction:
+        return self.binop("fdiv", lhs, rhs, flags, name)
+
+    # -- comparisons / select --------------------------------------------
+    def icmp(self, predicate: str, lhs: Value, rhs: Value,
+             name: str = "") -> Instruction:
+        return self._insert(ICmp(predicate, lhs, rhs, (), name))
+
+    def fcmp(self, predicate: str, lhs: Value, rhs: Value,
+             flags: Sequence[str] = (), name: str = "") -> Instruction:
+        return self._insert(FCmp(predicate, lhs, rhs, flags, name))
+
+    def select(self, cond: Value, tval: Value, fval: Value,
+               name: str = "") -> Instruction:
+        return self._insert(Select(cond, tval, fval, (), name))
+
+    # -- casts ----------------------------------------------------------
+    def cast(self, opcode: str, value: Value, dest: Type,
+             flags: Sequence[str] = (), name: str = "") -> Instruction:
+        return self._insert(Cast(opcode, value, dest, flags, name))
+
+    def trunc(self, value: Value, dest: Type, flags: Sequence[str] = (),
+              name: str = "") -> Instruction:
+        return self.cast("trunc", value, dest, flags, name)
+
+    def zext(self, value: Value, dest: Type, flags: Sequence[str] = (),
+             name: str = "") -> Instruction:
+        return self.cast("zext", value, dest, flags, name)
+
+    def sext(self, value: Value, dest: Type, name: str = "") -> Instruction:
+        return self.cast("sext", value, dest, (), name)
+
+    def freeze(self, value: Value, name: str = "") -> Instruction:
+        return self._insert(Freeze(value, name))
+
+    # -- calls ------------------------------------------------------------
+    def call(self, callee: str, return_type: Type, args: Sequence[Value],
+             flags: Sequence[str] = (), name: str = "") -> Instruction:
+        return self._insert(Call(callee, return_type, args, flags, name))
+
+    def intrinsic(self, base_name: str, args: Sequence[Value],
+                  name: str = "", tail: bool = False) -> Instruction:
+        """Call an intrinsic by base name; the suffix comes from arg 0."""
+        suffix_type = args[0].type
+        callee = intrinsic_callee(base_name, suffix_type)
+        signature = intrinsic_signature(callee)
+        if signature is None:
+            raise IRError(f"cannot resolve intrinsic {callee}")
+        result, expected = signature
+        call_args = list(args)
+        if len(call_args) == len(expected) - 1:
+            # Fill the trailing immarg i1 with false (e.g. llvm.abs poison).
+            call_args.append(const_bool(False))
+        flags = ("tail",) if tail else ()
+        return self.call(callee, result, call_args, flags, name)
+
+    def umin(self, lhs: Value, rhs: Value, name: str = "") -> Instruction:
+        return self.intrinsic("umin", [lhs, rhs], name)
+
+    def umax(self, lhs: Value, rhs: Value, name: str = "") -> Instruction:
+        return self.intrinsic("umax", [lhs, rhs], name)
+
+    def smin(self, lhs: Value, rhs: Value, name: str = "") -> Instruction:
+        return self.intrinsic("smin", [lhs, rhs], name)
+
+    def smax(self, lhs: Value, rhs: Value, name: str = "") -> Instruction:
+        return self.intrinsic("smax", [lhs, rhs], name)
+
+    # -- vectors ----------------------------------------------------------
+    def extractelement(self, vector: Value, index: Value,
+                       name: str = "") -> Instruction:
+        return self._insert(ExtractElement(vector, index, name))
+
+    def insertelement(self, vector: Value, element: Value, index: Value,
+                      name: str = "") -> Instruction:
+        return self._insert(InsertElement(vector, element, index, name))
+
+    def shufflevector(self, lhs: Value, rhs: Value, mask: Sequence[int],
+                      name: str = "") -> Instruction:
+        return self._insert(ShuffleVector(lhs, rhs, mask, name))
+
+    # -- memory -----------------------------------------------------------
+    def load(self, loaded_type: Type, pointer: Value, align: int = 1,
+             name: str = "") -> Instruction:
+        return self._insert(Load(loaded_type, pointer, align, name))
+
+    def store(self, value: Value, pointer: Value,
+              align: int = 1) -> Instruction:
+        return self._insert(Store(value, pointer, align))
+
+    def gep(self, source_type: Type, pointer: Value, index: Value,
+            flags: Sequence[str] = (), name: str = "") -> Instruction:
+        return self._insert(
+            GetElementPtr(source_type, pointer, index, flags, name))
+
+    # -- terminators / phis --------------------------------------------
+    def ret(self, value: Optional[Value] = None) -> Instruction:
+        return self._insert(Ret(value))
+
+    def br(self, target: str) -> Instruction:
+        return self._insert(Br(target))
+
+    def cond_br(self, condition: Value, then_target: str,
+                else_target: str) -> Instruction:
+        return self._insert(Br(then_target, condition, else_target))
+
+    def unreachable(self) -> Instruction:
+        return self._insert(Unreachable())
+
+    def phi(self, type_: Type, incoming, name: str = "") -> Instruction:
+        return self._insert(Phi(type_, incoming, name))
+
+
+def function_builder(name: str, return_type: Type,
+                     arg_types: Sequence[Type],
+                     arg_names: Optional[Sequence[str]] = None
+                     ) -> "tuple[Function, IRBuilder]":
+    """Create a one-block function plus a builder positioned in it."""
+    args = []
+    for index, type_ in enumerate(arg_types):
+        arg_name = arg_names[index] if arg_names else f"a{index}"
+        args.append(Argument(type_, arg_name, index))
+    function = Function(name, return_type, args)
+    builder = IRBuilder(function.new_block("entry"))
+    return function, builder

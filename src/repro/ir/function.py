@@ -1,0 +1,209 @@
+"""Basic blocks, functions and modules."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+
+from repro.errors import IRError
+from repro.ir.instructions import Instruction, Ret
+from repro.ir.types import Type, VOID
+from repro.ir.values import Argument, Value
+
+
+class BasicBlock:
+    """A labelled, single-entry straight-line sequence of instructions."""
+
+    def __init__(self, label: str = "entry"):
+        self.label = label
+        self.instructions: List[Instruction] = []
+        self.parent: Optional["Function"] = None
+
+    def append(self, inst: Instruction) -> Instruction:
+        """Append ``inst`` and claim ownership of it."""
+        if inst.parent is not None:
+            raise IRError("instruction already belongs to a block")
+        inst.parent = self
+        self.instructions.append(inst)
+        return inst
+
+    def insert(self, index: int, inst: Instruction) -> Instruction:
+        if inst.parent is not None:
+            raise IRError("instruction already belongs to a block")
+        inst.parent = self
+        self.instructions.insert(index, inst)
+        return inst
+
+    def remove(self, inst: Instruction) -> None:
+        self.instructions.remove(inst)
+        inst.parent = None
+
+    @property
+    def terminator(self) -> Optional[Instruction]:
+        if self.instructions and self.instructions[-1].is_terminator:
+            return self.instructions[-1]
+        return None
+
+    def non_terminators(self) -> List[Instruction]:
+        return [i for i in self.instructions if not i.is_terminator]
+
+    def index_of(self, inst: Instruction) -> int:
+        for index, candidate in enumerate(self.instructions):
+            if candidate is inst:
+                return index
+        raise IRError("instruction not in block")
+
+    def __iter__(self) -> Iterator[Instruction]:
+        return iter(self.instructions)
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __repr__(self) -> str:
+        return f"<BasicBlock {self.label} ({len(self)} insts)>"
+
+
+class Function:
+    """A function: a signature plus an ordered list of basic blocks."""
+
+    def __init__(self, name: str, return_type: Type,
+                 arguments: Sequence[Argument] = ()):
+        self.name = name
+        self.return_type = return_type
+        self.arguments: List[Argument] = list(arguments)
+        self.blocks: List[BasicBlock] = []
+        self.parent: Optional["Module"] = None
+
+    # -- construction -------------------------------------------------------
+    def add_block(self, block: BasicBlock) -> BasicBlock:
+        if block.parent is not None:
+            raise IRError("block already belongs to a function")
+        block.parent = self
+        self.blocks.append(block)
+        return block
+
+    def new_block(self, label: str) -> BasicBlock:
+        return self.add_block(BasicBlock(label))
+
+    @property
+    def entry(self) -> BasicBlock:
+        if not self.blocks:
+            raise IRError(f"function @{self.name} has no blocks")
+        return self.blocks[0]
+
+    def block_by_label(self, label: str) -> BasicBlock:
+        for block in self.blocks:
+            if block.label == label:
+                return block
+        raise IRError(f"no block labelled %{label} in @{self.name}")
+
+    # -- queries --------------------------------------------------------
+    def instructions(self) -> Iterator[Instruction]:
+        """All instructions in block order."""
+        for block in self.blocks:
+            yield from block.instructions
+
+    def instruction_count(self, include_terminators: bool = False) -> int:
+        """Number of instructions, by default excluding terminators
+        (matching how the paper counts window sizes)."""
+        total = 0
+        for inst in self.instructions():
+            if include_terminators or not inst.is_terminator:
+                total += 1
+        return total
+
+    @property
+    def is_single_block(self) -> bool:
+        return len(self.blocks) == 1
+
+    def return_instruction(self) -> Optional[Ret]:
+        for inst in self.instructions():
+            if isinstance(inst, Ret):
+                return inst
+        return None
+
+    def uses_memory(self) -> bool:
+        return any(inst.may_read_memory or inst.opcode == "store"
+                   for inst in self.instructions())
+
+    # -- mutation helpers used by the optimizer -----------------------------
+    def assign_names(self) -> None:
+        """Give every unnamed value a sequential numeric name, in the same
+        order LLVM numbers them (arguments first, then instructions)."""
+        taken = {arg.name for arg in self.arguments if arg.name}
+        taken |= {inst.name for inst in self.instructions() if inst.name}
+        counter = 0
+
+        def next_name() -> str:
+            nonlocal counter
+            while str(counter) in taken:
+                counter += 1
+            taken.add(str(counter))
+            return str(counter)
+
+        for arg in self.arguments:
+            if not arg.name:
+                arg.name = next_name()
+        for block in self.blocks:
+            for inst in block.instructions:
+                if not inst.name and inst.type != VOID:
+                    inst.name = next_name()
+
+    def replace_all_uses(self, old: Value, new: Value) -> int:
+        """Replace ``old`` with ``new`` in every instruction; returns the
+        number of operand slots rewritten."""
+        count = 0
+        for inst in self.instructions():
+            count += inst.replace_operand(old, new)
+        return count
+
+    def clone(self, new_name: Optional[str] = None) -> "Function":
+        """Deep-copy this function (new instruction and argument objects)."""
+        mapping: Dict[Value, Value] = {}
+        new_args = []
+        for arg in self.arguments:
+            copy = Argument(arg.type, arg.name, arg.index)
+            mapping[arg] = copy
+            new_args.append(copy)
+        result = Function(new_name or self.name, self.return_type, new_args)
+        for block in self.blocks:
+            new_block = result.new_block(block.label)
+            for inst in block.instructions:
+                copy = inst.clone()
+                copy.operands = [mapping.get(op, op) for op in inst.operands]
+                mapping[inst] = copy
+                new_block.append(copy)
+        return result
+
+    def __repr__(self) -> str:
+        return (f"<Function @{self.name} {self.return_type} "
+                f"({len(self.blocks)} blocks)>")
+
+
+class Module:
+    """A translation unit: an ordered collection of functions."""
+
+    def __init__(self, name: str = "module"):
+        self.name = name
+        self.functions: List[Function] = []
+
+    def add_function(self, function: Function) -> Function:
+        if any(f.name == function.name for f in self.functions):
+            raise IRError(f"duplicate function name @{function.name}")
+        function.parent = self
+        self.functions.append(function)
+        return function
+
+    def get_function(self, name: str) -> Function:
+        for function in self.functions:
+            if function.name == name:
+                return function
+        raise IRError(f"no function @{name} in module {self.name}")
+
+    def __iter__(self) -> Iterator[Function]:
+        return iter(self.functions)
+
+    def __len__(self) -> int:
+        return len(self.functions)
+
+    def __repr__(self) -> str:
+        return f"<Module {self.name} ({len(self.functions)} functions)>"

@@ -1,0 +1,687 @@
+"""Instruction classes for the miniature LLVM-style IR.
+
+Each instruction is itself a :class:`~repro.ir.values.Value` (its result),
+carries an opcode string, a list of operands, and an optional set of
+poison-generating flags (``nuw``, ``nsw``, ``exact``, ``disjoint``, ...).
+
+The subset covers every instruction used by the LPO paper's figures and
+benchmark issues: integer/FP arithmetic, bitwise logic, shifts, comparisons,
+select, casts, the min/max/bit-manipulation intrinsic families, vector
+element ops, memory (load/store/GEP), freeze, and the block terminators.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.errors import IRError, TypeMismatchError
+from repro.ir.types import (
+    FloatType,
+    IntType,
+    PointerType,
+    Type,
+    VectorType,
+    I1,
+    VOID,
+    int_type,
+    vector_type,
+)
+from repro.ir.values import Constant, ConstantInt, Value
+
+# --------------------------------------------------------------------------
+# Opcode tables
+# --------------------------------------------------------------------------
+
+INT_BINARY_OPS = (
+    "add", "sub", "mul", "udiv", "sdiv", "urem", "srem",
+    "shl", "lshr", "ashr", "and", "or", "xor",
+)
+FP_BINARY_OPS = ("fadd", "fsub", "fmul", "fdiv", "frem")
+BINARY_OPS = INT_BINARY_OPS + FP_BINARY_OPS
+
+COMMUTATIVE_OPS = frozenset(
+    {"add", "mul", "and", "or", "xor", "fadd", "fmul"})
+
+CAST_OPS = (
+    "trunc", "zext", "sext", "fptrunc", "fpext",
+    "fptoui", "fptosi", "uitofp", "sitofp",
+    "bitcast", "ptrtoint", "inttoptr",
+)
+
+ICMP_PREDICATES = (
+    "eq", "ne", "ugt", "uge", "ult", "ule", "sgt", "sge", "slt", "sle")
+FCMP_PREDICATES = (
+    "false", "oeq", "ogt", "oge", "olt", "ole", "one", "ord",
+    "ueq", "ugt", "uge", "ult", "ule", "une", "uno", "true")
+
+# Flags allowed per opcode family.
+_NUW_NSW_OPS = frozenset({"add", "sub", "mul", "shl", "trunc"})
+_EXACT_OPS = frozenset({"udiv", "sdiv", "lshr", "ashr"})
+_DISJOINT_OPS = frozenset({"or"})
+FAST_MATH_FLAGS = ("fast", "nnan", "ninf", "nsz", "arcp", "contract", "reassoc")
+
+ICMP_PREDICATE_SWAP = {
+    "eq": "eq", "ne": "ne",
+    "ugt": "ult", "uge": "ule", "ult": "ugt", "ule": "uge",
+    "sgt": "slt", "sge": "sle", "slt": "sgt", "sle": "sge",
+}
+ICMP_PREDICATE_INVERSE = {
+    "eq": "ne", "ne": "eq",
+    "ugt": "ule", "uge": "ult", "ult": "uge", "ule": "ugt",
+    "sgt": "sle", "sge": "slt", "slt": "sge", "sle": "sgt",
+}
+
+
+def _check_flag_set(opcode: str, flags: Sequence[str]) -> frozenset:
+    allowed: set = set()
+    if opcode in _NUW_NSW_OPS:
+        allowed |= {"nuw", "nsw"}
+    if opcode in _EXACT_OPS:
+        allowed |= {"exact"}
+    if opcode in _DISJOINT_OPS:
+        allowed |= {"disjoint"}
+    if opcode in FP_BINARY_OPS or opcode in ("fcmp", "select", "call"):
+        allowed |= set(FAST_MATH_FLAGS)
+    if opcode == "zext":
+        allowed |= {"nneg"}
+    if opcode == "uitofp":
+        allowed |= {"nneg"}
+    if opcode == "getelementptr":
+        allowed |= {"inbounds", "nuw", "nusw"}
+    if opcode == "call":
+        allowed |= {"tail"}
+    if opcode in ("icmp", "trunc"):
+        allowed |= {"samesign"} if opcode == "icmp" else set()
+    bad = set(flags) - allowed
+    if bad:
+        raise IRError(f"flags {sorted(bad)} not allowed on '{opcode}'")
+    return frozenset(flags)
+
+
+def _lane_count(type_: Type) -> Optional[int]:
+    return type_.count if isinstance(type_, VectorType) else None
+
+
+def _bool_type_for(operand_type: Type) -> Type:
+    """The i1 (or <N x i1>) type matching a comparison operand type."""
+    lanes = _lane_count(operand_type)
+    if lanes is None:
+        return I1
+    return vector_type(I1, lanes)
+
+
+# --------------------------------------------------------------------------
+# Base class
+# --------------------------------------------------------------------------
+
+class Instruction(Value):
+    """Base class of all instructions."""
+
+    opcode: str = "?"
+
+    def __init__(self, type_: Type, opcode: str,
+                 operands: Sequence[Value],
+                 flags: Sequence[str] = (),
+                 name: str = ""):
+        super().__init__(type_, name)
+        self.opcode = opcode
+        self.operands: List[Value] = list(operands)
+        self.flags = _check_flag_set(opcode, flags)
+        self.parent = None  # set by BasicBlock
+
+    # -- structural queries -------------------------------------------------
+    @property
+    def is_terminator(self) -> bool:
+        return False
+
+    @property
+    def has_side_effects(self) -> bool:
+        return False
+
+    @property
+    def may_read_memory(self) -> bool:
+        return False
+
+    def replace_operand(self, old: Value, new: Value) -> int:
+        """Replace every occurrence of ``old`` among operands; returns the
+        number of replacements made."""
+        count = 0
+        for index, operand in enumerate(self.operands):
+            if operand is old:
+                self.operands[index] = new
+                count += 1
+        return count
+
+    def same_shape(self, other: "Instruction") -> bool:
+        """Structural equality of opcode/type/flags (not operands)."""
+        return (self.opcode == other.opcode
+                and self.type == other.type
+                and self.flags == other.flags)
+
+    def clone(self) -> "Instruction":
+        """A shallow copy sharing operand references, detached from blocks."""
+        copy = self.__class__.__new__(self.__class__)
+        copy.__dict__.update(self.__dict__)
+        copy.operands = list(self.operands)
+        copy.uses = []
+        copy.parent = None
+        return copy
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} %{self.name or '?'} = {self.opcode}>"
+
+
+# --------------------------------------------------------------------------
+# Arithmetic / logic
+# --------------------------------------------------------------------------
+
+class BinaryOperator(Instruction):
+    """``add``, ``sub``, ``mul``, divisions, shifts, bitwise, FP arith."""
+
+    def __init__(self, opcode: str, lhs: Value, rhs: Value,
+                 flags: Sequence[str] = (), name: str = ""):
+        if opcode not in BINARY_OPS:
+            raise IRError(f"unknown binary opcode: {opcode!r}")
+        if lhs.type != rhs.type:
+            raise TypeMismatchError(
+                f"binary operand types differ: {lhs.type} vs {rhs.type}")
+        scalar = lhs.type.scalar_type()
+        if opcode in INT_BINARY_OPS and not isinstance(scalar, IntType):
+            raise TypeMismatchError(
+                f"'{opcode}' requires integer operands, got {lhs.type}")
+        if opcode in FP_BINARY_OPS and not isinstance(scalar, FloatType):
+            raise TypeMismatchError(
+                f"'{opcode}' requires float operands, got {lhs.type}")
+        super().__init__(lhs.type, opcode, [lhs, rhs], flags, name)
+
+    @property
+    def lhs(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def rhs(self) -> Value:
+        return self.operands[1]
+
+    @property
+    def is_commutative(self) -> bool:
+        return self.opcode in COMMUTATIVE_OPS
+
+
+class ICmp(Instruction):
+    """Integer/pointer comparison producing i1 (or a vector of i1)."""
+
+    def __init__(self, predicate: str, lhs: Value, rhs: Value,
+                 flags: Sequence[str] = (), name: str = ""):
+        if predicate not in ICMP_PREDICATES:
+            raise IRError(f"unknown icmp predicate: {predicate!r}")
+        if lhs.type != rhs.type:
+            raise TypeMismatchError(
+                f"icmp operand types differ: {lhs.type} vs {rhs.type}")
+        scalar = lhs.type.scalar_type()
+        if not isinstance(scalar, (IntType, PointerType)):
+            raise TypeMismatchError(
+                f"icmp requires integer or pointer operands, got {lhs.type}")
+        super().__init__(_bool_type_for(lhs.type), "icmp",
+                         [lhs, rhs], flags, name)
+        self.predicate = predicate
+
+    @property
+    def lhs(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def rhs(self) -> Value:
+        return self.operands[1]
+
+    def same_shape(self, other: Instruction) -> bool:
+        return (super().same_shape(other)
+                and self.predicate == other.predicate)
+
+
+class FCmp(Instruction):
+    """Floating-point comparison producing i1 (or a vector of i1)."""
+
+    def __init__(self, predicate: str, lhs: Value, rhs: Value,
+                 flags: Sequence[str] = (), name: str = ""):
+        if predicate not in FCMP_PREDICATES:
+            raise IRError(f"unknown fcmp predicate: {predicate!r}")
+        if lhs.type != rhs.type:
+            raise TypeMismatchError(
+                f"fcmp operand types differ: {lhs.type} vs {rhs.type}")
+        scalar = lhs.type.scalar_type()
+        if not isinstance(scalar, FloatType):
+            raise TypeMismatchError(
+                f"fcmp requires float operands, got {lhs.type}")
+        super().__init__(_bool_type_for(lhs.type), "fcmp",
+                         [lhs, rhs], flags, name)
+        self.predicate = predicate
+
+    @property
+    def lhs(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def rhs(self) -> Value:
+        return self.operands[1]
+
+    def same_shape(self, other: Instruction) -> bool:
+        return (super().same_shape(other)
+                and self.predicate == other.predicate)
+
+
+class Select(Instruction):
+    """``select i1 %c, T %a, T %b`` (condition may be a vector of i1)."""
+
+    def __init__(self, condition: Value, true_value: Value,
+                 false_value: Value, flags: Sequence[str] = (),
+                 name: str = ""):
+        if true_value.type != false_value.type:
+            raise TypeMismatchError(
+                "select arms have different types: "
+                f"{true_value.type} vs {false_value.type}")
+        cond_scalar = condition.type.scalar_type()
+        if not (isinstance(cond_scalar, IntType) and cond_scalar.bits == 1):
+            raise TypeMismatchError(
+                f"select condition must be i1-based, got {condition.type}")
+        cond_lanes = _lane_count(condition.type)
+        val_lanes = _lane_count(true_value.type)
+        if cond_lanes is not None and cond_lanes != val_lanes:
+            raise TypeMismatchError(
+                "vector select condition lane count mismatch: "
+                f"{condition.type} vs {true_value.type}")
+        super().__init__(true_value.type, "select",
+                         [condition, true_value, false_value], flags, name)
+
+    @property
+    def condition(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def true_value(self) -> Value:
+        return self.operands[1]
+
+    @property
+    def false_value(self) -> Value:
+        return self.operands[2]
+
+
+class Cast(Instruction):
+    """All conversion instructions (``trunc``, ``zext``, ``sext``, ...)."""
+
+    def __init__(self, opcode: str, value: Value, dest_type: Type,
+                 flags: Sequence[str] = (), name: str = ""):
+        if opcode not in CAST_OPS:
+            raise IRError(f"unknown cast opcode: {opcode!r}")
+        _check_cast_types(opcode, value.type, dest_type)
+        super().__init__(dest_type, opcode, [value], flags, name)
+
+    @property
+    def value(self) -> Value:
+        return self.operands[0]
+
+    def same_shape(self, other: Instruction) -> bool:
+        return super().same_shape(other)
+
+
+def _check_cast_types(opcode: str, src: Type, dst: Type) -> None:
+    src_lanes, dst_lanes = _lane_count(src), _lane_count(dst)
+    if src_lanes != dst_lanes:
+        raise TypeMismatchError(
+            f"cast '{opcode}' changes vector shape: {src} -> {dst}")
+    s, d = src.scalar_type(), dst.scalar_type()
+    int_to_int = isinstance(s, IntType) and isinstance(d, IntType)
+    fp_to_fp = isinstance(s, FloatType) and isinstance(d, FloatType)
+    if opcode == "trunc":
+        if not (int_to_int and s.bits > d.bits):
+            raise TypeMismatchError(f"invalid trunc: {src} -> {dst}")
+    elif opcode in ("zext", "sext"):
+        if not (int_to_int and s.bits < d.bits):
+            raise TypeMismatchError(f"invalid {opcode}: {src} -> {dst}")
+    elif opcode == "fptrunc":
+        if not (fp_to_fp and s.bit_width > d.bit_width):
+            raise TypeMismatchError(f"invalid fptrunc: {src} -> {dst}")
+    elif opcode == "fpext":
+        if not (fp_to_fp and s.bit_width < d.bit_width):
+            raise TypeMismatchError(f"invalid fpext: {src} -> {dst}")
+    elif opcode in ("fptoui", "fptosi"):
+        if not (isinstance(s, FloatType) and isinstance(d, IntType)):
+            raise TypeMismatchError(f"invalid {opcode}: {src} -> {dst}")
+    elif opcode in ("uitofp", "sitofp"):
+        if not (isinstance(s, IntType) and isinstance(d, FloatType)):
+            raise TypeMismatchError(f"invalid {opcode}: {src} -> {dst}")
+    elif opcode == "ptrtoint":
+        if not (isinstance(s, PointerType) and isinstance(d, IntType)):
+            raise TypeMismatchError(f"invalid ptrtoint: {src} -> {dst}")
+    elif opcode == "inttoptr":
+        if not (isinstance(s, IntType) and isinstance(d, PointerType)):
+            raise TypeMismatchError(f"invalid inttoptr: {src} -> {dst}")
+    elif opcode == "bitcast":
+        try:
+            same_width = s.bit_width == d.bit_width
+        except IRError:
+            same_width = False
+        if not same_width or isinstance(s, PointerType) != isinstance(
+                d, PointerType):
+            raise TypeMismatchError(f"invalid bitcast: {src} -> {dst}")
+
+
+class Freeze(Instruction):
+    """``freeze`` — stops poison/undef propagation."""
+
+    def __init__(self, value: Value, name: str = ""):
+        super().__init__(value.type, "freeze", [value], (), name)
+
+    @property
+    def value(self) -> Value:
+        return self.operands[0]
+
+
+class Call(Instruction):
+    """A (possibly ``tail``) call, in practice always to an intrinsic."""
+
+    def __init__(self, callee: str, return_type: Type,
+                 args: Sequence[Value], flags: Sequence[str] = (),
+                 name: str = ""):
+        super().__init__(return_type, "call", list(args), flags, name)
+        self.callee = callee
+
+    @property
+    def intrinsic_name(self) -> str:
+        """Base intrinsic name, e.g. ``umin`` for ``llvm.umin.i32``."""
+        parts = self.callee.split(".")
+        if parts[0] != "llvm" or len(parts) < 2:
+            return self.callee
+        # llvm.<name>.<suffix> or llvm.<ns>.<name>.<suffix>
+        if len(parts) >= 3 and parts[1] in ("uadd", "usub", "sadd", "ssub",
+                                            "umul", "smul"):
+            return ".".join(parts[1:3])
+        return parts[1]
+
+    def same_shape(self, other: Instruction) -> bool:
+        return super().same_shape(other) and self.callee == other.callee
+
+    @property
+    def has_side_effects(self) -> bool:
+        from repro.ir.intrinsics import intrinsic_has_side_effects
+        return intrinsic_has_side_effects(self.callee)
+
+
+# --------------------------------------------------------------------------
+# Vector element ops
+# --------------------------------------------------------------------------
+
+class ExtractElement(Instruction):
+    """``extractelement <N x T> %v, iM %idx``."""
+
+    def __init__(self, vector: Value, index: Value, name: str = ""):
+        if not isinstance(vector.type, VectorType):
+            raise TypeMismatchError(
+                f"extractelement requires a vector, got {vector.type}")
+        if not isinstance(index.type.scalar_type(), IntType):
+            raise TypeMismatchError("extractelement index must be integer")
+        super().__init__(vector.type.element, "extractelement",
+                         [vector, index], (), name)
+
+    @property
+    def vector(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def index(self) -> Value:
+        return self.operands[1]
+
+
+class InsertElement(Instruction):
+    """``insertelement <N x T> %v, T %elt, iM %idx``."""
+
+    def __init__(self, vector: Value, element: Value, index: Value,
+                 name: str = ""):
+        if not isinstance(vector.type, VectorType):
+            raise TypeMismatchError(
+                f"insertelement requires a vector, got {vector.type}")
+        if element.type != vector.type.element:
+            raise TypeMismatchError(
+                f"insertelement element type {element.type} != "
+                f"vector element {vector.type.element}")
+        super().__init__(vector.type, "insertelement",
+                         [vector, element, index], (), name)
+
+    @property
+    def vector(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def element(self) -> Value:
+        return self.operands[1]
+
+    @property
+    def index(self) -> Value:
+        return self.operands[2]
+
+
+class ShuffleVector(Instruction):
+    """``shufflevector`` with a constant lane mask (-1 encodes poison)."""
+
+    def __init__(self, lhs: Value, rhs: Value, mask: Sequence[int],
+                 name: str = ""):
+        if lhs.type != rhs.type or not isinstance(lhs.type, VectorType):
+            raise TypeMismatchError(
+                "shufflevector operands must share a vector type")
+        mask = tuple(int(m) for m in mask)
+        limit = lhs.type.count * 2
+        for m in mask:
+            if m != -1 and not 0 <= m < limit:
+                raise IRError(f"shuffle mask lane {m} out of range")
+        result = vector_type(lhs.type.element, len(mask))
+        super().__init__(result, "shufflevector", [lhs, rhs], (), name)
+        self.mask = mask
+
+    def same_shape(self, other: Instruction) -> bool:
+        return super().same_shape(other) and self.mask == other.mask
+
+
+# --------------------------------------------------------------------------
+# Memory
+# --------------------------------------------------------------------------
+
+class Load(Instruction):
+    """``load T, ptr %p`` with an optional alignment."""
+
+    def __init__(self, loaded_type: Type, pointer: Value,
+                 align: int = 1, name: str = ""):
+        if not isinstance(pointer.type, PointerType):
+            raise TypeMismatchError(
+                f"load pointer operand must be ptr, got {pointer.type}")
+        if not loaded_type.is_first_class:
+            raise TypeMismatchError(f"cannot load type {loaded_type}")
+        super().__init__(loaded_type, "load", [pointer], (), name)
+        self.align = align
+
+    @property
+    def pointer(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def may_read_memory(self) -> bool:
+        return True
+
+    def same_shape(self, other: Instruction) -> bool:
+        return super().same_shape(other) and self.align == other.align
+
+
+class Store(Instruction):
+    """``store T %v, ptr %p``; produces no value."""
+
+    def __init__(self, value: Value, pointer: Value, align: int = 1):
+        if not isinstance(pointer.type, PointerType):
+            raise TypeMismatchError(
+                f"store pointer operand must be ptr, got {pointer.type}")
+        super().__init__(VOID, "store", [value, pointer], ())
+        self.align = align
+
+    @property
+    def value(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def pointer(self) -> Value:
+        return self.operands[1]
+
+    @property
+    def has_side_effects(self) -> bool:
+        return True
+
+    def same_shape(self, other: Instruction) -> bool:
+        return super().same_shape(other) and self.align == other.align
+
+
+class GetElementPtr(Instruction):
+    """Array-style ``getelementptr T, ptr %p, i64 %idx`` address arithmetic.
+
+    Only the single-index form is modelled (all the paper's windows use it);
+    the byte offset is ``idx * sizeof(T)``.
+    """
+
+    def __init__(self, source_type: Type, pointer: Value, index: Value,
+                 flags: Sequence[str] = (), name: str = ""):
+        if not isinstance(pointer.type, PointerType):
+            raise TypeMismatchError(
+                f"gep pointer operand must be ptr, got {pointer.type}")
+        if not isinstance(index.type, IntType):
+            raise TypeMismatchError(
+                f"gep index must be a scalar integer, got {index.type}")
+        super().__init__(pointer.type, "getelementptr",
+                         [pointer, index], flags, name)
+        self.source_type = source_type
+
+    @property
+    def pointer(self) -> Value:
+        return self.operands[0]
+
+    @property
+    def index(self) -> Value:
+        return self.operands[1]
+
+    @property
+    def element_size(self) -> int:
+        """Size of the indexed element in bytes."""
+        return max(1, self.source_type.bit_width // 8)
+
+    def same_shape(self, other: Instruction) -> bool:
+        return (super().same_shape(other)
+                and self.source_type == other.source_type)
+
+
+# --------------------------------------------------------------------------
+# Terminators
+# --------------------------------------------------------------------------
+
+class Ret(Instruction):
+    """``ret T %v`` or ``ret void``."""
+
+    def __init__(self, value: Optional[Value] = None):
+        operands = [value] if value is not None else []
+        super().__init__(VOID, "ret", operands, ())
+
+    @property
+    def value(self) -> Optional[Value]:
+        return self.operands[0] if self.operands else None
+
+    @property
+    def is_terminator(self) -> bool:
+        return True
+
+
+class Br(Instruction):
+    """Conditional or unconditional branch.
+
+    Targets are stored as block *labels* (strings) so instruction objects
+    do not hold references into block graphs; the function resolves them.
+    """
+
+    def __init__(self, target: str, condition: Optional[Value] = None,
+                 false_target: Optional[str] = None):
+        operands = [condition] if condition is not None else []
+        super().__init__(VOID, "br", operands, ())
+        self.target = target
+        self.false_target = false_target
+        if (condition is None) != (false_target is None):
+            raise IRError("conditional br needs both condition and targets")
+
+    @property
+    def condition(self) -> Optional[Value]:
+        return self.operands[0] if self.operands else None
+
+    @property
+    def is_conditional(self) -> bool:
+        return bool(self.operands)
+
+    @property
+    def is_terminator(self) -> bool:
+        return True
+
+    def same_shape(self, other: Instruction) -> bool:
+        return (super().same_shape(other)
+                and self.target == other.target
+                and self.false_target == other.false_target)
+
+
+class Unreachable(Instruction):
+    """``unreachable``."""
+
+    def __init__(self) -> None:
+        super().__init__(VOID, "unreachable", [], ())
+
+    @property
+    def is_terminator(self) -> bool:
+        return True
+
+
+class Phi(Instruction):
+    """``phi T [v, %bb], ...`` — kept for module realism; the extractor
+    never includes phis in windows (they are cross-block by nature)."""
+
+    def __init__(self, type_: Type, incoming: Sequence[Tuple[Value, str]],
+                 name: str = ""):
+        values = [value for value, _ in incoming]
+        super().__init__(type_, "phi", values, (), name)
+        self.incoming_blocks = [label for _, label in incoming]
+
+    @property
+    def incoming(self) -> List[Tuple[Value, str]]:
+        return list(zip(self.operands, self.incoming_blocks))
+
+    def same_shape(self, other: Instruction) -> bool:
+        return (super().same_shape(other)
+                and self.incoming_blocks == other.incoming_blocks)
+
+
+# --------------------------------------------------------------------------
+# Helpers used across the optimizer
+# --------------------------------------------------------------------------
+
+def is_constant_operand(value: Value) -> bool:
+    return isinstance(value, Constant)
+
+
+def binary(opcode: str, lhs: Value, rhs: Value,
+           flags: Sequence[str] = (), name: str = "") -> BinaryOperator:
+    """Shorthand constructor used heavily by rewrite rules."""
+    return BinaryOperator(opcode, lhs, rhs, flags, name)
+
+
+def icmp(predicate: str, lhs: Value, rhs: Value, name: str = "") -> ICmp:
+    return ICmp(predicate, lhs, rhs, (), name)
+
+
+def select(cond: Value, tval: Value, fval: Value, name: str = "") -> Select:
+    return Select(cond, tval, fval, (), name)
+
+
+def constant_int_operand(inst: Instruction,
+                         index: int) -> Optional[ConstantInt]:
+    """The operand at ``index`` as a scalar/splat ConstantInt, or None."""
+    from repro.ir.values import match_scalar_int
+    if index >= len(inst.operands):
+        return None
+    return match_scalar_int(inst.operands[index])

@@ -1,0 +1,186 @@
+"""Registry of the LLVM intrinsics the IR subset understands.
+
+The callee string follows LLVM naming: ``llvm.<name>.<type-suffix>`` where
+the suffix is e.g. ``i32`` or ``v4i32``.  :func:`intrinsic_signature`
+computes the expected argument and result types for a callee name so both
+the parser and the verifier can check call sites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.errors import IRError
+from repro.ir.types import (
+    FloatType,
+    IntType,
+    Type,
+    VectorType,
+    float_type,
+    int_type,
+    vector_type,
+    I1,
+)
+
+
+@dataclass(frozen=True)
+class IntrinsicInfo:
+    """Static description of one intrinsic family."""
+
+    name: str                 # base name, e.g. "umin"
+    arity: int                # number of value arguments
+    kind: str                 # "int", "fp" — element domain
+    # result type as a function of the suffix type; default: same as suffix
+    result_of: Optional[Callable[[Type], Type]] = None
+    # True when the last argument is an immarg i1 (e.g. llvm.abs poison flag)
+    has_bool_tail: bool = False
+    pure: bool = True
+
+
+def _bool_like(suffix: Type) -> Type:
+    if isinstance(suffix, VectorType):
+        return vector_type(I1, suffix.count)
+    return I1
+
+
+_REGISTRY: Dict[str, IntrinsicInfo] = {}
+
+
+def _register(info: IntrinsicInfo) -> None:
+    _REGISTRY[info.name] = info
+
+
+for _name in ("umin", "umax", "smin", "smax"):
+    _register(IntrinsicInfo(_name, arity=2, kind="int"))
+
+_register(IntrinsicInfo("abs", arity=1, kind="int", has_bool_tail=True))
+_register(IntrinsicInfo("ctpop", arity=1, kind="int"))
+_register(IntrinsicInfo("ctlz", arity=1, kind="int", has_bool_tail=True))
+_register(IntrinsicInfo("cttz", arity=1, kind="int", has_bool_tail=True))
+_register(IntrinsicInfo("bswap", arity=1, kind="int"))
+_register(IntrinsicInfo("bitreverse", arity=1, kind="int"))
+_register(IntrinsicInfo("fshl", arity=3, kind="int"))
+_register(IntrinsicInfo("fshr", arity=3, kind="int"))
+
+for _name in ("uadd.sat", "usub.sat", "sadd.sat", "ssub.sat"):
+    _register(IntrinsicInfo(_name, arity=2, kind="int"))
+
+for _name in ("fabs", "sqrt", "floor", "ceil", "trunc", "round", "rint",
+              "nearbyint", "canonicalize"):
+    _register(IntrinsicInfo(_name, arity=1, kind="fp"))
+
+for _name in ("minnum", "maxnum", "minimum", "maximum", "copysign"):
+    _register(IntrinsicInfo(_name, arity=2, kind="fp"))
+
+_register(IntrinsicInfo("fma", arity=3, kind="fp"))
+_register(IntrinsicInfo("fmuladd", arity=3, kind="fp"))
+_register(IntrinsicInfo("is.fpclass", arity=1, kind="fp",
+                        result_of=_bool_like, has_bool_tail=True))
+
+_register(IntrinsicInfo("assume", arity=1, kind="int", pure=False))
+
+
+def known_intrinsic_names() -> Tuple[str, ...]:
+    """All registered base names (sorted, for docs and fuzzing)."""
+    return tuple(sorted(_REGISTRY))
+
+
+def lookup_intrinsic(base_name: str) -> Optional[IntrinsicInfo]:
+    """Info for a base name like ``umin``, or None if unknown."""
+    return _REGISTRY.get(base_name)
+
+
+def parse_suffix_type(suffix: str) -> Optional[Type]:
+    """Parse a mangling suffix: ``i32``, ``v4i32``, ``f64``, ``v2f32``."""
+    count = None
+    body = suffix
+    if suffix.startswith("v"):
+        digits = ""
+        for ch in suffix[1:]:
+            if ch.isdigit():
+                digits += ch
+            else:
+                break
+        if not digits:
+            return None
+        count = int(digits)
+        body = suffix[1 + len(digits):]
+    elem: Optional[Type]
+    if body.startswith("i") and body[1:].isdigit():
+        elem = int_type(int(body[1:]))
+    elif body == "f16":
+        elem = float_type("half")
+    elif body == "f32":
+        elem = float_type("float")
+    elif body == "f64":
+        elem = float_type("double")
+    else:
+        return None
+    if count is None:
+        return elem
+    return vector_type(elem, count)
+
+
+def type_suffix(type_: Type) -> str:
+    """Inverse of :func:`parse_suffix_type`."""
+    if isinstance(type_, VectorType):
+        return f"v{type_.count}{type_suffix(type_.element)}"
+    if isinstance(type_, IntType):
+        return f"i{type_.bits}"
+    if isinstance(type_, FloatType):
+        return {"half": "f16", "float": "f32", "double": "f64"}[type_.kind]
+    raise IRError(f"no intrinsic suffix for type {type_}")
+
+
+def split_intrinsic_callee(callee: str) -> Optional[Tuple[str, Type]]:
+    """Split ``llvm.umin.v4i32`` into (``umin``, ``<4 x i32>``).
+
+    Returns None if the callee is not a well-formed known intrinsic name.
+    """
+    if not callee.startswith("llvm."):
+        return None
+    rest = callee[len("llvm."):]
+    # Try the longest base name first (e.g. "uadd.sat" before "uadd").
+    for base in sorted(_REGISTRY, key=len, reverse=True):
+        prefix = base + "."
+        if rest.startswith(prefix):
+            suffix = rest[len(prefix):]
+            parsed = parse_suffix_type(suffix)
+            if parsed is not None:
+                return base, parsed
+    return None
+
+
+def intrinsic_callee(base: str, suffix_type: Type) -> str:
+    """Build the mangled callee string for ``base`` over ``suffix_type``."""
+    if base not in _REGISTRY:
+        raise IRError(f"unknown intrinsic base name: {base!r}")
+    return f"llvm.{base}.{type_suffix(suffix_type)}"
+
+
+def intrinsic_signature(callee: str) -> Optional[Tuple[Type, Tuple[Type, ...]]]:
+    """(result type, argument types) for a callee, or None if unknown."""
+    split = split_intrinsic_callee(callee)
+    if split is None:
+        return None
+    base, suffix = split
+    info = _REGISTRY[base]
+    elem = suffix.scalar_type()
+    if info.kind == "int" and not isinstance(elem, IntType):
+        return None
+    if info.kind == "fp" and not isinstance(elem, FloatType):
+        return None
+    args = [suffix] * info.arity
+    if info.has_bool_tail:
+        args.append(I1)
+    result = info.result_of(suffix) if info.result_of else suffix
+    return result, tuple(args)
+
+
+def intrinsic_has_side_effects(callee: str) -> bool:
+    """Whether a call to ``callee`` may have side effects."""
+    split = split_intrinsic_callee(callee)
+    if split is None:
+        return True  # unknown callees are conservatively impure
+    return not _REGISTRY[split[0]].pure

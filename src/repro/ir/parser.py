@@ -1,0 +1,726 @@
+"""Recursive-descent parser for the textual IR subset.
+
+Accepts the LLVM syntax used throughout the paper (figures 1, 3 and 4),
+including ``tail call``, intrinsic callees, ``splat (...)`` vector
+constants, ``zeroinitializer``, poison-generating flags, ``align``
+suffixes and optional ``declare`` lines (which are skipped).
+
+Parse errors are raised as :class:`repro.errors.ParseError` and render in
+``opt`` style — e.g. ``error: expected instruction opcode`` — because the
+LPO loop forwards them verbatim to the LLM as repair feedback.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import ParseError
+from repro.ir.function import BasicBlock, Function, Module
+from repro.ir.instructions import (
+    BINARY_OPS,
+    CAST_OPS,
+    FCMP_PREDICATES,
+    ICMP_PREDICATES,
+    BinaryOperator,
+    Br,
+    Call,
+    Cast,
+    ExtractElement,
+    FCmp,
+    Freeze,
+    GetElementPtr,
+    ICmp,
+    InsertElement,
+    Instruction,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    ShuffleVector,
+    Store,
+    Unreachable,
+)
+from repro.ir.intrinsics import intrinsic_signature
+from repro.ir.types import (
+    IntType,
+    PointerType,
+    Type,
+    VectorType,
+    VOID,
+    parse_type_token,
+    vector_type,
+)
+from repro.ir.values import (
+    Argument,
+    Constant,
+    ConstantFP,
+    ConstantInt,
+    ConstantPointerNull,
+    ConstantVector,
+    PoisonValue,
+    UndefValue,
+    Value,
+    bits_to_float,
+    zero_value,
+)
+
+_TOKEN_RE = re.compile(r"""
+      (?P<ws>[ \t\r]+)
+    | (?P<comment>;[^\n]*)
+    | (?P<newline>\n)
+    | (?P<local>%[A-Za-z0-9._$-]+|%"[^"]*")
+    | (?P<global>@[A-Za-z0-9._$-]+|@"[^"]*")
+    | (?P<label>[A-Za-z0-9._$-]+:)
+    | (?P<float>-?\d+\.\d+(?:[eE][+-]?\d+)?)
+    | (?P<hex>0x[0-9A-Fa-f]+)
+    | (?P<int>-?\d+)
+    | (?P<word>[A-Za-z_][A-Za-z0-9._]*)
+    | (?P<punct><|>|\(|\)|\{|\}|\[|\]|,|=|\*)
+""", re.VERBOSE)
+
+_INSTRUCTION_FLAGS = {
+    "nuw", "nsw", "exact", "disjoint", "nneg", "samesign",
+    "inbounds", "nusw",
+    "fast", "nnan", "ninf", "nsz", "arcp", "contract", "reassoc",
+}
+
+
+class Token:
+    __slots__ = ("kind", "text", "line", "column", "source_line")
+
+    def __init__(self, kind: str, text: str, line: int, column: int,
+                 source_line: str):
+        self.kind = kind
+        self.text = text
+        self.line = line
+        self.column = column
+        self.source_line = source_line
+
+    def __repr__(self) -> str:
+        return f"Token({self.kind}, {self.text!r})"
+
+
+def tokenize(source: str) -> List[Token]:
+    tokens: List[Token] = []
+    lines = source.split("\n")
+    position = 0
+    line_no = 1
+    line_start = 0
+    while position < len(source):
+        match = _TOKEN_RE.match(source, position)
+        if match is None:
+            column = position - line_start + 1
+            raise ParseError(
+                f"unexpected character {source[position]!r}",
+                line_no, column, lines[line_no - 1])
+        position = match.end()
+        kind = match.lastgroup or ""
+        if kind in ("ws", "comment"):
+            continue
+        if kind == "newline":
+            line_no += 1
+            line_start = position
+            continue
+        column = match.start() - line_start + 1
+        tokens.append(Token(kind, match.group(), line_no, column,
+                            lines[line_no - 1]))
+    tokens.append(Token("eof", "", line_no, 1,
+                        lines[-1] if lines else ""))
+    return tokens
+
+
+class _ForwardRef(Value):
+    """Placeholder for a %name referenced before its definition (phis)."""
+
+    def __init__(self, name: str):
+        super().__init__(VOID, name)
+
+
+class Parser:
+    """Parses a token stream into a Module."""
+
+    def __init__(self, source: str):
+        self.tokens = tokenize(source)
+        self.position = 0
+        self.values: Dict[str, Value] = {}
+        self.forward_refs: Dict[str, List[_ForwardRef]] = {}
+        self.anon_counter = 0
+
+    # -- token plumbing ----------------------------------------------------
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self.position + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def advance(self) -> Token:
+        token = self.tokens[self.position]
+        if token.kind != "eof":
+            self.position += 1
+        return token
+
+    def error(self, message: str, token: Optional[Token] = None) -> ParseError:
+        token = token or self.peek()
+        return ParseError(message, token.line, token.column,
+                          token.source_line)
+
+    def expect(self, kind: str, text: Optional[str] = None,
+               message: Optional[str] = None) -> Token:
+        token = self.peek()
+        if token.kind != kind or (text is not None and token.text != text):
+            what = message or f"expected {text or kind}"
+            raise self.error(what, token)
+        return self.advance()
+
+    def accept(self, kind: str, text: Optional[str] = None) -> Optional[Token]:
+        token = self.peek()
+        if token.kind == kind and (text is None or token.text == text):
+            return self.advance()
+        return None
+
+    # -- types ------------------------------------------------------------
+    def parse_type(self) -> Type:
+        token = self.peek()
+        if token.kind == "punct" and token.text == "<":
+            self.advance()
+            count_tok = self.expect("int", message="expected vector length")
+            self.expect("word", "x", "expected 'x' in vector type")
+            element = self.parse_type()
+            self.expect("punct", ">", "expected '>' to close vector type")
+            try:
+                return vector_type(element, int(count_tok.text))
+            except Exception as exc:
+                raise self.error(str(exc), count_tok)
+        if token.kind == "word":
+            parsed = parse_type_token(token.text)
+            if parsed is not None:
+                self.advance()
+                return parsed
+        raise self.error("expected type", token)
+
+    def try_parse_type(self) -> Optional[Type]:
+        token = self.peek()
+        if token.kind == "punct" and token.text == "<":
+            return self.parse_type()
+        if token.kind == "word" and parse_type_token(token.text) is not None:
+            return self.parse_type()
+        return None
+
+    # -- values ------------------------------------------------------------
+    def lookup(self, name: str) -> Value:
+        if name in self.values:
+            return self.values[name]
+        ref = _ForwardRef(name)
+        self.forward_refs.setdefault(name, []).append(ref)
+        return ref
+
+    def define(self, name: str, value: Value, token: Token) -> None:
+        if name in self.values:
+            raise self.error(f"multiple definition of local value %{name}",
+                             token)
+        self.values[name] = value
+
+    def parse_operand(self, type_: Type) -> Value:
+        """Parse an operand of known type: a %ref or a constant."""
+        token = self.peek()
+        if token.kind == "local":
+            self.advance()
+            return self.lookup(token.text[1:].strip('"'))
+        return self.parse_constant(type_)
+
+    def parse_constant(self, type_: Type) -> Constant:
+        token = self.peek()
+        if token.kind == "word":
+            if token.text == "undef":
+                self.advance()
+                return UndefValue(type_)
+            if token.text == "poison":
+                self.advance()
+                return PoisonValue(type_)
+            if token.text == "zeroinitializer":
+                self.advance()
+                return zero_value(type_)
+            if token.text == "null" and isinstance(type_, PointerType):
+                self.advance()
+                return ConstantPointerNull(type_)
+            if token.text in ("true", "false"):
+                scalar = type_.scalar_type()
+                if isinstance(scalar, IntType) and scalar.bits == 1:
+                    self.advance()
+                    bit = ConstantInt(scalar, 1 if token.text == "true" else 0)
+                    if isinstance(type_, VectorType):
+                        return ConstantVector(type_, [bit] * type_.count)
+                    return bit
+            if token.text == "splat":
+                self.advance()
+                self.expect("punct", "(")
+                lane_type = self.parse_type()
+                lane = self.parse_constant(lane_type)
+                self.expect("punct", ")")
+                if not isinstance(type_, VectorType):
+                    raise self.error("splat constant requires a vector type",
+                                     token)
+                return ConstantVector(type_, [lane] * type_.count)
+        if token.kind == "punct" and token.text == "<":
+            if not isinstance(type_, VectorType):
+                raise self.error("vector constant requires a vector type",
+                                 token)
+            self.advance()
+            lanes: List[Constant] = []
+            while True:
+                lane_type = self.parse_type()
+                lanes.append(self.parse_constant(lane_type))
+                if not self.accept("punct", ","):
+                    break
+            self.expect("punct", ">")
+            return ConstantVector(type_, lanes)
+        scalar = type_.scalar_type()
+        if token.kind == "int":
+            if isinstance(scalar, IntType):
+                self.advance()
+                value = ConstantInt(scalar, int(token.text))
+                if isinstance(type_, VectorType):
+                    return ConstantVector(type_, [value] * type_.count)
+                return value
+            if scalar.is_float:
+                # Allow bare integers as FP literals (e.g. fcmp %x, 0).
+                self.advance()
+                value = ConstantFP(scalar, float(token.text))
+                if isinstance(type_, VectorType):
+                    return ConstantVector(type_, [value] * type_.count)
+                return value
+        if token.kind == "float" and scalar.is_float:
+            self.advance()
+            value = ConstantFP(scalar, float(token.text))
+            if isinstance(type_, VectorType):
+                return ConstantVector(type_, [value] * type_.count)
+            return value
+        if token.kind == "hex":
+            self.advance()
+            bits = int(token.text, 16)
+            if scalar.is_float:
+                value = ConstantFP(scalar, bits_to_float(bits))
+            elif isinstance(scalar, IntType):
+                value = ConstantInt(scalar, bits)
+            else:
+                raise self.error("hex constant needs int or float type",
+                                 token)
+            if isinstance(type_, VectorType):
+                return ConstantVector(type_, [value] * type_.count)
+            return value
+        raise self.error(f"expected value of type {type_}", token)
+
+    def parse_typed_operand(self) -> Value:
+        """Parse ``<type> <operand>``."""
+        type_ = self.parse_type()
+        return self.parse_operand(type_)
+
+    # -- module / function -------------------------------------------------
+    def parse_module(self, name: str = "module") -> Module:
+        module = Module(name)
+        while True:
+            token = self.peek()
+            if token.kind == "eof":
+                break
+            if token.kind == "word" and token.text == "define":
+                module.add_function(self.parse_function())
+            elif token.kind == "word" and token.text == "declare":
+                self._skip_declaration()
+            elif token.kind == "word" and token.text in (
+                    "source_filename", "target"):
+                self._skip_line(token.line)
+            else:
+                raise self.error("expected 'define' at top level", token)
+        return module
+
+    def _skip_declaration(self) -> None:
+        line = self.peek().line
+        self._skip_line(line)
+
+    def _skip_line(self, line: int) -> None:
+        while self.peek().kind != "eof" and self.peek().line == line:
+            self.advance()
+
+    def parse_function(self) -> Function:
+        self.values = {}
+        self.forward_refs = {}
+        self.anon_counter = 0
+        self.expect("word", "define")
+        return_type = self.parse_type()
+        name_tok = self.expect("global", message="expected function name")
+        self.expect("punct", "(")
+        arguments: List[Argument] = []
+        if not self.accept("punct", ")"):
+            while True:
+                arg_type = self.parse_type()
+                # Skip parameter attributes (noundef, zeroext, ...).
+                param_attrs = (
+                    "noundef", "zeroext", "signext", "nocapture", "readnone",
+                    "readonly", "writeonly", "noalias", "nonnull",
+                    "align", "dereferenceable", "returned")
+                while (self.peek().kind == "word"
+                       and self.peek().text in param_attrs):
+                    attr = self.advance()
+                    if attr.text == "align":
+                        self.accept("int")
+                    elif attr.text == "dereferenceable":
+                        self.accept("punct", "(")
+                        self.accept("int")
+                        self.accept("punct", ")")
+                arg_tok = self.accept("local")
+                if arg_tok is not None:
+                    arg_name = arg_tok.text[1:].strip('"')
+                else:
+                    arg_name = str(self.anon_counter)
+                self.anon_counter += 1 if arg_tok is None else 0
+                argument = Argument(arg_type, arg_name, len(arguments))
+                arguments.append(argument)
+                if not self.accept("punct", ","):
+                    break
+            self.expect("punct", ")")
+        # Skip function attributes before the body.
+        while self.peek().kind == "word" and self.peek().text in (
+                "local_unnamed_addr", "unnamed_addr", "nounwind",
+                "willreturn", "memory", "alwaysinline", "noinline"):
+            attr = self.advance()
+            if attr.text == "memory":
+                self.expect("punct", "(")
+                while not self.accept("punct", ")"):
+                    self.advance()
+        function = Function(name_tok.text[1:].strip('"'),
+                            return_type, arguments)
+        for argument in arguments:
+            self.define(argument.name, argument,
+                        self.tokens[self.position - 1])
+        self.expect("punct", "{", "expected function body")
+        self._parse_body(function)
+        self.expect("punct", "}", "expected '}' at end of function")
+        self._resolve_forward_refs(function)
+        return function
+
+    def _parse_body(self, function: Function) -> None:
+        block = BasicBlock("entry")
+        function.add_block(block)
+        started = False
+        while True:
+            token = self.peek()
+            if token.kind == "punct" and token.text == "}":
+                break
+            if token.kind == "eof":
+                raise self.error("unexpected end of input in function body")
+            if token.kind == "label":
+                label = token.text[:-1]
+                self.advance()
+                if not started and not block.instructions:
+                    block.label = label
+                else:
+                    block = BasicBlock(label)
+                    function.add_block(block)
+                started = True
+                continue
+            started = True
+            block.append(self.parse_instruction())
+
+    def _resolve_forward_refs(self, function: Function) -> None:
+        for name, refs in self.forward_refs.items():
+            target = self.values.get(name)
+            if target is None:
+                raise ParseError(f"use of undefined value %{name}")
+            for ref in refs:
+                for inst in function.instructions():
+                    inst.replace_operand(ref, target)
+
+    # -- instructions --------------------------------------------------
+    def parse_instruction(self) -> Instruction:
+        token = self.peek()
+        result_name: Optional[str] = None
+        if token.kind == "local":
+            result_name = token.text[1:].strip('"')
+            self.advance()
+            self.expect("punct", "=", "expected '=' after instruction result")
+        name_token = token
+        inst = self._parse_instruction_body(result_name)
+        if result_name is not None:
+            if inst.type == VOID:
+                raise self.error(
+                    "instruction returning void cannot be named", name_token)
+            inst.name = result_name
+            self.define(result_name, inst, name_token)
+        elif inst.type != VOID:
+            inst.name = str(self.anon_counter)
+            self.define(inst.name, inst, name_token)
+            self.anon_counter += 1
+        return inst
+
+    def _collect_flags(self) -> List[str]:
+        flags: List[str] = []
+        while (self.peek().kind == "word"
+               and self.peek().text in _INSTRUCTION_FLAGS):
+            flags.append(self.advance().text)
+        return flags
+
+    def _parse_align(self) -> int:
+        if self.accept("punct", ","):
+            self.expect("word", "align", "expected 'align'")
+            return int(self.expect("int").text)
+        return 0
+
+    def _parse_instruction_body(self, result_name: Optional[str]
+                                ) -> Instruction:
+        token = self.peek()
+        if token.kind != "word":
+            raise self.error("expected instruction opcode", token)
+        opcode = token.text
+
+        if opcode in BINARY_OPS:
+            self.advance()
+            flags = self._collect_flags()
+            type_ = self.parse_type()
+            lhs = self.parse_operand(type_)
+            self.expect("punct", ",")
+            rhs = self.parse_operand(type_)
+            try:
+                return BinaryOperator(opcode, lhs, rhs, flags)
+            except Exception as exc:
+                raise self.error(str(exc), token)
+
+        if opcode == "icmp":
+            self.advance()
+            flags = self._collect_flags()
+            pred = self.expect("word",
+                               message="expected icmp predicate").text
+            if pred not in ICMP_PREDICATES:
+                raise self.error(f"invalid icmp predicate '{pred}'", token)
+            type_ = self.parse_type()
+            lhs = self.parse_operand(type_)
+            self.expect("punct", ",")
+            rhs = self.parse_operand(type_)
+            return ICmp(pred, lhs, rhs, flags)
+
+        if opcode == "fcmp":
+            self.advance()
+            flags = self._collect_flags()
+            pred = self.expect("word",
+                               message="expected fcmp predicate").text
+            if pred not in FCMP_PREDICATES:
+                raise self.error(f"invalid fcmp predicate '{pred}'", token)
+            type_ = self.parse_type()
+            lhs = self.parse_operand(type_)
+            self.expect("punct", ",")
+            rhs = self.parse_operand(type_)
+            return FCmp(pred, lhs, rhs, flags)
+
+        if opcode == "select":
+            self.advance()
+            flags = self._collect_flags()
+            cond = self.parse_typed_operand()
+            self.expect("punct", ",")
+            tval = self.parse_typed_operand()
+            self.expect("punct", ",")
+            fval = self.parse_typed_operand()
+            try:
+                return Select(cond, tval, fval, flags)
+            except Exception as exc:
+                raise self.error(str(exc), token)
+
+        if opcode in CAST_OPS:
+            self.advance()
+            flags = self._collect_flags()
+            value = self.parse_typed_operand()
+            self.expect("word", "to", "expected 'to' in cast")
+            dest = self.parse_type()
+            try:
+                return Cast(opcode, value, dest, flags)
+            except Exception as exc:
+                raise self.error(str(exc), token)
+
+        if opcode == "freeze":
+            self.advance()
+            return Freeze(self.parse_typed_operand())
+
+        if opcode in ("tail", "call"):
+            return self._parse_call(token)
+
+        if opcode == "load":
+            self.advance()
+            loaded = self.parse_type()
+            self.expect("punct", ",")
+            ptr_type = self.parse_type()
+            pointer = self.parse_operand(ptr_type)
+            align = self._parse_align()
+            try:
+                return Load(loaded, pointer, align)
+            except Exception as exc:
+                raise self.error(str(exc), token)
+
+        if opcode == "store":
+            self.advance()
+            value = self.parse_typed_operand()
+            self.expect("punct", ",")
+            ptr_type = self.parse_type()
+            pointer = self.parse_operand(ptr_type)
+            align = self._parse_align()
+            try:
+                return Store(value, pointer, align)
+            except Exception as exc:
+                raise self.error(str(exc), token)
+
+        if opcode == "getelementptr":
+            self.advance()
+            flags = self._collect_flags()
+            source_type = self.parse_type()
+            self.expect("punct", ",")
+            ptr_type = self.parse_type()
+            pointer = self.parse_operand(ptr_type)
+            self.expect("punct", ",")
+            index = self.parse_typed_operand()
+            if self.peek().kind == "punct" and self.peek().text == ",":
+                raise self.error(
+                    "multi-index getelementptr is not supported", token)
+            try:
+                return GetElementPtr(source_type, pointer, index, flags)
+            except Exception as exc:
+                raise self.error(str(exc), token)
+
+        if opcode == "extractelement":
+            self.advance()
+            vector = self.parse_typed_operand()
+            self.expect("punct", ",")
+            index = self.parse_typed_operand()
+            try:
+                return ExtractElement(vector, index)
+            except Exception as exc:
+                raise self.error(str(exc), token)
+
+        if opcode == "insertelement":
+            self.advance()
+            vector = self.parse_typed_operand()
+            self.expect("punct", ",")
+            element = self.parse_typed_operand()
+            self.expect("punct", ",")
+            index = self.parse_typed_operand()
+            try:
+                return InsertElement(vector, element, index)
+            except Exception as exc:
+                raise self.error(str(exc), token)
+
+        if opcode == "shufflevector":
+            self.advance()
+            lhs = self.parse_typed_operand()
+            self.expect("punct", ",")
+            rhs = self.parse_typed_operand()
+            self.expect("punct", ",")
+            mask_type = self.parse_type()
+            mask_tok = self.peek()
+            mask_const = self.parse_constant(mask_type)
+            mask: List[int] = []
+            if isinstance(mask_const, ConstantVector):
+                for lane in mask_const.elements:
+                    if isinstance(lane, (UndefValue, PoisonValue)):
+                        mask.append(-1)
+                    elif isinstance(lane, ConstantInt):
+                        mask.append(lane.value)
+                    else:
+                        raise self.error("invalid shuffle mask", mask_tok)
+            else:
+                raise self.error("shuffle mask must be a vector constant",
+                                 mask_tok)
+            try:
+                return ShuffleVector(lhs, rhs, mask)
+            except Exception as exc:
+                raise self.error(str(exc), token)
+
+        if opcode == "ret":
+            self.advance()
+            if self.accept("word", "void"):
+                return Ret(None)
+            return Ret(self.parse_typed_operand())
+
+        if opcode == "br":
+            self.advance()
+            if self.accept("word", "label"):
+                target = self.expect("local").text[1:]
+                return Br(target)
+            cond = self.parse_typed_operand()
+            self.expect("punct", ",")
+            self.expect("word", "label")
+            then_target = self.expect("local").text[1:]
+            self.expect("punct", ",")
+            self.expect("word", "label")
+            else_target = self.expect("local").text[1:]
+            return Br(then_target, cond, else_target)
+
+        if opcode == "unreachable":
+            self.advance()
+            return Unreachable()
+
+        if opcode == "phi":
+            self.advance()
+            type_ = self.parse_type()
+            incoming: List[Tuple[Value, str]] = []
+            while True:
+                self.expect("punct", "[")
+                value = self.parse_operand(type_)
+                self.expect("punct", ",")
+                label = self.expect("local").text[1:]
+                self.expect("punct", "]")
+                incoming.append((value, label))
+                if not self.accept("punct", ","):
+                    break
+            return Phi(type_, incoming)
+
+        raise self.error("expected instruction opcode", token)
+
+    def _parse_call(self, start: Token) -> Instruction:
+        flags: List[str] = []
+        if self.accept("word", "tail"):
+            flags.append("tail")
+        self.expect("word", "call", "expected 'call'")
+        flags.extend(self._collect_flags())
+        return_type = self.parse_type()
+        callee_tok = self.expect("global", message="expected callee")
+        callee = callee_tok.text[1:].strip('"')
+        self.expect("punct", "(")
+        args: List[Value] = []
+        if not self.accept("punct", ")"):
+            while True:
+                args.append(self.parse_typed_operand())
+                if not self.accept("punct", ","):
+                    break
+            self.expect("punct", ")")
+        signature = intrinsic_signature(callee)
+        if signature is None:
+            raise self.error(f"unknown intrinsic '@{callee}'", callee_tok)
+        expected_result, expected_args = signature
+        if expected_result != return_type:
+            raise self.error(
+                f"call to @{callee} has wrong return type "
+                f"{return_type}, expected {expected_result}", callee_tok)
+        if len(args) == len(expected_args) - 1:
+            # Tolerate a missing trailing immarg i1 (llvm.abs, ctlz, cttz).
+            args.append(ConstantInt(expected_args[-1], 0))
+        if len(args) != len(expected_args):
+            raise self.error(
+                f"call to @{callee} has {len(args)} arguments, "
+                f"expected {len(expected_args)}", callee_tok)
+        for given, expected in zip(args, expected_args):
+            if given.type != expected and not isinstance(given, _ForwardRef):
+                raise self.error(
+                    f"call to @{callee} argument type {given.type} "
+                    f"does not match expected {expected}", callee_tok)
+        return Call(callee, return_type, args, flags)
+
+
+def parse_module(source: str, name: str = "module") -> Module:
+    """Parse the textual IR of a whole module."""
+    return Parser(source).parse_module(name)
+
+
+def parse_function(source: str) -> Function:
+    """Parse exactly one ``define``; raises if none or several exist."""
+    module = parse_module(source)
+    if len(module.functions) != 1:
+        raise ParseError(
+            f"expected exactly one function, found {len(module.functions)}")
+    function = module.functions[0]
+    function.parent = None
+    return function

@@ -1,0 +1,167 @@
+"""Textual IR printer producing LLVM-compatible syntax.
+
+The output round-trips through :mod:`repro.ir.parser` and matches the
+formatting conventions in the paper's figures (``tail call``, ``splat``,
+``align`` suffixes, two-space indentation).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import IRError
+from repro.ir.function import BasicBlock, Function, Module
+from repro.ir.instructions import (
+    BinaryOperator,
+    Br,
+    Call,
+    Cast,
+    ExtractElement,
+    FCmp,
+    Freeze,
+    GetElementPtr,
+    ICmp,
+    InsertElement,
+    Instruction,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    ShuffleVector,
+    Store,
+    Unreachable,
+)
+from repro.ir.types import VOID
+from repro.ir.values import Value
+
+_FLAG_ORDER = (
+    "tail", "fast", "nnan", "ninf", "nsz", "arcp", "contract", "reassoc",
+    # `inbounds` precedes `nuw` the way LLVM prints GEP flags; it never
+    # co-occurs with the arithmetic flags, so the shared order is safe.
+    "inbounds", "nuw", "nsw", "nusw", "exact", "disjoint", "nneg",
+    "samesign",
+)
+
+
+def _flags_str(inst: Instruction, exclude: tuple = ()) -> str:
+    ordered = [f for f in _FLAG_ORDER if f in inst.flags and f not in exclude]
+    return (" ".join(ordered) + " ") if ordered else ""
+
+
+def operand(value: Value, with_type: bool = True) -> str:
+    """Render an operand, optionally prefixed with its type."""
+    ref = value.operand_ref()
+    if with_type:
+        return f"{value.type} {ref}"
+    return ref
+
+
+def print_instruction(inst: Instruction) -> str:
+    """Render one instruction without indentation or trailing newline."""
+    text = _instruction_body(inst)
+    if inst.type != VOID:
+        return f"%{inst.name} = {text}"
+    return text
+
+
+def _instruction_body(inst: Instruction) -> str:
+    if isinstance(inst, BinaryOperator):
+        return (f"{inst.opcode} {_flags_str(inst)}{inst.lhs.type} "
+                f"{inst.lhs.operand_ref()}, {inst.rhs.operand_ref()}")
+    if isinstance(inst, ICmp):
+        flags = "samesign " if "samesign" in inst.flags else ""
+        return (f"icmp {flags}{inst.predicate} {inst.lhs.type} "
+                f"{inst.lhs.operand_ref()}, {inst.rhs.operand_ref()}")
+    if isinstance(inst, FCmp):
+        return (f"fcmp {_flags_str(inst)}{inst.predicate} {inst.lhs.type} "
+                f"{inst.lhs.operand_ref()}, {inst.rhs.operand_ref()}")
+    if isinstance(inst, Select):
+        return ("select "
+                f"{operand(inst.condition)}, {operand(inst.true_value)}, "
+                f"{operand(inst.false_value)}")
+    if isinstance(inst, Cast):
+        return (f"{inst.opcode} {_flags_str(inst)}{operand(inst.value)} "
+                f"to {inst.type}")
+    if isinstance(inst, Freeze):
+        return f"freeze {operand(inst.value)}"
+    if isinstance(inst, Call):
+        tail = "tail " if "tail" in inst.flags else ""
+        fmf = _flags_str(inst, exclude=("tail",))
+        args = ", ".join(operand(a) for a in inst.operands)
+        return f"{tail}call {fmf}{inst.type} @{inst.callee}({args})"
+    if isinstance(inst, ExtractElement):
+        return (f"extractelement {operand(inst.vector)}, "
+                f"{operand(inst.index)}")
+    if isinstance(inst, InsertElement):
+        return (f"insertelement {operand(inst.vector)}, "
+                f"{operand(inst.element)}, {operand(inst.index)}")
+    if isinstance(inst, ShuffleVector):
+        lanes = ", ".join(
+            "i32 poison" if m == -1 else f"i32 {m}" for m in inst.mask)
+        return (f"shufflevector {operand(inst.operands[0])}, "
+                f"{operand(inst.operands[1])}, <{lanes}>")
+    if isinstance(inst, Load):
+        align = f", align {inst.align}" if inst.align else ""
+        return f"load {inst.type}, {operand(inst.pointer)}{align}"
+    if isinstance(inst, Store):
+        align = f", align {inst.align}" if inst.align else ""
+        return f"store {operand(inst.value)}, {operand(inst.pointer)}{align}"
+    if isinstance(inst, GetElementPtr):
+        return (f"getelementptr {_flags_str(inst)}{inst.source_type}, "
+                f"{operand(inst.pointer)}, {operand(inst.index)}")
+    if isinstance(inst, Ret):
+        if inst.value is None:
+            return "ret void"
+        return f"ret {operand(inst.value)}"
+    if isinstance(inst, Br):
+        if inst.is_conditional:
+            return (f"br {operand(inst.condition)}, "
+                    f"label %{inst.target}, label %{inst.false_target}")
+        return f"br label %{inst.target}"
+    if isinstance(inst, Unreachable):
+        return "unreachable"
+    if isinstance(inst, Phi):
+        incoming = ", ".join(
+            f"[ {value.operand_ref()}, %{label} ]"
+            for value, label in inst.incoming)
+        return f"phi {inst.type} {incoming}"
+    raise IRError(f"cannot print instruction {inst!r}")
+
+
+def print_block(block: BasicBlock, print_label: bool = True) -> str:
+    lines: List[str] = []
+    if print_label:
+        lines.append(f"{block.label}:")
+    for inst in block.instructions:
+        lines.append(f"  {print_instruction(inst)}")
+    return "\n".join(lines)
+
+
+def print_function(function: Function) -> str:
+    """Render a complete ``define``."""
+    function.assign_names()
+    params = ", ".join(
+        f"{arg.type} %{arg.name}" for arg in function.arguments)
+    header = f"define {function.return_type} @{function.name}({params}) {{"
+    body: List[str] = []
+    for index, block in enumerate(function.blocks):
+        # The entry block label is implicit unless it is branched to.
+        needs_label = index > 0 or _entry_label_needed(function)
+        body.append(print_block(block, print_label=needs_label))
+    return "\n".join([header] + body + ["}"])
+
+
+def _entry_label_needed(function: Function) -> bool:
+    entry_label = function.blocks[0].label if function.blocks else ""
+    for inst in function.instructions():
+        if isinstance(inst, Br):
+            if entry_label in (inst.target, inst.false_target):
+                return True
+        if isinstance(inst, Phi) and entry_label in inst.incoming_blocks:
+            return True
+    return False
+
+
+def print_module(module: Module) -> str:
+    """Render every function, separated by blank lines."""
+    return "\n\n".join(print_function(f) for f in module.functions) + "\n"

@@ -1,0 +1,326 @@
+"""The type system of the miniature LLVM-style IR.
+
+Types are immutable and interned where it is cheap to do so, which makes
+``==`` comparisons and hashing safe to use as dictionary keys throughout the
+optimizer and verifier.  The subset implemented here covers everything the
+LPO paper's figures, case studies, and benchmark issues use:
+
+* arbitrary-width integers (``i1`` .. ``i128``),
+* IEEE floats (``half``, ``float``, ``double``),
+* fixed-width vectors of integer or float elements,
+* opaque pointers (``ptr``),
+* ``void`` and ``label`` for terminators and blocks.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Optional
+
+from repro.errors import IRError
+
+
+class Type:
+    """Base class for all IR types."""
+
+    def __eq__(self, other: object) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __hash__(self) -> int:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self}>"
+
+    # -- Convenience predicates -------------------------------------------
+    @property
+    def is_integer(self) -> bool:
+        return isinstance(self, IntType)
+
+    @property
+    def is_float(self) -> bool:
+        return isinstance(self, FloatType)
+
+    @property
+    def is_vector(self) -> bool:
+        return isinstance(self, VectorType)
+
+    @property
+    def is_pointer(self) -> bool:
+        return isinstance(self, PointerType)
+
+    @property
+    def is_void(self) -> bool:
+        return isinstance(self, VoidType)
+
+    @property
+    def is_first_class(self) -> bool:
+        """True for types that an SSA value may carry."""
+        return not isinstance(self, (VoidType, LabelType, FunctionType))
+
+    def scalar_type(self) -> "Type":
+        """The element type for vectors, the type itself otherwise."""
+        return self
+
+    def with_scalar(self, scalar: "Type") -> "Type":
+        """Rebuild this type with a different scalar element.
+
+        For a vector type this produces a vector of the same lane count
+        over ``scalar``; for a scalar type it returns ``scalar`` directly.
+        Useful when a transformation changes element width but preserves
+        vector shape (e.g. ``trunc <4 x i32> -> <4 x i8>``).
+        """
+        return scalar
+
+    @property
+    def bit_width(self) -> int:
+        """Total bit width; raises for types without a fixed width."""
+        raise IRError(f"type {self} has no fixed bit width")
+
+
+class VoidType(Type):
+    """The ``void`` type, only valid as a function return type."""
+
+    _instance: Optional["VoidType"] = None
+
+    def __new__(cls) -> "VoidType":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, VoidType)
+
+    def __hash__(self) -> int:
+        return hash("void")
+
+    def __str__(self) -> str:
+        return "void"
+
+
+class LabelType(Type):
+    """The type of basic-block labels."""
+
+    _instance: Optional["LabelType"] = None
+
+    def __new__(cls) -> "LabelType":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, LabelType)
+
+    def __hash__(self) -> int:
+        return hash("label")
+
+    def __str__(self) -> str:
+        return "label"
+
+
+class IntType(Type):
+    """An ``iN`` integer type.
+
+    Widths from 1 to 128 bits are supported, matching the range exercised
+    by InstCombine-style rewrites.
+    """
+
+    MAX_WIDTH = 128
+
+    def __init__(self, bits: int):
+        if not isinstance(bits, int) or bits < 1 or bits > self.MAX_WIDTH:
+            raise IRError(f"invalid integer width: {bits!r}")
+        self.bits = bits
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, IntType) and other.bits == self.bits
+
+    def __hash__(self) -> int:
+        return hash(("int", self.bits))
+
+    def __str__(self) -> str:
+        return f"i{self.bits}"
+
+    @property
+    def bit_width(self) -> int:
+        return self.bits
+
+    @property
+    def mask(self) -> int:
+        """All-ones bit pattern for this width."""
+        return (1 << self.bits) - 1
+
+    @property
+    def signed_min(self) -> int:
+        return -(1 << (self.bits - 1))
+
+    @property
+    def signed_max(self) -> int:
+        return (1 << (self.bits - 1)) - 1
+
+
+class FloatType(Type):
+    """An IEEE floating-point type: ``half``, ``float`` or ``double``."""
+
+    _WIDTHS = {"half": 16, "float": 32, "double": 64}
+
+    def __init__(self, kind: str):
+        if kind not in self._WIDTHS:
+            raise IRError(f"invalid float kind: {kind!r}")
+        self.kind = kind
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, FloatType) and other.kind == self.kind
+
+    def __hash__(self) -> int:
+        return hash(("float", self.kind))
+
+    def __str__(self) -> str:
+        return self.kind
+
+    @property
+    def bit_width(self) -> int:
+        return self._WIDTHS[self.kind]
+
+    @property
+    def mantissa_bits(self) -> int:
+        return {"half": 10, "float": 23, "double": 52}[self.kind]
+
+    @property
+    def exponent_bits(self) -> int:
+        return {"half": 5, "float": 8, "double": 11}[self.kind]
+
+
+class PointerType(Type):
+    """An opaque pointer (modern LLVM ``ptr``)."""
+
+    _instance: Optional["PointerType"] = None
+
+    def __new__(cls) -> "PointerType":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, PointerType)
+
+    def __hash__(self) -> int:
+        return hash("ptr")
+
+    def __str__(self) -> str:
+        return "ptr"
+
+    @property
+    def bit_width(self) -> int:
+        # Pointers are modelled as 64-bit for ptrtoint/inttoptr purposes.
+        return 64
+
+
+class VectorType(Type):
+    """A fixed-length vector ``<N x elem>`` of integers, floats or pointers."""
+
+    def __init__(self, element: Type, count: int):
+        if not isinstance(element, (IntType, FloatType, PointerType)):
+            raise IRError(f"invalid vector element type: {element}")
+        if not isinstance(count, int) or count < 1 or count > 4096:
+            raise IRError(f"invalid vector lane count: {count!r}")
+        self.element = element
+        self.count = count
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, VectorType)
+                and other.element == self.element
+                and other.count == self.count)
+
+    def __hash__(self) -> int:
+        return hash(("vector", self.element, self.count))
+
+    def __str__(self) -> str:
+        return f"<{self.count} x {self.element}>"
+
+    def scalar_type(self) -> Type:
+        return self.element
+
+    def with_scalar(self, scalar: Type) -> Type:
+        return VectorType(scalar, self.count)
+
+    @property
+    def bit_width(self) -> int:
+        return self.element.bit_width * self.count
+
+
+class FunctionType(Type):
+    """A function signature type ``ret (params...)``."""
+
+    def __init__(self, return_type: Type, param_types: tuple):
+        self.return_type = return_type
+        self.param_types = tuple(param_types)
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, FunctionType)
+                and other.return_type == self.return_type
+                and other.param_types == self.param_types)
+
+    def __hash__(self) -> int:
+        return hash(("fn", self.return_type, self.param_types))
+
+    def __str__(self) -> str:
+        params = ", ".join(str(p) for p in self.param_types)
+        return f"{self.return_type} ({params})"
+
+
+# ---------------------------------------------------------------------------
+# Interned constructors.  ``i32()`` style helpers keep call sites short.
+# ---------------------------------------------------------------------------
+
+@lru_cache(maxsize=None)
+def int_type(bits: int) -> IntType:
+    """Return the interned ``iN`` type."""
+    return IntType(bits)
+
+
+@lru_cache(maxsize=None)
+def float_type(kind: str) -> FloatType:
+    """Return the interned float type for ``kind``."""
+    return FloatType(kind)
+
+
+@lru_cache(maxsize=None)
+def vector_type(element: Type, count: int) -> VectorType:
+    """Return the interned ``<count x element>`` type."""
+    return VectorType(element, count)
+
+
+VOID = VoidType()
+LABEL = LabelType()
+PTR = PointerType()
+I1 = int_type(1)
+I8 = int_type(8)
+I16 = int_type(16)
+I32 = int_type(32)
+I64 = int_type(64)
+I128 = int_type(128)
+HALF = float_type("half")
+FLOAT = float_type("float")
+DOUBLE = float_type("double")
+
+
+def parse_type_token(token: str) -> Optional[Type]:
+    """Map a primitive type token (``i32``, ``double``, ``ptr``) to a Type.
+
+    Returns None for tokens that are not primitive type names; composite
+    types (vectors) are handled by the parser proper.
+    """
+    if token == "void":
+        return VOID
+    if token == "ptr":
+        return PTR
+    if token == "label":
+        return LABEL
+    if token in FloatType._WIDTHS:
+        return float_type(token)
+    if token.startswith("i") and token[1:].isdigit():
+        bits = int(token[1:])
+        if 1 <= bits <= IntType.MAX_WIDTH:
+            return int_type(bits)
+    return None

@@ -1,0 +1,348 @@
+"""SSA values: arguments, constants, undef and poison.
+
+All runtime integer payloads are stored as *unsigned* bit patterns masked to
+the type width (the same convention as LLVM's APInt); signed interpretation
+happens at the use site via :func:`repro.semantics.bitvector.to_signed`.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterable, List, Optional, Sequence, Union
+
+from repro.errors import IRError, TypeMismatchError
+from repro.ir.types import (
+    FloatType,
+    IntType,
+    PointerType,
+    Type,
+    VectorType,
+)
+
+
+class Value:
+    """Base class of everything that may appear as an operand."""
+
+    def __init__(self, type_: Type, name: str = ""):
+        self.type = type_
+        self.name = name
+        # Instructions that use this value; maintained by BasicBlock edits.
+        self.uses: List["object"] = []
+
+    @property
+    def is_constant(self) -> bool:
+        return isinstance(self, Constant)
+
+    def operand_ref(self) -> str:
+        """Render this value the way it appears as an operand (``%x``)."""
+        return f"%{self.name}"
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.type} {self.operand_ref()}>"
+
+
+class Argument(Value):
+    """A function parameter."""
+
+    def __init__(self, type_: Type, name: str, index: int = 0):
+        super().__init__(type_, name)
+        self.index = index
+
+
+class Constant(Value):
+    """Base class for immediate values."""
+
+    def operand_ref(self) -> str:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __eq__(self, other: object) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __hash__(self) -> int:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class ConstantInt(Constant):
+    """An integer immediate, stored as an unsigned masked bit pattern."""
+
+    def __init__(self, type_: IntType, value: int):
+        if not isinstance(type_, IntType):
+            raise TypeMismatchError(f"ConstantInt requires IntType, got {type_}")
+        super().__init__(type_)
+        self.value = value & type_.mask
+
+    @property
+    def signed_value(self) -> int:
+        """Two's-complement signed interpretation of the bit pattern."""
+        if self.value >> (self.type.bits - 1):
+            return self.value - (1 << self.type.bits)
+        return self.value
+
+    @property
+    def is_zero(self) -> bool:
+        return self.value == 0
+
+    @property
+    def is_one(self) -> bool:
+        return self.value == 1
+
+    @property
+    def is_all_ones(self) -> bool:
+        return self.value == self.type.mask
+
+    def operand_ref(self) -> str:
+        if self.type.bits == 1:
+            return "true" if self.value else "false"
+        return str(self.signed_value)
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, ConstantInt)
+                and other.type == self.type
+                and other.value == self.value)
+
+    def __hash__(self) -> int:
+        return hash(("cint", self.type, self.value))
+
+    def __repr__(self) -> str:
+        return f"<ConstantInt {self.type} {self.operand_ref()}>"
+
+
+class ConstantFP(Constant):
+    """A floating-point immediate."""
+
+    def __init__(self, type_: FloatType, value: float):
+        if not isinstance(type_, FloatType):
+            raise TypeMismatchError(f"ConstantFP requires FloatType, got {type_}")
+        super().__init__(type_)
+        self.value = float(value)
+
+    @property
+    def is_nan(self) -> bool:
+        return self.value != self.value
+
+    @property
+    def is_zero(self) -> bool:
+        return self.value == 0.0 and not self.is_nan
+
+    def operand_ref(self) -> str:
+        return format_float_literal(self.value)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ConstantFP) or other.type != self.type:
+            return False
+        # Compare bit patterns so that NaN == NaN and -0.0 != +0.0.
+        return float_bits(self.value) == float_bits(other.value)
+
+    def __hash__(self) -> int:
+        return hash(("cfp", self.type, float_bits(self.value)))
+
+    def __repr__(self) -> str:
+        return f"<ConstantFP {self.type} {self.value!r}>"
+
+
+class ConstantPointerNull(Constant):
+    """The ``null`` pointer constant."""
+
+    def __init__(self, type_: PointerType):
+        super().__init__(type_)
+
+    def operand_ref(self) -> str:
+        return "null"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, ConstantPointerNull)
+
+    def __hash__(self) -> int:
+        return hash("cnull")
+
+
+class UndefValue(Constant):
+    """The ``undef`` constant: any value of the type, chosen per use."""
+
+    def __init__(self, type_: Type):
+        super().__init__(type_)
+
+    def operand_ref(self) -> str:
+        return "undef"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, UndefValue) and other.type == self.type
+
+    def __hash__(self) -> int:
+        return hash(("undef", self.type))
+
+
+class PoisonValue(Constant):
+    """The ``poison`` constant."""
+
+    def __init__(self, type_: Type):
+        super().__init__(type_)
+
+    def operand_ref(self) -> str:
+        return "poison"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, PoisonValue) and other.type == self.type
+
+    def __hash__(self) -> int:
+        return hash(("poison", self.type))
+
+
+class ConstantVector(Constant):
+    """A vector immediate built from scalar constants, one per lane."""
+
+    def __init__(self, type_: VectorType, elements: Sequence[Constant]):
+        if not isinstance(type_, VectorType):
+            raise TypeMismatchError(
+                f"ConstantVector requires VectorType, got {type_}")
+        elements = tuple(elements)
+        if len(elements) != type_.count:
+            raise TypeMismatchError(
+                f"vector constant has {len(elements)} lanes, "
+                f"type {type_} expects {type_.count}")
+        for elem in elements:
+            if elem.type != type_.element:
+                raise TypeMismatchError(
+                    f"vector lane type {elem.type} != element type "
+                    f"{type_.element}")
+        super().__init__(type_)
+        self.elements = elements
+
+    @property
+    def is_splat(self) -> bool:
+        return all(e == self.elements[0] for e in self.elements)
+
+    @property
+    def splat_value(self) -> Optional[Constant]:
+        return self.elements[0] if self.is_splat else None
+
+    @property
+    def is_zero(self) -> bool:
+        return all(
+            isinstance(e, (ConstantInt, ConstantFP)) and e.is_zero
+            for e in self.elements)
+
+    def operand_ref(self) -> str:
+        if self.is_zero and isinstance(self.type.element, IntType):
+            return "zeroinitializer"
+        if self.is_splat:
+            lane = self.elements[0]
+            return f"splat ({lane.type} {lane.operand_ref()})"
+        lanes = ", ".join(
+            f"{e.type} {e.operand_ref()}" for e in self.elements)
+        return f"<{lanes}>"
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, ConstantVector)
+                and other.type == self.type
+                and other.elements == self.elements)
+
+    def __hash__(self) -> int:
+        return hash(("cvec", self.type, self.elements))
+
+
+class GlobalValue(Value):
+    """A named module-level symbol (function or global variable)."""
+
+    def __init__(self, type_: Type, name: str):
+        super().__init__(type_, name)
+
+    def operand_ref(self) -> str:
+        return f"@{self.name}"
+
+
+# ---------------------------------------------------------------------------
+# Construction helpers
+# ---------------------------------------------------------------------------
+
+def const_int(type_: Union[IntType, VectorType], value: int) -> Constant:
+    """Build an integer constant, splatting across vector lanes if needed."""
+    if isinstance(type_, VectorType):
+        lane = ConstantInt(type_.element, value)
+        return ConstantVector(type_, [lane] * type_.count)
+    return ConstantInt(type_, value)
+
+
+def const_fp(type_: Union[FloatType, VectorType], value: float) -> Constant:
+    """Build a floating-point constant, splatting for vector types."""
+    if isinstance(type_, VectorType):
+        lane = ConstantFP(type_.element, value)
+        return ConstantVector(type_, [lane] * type_.count)
+    return ConstantFP(type_, value)
+
+
+def const_bool(value: bool) -> ConstantInt:
+    from repro.ir.types import I1
+    return ConstantInt(I1, 1 if value else 0)
+
+
+def zero_value(type_: Type) -> Constant:
+    """The all-zero constant of ``type_``."""
+    if isinstance(type_, IntType):
+        return ConstantInt(type_, 0)
+    if isinstance(type_, FloatType):
+        return ConstantFP(type_, 0.0)
+    if isinstance(type_, PointerType):
+        return ConstantPointerNull(type_)
+    if isinstance(type_, VectorType):
+        return ConstantVector(
+            type_, [zero_value(type_.element)] * type_.count)
+    raise IRError(f"no zero value for type {type_}")
+
+
+def splat(type_: VectorType, lane: Constant) -> ConstantVector:
+    """Splat a scalar constant across every lane of a vector type."""
+    return ConstantVector(type_, [lane] * type_.count)
+
+
+def match_scalar_int(value: Value) -> Optional[ConstantInt]:
+    """Return the ConstantInt behind ``value`` if it is a (splat of an)
+    integer immediate, else None.  Vector splats expose their lane."""
+    if isinstance(value, ConstantInt):
+        return value
+    if isinstance(value, ConstantVector) and value.is_splat:
+        lane = value.elements[0]
+        if isinstance(lane, ConstantInt):
+            return lane
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Float formatting helpers (LLVM prints doubles as %e with 6 digits)
+# ---------------------------------------------------------------------------
+
+def float_bits(value: float) -> int:
+    """The raw IEEE-754 double bit pattern of ``value``."""
+    return struct.unpack("<Q", struct.pack("<d", value))[0]
+
+
+def bits_to_float(bits: int) -> float:
+    """Inverse of :func:`float_bits`."""
+    return struct.unpack("<d", struct.pack("<Q", bits & ((1 << 64) - 1)))[0]
+
+
+def format_float_literal(value: float) -> str:
+    """Format a float the way LLVM textual IR does (``1.000000e+00``)."""
+    if value != value:
+        return "0x7FF8000000000000"  # canonical quiet NaN
+    if value == float("inf"):
+        return "0x7FF0000000000000"
+    if value == float("-inf"):
+        return "0xFFF0000000000000"
+    text = f"{value:e}"
+    mantissa, exponent = text.split("e")
+    if "." not in mantissa:
+        mantissa += ".000000"
+    else:
+        whole, frac = mantissa.split(".")
+        mantissa = f"{whole}.{frac:<06s}"[: len(whole) + 7]
+    exp_val = int(exponent)
+    sign = "+" if exp_val >= 0 else "-"
+    return f"{mantissa}e{sign}{abs(exp_val):02d}"
+
+
+def all_lanes(constant: Constant) -> Iterable[Constant]:
+    """Iterate the scalar lanes of a constant (itself if scalar)."""
+    if isinstance(constant, ConstantVector):
+        return iter(constant.elements)
+    return iter((constant,))

@@ -1,0 +1,38 @@
+"""LLM clients: the simulated models and their capability profiles."""
+
+from repro.llm.client import (
+    SYSTEM_PROMPT,
+    LLMClient,
+    LLMResponse,
+    PromptRequest,
+    Usage,
+    estimate_tokens,
+)
+from repro.llm.knowledge import (
+    KnowledgeBase,
+    KnowledgeEntry,
+    default_knowledge_base,
+)
+from repro.llm.profiles import (
+    ALL_MODELS,
+    GEMINI20,
+    GEMINI20T,
+    GEMINI25,
+    GEMMA3,
+    GPT41,
+    LLAMA33,
+    MODELS_BY_NAME,
+    O4MINI,
+    RQ1_MODELS,
+    ModelProfile,
+)
+from repro.llm.simulated import SimulatedLLM
+
+__all__ = [
+    "SYSTEM_PROMPT", "LLMClient", "LLMResponse", "PromptRequest", "Usage",
+    "estimate_tokens",
+    "KnowledgeBase", "KnowledgeEntry", "default_knowledge_base",
+    "ALL_MODELS", "GEMINI20", "GEMINI20T", "GEMINI25", "GEMMA3", "GPT41",
+    "LLAMA33", "MODELS_BY_NAME", "O4MINI", "RQ1_MODELS", "ModelProfile",
+    "SimulatedLLM",
+]

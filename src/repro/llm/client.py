@@ -1,0 +1,99 @@
+"""LLM client protocol, prompt rendering and usage accounting.
+
+The pipeline is written against :class:`LLMClient`; the offline
+environment provides :class:`~repro.llm.simulated.SimulatedLLM`, and a
+real deployment would drop in an API-backed client with the same
+interface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Protocol
+
+SYSTEM_PROMPT = (
+    "If the provided instruction sequence is suboptimal, output the "
+    "optimal and correct implementation. If the result is incorrect, "
+    "revise it based on the provided feedback.")
+
+
+@dataclass
+class PromptRequest:
+    """One optimization request sent to the model.
+
+    ``feedback`` carries the ``opt`` error message or Alive2
+    counterexample from the previous attempt (empty on the first try);
+    ``round_seed`` keys the simulated model's nondeterminism so repeated
+    experiment rounds differ the way real sampling does.
+    """
+
+    window_ir: str
+    feedback: str = ""
+    attempt: int = 0
+    round_seed: int = 0
+    system_prompt: str = SYSTEM_PROMPT
+
+    def render(self) -> str:
+        """The full prompt text (used for token accounting)."""
+        parts = [self.system_prompt, "", self.window_ir]
+        if self.feedback:
+            parts += ["", "Feedback from the previous attempt:",
+                      self.feedback]
+        return "\n".join(parts)
+
+
+@dataclass
+class Usage:
+    """Token/latency/cost accounting for one or more calls."""
+
+    prompt_tokens: int = 0
+    completion_tokens: int = 0
+    latency_seconds: float = 0.0
+    cost_usd: float = 0.0
+    calls: int = 0
+
+    def add(self, other: "Usage") -> None:
+        self.prompt_tokens += other.prompt_tokens
+        self.completion_tokens += other.completion_tokens
+        self.latency_seconds += other.latency_seconds
+        self.cost_usd += other.cost_usd
+        self.calls += other.calls
+
+
+@dataclass
+class LLMResponse:
+    """A model completion plus its accounting."""
+
+    text: str
+    usage: Usage = field(default_factory=Usage)
+
+    def extract_ir(self) -> str:
+        """Strip markdown fences if the model wrapped its answer."""
+        text = self.text.strip()
+        if text.startswith("```"):
+            lines = text.splitlines()
+            body = []
+            inside = False
+            for line in lines:
+                if line.startswith("```"):
+                    inside = not inside
+                    continue
+                if inside:
+                    body.append(line)
+            if body:
+                return "\n".join(body).strip() + "\n"
+        return text + "\n"
+
+
+class LLMClient(Protocol):
+    """Anything that can answer optimization prompts."""
+
+    @property
+    def model_name(self) -> str: ...
+
+    def complete(self, request: PromptRequest) -> LLMResponse: ...
+
+
+def estimate_tokens(text: str) -> int:
+    """The standard ~4 characters/token heuristic."""
+    return max(1, len(text) // 4)

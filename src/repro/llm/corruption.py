@@ -1,0 +1,132 @@
+"""Failure-mode injection for the simulated LLM.
+
+Two classes of realistic model failure are reproduced:
+
+* **syntax corruption** — the model knows the right answer but emits it
+  in broken IR.  The flagship corruption is the paper's own Figure 3b:
+  writing a min/max intrinsic as if it were a bare instruction opcode
+  (``%m = smax <4 x i32> %a, %b``);
+* **hallucination** — a confident but semantically wrong rewrite
+  (swapped min/max direction, dropped guard, off-by-one constant,
+  flipped predicate).  These pass the syntax check and get caught by the
+  verifier, exercising the counterexample feedback path.
+"""
+
+from __future__ import annotations
+
+import random
+import re
+from typing import Optional
+
+from repro.ir.function import Function
+from repro.ir.parser import parse_function
+from repro.ir.printer import print_function
+
+_INTRINSIC_CALL_RE = re.compile(
+    r"(?:tail )?call [^@]*@llvm\.(umin|umax|smin|smax)\.[a-z0-9]+"
+    r"\(([^,]+), ([^)]+)\)")
+
+
+def corrupt_syntax(ir_text: str, rng: random.Random) -> str:
+    """Make the answer syntactically invalid (recognizably LLM-style)."""
+    choices = []
+    if _INTRINSIC_CALL_RE.search(ir_text):
+        choices.append("bare_opcode")
+    if " icmp " in ir_text:
+        choices.append("cmp_typo")
+    choices.append("drop_paren")
+    kind = rng.choice(choices)
+    if kind == "bare_opcode":
+        # Figure 3b: `%x = smax <4 x i32> %a, %b` is not a real opcode.
+        def replace(match: re.Match) -> str:
+            return (f"{match.group(1)} {match.group(2).strip()},"
+                    f" {match.group(3).strip().split(' ')[-1]}")
+        return _INTRINSIC_CALL_RE.sub(replace, ir_text, count=1)
+    if kind == "cmp_typo":
+        return ir_text.replace(" icmp ", " cmp ", 1)
+    # Drop a closing parenthesis from the first call, or mangle `ret`.
+    if ")" in ir_text:
+        index = ir_text.index(")")
+        return ir_text[:index] + ir_text[index + 1:]
+    return ir_text.replace("ret ", "return ", 1)
+
+
+_MINMAX_SWAP = {"umin": "umax", "umax": "umin",
+                "smin": "smax", "smax": "smin"}
+_PREDICATE_SWAP = {"slt": "sgt", "sgt": "slt", "ult": "ugt", "ugt": "ult",
+                   "sle": "sge", "sge": "sle", "ule": "uge", "uge": "ule",
+                   "eq": "ne", "ne": "eq"}
+
+
+def hallucinate(window: Function, rng: random.Random) -> Optional[str]:
+    """Produce a plausible but (usually) wrong rewrite of the window.
+
+    Returns rendered IR text, or None when no mutation applies.  The
+    result parses and type-checks; only its semantics are off — exactly
+    the kind of answer the verifier exists to reject.
+    """
+    text = print_function(window)
+    mutations = []
+    for base, swapped in _MINMAX_SWAP.items():
+        if f"@llvm.{base}." in text:
+            mutations.append(("swap_minmax", base, swapped))
+    for pred in _PREDICATE_SWAP:
+        if f"icmp {pred} " in text:
+            mutations.append(("swap_pred", pred, _PREDICATE_SWAP[pred]))
+    constant = re.search(r", (\d\d+)\)?\n", text)
+    if constant:
+        mutations.append(("tweak_const", constant.group(1),
+                          str(int(constant.group(1)) - 1)))
+    # Dropping a "redundant-looking" instruction is occasionally *right*
+    # (absorption patterns); keep it rare so hallucinations mostly fail.
+    if not mutations or rng.random() < 0.2:
+        drop = _droppable_line(text)
+        if drop is not None:
+            mutations.append(("drop_line", drop, ""))
+    if not mutations:
+        return None
+    kind, a, b = mutations[rng.randrange(len(mutations))]
+    if kind == "swap_minmax":
+        mutated = text.replace(f"@llvm.{a}.", f"@llvm.{b}.", 1)
+    elif kind == "swap_pred":
+        mutated = text.replace(f"icmp {a} ", f"icmp {b} ", 1)
+    elif kind == "tweak_const":
+        mutated = text.replace(f", {a}", f", {b}", 1)
+    else:
+        mutated = a
+    try:
+        function = parse_function(mutated)
+    except Exception:
+        return None
+    return print_function(function)
+
+
+def _droppable_line(text: str) -> Optional[str]:
+    """Rewire the function to skip one intermediate instruction: the
+    classic 'the guard looks redundant' hallucination."""
+    lines = text.splitlines()
+    # Find an instruction whose result feeds exactly the next line.
+    assignments = [(index, line) for index, line in enumerate(lines)
+                   if re.match(r"\s+%[\w.]+ = ", line)]
+    if len(assignments) < 2:
+        return None
+    index, line = assignments[len(assignments) // 2]
+    name = line.strip().split(" = ")[0]
+    operand_match = re.search(r"(%[\w.]+)[,)\s]", line.split(" = ", 1)[1])
+    if operand_match is None:
+        return None
+    replacement = operand_match.group(1)
+    if replacement == name:
+        return None
+    new_lines = []
+    for line_index, current in enumerate(lines):
+        if line_index == index:
+            continue
+        if line_index > index:
+            current = current.replace(f"{name},", f"{replacement},")
+            current = current.replace(f"{name})", f"{replacement})")
+            current = current.replace(f"{name}\n", f"{replacement}\n")
+            if current.rstrip().endswith(name):
+                current = current.replace(name, replacement)
+        new_lines.append(current)
+    return "\n".join(new_lines) + "\n"

@@ -1,0 +1,97 @@
+"""The rewrite knowledge base behind the simulated LLM.
+
+A real model's "knowledge" of peephole identities is modelled two ways:
+
+* **exact entries** — every issue dataset case contributes
+  ``digest(src) → (tgt, skill, difficulty)``; a model that has the skill
+  can reproduce the community-known rewrite when it sees the pattern;
+* **generalized rules** — the patch registry's rules (which accept any
+  constants/widths) let a capable model optimize *variants* of known
+  patterns found in the corpus, the way LPO discovered new instances in
+  RQ2.
+
+The knowledge base is strictly larger than the stock optimizer's rule
+set; the gap between the two is exactly the space of "missed
+optimizations" this reproduction can discover.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.dedup import window_digest
+from repro.ir.function import Function
+from repro.ir.parser import parse_function
+from repro.ir.printer import print_function
+
+
+@dataclass(frozen=True)
+class KnowledgeEntry:
+    """One known rewrite: the optimal form of a recognized pattern."""
+
+    issue_id: int
+    tgt_text: str
+    skill: str
+    difficulty: float
+
+
+class KnowledgeBase:
+    """Digest-indexed rewrites plus generalized patch rules."""
+
+    def __init__(self) -> None:
+        self.exact: Dict[str, KnowledgeEntry] = {}
+        self.patch_skills: Dict[int, Tuple[str, float]] = {}
+
+    # -- construction -------------------------------------------------------
+    def add_case(self, issue_id: int, src_text: str, tgt_text: str,
+                 skill: str, difficulty: float) -> None:
+        function = parse_function(src_text)
+        digest = window_digest(function)
+        self.exact[digest] = KnowledgeEntry(issue_id, tgt_text, skill,
+                                            difficulty)
+        self.patch_skills[issue_id] = (skill, difficulty)
+
+    # -- lookup ---------------------------------------------------------
+    def lookup(self, window: Function) -> Optional[KnowledgeEntry]:
+        """Exact structural match against known patterns."""
+        return self.exact.get(window_digest(window))
+
+    def lookup_generalized(self, window: Function
+                           ) -> Optional[KnowledgeEntry]:
+        """Try the generalized patch rules (any constants/widths).
+
+        Returns a synthesized entry whose target is the patched-optimizer
+        output when some patch rule improves the window.
+        """
+        from repro.opt.driver import patch_rules, run_opt
+        for info in patch_rules():
+            result = run_opt(window, patches=[info])
+            if not result.ok or result.function is None:
+                continue
+            if (result.function.instruction_count()
+                    < window.instruction_count()):
+                skill, difficulty = self.patch_skills.get(
+                    info.issue_id or -1, ("logic", 0.6))
+                return KnowledgeEntry(
+                    issue_id=info.issue_id or -1,
+                    tgt_text=print_function(result.function),
+                    skill=skill,
+                    difficulty=min(1.0, difficulty + 0.1))
+        return None
+
+    def __len__(self) -> int:
+        return len(self.exact)
+
+
+@lru_cache(maxsize=1)
+def default_knowledge_base() -> KnowledgeBase:
+    """The KB over both issue datasets (built once per process)."""
+    from repro.corpus.issues import rq1_cases
+    from repro.corpus.issues_rq2 import rq2_cases
+    kb = KnowledgeBase()
+    for case in rq1_cases() + rq2_cases():
+        kb.add_case(case.issue_id, case.src, case.tgt, case.skill,
+                    case.difficulty)
+    return kb

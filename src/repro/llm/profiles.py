@@ -1,0 +1,144 @@
+"""Capability profiles of the evaluated models (Table 1 + calibration).
+
+Each profile carries the paper's Table 1 metadata (version, reasoning,
+knowledge cut-off) plus the behavioural parameters of the simulation:
+
+* ``skills`` — per-category strength in [0, 1]; combined with an issue's
+  difficulty this yields the probability the model produces the right
+  rewrite on one try;
+* ``syntax_error_rate`` — chance a correct answer is emitted with broken
+  syntax (the failure mode of Figure 3b);
+* ``hallucination_rate`` — chance an incapable model emits a confident,
+  wrong rewrite instead of giving up;
+* ``repair_rate`` / ``feedback_boost`` — how well the model exploits
+  ``opt`` errors and Alive2 counterexamples on the retry (this is what
+  separates LPO from LPO−);
+* latency/cost — the serving model for RQ3.
+
+The numbers are calibrated so the RQ1 matrix reproduces Table 2's
+ordering: Gemma3 ≪ Llama3.3 ≈ Gemini2.0 ≈ GPT-4.1 < o4-mini ≲ Gemini2.0T.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+
+@dataclass(frozen=True)
+class ModelProfile:
+    """Static description + simulation parameters for one model."""
+
+    name: str
+    version: str
+    reasoning: bool
+    cutoff: str
+    skills: Dict[str, float]
+    syntax_error_rate: float
+    hallucination_rate: float
+    repair_rate: float
+    feedback_boost: float
+    mean_latency_seconds: float
+    latency_jitter: float
+    usd_per_million_input: float
+    usd_per_million_output: float
+    local: bool = False
+
+    def skill_strength(self, skill: str) -> float:
+        return self.skills.get(skill, 0.0)
+
+
+def _skills(**kwargs: float) -> Dict[str, float]:
+    base = {"logic": 0.0, "bit-tricks": 0.0, "icmp-range": 0.0,
+            "minmax": 0.0, "select-idioms": 0.0, "fp": 0.0,
+            "memory": 0.0, "vector": 0.0, "flags": 0.0}
+    base.update(kwargs)
+    return base
+
+
+GEMMA3 = ModelProfile(
+    name="Gemma3", version="gemma3:27b", reasoning=False, cutoff="08/2024",
+    skills=_skills(logic=0.10, **{"bit-tricks": 0.06}),
+    syntax_error_rate=0.35, hallucination_rate=0.40,
+    repair_rate=0.50, feedback_boost=1.2,
+    mean_latency_seconds=9.0, latency_jitter=0.3,
+    usd_per_million_input=0.0, usd_per_million_output=0.0, local=True)
+
+LLAMA33 = ModelProfile(
+    name="Llama3.3", version="llama3.3:70b", reasoning=False,
+    cutoff="12/2023",
+    skills=_skills(logic=0.47, **{"bit-tricks": 0.31},
+                   **{"icmp-range": 0.19}, minmax=0.14,
+                   **{"select-idioms": 0.22}, flags=0.14),
+    syntax_error_rate=0.26, hallucination_rate=0.22,
+    repair_rate=0.68, feedback_boost=1.3,
+    mean_latency_seconds=11.5, latency_jitter=0.25,
+    usd_per_million_input=0.0, usd_per_million_output=0.0, local=True)
+
+GEMINI20 = ModelProfile(
+    name="Gemini2.0", version="gemini-2.0-flash", reasoning=False,
+    cutoff="08/2024",
+    skills=_skills(logic=0.46, **{"bit-tricks": 0.33},
+                   **{"icmp-range": 0.25}, minmax=0.23,
+                   **{"select-idioms": 0.25}, flags=0.19, fp=0.07),
+    syntax_error_rate=0.22, hallucination_rate=0.20,
+    repair_rate=0.75, feedback_boost=1.4,
+    mean_latency_seconds=2.6, latency_jitter=0.3,
+    usd_per_million_input=0.10, usd_per_million_output=0.40)
+
+GEMINI20T = ModelProfile(
+    name="Gemini2.0T", version="gemini-2.0-flash-thinking-exp-01-21",
+    reasoning=True, cutoff="08/2024",
+    skills=_skills(logic=0.84, **{"bit-tricks": 0.76},
+                   **{"icmp-range": 0.74}, minmax=0.61,
+                   **{"select-idioms": 0.67}, flags=0.51, fp=0.73,
+                   memory=0.45, vector=0.28),
+    syntax_error_rate=0.33, hallucination_rate=0.10,
+    repair_rate=0.95, feedback_boost=1.7,
+    mean_latency_seconds=7.5, latency_jitter=0.35,
+    usd_per_million_input=0.10, usd_per_million_output=0.40)
+
+GPT41 = ModelProfile(
+    name="GPT-4.1", version="gpt-4.1-2025-04-14", reasoning=False,
+    cutoff="06/2024",
+    skills=_skills(logic=0.51, **{"bit-tricks": 0.39},
+                   **{"icmp-range": 0.31}, minmax=0.26,
+                   **{"select-idioms": 0.31}, flags=0.22, fp=0.42,
+                   memory=0.14),
+    syntax_error_rate=0.68, hallucination_rate=0.25,
+    repair_rate=0.78, feedback_boost=1.6,
+    mean_latency_seconds=4.8, latency_jitter=0.3,
+    usd_per_million_input=2.00, usd_per_million_output=8.00)
+
+O4MINI = ModelProfile(
+    name="o4-mini", version="o4-mini-2025-04-16", reasoning=True,
+    cutoff="06/2024",
+    skills=_skills(logic=0.78, **{"bit-tricks": 0.70},
+                   **{"icmp-range": 0.67}, minmax=0.54,
+                   **{"select-idioms": 0.60}, flags=0.45, fp=0.61,
+                   memory=0.47, vector=0.23),
+    syntax_error_rate=0.30, hallucination_rate=0.10,
+    repair_rate=0.88, feedback_boost=1.6,
+    mean_latency_seconds=11.0, latency_jitter=0.4,
+    usd_per_million_input=1.10, usd_per_million_output=4.40)
+
+GEMINI25 = ModelProfile(
+    name="Gemini2.5", version="gemini-2.5-flash-lite", reasoning=True,
+    cutoff="01/2025",
+    skills=_skills(logic=0.65, **{"bit-tricks": 0.54},
+                   **{"icmp-range": 0.48}, minmax=0.39,
+                   **{"select-idioms": 0.45}, flags=0.33, fp=0.37,
+                   memory=0.23, vector=0.14),
+    syntax_error_rate=0.20, hallucination_rate=0.15,
+    repair_rate=0.80, feedback_boost=1.5,
+    mean_latency_seconds=2.4, latency_jitter=0.3,
+    usd_per_million_input=0.10, usd_per_million_output=0.40)
+
+#: Models used in RQ1 (Gemini2.5 is excluded to avoid data leakage).
+RQ1_MODELS: Tuple[ModelProfile, ...] = (
+    GEMMA3, LLAMA33, GEMINI20, GEMINI20T, GPT41, O4MINI)
+
+ALL_MODELS: Tuple[ModelProfile, ...] = RQ1_MODELS + (GEMINI25,)
+
+MODELS_BY_NAME: Dict[str, ModelProfile] = {
+    profile.name: profile for profile in ALL_MODELS}

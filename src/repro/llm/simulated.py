@@ -1,0 +1,187 @@
+"""The simulated LLM: a capability-profiled stand-in for model APIs.
+
+Determinism: every behavioural draw is keyed by (model, window digest,
+round seed, purpose), so an experiment round is exactly reproducible
+while distinct rounds vary the way temperature sampling does — this is
+what produces the 1-5 "times detected" spread of Table 2.
+
+The simulation exercises every pipeline path a real model would:
+
+* correct rewrites (knowledge base hit + capability gate passed),
+* correct-but-broken-syntax answers → ``opt`` error feedback → repair,
+* hallucinated rewrites → Alive2 counterexample feedback → second try,
+* honest "no improvement" answers (echo the input).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from typing import Dict, Optional
+
+from repro.errors import ParseError
+from repro.ir.function import Function
+from repro.ir.parser import parse_function
+from repro.ir.printer import print_function
+from repro.core.dedup import window_digest
+from repro.llm.client import (
+    LLMResponse,
+    PromptRequest,
+    Usage,
+    estimate_tokens,
+)
+from repro.llm.corruption import corrupt_syntax, hallucinate
+from repro.llm.knowledge import KnowledgeBase, default_knowledge_base
+from repro.llm.profiles import ModelProfile
+
+
+class SimulatedLLM:
+    """An :class:`~repro.llm.client.LLMClient` driven by a profile."""
+
+    def __init__(self, profile: ModelProfile,
+                 knowledge: Optional[KnowledgeBase] = None,
+                 seed: int = 0,
+                 enable_generalized: bool = True):
+        self.profile = profile
+        self.knowledge = (knowledge if knowledge is not None
+                          else default_knowledge_base())
+        self.seed = seed
+        self.enable_generalized = enable_generalized
+        self._generalized_cache: Dict[str, Optional[object]] = {}
+
+    @property
+    def model_name(self) -> str:
+        return self.profile.name
+
+    # -- randomness ----------------------------------------------------------
+    def _rng(self, digest: str, round_seed: int, purpose: str,
+             attempt: int = 0) -> random.Random:
+        payload = (f"{self.profile.name}|{digest}|{self.seed}|"
+                   f"{round_seed}|{purpose}|{attempt}")
+        value = int.from_bytes(
+            hashlib.sha256(payload.encode()).digest()[:8], "big")
+        return random.Random(value)
+
+    # -- main entry ----------------------------------------------------------
+    def complete(self, request: PromptRequest) -> LLMResponse:
+        window_text = request.window_ir
+        try:
+            window = parse_function(window_text)
+        except ParseError:
+            return self._respond(request, window_text, thinking=0.2)
+        digest = window_digest(window)
+        entry = self._find_entry(window, digest)
+        answer = self._decide(request, window, digest, entry)
+        return self._respond(request, answer,
+                             thinking=1.0 if self.profile.reasoning else 0.0)
+
+    # -- knowledge ----------------------------------------------------------
+    def _find_entry(self, window: Function, digest: str):
+        entry = self.knowledge.lookup(window)
+        if entry is not None:
+            return entry
+        if not self.enable_generalized:
+            return None
+        if digest not in self._generalized_cache:
+            self._generalized_cache[digest] = (
+                self.knowledge.lookup_generalized(window))
+        return self._generalized_cache[digest]
+
+    #: Sharpness of the capability sigmoid.  High values make detection
+    #: bimodal per issue (mostly 5/5 or 0/5 over rounds), which is the
+    #: distribution Table 2 shows for the real models.
+    CAPABILITY_SHARPNESS = 12.0
+
+    def _success_probability(self, entry) -> float:
+        import math
+        strength = self.profile.skill_strength(entry.skill)
+        if strength <= 0.0:
+            return 0.0
+        margin = strength - entry.difficulty
+        probability = 1.0 / (1.0 + math.exp(
+            -self.CAPABILITY_SHARPNESS * margin))
+        return min(probability, 0.97)
+
+    # -- behaviour ----------------------------------------------------------
+    def _decide(self, request: PromptRequest, window: Function,
+                digest: str, entry) -> str:
+        profile = self.profile
+        round_seed = request.round_seed
+        echo = print_function(window)
+        knows = False
+        if entry is not None:
+            gate = self._rng(digest, round_seed, "know").random()
+            knows = gate < self._success_probability(entry)
+
+        feedback = request.feedback
+        is_syntax_feedback = feedback.startswith("error:")
+        is_cex_feedback = "Transformation doesn't verify" in feedback
+
+        if is_syntax_feedback:
+            # The previous answer was right but malformed; a capable
+            # model fixes it from the opt diagnostic.
+            repair_roll = self._rng(digest, round_seed, "repair",
+                                    request.attempt).random()
+            if knows and entry is not None and (
+                    repair_roll < profile.repair_rate):
+                return entry.tgt_text
+            if entry is not None and knows:
+                rng = self._rng(digest, round_seed, "resyntax",
+                                request.attempt)
+                return corrupt_syntax(entry.tgt_text, rng)
+            return echo
+
+        if is_cex_feedback:
+            # The counterexample tells the model its rewrite was wrong;
+            # with a boost it may now produce the correct one.
+            retry_roll = self._rng(digest, round_seed, "cex",
+                                   request.attempt).random()
+            if entry is not None:
+                boosted = min(0.97, self._success_probability(entry)
+                              * profile.feedback_boost)
+                if retry_roll < boosted:
+                    return entry.tgt_text
+            return echo
+
+        # First attempt.
+        if knows and entry is not None:
+            syntax_roll = self._rng(digest, round_seed, "syntax").random()
+            if syntax_roll < profile.syntax_error_rate:
+                rng = self._rng(digest, round_seed, "corrupt")
+                return corrupt_syntax(entry.tgt_text, rng)
+            return entry.tgt_text
+        hallucination_roll = self._rng(digest, round_seed,
+                                       "hallucinate").random()
+        if hallucination_roll < profile.hallucination_rate:
+            rng = self._rng(digest, round_seed, "mutate")
+            mutated = hallucinate(window, rng)
+            if mutated is not None:
+                return mutated
+        return echo
+
+    # -- accounting ----------------------------------------------------------
+    def _respond(self, request: PromptRequest, text: str,
+                 thinking: float) -> LLMResponse:
+        profile = self.profile
+        rng = random.Random(hash((profile.name, request.round_seed,
+                                  request.attempt, len(text))))
+        jitter = 1.0 + profile.latency_jitter * (rng.random() * 2 - 1)
+        latency = profile.mean_latency_seconds * jitter
+        if thinking:
+            latency *= 1.0 + 0.5 * thinking
+        fence_roll = rng.random()
+        rendered = text
+        if fence_roll < 0.3:
+            rendered = f"```llvm\n{text.rstrip()}\n```"
+        prompt_tokens = estimate_tokens(request.render())
+        completion_tokens = estimate_tokens(rendered)
+        if thinking:
+            completion_tokens += 256  # low reasoning budget (paper: 1024 max)
+        cost = (prompt_tokens * profile.usd_per_million_input
+                + completion_tokens * profile.usd_per_million_output) / 1e6
+        usage = Usage(prompt_tokens=prompt_tokens,
+                      completion_tokens=completion_tokens,
+                      latency_seconds=latency,
+                      cost_usd=cost,
+                      calls=1)
+        return LLMResponse(text=rendered, usage=usage)

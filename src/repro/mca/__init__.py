@@ -1,0 +1,7 @@
+"""Static performance analysis (the llvm-mca substitute)."""
+
+from repro.mca.analyzer import McaReport, analyze_function, total_cycles
+from repro.mca.cost_model import InstructionCost, instruction_cost
+
+__all__ = ["McaReport", "analyze_function", "total_cycles",
+           "InstructionCost", "instruction_cost"]

@@ -1,0 +1,87 @@
+"""Static cycle estimation over a function (llvm-mca's "Total Cycles").
+
+The model is a dual-issue in-order pipeline approximation: each
+instruction issues when its operands are ready and an issue slot is
+available, mirroring how llvm-mca's default simulation reports a total
+cycle count for a straight-line block repeated in steady state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction
+from repro.ir.values import Value
+from repro.mca.cost_model import instruction_cost
+
+_ISSUE_WIDTH = 2
+
+
+@dataclass
+class McaReport:
+    """Summary mirroring llvm-mca's headline numbers."""
+
+    total_cycles: float
+    instruction_count: int
+    total_uops: int
+    critical_path: float
+
+    def __str__(self) -> str:
+        return (f"Instructions: {self.instruction_count}\n"
+                f"Total Cycles: {self.total_cycles:.0f}\n"
+                f"Total uOps:   {self.total_uops}\n"
+                f"Critical Path: {self.critical_path:.0f}")
+
+
+def analyze_function(function: Function) -> McaReport:
+    """Compute the static cost summary for a function.
+
+    Multi-block functions are summed block by block (the windows LPO
+    compares are single-block, so this is exact where it matters).
+    """
+    ready_at: Dict[Value, float] = {}
+    issue_clock = 0.0
+    issued_this_cycle = 0
+    total_uops = 0
+    instruction_count = 0
+    critical_path = 0.0
+
+    for argument in function.arguments:
+        ready_at[argument] = 0.0
+
+    for inst in function.instructions():
+        if inst.is_terminator:
+            continue
+        cost = instruction_cost(inst)
+        instruction_count += 1
+        total_uops += cost.uops
+        operands_ready = 0.0
+        for operand in inst.operands:
+            operands_ready = max(operands_ready,
+                                 ready_at.get(operand, 0.0))
+        issue_time = max(operands_ready, issue_clock)
+        # Dual-issue: two instructions may start in one cycle.
+        if issue_time == issue_clock:
+            issued_this_cycle += 1
+            if issued_this_cycle >= _ISSUE_WIDTH:
+                issue_clock += max(cost.reciprocal_throughput, 0.5)
+                issued_this_cycle = 0
+        else:
+            issue_clock = issue_time
+            issued_this_cycle = 1
+        finish = issue_time + cost.latency
+        ready_at[inst] = finish
+        critical_path = max(critical_path, finish)
+
+    total_cycles = max(critical_path, issue_clock)
+    return McaReport(total_cycles=total_cycles,
+                     instruction_count=instruction_count,
+                     total_uops=total_uops,
+                     critical_path=critical_path)
+
+
+def total_cycles(function: Function) -> float:
+    """Shorthand used by the interestingness checker."""
+    return analyze_function(function).total_cycles

@@ -1,0 +1,136 @@
+"""Per-opcode latency/throughput tables (the llvm-mca substitute).
+
+The numbers are modelled on AMD Jaguar (``btver2``), the CPU the paper
+configures llvm-mca with: divisions are an order of magnitude slower than
+simple ALU ops, vector ops pay a lane tax on the 128-bit units, loads hit
+the 3-cycle L1.  Interestingness only compares *relative* totals between
+a window and its candidate, so the table's shape matters more than its
+absolute values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.ir.instructions import Call, Cast, Instruction
+from repro.ir.types import FloatType, VectorType
+
+
+@dataclass(frozen=True)
+class InstructionCost:
+    """Static cost of one instruction on the modelled CPU."""
+
+    latency: float          # cycles until the result is available
+    reciprocal_throughput: float  # average issue cost in steady state
+    uops: int = 1
+
+
+_INT_ALU = InstructionCost(1, 0.5)
+_INT_MUL = InstructionCost(3, 1.0)
+_INT_DIV = InstructionCost(25, 25.0, uops=2)
+_SHIFT = InstructionCost(1, 0.5)
+_CMP = InstructionCost(1, 0.5)
+_SELECT = InstructionCost(1, 0.5)
+_CAST_FREE = InstructionCost(1, 0.5)
+_LOAD = InstructionCost(3, 1.0)
+_STORE = InstructionCost(1, 1.0)
+_GEP = InstructionCost(1, 0.5)
+_FP_ADD = InstructionCost(3, 1.0)
+_FP_MUL = InstructionCost(2, 1.0)
+_FP_DIV = InstructionCost(19, 19.0, uops=2)
+_FP_CMP = InstructionCost(2, 1.0)
+_MINMAX = InstructionCost(1, 0.5)
+_BITMANIP = InstructionCost(3, 1.0, uops=2)
+_SAT = InstructionCost(2, 1.0)
+_VEC_PERMUTE = InstructionCost(1, 0.5)
+
+_OPCODE_COSTS: Dict[str, InstructionCost] = {
+    "add": _INT_ALU, "sub": _INT_ALU,
+    "and": _INT_ALU, "or": _INT_ALU, "xor": _INT_ALU,
+    "mul": _INT_MUL,
+    "udiv": _INT_DIV, "sdiv": _INT_DIV,
+    "urem": _INT_DIV, "srem": _INT_DIV,
+    "shl": _SHIFT, "lshr": _SHIFT, "ashr": _SHIFT,
+    "icmp": _CMP,
+    "fcmp": _FP_CMP,
+    "select": _SELECT,
+    "trunc": _CAST_FREE, "zext": _CAST_FREE, "sext": _CAST_FREE,
+    "bitcast": InstructionCost(0, 0.25),
+    "ptrtoint": _CAST_FREE, "inttoptr": _CAST_FREE,
+    "fptrunc": _FP_ADD, "fpext": _FP_ADD,
+    "fptoui": _FP_ADD, "fptosi": _FP_ADD,
+    "uitofp": _FP_ADD, "sitofp": _FP_ADD,
+    "freeze": InstructionCost(0, 0.25),
+    "load": _LOAD, "store": _STORE,
+    "getelementptr": _GEP,
+    "extractelement": _VEC_PERMUTE,
+    "insertelement": _VEC_PERMUTE,
+    "shufflevector": _VEC_PERMUTE,
+    "phi": InstructionCost(0, 0.25),
+    "fadd": _FP_ADD, "fsub": _FP_ADD,
+    "fmul": _FP_MUL,
+    "fdiv": _FP_DIV, "frem": _FP_DIV,
+}
+
+_INTRINSIC_COSTS: Dict[str, InstructionCost] = {
+    "umin": _MINMAX, "umax": _MINMAX, "smin": _MINMAX, "smax": _MINMAX,
+    "abs": _INT_ALU,
+    "ctpop": _BITMANIP, "ctlz": _BITMANIP, "cttz": _BITMANIP,
+    "bswap": _SHIFT, "bitreverse": _BITMANIP,
+    "fshl": _BITMANIP, "fshr": _BITMANIP,
+    "uadd.sat": _SAT, "usub.sat": _SAT,
+    "sadd.sat": _SAT, "ssub.sat": _SAT,
+    "fabs": InstructionCost(1, 0.5),
+    "sqrt": InstructionCost(21, 21.0),
+    "minnum": _FP_ADD, "maxnum": _FP_ADD,
+    "minimum": _FP_ADD, "maximum": _FP_ADD,
+    "copysign": _INT_ALU,
+    "fma": InstructionCost(5, 1.0), "fmuladd": InstructionCost(5, 1.0),
+    "floor": _FP_ADD, "ceil": _FP_ADD, "trunc": _FP_ADD,
+    "round": _FP_ADD, "rint": _FP_ADD, "nearbyint": _FP_ADD,
+    "canonicalize": InstructionCost(1, 0.5),
+    "is.fpclass": _FP_CMP,
+}
+
+#: Lane counts above this pay double on btver2's 128-bit SIMD units.
+_NATIVE_VECTOR_BITS = 128
+
+
+def instruction_cost(inst: Instruction) -> InstructionCost:
+    """Look up the static cost of ``inst``, scaling for wide vectors."""
+    if isinstance(inst, Call):
+        base = _INTRINSIC_COSTS.get(inst.intrinsic_name)
+        if base is None:
+            base = InstructionCost(10, 10.0)   # unknown call: assume slow
+    else:
+        base = _OPCODE_COSTS.get(inst.opcode)
+        if base is None:
+            return InstructionCost(0, 0.0, uops=0)   # terminators etc.
+    scale = _vector_scale(inst)
+    if scale == 1:
+        return base
+    return InstructionCost(base.latency,
+                           base.reciprocal_throughput * scale,
+                           base.uops * scale)
+
+
+def _vector_scale(inst: Instruction) -> int:
+    type_ = inst.type
+    if not isinstance(type_, VectorType) and inst.operands:
+        type_ = inst.operands[0].type
+    if not isinstance(type_, VectorType):
+        return 1
+    try:
+        bits = type_.bit_width
+    except Exception:
+        return 1
+    return max(1, (bits + _NATIVE_VECTOR_BITS - 1) // _NATIVE_VECTOR_BITS)
+
+
+def is_fp_instruction(inst: Instruction) -> bool:
+    scalar = inst.type.scalar_type()
+    if isinstance(scalar, FloatType):
+        return True
+    return any(isinstance(op.type.scalar_type(), FloatType)
+               for op in inst.operands)

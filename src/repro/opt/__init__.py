@@ -1,0 +1,35 @@
+"""The optimizer: InstCombine-style rewriting, DCE, constant folding.
+
+Public surface::
+
+    from repro.opt import run_opt, optimize_function, can_further_optimize
+"""
+
+from repro.opt.dce import run_dce
+from repro.opt.driver import (
+    OptResult,
+    can_further_optimize,
+    optimize_function,
+    patch_rules,
+    run_opt,
+)
+from repro.opt.engine import (
+    DEFAULT_REGISTRY,
+    PATCH_REGISTRY,
+    CombineStats,
+    InstCombine,
+    RewriteContext,
+    RuleInfo,
+    RuleRegistry,
+    rule,
+)
+from repro.opt.fold import fold_instruction
+
+__all__ = [
+    "run_dce",
+    "OptResult", "can_further_optimize", "optimize_function",
+    "patch_rules", "run_opt",
+    "DEFAULT_REGISTRY", "PATCH_REGISTRY", "CombineStats", "InstCombine",
+    "RewriteContext", "RuleInfo", "RuleRegistry", "rule",
+    "fold_instruction",
+]

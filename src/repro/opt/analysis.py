@@ -1,0 +1,94 @@
+"""Lightweight value analyses used by rewrite rules.
+
+``may_be_poison`` is the guard rules use before hoisting a value out of a
+conditionally-executed position (e.g. turning ``select`` into ``or``): if
+the value could be poison, the rule must freeze it first or bail out.
+
+Function arguments are treated as *defined* (noundef) values — the LPO
+extractor wraps unknown operands of a window as fresh arguments, which
+stand for concrete runtime values of the enclosing program.  The
+refinement checker quantifies over the same space, so optimizer and
+verifier agree.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ir.instructions import (
+    BinaryOperator,
+    Call,
+    Cast,
+    Freeze,
+    Instruction,
+)
+from repro.ir.types import IntType
+from repro.ir.values import (
+    Argument,
+    Constant,
+    ConstantVector,
+    PoisonValue,
+    UndefValue,
+    Value,
+    match_scalar_int,
+)
+
+_POISON_GENERATING_FLAGS = frozenset(
+    {"nuw", "nsw", "exact", "disjoint", "nneg", "samesign"})
+
+
+def may_be_poison(value: Value, depth: int = 6) -> bool:
+    """Conservatively decide whether ``value`` could be poison.
+
+    Returns True when unsure.  ``depth`` bounds the recursion through
+    operand chains.
+    """
+    if isinstance(value, (PoisonValue, UndefValue)):
+        return True
+    if isinstance(value, ConstantVector):
+        return any(isinstance(lane, (PoisonValue, UndefValue))
+                   for lane in value.elements)
+    if isinstance(value, Constant):
+        return False
+    if isinstance(value, Argument):
+        return False  # wrapped-window arguments stand for defined values
+    if isinstance(value, Freeze):
+        return False
+    if not isinstance(value, Instruction) or depth <= 0:
+        return True
+    inst = value
+    if _POISON_GENERATING_FLAGS & inst.flags:
+        return True
+    if inst.opcode in ("shl", "lshr", "ashr"):
+        amount = match_scalar_int(inst.operands[1])
+        scalar = inst.type.scalar_type()
+        if amount is None or not isinstance(scalar, IntType):
+            return True
+        if amount.value >= scalar.bits:
+            return True
+    if isinstance(inst, Cast) and inst.opcode in ("fptoui", "fptosi"):
+        return True
+    if isinstance(inst, Call):
+        base = inst.intrinsic_name
+        if base in ("abs", "ctlz", "cttz"):
+            tail = match_scalar_int(inst.operands[-1])
+            if tail is None or not tail.is_zero:
+                return True
+        elif base not in ("umin", "umax", "smin", "smax", "ctpop",
+                          "bswap", "bitreverse", "fshl", "fshr",
+                          "uadd.sat", "usub.sat", "sadd.sat", "ssub.sat",
+                          "fabs", "minnum", "maxnum", "copysign"):
+            return True
+    if inst.opcode in ("load", "phi", "extractelement", "insertelement",
+                       "shufflevector", "getelementptr"):
+        # Loads can read poison bytes; shuffles introduce poison lanes.
+        return True
+    return any(may_be_poison(op, depth - 1) for op in inst.operands)
+
+
+def is_non_zero_constant(value: Value) -> Optional[bool]:
+    """Tri-state constant non-zero test: True/False, or None if unknown."""
+    constant = match_scalar_int(value)
+    if constant is None:
+        return None
+    return not constant.is_zero

@@ -1,0 +1,40 @@
+"""Dead code elimination for straight-line and multi-block functions."""
+
+from __future__ import annotations
+
+from repro.ir.function import Function
+from repro.ir.instructions import Instruction
+
+
+def recompute_uses(function: Function) -> None:
+    """Rebuild the ``uses`` list on every value from scratch."""
+    for argument in function.arguments:
+        argument.uses = []
+    for inst in function.instructions():
+        inst.uses = []
+    for inst in function.instructions():
+        for operand in inst.operands:
+            if hasattr(operand, "uses"):
+                operand.uses.append(inst)
+
+
+def is_trivially_dead(inst: Instruction) -> bool:
+    """Dead iff unused, not a terminator, and free of side effects."""
+    if inst.is_terminator or inst.has_side_effects:
+        return False
+    return not inst.uses
+
+
+def run_dce(function: Function) -> bool:
+    """Remove trivially dead instructions until a fixpoint; returns whether
+    anything was removed."""
+    removed_any = False
+    while True:
+        recompute_uses(function)
+        dead = [inst for inst in function.instructions()
+                if is_trivially_dead(inst)]
+        if not dead:
+            return removed_any
+        for inst in dead:
+            inst.parent.remove(inst)
+        removed_any = True

@@ -1,0 +1,110 @@
+"""The ``opt`` substitute: parse, optimize, canonicalize, report.
+
+:func:`run_opt` is what the LPO pipeline calls on every LLM candidate —
+it either returns the optimized function or an ``opt``-style error message
+that the loop feeds back to the model (step 3/6 in the paper's Figure 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
+
+import repro.opt.rules  # noqa: F401 — side effect: registers all rules
+from repro.errors import IRError, ParseError
+from repro.ir.function import Function
+from repro.ir.parser import parse_function
+from repro.ir.printer import print_function
+from repro.opt.engine import (
+    PATCH_REGISTRY,
+    CombineStats,
+    InstCombine,
+    RuleInfo,
+)
+
+
+@dataclass
+class OptResult:
+    """Outcome of one ``opt`` invocation."""
+
+    ok: bool
+    function: Optional[Function] = None
+    error: str = ""
+    changed: bool = False
+    stats: CombineStats = field(default_factory=CombineStats)
+
+    @property
+    def is_failed(self) -> bool:
+        return not self.ok
+
+    @property
+    def error_message(self) -> str:
+        return self.error
+
+    @property
+    def new_candidate(self) -> str:
+        assert self.function is not None
+        return print_function(self.function)
+
+
+def patch_rules(issue_ids: Sequence[int] = ()) -> Sequence[RuleInfo]:
+    """The "fixed patch" rules for the given LLVM issue ids.
+
+    With no argument, every patch rule is returned (the "current LLVM
+    head" configuration used by the yearly comparison in Figure 5).
+    """
+    import repro.opt.rules.patches  # noqa: F401 — registers patch rules
+    rules = PATCH_REGISTRY.all_rules()
+    if not issue_ids:
+        return rules
+    wanted = set(issue_ids)
+    return tuple(info for info in rules if info.issue_id in wanted)
+
+
+def optimize_function(function: Function,
+                      patches: Sequence[RuleInfo] = (),
+                      stats: Optional[CombineStats] = None) -> bool:
+    """Optimize ``function`` in place; returns True if changed."""
+    combiner = InstCombine(extra_rules=patches)
+    return combiner.run(function, stats=stats)
+
+
+def run_opt(candidate: Union[str, Function],
+            patches: Sequence[RuleInfo] = ()) -> OptResult:
+    """The full ``opt -O3`` stand-in over a textual or parsed function.
+
+    Parsing errors are reported exactly the way the paper shows them
+    (``error: expected instruction opcode`` with a source caret) so the
+    feedback loop behaves like the real toolchain.
+    """
+    if isinstance(candidate, str):
+        try:
+            function = parse_function(candidate)
+        except ParseError as exc:
+            return OptResult(ok=False, error=exc.render())
+    else:
+        function = candidate.clone()
+    stats = CombineStats()
+    try:
+        changed = optimize_function(function, patches=patches, stats=stats)
+    except IRError as exc:
+        return OptResult(ok=False, error=f"error: {exc}")
+    return OptResult(ok=True, function=function, changed=changed,
+                     stats=stats)
+
+
+def can_further_optimize(function: Function,
+                         patches: Sequence[RuleInfo] = ()) -> bool:
+    """Can our optimizer still improve this wrapped window?
+
+    Used by the extractor (Algorithm 2, line 7-8): windows the stock
+    optimizer can already shrink are not interesting LPO inputs.
+    """
+    copy = function.clone()
+    combiner = InstCombine(extra_rules=patches)
+    changed = combiner.run(copy)
+    if not changed:
+        return False
+    # A change that does not reduce the instruction count is mere
+    # canonicalization; the window is still worth sending to the LLM.
+    return copy.instruction_count() < function.instruction_count()

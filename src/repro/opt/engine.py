@@ -1,0 +1,303 @@
+"""The InstCombine-style fixpoint rewrite engine.
+
+Rules are small functions ``rule(inst, ctx) -> Optional[Value]`` registered
+per root opcode.  A rule may:
+
+* return ``None`` — no match;
+* return an existing value — every use of ``inst`` is redirected to it and
+  ``inst`` becomes dead;
+* build new instructions through the :class:`RewriteContext` and return the
+  final one — they are inserted before ``inst`` and uses are redirected;
+* mutate ``inst`` in place (swap operands, change flags) and return
+  ``inst`` itself.
+
+The engine iterates (fold → rules → DCE) to a bounded fixpoint, mirroring
+how LLVM's InstCombine drains its worklist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import IRError
+from repro.ir.function import BasicBlock, Function
+from repro.ir.instructions import (
+    BinaryOperator,
+    Call,
+    Cast,
+    FCmp,
+    Freeze,
+    GetElementPtr,
+    ICmp,
+    Instruction,
+    Load,
+    Select,
+)
+from repro.ir.intrinsics import intrinsic_callee, intrinsic_signature
+from repro.ir.types import Type
+from repro.ir.values import Constant, Value, const_bool, const_int
+from repro.opt.dce import recompute_uses, run_dce
+from repro.opt.fold import fold_instruction, fold_undef_shortcuts
+
+Rule = Callable[[Instruction, "RewriteContext"], Optional[Value]]
+
+
+@dataclass
+class RuleInfo:
+    """Metadata attached to every registered rule."""
+
+    name: str
+    opcodes: Tuple[str, ...]
+    function: Rule
+    category: str = "simplify"
+    issue_id: Optional[int] = None   # set for "fixed patch" rules
+
+
+class RuleRegistry:
+    """An ordered, opcode-indexed collection of rewrite rules."""
+
+    def __init__(self) -> None:
+        self._by_opcode: Dict[str, List[RuleInfo]] = {}
+        self._all: List[RuleInfo] = []
+
+    def register(self, info: RuleInfo) -> None:
+        self._all.append(info)
+        for opcode in info.opcodes:
+            self._by_opcode.setdefault(opcode, []).append(info)
+
+    def rules_for(self, opcode: str) -> Sequence[RuleInfo]:
+        return self._by_opcode.get(opcode, ())
+
+    def all_rules(self) -> Sequence[RuleInfo]:
+        return tuple(self._all)
+
+    def __len__(self) -> int:
+        return len(self._all)
+
+
+#: The default registry holding the "implemented" InstCombine rule set.
+DEFAULT_REGISTRY = RuleRegistry()
+
+#: Registry of "fixed patch" rules, enabled per issue for Table 5 replays.
+PATCH_REGISTRY = RuleRegistry()
+
+
+def rule(*opcodes: str, name: Optional[str] = None,
+         category: str = "simplify",
+         registry: Optional[RuleRegistry] = None,
+         issue_id: Optional[int] = None) -> Callable[[Rule], Rule]:
+    """Decorator registering a rewrite rule for the given root opcodes."""
+
+    def decorator(function: Rule) -> Rule:
+        info = RuleInfo(
+            name=name or function.__name__,
+            opcodes=tuple(opcodes),
+            function=function,
+            category=category,
+            issue_id=issue_id,
+        )
+        (registry if registry is not None else DEFAULT_REGISTRY).register(
+            info)
+        return function
+
+    return decorator
+
+
+class RewriteContext:
+    """Builds replacement instructions for a rule application.
+
+    Instructions created through the context are *pending*: the engine
+    inserts them before the matched instruction only when the rule
+    succeeds (returns non-None), so failed rules leak nothing.
+    """
+
+    def __init__(self, function: Function, block: BasicBlock):
+        self.function = function
+        self.block = block
+        self.pending: List[Instruction] = []
+
+    def _track(self, inst: Instruction) -> Instruction:
+        self.pending.append(inst)
+        return inst
+
+    # -- constructors -----------------------------------------------------
+    def binary(self, opcode: str, lhs: Value, rhs: Value,
+               flags: Sequence[str] = ()) -> Instruction:
+        return self._track(BinaryOperator(opcode, lhs, rhs, flags))
+
+    def icmp(self, predicate: str, lhs: Value, rhs: Value) -> Instruction:
+        return self._track(ICmp(predicate, lhs, rhs))
+
+    def fcmp(self, predicate: str, lhs: Value, rhs: Value,
+             flags: Sequence[str] = ()) -> Instruction:
+        return self._track(FCmp(predicate, lhs, rhs, flags))
+
+    def select(self, cond: Value, tval: Value, fval: Value) -> Instruction:
+        return self._track(Select(cond, tval, fval))
+
+    def cast(self, opcode: str, value: Value, dest: Type,
+             flags: Sequence[str] = ()) -> Instruction:
+        return self._track(Cast(opcode, value, dest, flags))
+
+    def freeze(self, value: Value) -> Instruction:
+        return self._track(Freeze(value))
+
+    def load(self, loaded_type: Type, pointer: Value,
+             align: int = 1) -> Instruction:
+        return self._track(Load(loaded_type, pointer, align))
+
+    def gep(self, source_type: Type, pointer: Value, index: Value,
+            flags: Sequence[str] = ()) -> Instruction:
+        return self._track(GetElementPtr(source_type, pointer, index, flags))
+
+    def intrinsic(self, base_name: str, args: Sequence[Value],
+                  tail: bool = False) -> Instruction:
+        suffix_type = args[0].type
+        callee = intrinsic_callee(base_name, suffix_type)
+        signature = intrinsic_signature(callee)
+        if signature is None:
+            raise IRError(f"cannot resolve intrinsic {callee}")
+        result, expected = signature
+        call_args = list(args)
+        if len(call_args) == len(expected) - 1:
+            call_args.append(const_bool(False))
+        flags = ("tail",) if tail else ()
+        return self._track(Call(callee, result, call_args, flags))
+
+    def not_(self, value: Value) -> Instruction:
+        return self.binary("xor", value, const_int(value.type, -1))
+
+    def neg(self, value: Value) -> Instruction:
+        return self.binary("sub", const_int(value.type, 0), value)
+
+    def constant(self, type_: Type, value: int) -> Constant:
+        return const_int(type_, value)
+
+
+@dataclass
+class CombineStats:
+    """Counters reported by one optimizer run.
+
+    ``rules_tried`` counts every pattern-match attempt; it is the
+    deterministic stand-in for the compile-time tracker's
+    ``instruction:u`` metric in the Table 5 experiment (more registered
+    rules → more match attempts → "slower compile").
+    """
+
+    iterations: int = 0
+    folds: int = 0
+    rules_tried: int = 0
+    rule_applications: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def total_rewrites(self) -> int:
+        return self.folds + sum(self.rule_applications.values())
+
+
+class InstCombine:
+    """Fixpoint pattern-match-and-rewrite over a function."""
+
+    MAX_ITERATIONS = 32
+
+    def __init__(self, registry: Optional[RuleRegistry] = None,
+                 extra_rules: Sequence[RuleInfo] = ()):
+        self.registry = registry if registry is not None else DEFAULT_REGISTRY
+        self.extra_by_opcode: Dict[str, List[RuleInfo]] = {}
+        for info in extra_rules:
+            for opcode in info.opcodes:
+                self.extra_by_opcode.setdefault(opcode, []).append(info)
+
+    def _rules_for(self, opcode: str) -> List[RuleInfo]:
+        rules = list(self.registry.rules_for(opcode))
+        rules.extend(self.extra_by_opcode.get(opcode, ()))
+        return rules
+
+    def run(self, function: Function,
+            stats: Optional[CombineStats] = None) -> bool:
+        """Optimize ``function`` in place; returns True if changed."""
+        stats = stats if stats is not None else CombineStats()
+        changed_any = False
+        for _ in range(self.MAX_ITERATIONS):
+            stats.iterations += 1
+            changed = self._run_once(function, stats)
+            changed |= run_dce(function)
+            if not changed:
+                break
+            changed_any = True
+        return changed_any
+
+    # Guard against a rule that reports change without changing anything,
+    # which would otherwise loop forever at one instruction index.
+    MAX_REWRITES_PER_PASS = 10_000
+
+    def _run_once(self, function: Function, stats: CombineStats) -> bool:
+        changed = False
+        rewrites = 0
+        recompute_uses(function)
+        for block in function.blocks:
+            index = 0
+            while index < len(block.instructions):
+                if rewrites > self.MAX_REWRITES_PER_PASS:
+                    raise IRError(
+                        "instcombine did not converge (rule ping-pong?)")
+                inst = block.instructions[index]
+                if inst.is_terminator:
+                    index += 1
+                    continue
+                replacement = self._try_fold(inst)
+                if replacement is not None:
+                    function.replace_all_uses(inst, replacement)
+                    block.remove(inst)
+                    recompute_uses(function)
+                    stats.folds += 1
+                    rewrites += 1
+                    changed = True
+                    continue
+                applied = self._try_rules(function, block, index, inst,
+                                          stats)
+                if applied:
+                    recompute_uses(function)
+                    rewrites += 1
+                    changed = True
+                    # Re-examine the same index: either the instruction was
+                    # replaced (new inst now at this slot) or mutated.
+                    continue
+                index += 1
+        return changed
+
+    def _try_fold(self, inst: Instruction) -> Optional[Constant]:
+        shortcut = fold_undef_shortcuts(inst)
+        if shortcut is not None:
+            return shortcut
+        return fold_instruction(inst)
+
+    def _try_rules(self, function: Function, block: BasicBlock, index: int,
+                   inst: Instruction, stats: CombineStats) -> bool:
+        for info in self._rules_for(inst.opcode):
+            stats.rules_tried += 1
+            ctx = RewriteContext(function, block)
+            try:
+                replacement = info.function(inst, ctx)
+            except IRError:
+                # A rule that builds an ill-typed replacement simply does
+                # not apply; this keeps rule authors honest without
+                # crashing the whole pipeline.
+                continue
+            if replacement is None:
+                continue
+            stats.rule_applications[info.name] = (
+                stats.rule_applications.get(info.name, 0) + 1)
+            if replacement is inst:
+                # In-place mutation (canonicalization).
+                for pending in ctx.pending:
+                    block.insert(block.index_of(inst), pending)
+                return True
+            insert_at = block.index_of(inst)
+            for pending in ctx.pending:
+                block.insert(insert_at, pending)
+                insert_at += 1
+            function.replace_all_uses(inst, replacement)
+            block.remove(inst)
+            return True
+        return False

@@ -1,0 +1,124 @@
+"""Constant folding driven by the reference interpreter.
+
+Folding reuses :class:`repro.semantics.eval.Interpreter` lane semantics so
+the optimizer can never disagree with the verifier about an instruction's
+meaning.  Instructions whose evaluation would be immediate UB (e.g.
+division by a zero constant) are deliberately *not* folded.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import EvaluationError, UndefinedBehaviorError
+from repro.ir.instructions import Instruction
+from repro.ir.types import FloatType, IntType, PointerType, Type, VectorType
+from repro.ir.values import (
+    Constant,
+    ConstantFP,
+    ConstantInt,
+    ConstantPointerNull,
+    ConstantVector,
+    PoisonValue,
+    UndefValue,
+)
+from repro.semantics.domain import POISON, Pointer, RuntimeValue
+from repro.semantics.eval import Interpreter, _Frame
+from repro.semantics.memory import Memory
+
+
+def runtime_to_constant(value: RuntimeValue,
+                        type_: Type) -> Optional[Constant]:
+    """Convert an interpreter value back into an IR constant, or None when
+    it cannot be represented (e.g. an abstract pointer)."""
+    if isinstance(type_, VectorType):
+        if not isinstance(value, list):
+            return None
+        lanes = []
+        for lane in value:
+            constant = runtime_to_constant(lane, type_.element)
+            if constant is None:
+                return None
+            lanes.append(constant)
+        return ConstantVector(type_, lanes)
+    if value is POISON:
+        return PoisonValue(type_)
+    if isinstance(type_, IntType) and isinstance(value, int):
+        return ConstantInt(type_, value)
+    if isinstance(type_, FloatType) and isinstance(value, float):
+        return ConstantFP(type_, value)
+    if isinstance(type_, PointerType) and isinstance(value, Pointer):
+        if value.base == "null" and value.offset == 0:
+            return ConstantPointerNull(type_)
+    return None
+
+
+def _make_scratch_interpreter() -> Interpreter:
+    interpreter = Interpreter.__new__(Interpreter)
+    interpreter.function = None  # never consulted for single instructions
+    interpreter.memory = Memory()
+    interpreter.undef_chooser = lambda type_: _zeros(type_)
+    interpreter.frame = _Frame()
+    return interpreter
+
+
+def _zeros(type_: Type) -> RuntimeValue:
+    from repro.semantics.domain import default_lane
+    if isinstance(type_, VectorType):
+        return [default_lane(type_)] * type_.count
+    return default_lane(type_)
+
+
+def fold_instruction(inst: Instruction) -> Optional[Constant]:
+    """Fold ``inst`` to a constant when every operand is constant.
+
+    Returns None when the instruction is not foldable (non-constant
+    operands, side effects, memory access, or folding would hide UB).
+    Folding ``undef`` operands picks a concrete value, which is a legal
+    refinement for the optimizer to make.
+    """
+    if inst.is_terminator or inst.has_side_effects:
+        return None
+    if inst.may_read_memory or inst.opcode in ("load", "store", "phi",
+                                               "getelementptr"):
+        return None
+    if not inst.operands:
+        return None
+    if not all(isinstance(op, Constant) for op in inst.operands):
+        return None
+    # An all-undef/poison-free fast path is not worth special-casing;
+    # evaluate through the interpreter and convert back.
+    interpreter = _make_scratch_interpreter()
+    try:
+        result = interpreter.eval_instruction(inst)
+    except UndefinedBehaviorError:
+        return None
+    except EvaluationError:
+        return None
+    return runtime_to_constant(result, inst.type)
+
+
+def fold_undef_shortcuts(inst: Instruction) -> Optional[Constant]:
+    """Poison-propagation shortcut: most instructions with a poison operand
+    fold to poison outright (select/freeze/phi excluded)."""
+    if inst.opcode in ("select", "freeze", "phi", "call", "store", "load",
+                       "insertelement", "shufflevector"):
+        return None
+    if inst.is_terminator:
+        return None
+    if any(isinstance(op, PoisonValue) for op in inst.operands):
+        if inst.opcode in ("udiv", "sdiv", "urem", "srem"):
+            # Poison divisor is UB, do not fold; poison dividend is fine.
+            if isinstance(inst.operands[1], PoisonValue):
+                return None
+        if isinstance(inst.type, VectorType) or inst.type.is_first_class:
+            return PoisonValue(inst.type)
+    return None
+
+
+__all__ = ["fold_instruction", "fold_undef_shortcuts",
+           "runtime_to_constant"]
+
+
+# Re-export UndefValue for rules that need to synthesize it.
+_ = UndefValue

@@ -1,0 +1,341 @@
+"""Pattern-matching combinators for rewrite rules.
+
+A matcher is a callable ``(value, bindings) -> bool`` that inspects an SSA
+value and records captures into ``bindings`` (a dict).  The style mirrors
+LLVM's ``PatternMatch.h`` (``m_Add``, ``m_ConstantInt``, ...), which keeps
+the rewrite rules in :mod:`repro.opt.rules` short and declarative.
+
+Example::
+
+    # match (x - y) > (x + y)
+    pat = m_icmp("sgt",
+                 m_binop("sub", m_capture("x"), m_capture("y")),
+                 m_binop("add", m_same("x"), m_same("y")))
+    bindings = match(pat, inst)
+    if bindings is not None:
+        ...
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Sequence
+
+from repro.ir.instructions import (
+    BinaryOperator,
+    Call,
+    Cast,
+    FCmp,
+    Freeze,
+    ICmp,
+    Instruction,
+    Load,
+    Select,
+)
+from repro.ir.values import (
+    Constant,
+    ConstantFP,
+    ConstantInt,
+    ConstantVector,
+    Value,
+    match_scalar_int,
+)
+
+Bindings = Dict[str, Value]
+Matcher = Callable[[Value, Bindings], bool]
+
+
+def match(matcher: Matcher, value: Value) -> Optional[Bindings]:
+    """Run a matcher; returns the bindings on success, None on failure."""
+    bindings: Bindings = {}
+    if matcher(value, bindings):
+        return bindings
+    return None
+
+
+# -- leaf matchers ---------------------------------------------------------
+
+def m_any() -> Matcher:
+    return lambda value, bindings: True
+
+
+def m_capture(name: str, inner: Optional[Matcher] = None) -> Matcher:
+    """Capture the value under ``name``; optionally require ``inner``."""
+
+    def matcher(value: Value, bindings: Bindings) -> bool:
+        if inner is not None and not inner(value, bindings):
+            return False
+        bindings[name] = value
+        return True
+
+    return matcher
+
+
+def m_same(name: str) -> Matcher:
+    """Match only the value already captured under ``name``."""
+
+    def matcher(value: Value, bindings: Bindings) -> bool:
+        return name in bindings and bindings[name] is value
+
+    return matcher
+
+
+def m_specific(target: Value) -> Matcher:
+    return lambda value, bindings: value is target
+
+
+def m_constant() -> Matcher:
+    return lambda value, bindings: isinstance(value, Constant)
+
+
+def m_constint(name: Optional[str] = None) -> Matcher:
+    """Match a scalar or splat integer constant; capture the scalar lane."""
+
+    def matcher(value: Value, bindings: Bindings) -> bool:
+        scalar = match_scalar_int(value)
+        if scalar is None:
+            return False
+        if name is not None:
+            bindings[name] = scalar
+            bindings[name + ".orig"] = value
+        return True
+
+    return matcher
+
+
+def m_constint_where(predicate: Callable[[ConstantInt], bool],
+                     name: Optional[str] = None) -> Matcher:
+    def matcher(value: Value, bindings: Bindings) -> bool:
+        scalar = match_scalar_int(value)
+        if scalar is None or not predicate(scalar):
+            return False
+        if name is not None:
+            bindings[name] = scalar
+            bindings[name + ".orig"] = value
+        return True
+
+    return matcher
+
+
+def m_zero() -> Matcher:
+    return m_constint_where(lambda c: c.is_zero)
+
+
+def m_one() -> Matcher:
+    return m_constint_where(lambda c: c.is_one)
+
+
+def m_all_ones() -> Matcher:
+    return m_constint_where(lambda c: c.is_all_ones)
+
+
+def m_signbit() -> Matcher:
+    """INT_MIN of the operand width."""
+    return m_constint_where(
+        lambda c: c.value == 1 << (c.type.bits - 1))
+
+
+def m_power_of_two(name: Optional[str] = None) -> Matcher:
+    return m_constint_where(
+        lambda c: c.value > 0 and c.value & (c.value - 1) == 0, name)
+
+
+def m_constfp(name: Optional[str] = None) -> Matcher:
+    def matcher(value: Value, bindings: Bindings) -> bool:
+        scalar: Optional[ConstantFP] = None
+        if isinstance(value, ConstantFP):
+            scalar = value
+        elif isinstance(value, ConstantVector) and value.is_splat:
+            lane = value.elements[0]
+            if isinstance(lane, ConstantFP):
+                scalar = lane
+        if scalar is None:
+            return False
+        if name is not None:
+            bindings[name] = scalar
+        return True
+
+    return matcher
+
+
+def m_fp_zero() -> Matcher:
+    def matcher(value: Value, bindings: Bindings) -> bool:
+        probe: Bindings = {}
+        if not m_constfp("c")(value, probe):
+            return False
+        constant = probe["c"]
+        assert isinstance(constant, ConstantFP)
+        return constant.is_zero
+
+    return matcher
+
+
+# -- instruction matchers --------------------------------------------------
+
+def m_binop(opcode: str, lhs: Matcher, rhs: Matcher,
+            commutative: bool = False,
+            flags: Sequence[str] = ()) -> Matcher:
+    """Match a binary operator; ``commutative=True`` also tries swapped
+    operands.  ``flags`` lists flags that must be present."""
+
+    def matcher(value: Value, bindings: Bindings) -> bool:
+        if not isinstance(value, BinaryOperator) or value.opcode != opcode:
+            return False
+        if any(flag not in value.flags for flag in flags):
+            return False
+        snapshot = dict(bindings)
+        if lhs(value.lhs, bindings) and rhs(value.rhs, bindings):
+            return True
+        bindings.clear()
+        bindings.update(snapshot)
+        if commutative:
+            if lhs(value.rhs, bindings) and rhs(value.lhs, bindings):
+                return True
+            bindings.clear()
+            bindings.update(snapshot)
+        return False
+
+    return matcher
+
+
+def m_icmp(predicate: Optional[str], lhs: Matcher, rhs: Matcher,
+           capture_as: Optional[str] = None) -> Matcher:
+    """Match an icmp; ``predicate=None`` matches any predicate and the
+    instruction can be captured for predicate inspection."""
+
+    def matcher(value: Value, bindings: Bindings) -> bool:
+        if not isinstance(value, ICmp):
+            return False
+        if predicate is not None and value.predicate != predicate:
+            return False
+        snapshot = dict(bindings)
+        if lhs(value.lhs, bindings) and rhs(value.rhs, bindings):
+            if capture_as is not None:
+                bindings[capture_as] = value
+            return True
+        bindings.clear()
+        bindings.update(snapshot)
+        return False
+
+    return matcher
+
+
+def m_fcmp(predicate: Optional[str], lhs: Matcher, rhs: Matcher,
+           capture_as: Optional[str] = None) -> Matcher:
+    def matcher(value: Value, bindings: Bindings) -> bool:
+        if not isinstance(value, FCmp):
+            return False
+        if predicate is not None and value.predicate != predicate:
+            return False
+        snapshot = dict(bindings)
+        if lhs(value.lhs, bindings) and rhs(value.rhs, bindings):
+            if capture_as is not None:
+                bindings[capture_as] = value
+            return True
+        bindings.clear()
+        bindings.update(snapshot)
+        return False
+
+    return matcher
+
+
+def m_select(cond: Matcher, tval: Matcher, fval: Matcher) -> Matcher:
+    def matcher(value: Value, bindings: Bindings) -> bool:
+        if not isinstance(value, Select):
+            return False
+        snapshot = dict(bindings)
+        if (cond(value.condition, bindings)
+                and tval(value.true_value, bindings)
+                and fval(value.false_value, bindings)):
+            return True
+        bindings.clear()
+        bindings.update(snapshot)
+        return False
+
+    return matcher
+
+
+def m_cast(opcode: str, inner: Matcher,
+           capture_as: Optional[str] = None) -> Matcher:
+    def matcher(value: Value, bindings: Bindings) -> bool:
+        if not isinstance(value, Cast) or value.opcode != opcode:
+            return False
+        snapshot = dict(bindings)
+        if inner(value.value, bindings):
+            if capture_as is not None:
+                bindings[capture_as] = value
+            return True
+        bindings.clear()
+        bindings.update(snapshot)
+        return False
+
+    return matcher
+
+
+def m_intrinsic(base_name: str, *arg_matchers: Matcher,
+                commutative: bool = False) -> Matcher:
+    """Match a call to an intrinsic family (value args only)."""
+
+    def matcher(value: Value, bindings: Bindings) -> bool:
+        if not isinstance(value, Call):
+            return False
+        if value.intrinsic_name != base_name:
+            return False
+        args = value.operands[: len(arg_matchers)]
+        if len(args) < len(arg_matchers):
+            return False
+        snapshot = dict(bindings)
+        if all(m(a, bindings) for m, a in zip(arg_matchers, args)):
+            return True
+        bindings.clear()
+        bindings.update(snapshot)
+        if commutative and len(arg_matchers) == 2:
+            if (arg_matchers[0](args[1], bindings)
+                    and arg_matchers[1](args[0], bindings)):
+                return True
+            bindings.clear()
+            bindings.update(snapshot)
+        return False
+
+    return matcher
+
+
+def m_freeze(inner: Matcher) -> Matcher:
+    def matcher(value: Value, bindings: Bindings) -> bool:
+        return isinstance(value, Freeze) and inner(value.value, bindings)
+
+    return matcher
+
+
+def m_load(capture_as: Optional[str] = None) -> Matcher:
+    def matcher(value: Value, bindings: Bindings) -> bool:
+        if not isinstance(value, Load):
+            return False
+        if capture_as is not None:
+            bindings[capture_as] = value
+        return True
+
+    return matcher
+
+
+def m_not(inner: Matcher) -> Matcher:
+    """Match ``xor X, -1`` in either operand order."""
+    return m_binop("xor", inner, m_all_ones(), commutative=True)
+
+
+def m_neg(inner: Matcher) -> Matcher:
+    """Match ``sub 0, X``."""
+    return m_binop("sub", m_zero(), inner)
+
+
+def m_one_use(inner: Matcher) -> Matcher:
+    """Match only when the value is an instruction with exactly one use.
+
+    Use counts are maintained by the rewrite engine before rule dispatch.
+    """
+
+    def matcher(value: Value, bindings: Bindings) -> bool:
+        if isinstance(value, Instruction) and len(value.uses) > 1:
+            return False
+        return inner(value, bindings)
+
+    return matcher

@@ -1,0 +1,18 @@
+"""Rewrite rules grouped by instruction family.
+
+Importing this package registers every rule into
+:data:`repro.opt.engine.DEFAULT_REGISTRY`; the "fixed patch" rules live in
+:mod:`repro.opt.rules.patches` and register into ``PATCH_REGISTRY`` instead.
+"""
+
+from repro.opt.rules import (  # noqa: F401  (import for side effects)
+    arith,
+    casts,
+    fcmp,
+    icmp,
+    intrinsics,
+    logic,
+    select,
+    shifts,
+    vectors,
+)

@@ -1,0 +1,222 @@
+"""Rules for add/sub/mul/div/rem."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ir.instructions import BinaryOperator, Instruction
+from repro.ir.values import Constant, ConstantInt, const_int, match_scalar_int
+from repro.opt.engine import RewriteContext, rule
+from repro.opt.patterns import (
+    m_binop,
+    m_capture,
+    m_constint,
+    m_neg,
+    m_same,
+    match,
+)
+from repro.semantics import bitvector as bv
+
+
+def _rhs_const(inst: Instruction) -> Optional[ConstantInt]:
+    return match_scalar_int(inst.operands[1])
+
+
+@rule("add", "mul", "and", "or", "xor", name="canonicalize_const_rhs",
+      category="canonicalize")
+def canonicalize_const_rhs(inst: Instruction,
+                           ctx: RewriteContext) -> Optional[Instruction]:
+    """Move a constant operand of a commutative op to the right-hand side."""
+    assert isinstance(inst, BinaryOperator)
+    if isinstance(inst.lhs, Constant) and not isinstance(inst.rhs, Constant):
+        inst.operands[0], inst.operands[1] = inst.rhs, inst.lhs
+        return inst
+    return None
+
+
+@rule("add", name="add_zero")
+def add_zero(inst: Instruction, ctx: RewriteContext):
+    """``add X, 0`` → ``X``."""
+    constant = _rhs_const(inst)
+    if constant is not None and constant.is_zero:
+        return inst.operands[0]
+    return None
+
+
+@rule("add", name="add_self_to_shl")
+def add_self_to_shl(inst: Instruction, ctx: RewriteContext):
+    """``add X, X`` → ``shl X, 1`` (LLVM's canonical doubling)."""
+    assert isinstance(inst, BinaryOperator)
+    if inst.lhs is inst.rhs and inst.type.scalar_type().is_integer:
+        flags = tuple(f for f in inst.flags if f in ("nuw", "nsw"))
+        return ctx.binary("shl", inst.lhs, const_int(inst.type, 1), flags)
+    return None
+
+
+@rule("add", name="add_const_chain")
+def add_const_chain(inst: Instruction, ctx: RewriteContext):
+    """``add (add X, C1), C2`` → ``add X, C1+C2`` (flags dropped)."""
+    bindings = match(
+        m_binop("add",
+                m_binop("add", m_capture("x"), m_constint("c1")),
+                m_constint("c2")),
+        inst)
+    if bindings is None:
+        return None
+    c1, c2 = bindings["c1"], bindings["c2"]
+    assert isinstance(c1, ConstantInt) and isinstance(c2, ConstantInt)
+    total = const_int(inst.type, c1.value + c2.value)
+    return ctx.binary("add", bindings["x"], total)
+
+
+@rule("add", name="add_neg_to_sub")
+def add_neg_to_sub(inst: Instruction, ctx: RewriteContext):
+    """``add X, (sub 0, Y)`` → ``sub X, Y``."""
+    bindings = match(
+        m_binop("add", m_capture("x"), m_neg(m_capture("y")),
+                commutative=True),
+        inst)
+    if bindings is None or bindings["x"] is inst:
+        return None
+    return ctx.binary("sub", bindings["x"], bindings["y"])
+
+
+@rule("sub", name="sub_zero")
+def sub_zero(inst: Instruction, ctx: RewriteContext):
+    """``sub X, 0`` → ``X``."""
+    constant = _rhs_const(inst)
+    if constant is not None and constant.is_zero:
+        return inst.operands[0]
+    return None
+
+
+@rule("sub", name="sub_self")
+def sub_self(inst: Instruction, ctx: RewriteContext):
+    """``sub X, X`` → ``0``."""
+    assert isinstance(inst, BinaryOperator)
+    if inst.lhs is inst.rhs:
+        return const_int(inst.type, 0)
+    return None
+
+
+@rule("sub", name="sub_const_to_add", category="canonicalize")
+def sub_const_to_add(inst: Instruction, ctx: RewriteContext):
+    """``sub X, C`` → ``add X, -C`` (LLVM's canonical form)."""
+    assert isinstance(inst, BinaryOperator)
+    if isinstance(inst.lhs, Constant):
+        return None
+    constant = _rhs_const(inst)
+    if constant is None or constant.is_zero:
+        return None
+    return ctx.binary("add", inst.lhs, const_int(inst.type, -constant.value))
+
+
+@rule("sub", name="neg_of_neg")
+def neg_of_neg(inst: Instruction, ctx: RewriteContext):
+    """``sub 0, (sub 0, X)`` → ``X`` (wrapping negation is an involution)."""
+    bindings = match(m_neg(m_neg(m_capture("x"))), inst)
+    if bindings is None:
+        return None
+    return bindings["x"]
+
+
+@rule("sub", name="sub_of_add_cancel")
+def sub_of_add_cancel(inst: Instruction, ctx: RewriteContext):
+    """``sub (add X, Y), X`` → ``Y`` (and the commuted form)."""
+    bindings = match(
+        m_binop("sub",
+                m_binop("add", m_capture("x"), m_capture("y"),
+                        commutative=True),
+                m_same("x")),
+        inst)
+    if bindings is not None:
+        return bindings["y"]
+    return None
+
+
+@rule("mul", name="mul_one")
+def mul_one(inst: Instruction, ctx: RewriteContext):
+    """``mul X, 1`` → ``X``."""
+    constant = _rhs_const(inst)
+    if constant is not None and constant.is_one:
+        return inst.operands[0]
+    return None
+
+
+@rule("mul", name="mul_zero")
+def mul_zero(inst: Instruction, ctx: RewriteContext):
+    """``mul X, 0`` → ``0``."""
+    constant = _rhs_const(inst)
+    if constant is not None and constant.is_zero:
+        return const_int(inst.type, 0)
+    return None
+
+
+@rule("mul", name="mul_pow2_to_shl", category="canonicalize")
+def mul_pow2_to_shl(inst: Instruction, ctx: RewriteContext):
+    """``mul X, 2^k`` → ``shl X, k``, preserving nuw/nsw."""
+    assert isinstance(inst, BinaryOperator)
+    constant = _rhs_const(inst)
+    if constant is None:
+        return None
+    log2 = bv.decompose_power_of_two(constant.value)
+    if log2 is None or log2 == 0:
+        return None
+    flags = tuple(f for f in inst.flags if f in ("nuw", "nsw"))
+    return ctx.binary("shl", inst.lhs, const_int(inst.type, log2), flags)
+
+
+@rule("mul", name="mul_allones_to_neg", category="canonicalize")
+def mul_allones_to_neg(inst: Instruction, ctx: RewriteContext):
+    """``mul X, -1`` → ``sub 0, X``."""
+    assert isinstance(inst, BinaryOperator)
+    constant = _rhs_const(inst)
+    if constant is not None and constant.is_all_ones:
+        return ctx.neg(inst.lhs)
+    return None
+
+
+@rule("udiv", "sdiv", name="div_one")
+def div_one(inst: Instruction, ctx: RewriteContext):
+    """``udiv/sdiv X, 1`` → ``X``."""
+    constant = _rhs_const(inst)
+    if constant is not None and constant.is_one:
+        return inst.operands[0]
+    return None
+
+
+@rule("udiv", name="udiv_pow2_to_lshr", category="canonicalize")
+def udiv_pow2_to_lshr(inst: Instruction, ctx: RewriteContext):
+    """``udiv X, 2^k`` → ``lshr X, k`` (preserving exact)."""
+    assert isinstance(inst, BinaryOperator)
+    constant = _rhs_const(inst)
+    if constant is None:
+        return None
+    log2 = bv.decompose_power_of_two(constant.value)
+    if log2 is None:
+        return None
+    flags = ("exact",) if "exact" in inst.flags else ()
+    return ctx.binary("lshr", inst.lhs, const_int(inst.type, log2), flags)
+
+
+@rule("urem", name="urem_pow2_to_and", category="canonicalize")
+def urem_pow2_to_and(inst: Instruction, ctx: RewriteContext):
+    """``urem X, 2^k`` → ``and X, 2^k - 1``."""
+    assert isinstance(inst, BinaryOperator)
+    constant = _rhs_const(inst)
+    if constant is None:
+        return None
+    log2 = bv.decompose_power_of_two(constant.value)
+    if log2 is None:
+        return None
+    return ctx.binary("and", inst.lhs,
+                      const_int(inst.type, constant.value - 1))
+
+
+@rule("urem", "srem", name="rem_one")
+def rem_one(inst: Instruction, ctx: RewriteContext):
+    """``urem/srem X, 1`` → ``0``."""
+    constant = _rhs_const(inst)
+    if constant is not None and constant.is_one:
+        return const_int(inst.type, 0)
+    return None

@@ -1,0 +1,103 @@
+"""Rules for cast instructions."""
+
+from __future__ import annotations
+
+from repro.ir.instructions import Cast, Instruction
+from repro.ir.types import IntType
+from repro.opt.engine import RewriteContext, rule
+
+
+def _scalar_bits(type_) -> int:
+    scalar = type_.scalar_type()
+    assert isinstance(scalar, IntType)
+    return scalar.bits
+
+
+@rule("trunc", name="trunc_of_ext")
+def trunc_of_ext(inst: Instruction, ctx: RewriteContext):
+    """``trunc (zext/sext X)`` collapses to X, a narrower trunc, or a
+    narrower ext depending on the three widths involved."""
+    assert isinstance(inst, Cast)
+    inner = inst.value
+    if not (isinstance(inner, Cast) and inner.opcode in ("zext", "sext")):
+        return None
+    source = inner.value                       # iA
+    a = _scalar_bits(source.type)
+    c = _scalar_bits(inst.type)                # trunc destination iC
+    if c == a:
+        return source
+    if c < a:
+        return ctx.cast("trunc", source, inst.type)
+    # c > a: the ext then trunc only drops high bits, re-ext narrower.
+    return ctx.cast(inner.opcode, source, inst.type)
+
+
+@rule("zext", name="zext_of_zext")
+def zext_of_zext(inst: Instruction, ctx: RewriteContext):
+    """``zext (zext X)`` → ``zext X`` (single step)."""
+    assert isinstance(inst, Cast)
+    inner = inst.value
+    if isinstance(inner, Cast) and inner.opcode == "zext":
+        return ctx.cast("zext", inner.value, inst.type)
+    return None
+
+
+@rule("sext", name="sext_of_sext")
+def sext_of_sext(inst: Instruction, ctx: RewriteContext):
+    """``sext (sext X)`` → ``sext X``."""
+    assert isinstance(inst, Cast)
+    inner = inst.value
+    if isinstance(inner, Cast) and inner.opcode == "sext":
+        return ctx.cast("sext", inner.value, inst.type)
+    return None
+
+
+@rule("sext", name="sext_of_zext")
+def sext_of_zext(inst: Instruction, ctx: RewriteContext):
+    """``sext (zext X)`` → ``zext X`` — the middle value is known
+    non-negative because zext writes zero high bits."""
+    assert isinstance(inst, Cast)
+    inner = inst.value
+    if isinstance(inner, Cast) and inner.opcode == "zext":
+        return ctx.cast("zext", inner.value, inst.type)
+    return None
+
+
+@rule("zext", name="zext_of_icmp_stays", category="canonicalize")
+def zext_nneg_of_icmp(inst: Instruction, ctx: RewriteContext):
+    """No-op placeholder documenting that ``zext i1`` is canonical; kept
+    so the rule table mirrors LLVM's cast-combine structure."""
+    return None
+
+
+@rule("bitcast", name="bitcast_of_bitcast")
+def bitcast_of_bitcast(inst: Instruction, ctx: RewriteContext):
+    """``bitcast (bitcast X)`` → single bitcast or X."""
+    assert isinstance(inst, Cast)
+    inner = inst.value
+    if isinstance(inner, Cast) and inner.opcode == "bitcast":
+        if inner.value.type == inst.type:
+            return inner.value
+        return ctx.cast("bitcast", inner.value, inst.type)
+    return None
+
+
+@rule("freeze", name="freeze_of_freeze")
+def freeze_of_freeze(inst: Instruction, ctx: RewriteContext):
+    """``freeze (freeze X)`` → ``freeze X``."""
+    from repro.ir.instructions import Freeze
+    assert isinstance(inst, Freeze)
+    if isinstance(inst.value, Freeze):
+        return inst.value
+    return None
+
+
+@rule("freeze", name="freeze_of_nonpoison")
+def freeze_of_nonpoison(inst: Instruction, ctx: RewriteContext):
+    """``freeze X`` → ``X`` when X is known not to be poison."""
+    from repro.ir.instructions import Freeze
+    from repro.opt.analysis import may_be_poison
+    assert isinstance(inst, Freeze)
+    if not may_be_poison(inst.value):
+        return inst.value
+    return None

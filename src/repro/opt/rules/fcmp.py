@@ -1,0 +1,111 @@
+"""Rules for floating-point comparisons and FP arithmetic identities.
+
+Deliberately conservative: only transformations that are sound without
+fast-math flags are implemented, mirroring InstCombine's behaviour.  The
+FP simplifications the paper's benchmark issues describe (e.g. removing a
+NaN-guarding select before an ordered compare — Figure 4c) are *not*
+implemented here; they are exactly the "missed" optimizations.
+"""
+
+from __future__ import annotations
+
+from repro.ir.instructions import BinaryOperator, FCmp, Instruction
+from repro.ir.values import const_int
+from repro.opt.engine import RewriteContext, rule
+from repro.opt.patterns import m_constfp, match
+
+
+@rule("fcmp", name="fcmp_trivial_predicates")
+def fcmp_trivial_predicates(inst: Instruction, ctx: RewriteContext):
+    """``fcmp false/true X, Y`` folds to a constant (non-poison args)."""
+    assert isinstance(inst, FCmp)
+    if inst.predicate == "false":
+        return const_int(inst.type, 0)
+    if inst.predicate == "true":
+        return const_int(inst.type, 1)
+    return None
+
+
+@rule("fcmp", name="fcmp_self_ord")
+def fcmp_self_ord(inst: Instruction, ctx: RewriteContext):
+    """``fcmp oeq X, X`` → ``fcmp ord X, 0.0`` is *not* done; but
+    ``fcmp ueq X, X`` → true-like folds for predicates where only the
+    unordered case matters: ``ueq/uge/ule X, X`` → true,
+    ``one/ogt/olt X, X`` → false."""
+    assert isinstance(inst, FCmp)
+    if inst.lhs is not inst.rhs:
+        return None
+    if inst.predicate in ("ueq", "uge", "ule"):
+        return const_int(inst.type, 1)
+    if inst.predicate in ("one", "ogt", "olt"):
+        return const_int(inst.type, 0)
+    return None
+
+
+@rule("fcmp", name="fcmp_const_lhs_swap", category="canonicalize")
+def fcmp_const_lhs_swap(inst: Instruction, ctx: RewriteContext):
+    """Move a constant LHS to the RHS, swapping the predicate."""
+    assert isinstance(inst, FCmp)
+    from repro.ir.values import Constant
+    if not (isinstance(inst.lhs, Constant)
+            and not isinstance(inst.rhs, Constant)):
+        return None
+    swap = {"oeq": "oeq", "one": "one", "ueq": "ueq", "une": "une",
+            "ord": "ord", "uno": "uno", "false": "false", "true": "true",
+            "ogt": "olt", "oge": "ole", "olt": "ogt", "ole": "oge",
+            "ugt": "ult", "uge": "ule", "ult": "ugt", "ule": "uge"}
+    inst.operands[0], inst.operands[1] = inst.rhs, inst.lhs
+    inst.predicate = swap[inst.predicate]
+    return inst
+
+
+@rule("fadd", name="fadd_negzero")
+def fadd_negzero(inst: Instruction, ctx: RewriteContext):
+    """``fadd X, -0.0`` → ``X`` (sound without nsz, unlike ``+0.0``)."""
+    assert isinstance(inst, BinaryOperator)
+    bindings = match(m_constfp("c"), inst.rhs)
+    if bindings is None:
+        return None
+    constant = bindings["c"]
+    import math
+    if constant.value == 0.0 and math.copysign(1.0, constant.value) < 0:
+        return inst.lhs
+    return None
+
+
+@rule("fmul", name="fmul_one")
+def fmul_one(inst: Instruction, ctx: RewriteContext):
+    """``fmul X, 1.0`` → ``X`` (exact in IEEE arithmetic)."""
+    assert isinstance(inst, BinaryOperator)
+    bindings = match(m_constfp("c"), inst.rhs)
+    if bindings is None:
+        return None
+    if bindings["c"].value == 1.0:
+        return inst.lhs
+    return None
+
+
+@rule("fdiv", name="fdiv_one")
+def fdiv_one(inst: Instruction, ctx: RewriteContext):
+    """``fdiv X, 1.0`` → ``X``."""
+    assert isinstance(inst, BinaryOperator)
+    bindings = match(m_constfp("c"), inst.rhs)
+    if bindings is None:
+        return None
+    if bindings["c"].value == 1.0:
+        return inst.lhs
+    return None
+
+
+@rule("fsub", name="fsub_zero")
+def fsub_zero(inst: Instruction, ctx: RewriteContext):
+    """``fsub X, 0.0`` → ``X`` (+0.0 is the additive identity for fsub)."""
+    assert isinstance(inst, BinaryOperator)
+    bindings = match(m_constfp("c"), inst.rhs)
+    if bindings is None:
+        return None
+    import math
+    constant = bindings["c"]
+    if constant.value == 0.0 and math.copysign(1.0, constant.value) > 0:
+        return inst.lhs
+    return None

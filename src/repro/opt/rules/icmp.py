@@ -1,0 +1,193 @@
+"""Rules for integer comparisons."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ir.instructions import (
+    ICMP_PREDICATE_SWAP,
+    BinaryOperator,
+    ICmp,
+    Instruction,
+)
+from repro.ir.types import IntType
+from repro.ir.values import (
+    Constant,
+    ConstantInt,
+    const_bool,
+    const_int,
+    match_scalar_int,
+)
+from repro.opt.engine import RewriteContext, rule
+from repro.opt.patterns import m_binop, m_capture, m_constint, match
+from repro.semantics import bitvector as bv
+
+
+def _bool_result(inst: ICmp, value: bool):
+    """A true/false constant matching the (possibly vector) result type."""
+    return const_int(inst.type, 1 if value else 0)
+
+
+@rule("icmp", name="icmp_same_operands")
+def icmp_same_operands(inst: Instruction, ctx: RewriteContext):
+    """``icmp pred X, X`` folds to the predicate's reflexivity."""
+    assert isinstance(inst, ICmp)
+    if inst.lhs is not inst.rhs:
+        return None
+    reflexive = {"eq": True, "ne": False,
+                 "uge": True, "ule": True, "sge": True, "sle": True,
+                 "ugt": False, "ult": False, "sgt": False, "slt": False}
+    return _bool_result(inst, reflexive[inst.predicate])
+
+
+@rule("icmp", name="icmp_const_lhs_swap", category="canonicalize")
+def icmp_const_lhs_swap(inst: Instruction, ctx: RewriteContext):
+    """Move a constant LHS to the RHS, swapping the predicate."""
+    assert isinstance(inst, ICmp)
+    if isinstance(inst.lhs, Constant) and not isinstance(inst.rhs, Constant):
+        inst.operands[0], inst.operands[1] = inst.rhs, inst.lhs
+        inst.predicate = ICMP_PREDICATE_SWAP[inst.predicate]
+        return inst
+    return None
+
+
+@rule("icmp", name="icmp_unsigned_tautology")
+def icmp_unsigned_tautology(inst: Instruction, ctx: RewriteContext):
+    """Tautological unsigned bounds: ``ult X, 0``, ``ule X, -1``, ..."""
+    assert isinstance(inst, ICmp)
+    scalar = inst.lhs.type.scalar_type()
+    if not isinstance(scalar, IntType):
+        return None
+    constant = match_scalar_int(inst.rhs)
+    if constant is None:
+        return None
+    value, width = constant.value, scalar.bits
+    if inst.predicate == "ult" and value == 0:
+        return _bool_result(inst, False)
+    if inst.predicate == "uge" and value == 0:
+        return _bool_result(inst, True)
+    if inst.predicate == "ugt" and value == bv.mask(width):
+        return _bool_result(inst, False)
+    if inst.predicate == "ule" and value == bv.mask(width):
+        return _bool_result(inst, True)
+    if inst.predicate == "slt" and value == bv.signed_min(width):
+        return _bool_result(inst, False)
+    if inst.predicate == "sge" and value == bv.signed_min(width):
+        return _bool_result(inst, True)
+    if inst.predicate == "sgt" and value == bv.signed_max(width):
+        return _bool_result(inst, False)
+    if inst.predicate == "sle" and value == bv.signed_max(width):
+        return _bool_result(inst, True)
+    return None
+
+
+@rule("icmp", name="icmp_canonical_strictness", category="canonicalize")
+def icmp_canonical_strictness(inst: Instruction, ctx: RewriteContext):
+    """Non-strict compares against constants become strict:
+    ``sle X, C`` → ``slt X, C+1`` etc. (LLVM's canonical form)."""
+    assert isinstance(inst, ICmp)
+    scalar = inst.lhs.type.scalar_type()
+    if not isinstance(scalar, IntType):
+        return None
+    constant = match_scalar_int(inst.rhs)
+    if constant is None:
+        return None
+    value, width = constant.value, scalar.bits
+    new_pred: Optional[str] = None
+    new_value = value
+    if inst.predicate == "sle" and value != bv.signed_max(width):
+        new_pred, new_value = "slt", value + 1
+    elif inst.predicate == "sge" and value != bv.signed_min(width):
+        new_pred, new_value = "sgt", value - 1
+    elif inst.predicate == "ule" and value != bv.mask(width):
+        new_pred, new_value = "ult", value + 1
+    elif inst.predicate == "uge" and value != 0:
+        new_pred, new_value = "ugt", value - 1
+    if new_pred is None:
+        return None
+    return ctx.icmp(new_pred, inst.lhs,
+                    const_int(inst.lhs.type, new_value))
+
+
+@rule("icmp", name="icmp_eq_add_const")
+def icmp_eq_add_const(inst: Instruction, ctx: RewriteContext):
+    """``icmp eq/ne (add X, C1), C2`` → ``icmp eq/ne X, C2-C1``."""
+    assert isinstance(inst, ICmp)
+    if inst.predicate not in ("eq", "ne"):
+        return None
+    bindings = match(
+        m_binop("add", m_capture("x"), m_constint("c1")),
+        inst.lhs)
+    if bindings is None:
+        return None
+    c2 = match_scalar_int(inst.rhs)
+    if c2 is None:
+        return None
+    c1 = bindings["c1"]
+    assert isinstance(c1, ConstantInt)
+    return ctx.icmp(inst.predicate, bindings["x"],
+                    const_int(inst.lhs.type, c2.value - c1.value))
+
+
+@rule("icmp", name="icmp_eq_xor_const")
+def icmp_eq_xor_const(inst: Instruction, ctx: RewriteContext):
+    """``icmp eq/ne (xor X, C1), C2`` → ``icmp eq/ne X, C1^C2``."""
+    assert isinstance(inst, ICmp)
+    if inst.predicate not in ("eq", "ne"):
+        return None
+    bindings = match(
+        m_binop("xor", m_capture("x"), m_constint("c1")),
+        inst.lhs)
+    if bindings is None:
+        return None
+    c2 = match_scalar_int(inst.rhs)
+    if c2 is None:
+        return None
+    c1 = bindings["c1"]
+    assert isinstance(c1, ConstantInt)
+    return ctx.icmp(inst.predicate, bindings["x"],
+                    const_int(inst.lhs.type, c1.value ^ c2.value))
+
+
+@rule("icmp", name="icmp_sub_zero")
+def icmp_sub_zero(inst: Instruction, ctx: RewriteContext):
+    """``icmp eq/ne (sub X, Y), 0`` → ``icmp eq/ne X, Y``."""
+    assert isinstance(inst, ICmp)
+    if inst.predicate not in ("eq", "ne"):
+        return None
+    constant = match_scalar_int(inst.rhs)
+    if constant is None or not constant.is_zero:
+        return None
+    lhs = inst.lhs
+    if isinstance(lhs, BinaryOperator) and lhs.opcode == "sub":
+        return ctx.icmp(inst.predicate, lhs.lhs, lhs.rhs)
+    if isinstance(lhs, BinaryOperator) and lhs.opcode == "xor":
+        return ctx.icmp(inst.predicate, lhs.lhs, lhs.rhs)
+    return None
+
+
+@rule("icmp", name="icmp_zext_const")
+def icmp_zext_const(inst: Instruction, ctx: RewriteContext):
+    """``icmp pred (zext X), C`` → compare at the narrow width when C
+    fits (eq/ne and unsigned orders only)."""
+    assert isinstance(inst, ICmp)
+    from repro.ir.instructions import Cast
+    lhs = inst.lhs
+    if not (isinstance(lhs, Cast) and lhs.opcode == "zext"):
+        return None
+    if inst.predicate not in ("eq", "ne", "ult", "ule", "ugt", "uge"):
+        return None
+    constant = match_scalar_int(inst.rhs)
+    if constant is None:
+        return None
+    narrow = lhs.value.type.scalar_type()
+    assert isinstance(narrow, IntType)
+    if constant.value > bv.mask(narrow.bits):
+        # The compare is decided by the width alone for eq/ne.
+        if inst.predicate == "eq":
+            return _bool_result(inst, False)
+        if inst.predicate == "ne":
+            return _bool_result(inst, True)
+        return None
+    return ctx.icmp(inst.predicate, lhs.value,
+                    const_int(lhs.value.type, constant.value))

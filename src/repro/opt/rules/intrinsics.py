@@ -1,0 +1,153 @@
+"""Rules for the min/max and bit-manipulation intrinsic families."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ir.instructions import Call, Instruction
+from repro.ir.types import IntType
+from repro.ir.values import Constant, ConstantInt, const_int, match_scalar_int
+from repro.opt.engine import RewriteContext, rule
+from repro.semantics import bitvector as bv
+
+_MINMAX = ("umin", "umax", "smin", "smax")
+
+
+def _minmax_args(inst: Instruction) -> Optional[tuple]:
+    if not isinstance(inst, Call):
+        return None
+    base = inst.intrinsic_name
+    if base not in _MINMAX:
+        return None
+    return base, inst.operands[0], inst.operands[1]
+
+
+def _width(inst: Instruction) -> int:
+    scalar = inst.type.scalar_type()
+    assert isinstance(scalar, IntType)
+    return scalar.bits
+
+
+@rule("call", name="minmax_const_rhs", category="canonicalize")
+def minmax_const_rhs(inst: Instruction, ctx: RewriteContext):
+    """Move a constant min/max operand to the right-hand side."""
+    unpacked = _minmax_args(inst)
+    if unpacked is None:
+        return None
+    _, lhs, rhs = unpacked
+    if isinstance(lhs, Constant) and not isinstance(rhs, Constant):
+        inst.operands[0], inst.operands[1] = rhs, lhs
+        return inst
+    return None
+
+
+@rule("call", name="minmax_same_operand")
+def minmax_same_operand(inst: Instruction, ctx: RewriteContext):
+    """``min/max(X, X)`` → ``X``."""
+    unpacked = _minmax_args(inst)
+    if unpacked is None:
+        return None
+    _, lhs, rhs = unpacked
+    if lhs is rhs:
+        return lhs
+    return None
+
+
+@rule("call", name="minmax_absorbing_const")
+def minmax_absorbing_const(inst: Instruction, ctx: RewriteContext):
+    """min/max against the domain extremum folds:
+    ``umin(X, 0)`` → 0, ``umin(X, UMAX)`` → X, ``umax(X, 0)`` → X, ...
+    """
+    unpacked = _minmax_args(inst)
+    if unpacked is None:
+        return None
+    base, lhs, rhs = unpacked
+    constant = match_scalar_int(rhs)
+    if constant is None:
+        return None
+    width = _width(inst)
+    value = constant.value
+    if base == "umin":
+        if value == 0:
+            return const_int(inst.type, 0)
+        if value == bv.mask(width):
+            return lhs
+    elif base == "umax":
+        if value == 0:
+            return lhs
+        if value == bv.mask(width):
+            return const_int(inst.type, -1)
+    elif base == "smin":
+        if value == bv.signed_max(width):
+            return lhs
+        if value == bv.signed_min(width):
+            return const_int(inst.type, bv.signed_min(width))
+    elif base == "smax":
+        if value == bv.signed_min(width):
+            return lhs
+        if value == bv.signed_max(width):
+            return const_int(inst.type, bv.signed_max(width))
+    return None
+
+
+@rule("call", name="minmax_nested_same_direction")
+def minmax_nested_same_direction(inst: Instruction, ctx: RewriteContext):
+    """``op(op(X, C1), C2)`` → ``op(X, combine(C1, C2))`` for the same
+    min/max direction; also ``op(op(X, Y), X)`` → ``op(X, Y)``."""
+    unpacked = _minmax_args(inst)
+    if unpacked is None:
+        return None
+    base, lhs, rhs = unpacked
+    inner = _minmax_args(lhs) if isinstance(lhs, Call) else None
+    if inner is None or inner[0] != base:
+        return None
+    _, inner_lhs, inner_rhs = inner
+    # op(op(X, Y), X) or op(op(X, Y), Y) collapses to the inner op.
+    if rhs is inner_lhs or rhs is inner_rhs:
+        return lhs
+    c_outer = match_scalar_int(rhs)
+    c_inner = match_scalar_int(inner_rhs)
+    if c_outer is None or c_inner is None:
+        return None
+    width = _width(inst)
+    combine = {"umin": bv.umin, "umax": bv.umax,
+               "smin": bv.smin, "smax": bv.smax}[base]
+    combined = combine(c_inner.value, c_outer.value, width)
+    return ctx.intrinsic(base, [inner_lhs, const_int(inst.type, combined)])
+
+
+@rule("call", name="abs_of_abs")
+def abs_of_abs(inst: Instruction, ctx: RewriteContext):
+    """``abs(abs(X))`` → ``abs(X)`` (matching poison flags)."""
+    if not isinstance(inst, Call) or inst.intrinsic_name != "abs":
+        return None
+    inner = inst.operands[0]
+    if isinstance(inner, Call) and inner.intrinsic_name == "abs":
+        return inner
+    return None
+
+
+@rule("call", name="sat_identity")
+def sat_identity(inst: Instruction, ctx: RewriteContext):
+    """``uadd.sat/usub.sat/sadd.sat/ssub.sat (X, 0)`` → ``X``."""
+    if not isinstance(inst, Call):
+        return None
+    if inst.intrinsic_name not in ("uadd.sat", "usub.sat",
+                                   "sadd.sat", "ssub.sat"):
+        return None
+    constant = match_scalar_int(inst.operands[1])
+    if constant is not None and constant.is_zero:
+        return inst.operands[0]
+    return None
+
+
+@rule("call", name="usub_sat_with_umin")
+def usub_sat_self(inst: Instruction, ctx: RewriteContext):
+    """``usub.sat(X, X)`` → ``0``."""
+    if not isinstance(inst, Call):
+        return None
+    if inst.intrinsic_name not in ("usub.sat", "ssub.sat"):
+        return None
+    if inst.operands[0] is inst.operands[1]:
+        return const_int(inst.type, 0)
+    return None

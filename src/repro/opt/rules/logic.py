@@ -1,0 +1,167 @@
+"""Rules for and/or/xor."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ir.instructions import BinaryOperator, Instruction
+from repro.ir.values import ConstantInt, const_int, match_scalar_int
+from repro.opt.engine import RewriteContext, rule
+from repro.opt.patterns import (
+    m_binop,
+    m_capture,
+    m_constint,
+    m_not,
+    m_same,
+    match,
+)
+
+
+def _rhs_const(inst: Instruction) -> Optional[ConstantInt]:
+    return match_scalar_int(inst.operands[1])
+
+
+@rule("and", name="and_identities")
+def and_identities(inst: Instruction, ctx: RewriteContext):
+    """``and X, -1`` → X;  ``and X, 0`` → 0;  ``and X, X`` → X."""
+    assert isinstance(inst, BinaryOperator)
+    if inst.lhs is inst.rhs:
+        return inst.lhs
+    constant = _rhs_const(inst)
+    if constant is not None:
+        if constant.is_all_ones:
+            return inst.lhs
+        if constant.is_zero:
+            return const_int(inst.type, 0)
+    return None
+
+
+@rule("or", name="or_identities")
+def or_identities(inst: Instruction, ctx: RewriteContext):
+    """``or X, 0`` → X;  ``or X, -1`` → -1;  ``or X, X`` → X."""
+    assert isinstance(inst, BinaryOperator)
+    if inst.lhs is inst.rhs:
+        return inst.lhs
+    constant = _rhs_const(inst)
+    if constant is not None:
+        if constant.is_zero:
+            return inst.lhs
+        if constant.is_all_ones:
+            return const_int(inst.type, -1)
+    return None
+
+
+@rule("xor", name="xor_identities")
+def xor_identities(inst: Instruction, ctx: RewriteContext):
+    """``xor X, 0`` → X;  ``xor X, X`` → 0."""
+    assert isinstance(inst, BinaryOperator)
+    if inst.lhs is inst.rhs:
+        return const_int(inst.type, 0)
+    constant = _rhs_const(inst)
+    if constant is not None and constant.is_zero:
+        return inst.lhs
+    return None
+
+
+@rule("xor", name="not_of_not")
+def not_of_not(inst: Instruction, ctx: RewriteContext):
+    """``xor (xor X, -1), -1`` → ``X``."""
+    bindings = match(m_not(m_not(m_capture("x"))), inst)
+    if bindings is None:
+        return None
+    return bindings["x"]
+
+
+@rule("and", "or", "xor", name="logic_const_chain")
+def logic_const_chain(inst: Instruction, ctx: RewriteContext):
+    """``op (op X, C1), C2`` → ``op X, C1 op C2`` for and/or/xor."""
+    assert isinstance(inst, BinaryOperator)
+    opcode = inst.opcode
+    bindings = match(
+        m_binop(opcode,
+                m_binop(opcode, m_capture("x"), m_constint("c1")),
+                m_constint("c2")),
+        inst)
+    if bindings is None:
+        return None
+    c1, c2 = bindings["c1"], bindings["c2"]
+    assert isinstance(c1, ConstantInt) and isinstance(c2, ConstantInt)
+    if opcode == "and":
+        combined = c1.value & c2.value
+    elif opcode == "or":
+        combined = c1.value | c2.value
+    else:
+        combined = c1.value ^ c2.value
+    return ctx.binary(opcode, bindings["x"],
+                      const_int(inst.type, combined))
+
+
+@rule("and", name="and_with_not_self")
+def and_with_not_self(inst: Instruction, ctx: RewriteContext):
+    """``and X, (xor X, -1)`` → ``0``."""
+    bindings = match(
+        m_binop("and", m_capture("x"), m_not(m_same("x")),
+                commutative=True),
+        inst)
+    if bindings is None:
+        return None
+    return const_int(inst.type, 0)
+
+
+@rule("or", name="or_with_not_self")
+def or_with_not_self(inst: Instruction, ctx: RewriteContext):
+    """``or X, (xor X, -1)`` → ``-1``."""
+    bindings = match(
+        m_binop("or", m_capture("x"), m_not(m_same("x")),
+                commutative=True),
+        inst)
+    if bindings is None:
+        return None
+    return const_int(inst.type, -1)
+
+
+@rule("and", name="and_absorb_or")
+def and_absorb_or(inst: Instruction, ctx: RewriteContext):
+    """``and X, (or X, Y)`` → ``X``."""
+    bindings = match(
+        m_binop("and",
+                m_capture("x"),
+                m_binop("or", m_same("x"), m_capture("y"),
+                        commutative=True),
+                commutative=True),
+        inst)
+    if bindings is None:
+        return None
+    return bindings["x"]
+
+
+@rule("or", name="or_absorb_and")
+def or_absorb_and(inst: Instruction, ctx: RewriteContext):
+    """``or X, (and X, Y)`` → ``X``."""
+    bindings = match(
+        m_binop("or",
+                m_capture("x"),
+                m_binop("and", m_same("x"), m_capture("y"),
+                        commutative=True),
+                commutative=True),
+        inst)
+    if bindings is None:
+        return None
+    return bindings["x"]
+
+
+@rule("or", name="or_disjoint_checkable", category="canonicalize")
+def or_same_operands_and_or(inst: Instruction, ctx: RewriteContext):
+    """``or (and X, Y), (and X, Z)`` with constant Y, Z → ``and X, Y|Z``
+    only when Y and Z are disjoint masks covering the same base value."""
+    bindings = match(
+        m_binop("or",
+                m_binop("and", m_capture("x"), m_constint("c1")),
+                m_binop("and", m_same("x"), m_constint("c2"))),
+        inst)
+    if bindings is None:
+        return None
+    c1, c2 = bindings["c1"], bindings["c2"]
+    assert isinstance(c1, ConstantInt) and isinstance(c2, ConstantInt)
+    return ctx.binary("and", bindings["x"],
+                      const_int(inst.type, c1.value | c2.value))

@@ -1,0 +1,394 @@
+"""The "fixed patch" rules — rewrites LLVM later implemented.
+
+Each rule reproduces the InstCombine patch that fixed one of the issues
+LPO reported (the "Fixed" rows of Table 3 / Table 5).  They register into
+``PATCH_REGISTRY`` and are *disabled* by default: the stock optimizer must
+keep missing these patterns for the pipeline to rediscover them.  The
+impact experiments (Table 5, Figure 5) enable them selectively.
+"""
+
+from __future__ import annotations
+
+from repro.ir.instructions import (
+    BinaryOperator,
+    Call,
+    Cast,
+    FCmp,
+    GetElementPtr,
+    ICmp,
+    Instruction,
+    Load,
+    Select,
+)
+from repro.ir.types import IntType, int_type
+from repro.ir.values import ConstantInt, const_int, match_scalar_int
+from repro.opt.engine import PATCH_REGISTRY, RewriteContext, rule
+from repro.opt.patterns import (
+    m_binop,
+    m_capture,
+    m_cast,
+    m_constint,
+    m_intrinsic,
+    m_same,
+    match,
+)
+from repro.semantics import bitvector as bv
+
+
+def patch(issue_id: int, *opcodes: str, name: str):
+    """Shorthand for registering a patch rule under an issue id."""
+    return rule(*opcodes, name=name, category="patch",
+                registry=PATCH_REGISTRY, issue_id=issue_id)
+
+
+@patch(128134, "call", name="patch_128134_umin_shl_dominated")
+def umax_clamp_subsumed(inst: Instruction, ctx: RewriteContext):
+    """Case study 2 (Figure 4b/4e): ``umax(shl nuw (umax X, 1), 1), 16``
+    → the inner clamp to 1 is subsumed by the outer clamp to 16.
+
+    General form implemented: ``umax(shl nuw (umax X, C1), S), C2`` with
+    ``C1 << S <= C2`` → ``umax(shl nuw X, S), C2``.
+    """
+    bindings = match(
+        m_intrinsic(
+            "umax",
+            m_binop("shl",
+                    m_intrinsic("umax", m_capture("x"), m_constint("c1"),
+                                commutative=True),
+                    m_constint("s"), flags=("nuw",)),
+            m_constint("c2")),
+        inst)
+    if bindings is None:
+        return None
+    c1 = bindings["c1"]
+    s = bindings["s"]
+    c2 = bindings["c2"]
+    assert isinstance(c1, ConstantInt) and isinstance(s, ConstantInt)
+    assert isinstance(c2, ConstantInt)
+    scalar = inst.type.scalar_type()
+    assert isinstance(scalar, IntType)
+    width = scalar.bits
+    if s.value >= width:
+        return None
+    shifted = bv.shl(c1.value, s.value, width)
+    if shifted is None or shifted > c2.value:
+        return None
+    new_shl = ctx.binary("shl", bindings["x"],
+                         const_int(inst.type, s.value), ("nuw",))
+    return ctx.intrinsic("umax", [new_shl, bindings["c2.orig"]])
+
+
+@patch(133367, "fcmp", name="patch_133367_fcmp_ord_select")
+def fcmp_ord_select_collapse(inst: Instruction, ctx: RewriteContext):
+    """Case study 3 (Figure 4c/4f): an ordered compare of a NaN-guarded
+    select collapses: ``fcmp oeq (select (fcmp ord X, 0), X, 0), C``
+    → ``fcmp oeq X, C`` when C is a non-zero, non-NaN constant."""
+    assert isinstance(inst, FCmp)
+    # Only oeq is unconditionally sound here: for ordered inequalities the
+    # NaN→0.0 substitution can change the verdict depending on C's sign.
+    if inst.predicate != "oeq":
+        return None
+    selector = inst.lhs
+    if not isinstance(selector, Select):
+        return None
+    guard = selector.condition
+    if not (isinstance(guard, FCmp) and guard.predicate == "ord"):
+        return None
+    from repro.ir.values import ConstantFP
+    import math
+    # select (fcmp ord X, 0.0), X, 0.0
+    x = guard.lhs
+    if selector.true_value is not x:
+        return None
+    fill = selector.false_value
+    from repro.opt.patterns import m_fp_zero
+    if match(m_fp_zero(), fill) is None:
+        return None
+    rhs_const = inst.rhs
+    scalar_rhs = None
+    if isinstance(rhs_const, ConstantFP):
+        scalar_rhs = rhs_const
+    if scalar_rhs is None or scalar_rhs.is_nan or scalar_rhs.is_zero:
+        return None
+    return ctx.fcmp(inst.predicate, x, inst.rhs)
+
+
+@patch(142674, "trunc", name="patch_142674_trunc_lshr_zext")
+def trunc_lshr_zext_to_zero(inst: Instruction, ctx: RewriteContext):
+    """``trunc (lshr (zext X to iB), C) to iA`` with ``C >= A`` → ``0``:
+    the shift discards every bit the zext brought in."""
+    assert isinstance(inst, Cast)
+    bindings = match(
+        m_binop("lshr",
+                m_cast("zext", m_capture("x"), capture_as="zx"),
+                m_constint("c")),
+        inst.value)
+    if bindings is None:
+        return None
+    c = bindings["c"]
+    assert isinstance(c, ConstantInt)
+    narrow = bindings["x"].type.scalar_type()
+    wide = inst.value.type.scalar_type()
+    assert isinstance(narrow, IntType) and isinstance(wide, IntType)
+    if c.value < narrow.bits or c.value >= wide.bits:
+        return None
+    return const_int(inst.type, 0)
+
+
+@patch(142711, "select", name="patch_142711_clamp_select_to_minmax")
+def clamp_select_to_minmax(inst: Instruction, ctx: RewriteContext):
+    """``select (icmp slt X, 0), 0, (trunc nuw (umin X, C))``
+    → ``trunc nuw (umin (smax X, 0), C)`` — the Figure 1 clamp."""
+    assert isinstance(inst, Select)
+    # condition: icmp slt X, 0
+    cond = inst.condition
+    if not (isinstance(cond, ICmp) and cond.predicate == "slt"):
+        return None
+    zero = match_scalar_int(cond.rhs)
+    if zero is None or not zero.is_zero:
+        return None
+    x = cond.lhs
+    tval = match_scalar_int(inst.true_value)
+    if tval is None or not tval.is_zero:
+        return None
+    fval = inst.false_value
+    if not (isinstance(fval, Cast) and fval.opcode == "trunc"):
+        return None
+    inner = fval.value
+    if not (isinstance(inner, Call) and inner.intrinsic_name == "umin"):
+        return None
+    if inner.operands[0] is not x:
+        return None
+    limit = match_scalar_int(inner.operands[1])
+    if limit is None or limit.signed_value < 0:
+        return None
+    zero_wide = const_int(x.type, 0)
+    smax = ctx.intrinsic("smax", [x, zero_wide])
+    umin = ctx.intrinsic("umin", [smax, inner.operands[1]])
+    return ctx.cast("trunc", umin, inst.type, tuple(fval.flags))
+
+
+@patch(143211, "icmp", name="patch_143211_icmp_umin_zero")
+def icmp_umin_eq_zero(inst: Instruction, ctx: RewriteContext):
+    """``icmp eq (umin X, Y), 0`` with Y known non-zero constant
+    → ``icmp eq X, 0`` ... generalized: ``icmp eq (umin X, C), 0`` with
+    C != 0 → ``icmp eq X, 0``."""
+    assert isinstance(inst, ICmp)
+    if inst.predicate not in ("eq", "ne"):
+        return None
+    zero = match_scalar_int(inst.rhs)
+    if zero is None or not zero.is_zero:
+        return None
+    lhs = inst.lhs
+    if not (isinstance(lhs, Call) and lhs.intrinsic_name == "umin"):
+        return None
+    constant = match_scalar_int(lhs.operands[1])
+    if constant is None or constant.is_zero:
+        return None
+    return ctx.icmp(inst.predicate, lhs.operands[0], inst.rhs)
+
+
+@patch(143636, "or", name="patch_143636_merge_loads")
+def merge_consecutive_loads(inst: Instruction, ctx: RewriteContext):
+    """Case study 1 (Figure 4a/4d): merge two consecutive i16 loads
+    combined with zext/shl/or into one i32 load.
+
+    Pattern: ``or disjoint (shl nuw (zext HI), 16), (zext LO)`` where
+    LO loads from P and HI loads from P+2 → ``load i32, P``.
+    """
+    assert isinstance(inst, BinaryOperator)
+    if inst.opcode != "or":
+        return None
+    bindings = match(
+        m_binop("or",
+                m_binop("shl",
+                        m_cast("zext", m_capture("hi_load"),
+                               capture_as="hi_zext"),
+                        m_constint("shift")),
+                m_cast("zext", m_capture("lo_load"), capture_as="lo_zext"),
+                commutative=True),
+        inst)
+    if bindings is None:
+        return None
+    hi_load = bindings["hi_load"]
+    lo_load = bindings["lo_load"]
+    shift = bindings["shift"]
+    assert isinstance(shift, ConstantInt)
+    if not (isinstance(hi_load, Load) and isinstance(lo_load, Load)):
+        return None
+    narrow = lo_load.type.scalar_type()
+    if not isinstance(narrow, IntType) or hi_load.type != lo_load.type:
+        return None
+    if shift.value != narrow.bits:
+        return None
+    wide = inst.type.scalar_type()
+    if not isinstance(wide, IntType) or wide.bits != narrow.bits * 2:
+        return None
+    # HI must load exactly narrow-bytes above LO's address.
+    delta = narrow.bits // 8
+    hi_ptr, lo_ptr = hi_load.pointer, lo_load.pointer
+    if isinstance(hi_ptr, GetElementPtr):
+        index = match_scalar_int(hi_ptr.index)
+        if index is None:
+            return None
+        if hi_ptr.pointer is not lo_ptr:
+            return None
+        if index.value * hi_ptr.element_size != delta:
+            return None
+    else:
+        return None
+    # Loads must be adjacent with no intervening store (single-block
+    # windows have no aliasing stores between them by construction; we
+    # verify conservatively that no store exists in the block).
+    block = inst.parent
+    if block is None or any(i.opcode == "store" for i in block.instructions):
+        return None
+    return ctx.load(int_type(wide.bits), lo_ptr, align=lo_load.align)
+
+
+@patch(154238, "add", name="patch_154238_add_sext_icmp_pair")
+def add_of_bool_exts(inst: Instruction, ctx: RewriteContext):
+    """``add (zext (icmp P)), (zext (icmp Q))`` where P and Q are
+    mutually exclusive same-operand compares → ``zext (icmp P-or-Q)``:
+    implemented for eq/ne against distinct constants → stays; the fixed
+    special case is P == (icmp eq X, C), Q == (icmp eq X, D), C != D,
+    which becomes ``zext (icmp ult (xor? ...))`` — we implement the
+    2-constant form via or of compares."""
+    assert isinstance(inst, BinaryOperator)
+    bindings = match(
+        m_binop("add",
+                m_cast("zext", m_capture("p"), capture_as="zp"),
+                m_cast("zext", m_capture("q"), capture_as="zq")),
+        inst)
+    if bindings is None:
+        return None
+    p, q = bindings["p"], bindings["q"]
+    if not (isinstance(p, ICmp) and isinstance(q, ICmp)):
+        return None
+    if p.predicate != "eq" or q.predicate != "eq":
+        return None
+    if p.lhs is not q.lhs:
+        return None
+    c = match_scalar_int(p.rhs)
+    d = match_scalar_int(q.rhs)
+    if c is None or d is None or c.value == d.value:
+        return None
+    disjunction = ctx.binary("or", p, q)
+    return ctx.cast("zext", disjunction, inst.type)
+
+
+@patch(157315, "call", name="patch_157315_abs_of_neg")
+def abs_of_neg(inst: Instruction, ctx: RewriteContext):
+    """``abs(sub 0, X)`` → ``abs(X)`` (same int-min behaviour)."""
+    if not isinstance(inst, Call) or inst.intrinsic_name != "abs":
+        return None
+    inner = inst.operands[0]
+    bindings = match(m_binop("sub", m_constint("z"), m_capture("x")),
+                     inner)
+    if bindings is None:
+        return None
+    z = bindings["z"]
+    assert isinstance(z, ConstantInt)
+    if not z.is_zero:
+        return None
+    if isinstance(inner, BinaryOperator) and inner.flags:
+        return None  # nsw neg would change int-min poison behaviour
+    return ctx.intrinsic("abs", [bindings["x"], inst.operands[1]])
+
+
+@patch(157370, "xor", name="patch_157370_xor_signbit_to_add")
+def xor_signbit_to_add(inst: Instruction, ctx: RewriteContext):
+    """``xor (add X, C), SIGNBIT`` → ``add X, C ^ SIGNBIT`` — flips the
+    constant across the sign boundary instead of a separate xor."""
+    assert isinstance(inst, BinaryOperator)
+    bindings = match(
+        m_binop("xor",
+                m_binop("add", m_capture("x"), m_constint("c")),
+                m_constint("sign")),
+        inst)
+    if bindings is None:
+        return None
+    c, sign = bindings["c"], bindings["sign"]
+    assert isinstance(c, ConstantInt) and isinstance(sign, ConstantInt)
+    scalar = inst.type.scalar_type()
+    assert isinstance(scalar, IntType)
+    if sign.value != bv.signed_min(scalar.bits):
+        return None
+    combined = const_int(inst.type, c.value ^ sign.value)
+    return ctx.binary("add", bindings["x"], combined)
+
+
+@patch(157371, "call", name="patch_157371_umin_of_sub")
+def umin_sub_same(inst: Instruction, ctx: RewriteContext):
+    """``umin(sub X, Y, "nuw"), X)`` → ``sub nuw X, Y``: a nuw sub never
+    exceeds X, so the umin is redundant."""
+    if not isinstance(inst, Call) or inst.intrinsic_name != "umin":
+        return None
+    a, b = inst.operands[0], inst.operands[1]
+    for sub, other in ((a, b), (b, a)):
+        if (isinstance(sub, BinaryOperator) and sub.opcode == "sub"
+                and "nuw" in sub.flags and sub.lhs is other):
+            return sub
+    return None
+
+
+@patch(157524, "lshr", name="patch_157524_lshr_exact_of_shl")
+def lshr_of_mul_even(inst: Instruction, ctx: RewriteContext):
+    """``lshr (mul nuw X, 2C), 1`` → ``mul nuw X, C`` — halving an even
+    non-overflowing multiply folds into the constant."""
+    assert isinstance(inst, BinaryOperator)
+    bindings = match(
+        m_binop("lshr",
+                m_binop("mul", m_capture("x"), m_constint("c"),
+                        flags=("nuw",)),
+                m_constint("s")),
+        inst)
+    if bindings is None:
+        return None
+    c, s = bindings["c"], bindings["s"]
+    assert isinstance(c, ConstantInt) and isinstance(s, ConstantInt)
+    if s.value != 1 or c.value % 2 != 0:
+        return None
+    halved = const_int(inst.type, c.value // 2)
+    return ctx.binary("mul", bindings["x"], halved, ("nuw",))
+
+
+@patch(163108, "and", name="patch_163108_and_lshr_signbit")
+def and_one_of_lshr_signbit(inst: Instruction, ctx: RewriteContext):
+    """``and (lshr X, W-1), 1`` → ``lshr X, W-1`` — the shift already
+    leaves a single bit."""
+    assert isinstance(inst, BinaryOperator)
+    bindings = match(
+        m_binop("and",
+                m_binop("lshr", m_capture("x"), m_constint("s")),
+                m_constint("m"),
+                commutative=True),
+        inst)
+    if bindings is None:
+        return None
+    s, m = bindings["s"], bindings["m"]
+    assert isinstance(s, ConstantInt) and isinstance(m, ConstantInt)
+    scalar = inst.type.scalar_type()
+    assert isinstance(scalar, IntType)
+    if s.value != scalar.bits - 1 or not m.is_one:
+        return None
+    lhs = inst.lhs if isinstance(inst.lhs, BinaryOperator) else inst.rhs
+    return lhs
+
+
+@patch(166973, "select", name="patch_166973_select_icmp_sub")
+def select_icmp_usub_sat(inst: Instruction, ctx: RewriteContext):
+    """``select (icmp ult X, Y), 0, (sub X, Y)`` → ``usub.sat(X, Y)``."""
+    assert isinstance(inst, Select)
+    cond = inst.condition
+    if not (isinstance(cond, ICmp) and cond.predicate == "ult"):
+        return None
+    zero = match_scalar_int(inst.true_value)
+    if zero is None or not zero.is_zero:
+        return None
+    fval = inst.false_value
+    if not (isinstance(fval, BinaryOperator) and fval.opcode == "sub"):
+        return None
+    if fval.lhs is not cond.lhs or fval.rhs is not cond.rhs:
+        return None
+    return ctx.intrinsic("usub.sat", [fval.lhs, fval.rhs])

@@ -1,0 +1,146 @@
+"""Rules for select, including min/max canonical formation (SPF)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ir.instructions import ICmp, Instruction, Select
+from repro.ir.types import IntType, VectorType
+from repro.ir.values import Constant, const_int, match_scalar_int
+from repro.opt.analysis import may_be_poison
+from repro.opt.engine import RewriteContext, rule
+from repro.opt.patterns import m_capture, m_not, match
+
+#: icmp predicate → (intrinsic when arms are (lhs, rhs),
+#:                   intrinsic when arms are (rhs, lhs))
+_SPF_TABLE = {
+    "slt": ("smin", "smax"),
+    "sle": ("smin", "smax"),
+    "sgt": ("smax", "smin"),
+    "sge": ("smax", "smin"),
+    "ult": ("umin", "umax"),
+    "ule": ("umin", "umax"),
+    "ugt": ("umax", "umin"),
+    "uge": ("umax", "umin"),
+}
+
+
+@rule("select", name="select_same_arms")
+def select_same_arms(inst: Instruction, ctx: RewriteContext):
+    """``select C, X, X`` → ``X``."""
+    assert isinstance(inst, Select)
+    if inst.true_value is inst.false_value:
+        return inst.true_value
+    return None
+
+
+@rule("select", name="select_not_cond", category="canonicalize")
+def select_not_cond(inst: Instruction, ctx: RewriteContext):
+    """``select (xor C, true), A, B`` → ``select C, B, A``."""
+    assert isinstance(inst, Select)
+    if isinstance(inst.condition.type, VectorType):
+        return None
+    bindings = match(m_not(m_capture("c")), inst.condition)
+    if bindings is None:
+        return None
+    return ctx.select(bindings["c"], inst.false_value, inst.true_value)
+
+
+@rule("select", name="select_bool_arms", category="canonicalize")
+def select_bool_arms(inst: Instruction, ctx: RewriteContext):
+    """i1 selects with a constant arm become logic:
+    ``select C, true, B`` → ``or C, B``; ``select C, A, false`` → ``and``.
+    """
+    assert isinstance(inst, Select)
+    scalar = inst.type.scalar_type()
+    if not (isinstance(scalar, IntType) and scalar.bits == 1):
+        return None
+    if isinstance(inst.type, VectorType):
+        return None
+    tval = match_scalar_int(inst.true_value)
+    fval = match_scalar_int(inst.false_value)
+
+    def safe(value):
+        # `or`/`and` observe the arm unconditionally, while `select` hides
+        # it behind the condition, so a possibly-poison arm needs a freeze.
+        if may_be_poison(value):
+            return ctx.freeze(value)
+        return value
+
+    if tval is not None and tval.is_one:
+        return ctx.binary("or", inst.condition, safe(inst.false_value))
+    if fval is not None and fval.is_zero:
+        return ctx.binary("and", inst.condition, safe(inst.true_value))
+    if tval is not None and tval.is_zero:
+        not_cond = ctx.not_(inst.condition)
+        return ctx.binary("and", not_cond, safe(inst.false_value))
+    if fval is not None and fval.is_one:
+        not_cond = ctx.not_(inst.condition)
+        return ctx.binary("or", not_cond, safe(inst.true_value))
+    return None
+
+
+@rule("select", name="select_spf_to_minmax", category="canonicalize")
+def select_spf_to_minmax(inst: Instruction, ctx: RewriteContext):
+    """Canonical min/max formation:
+    ``select (icmp slt A, B), A, B`` → ``smin(A, B)`` and friends."""
+    assert isinstance(inst, Select)
+    condition = inst.condition
+    if not isinstance(condition, ICmp):
+        return None
+    predicate = condition.predicate
+    if predicate not in _SPF_TABLE:
+        return None
+    scalar = inst.type.scalar_type()
+    if not isinstance(scalar, IntType):
+        return None
+    a, b = condition.lhs, condition.rhs
+    tval, fval = inst.true_value, inst.false_value
+    direct, inverse = _SPF_TABLE[predicate]
+    if _same_value(tval, a) and _same_value(fval, b):
+        return ctx.intrinsic(direct, [tval, fval])
+    if _same_value(tval, b) and _same_value(fval, a):
+        return ctx.intrinsic(inverse, [tval, fval])
+    return None
+
+
+def _same_value(x, y) -> bool:
+    """Identity or equal-constant comparison."""
+    if x is y:
+        return True
+    if isinstance(x, Constant) and isinstance(y, Constant):
+        return x == y
+    return False
+
+
+@rule("select", name="select_eq_replace")
+def select_eq_replace(inst: Instruction, ctx: RewriteContext):
+    """``select (icmp eq X, C), C, X`` → ``X`` and
+    ``select (icmp ne X, C), X, C`` → ``X``."""
+    assert isinstance(inst, Select)
+    condition = inst.condition
+    if not isinstance(condition, ICmp):
+        return None
+    if condition.predicate == "eq":
+        if (_same_value(inst.true_value, condition.rhs)
+                and _same_value(inst.false_value, condition.lhs)):
+            return inst.false_value
+    if condition.predicate == "ne":
+        if (_same_value(inst.true_value, condition.lhs)
+                and _same_value(inst.false_value, condition.rhs)):
+            return inst.true_value
+    return None
+
+
+@rule("select", name="select_of_select_same_cond")
+def select_of_select_same_cond(inst: Instruction, ctx: RewriteContext):
+    """``select C, (select C, A, B), D`` → ``select C, A, D`` (and the
+    symmetric false-arm form)."""
+    assert isinstance(inst, Select)
+    condition = inst.condition
+    tval, fval = inst.true_value, inst.false_value
+    if isinstance(tval, Select) and tval.condition is condition:
+        return ctx.select(condition, tval.true_value, fval)
+    if isinstance(fval, Select) and fval.condition is condition:
+        return ctx.select(condition, tval, fval.false_value)
+    return None

@@ -1,0 +1,143 @@
+"""Rules for shl/lshr/ashr."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.ir.instructions import BinaryOperator, Instruction
+from repro.ir.types import IntType
+from repro.ir.values import ConstantInt, const_int, match_scalar_int
+from repro.opt.engine import RewriteContext, rule
+from repro.opt.patterns import m_binop, m_capture, m_constint, match
+
+
+def _rhs_const(inst: Instruction) -> Optional[ConstantInt]:
+    return match_scalar_int(inst.operands[1])
+
+
+def _width(inst: Instruction) -> int:
+    scalar = inst.type.scalar_type()
+    assert isinstance(scalar, IntType)
+    return scalar.bits
+
+
+@rule("shl", "lshr", "ashr", name="shift_zero_amount")
+def shift_zero_amount(inst: Instruction, ctx: RewriteContext):
+    """``shift X, 0`` → ``X``."""
+    constant = _rhs_const(inst)
+    if constant is not None and constant.is_zero:
+        return inst.operands[0]
+    return None
+
+
+@rule("shl", "lshr", name="shift_of_zero")
+def shift_of_zero(inst: Instruction, ctx: RewriteContext):
+    """``shl/lshr 0, X`` → ``0`` — refines potential poison to zero."""
+    assert isinstance(inst, BinaryOperator)
+    lhs = match_scalar_int(inst.lhs)
+    if lhs is not None and lhs.is_zero:
+        return const_int(inst.type, 0)
+    return None
+
+
+@rule("shl", name="shl_const_chain")
+def shl_const_chain(inst: Instruction, ctx: RewriteContext):
+    """``shl (shl X, C1), C2`` → ``shl X, C1+C2`` (or 0 past the width)."""
+    bindings = match(
+        m_binop("shl",
+                m_binop("shl", m_capture("x"), m_constint("c1")),
+                m_constint("c2")),
+        inst)
+    if bindings is None:
+        return None
+    c1, c2 = bindings["c1"], bindings["c2"]
+    assert isinstance(c1, ConstantInt) and isinstance(c2, ConstantInt)
+    width = _width(inst)
+    if c1.value >= width or c2.value >= width:
+        return None  # already poison; leave for fold
+    total = c1.value + c2.value
+    if total >= width:
+        return const_int(inst.type, 0)
+    return ctx.binary("shl", bindings["x"], const_int(inst.type, total))
+
+
+@rule("lshr", name="lshr_const_chain")
+def lshr_const_chain(inst: Instruction, ctx: RewriteContext):
+    """``lshr (lshr X, C1), C2`` → ``lshr X, C1+C2`` (or 0 past width)."""
+    bindings = match(
+        m_binop("lshr",
+                m_binop("lshr", m_capture("x"), m_constint("c1")),
+                m_constint("c2")),
+        inst)
+    if bindings is None:
+        return None
+    c1, c2 = bindings["c1"], bindings["c2"]
+    assert isinstance(c1, ConstantInt) and isinstance(c2, ConstantInt)
+    width = _width(inst)
+    if c1.value >= width or c2.value >= width:
+        return None
+    total = c1.value + c2.value
+    if total >= width:
+        return const_int(inst.type, 0)
+    return ctx.binary("lshr", bindings["x"], const_int(inst.type, total))
+
+
+@rule("ashr", name="ashr_const_chain")
+def ashr_const_chain(inst: Instruction, ctx: RewriteContext):
+    """``ashr (ashr X, C1), C2`` → ``ashr X, min(C1+C2, width-1)``."""
+    bindings = match(
+        m_binop("ashr",
+                m_binop("ashr", m_capture("x"), m_constint("c1")),
+                m_constint("c2")),
+        inst)
+    if bindings is None:
+        return None
+    c1, c2 = bindings["c1"], bindings["c2"]
+    assert isinstance(c1, ConstantInt) and isinstance(c2, ConstantInt)
+    width = _width(inst)
+    if c1.value >= width or c2.value >= width:
+        return None
+    total = min(c1.value + c2.value, width - 1)
+    return ctx.binary("ashr", bindings["x"], const_int(inst.type, total))
+
+
+@rule("lshr", name="lshr_of_shl_same_amount")
+def lshr_of_shl_same_amount(inst: Instruction, ctx: RewriteContext):
+    """``lshr (shl X, C), C`` → ``and X, (-1 >> C)``."""
+    bindings = match(
+        m_binop("lshr",
+                m_binop("shl", m_capture("x"), m_constint("c1")),
+                m_constint("c2")),
+        inst)
+    if bindings is None:
+        return None
+    c1, c2 = bindings["c1"], bindings["c2"]
+    assert isinstance(c1, ConstantInt) and isinstance(c2, ConstantInt)
+    if c1.value != c2.value:
+        return None
+    width = _width(inst)
+    if c1.value >= width:
+        return None
+    mask = (1 << (width - c1.value)) - 1
+    return ctx.binary("and", bindings["x"], const_int(inst.type, mask))
+
+
+@rule("shl", name="shl_of_lshr_same_amount")
+def shl_of_lshr_same_amount(inst: Instruction, ctx: RewriteContext):
+    """``shl (lshr X, C), C`` → ``and X, (-1 << C)``."""
+    bindings = match(
+        m_binop("shl",
+                m_binop("lshr", m_capture("x"), m_constint("c1")),
+                m_constint("c2")),
+        inst)
+    if bindings is None:
+        return None
+    c1, c2 = bindings["c1"], bindings["c2"]
+    assert isinstance(c1, ConstantInt) and isinstance(c2, ConstantInt)
+    if c1.value != c2.value:
+        return None
+    width = _width(inst)
+    if c1.value >= width:
+        return None
+    mask = ((1 << width) - 1) & ~((1 << c1.value) - 1)
+    return ctx.binary("and", bindings["x"], const_int(inst.type, mask))

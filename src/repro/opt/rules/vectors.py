@@ -1,0 +1,67 @@
+"""Rules for vector element manipulation."""
+
+from __future__ import annotations
+
+from repro.ir.instructions import (
+    ExtractElement,
+    InsertElement,
+    Instruction,
+    ShuffleVector,
+)
+from repro.ir.values import ConstantInt, ConstantVector
+from repro.opt.engine import RewriteContext, rule
+
+
+@rule("extractelement", name="extract_of_insert_same_index")
+def extract_of_insert_same_index(inst: Instruction, ctx: RewriteContext):
+    """``extractelement (insertelement V, E, i), i`` → ``E``."""
+    assert isinstance(inst, ExtractElement)
+    vector = inst.vector
+    index = inst.index
+    if not isinstance(vector, InsertElement):
+        return None
+    if not (isinstance(index, ConstantInt)
+            and isinstance(vector.index, ConstantInt)):
+        return None
+    if index.value == vector.index.value:
+        return vector.element
+    return None
+
+
+@rule("extractelement", name="extract_const_vector")
+def extract_const_vector(inst: Instruction, ctx: RewriteContext):
+    """``extractelement <const vector>, C`` → lane constant."""
+    assert isinstance(inst, ExtractElement)
+    vector = inst.vector
+    index = inst.index
+    if not (isinstance(vector, ConstantVector)
+            and isinstance(index, ConstantInt)):
+        return None
+    if index.value >= len(vector.elements):
+        return None
+    return vector.elements[index.value]
+
+
+@rule("shufflevector", name="shuffle_identity")
+def shuffle_identity(inst: Instruction, ctx: RewriteContext):
+    """A shuffle selecting lanes 0..N-1 from operand 0 is the operand."""
+    assert isinstance(inst, ShuffleVector)
+    source = inst.operands[0]
+    if inst.type != source.type:
+        return None
+    if all(m == i for i, m in enumerate(inst.mask)):
+        return source
+    return None
+
+
+@rule("shufflevector", name="shuffle_identity_rhs")
+def shuffle_identity_rhs(inst: Instruction, ctx: RewriteContext):
+    """A shuffle selecting lanes N..2N-1 in order is operand 1."""
+    assert isinstance(inst, ShuffleVector)
+    source = inst.operands[1]
+    if inst.type != source.type:
+        return None
+    count = source.type.count
+    if all(m == count + i for i, m in enumerate(inst.mask)):
+        return source
+    return None

@@ -1,0 +1,19 @@
+"""Concrete semantics: bitvectors, runtime domain, memory, interpreter."""
+
+from repro.semantics.domain import (
+    POISON,
+    LaneValue,
+    Pointer,
+    RuntimeValue,
+    format_runtime_value,
+    runtime_values_equal,
+)
+from repro.semantics.eval import Interpreter, Outcome, run_function
+from repro.semantics.memory import DEFAULT_BUFFER_SIZE, Memory
+
+__all__ = [
+    "POISON", "LaneValue", "Pointer", "RuntimeValue",
+    "format_runtime_value", "runtime_values_equal",
+    "Interpreter", "Outcome", "run_function",
+    "DEFAULT_BUFFER_SIZE", "Memory",
+]

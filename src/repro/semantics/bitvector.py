@@ -1,0 +1,331 @@
+"""Fixed-width bitvector arithmetic (the APInt of this library).
+
+All values are Python ints holding the *unsigned* bit pattern; every
+function takes the width explicitly and masks its result.  These helpers
+are shared by the interpreter, the constant folder, known-bits analysis
+and the SAT encoder's reference semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+
+def mask(width: int) -> int:
+    """All-ones pattern of ``width`` bits."""
+    return (1 << width) - 1
+
+
+def truncate(value: int, width: int) -> int:
+    """Wrap ``value`` to ``width`` bits (unsigned pattern)."""
+    return value & mask(width)
+
+
+def to_signed(value: int, width: int) -> int:
+    """Interpret an unsigned pattern as two's-complement signed."""
+    value &= mask(width)
+    if value >> (width - 1):
+        return value - (1 << width)
+    return value
+
+
+def from_signed(value: int, width: int) -> int:
+    """Encode a signed integer as an unsigned pattern."""
+    return value & mask(width)
+
+
+def signed_min(width: int) -> int:
+    return 1 << (width - 1)          # pattern of INT_MIN
+
+
+def signed_max(width: int) -> int:
+    return mask(width - 1)           # pattern of INT_MAX
+
+
+# -- arithmetic ----------------------------------------------------------
+
+def add(a: int, b: int, width: int) -> int:
+    return (a + b) & mask(width)
+
+
+def sub(a: int, b: int, width: int) -> int:
+    return (a - b) & mask(width)
+
+
+def mul(a: int, b: int, width: int) -> int:
+    return (a * b) & mask(width)
+
+
+def neg(a: int, width: int) -> int:
+    return (-a) & mask(width)
+
+
+def add_overflows_unsigned(a: int, b: int, width: int) -> bool:
+    return a + b > mask(width)
+
+
+def add_overflows_signed(a: int, b: int, width: int) -> bool:
+    result = to_signed(a, width) + to_signed(b, width)
+    return not (-(1 << (width - 1)) <= result <= mask(width - 1))
+
+
+def sub_overflows_unsigned(a: int, b: int, width: int) -> bool:
+    return a < b
+
+
+def sub_overflows_signed(a: int, b: int, width: int) -> bool:
+    result = to_signed(a, width) - to_signed(b, width)
+    return not (-(1 << (width - 1)) <= result <= mask(width - 1))
+
+
+def mul_overflows_unsigned(a: int, b: int, width: int) -> bool:
+    return a * b > mask(width)
+
+
+def mul_overflows_signed(a: int, b: int, width: int) -> bool:
+    result = to_signed(a, width) * to_signed(b, width)
+    return not (-(1 << (width - 1)) <= result <= mask(width - 1))
+
+
+def udiv(a: int, b: int, width: int) -> Optional[int]:
+    """Unsigned division; None when dividing by zero (immediate UB)."""
+    if b == 0:
+        return None
+    return (a // b) & mask(width)
+
+
+def sdiv(a: int, b: int, width: int) -> Optional[int]:
+    """Signed division trapping on zero and INT_MIN / -1 overflow."""
+    if b == 0:
+        return None
+    sa, sb = to_signed(a, width), to_signed(b, width)
+    if sa == -(1 << (width - 1)) and sb == -1:
+        return None
+    quotient = abs(sa) // abs(sb)
+    if (sa < 0) != (sb < 0):
+        quotient = -quotient
+    return from_signed(quotient, width)
+
+
+def urem(a: int, b: int, width: int) -> Optional[int]:
+    if b == 0:
+        return None
+    return (a % b) & mask(width)
+
+
+def srem(a: int, b: int, width: int) -> Optional[int]:
+    if b == 0:
+        return None
+    sa, sb = to_signed(a, width), to_signed(b, width)
+    if sa == -(1 << (width - 1)) and sb == -1:
+        return 0
+    remainder = abs(sa) % abs(sb)
+    if sa < 0:
+        remainder = -remainder
+    return from_signed(remainder, width)
+
+
+# -- shifts (None signals a poison result for oversized amounts) ----------
+
+def shl(a: int, amount: int, width: int) -> Optional[int]:
+    if amount >= width:
+        return None
+    return (a << amount) & mask(width)
+
+
+def lshr(a: int, amount: int, width: int) -> Optional[int]:
+    if amount >= width:
+        return None
+    return a >> amount
+
+
+def ashr(a: int, amount: int, width: int) -> Optional[int]:
+    if amount >= width:
+        return None
+    return from_signed(to_signed(a, width) >> amount, width)
+
+
+# -- bit manipulation ------------------------------------------------------
+
+def ctpop(a: int, width: int) -> int:
+    return bin(a & mask(width)).count("1")
+
+
+def ctlz(a: int, width: int) -> int:
+    a &= mask(width)
+    if a == 0:
+        return width
+    return width - a.bit_length()
+
+
+def cttz(a: int, width: int) -> int:
+    a &= mask(width)
+    if a == 0:
+        return width
+    return (a & -a).bit_length() - 1
+
+
+def bswap(a: int, width: int) -> int:
+    if width % 16:
+        raise ValueError(f"bswap requires a multiple-of-16 width, got {width}")
+    count = width // 8
+    data = (a & mask(width)).to_bytes(count, "little")
+    return int.from_bytes(data, "big")
+
+
+def bitreverse(a: int, width: int) -> int:
+    result = 0
+    for _ in range(width):
+        result = (result << 1) | (a & 1)
+        a >>= 1
+    return result
+
+
+def fshl(a: int, b: int, amount: int, width: int) -> int:
+    amount %= width
+    if amount == 0:
+        return a & mask(width)
+    concat = ((a & mask(width)) << width) | (b & mask(width))
+    return (concat >> (width - amount)) & mask(width)
+
+
+def fshr(a: int, b: int, amount: int, width: int) -> int:
+    amount %= width
+    if amount == 0:
+        return b & mask(width)
+    concat = ((a & mask(width)) << width) | (b & mask(width))
+    return (concat >> amount) & mask(width)
+
+
+def abs_(a: int, width: int) -> int:
+    """|a| wrapping at INT_MIN (the is_int_min_poison=false semantics)."""
+    sa = to_signed(a, width)
+    return from_signed(abs(sa) if sa != -(1 << (width - 1)) else sa, width)
+
+
+def is_int_min(a: int, width: int) -> bool:
+    return (a & mask(width)) == signed_min(width)
+
+
+# -- saturating arithmetic ------------------------------------------------
+
+def uadd_sat(a: int, b: int, width: int) -> int:
+    return min(a + b, mask(width))
+
+
+def usub_sat(a: int, b: int, width: int) -> int:
+    return max(a - b, 0)
+
+
+def sadd_sat(a: int, b: int, width: int) -> int:
+    result = to_signed(a, width) + to_signed(b, width)
+    result = max(min(result, mask(width - 1)), -(1 << (width - 1)))
+    return from_signed(result, width)
+
+
+def ssub_sat(a: int, b: int, width: int) -> int:
+    result = to_signed(a, width) - to_signed(b, width)
+    result = max(min(result, mask(width - 1)), -(1 << (width - 1)))
+    return from_signed(result, width)
+
+
+# -- min / max --------------------------------------------------------------
+
+def umin(a: int, b: int, width: int) -> int:
+    return min(a & mask(width), b & mask(width))
+
+
+def umax(a: int, b: int, width: int) -> int:
+    return max(a & mask(width), b & mask(width))
+
+
+def smin(a: int, b: int, width: int) -> int:
+    return from_signed(min(to_signed(a, width), to_signed(b, width)), width)
+
+
+def smax(a: int, b: int, width: int) -> int:
+    return from_signed(max(to_signed(a, width), to_signed(b, width)), width)
+
+
+# -- comparisons ------------------------------------------------------------
+
+def icmp(predicate: str, a: int, b: int, width: int) -> bool:
+    a &= mask(width)
+    b &= mask(width)
+    if predicate == "eq":
+        return a == b
+    if predicate == "ne":
+        return a != b
+    if predicate == "ugt":
+        return a > b
+    if predicate == "uge":
+        return a >= b
+    if predicate == "ult":
+        return a < b
+    if predicate == "ule":
+        return a <= b
+    sa, sb = to_signed(a, width), to_signed(b, width)
+    if predicate == "sgt":
+        return sa > sb
+    if predicate == "sge":
+        return sa >= sb
+    if predicate == "slt":
+        return sa < sb
+    if predicate == "sle":
+        return sa <= sb
+    raise ValueError(f"unknown icmp predicate {predicate!r}")
+
+
+# -- casts --------------------------------------------------------------
+
+def zext(a: int, src_width: int, dst_width: int) -> int:
+    return a & mask(src_width)
+
+
+def sext(a: int, src_width: int, dst_width: int) -> int:
+    return from_signed(to_signed(a, src_width), dst_width)
+
+
+def trunc(a: int, src_width: int, dst_width: int) -> int:
+    return a & mask(dst_width)
+
+
+def trunc_loses_unsigned(a: int, src_width: int, dst_width: int) -> bool:
+    """Would ``trunc nuw`` be violated?"""
+    return (a & mask(src_width)) != (a & mask(dst_width))
+
+
+def trunc_loses_signed(a: int, src_width: int, dst_width: int) -> bool:
+    """Would ``trunc nsw`` be violated?"""
+    return to_signed(a, src_width) != to_signed(a & mask(dst_width),
+                                                dst_width)
+
+
+def popcount_parity(a: int, width: int) -> int:
+    return ctpop(a, width) & 1
+
+
+def decompose_power_of_two(a: int) -> Optional[int]:
+    """log2(a) when a is a power of two, else None."""
+    if a > 0 and a & (a - 1) == 0:
+        return a.bit_length() - 1
+    return None
+
+
+def bit_range(value: int, low: int, high: int) -> int:
+    """Extract bits [low, high) as an unsigned integer."""
+    return (value >> low) & mask(high - low)
+
+
+def split_bytes(value: int, width: int) -> Tuple[int, ...]:
+    """Little-endian byte decomposition of a bit pattern."""
+    count = (width + 7) // 8
+    return tuple((value >> (8 * i)) & 0xFF for i in range(count))
+
+
+def join_bytes(data: Tuple[int, ...]) -> int:
+    """Inverse of :func:`split_bytes`."""
+    value = 0
+    for index, byte in enumerate(data):
+        value |= (byte & 0xFF) << (8 * index)
+    return value

@@ -1,0 +1,175 @@
+"""Runtime value domain shared by the interpreter and the verifiers.
+
+A *lane* value is one of:
+
+* ``int`` — the unsigned bit pattern of an integer lane,
+* ``float`` — an IEEE value for FP lanes,
+* :data:`POISON` — the poison sentinel,
+* :class:`Pointer` — an (abstract base, byte offset) pair.
+
+A full runtime value is either a lane value (scalar types) or a list of
+lane values (vector types, poison tracked per lane).
+"""
+
+from __future__ import annotations
+
+import math
+import struct
+from dataclasses import dataclass
+from typing import List, Union
+
+from repro.ir.types import FloatType, IntType, PointerType, Type, VectorType
+
+
+class _Poison:
+    """Singleton sentinel for poison lanes."""
+
+    _instance = None
+
+    def __new__(cls) -> "_Poison":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "poison"
+
+
+POISON = _Poison()
+
+
+@dataclass(frozen=True)
+class Pointer:
+    """An abstract pointer: a named base plus a byte offset.
+
+    Pointer arguments of a wrapped window become distinct bases, which is
+    exactly the aliasing model Alive2 uses for byval-like inputs.
+    """
+
+    base: str
+    offset: int = 0
+
+    def advanced(self, delta: int) -> "Pointer":
+        # Pointer arithmetic wraps like a 64-bit integer.
+        return Pointer(self.base, (self.offset + delta) & ((1 << 64) - 1))
+
+    def __repr__(self) -> str:
+        return f"&{self.base}+{self.offset}"
+
+
+LaneValue = Union[int, float, _Poison, Pointer]
+RuntimeValue = Union[LaneValue, List[LaneValue]]
+
+
+def is_poison(lane: LaneValue) -> bool:
+    return lane is POISON
+
+
+def all_poison(value: RuntimeValue) -> bool:
+    if isinstance(value, list):
+        return all(lane is POISON for lane in value)
+    return value is POISON
+
+
+def any_poison(value: RuntimeValue) -> bool:
+    if isinstance(value, list):
+        return any(lane is POISON for lane in value)
+    return value is POISON
+
+
+def lanes_of(value: RuntimeValue, type_: Type) -> List[LaneValue]:
+    """View a runtime value as a list of lanes (singleton for scalars)."""
+    if isinstance(type_, VectorType):
+        assert isinstance(value, list)
+        return value
+    assert not isinstance(value, list)
+    return [value]
+
+
+def from_lanes(lanes: List[LaneValue], type_: Type) -> RuntimeValue:
+    """Inverse of :func:`lanes_of`."""
+    if isinstance(type_, VectorType):
+        return list(lanes)
+    assert len(lanes) == 1
+    return lanes[0]
+
+
+def poison_value(type_: Type) -> RuntimeValue:
+    if isinstance(type_, VectorType):
+        return [POISON] * type_.count
+    return POISON
+
+
+def fp_round(type_: Type, value: float) -> float:
+    """Round a Python float (IEEE double) to the storage precision of
+    ``type_`` — the equivalent of storing into a float/half register."""
+    scalar = type_.scalar_type()
+    assert isinstance(scalar, FloatType)
+    if scalar.kind == "double":
+        return value
+    if scalar.kind == "float":
+        return struct.unpack("<f", struct.pack("<f", value))[0]
+    # half: round via numpy-free bit manipulation is overkill; go through
+    # struct 'e' which implements IEEE binary16.
+    return struct.unpack("<e", struct.pack("<e", value))[0]
+
+
+def values_equal(a: LaneValue, b: LaneValue) -> bool:
+    """Lane equality used by the refinement checker.
+
+    Floats compare as bit patterns except that any NaN matches any NaN
+    (LLVM does not guarantee NaN payloads); ``-0.0`` and ``+0.0`` differ.
+    """
+    if a is POISON or b is POISON:
+        return a is b
+    if isinstance(a, Pointer) or isinstance(b, Pointer):
+        return a == b
+    if isinstance(a, float) or isinstance(b, float):
+        if not (isinstance(a, float) and isinstance(b, float)):
+            return False
+        if math.isnan(a) and math.isnan(b):
+            return True
+        return struct.pack("<d", a) == struct.pack("<d", b)
+    return a == b
+
+
+def runtime_values_equal(a: RuntimeValue, b: RuntimeValue) -> bool:
+    if isinstance(a, list) != isinstance(b, list):
+        return False
+    if isinstance(a, list):
+        return len(a) == len(b) and all(
+            values_equal(x, y) for x, y in zip(a, b))
+    return values_equal(a, b)
+
+
+def format_lane(lane: LaneValue, type_: Type) -> str:
+    """Render a lane value for counterexample messages."""
+    if lane is POISON:
+        return "poison"
+    if isinstance(lane, Pointer):
+        return repr(lane)
+    scalar = type_.scalar_type()
+    if isinstance(scalar, IntType) and isinstance(lane, int):
+        from repro.semantics.bitvector import to_signed
+        signed = to_signed(lane, scalar.bits)
+        if signed != lane:
+            return f"{lane} (i.e. {signed})"
+        return str(lane)
+    return repr(lane)
+
+
+def format_runtime_value(value: RuntimeValue, type_: Type) -> str:
+    if isinstance(value, list):
+        inner = ", ".join(format_lane(v, type_) for v in value)
+        return f"<{inner}>"
+    return format_lane(value, type_)
+
+
+def default_lane(type_: Type) -> LaneValue:
+    """A deterministic default lane (used to resolve undef by default)."""
+    scalar = type_.scalar_type()
+    if isinstance(scalar, FloatType):
+        return 0.0
+    if isinstance(scalar, PointerType):
+        return Pointer("null")
+    return 0

@@ -1,0 +1,886 @@
+"""Concrete interpreter for the IR with LLVM undef/poison/UB semantics.
+
+The interpreter is the single source of truth for instruction semantics:
+the constant folder, the randomized refinement tester and the exhaustive
+verifier all call into :func:`run_function`, and the SAT encoder's circuits
+are property-tested against it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.errors import EvaluationError, UndefinedBehaviorError
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    BinaryOperator,
+    Br,
+    Call,
+    Cast,
+    ExtractElement,
+    FCmp,
+    Freeze,
+    GetElementPtr,
+    ICmp,
+    InsertElement,
+    Instruction,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    ShuffleVector,
+    Store,
+    Unreachable,
+)
+from repro.ir.intrinsics import split_intrinsic_callee
+from repro.ir.types import FloatType, IntType, PointerType, Type, VectorType
+from repro.ir.values import (
+    Argument,
+    Constant,
+    ConstantFP,
+    ConstantInt,
+    ConstantPointerNull,
+    ConstantVector,
+    PoisonValue,
+    UndefValue,
+    Value,
+)
+from repro.semantics import bitvector as bv
+from repro.semantics.domain import (
+    POISON,
+    LaneValue,
+    Pointer,
+    RuntimeValue,
+    default_lane,
+    fp_round,
+    from_lanes,
+    lanes_of,
+    poison_value,
+)
+from repro.semantics.memory import Memory
+
+UndefChooser = Callable[[Type], RuntimeValue]
+
+
+def _default_chooser(type_: Type) -> RuntimeValue:
+    if isinstance(type_, VectorType):
+        return [default_lane(type_)] * type_.count
+    return default_lane(type_)
+
+
+@dataclass
+class Outcome:
+    """The result of running a function on one input environment."""
+
+    kind: str                      # "return" or "ub"
+    value: Optional[RuntimeValue] = None
+    memory: Optional[Memory] = None
+    ub_reason: str = ""
+
+    @property
+    def is_ub(self) -> bool:
+        return self.kind == "ub"
+
+
+@dataclass
+class _Frame:
+    values: Dict[Value, RuntimeValue] = field(default_factory=dict)
+
+
+class Interpreter:
+    """Evaluates one function invocation."""
+
+    MAX_STEPS = 100_000
+
+    def __init__(self, function: Function, args: Sequence[RuntimeValue],
+                 memory: Optional[Memory] = None,
+                 undef_chooser: Optional[UndefChooser] = None):
+        if len(args) != len(function.arguments):
+            raise EvaluationError(
+                f"@{function.name} takes {len(function.arguments)} args, "
+                f"got {len(args)}")
+        self.function = function
+        self.memory = memory if memory is not None else Memory()
+        self.undef_chooser = undef_chooser or _default_chooser
+        self.frame = _Frame()
+        for argument, value in zip(function.arguments, args):
+            self.frame.values[argument] = value
+        # Give every pointer argument a backing buffer if absent.
+        for argument, value in zip(function.arguments, args):
+            if isinstance(value, Pointer) and value.base != "null":
+                if not self.memory.has_buffer(value.base):
+                    self.memory.add_buffer(value.base)
+
+    # -- operand resolution -------------------------------------------------
+    def resolve(self, value: Value) -> RuntimeValue:
+        if isinstance(value, Constant):
+            return self.constant_value(value)
+        try:
+            return self.frame.values[value]
+        except KeyError:
+            raise EvaluationError(
+                f"use of undefined value %{value.name} "
+                f"in @{self.function.name}")
+
+    def constant_value(self, constant: Constant) -> RuntimeValue:
+        if isinstance(constant, ConstantInt):
+            return constant.value
+        if isinstance(constant, ConstantFP):
+            return fp_round(constant.type, constant.value)
+        if isinstance(constant, ConstantPointerNull):
+            return Pointer("null")
+        if isinstance(constant, PoisonValue):
+            return poison_value(constant.type)
+        if isinstance(constant, UndefValue):
+            return self.undef_chooser(constant.type)
+        if isinstance(constant, ConstantVector):
+            lanes: List[LaneValue] = []
+            for element in constant.elements:
+                lane = self.constant_value(element)
+                assert not isinstance(lane, list)
+                lanes.append(lane)
+            return lanes
+        raise EvaluationError(f"cannot evaluate constant {constant!r}")
+
+    # -- main loop -----------------------------------------------------------
+    def run(self) -> Outcome:
+        block = self.function.entry
+        previous_label: Optional[str] = None
+        steps = 0
+        while True:
+            # Evaluate phis as a parallel copy first.
+            phi_values: Dict[Instruction, RuntimeValue] = {}
+            index = 0
+            for inst in block.instructions:
+                if not isinstance(inst, Phi):
+                    break
+                phi_values[inst] = self._eval_phi(inst, previous_label)
+                index += 1
+            self.frame.values.update(phi_values)
+
+            for inst in block.instructions[index:]:
+                steps += 1
+                if steps > self.MAX_STEPS:
+                    raise EvaluationError(
+                        f"@{self.function.name} exceeded "
+                        f"{self.MAX_STEPS} steps")
+                if isinstance(inst, Ret):
+                    value = (self.resolve(inst.value)
+                             if inst.value is not None else None)
+                    return Outcome("return", value, self.memory)
+                if isinstance(inst, Unreachable):
+                    return Outcome("ub", ub_reason="reached 'unreachable'")
+                if isinstance(inst, Br):
+                    next_label = self._eval_branch(inst)
+                    previous_label = block.label
+                    block = self.function.block_by_label(next_label)
+                    break
+                try:
+                    result = self.eval_instruction(inst)
+                except UndefinedBehaviorError as ub:
+                    return Outcome("ub", ub_reason=ub.reason)
+                if inst.type.is_first_class:
+                    self.frame.values[inst] = result
+            else:
+                raise EvaluationError(
+                    f"block %{block.label} in @{self.function.name} "
+                    "has no terminator")
+
+    def _eval_phi(self, phi: Phi, previous_label: Optional[str]
+                  ) -> RuntimeValue:
+        for value, label in phi.incoming:
+            if label == previous_label:
+                return self.resolve(value)
+        raise EvaluationError(
+            f"phi in %{phi.parent.label} has no incoming edge "
+            f"from %{previous_label}")
+
+    def _eval_branch(self, inst: Br) -> str:
+        if not inst.is_conditional:
+            return inst.target
+        condition = self.resolve(inst.condition)
+        if condition is POISON:
+            raise UndefinedBehaviorError("branch on poison")
+        assert isinstance(condition, int)
+        return inst.target if condition & 1 else inst.false_target
+
+    # -- instruction dispatch -------------------------------------------
+    def eval_instruction(self, inst: Instruction) -> RuntimeValue:
+        if isinstance(inst, BinaryOperator):
+            return self._eval_binary(inst)
+        if isinstance(inst, ICmp):
+            return self._eval_icmp(inst)
+        if isinstance(inst, FCmp):
+            return self._eval_fcmp(inst)
+        if isinstance(inst, Select):
+            return self._eval_select(inst)
+        if isinstance(inst, Cast):
+            return self._eval_cast(inst)
+        if isinstance(inst, Freeze):
+            return self._eval_freeze(inst)
+        if isinstance(inst, Call):
+            return self._eval_call(inst)
+        if isinstance(inst, Load):
+            return self._eval_load(inst)
+        if isinstance(inst, Store):
+            return self._eval_store(inst)
+        if isinstance(inst, GetElementPtr):
+            return self._eval_gep(inst)
+        if isinstance(inst, ExtractElement):
+            return self._eval_extractelement(inst)
+        if isinstance(inst, InsertElement):
+            return self._eval_insertelement(inst)
+        if isinstance(inst, ShuffleVector):
+            return self._eval_shufflevector(inst)
+        raise EvaluationError(f"cannot evaluate {inst.opcode}")
+
+    # -- integer / FP binary ops ------------------------------------------
+    def _eval_binary(self, inst: BinaryOperator) -> RuntimeValue:
+        lhs = self.resolve(inst.lhs)
+        rhs = self.resolve(inst.rhs)
+        type_ = inst.type
+        scalar = type_.scalar_type()
+        lanes_l = lanes_of(lhs, type_)
+        lanes_r = lanes_of(rhs, type_)
+        out: List[LaneValue] = []
+        for a, b in zip(lanes_l, lanes_r):
+            out.append(self._binary_lane(inst, scalar, a, b))
+        return from_lanes(out, type_)
+
+    def _binary_lane(self, inst: BinaryOperator, scalar: Type,
+                     a: LaneValue, b: LaneValue) -> LaneValue:
+        opcode = inst.opcode
+        if isinstance(scalar, FloatType):
+            if a is POISON or b is POISON:
+                return POISON
+            assert isinstance(a, float) and isinstance(b, float)
+            return self._fp_binary_lane(inst, scalar, a, b)
+        assert isinstance(scalar, IntType)
+        width = scalar.bits
+        # Division-family by poison or zero divisor is immediate UB.
+        if opcode in ("udiv", "sdiv", "urem", "srem"):
+            if b is POISON:
+                raise UndefinedBehaviorError(f"{opcode} by poison")
+            assert isinstance(b, int)
+            if b == 0:
+                raise UndefinedBehaviorError(f"{opcode} by zero")
+            if a is POISON:
+                return POISON
+            assert isinstance(a, int)
+            result = getattr(bv, opcode)(a, b, width)
+            if result is None:
+                raise UndefinedBehaviorError(f"{opcode} overflow")
+            if "exact" in inst.flags:
+                if opcode == "udiv" and a % b != 0:
+                    return POISON
+                if opcode == "sdiv":
+                    sa, sb = bv.to_signed(a, width), bv.to_signed(b, width)
+                    if sb != 0 and sa % sb != 0:
+                        return POISON
+            return result
+        if a is POISON or b is POISON:
+            return POISON
+        assert isinstance(a, int) and isinstance(b, int)
+        if opcode == "add":
+            if "nuw" in inst.flags and bv.add_overflows_unsigned(a, b, width):
+                return POISON
+            if "nsw" in inst.flags and bv.add_overflows_signed(a, b, width):
+                return POISON
+            return bv.add(a, b, width)
+        if opcode == "sub":
+            if "nuw" in inst.flags and bv.sub_overflows_unsigned(a, b, width):
+                return POISON
+            if "nsw" in inst.flags and bv.sub_overflows_signed(a, b, width):
+                return POISON
+            return bv.sub(a, b, width)
+        if opcode == "mul":
+            if "nuw" in inst.flags and bv.mul_overflows_unsigned(a, b, width):
+                return POISON
+            if "nsw" in inst.flags and bv.mul_overflows_signed(a, b, width):
+                return POISON
+            return bv.mul(a, b, width)
+        if opcode == "shl":
+            result = bv.shl(a, b, width)
+            if result is None:
+                return POISON
+            if "nuw" in inst.flags and bv.lshr(result, b, width) != a:
+                return POISON
+            if "nsw" in inst.flags:
+                shifted_back = bv.ashr(result, b, width)
+                if shifted_back != a:
+                    return POISON
+            return result
+        if opcode == "lshr":
+            result = bv.lshr(a, b, width)
+            if result is None:
+                return POISON
+            if "exact" in inst.flags and bv.shl(result, b, width) != a:
+                return POISON
+            return result
+        if opcode == "ashr":
+            result = bv.ashr(a, b, width)
+            if result is None:
+                return POISON
+            if "exact" in inst.flags and bv.shl(result, b, width) != a:
+                return POISON
+            return result
+        if opcode == "and":
+            return a & b
+        if opcode == "or":
+            if "disjoint" in inst.flags and (a & b) != 0:
+                return POISON
+            return a | b
+        if opcode == "xor":
+            return a ^ b
+        raise EvaluationError(f"unhandled integer binary op {opcode}")
+
+    def _fp_binary_lane(self, inst: BinaryOperator, scalar: FloatType,
+                        a: float, b: float) -> LaneValue:
+        opcode = inst.opcode
+        if opcode == "fadd":
+            result = a + b
+        elif opcode == "fsub":
+            result = a - b
+        elif opcode == "fmul":
+            result = a * b
+        elif opcode == "fdiv":
+            if b == 0.0:
+                if a == 0.0 or math.isnan(a):
+                    result = math.nan
+                else:
+                    result = math.copysign(math.inf, a) * math.copysign(
+                        1.0, b)
+            else:
+                result = a / b
+        elif opcode == "frem":
+            if b == 0.0 or math.isinf(a):
+                result = math.nan
+            else:
+                result = math.fmod(a, b)
+        else:
+            raise EvaluationError(f"unhandled FP binary op {opcode}")
+        if {"nnan", "fast"} & inst.flags and (
+                math.isnan(a) or math.isnan(b) or math.isnan(result)):
+            return POISON
+        if {"ninf", "fast"} & inst.flags and (
+                math.isinf(a) or math.isinf(b) or math.isinf(result)):
+            return POISON
+        return fp_round(scalar, result)
+
+    # -- comparisons -------------------------------------------------------
+    def _eval_icmp(self, inst: ICmp) -> RuntimeValue:
+        lhs = self.resolve(inst.lhs)
+        rhs = self.resolve(inst.rhs)
+        operand_type = inst.lhs.type
+        scalar = operand_type.scalar_type()
+        out: List[LaneValue] = []
+        for a, b in zip(lanes_of(lhs, operand_type),
+                        lanes_of(rhs, operand_type)):
+            if a is POISON or b is POISON:
+                out.append(POISON)
+                continue
+            if isinstance(scalar, PointerType):
+                out.append(self._icmp_pointer_lane(inst.predicate, a, b))
+                continue
+            assert isinstance(scalar, IntType)
+            assert isinstance(a, int) and isinstance(b, int)
+            if "samesign" in inst.flags:
+                sign_a = a >> (scalar.bits - 1)
+                sign_b = b >> (scalar.bits - 1)
+                if sign_a != sign_b:
+                    out.append(POISON)
+                    continue
+            out.append(int(bv.icmp(inst.predicate, a, b, scalar.bits)))
+        return from_lanes(out, inst.type)
+
+    def _icmp_pointer_lane(self, predicate: str, a: LaneValue,
+                           b: LaneValue) -> LaneValue:
+        assert isinstance(a, Pointer) and isinstance(b, Pointer)
+        if predicate == "eq":
+            return int(a == b)
+        if predicate == "ne":
+            return int(a != b)
+        # Relational comparison of pointers into different objects is
+        # unspecified; make it deterministic via (base, offset) order.
+        key_a, key_b = (a.base, a.offset), (b.base, b.offset)
+        unsigned = {"ugt": key_a > key_b, "uge": key_a >= key_b,
+                    "ult": key_a < key_b, "ule": key_a <= key_b,
+                    "sgt": key_a > key_b, "sge": key_a >= key_b,
+                    "slt": key_a < key_b, "sle": key_a <= key_b}
+        return int(unsigned[predicate])
+
+    def _eval_fcmp(self, inst: FCmp) -> RuntimeValue:
+        lhs = self.resolve(inst.lhs)
+        rhs = self.resolve(inst.rhs)
+        operand_type = inst.lhs.type
+        out: List[LaneValue] = []
+        for a, b in zip(lanes_of(lhs, operand_type),
+                        lanes_of(rhs, operand_type)):
+            if a is POISON or b is POISON:
+                out.append(POISON)
+                continue
+            assert isinstance(a, float) and isinstance(b, float)
+            if {"nnan", "fast"} & inst.flags and (
+                    math.isnan(a) or math.isnan(b)):
+                out.append(POISON)
+                continue
+            out.append(int(fcmp_lane(inst.predicate, a, b)))
+        return from_lanes(out, inst.type)
+
+    # -- select / freeze ------------------------------------------------
+    def _eval_select(self, inst: Select) -> RuntimeValue:
+        condition = self.resolve(inst.condition)
+        tval = self.resolve(inst.true_value)
+        fval = self.resolve(inst.false_value)
+        result_type = inst.type
+        if isinstance(inst.condition.type, VectorType):
+            assert isinstance(condition, list)
+            out: List[LaneValue] = []
+            t_lanes = lanes_of(tval, result_type)
+            f_lanes = lanes_of(fval, result_type)
+            for cond_lane, t_lane, f_lane in zip(condition, t_lanes, f_lanes):
+                if cond_lane is POISON:
+                    out.append(POISON)
+                else:
+                    out.append(t_lane if cond_lane & 1 else f_lane)
+            return from_lanes(out, result_type)
+        if condition is POISON:
+            return poison_value(result_type)
+        assert isinstance(condition, int)
+        return tval if condition & 1 else fval
+
+    def _eval_freeze(self, inst: Freeze) -> RuntimeValue:
+        value = self.resolve(inst.value)
+        type_ = inst.type
+        if isinstance(value, list):
+            frozen = self.undef_chooser(type_)
+            frozen_lanes = lanes_of(frozen, type_)
+            return [
+                lane if lane is not POISON else frozen_lanes[index]
+                for index, lane in enumerate(value)
+            ]
+        if value is POISON:
+            return self.undef_chooser(type_)
+        return value
+
+    # -- casts ------------------------------------------------------------
+    def _eval_cast(self, inst: Cast) -> RuntimeValue:
+        value = self.resolve(inst.value)
+        src_type = inst.value.type
+        dst_type = inst.type
+        src_scalar = src_type.scalar_type()
+        dst_scalar = dst_type.scalar_type()
+        out: List[LaneValue] = []
+        for lane in lanes_of(value, src_type):
+            out.append(self._cast_lane(inst, src_scalar, dst_scalar, lane))
+        return from_lanes(out, dst_type)
+
+    def _cast_lane(self, inst: Cast, src: Type, dst: Type,
+                   lane: LaneValue) -> LaneValue:
+        if lane is POISON:
+            return POISON
+        opcode = inst.opcode
+        if opcode == "trunc":
+            assert isinstance(src, IntType) and isinstance(dst, IntType)
+            assert isinstance(lane, int)
+            if "nuw" in inst.flags and bv.trunc_loses_unsigned(
+                    lane, src.bits, dst.bits):
+                return POISON
+            if "nsw" in inst.flags and bv.trunc_loses_signed(
+                    lane, src.bits, dst.bits):
+                return POISON
+            return bv.trunc(lane, src.bits, dst.bits)
+        if opcode == "zext":
+            assert isinstance(src, IntType) and isinstance(lane, int)
+            if "nneg" in inst.flags and lane >> (src.bits - 1):
+                return POISON
+            return lane
+        if opcode == "sext":
+            assert isinstance(src, IntType) and isinstance(dst, IntType)
+            assert isinstance(lane, int)
+            return bv.sext(lane, src.bits, dst.bits)
+        if opcode in ("fptrunc", "fpext"):
+            assert isinstance(lane, float)
+            return fp_round(dst, lane)
+        if opcode in ("fptoui", "fptosi"):
+            assert isinstance(lane, float) and isinstance(dst, IntType)
+            if math.isnan(lane) or math.isinf(lane):
+                return POISON
+            integer = math.trunc(lane)
+            if opcode == "fptoui":
+                if not 0 <= integer <= dst.mask:
+                    return POISON
+                return integer
+            if not -(1 << (dst.bits - 1)) <= integer <= dst.signed_max:
+                return POISON
+            return bv.from_signed(integer, dst.bits)
+        if opcode in ("uitofp", "sitofp"):
+            assert isinstance(lane, int) and isinstance(src, IntType)
+            if opcode == "uitofp":
+                if "nneg" in inst.flags and lane >> (src.bits - 1):
+                    return POISON
+                return fp_round(dst, float(lane))
+            return fp_round(dst, float(bv.to_signed(lane, src.bits)))
+        if opcode == "ptrtoint":
+            assert isinstance(dst, IntType)
+            if isinstance(lane, Pointer):
+                if lane.base == "null":
+                    return bv.truncate(lane.offset, dst.bits)
+                raise EvaluationError(
+                    "ptrtoint of an abstract pointer base is not modelled")
+            raise EvaluationError("ptrtoint of non-pointer")
+        if opcode == "inttoptr":
+            assert isinstance(lane, int)
+            return Pointer("null", lane)
+        if opcode == "bitcast":
+            return self._bitcast_lane(src, dst, lane)
+        raise EvaluationError(f"unhandled cast {opcode}")
+
+    def _bitcast_lane(self, src: Type, dst: Type,
+                      lane: LaneValue) -> LaneValue:
+        import struct
+        if isinstance(src, IntType) and isinstance(dst, FloatType):
+            assert isinstance(lane, int)
+            if dst.kind == "double":
+                return struct.unpack("<d", lane.to_bytes(8, "little"))[0]
+            if dst.kind == "float":
+                return struct.unpack("<f", lane.to_bytes(4, "little"))[0]
+            return struct.unpack("<e", lane.to_bytes(2, "little"))[0]
+        if isinstance(src, FloatType) and isinstance(dst, IntType):
+            assert isinstance(lane, float)
+            if src.kind == "double":
+                return int.from_bytes(struct.pack("<d", lane), "little")
+            if src.kind == "float":
+                return int.from_bytes(struct.pack("<f", lane), "little")
+            return int.from_bytes(struct.pack("<e", lane), "little")
+        if isinstance(src, IntType) and isinstance(dst, IntType):
+            return lane
+        raise EvaluationError(f"unhandled bitcast {src} -> {dst}")
+
+    # -- intrinsic calls -----------------------------------------------------
+    def _eval_call(self, inst: Call) -> RuntimeValue:
+        split = split_intrinsic_callee(inst.callee)
+        if split is None:
+            raise EvaluationError(f"cannot evaluate call to @{inst.callee}")
+        base, suffix = split
+        args = [self.resolve(op) for op in inst.operands]
+        scalar = suffix.scalar_type()
+        if isinstance(scalar, IntType):
+            return self._eval_int_intrinsic(inst, base, suffix, scalar, args)
+        return self._eval_fp_intrinsic(inst, base, suffix, scalar, args)
+
+    def _eval_int_intrinsic(self, inst: Call, base: str, suffix: Type,
+                            scalar: IntType,
+                            args: List[RuntimeValue]) -> RuntimeValue:
+        width = scalar.bits
+        lane_args = [lanes_of(a, suffix) for a in args[:_value_arity(base)]]
+        tail_flag = 0
+        if len(args) > _value_arity(base):
+            tail = args[-1]
+            tail_flag = 0 if tail is POISON else int(tail)  # type: ignore
+        out: List[LaneValue] = []
+        for lane_tuple in zip(*lane_args):
+            if any(lane is POISON for lane in lane_tuple):
+                out.append(POISON)
+                continue
+            ints = [int(lane) for lane in lane_tuple]  # type: ignore
+            out.append(_int_intrinsic_lane(base, ints, width, tail_flag))
+        return from_lanes(out, inst.type)
+
+    def _eval_fp_intrinsic(self, inst: Call, base: str, suffix: Type,
+                           scalar: FloatType,
+                           args: List[RuntimeValue]) -> RuntimeValue:
+        lane_args = [lanes_of(a, suffix) for a in args[:_value_arity(base)]]
+        out: List[LaneValue] = []
+        for lane_tuple in zip(*lane_args):
+            if any(lane is POISON for lane in lane_tuple):
+                out.append(POISON)
+                continue
+            floats = [float(lane) for lane in lane_tuple]  # type: ignore
+            result = _fp_intrinsic_lane(base, floats)
+            if isinstance(result, float):
+                result = fp_round(scalar, result)
+            out.append(result)
+        return from_lanes(out, inst.type)
+
+    # -- memory -----------------------------------------------------------
+    def _eval_load(self, inst: Load) -> RuntimeValue:
+        pointer = self.resolve(inst.pointer)
+        if pointer is POISON:
+            raise UndefinedBehaviorError("load through poison pointer")
+        assert isinstance(pointer, Pointer)
+        type_ = inst.type
+        if isinstance(type_, VectorType):
+            lane_bytes = _scalar_size_bytes(type_.element)
+            lanes: List[LaneValue] = []
+            for index in range(type_.count):
+                offset = index * lane_bytes
+                data = self.memory.load_bytes(
+                    pointer.advanced(offset), lane_bytes)
+                lanes.append(_bytes_to_lane(data, type_.element))
+            return lanes
+        size = _scalar_size_bytes(type_)
+        data = self.memory.load_bytes(pointer, size)
+        return _bytes_to_lane(data, type_)
+
+    def _eval_store(self, inst: Store) -> RuntimeValue:
+        pointer = self.resolve(inst.pointer)
+        if pointer is POISON:
+            raise UndefinedBehaviorError("store through poison pointer")
+        assert isinstance(pointer, Pointer)
+        value = self.resolve(inst.value)
+        type_ = inst.value.type
+        if isinstance(type_, VectorType):
+            lane_bytes = _scalar_size_bytes(type_.element)
+            assert isinstance(value, list)
+            for index, lane in enumerate(value):
+                data = _lane_to_bytes(lane, type_.element)
+                self.memory.store_bytes(
+                    pointer.advanced(index * lane_bytes), data)
+            return None  # type: ignore[return-value]
+        data = _lane_to_bytes(value, type_)
+        self.memory.store_bytes(pointer, data)
+        return None  # type: ignore[return-value]
+
+    def _eval_gep(self, inst: GetElementPtr) -> RuntimeValue:
+        pointer = self.resolve(inst.pointer)
+        index = self.resolve(inst.index)
+        if pointer is POISON or index is POISON:
+            return POISON
+        assert isinstance(pointer, Pointer) and isinstance(index, int)
+        signed_index = bv.to_signed(index, inst.index.type.bits)
+        return pointer.advanced(signed_index * inst.element_size)
+
+    # -- vector element ops ------------------------------------------------
+    def _eval_extractelement(self, inst: ExtractElement) -> RuntimeValue:
+        vector = self.resolve(inst.vector)
+        index = self.resolve(inst.index)
+        if index is POISON:
+            return POISON
+        assert isinstance(vector, list) and isinstance(index, int)
+        if index >= len(vector):
+            return POISON
+        return vector[index]
+
+    def _eval_insertelement(self, inst: InsertElement) -> RuntimeValue:
+        vector = self.resolve(inst.vector)
+        element = self.resolve(inst.element)
+        index = self.resolve(inst.index)
+        assert isinstance(vector, list)
+        if index is POISON:
+            return poison_value(inst.type)
+        assert isinstance(index, int)
+        if index >= len(vector):
+            return poison_value(inst.type)
+        result = list(vector)
+        result[index] = element  # type: ignore[assignment]
+        return result
+
+    def _eval_shufflevector(self, inst: ShuffleVector) -> RuntimeValue:
+        lhs = self.resolve(inst.operands[0])
+        rhs = self.resolve(inst.operands[1])
+        assert isinstance(lhs, list) and isinstance(rhs, list)
+        combined = lhs + rhs
+        out: List[LaneValue] = []
+        for lane_index in inst.mask:
+            if lane_index == -1:
+                out.append(POISON)
+            else:
+                out.append(combined[lane_index])
+        return out
+
+
+# --------------------------------------------------------------------------
+# Intrinsic lane semantics
+# --------------------------------------------------------------------------
+
+def _value_arity(base: str) -> int:
+    from repro.ir.intrinsics import lookup_intrinsic
+    info = lookup_intrinsic(base)
+    assert info is not None
+    return info.arity
+
+
+def _int_intrinsic_lane(base: str, args: List[int], width: int,
+                        tail_flag: int) -> LaneValue:
+    if base == "umin":
+        return bv.umin(args[0], args[1], width)
+    if base == "umax":
+        return bv.umax(args[0], args[1], width)
+    if base == "smin":
+        return bv.smin(args[0], args[1], width)
+    if base == "smax":
+        return bv.smax(args[0], args[1], width)
+    if base == "abs":
+        if tail_flag and bv.is_int_min(args[0], width):
+            return POISON
+        return bv.abs_(args[0], width)
+    if base == "ctpop":
+        return bv.ctpop(args[0], width)
+    if base == "ctlz":
+        if tail_flag and args[0] == 0:
+            return POISON
+        return bv.ctlz(args[0], width)
+    if base == "cttz":
+        if tail_flag and args[0] == 0:
+            return POISON
+        return bv.cttz(args[0], width)
+    if base == "bswap":
+        return bv.bswap(args[0], width)
+    if base == "bitreverse":
+        return bv.bitreverse(args[0], width)
+    if base == "fshl":
+        return bv.fshl(args[0], args[1], args[2], width)
+    if base == "fshr":
+        return bv.fshr(args[0], args[1], args[2], width)
+    if base == "uadd.sat":
+        return bv.uadd_sat(args[0], args[1], width)
+    if base == "usub.sat":
+        return bv.usub_sat(args[0], args[1], width)
+    if base == "sadd.sat":
+        return bv.sadd_sat(args[0], args[1], width)
+    if base == "ssub.sat":
+        return bv.ssub_sat(args[0], args[1], width)
+    raise EvaluationError(f"unhandled integer intrinsic {base}")
+
+
+def _fp_intrinsic_lane(base: str, args: List[float]) -> LaneValue:
+    a = args[0]
+    if base == "fabs":
+        return abs(a)
+    if base == "sqrt":
+        return math.sqrt(a) if a >= 0.0 else math.nan
+    if base == "floor":
+        return math.floor(a) if math.isfinite(a) else a
+    if base == "ceil":
+        return math.ceil(a) if math.isfinite(a) else a
+    if base == "trunc":
+        return float(math.trunc(a)) if math.isfinite(a) else a
+    if base in ("round", "rint", "nearbyint"):
+        if not math.isfinite(a):
+            return a
+        if base == "round":
+            return math.floor(a + 0.5) if a >= 0 else math.ceil(a - 0.5)
+        return float(round(a))
+    if base == "canonicalize":
+        return a
+    if base == "minnum":
+        b = args[1]
+        if math.isnan(a):
+            return b
+        if math.isnan(b):
+            return a
+        return min(a, b)
+    if base == "maxnum":
+        b = args[1]
+        if math.isnan(a):
+            return b
+        if math.isnan(b):
+            return a
+        return max(a, b)
+    if base == "minimum":
+        b = args[1]
+        if math.isnan(a) or math.isnan(b):
+            return math.nan
+        if a == 0.0 and b == 0.0:
+            return -0.0 if (math.copysign(1, a) < 0
+                            or math.copysign(1, b) < 0) else 0.0
+        return min(a, b)
+    if base == "maximum":
+        b = args[1]
+        if math.isnan(a) or math.isnan(b):
+            return math.nan
+        if a == 0.0 and b == 0.0:
+            return 0.0 if (math.copysign(1, a) > 0
+                           or math.copysign(1, b) > 0) else -0.0
+        return max(a, b)
+    if base == "copysign":
+        return math.copysign(a, args[1])
+    if base in ("fma", "fmuladd"):
+        return a * args[1] + args[2]
+    raise EvaluationError(f"unhandled FP intrinsic {base}")
+
+
+def fcmp_lane(predicate: str, a: float, b: float) -> bool:
+    """IEEE comparison semantics for one fcmp lane."""
+    unordered = math.isnan(a) or math.isnan(b)
+    if predicate == "false":
+        return False
+    if predicate == "true":
+        return True
+    if predicate == "ord":
+        return not unordered
+    if predicate == "uno":
+        return unordered
+    ordered_result = {
+        "oeq": a == b, "ogt": a > b, "oge": a >= b,
+        "olt": a < b, "ole": a <= b, "one": a != b,
+    }
+    if predicate in ordered_result:
+        return not unordered and ordered_result[predicate]
+    unordered_result = {
+        "ueq": a == b, "ugt": a > b, "uge": a >= b,
+        "ult": a < b, "ule": a <= b, "une": a != b,
+    }
+    if predicate in unordered_result:
+        return unordered or unordered_result[predicate]
+    raise EvaluationError(f"unknown fcmp predicate {predicate!r}")
+
+
+# --------------------------------------------------------------------------
+# Byte-level conversion for loads/stores
+# --------------------------------------------------------------------------
+
+def _scalar_size_bytes(type_: Type) -> int:
+    bits = type_.bit_width
+    if bits % 8 and bits != 1:
+        raise EvaluationError(f"cannot access type {type_} in memory")
+    return max(1, bits // 8)
+
+
+def _bytes_to_lane(data, type_: Type) -> LaneValue:
+    if any(byte is POISON for byte in data):
+        return POISON
+    raw = bv.join_bytes(tuple(int(b) for b in data))
+    if isinstance(type_, FloatType):
+        import struct
+        packed = raw.to_bytes(type_.bit_width // 8, "little")
+        fmt = {"half": "<e", "float": "<f", "double": "<d"}[type_.kind]
+        return struct.unpack(fmt, packed)[0]
+    if isinstance(type_, PointerType):
+        return Pointer("null", raw)
+    assert isinstance(type_, IntType)
+    return bv.truncate(raw, type_.bits)
+
+
+def _lane_to_bytes(lane: LaneValue, type_: Type):
+    size = _scalar_size_bytes(type_)
+    if lane is POISON:
+        return [POISON] * size
+    if isinstance(lane, Pointer):
+        raw = lane.offset  # only null-based pointers round-trip precisely
+    elif isinstance(lane, float):
+        import struct
+        fmt = {"half": "<e", "float": "<f", "double": "<d"}[type_.kind]
+        raw = int.from_bytes(struct.pack(fmt, lane), "little")
+    else:
+        raw = int(lane)
+    return [((raw >> (8 * i)) & 0xFF) for i in range(size)]
+
+
+# --------------------------------------------------------------------------
+# Public entry points
+# --------------------------------------------------------------------------
+
+def run_function(function: Function, args: Sequence[RuntimeValue],
+                 memory: Optional[Memory] = None,
+                 undef_chooser: Optional[UndefChooser] = None) -> Outcome:
+    """Run ``function`` on ``args``; UB is reported in the Outcome rather
+    than raised."""
+    interpreter = Interpreter(function, args, memory, undef_chooser)
+    try:
+        return interpreter.run()
+    except UndefinedBehaviorError as ub:
+        return Outcome("ub", ub_reason=ub.reason)

@@ -1,0 +1,83 @@
+"""Byte-addressed memory model for wrapped windows.
+
+Each pointer argument of a window is backed by its own buffer of
+``DEFAULT_BUFFER_SIZE`` bytes; distinct arguments never alias (the same
+assumption Alive2 applies to ``noalias`` inputs, and the safe one for
+windows whose pointers come from distinct objects).  A byte holds either
+an int in [0, 255] or :data:`~repro.semantics.domain.POISON`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Union
+
+from repro.errors import UndefinedBehaviorError
+from repro.semantics.domain import POISON, Pointer, _Poison
+
+ByteValue = Union[int, _Poison]
+
+DEFAULT_BUFFER_SIZE = 64
+
+
+class Memory:
+    """A collection of named byte buffers."""
+
+    def __init__(self, buffer_size: int = DEFAULT_BUFFER_SIZE):
+        self.buffer_size = buffer_size
+        self.buffers: Dict[str, List[ByteValue]] = {}
+
+    def add_buffer(self, base: str, contents: bytes = b"") -> None:
+        data: List[ByteValue] = list(contents[: self.buffer_size])
+        data.extend([0] * (self.buffer_size - len(data)))
+        self.buffers[base] = data
+
+    def has_buffer(self, base: str) -> bool:
+        return base in self.buffers
+
+    def _buffer_for(self, pointer: Pointer, size: int) -> List[ByteValue]:
+        if pointer.base == "null":
+            raise UndefinedBehaviorError("access through null pointer")
+        buffer = self.buffers.get(pointer.base)
+        if buffer is None:
+            raise UndefinedBehaviorError(
+                f"access through unknown pointer base {pointer.base!r}")
+        if pointer.offset + size > len(buffer) or pointer.offset < 0:
+            raise UndefinedBehaviorError(
+                f"out-of-bounds access at {pointer!r} size {size}")
+        return buffer
+
+    def load_bytes(self, pointer: Pointer, size: int) -> List[ByteValue]:
+        buffer = self._buffer_for(pointer, size)
+        return buffer[pointer.offset: pointer.offset + size]
+
+    def store_bytes(self, pointer: Pointer,
+                    data: List[ByteValue]) -> None:
+        buffer = self._buffer_for(pointer, len(data))
+        buffer[pointer.offset: pointer.offset + len(data)] = data
+
+    def clone(self) -> "Memory":
+        copy = Memory(self.buffer_size)
+        for base, data in self.buffers.items():
+            copy.buffers[base] = list(data)
+        return copy
+
+    def equal_defined_bytes(self, other: "Memory") -> bool:
+        """True when every non-poison byte in ``self`` matches ``other``.
+
+        Used for store-refinement: the target may only *refine* memory,
+        i.e. where the source wrote a defined byte the target must match;
+        where the source wrote poison the target may write anything.
+        """
+        if set(self.buffers) != set(other.buffers):
+            return False
+        for base, data in self.buffers.items():
+            other_data = other.buffers[base]
+            for mine, theirs in zip(data, other_data):
+                if mine is POISON:
+                    continue
+                if theirs is POISON or mine != theirs:
+                    return False
+        return True
+
+    def __repr__(self) -> str:
+        return f"<Memory {sorted(self.buffers)} x{self.buffer_size}B>"

@@ -1,0 +1,26 @@
+"""Translation validation (the Alive2 substitute).
+
+Public surface::
+
+    from repro.verify import check_refinement, VerificationResult
+"""
+
+from repro.verify.exhaustive import check_exhaustive
+from repro.verify.refinement import (
+    VerificationResult,
+    check_refinement,
+    confirm_counterexample,
+)
+from repro.verify.sat import SatResult, SatSolver
+from repro.verify.testing import (
+    Counterexample,
+    outcome_refines,
+    run_refinement_tests,
+)
+
+__all__ = [
+    "check_exhaustive",
+    "VerificationResult", "check_refinement", "confirm_counterexample",
+    "SatResult", "SatSolver",
+    "Counterexample", "outcome_refines", "run_refinement_tests",
+]

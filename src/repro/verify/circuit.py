@@ -1,0 +1,292 @@
+"""Tseitin circuit construction over a SAT solver.
+
+``Bits`` are solver literals (ints); a bitvector is a list of literals,
+least-significant bit first.  The builder hash-conses gates and folds
+constants so typical refinement queries stay small.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import SolverError
+from repro.verify.sat import SatSolver
+
+Bit = int
+BitVec = List[Bit]
+
+
+class CircuitBuilder:
+    """Builds AND/OR/XOR/MUX gates as CNF with structural sharing."""
+
+    def __init__(self, solver: SatSolver):
+        self.solver = solver
+        self.true_lit = solver.new_var()
+        solver.add_clause([self.true_lit])
+        self.false_lit = -self.true_lit
+        self._and_cache: Dict[Tuple[int, int], int] = {}
+        self._xor_cache: Dict[Tuple[int, int], int] = {}
+
+    # -- bit helpers -----------------------------------------------------
+    def const_bit(self, value: bool) -> Bit:
+        return self.true_lit if value else self.false_lit
+
+    def new_bit(self) -> Bit:
+        return self.solver.new_var()
+
+    def not_(self, a: Bit) -> Bit:
+        return -a
+
+    def and_(self, a: Bit, b: Bit) -> Bit:
+        if a == self.false_lit or b == self.false_lit or a == -b:
+            return self.false_lit
+        if a == self.true_lit:
+            return b
+        if b == self.true_lit or a == b:
+            return a
+        key = (min(a, b), max(a, b))
+        cached = self._and_cache.get(key)
+        if cached is not None:
+            return cached
+        out = self.solver.new_var()
+        self.solver.add_clause([-out, a])
+        self.solver.add_clause([-out, b])
+        self.solver.add_clause([out, -a, -b])
+        self._and_cache[key] = out
+        return out
+
+    def or_(self, a: Bit, b: Bit) -> Bit:
+        return -self.and_(-a, -b)
+
+    def xor_(self, a: Bit, b: Bit) -> Bit:
+        if a == self.false_lit:
+            return b
+        if b == self.false_lit:
+            return a
+        if a == self.true_lit:
+            return -b
+        if b == self.true_lit:
+            return -a
+        if a == b:
+            return self.false_lit
+        if a == -b:
+            return self.true_lit
+        key = (min(a, b), max(a, b))
+        cached = self._xor_cache.get(key)
+        if cached is not None:
+            return cached
+        out = self.solver.new_var()
+        self.solver.add_clause([-out, a, b])
+        self.solver.add_clause([-out, -a, -b])
+        self.solver.add_clause([out, -a, b])
+        self.solver.add_clause([out, a, -b])
+        self._xor_cache[key] = out
+        return out
+
+    def mux(self, select: Bit, if_true: Bit, if_false: Bit) -> Bit:
+        if select == self.true_lit:
+            return if_true
+        if select == self.false_lit:
+            return if_false
+        if if_true == if_false:
+            return if_true
+        return self.or_(self.and_(select, if_true),
+                        self.and_(-select, if_false))
+
+    def and_many(self, bits: Sequence[Bit]) -> Bit:
+        result = self.true_lit
+        for bit in bits:
+            result = self.and_(result, bit)
+        return result
+
+    def or_many(self, bits: Sequence[Bit]) -> Bit:
+        result = self.false_lit
+        for bit in bits:
+            result = self.or_(result, bit)
+        return result
+
+    # -- bitvector construction --------------------------------------------
+    def bv_const(self, value: int, width: int) -> BitVec:
+        return [self.const_bit(bool((value >> i) & 1)) for i in range(width)]
+
+    def bv_var(self, width: int) -> BitVec:
+        return [self.new_bit() for _ in range(width)]
+
+    def bv_value(self, bits: BitVec, model: Dict[int, bool]) -> int:
+        value = 0
+        for index, bit in enumerate(bits):
+            var = abs(bit)
+            bit_value = model.get(var, False)
+            if bit < 0:
+                bit_value = not bit_value
+            if bit_value:
+                value |= 1 << index
+        return value
+
+    # -- arithmetic ----------------------------------------------------------
+    def bv_add(self, a: BitVec, b: BitVec,
+               carry_in: Bit = 0) -> Tuple[BitVec, Bit]:
+        """Ripple-carry addition; returns (sum, carry_out)."""
+        assert len(a) == len(b)
+        carry = carry_in if carry_in else self.false_lit
+        out: BitVec = []
+        for x, y in zip(a, b):
+            s = self.xor_(self.xor_(x, y), carry)
+            carry = self.or_(self.and_(x, y),
+                             self.and_(carry, self.xor_(x, y)))
+            out.append(s)
+        return out, carry
+
+    def bv_neg(self, a: BitVec) -> BitVec:
+        inverted = [-bit for bit in a]
+        result, _ = self.bv_add(inverted, self.bv_const(1, len(a)))
+        return result
+
+    def bv_sub(self, a: BitVec, b: BitVec) -> Tuple[BitVec, Bit]:
+        """Subtraction via a + ~b + 1; returns (difference, NOT borrow)."""
+        inverted = [-bit for bit in b]
+        return self.bv_add(a, inverted, carry_in=self.true_lit)
+
+    def bv_mul(self, a: BitVec, b: BitVec) -> BitVec:
+        """Shift-and-add multiplication, truncated to the input width."""
+        width = len(a)
+        accum = self.bv_const(0, width)
+        for shift, control in enumerate(b):
+            if control == self.false_lit:
+                continue
+            partial = ([self.false_lit] * shift
+                       + [self.and_(bit, control) for bit in a[:width - shift]])
+            accum, _ = self.bv_add(accum, partial)
+        return accum
+
+    def bv_udivrem(self, a: BitVec, b: BitVec) -> Tuple[BitVec, BitVec]:
+        """Restoring division; (quotient, remainder).  Division by zero
+        yields quotient=all-ones, remainder=a (hardware convention); the
+        encoder guards zero divisors with a UB flag before use."""
+        width = len(a)
+        remainder = self.bv_const(0, width)
+        quotient = [self.false_lit] * width
+        for index in range(width - 1, -1, -1):
+            remainder = [a[index]] + remainder[:-1]
+            diff, no_borrow = self.bv_sub(remainder, b)
+            quotient[index] = no_borrow
+            remainder = [self.mux(no_borrow, d, r)
+                         for d, r in zip(diff, remainder)]
+        return quotient, remainder
+
+    # -- comparisons ----------------------------------------------------------
+    def bv_eq(self, a: BitVec, b: BitVec) -> Bit:
+        return self.and_many([-self.xor_(x, y) for x, y in zip(a, b)])
+
+    def bv_ult(self, a: BitVec, b: BitVec) -> Bit:
+        _, no_borrow = self.bv_sub(a, b)
+        return -no_borrow
+
+    def bv_ule(self, a: BitVec, b: BitVec) -> Bit:
+        return -self.bv_ult(b, a)
+
+    def bv_slt(self, a: BitVec, b: BitVec) -> Bit:
+        sign_a, sign_b = a[-1], b[-1]
+        flipped_a = a[:-1] + [-sign_a]
+        flipped_b = b[:-1] + [-sign_b]
+        return self.bv_ult(flipped_a, flipped_b)
+
+    def bv_sle(self, a: BitVec, b: BitVec) -> Bit:
+        return -self.bv_slt(b, a)
+
+    # -- selection / shifting --------------------------------------------
+    def bv_mux(self, select: Bit, if_true: BitVec,
+               if_false: BitVec) -> BitVec:
+        return [self.mux(select, t, f) for t, f in zip(if_true, if_false)]
+
+    def bv_shl(self, a: BitVec, amount: BitVec) -> BitVec:
+        """Barrel shifter; amounts >= width produce zero."""
+        return self._barrel(a, amount, self._shl_by_const)
+
+    def bv_lshr(self, a: BitVec, amount: BitVec) -> BitVec:
+        return self._barrel(a, amount, self._lshr_by_const)
+
+    def bv_ashr(self, a: BitVec, amount: BitVec) -> BitVec:
+        return self._barrel(a, amount, self._ashr_by_const)
+
+    def _shl_by_const(self, a: BitVec, k: int) -> BitVec:
+        width = len(a)
+        if k >= width:
+            return self.bv_const(0, width)
+        return [self.false_lit] * k + a[: width - k]
+
+    def _lshr_by_const(self, a: BitVec, k: int) -> BitVec:
+        width = len(a)
+        if k >= width:
+            return self.bv_const(0, width)
+        return a[k:] + [self.false_lit] * k
+
+    def _ashr_by_const(self, a: BitVec, k: int) -> BitVec:
+        width = len(a)
+        sign = a[-1]
+        if k >= width:
+            return [sign] * width
+        return a[k:] + [sign] * k
+
+    def _barrel(self, a: BitVec, amount: BitVec, shifter) -> BitVec:
+        width = len(a)
+        result = list(a)
+        # Apply power-of-two stages for every amount bit that matters.
+        stages = max(1, (width - 1).bit_length())
+        for stage in range(stages):
+            shifted = shifter(result, 1 << stage)
+            result = self.bv_mux(amount[stage] if stage < len(amount)
+                                 else self.false_lit,
+                                 shifted, result)
+        # Any higher amount bit set -> full shift-out.
+        high_bits = amount[stages:]
+        if high_bits:
+            overflow = self.or_many(high_bits)
+            result = self.bv_mux(overflow, shifter(a, width), result)
+        return result
+
+    def bv_oversized(self, amount: BitVec, width: int) -> Bit:
+        """True when ``amount >= width`` (shift poison condition)."""
+        return self.bv_ult(self.bv_const(width - 1, len(amount)), amount)
+
+    # -- width changes --------------------------------------------------
+    def bv_zext(self, a: BitVec, width: int) -> BitVec:
+        return list(a) + [self.false_lit] * (width - len(a))
+
+    def bv_sext(self, a: BitVec, width: int) -> BitVec:
+        return list(a) + [a[-1]] * (width - len(a))
+
+    def bv_trunc(self, a: BitVec, width: int) -> BitVec:
+        return a[:width]
+
+    def bv_is_zero(self, a: BitVec) -> Bit:
+        return self.and_many([-bit for bit in a])
+
+    # -- bit counting (for ctpop/ctlz/cttz) --------------------------------
+    def bv_popcount(self, a: BitVec, out_width: int) -> BitVec:
+        total = self.bv_const(0, out_width)
+        for bit in a:
+            addend = self.bv_zext([bit], out_width)
+            total, _ = self.bv_add(total, addend)
+        return total
+
+    def bv_ctlz(self, a: BitVec, out_width: int) -> BitVec:
+        # Muxes are chained LSB→MSB so the highest set bit wins.
+        count = self.bv_const(len(a), out_width)
+        for position in range(0, len(a)):
+            leading = len(a) - 1 - position
+            count = self.bv_mux(a[position],
+                                self.bv_const(leading, out_width), count)
+        return count
+
+    def bv_cttz(self, a: BitVec, out_width: int) -> BitVec:
+        count = self.bv_const(len(a), out_width)
+        for position in range(len(a) - 1, -1, -1):
+            count = self.bv_mux(a[position],
+                                self.bv_const(position, out_width), count)
+        return count
+
+    def assert_bit(self, bit: Bit) -> None:
+        if bit == self.false_lit:
+            raise SolverError("asserted constant-false bit")
+        self.solver.add_clause([bit])

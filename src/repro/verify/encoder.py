@@ -1,0 +1,801 @@
+"""Bit-blasting encoder: IR functions → SAT circuits with poison bits.
+
+Every SSA value becomes a vector of lanes, each lane carrying its value
+bits plus one *poison* bit; a function-level *UB* bit accumulates
+immediate-UB conditions (division by zero, out-of-bounds constant-offset
+loads).  Arguments are shared between the source and target functions so
+the refinement query quantifies over one input space.
+
+Deliberate scope limits (these fall back to the testing tier, mirroring
+how Alive2 itself punts on some constructs):
+
+* floating-point types,
+* multi-block functions and phis,
+* stores, and loads at non-constant offsets,
+* ``undef`` constants and ``freeze`` of possibly-poison values in the
+  *source* function (their nondeterminism is universally quantified on
+  the wrong side of the query for a plain SAT encoding).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.errors import SolverError
+from repro.ir.function import Function
+from repro.ir.instructions import (
+    BinaryOperator,
+    Call,
+    Cast,
+    ExtractElement,
+    Freeze,
+    GetElementPtr,
+    ICmp,
+    InsertElement,
+    Instruction,
+    Load,
+    Ret,
+    Select,
+    ShuffleVector,
+)
+from repro.ir.intrinsics import split_intrinsic_callee
+from repro.ir.types import IntType, PointerType, Type, VectorType
+from repro.ir.values import (
+    Argument,
+    Constant,
+    ConstantInt,
+    ConstantPointerNull,
+    ConstantVector,
+    PoisonValue,
+    UndefValue,
+    Value,
+)
+from repro.verify.circuit import Bit, BitVec, CircuitBuilder
+
+
+class EncodingUnsupported(SolverError):
+    """The function uses a construct outside the SAT tier's scope."""
+
+
+@dataclass
+class SymLane:
+    """One scalar lane: value bits plus a poison flag."""
+
+    bits: BitVec
+    poison: Bit
+
+
+@dataclass
+class SymPointer:
+    """A pointer lane: abstract base plus a *concrete* byte offset."""
+
+    base: str
+    offset: Optional[int]     # None = symbolic (loads through it punt)
+    poison: Bit
+
+
+SymScalar = Union[SymLane, SymPointer]
+SymValue = Union[SymScalar, List[SymScalar]]
+
+BUFFER_BYTES = 64
+
+
+def _lanes(value: SymValue) -> List[SymScalar]:
+    return value if isinstance(value, list) else [value]
+
+
+class SharedInputs:
+    """Argument and memory variables shared by the src/tgt encodings."""
+
+    def __init__(self, builder: CircuitBuilder, function: Function):
+        self.builder = builder
+        self.args: List[SymValue] = []
+        self.buffers: Dict[str, List[BitVec]] = {}
+        self.arg_descriptions: List[Tuple[str, Type]] = []
+        for argument in function.arguments:
+            self.args.append(self._make_argument(argument))
+            self.arg_descriptions.append((argument.name, argument.type))
+
+    def _make_argument(self, argument: Argument) -> SymValue:
+        type_ = argument.type
+        builder = self.builder
+        if isinstance(type_, VectorType):
+            element = type_.element
+            if not isinstance(element, IntType):
+                raise EncodingUnsupported(
+                    f"vector argument of {element} lanes")
+            return [SymLane(builder.bv_var(element.bits), builder.false_lit)
+                    for _ in range(type_.count)]
+        if isinstance(type_, IntType):
+            return SymLane(builder.bv_var(type_.bits), builder.false_lit)
+        if isinstance(type_, PointerType):
+            base = f"arg{argument.index}"
+            self.buffers[base] = [builder.bv_var(8)
+                                  for _ in range(BUFFER_BYTES)]
+            return SymPointer(base, 0, builder.false_lit)
+        raise EncodingUnsupported(f"argument of type {type_}")
+
+
+class FunctionEncoder:
+    """Encodes one function over shared inputs."""
+
+    def __init__(self, builder: CircuitBuilder, inputs: SharedInputs,
+                 is_source: bool):
+        self.builder = builder
+        self.inputs = inputs
+        self.is_source = is_source
+        self.values: Dict[Value, SymValue] = {}
+        self.ub = builder.false_lit
+
+    # -- main entry ----------------------------------------------------------
+    def encode(self, function: Function) -> Tuple[SymValue, Bit]:
+        if len(function.blocks) != 1:
+            raise EncodingUnsupported("multi-block function")
+        for argument, sym in zip(function.arguments, self.inputs.args):
+            self.values[argument] = sym
+        block = function.entry
+        result: Optional[SymValue] = None
+        for inst in block.instructions:
+            if isinstance(inst, Ret):
+                if inst.value is None:
+                    raise EncodingUnsupported("void return")
+                result = self.operand(inst.value)
+                break
+            self.values[inst] = self.encode_instruction(inst)
+        if result is None:
+            raise EncodingUnsupported("no return instruction")
+        return result, self.ub
+
+    def _add_ub(self, condition: Bit) -> None:
+        self.ub = self.builder.or_(self.ub, condition)
+
+    # -- operands ---------------------------------------------------------
+    def operand(self, value: Value) -> SymValue:
+        if value in self.values:
+            return self.values[value]
+        if isinstance(value, Constant):
+            sym = self.constant(value)
+            self.values[value] = sym
+            return sym
+        raise EncodingUnsupported(f"unbound value %{value.name}")
+
+    def constant(self, constant: Constant) -> SymValue:
+        builder = self.builder
+        type_ = constant.type
+        if isinstance(constant, ConstantInt):
+            return SymLane(builder.bv_const(constant.value, type_.bits),
+                           builder.false_lit)
+        if isinstance(constant, ConstantPointerNull):
+            return SymPointer("null", 0, builder.false_lit)
+        if isinstance(constant, PoisonValue):
+            return self._poison_value(type_)
+        if isinstance(constant, UndefValue):
+            if self.is_source:
+                raise EncodingUnsupported("undef in source function")
+            # Target-side undef: adversary picks, so a fresh variable.
+            return self._fresh_value(type_)
+        if isinstance(constant, ConstantVector):
+            lanes: List[SymScalar] = []
+            for element in constant.elements:
+                lane = self.constant(element)
+                assert not isinstance(lane, list)
+                lanes.append(lane)
+            return lanes
+        raise EncodingUnsupported(f"constant {constant!r}")
+
+    def _poison_value(self, type_: Type) -> SymValue:
+        builder = self.builder
+        if isinstance(type_, VectorType):
+            element = type_.element
+            if not isinstance(element, IntType):
+                raise EncodingUnsupported(f"poison vector of {element}")
+            return [SymLane(builder.bv_const(0, element.bits),
+                            builder.true_lit)
+                    for _ in range(type_.count)]
+        if isinstance(type_, IntType):
+            return SymLane(builder.bv_const(0, type_.bits), builder.true_lit)
+        if isinstance(type_, PointerType):
+            return SymPointer("null", 0, builder.true_lit)
+        raise EncodingUnsupported(f"poison of type {type_}")
+
+    def _fresh_value(self, type_: Type) -> SymValue:
+        builder = self.builder
+        if isinstance(type_, VectorType):
+            element = type_.element
+            if not isinstance(element, IntType):
+                raise EncodingUnsupported(f"undef vector of {element}")
+            return [SymLane(builder.bv_var(element.bits), builder.false_lit)
+                    for _ in range(type_.count)]
+        if isinstance(type_, IntType):
+            return SymLane(builder.bv_var(type_.bits), builder.false_lit)
+        raise EncodingUnsupported(f"undef of type {type_}")
+
+    # -- instruction dispatch ----------------------------------------------
+    def encode_instruction(self, inst: Instruction) -> SymValue:
+        if isinstance(inst, BinaryOperator):
+            return self._map_int_lanes(inst, self._binary_lane)
+        if isinstance(inst, ICmp):
+            return self._encode_icmp(inst)
+        if isinstance(inst, Select):
+            return self._encode_select(inst)
+        if isinstance(inst, Cast):
+            return self._encode_cast(inst)
+        if isinstance(inst, Call):
+            return self._encode_call(inst)
+        if isinstance(inst, Freeze):
+            return self._encode_freeze(inst)
+        if isinstance(inst, Load):
+            return self._encode_load(inst)
+        if isinstance(inst, GetElementPtr):
+            return self._encode_gep(inst)
+        if isinstance(inst, ExtractElement):
+            return self._encode_extractelement(inst)
+        if isinstance(inst, InsertElement):
+            return self._encode_insertelement(inst)
+        if isinstance(inst, ShuffleVector):
+            return self._encode_shufflevector(inst)
+        raise EncodingUnsupported(f"instruction '{inst.opcode}'")
+
+    def _map_int_lanes(self, inst: Instruction, lane_fn) -> SymValue:
+        scalar = inst.type.scalar_type()
+        if not isinstance(scalar, IntType):
+            raise EncodingUnsupported(
+                f"'{inst.opcode}' on {inst.type} (non-integer)")
+        operand_lanes = [_lanes(self.operand(op)) for op in inst.operands]
+        out: List[SymScalar] = []
+        for lane_tuple in zip(*operand_lanes):
+            for lane in lane_tuple:
+                if not isinstance(lane, SymLane):
+                    raise EncodingUnsupported("pointer lane in integer op")
+            out.append(lane_fn(inst, scalar.bits, list(lane_tuple)))
+        if isinstance(inst.type, VectorType):
+            return out
+        return out[0]
+
+    # -- binary ops -----------------------------------------------------------
+    def _binary_lane(self, inst: BinaryOperator, width: int,
+                     lanes: List[SymLane]) -> SymLane:
+        builder = self.builder
+        a, b = lanes
+        opcode = inst.opcode
+        poison = builder.or_(a.poison, b.poison)
+        if opcode == "add":
+            bits, carry = builder.bv_add(a.bits, b.bits)
+            if "nuw" in inst.flags:
+                poison = builder.or_(poison, carry)
+            if "nsw" in inst.flags:
+                overflow = self._signed_add_overflow(a.bits, b.bits, bits)
+                poison = builder.or_(poison, overflow)
+            return SymLane(bits, poison)
+        if opcode == "sub":
+            bits, no_borrow = builder.bv_sub(a.bits, b.bits)
+            if "nuw" in inst.flags:
+                poison = builder.or_(poison, -no_borrow)
+            if "nsw" in inst.flags:
+                overflow = self._signed_sub_overflow(a.bits, b.bits, bits)
+                poison = builder.or_(poison, overflow)
+            return SymLane(bits, poison)
+        if opcode == "mul":
+            bits = builder.bv_mul(a.bits, b.bits)
+            if "nuw" in inst.flags or "nsw" in inst.flags:
+                wide_a = (builder.bv_sext(a.bits, 2 * width)
+                          if "nsw" in inst.flags
+                          else builder.bv_zext(a.bits, 2 * width))
+                wide_b = (builder.bv_sext(b.bits, 2 * width)
+                          if "nsw" in inst.flags
+                          else builder.bv_zext(b.bits, 2 * width))
+                wide = builder.bv_mul(wide_a, wide_b)
+                if "nuw" in inst.flags:
+                    high_nonzero = -builder.bv_is_zero(wide[width:])
+                    poison = builder.or_(poison, high_nonzero)
+                if "nsw" in inst.flags:
+                    expected = builder.bv_sext(bits, 2 * width)
+                    mismatch = -builder.bv_eq(wide, expected)
+                    poison = builder.or_(poison, mismatch)
+            return SymLane(bits, poison)
+        if opcode in ("udiv", "urem", "sdiv", "srem"):
+            return self._division_lane(inst, width, a, b)
+        if opcode in ("shl", "lshr", "ashr"):
+            return self._shift_lane(inst, width, a, b)
+        if opcode == "and":
+            bits = [builder.and_(x, y) for x, y in zip(a.bits, b.bits)]
+            return SymLane(bits, poison)
+        if opcode == "or":
+            bits = [builder.or_(x, y) for x, y in zip(a.bits, b.bits)]
+            if "disjoint" in inst.flags:
+                overlap = -builder.bv_is_zero(
+                    [builder.and_(x, y) for x, y in zip(a.bits, b.bits)])
+                poison = builder.or_(poison, overlap)
+            return SymLane(bits, poison)
+        if opcode == "xor":
+            bits = [builder.xor_(x, y) for x, y in zip(a.bits, b.bits)]
+            return SymLane(bits, poison)
+        raise EncodingUnsupported(f"binary op '{opcode}'")
+
+    def _signed_add_overflow(self, a: BitVec, b: BitVec,
+                             result: BitVec) -> Bit:
+        builder = self.builder
+        same_sign = -builder.xor_(a[-1], b[-1])
+        flipped = builder.xor_(a[-1], result[-1])
+        return builder.and_(same_sign, flipped)
+
+    def _signed_sub_overflow(self, a: BitVec, b: BitVec,
+                             result: BitVec) -> Bit:
+        builder = self.builder
+        diff_sign = builder.xor_(a[-1], b[-1])
+        flipped = builder.xor_(a[-1], result[-1])
+        return builder.and_(diff_sign, flipped)
+
+    def _division_lane(self, inst: BinaryOperator, width: int,
+                       a: SymLane, b: SymLane) -> SymLane:
+        builder = self.builder
+        opcode = inst.opcode
+        divisor_zero = builder.bv_is_zero(b.bits)
+        self._add_ub(builder.or_(divisor_zero, b.poison))
+        poison = a.poison
+        if opcode in ("udiv", "urem"):
+            quotient, remainder = builder.bv_udivrem(a.bits, b.bits)
+            bits = quotient if opcode == "udiv" else remainder
+            if opcode == "udiv" and "exact" in inst.flags:
+                poison = builder.or_(poison,
+                                     -builder.bv_is_zero(remainder))
+            return SymLane(bits, poison)
+        # Signed: divide magnitudes, fix signs; INT_MIN/-1 overflow is UB.
+        int_min = builder.bv_const(1 << (width - 1), width)
+        all_ones = builder.bv_const((1 << width) - 1, width)
+        overflow = builder.and_(builder.bv_eq(a.bits, int_min),
+                                builder.bv_eq(b.bits, all_ones))
+        if opcode == "sdiv":
+            self._add_ub(overflow)
+        neg_a = builder.bv_neg(a.bits)
+        neg_b = builder.bv_neg(b.bits)
+        abs_a = builder.bv_mux(a.bits[-1], neg_a, a.bits)
+        abs_b = builder.bv_mux(b.bits[-1], neg_b, b.bits)
+        quotient, remainder = builder.bv_udivrem(abs_a, abs_b)
+        if opcode == "sdiv":
+            sign = builder.xor_(a.bits[-1], b.bits[-1])
+            bits = builder.bv_mux(sign, builder.bv_neg(quotient), quotient)
+            if "exact" in inst.flags:
+                poison = builder.or_(poison,
+                                     -builder.bv_is_zero(remainder))
+            return SymLane(bits, poison)
+        # srem takes the sign of the dividend; INT_MIN % -1 == 0.
+        bits = builder.bv_mux(a.bits[-1], builder.bv_neg(remainder),
+                              remainder)
+        bits = builder.bv_mux(overflow, builder.bv_const(0, width), bits)
+        return SymLane(bits, poison)
+
+    def _shift_lane(self, inst: BinaryOperator, width: int,
+                    a: SymLane, b: SymLane) -> SymLane:
+        builder = self.builder
+        poison = builder.or_(a.poison, b.poison)
+        oversized = builder.bv_oversized(b.bits, width)
+        poison = builder.or_(poison, oversized)
+        if inst.opcode == "shl":
+            bits = builder.bv_shl(a.bits, b.bits)
+            if "nuw" in inst.flags:
+                back = builder.bv_lshr(bits, b.bits)
+                poison = builder.or_(poison, -builder.bv_eq(back, a.bits))
+            if "nsw" in inst.flags:
+                back = builder.bv_ashr(bits, b.bits)
+                poison = builder.or_(poison, -builder.bv_eq(back, a.bits))
+            return SymLane(bits, poison)
+        if inst.opcode == "lshr":
+            bits = builder.bv_lshr(a.bits, b.bits)
+        else:
+            bits = builder.bv_ashr(a.bits, b.bits)
+        if "exact" in inst.flags:
+            back = builder.bv_shl(bits, b.bits)
+            poison = builder.or_(poison, -builder.bv_eq(back, a.bits))
+        return SymLane(bits, poison)
+
+    # -- icmp / select -----------------------------------------------------
+    def _encode_icmp(self, inst: ICmp) -> SymValue:
+        builder = self.builder
+        lhs_lanes = _lanes(self.operand(inst.lhs))
+        rhs_lanes = _lanes(self.operand(inst.rhs))
+        out: List[SymScalar] = []
+        for a, b in zip(lhs_lanes, rhs_lanes):
+            if isinstance(a, SymPointer) or isinstance(b, SymPointer):
+                out.append(self._icmp_pointer(inst.predicate, a, b))
+                continue
+            assert isinstance(a, SymLane) and isinstance(b, SymLane)
+            poison = builder.or_(a.poison, b.poison)
+            if "samesign" in inst.flags:
+                poison = builder.or_(
+                    poison, builder.xor_(a.bits[-1], b.bits[-1]))
+            bit = self._icmp_bit(inst.predicate, a.bits, b.bits)
+            out.append(SymLane([bit], poison))
+        if isinstance(inst.type, VectorType):
+            return out
+        return out[0]
+
+    def _icmp_bit(self, predicate: str, a: BitVec, b: BitVec) -> Bit:
+        builder = self.builder
+        if predicate == "eq":
+            return builder.bv_eq(a, b)
+        if predicate == "ne":
+            return -builder.bv_eq(a, b)
+        if predicate == "ult":
+            return builder.bv_ult(a, b)
+        if predicate == "ule":
+            return builder.bv_ule(a, b)
+        if predicate == "ugt":
+            return builder.bv_ult(b, a)
+        if predicate == "uge":
+            return builder.bv_ule(b, a)
+        if predicate == "slt":
+            return builder.bv_slt(a, b)
+        if predicate == "sle":
+            return builder.bv_sle(a, b)
+        if predicate == "sgt":
+            return builder.bv_slt(b, a)
+        if predicate == "sge":
+            return builder.bv_sle(b, a)
+        raise EncodingUnsupported(f"icmp predicate {predicate}")
+
+    def _icmp_pointer(self, predicate: str, a: SymScalar,
+                      b: SymScalar) -> SymLane:
+        builder = self.builder
+        if not (isinstance(a, SymPointer) and isinstance(b, SymPointer)):
+            raise EncodingUnsupported("mixed pointer/integer icmp")
+        if a.offset is None or b.offset is None:
+            raise EncodingUnsupported("icmp on symbolic pointer offset")
+        poison = builder.or_(a.poison, b.poison)
+        key_a, key_b = (a.base, a.offset), (b.base, b.offset)
+        result = {
+            "eq": key_a == key_b, "ne": key_a != key_b,
+            "ult": key_a < key_b, "ule": key_a <= key_b,
+            "ugt": key_a > key_b, "uge": key_a >= key_b,
+            "slt": key_a < key_b, "sle": key_a <= key_b,
+            "sgt": key_a > key_b, "sge": key_a >= key_b,
+        }[predicate]
+        return SymLane([builder.const_bit(result)], poison)
+
+    def _encode_select(self, inst: Select) -> SymValue:
+        builder = self.builder
+        cond = self.operand(inst.condition)
+        tval = _lanes(self.operand(inst.true_value))
+        fval = _lanes(self.operand(inst.false_value))
+        vector_cond = isinstance(inst.condition.type, VectorType)
+        cond_lanes = _lanes(cond)
+        out: List[SymScalar] = []
+        for index, (t, f) in enumerate(zip(tval, fval)):
+            c = cond_lanes[index] if vector_cond else cond_lanes[0]
+            if not isinstance(c, SymLane):
+                raise EncodingUnsupported("pointer select condition")
+            if not (isinstance(t, SymLane) and isinstance(f, SymLane)):
+                return self._select_pointer(inst, c, t, f)
+            select_bit = c.bits[0]
+            bits = builder.bv_mux(select_bit, t.bits, f.bits)
+            chosen_poison = builder.mux(select_bit, t.poison, f.poison)
+            poison = builder.or_(c.poison, chosen_poison)
+            out.append(SymLane(bits, poison))
+        if isinstance(inst.type, VectorType):
+            return out
+        return out[0]
+
+    def _select_pointer(self, inst: Select, cond: SymLane,
+                        t: SymScalar, f: SymScalar) -> SymValue:
+        # Pointer select needs a concrete condition; punt.
+        raise EncodingUnsupported("select of pointers")
+
+    # -- casts ------------------------------------------------------------
+    def _encode_cast(self, inst: Cast) -> SymValue:
+        builder = self.builder
+        src_scalar = inst.value.type.scalar_type()
+        dst_scalar = inst.type.scalar_type()
+        if not (isinstance(src_scalar, IntType)
+                and isinstance(dst_scalar, IntType)):
+            raise EncodingUnsupported(f"cast '{inst.opcode}' on FP/pointer")
+        lanes = _lanes(self.operand(inst.value))
+        out: List[SymScalar] = []
+        for lane in lanes:
+            if not isinstance(lane, SymLane):
+                raise EncodingUnsupported("pointer lane in cast")
+            poison = lane.poison
+            if inst.opcode == "trunc":
+                bits = builder.bv_trunc(lane.bits, dst_scalar.bits)
+                if "nuw" in inst.flags:
+                    dropped = lane.bits[dst_scalar.bits:]
+                    poison = builder.or_(poison, builder.or_many(dropped))
+                if "nsw" in inst.flags:
+                    sign = bits[-1]
+                    for high in lane.bits[dst_scalar.bits:]:
+                        poison = builder.or_(poison,
+                                             builder.xor_(high, sign))
+            elif inst.opcode == "zext":
+                if "nneg" in inst.flags:
+                    poison = builder.or_(poison, lane.bits[-1])
+                bits = builder.bv_zext(lane.bits, dst_scalar.bits)
+            elif inst.opcode == "sext":
+                bits = builder.bv_sext(lane.bits, dst_scalar.bits)
+            elif inst.opcode == "bitcast":
+                bits = lane.bits
+            else:
+                raise EncodingUnsupported(f"cast '{inst.opcode}'")
+            out.append(SymLane(bits, poison))
+        if isinstance(inst.type, VectorType):
+            return out
+        return out[0]
+
+    def _encode_freeze(self, inst: Freeze) -> SymValue:
+        builder = self.builder
+        lanes = _lanes(self.operand(inst.value))
+        out: List[SymScalar] = []
+        for lane in lanes:
+            if isinstance(lane, SymPointer):
+                out.append(SymPointer(lane.base, lane.offset,
+                                      builder.false_lit))
+                continue
+            if lane.poison == builder.false_lit:
+                out.append(lane)
+                continue
+            if self.is_source:
+                raise EncodingUnsupported(
+                    "freeze of possibly-poison value in source")
+            fresh = builder.bv_var(len(lane.bits))
+            bits = builder.bv_mux(lane.poison, fresh, lane.bits)
+            out.append(SymLane(bits, builder.false_lit))
+        if isinstance(inst.type, VectorType):
+            return out
+        return out[0]
+
+    # -- intrinsics -----------------------------------------------------------
+    def _encode_call(self, inst: Call) -> SymValue:
+        split = split_intrinsic_callee(inst.callee)
+        if split is None:
+            raise EncodingUnsupported(f"call to @{inst.callee}")
+        base, suffix = split
+        scalar = suffix.scalar_type()
+        if not isinstance(scalar, IntType):
+            raise EncodingUnsupported(f"FP intrinsic {base}")
+        return self._map_int_lanes_call(inst, base, scalar.bits)
+
+    def _map_int_lanes_call(self, inst: Call, base: str,
+                            width: int) -> SymValue:
+        from repro.ir.intrinsics import lookup_intrinsic
+        info = lookup_intrinsic(base)
+        assert info is not None
+        value_args = inst.operands[: info.arity]
+        tail_flag = False
+        if info.has_bool_tail:
+            tail = inst.operands[-1]
+            if isinstance(tail, ConstantInt):
+                tail_flag = bool(tail.value)
+            elif isinstance(tail, Constant):
+                tail_flag = False
+            else:
+                raise EncodingUnsupported(f"{base} with symbolic flag")
+        operand_lanes = [_lanes(self.operand(op)) for op in value_args]
+        out: List[SymScalar] = []
+        for lane_tuple in zip(*operand_lanes):
+            for lane in lane_tuple:
+                if not isinstance(lane, SymLane):
+                    raise EncodingUnsupported("pointer lane in intrinsic")
+            out.append(self._intrinsic_lane(base, width,
+                                            list(lane_tuple), tail_flag))
+        if isinstance(inst.type, VectorType):
+            return out
+        return out[0]
+
+    def _intrinsic_lane(self, base: str, width: int,
+                        lanes: List[SymLane], tail_flag: bool) -> SymLane:
+        builder = self.builder
+        poison = builder.false_lit
+        for lane in lanes:
+            poison = builder.or_(poison, lane.poison)
+        a = lanes[0]
+        if base in ("umin", "umax", "smin", "smax"):
+            b = lanes[1]
+            if base == "umin":
+                cond = builder.bv_ult(a.bits, b.bits)
+            elif base == "umax":
+                cond = builder.bv_ult(b.bits, a.bits)
+            elif base == "smin":
+                cond = builder.bv_slt(a.bits, b.bits)
+            else:
+                cond = builder.bv_slt(b.bits, a.bits)
+            return SymLane(builder.bv_mux(cond, a.bits, b.bits), poison)
+        if base == "abs":
+            int_min = builder.bv_const(1 << (width - 1), width)
+            is_min = builder.bv_eq(a.bits, int_min)
+            if tail_flag:
+                poison = builder.or_(poison, is_min)
+            neg = builder.bv_neg(a.bits)
+            return SymLane(builder.bv_mux(a.bits[-1], neg, a.bits), poison)
+        if base == "ctpop":
+            return SymLane(builder.bv_popcount(a.bits, width), poison)
+        if base == "ctlz":
+            if tail_flag:
+                poison = builder.or_(poison, builder.bv_is_zero(a.bits))
+            return SymLane(builder.bv_ctlz(a.bits, width), poison)
+        if base == "cttz":
+            if tail_flag:
+                poison = builder.or_(poison, builder.bv_is_zero(a.bits))
+            return SymLane(builder.bv_cttz(a.bits, width), poison)
+        if base == "bswap":
+            count = width // 8
+            swapped: BitVec = []
+            for byte_index in range(count - 1, -1, -1):
+                swapped.extend(a.bits[byte_index * 8: byte_index * 8 + 8])
+            return SymLane(swapped, poison)
+        if base == "bitreverse":
+            return SymLane(list(reversed(a.bits)), poison)
+        if base in ("fshl", "fshr"):
+            return self._funnel_shift_lane(base, width, lanes, poison)
+        if base == "uadd.sat":
+            b = lanes[1]
+            bits, carry = builder.bv_add(a.bits, b.bits)
+            ones = builder.bv_const((1 << width) - 1, width)
+            return SymLane(builder.bv_mux(carry, ones, bits), poison)
+        if base == "usub.sat":
+            b = lanes[1]
+            bits, no_borrow = builder.bv_sub(a.bits, b.bits)
+            zero = builder.bv_const(0, width)
+            return SymLane(builder.bv_mux(no_borrow, bits, zero), poison)
+        if base == "sadd.sat":
+            b = lanes[1]
+            bits, _ = builder.bv_add(a.bits, b.bits)
+            overflow = self._signed_add_overflow(a.bits, b.bits, bits)
+            saturated = builder.bv_mux(
+                a.bits[-1],
+                builder.bv_const(1 << (width - 1), width),
+                builder.bv_const((1 << (width - 1)) - 1, width))
+            return SymLane(builder.bv_mux(overflow, saturated, bits),
+                           poison)
+        if base == "ssub.sat":
+            b = lanes[1]
+            bits, _ = builder.bv_sub(a.bits, b.bits)
+            overflow = self._signed_sub_overflow(a.bits, b.bits, bits)
+            saturated = builder.bv_mux(
+                a.bits[-1],
+                builder.bv_const(1 << (width - 1), width),
+                builder.bv_const((1 << (width - 1)) - 1, width))
+            return SymLane(builder.bv_mux(overflow, saturated, bits),
+                           poison)
+        raise EncodingUnsupported(f"intrinsic {base}")
+
+    def _funnel_shift_lane(self, base: str, width: int,
+                           lanes: List[SymLane], poison: Bit) -> SymLane:
+        builder = self.builder
+        a, b, shift = lanes
+        # amount = shift mod width
+        if width & (width - 1) == 0:
+            log2 = width.bit_length() - 1
+            amount = shift.bits[:log2] if log2 else []
+        else:
+            _, amount = builder.bv_udivrem(
+                shift.bits, builder.bv_const(width, width))
+        amount = list(amount) + [builder.false_lit]
+        concat = list(b.bits) + list(a.bits)          # LSB-first: b low
+        if base == "fshl":
+            # result = high word of (concat << amount)
+            shifted = builder.bv_shl(concat, amount)
+            bits = shifted[width:]
+        else:
+            shifted = builder.bv_lshr(concat, amount)
+            bits = shifted[:width]
+        return SymLane(bits, poison)
+
+    # -- memory -----------------------------------------------------------
+    def _encode_load(self, inst: Load) -> SymValue:
+        builder = self.builder
+        pointer = self.operand(inst.pointer)
+        if not isinstance(pointer, SymPointer):
+            raise EncodingUnsupported("load through non-pointer")
+        self._add_ub(pointer.poison)
+        if pointer.offset is None:
+            raise EncodingUnsupported("load at symbolic offset")
+        if pointer.base == "null":
+            self._add_ub(builder.true_lit)
+            return self._poison_value(inst.type)
+        buffer = self.inputs.buffers.get(pointer.base)
+        if buffer is None:
+            raise EncodingUnsupported(f"unknown buffer {pointer.base}")
+
+        def load_scalar(offset: int, scalar: Type) -> SymLane:
+            size = max(1, scalar.bit_width // 8)
+            if offset < 0 or offset + size > len(buffer):
+                self._add_ub(builder.true_lit)
+                return SymLane(builder.bv_const(0, scalar.bit_width),
+                               builder.false_lit)
+            bits: BitVec = []
+            for byte_index in range(size):
+                bits.extend(buffer[offset + byte_index])
+            if isinstance(scalar, IntType) and scalar.bits < size * 8:
+                bits = bits[: scalar.bits]
+            return SymLane(bits, builder.false_lit)
+
+        type_ = inst.type
+        if isinstance(type_, VectorType):
+            element = type_.element
+            if not isinstance(element, IntType):
+                raise EncodingUnsupported("FP vector load")
+            lane_size = max(1, element.bits // 8)
+            return [load_scalar(pointer.offset + i * lane_size, element)
+                    for i in range(type_.count)]
+        if not isinstance(type_, IntType):
+            raise EncodingUnsupported(f"load of {type_}")
+        return load_scalar(pointer.offset, type_)
+
+    def _encode_gep(self, inst: GetElementPtr) -> SymValue:
+        pointer = self.operand(inst.pointer)
+        if not isinstance(pointer, SymPointer):
+            raise EncodingUnsupported("gep on non-pointer")
+        index = self.operand(inst.index)
+        if isinstance(index, SymLane):
+            concrete = self._concrete_value(index.bits)
+            if concrete is None:
+                return SymPointer(pointer.base, None, index.poison)
+            signed = concrete
+            width = len(index.bits)
+            if signed >> (width - 1):
+                signed -= 1 << width
+            if pointer.offset is None:
+                return SymPointer(pointer.base, None, index.poison)
+            poison = self.builder.or_(pointer.poison, index.poison)
+            return SymPointer(pointer.base,
+                              pointer.offset + signed * inst.element_size,
+                              poison)
+        raise EncodingUnsupported("gep with non-integer index")
+
+    def _concrete_value(self, bits: BitVec) -> Optional[int]:
+        value = 0
+        for index, bit in enumerate(bits):
+            if bit == self.builder.true_lit:
+                value |= 1 << index
+            elif bit == self.builder.false_lit:
+                continue
+            else:
+                return None
+        return value
+
+    # -- vector element ops ----------------------------------------------
+    def _encode_extractelement(self, inst: ExtractElement) -> SymValue:
+        vector = _lanes(self.operand(inst.vector))
+        index = self.operand(inst.index)
+        if not isinstance(index, SymLane):
+            raise EncodingUnsupported("extractelement pointer index")
+        concrete = self._concrete_value(index.bits)
+        if concrete is None:
+            raise EncodingUnsupported("extractelement symbolic index")
+        if concrete >= len(vector):
+            return self._poison_value(inst.type)
+        lane = vector[concrete]
+        if isinstance(lane, SymLane):
+            poison = self.builder.or_(lane.poison, index.poison)
+            return SymLane(lane.bits, poison)
+        return lane
+
+    def _encode_insertelement(self, inst: InsertElement) -> SymValue:
+        vector = list(_lanes(self.operand(inst.vector)))
+        element = self.operand(inst.element)
+        index = self.operand(inst.index)
+        if not isinstance(index, SymLane):
+            raise EncodingUnsupported("insertelement pointer index")
+        concrete = self._concrete_value(index.bits)
+        if concrete is None:
+            raise EncodingUnsupported("insertelement symbolic index")
+        if concrete >= len(vector):
+            return self._poison_value(inst.type)
+        assert not isinstance(element, list)
+        vector[concrete] = element
+        return vector
+
+    def _encode_shufflevector(self, inst: ShuffleVector) -> SymValue:
+        lhs = _lanes(self.operand(inst.operands[0]))
+        rhs = _lanes(self.operand(inst.operands[1]))
+        combined = lhs + rhs
+        out: List[SymScalar] = []
+        for mask_index in inst.mask:
+            if mask_index == -1:
+                element = inst.type.element
+                if not isinstance(element, IntType):
+                    raise EncodingUnsupported("FP shuffle poison lane")
+                out.append(SymLane(self.builder.bv_const(0, element.bits),
+                                   self.builder.true_lit))
+            else:
+                out.append(combined[mask_index])
+        return out

@@ -1,0 +1,101 @@
+"""Exhaustive refinement checking for small input spaces.
+
+When the total number of input bits is small (no memory, narrow integer
+arguments), enumerating every input *is* a proof — and it handles undef
+and floating point uniformly because it just runs the interpreter.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional, Tuple
+
+from repro.ir.function import Function
+from repro.ir.types import FloatType, IntType, PointerType, Type, VectorType
+from repro.semantics.domain import RuntimeValue
+from repro.semantics.eval import run_function
+from repro.semantics.memory import Memory
+from repro.verify.testing import Counterexample, outcome_refines
+
+#: Float values that stand in for "all floats" in exhaustive mode; with
+#: these the check is no longer a proof, so FP functions report
+#: "validated" rather than "proved" (see refinement driver).
+FLOAT_SAMPLE = (0.0, -0.0, 1.0, -1.0, 0.5, 255.0,
+                float("inf"), float("-inf"), float("nan"))
+
+
+def input_space_bits(function: Function) -> Optional[int]:
+    """Total quantified input bits, or None when not enumerable
+    (pointers/memory make the space too large)."""
+    total = 0
+    for argument in function.arguments:
+        type_ = argument.type
+        if isinstance(type_, PointerType):
+            return None
+        if isinstance(type_, VectorType):
+            if isinstance(type_.element, FloatType):
+                total += 4 * type_.count   # sampled, not exhaustive
+            elif isinstance(type_.element, IntType):
+                total += type_.element.bits * type_.count
+            else:
+                return None
+        elif isinstance(type_, IntType):
+            total += type_.bits
+        elif isinstance(type_, FloatType):
+            total += 4                     # sampled
+        else:
+            return None
+    return total
+
+
+def _has_float(function: Function) -> bool:
+    def type_has_float(type_: Type) -> bool:
+        scalar = type_.scalar_type()
+        return isinstance(scalar, FloatType)
+    return any(type_has_float(a.type) for a in function.arguments)
+
+
+def _lane_values(scalar: Type) -> List:
+    if isinstance(scalar, IntType):
+        return list(range(1 << scalar.bits))
+    if isinstance(scalar, FloatType):
+        return list(FLOAT_SAMPLE)
+    raise AssertionError(f"unexpected scalar {scalar}")
+
+
+def _arg_values(type_: Type) -> List[RuntimeValue]:
+    if isinstance(type_, VectorType):
+        lanes = _lane_values(type_.element)
+        return [list(combo) for combo in
+                itertools.product(lanes, repeat=type_.count)]
+    return _lane_values(type_)
+
+
+def check_exhaustive(source: Function, target: Function,
+                     max_bits: int = 16
+                     ) -> Tuple[Optional[str], Optional[Counterexample]]:
+    """Enumerate the full input space.
+
+    Returns (status, counterexample): status is ``"proved"`` (all inputs
+    pass, integer-only), ``"validated"`` (all pass but floats were
+    sampled), ``"refuted"``, or None when the space is too large.
+    """
+    bits = input_space_bits(source)
+    if bits is None or bits > max_bits:
+        return None, None
+    arg_types = [a.type for a in source.arguments]
+    pools = [_arg_values(type_) for type_ in arg_types]
+    sampled = _has_float(source)
+    for combo in itertools.product(*pools):
+        args = list(combo)
+        src_outcome = run_function(source, list(args), memory=Memory())
+        tgt_outcome = run_function(target, list(args), memory=Memory())
+        ok, reason = outcome_refines(src_outcome, tgt_outcome)
+        if not ok:
+            return "refuted", Counterexample(
+                args=args,
+                arg_types=arg_types,
+                source_outcome=src_outcome,
+                target_outcome=tgt_outcome,
+                kind=reason)
+    return ("validated" if sampled else "proved"), None

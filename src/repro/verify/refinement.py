@@ -1,0 +1,289 @@
+"""The Alive2-substitute entry point: :func:`check_refinement`.
+
+Given a source and a target function, decides whether the transformation
+src → tgt is a correct refinement.  Three tiers are combined:
+
+1. **testing** — structured + randomized counterexample search (always
+   runs first; catching violations cheaply keeps the loop fast);
+2. **exhaustive** — a full input-space enumeration when the quantified
+   space is small (a proof);
+3. **SAT** — bit-blasting both functions over shared inputs and asking a
+   CDCL solver for a violating input (a proof when UNSAT).
+
+The result statuses mirror how the LPO pipeline consumes Alive2:
+
+* ``proved``     — refinement holds (formal proof);
+* ``validated``  — no violation found, but only testing was applicable
+  (floating point, symbolic memory, undef); reported distinctly so the
+  pipeline can track proof coverage honestly;
+* ``refuted``    — a concrete counterexample exists (its rendering is the
+  LLM feedback);
+* ``error``      — the pair cannot be compared (signature mismatch, ...).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import SolverError
+from repro.ir.function import Function
+from repro.semantics.domain import POISON, Pointer
+from repro.semantics.eval import run_function
+from repro.semantics.memory import Memory
+from repro.verify.circuit import CircuitBuilder
+from repro.verify.encoder import (
+    BUFFER_BYTES,
+    EncodingUnsupported,
+    FunctionEncoder,
+    SharedInputs,
+    SymLane,
+    SymPointer,
+    _lanes,
+)
+from repro.verify.exhaustive import check_exhaustive
+from repro.verify.sat import SatSolver
+from repro.verify.testing import (
+    Counterexample,
+    outcome_refines,
+    run_refinement_tests,
+)
+
+
+@dataclass
+class VerificationResult:
+    """Outcome of one refinement check."""
+
+    status: str                       # proved/validated/refuted/error
+    method: str = ""                  # testing/exhaustive/sat
+    counterexample: Optional[Counterexample] = None
+    message: str = ""
+    elapsed_seconds: float = 0.0
+    solver_conflicts: int = 0
+
+    @property
+    def is_correct(self) -> bool:
+        """Does the pipeline treat this as a verified optimization?"""
+        return self.status in ("proved", "validated")
+
+    @property
+    def is_proof(self) -> bool:
+        return self.status == "proved"
+
+    @property
+    def counter_example(self) -> str:
+        """Alive2-style feedback text (empty unless refuted/error)."""
+        if self.counterexample is not None:
+            return self.counterexample.render()
+        return self.message
+
+
+def _signature_error(source: Function,
+                     target: Function) -> Optional[str]:
+    if source.return_type != target.return_type:
+        return (f"ERROR: return type mismatch: source returns "
+                f"{source.return_type}, target returns "
+                f"{target.return_type}")
+    if len(source.arguments) != len(target.arguments):
+        return (f"ERROR: argument count mismatch: source takes "
+                f"{len(source.arguments)}, target takes "
+                f"{len(target.arguments)}")
+    for index, (a, b) in enumerate(zip(source.arguments,
+                                       target.arguments)):
+        if a.type != b.type:
+            return (f"ERROR: argument {index} type mismatch: "
+                    f"{a.type} vs {b.type}")
+    return None
+
+
+def check_refinement(source: Function, target: Function,
+                     random_tests: int = 200,
+                     exhaustive_bits: int = 16,
+                     sat_budget: int = 4_000_000,
+                     seed: int = 0) -> VerificationResult:
+    """Check that ``target`` refines ``source``.  See module docstring."""
+    start = time.perf_counter()
+
+    def done(result: VerificationResult) -> VerificationResult:
+        result.elapsed_seconds = time.perf_counter() - start
+        return result
+
+    error = _signature_error(source, target)
+    if error is not None:
+        return done(VerificationResult("error", message=error))
+
+    # Tier 1: cheap counterexample search.
+    counterexample = run_refinement_tests(source, target,
+                                          random_count=random_tests,
+                                          seed=seed)
+    if counterexample is not None:
+        return done(VerificationResult("refuted", method="testing",
+                                       counterexample=counterexample))
+
+    # Tier 2: exhaustive proof for small spaces.
+    status, counterexample = check_exhaustive(source, target,
+                                              max_bits=exhaustive_bits)
+    if status == "refuted":
+        return done(VerificationResult("refuted", method="exhaustive",
+                                       counterexample=counterexample))
+    if status == "proved":
+        return done(VerificationResult("proved", method="exhaustive"))
+    exhaustive_validated = status == "validated"
+
+    # Tier 3: SAT proof.
+    try:
+        sat_result = _check_sat(source, target, sat_budget)
+    except EncodingUnsupported as exc:
+        return done(VerificationResult(
+            "validated", method="testing",
+            message=f"SAT tier unavailable ({exc}); "
+                    f"validated by {random_tests} random tests"))
+    except SolverError as exc:
+        return done(VerificationResult(
+            "validated", method="testing",
+            message=f"solver error ({exc}); validated by testing"))
+    if sat_result.status == "proved":
+        return done(VerificationResult("proved", method="sat",
+                                       solver_conflicts=sat_result.conflicts))
+    if sat_result.status == "refuted":
+        return done(sat_result.result)
+    # Budget exhausted.
+    method = "exhaustive" if exhaustive_validated else "testing"
+    return done(VerificationResult(
+        "validated", method=method,
+        message="SAT budget exhausted; validated by testing"))
+
+
+@dataclass
+class _SatOutcome:
+    status: str
+    conflicts: int = 0
+    result: VerificationResult = field(
+        default_factory=lambda: VerificationResult("error"))
+
+
+def _check_sat(source: Function, target: Function,
+               budget: int) -> _SatOutcome:
+    solver = SatSolver(propagation_budget=budget)
+    builder = CircuitBuilder(solver)
+    inputs = SharedInputs(builder, source)
+
+    src_encoder = FunctionEncoder(builder, inputs, is_source=True)
+    src_value, src_ub = src_encoder.encode(source)
+    tgt_encoder = FunctionEncoder(builder, inputs, is_source=False)
+    tgt_value, tgt_ub = tgt_encoder.encode(target)
+
+    src_lanes = _lanes(src_value)
+    tgt_lanes = _lanes(tgt_value)
+    if len(src_lanes) != len(tgt_lanes):
+        raise EncodingUnsupported("return lane count mismatch")
+
+    violations = [tgt_ub]
+    for src_lane, tgt_lane in zip(src_lanes, tgt_lanes):
+        if isinstance(src_lane, SymPointer) or isinstance(tgt_lane,
+                                                          SymPointer):
+            violations.append(
+                _pointer_violation(builder, src_lane, tgt_lane))
+            continue
+        assert isinstance(src_lane, SymLane)
+        assert isinstance(tgt_lane, SymLane)
+        differ = -builder.bv_eq(src_lane.bits, tgt_lane.bits)
+        lane_bad = builder.or_(tgt_lane.poison, differ)
+        violations.append(builder.and_(-src_lane.poison, lane_bad))
+    bad = builder.and_(-src_ub, builder.or_many(violations))
+    if bad == builder.false_lit:
+        return _SatOutcome("proved")
+    builder.assert_bit(bad)
+
+    sat_result = solver.solve()
+    if sat_result.is_unsat:
+        return _SatOutcome("proved", conflicts=sat_result.conflicts)
+    if sat_result.status == "unknown":
+        return _SatOutcome("unknown", conflicts=sat_result.conflicts)
+
+    # SAT: extract a candidate counterexample and confirm it on the
+    # interpreter (guards against encoder discrepancies).
+    assert sat_result.model is not None
+    counterexample = _extract_counterexample(builder, inputs, source,
+                                             sat_result.model)
+    if counterexample is None:
+        return _SatOutcome("unknown", conflicts=sat_result.conflicts)
+    if not confirm_counterexample(source, target, counterexample):
+        # The encoder and interpreter disagree; trust the interpreter and
+        # report no proof rather than a bogus counterexample.
+        return _SatOutcome("unknown", conflicts=sat_result.conflicts)
+    result = VerificationResult("refuted", method="sat",
+                                counterexample=counterexample,
+                                solver_conflicts=sat_result.conflicts)
+    return _SatOutcome("refuted", conflicts=sat_result.conflicts,
+                       result=result)
+
+
+def _pointer_violation(builder, src_lane, tgt_lane):
+    if not (isinstance(src_lane, SymPointer)
+            and isinstance(tgt_lane, SymPointer)):
+        raise EncodingUnsupported("pointer/integer return mismatch")
+    if src_lane.offset is None or tgt_lane.offset is None:
+        raise EncodingUnsupported("symbolic pointer return")
+    same = (src_lane.base == tgt_lane.base
+            and src_lane.offset == tgt_lane.offset)
+    differ = builder.const_bit(not same)
+    lane_bad = builder.or_(tgt_lane.poison, differ)
+    return builder.and_(-src_lane.poison, lane_bad)
+
+
+def _extract_counterexample(builder, inputs, source,
+                            model) -> Optional[Counterexample]:
+    from repro.ir.types import IntType, PointerType, VectorType
+    args = []
+    arg_types = []
+    for sym, (name, type_) in zip(inputs.args, inputs.arg_descriptions):
+        arg_types.append(type_)
+        if isinstance(type_, VectorType):
+            lanes = []
+            for lane in sym:
+                assert isinstance(lane, SymLane)
+                lanes.append(builder.bv_value(lane.bits, model))
+            args.append(lanes)
+        elif isinstance(type_, IntType):
+            assert isinstance(sym, SymLane)
+            args.append(builder.bv_value(sym.bits, model))
+        elif isinstance(type_, PointerType):
+            assert isinstance(sym, SymPointer)
+            args.append(Pointer(sym.base))
+        else:
+            return None
+    memory = Memory(BUFFER_BYTES)
+    memory_bytes = {}
+    for base, byte_vecs in inputs.buffers.items():
+        data = bytes(builder.bv_value(vec, model) for vec in byte_vecs)
+        memory.add_buffer(base, data)
+        memory_bytes[base] = list(data)
+
+    # Confirm on the interpreter.
+    source_outcome = run_function(source, list(args),
+                                  memory=memory.clone())
+    return_type = source.return_type
+    counterexample = Counterexample(
+        args=args, arg_types=arg_types, memory_bytes=memory_bytes,
+        source_outcome=source_outcome)
+    return counterexample
+
+
+def confirm_counterexample(source: Function, target: Function,
+                           counterexample: Counterexample) -> bool:
+    """Re-run a counterexample through the interpreter; True if the
+    violation is real."""
+    memory = Memory(BUFFER_BYTES)
+    for base, data in counterexample.memory_bytes.items():
+        memory.add_buffer(base, bytes(b for b in data
+                                      if isinstance(b, int)))
+    src_outcome = run_function(source, list(counterexample.args),
+                               memory=memory.clone())
+    tgt_outcome = run_function(target, list(counterexample.args),
+                               memory=memory.clone())
+    ok, _ = outcome_refines(src_outcome, tgt_outcome)
+    counterexample.source_outcome = src_outcome
+    counterexample.target_outcome = tgt_outcome
+    return not ok

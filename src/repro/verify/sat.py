@@ -1,0 +1,328 @@
+"""A CDCL SAT solver (the decision engine under the bit-blasting tier).
+
+Implements the standard modern recipe in pure Python:
+
+* two-watched-literal clause propagation,
+* first-UIP conflict analysis with clause learning,
+* VSIDS-style activity decay for branching,
+* Luby restarts and learned-clause deletion,
+* a propagation budget so refinement queries degrade gracefully to the
+  testing tier instead of hanging.
+
+Literal encoding: variable ``v`` (1-based int) has literals ``+v``/``-v``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.errors import SolverError
+
+
+@dataclass
+class SatResult:
+    """Outcome of a solve call."""
+
+    status: str                       # "sat", "unsat" or "unknown"
+    model: Optional[Dict[int, bool]] = None
+    conflicts: int = 0
+    decisions: int = 0
+    propagations: int = 0
+
+    @property
+    def is_sat(self) -> bool:
+        return self.status == "sat"
+
+    @property
+    def is_unsat(self) -> bool:
+        return self.status == "unsat"
+
+
+class _Clause:
+    __slots__ = ("literals", "learned", "activity")
+
+    def __init__(self, literals: List[int], learned: bool = False):
+        self.literals = literals
+        self.learned = learned
+        self.activity = 0.0
+
+
+class SatSolver:
+    """CDCL solver instance.  Add clauses, then call :meth:`solve`."""
+
+    def __init__(self, propagation_budget: int = 20_000_000):
+        self.clauses: List[_Clause] = []
+        self.watches: Dict[int, List[_Clause]] = {}
+        self.assignment: Dict[int, bool] = {}
+        self.level: Dict[int, int] = {}
+        self.reason: Dict[int, Optional[_Clause]] = {}
+        self.trail: List[int] = []
+        self.trail_lim: List[int] = []
+        self.activity: Dict[int, float] = {}
+        self.var_inc = 1.0
+        self.var_decay = 0.95
+        self.num_vars = 0
+        self.propagation_budget = propagation_budget
+        self.propagations = 0
+        self.conflicts = 0
+        self.decisions = 0
+        self._ok = True
+
+    # -- problem construction ---------------------------------------------
+    def new_var(self) -> int:
+        self.num_vars += 1
+        self.activity[self.num_vars] = 0.0
+        return self.num_vars
+
+    def add_clause(self, literals: Iterable[int]) -> None:
+        """Add a clause; duplicates and tautologies are cleaned here."""
+        seen = set()
+        cleaned: List[int] = []
+        for lit in literals:
+            if lit == 0 or abs(lit) > self.num_vars:
+                raise SolverError(f"invalid literal {lit}")
+            if -lit in seen:
+                return  # tautology
+            if lit not in seen:
+                seen.add(lit)
+                cleaned.append(lit)
+        if not cleaned:
+            self._ok = False
+            return
+        if len(cleaned) == 1:
+            if not self._enqueue(cleaned[0], None):
+                self._ok = False
+            return
+        clause = _Clause(cleaned)
+        self.clauses.append(clause)
+        self._watch(clause, cleaned[0])
+        self._watch(clause, cleaned[1])
+
+    # -- internal machinery -------------------------------------------------
+    def _watch(self, clause: _Clause, literal: int) -> None:
+        self.watches.setdefault(-literal, []).append(clause)
+
+    def _value(self, literal: int) -> Optional[bool]:
+        var = abs(literal)
+        if var not in self.assignment:
+            return None
+        value = self.assignment[var]
+        return value if literal > 0 else not value
+
+    def _enqueue(self, literal: int, reason: Optional[_Clause]) -> bool:
+        current = self._value(literal)
+        if current is not None:
+            return current
+        var = abs(literal)
+        self.assignment[var] = literal > 0
+        self.level[var] = len(self.trail_lim)
+        self.reason[var] = reason
+        self.trail.append(literal)
+        return True
+
+    def _propagate(self) -> Optional[_Clause]:
+        """Unit propagation; returns a conflicting clause or None."""
+        head = getattr(self, "_qhead", 0)
+        while head < len(self.trail):
+            literal = self.trail[head]
+            head += 1
+            self.propagations += 1
+            watchers = self.watches.get(literal)
+            if not watchers:
+                continue
+            keep: List[_Clause] = []
+            index = 0
+            while index < len(watchers):
+                clause = watchers[index]
+                index += 1
+                lits = clause.literals
+                # Normalize: the false literal should be at position 1.
+                if lits[0] == -literal:
+                    lits[0], lits[1] = lits[1], lits[0]
+                first = lits[0]
+                if self._value(first) is True:
+                    keep.append(clause)
+                    continue
+                # Find a new literal to watch.
+                found = False
+                for k in range(2, len(lits)):
+                    if self._value(lits[k]) is not False:
+                        lits[1], lits[k] = lits[k], lits[1]
+                        self._watch(clause, lits[1])
+                        found = True
+                        break
+                if found:
+                    continue
+                keep.append(clause)
+                if self._value(first) is False:
+                    # Conflict: restore remaining watchers and bail out.
+                    keep.extend(watchers[index:])
+                    self.watches[literal] = keep
+                    self._qhead = len(self.trail)
+                    return clause
+                self._enqueue(first, clause)
+            self.watches[literal] = keep
+        self._qhead = head
+        return None
+
+    def _bump_var(self, var: int) -> None:
+        self.activity[var] = self.activity.get(var, 0.0) + self.var_inc
+        if self.activity[var] > 1e100:
+            for key in self.activity:
+                self.activity[key] *= 1e-100
+            self.var_inc *= 1e-100
+
+    def _decay_activities(self) -> None:
+        self.var_inc /= self.var_decay
+
+    def _analyze(self, conflict: _Clause) -> Tuple[List[int], int]:
+        """First-UIP conflict analysis; returns (learned clause,
+        backjump level)."""
+        learned: List[int] = []
+        seen = set()
+        path_count = 0
+        pivot: Optional[int] = None
+        clause: Optional[_Clause] = conflict
+        index = len(self.trail) - 1
+        current_level = len(self.trail_lim)
+        while True:
+            assert clause is not None
+            for lit in clause.literals:
+                var = abs(lit)
+                if pivot is not None and var == abs(pivot):
+                    continue
+                if var in seen or self.level.get(var, 0) == 0:
+                    continue
+                seen.add(var)
+                self._bump_var(var)
+                if self.level[var] >= current_level:
+                    path_count += 1
+                else:
+                    learned.append(lit)
+            while index >= 0 and abs(self.trail[index]) not in seen:
+                index -= 1
+            if index < 0:
+                break
+            pivot = self.trail[index]
+            index -= 1
+            seen.discard(abs(pivot))
+            path_count -= 1
+            if path_count <= 0:
+                break
+            clause = self.reason.get(abs(pivot))
+        assert pivot is not None
+        learned.insert(0, -pivot)
+        if len(learned) == 1:
+            return learned, 0
+        # Backjump to the second-highest level in the clause.
+        levels = sorted((self.level[abs(lit)] for lit in learned[1:]),
+                        reverse=True)
+        return learned, levels[0]
+
+    def _backtrack(self, target_level: int) -> None:
+        while len(self.trail_lim) > target_level:
+            limit = self.trail_lim.pop()
+            while len(self.trail) > limit:
+                literal = self.trail.pop()
+                var = abs(literal)
+                del self.assignment[var]
+                del self.level[var]
+                self.reason.pop(var, None)
+        self._qhead = min(getattr(self, "_qhead", 0), len(self.trail))
+
+    def _pick_branch_variable(self) -> Optional[int]:
+        best_var = None
+        best_activity = -1.0
+        for var in range(1, self.num_vars + 1):
+            if var not in self.assignment:
+                act = self.activity.get(var, 0.0)
+                if act > best_activity:
+                    best_activity = act
+                    best_var = var
+        return best_var
+
+    @staticmethod
+    def _luby(i: int) -> int:
+        """The Luby restart sequence (1,1,2,1,1,2,4,...); 0-based index."""
+        i += 1  # classic formulation is 1-based
+        while True:
+            k = i.bit_length()
+            if i == (1 << k) - 1:
+                return 1 << (k - 1)
+            i -= (1 << (k - 1)) - 1
+
+    # -- main solve loop ---------------------------------------------------
+    def solve(self, assumptions: Sequence[int] = ()) -> SatResult:
+        if not self._ok:
+            return SatResult("unsat")
+        self._qhead = 0
+        conflict = self._propagate()
+        if conflict is not None:
+            return SatResult("unsat")
+        root_trail = len(self.trail)
+
+        restart_count = 0
+        conflicts_until_restart = 64 * self._luby(restart_count)
+        conflicts_since_restart = 0
+
+        # Apply assumptions as pseudo-decisions at level >= 1.
+        for literal in assumptions:
+            self.trail_lim.append(len(self.trail))
+            if not self._enqueue(literal, None):
+                self._backtrack(0)
+                del self.trail[root_trail:]
+                return SatResult("unsat")
+            conflict = self._propagate()
+            if conflict is not None:
+                self._backtrack(0)
+                return SatResult("unsat")
+        assumption_level = len(self.trail_lim)
+
+        while True:
+            if self.propagations > self.propagation_budget:
+                self._backtrack(0)
+                return SatResult("unknown", conflicts=self.conflicts,
+                                 decisions=self.decisions,
+                                 propagations=self.propagations)
+            conflict = self._propagate()
+            if conflict is not None:
+                self.conflicts += 1
+                conflicts_since_restart += 1
+                if len(self.trail_lim) <= assumption_level:
+                    self._backtrack(0)
+                    return SatResult("unsat", conflicts=self.conflicts,
+                                     decisions=self.decisions,
+                                     propagations=self.propagations)
+                learned, backjump = self._analyze(conflict)
+                backjump = max(backjump, assumption_level)
+                self._backtrack(backjump)
+                if len(learned) == 1:
+                    if not self._enqueue(learned[0], None):
+                        self._backtrack(0)
+                        return SatResult("unsat", conflicts=self.conflicts)
+                else:
+                    clause = _Clause(list(learned), learned=True)
+                    self.clauses.append(clause)
+                    self._watch(clause, learned[0])
+                    self._watch(clause, learned[1])
+                    self._enqueue(learned[0], clause)
+                self._decay_activities()
+                if conflicts_since_restart >= conflicts_until_restart:
+                    restart_count += 1
+                    conflicts_since_restart = 0
+                    conflicts_until_restart = 64 * self._luby(restart_count)
+                    self._backtrack(assumption_level)
+                continue
+            variable = self._pick_branch_variable()
+            if variable is None:
+                model = dict(self.assignment)
+                self._backtrack(0)
+                return SatResult("sat", model=model,
+                                 conflicts=self.conflicts,
+                                 decisions=self.decisions,
+                                 propagations=self.propagations)
+            self.decisions += 1
+            self.trail_lim.append(len(self.trail))
+            # Phase saving would go here; default to False first.
+            self._enqueue(-variable, None)

@@ -1,0 +1,288 @@
+"""Randomized + structured refinement testing (counterexample search).
+
+This is the cheap tier: it cannot prove refinement, but it finds most
+violations quickly and is the fallback for constructs the SAT tier does
+not encode (floating point, symbolic addresses, undef).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.ir.function import Function
+from repro.ir.types import (
+    FloatType,
+    IntType,
+    PointerType,
+    Type,
+    VectorType,
+)
+from repro.semantics.domain import (
+    POISON,
+    Pointer,
+    RuntimeValue,
+    format_runtime_value,
+    values_equal,
+)
+from repro.semantics.eval import Outcome, run_function
+from repro.semantics.memory import DEFAULT_BUFFER_SIZE, Memory
+
+_INTERESTING_BYTES = (0x00, 0x01, 0x7F, 0x80, 0xFF, 0x55, 0xAA)
+
+
+@dataclass
+class Counterexample:
+    """A concrete input on which the target fails to refine the source."""
+
+    args: List[RuntimeValue]
+    arg_types: List[Type]
+    memory_bytes: dict = field(default_factory=dict)
+    source_outcome: Optional[Outcome] = None
+    target_outcome: Optional[Outcome] = None
+    kind: str = "value mismatch"
+
+    def render(self, return_type: Optional[Type] = None) -> str:
+        """Render the way Alive2 prints counterexamples — this text goes
+        straight back to the LLM as repair feedback."""
+        lines = ["Transformation doesn't verify!",
+                 f"ERROR: {self.kind}", "", "Example:"]
+        for index, (value, type_) in enumerate(
+                zip(self.args, self.arg_types)):
+            rendered = format_runtime_value(value, type_)
+            lines.append(f"{type_} %{index} = {rendered}")
+        for base, data in sorted(self.memory_bytes.items()):
+            preview = " ".join(f"{b:02x}" if isinstance(b, int) else "??"
+                               for b in data[:16])
+            lines.append(f"memory[{base}] = {preview} ...")
+        if self.source_outcome is not None:
+            lines.append("Source value: "
+                         + _outcome_str(self.source_outcome, return_type))
+        if self.target_outcome is not None:
+            lines.append("Target value: "
+                         + _outcome_str(self.target_outcome, return_type))
+        return "\n".join(lines)
+
+
+def _outcome_str(outcome: Outcome, return_type: Optional[Type]) -> str:
+    if outcome.is_ub:
+        return f"UB ({outcome.ub_reason})"
+    if outcome.value is None:
+        return "void"
+    if return_type is not None:
+        return format_runtime_value(outcome.value, return_type)
+    return repr(outcome.value)
+
+
+def outcome_refines(source: Outcome, target: Outcome) -> Tuple[bool, str]:
+    """Does ``target`` refine ``source`` for one concrete input?
+
+    Returns (ok, reason-if-not).
+    """
+    if source.is_ub:
+        return True, ""
+    if target.is_ub:
+        return False, "target has UB where source is defined"
+    src_value, tgt_value = source.value, target.value
+    if (src_value is None) != (tgt_value is None):
+        return False, "return value presence mismatch"
+    if src_value is not None:
+        src_lanes = src_value if isinstance(src_value, list) else [src_value]
+        tgt_lanes = tgt_value if isinstance(tgt_value, list) else [tgt_value]
+        if len(src_lanes) != len(tgt_lanes):
+            return False, "return lane count mismatch"
+        for src_lane, tgt_lane in zip(src_lanes, tgt_lanes):
+            if src_lane is POISON:
+                continue  # poison in source frees the target lane
+            if tgt_lane is POISON:
+                return False, "target returns poison where source is defined"
+            if not values_equal(src_lane, tgt_lane):
+                return False, "value mismatch"
+    # Memory refinement: defined bytes written by the source must match.
+    if source.memory is not None and target.memory is not None:
+        if not source.memory.equal_defined_bytes(target.memory):
+            return False, "memory contents mismatch"
+    return True, ""
+
+
+class InputGenerator:
+    """Generates structured and random inputs for a function signature."""
+
+    def __init__(self, function: Function, seed: int = 0,
+                 buffer_size: int = DEFAULT_BUFFER_SIZE):
+        self.function = function
+        self.rng = random.Random(seed)
+        self.buffer_size = buffer_size
+
+    # -- scalar pools ----------------------------------------------------
+    def _int_pool(self, width: int) -> List[int]:
+        mask = (1 << width) - 1
+        pool = {0, 1, 2, mask, mask - 1,
+                1 << (width - 1),            # INT_MIN pattern
+                (1 << (width - 1)) - 1,      # INT_MAX pattern
+                0x55555555 & mask, 0xAAAAAAAA & mask}
+        if width > 8:
+            pool |= {0xFF, 0x100 & mask, 255, 256 & mask}
+        return sorted(pool)
+
+    def _float_pool(self) -> List[float]:
+        return [0.0, -0.0, 1.0, -1.0, 0.5, 2.0, 255.0,
+                float("inf"), float("-inf"), float("nan"),
+                1e300, -1e300, 1e-300]
+
+    def _random_lane(self, scalar: Type) -> object:
+        if isinstance(scalar, IntType):
+            if self.rng.random() < 0.5:
+                return self.rng.choice(self._int_pool(scalar.bits))
+            return self.rng.getrandbits(scalar.bits)
+        if isinstance(scalar, FloatType):
+            if self.rng.random() < 0.5:
+                return self.rng.choice(self._float_pool())
+            return self.rng.uniform(-1e6, 1e6)
+        raise AssertionError(f"unexpected scalar {scalar}")
+
+    def _random_value(self, type_: Type, arg_index: int) -> RuntimeValue:
+        if isinstance(type_, VectorType):
+            return [self._random_lane(type_.element)
+                    for _ in range(type_.count)]
+        if isinstance(type_, PointerType):
+            return Pointer(f"arg{arg_index}")
+        return self._random_lane(type_)
+
+    def _random_memory(self) -> Memory:
+        memory = Memory(self.buffer_size)
+        for index, argument in enumerate(self.function.arguments):
+            if isinstance(argument.type, PointerType):
+                style = self.rng.random()
+                if style < 0.3:
+                    data = bytes(self.rng.choice(_INTERESTING_BYTES)
+                                 for _ in range(self.buffer_size))
+                else:
+                    data = bytes(self.rng.getrandbits(8)
+                                 for _ in range(self.buffer_size))
+                memory.add_buffer(f"arg{index}", data)
+        return memory
+
+    def structured_inputs(self) -> Iterator[Tuple[List[RuntimeValue],
+                                                  Memory]]:
+        """A deterministic sweep over boundary values (first argument
+        varies through the pool, others pinned to a few combinations)."""
+        arg_types = [a.type for a in self.function.arguments]
+        combos: List[List[RuntimeValue]] = [[]]
+        for index, type_ in enumerate(arg_types):
+            new_combos: List[List[RuntimeValue]] = []
+            options = self._options_for(type_, index)
+            # Cap the cross product: full pool for the first two args,
+            # representative values afterwards.
+            if index >= 2:
+                options = options[:3]
+            for combo in combos:
+                for option in options:
+                    new_combos.append(combo + [option])
+            combos = new_combos
+            if len(combos) > 512:
+                combos = combos[:512]
+        for combo in combos:
+            yield combo, self._structured_memory()
+
+    def _options_for(self, type_: Type, index: int) -> List[RuntimeValue]:
+        if isinstance(type_, IntType):
+            return list(self._int_pool(type_.bits))
+        if isinstance(type_, FloatType):
+            return list(self._float_pool())
+        if isinstance(type_, PointerType):
+            return [Pointer(f"arg{index}")]
+        if isinstance(type_, VectorType):
+            scalar_options = self._options_for(type_.element, index)
+            splats: List[RuntimeValue] = [
+                [option] * type_.count for option in scalar_options[:6]]
+            if len(scalar_options) >= type_.count:
+                splats.append(list(scalar_options[: type_.count]))
+            return splats
+        return []
+
+    def _structured_memory(self) -> Memory:
+        memory = Memory(self.buffer_size)
+        for index, argument in enumerate(self.function.arguments):
+            if isinstance(argument.type, PointerType):
+                pattern = bytes((i * 37 + 11) & 0xFF
+                                for i in range(self.buffer_size))
+                memory.add_buffer(f"arg{index}", pattern)
+        return memory
+
+    def random_inputs(self, count: int) -> Iterator[Tuple[List[RuntimeValue],
+                                                          Memory]]:
+        arg_types = [a.type for a in self.function.arguments]
+        for _ in range(count):
+            args = [self._random_value(type_, index)
+                    for index, type_ in enumerate(arg_types)]
+            yield args, self._random_memory()
+
+
+def _undef_chooser_from_rng(rng: random.Random):
+    from repro.semantics.domain import default_lane
+
+    def chooser(type_: Type) -> RuntimeValue:
+        if isinstance(type_, VectorType):
+            scalar = type_.element
+            return [_random_scalar(rng, scalar) for _ in range(type_.count)]
+        return _random_scalar(rng, type_)
+
+    return chooser
+
+
+def _random_scalar(rng: random.Random, scalar: Type):
+    if isinstance(scalar, IntType):
+        return rng.getrandbits(scalar.bits)
+    if isinstance(scalar, FloatType):
+        return rng.uniform(-100.0, 100.0)
+    if isinstance(scalar, PointerType):
+        return Pointer("null")
+    return 0
+
+
+def run_refinement_tests(source: Function, target: Function,
+                         random_count: int = 200,
+                         seed: int = 0) -> Optional[Counterexample]:
+    """Search for a refinement counterexample by testing.
+
+    Returns the first counterexample found, or None if every tested input
+    refines.  Target-side nondeterminism (freeze/undef) is sampled with a
+    handful of choosers per input.
+    """
+    generator = InputGenerator(source, seed=seed)
+    rng = random.Random(seed ^ 0x5EED)
+    arg_types = [a.type for a in source.arguments]
+
+    def check_one(args: List[RuntimeValue],
+                  memory: Memory) -> Optional[Counterexample]:
+        src_outcome = run_function(source, list(args),
+                                   memory=memory.clone())
+        for trial in range(3):
+            chooser = _undef_chooser_from_rng(
+                random.Random(rng.getrandbits(32)))
+            tgt_outcome = run_function(target, list(args),
+                                       memory=memory.clone(),
+                                       undef_chooser=chooser)
+            ok, reason = outcome_refines(src_outcome, tgt_outcome)
+            if not ok:
+                return Counterexample(
+                    args=list(args),
+                    arg_types=arg_types,
+                    memory_bytes={base: list(data) for base, data
+                                  in memory.buffers.items()},
+                    source_outcome=src_outcome,
+                    target_outcome=tgt_outcome,
+                    kind=reason)
+        return None
+
+    for args, memory in generator.structured_inputs():
+        result = check_one(args, memory)
+        if result is not None:
+            return result
+    for args, memory in generator.random_inputs(random_count):
+        result = check_one(args, memory)
+        if result is not None:
+            return result
+    return None

@@ -1,0 +1,170 @@
+"""Tests for the Souper- and Minotaur-style baselines."""
+
+import pytest
+
+from repro.baselines import Minotaur, Souper
+from repro.corpus.issues import rq1_by_id
+from repro.ir import parse_function
+
+
+def fn(src):
+    return parse_function(src)
+
+
+class TestSouperScope:
+    def test_intrinsics_unsupported(self):
+        result = Souper().optimize(fn(
+            "define i8 @f(i8 %x) {\n"
+            "  %r = call i8 @llvm.umin.i8(i8 %x, i8 3)\n  ret i8 %r\n}"))
+        assert result.status == "unsupported"
+        assert "intrinsic" in result.reason
+
+    def test_memory_unsupported(self):
+        result = Souper().optimize(fn(
+            "define i8 @f(ptr %p) {\n"
+            "  %r = load i8, ptr %p, align 1\n  ret i8 %r\n}"))
+        assert result.status == "unsupported"
+
+    def test_fp_unsupported(self):
+        result = Souper().optimize(fn(
+            "define double @f(double %x) {\n"
+            "  %r = fadd double %x, 1.000000e+00\n  ret double %r\n}"))
+        assert result.status == "unsupported"
+
+    def test_vector_unsupported(self):
+        result = Souper().optimize(fn(
+            "define <2 x i8> @f(<2 x i8> %v) {\n"
+            "  %r = add <2 x i8> %v, %v\n  ret <2 x i8> %r\n}"))
+        assert result.status == "unsupported"
+
+    def test_paper_clamp_unsupported(self):
+        # §3.1: "Souper cannot detect this missed optimization because it
+        # does not support the LLVM intrinsic group llvm.umin.*".
+        case = rq1_by_id()[104875]
+        result = Souper(enum=3).optimize(case.src_function())
+        assert result.status == "unsupported"
+
+
+class TestSouperDefault:
+    def test_replace_with_existing_argument(self):
+        result = Souper(enum=0).optimize(fn(
+            "define i8 @f(i8 %x, i8 %y) {\n"
+            "  %a = xor i8 %x, %y\n  %r = xor i8 %a, %y\n  ret i8 %r\n}"))
+        assert result.detected
+        assert result.candidate.instruction_count() == 0
+
+    def test_replace_with_constant(self):
+        result = Souper(enum=0).optimize(fn(
+            "define i8 @f(i8 %x) {\n  %d = add i8 %x, %x\n"
+            "  %r = and i8 %d, 1\n  ret i8 %r\n}"))
+        assert result.detected
+
+    def test_replace_with_intermediate_slice(self):
+        case = rq1_by_id()[126056]   # and(lshr x 7, 1) -> the lshr
+        result = Souper(enum=0).optimize(case.src_function())
+        assert result.detected
+        assert result.candidate.instruction_count() == 1
+
+    def test_default_cannot_synthesize(self):
+        case = rq1_by_id()[107228]   # needs a new `sub` instruction
+        result = Souper(enum=0).optimize(case.src_function())
+        assert not result.detected
+
+
+class TestSouperEnum:
+    def test_synthesizes_negation(self):
+        case = rq1_by_id()[107228]   # ~x + 1 -> a single negation
+        result = Souper(enum=1).optimize(case.src_function())
+        assert result.detected
+        # One instruction suffices (sub 0,x or the equivalent mul x,-1).
+        assert result.candidate.instruction_count() == 1
+
+    def test_synthesizes_range_check(self):
+        case = rq1_by_id()[115466]
+        result = Souper(enum=2).optimize(case.src_function())
+        assert result.detected
+
+    def test_cegis_breaks_signature_aliases(self):
+        # select(ugt x 5, 1, 0) -> zext(ugt x 5): requires the CEGIS
+        # loop to distinguish x>5 from neighbouring thresholds.
+        case = rq1_by_id()[141930]
+        result = Souper(enum=2, timeout_seconds=30).optimize(
+            case.src_function())
+        assert result.detected
+
+    def test_found_candidates_are_verified(self):
+        case = rq1_by_id()[131824]
+        result = Souper(enum=1).optimize(case.src_function())
+        assert result.detected
+        from repro.verify import check_refinement
+        verdict = check_refinement(case.src_function(), result.candidate)
+        assert verdict.is_correct
+
+    def test_timeout_reported(self):
+        big = fn("""
+define i64 @f(i64 %x, i64 %y) {
+  %a = mul i64 %x, %y
+  %b = xor i64 %a, %x
+  %c = add i64 %b, %y
+  %d = mul i64 %c, %a
+  %r = xor i64 %d, %c
+  ret i64 %r
+}
+""")
+        result = Souper(enum=3, timeout_seconds=0.3).optimize(big)
+        assert result.status in ("timeout", "not-found")
+
+
+class TestMinotaur:
+    def test_detects_demorgan(self):
+        case = rq1_by_id()[108451]
+        assert Minotaur().optimize(case.src_function()).detected
+
+    def test_detects_add_and_or(self):
+        case = rq1_by_id()[135411]
+        assert Minotaur().optimize(case.src_function()).detected
+
+    def test_detects_lshr_mask(self):
+        case = rq1_by_id()[126056]
+        assert Minotaur().optimize(case.src_function()).detected
+
+    def test_misses_negation_idiom(self):
+        case = rq1_by_id()[107228]
+        assert not Minotaur().optimize(case.src_function()).detected
+
+    def test_crashes_on_fp_select(self):
+        from repro.corpus.issues_rq2 import rq2_by_id
+        case = rq2_by_id()[133367]   # fcmp ord + select (case study 3)
+        result = Minotaur().optimize(case.src_function())
+        assert result.status == "crash"
+
+    def test_rq1_detection_count_matches_paper(self):
+        found = [case_id for case_id, case in rq1_by_id().items()
+                 if Minotaur().optimize(case.src_function()).detected]
+        assert sorted(found) == [108451, 126056, 135411]  # exactly 3
+
+    def test_sketch_results_verified(self):
+        case = rq1_by_id()[108451]
+        result = Minotaur().optimize(case.src_function())
+        from repro.verify import check_refinement
+        assert check_refinement(case.src_function(),
+                                result.candidate).is_correct
+
+
+class TestSynthesisMachinery:
+    def test_expr_costs(self):
+        from repro.baselines.synthesis import expr_cost, expr_size
+        expr = ("bin", "add", ("arg", 0), ("const", 1))
+        assert expr_size(expr) == 1
+        assert expr_cost(expr) == 1.0
+        select = ("select", ("bool_const", 1), ("arg", 0), ("const", 0))
+        assert expr_cost(select) == pytest.approx(1.4)
+
+    def test_expr_to_function_round_trip(self):
+        from repro.baselines.synthesis import expr_to_function
+        sig = fn("define i8 @f(i8 %x, i8 %y) {\n  ret i8 %x\n}")
+        expr = ("bin", "xor", ("arg", 0), ("arg", 1))
+        lowered = expr_to_function(expr, sig, width=8)
+        assert lowered.instruction_count() == 1
+        from repro.semantics import run_function
+        assert run_function(lowered, [3, 5]).value == 6

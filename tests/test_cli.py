@@ -1,0 +1,124 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+CLAMP_SRC = """
+define i8 @src(i32 %0) {
+  %2 = icmp slt i32 %0, 0
+  %3 = tail call i32 @llvm.umin.i32(i32 %0, i32 255)
+  %4 = trunc nuw i32 %3 to i8
+  %5 = select i1 %2, i8 0, i8 %4
+  ret i8 %5
+}
+"""
+CLAMP_TGT = """
+define i8 @tgt(i32 %0) {
+  %2 = tail call i32 @llvm.smax.i32(i32 %0, i32 0)
+  %3 = tail call i32 @llvm.umin.i32(i32 %2, i32 255)
+  %4 = trunc nuw i32 %3 to i8
+  ret i8 %4
+}
+"""
+
+
+@pytest.fixture()
+def clamp_files(tmp_path):
+    src = tmp_path / "src.ll"
+    src.write_text(CLAMP_SRC)
+    tgt = tmp_path / "tgt.ll"
+    tgt.write_text(CLAMP_TGT)
+    return str(src), str(tgt)
+
+
+class TestOptCommand:
+    def test_optimizes(self, tmp_path, capsys):
+        path = tmp_path / "f.ll"
+        path.write_text("define i8 @f(i8 %x) {\n  %a = add i8 %x, 0\n"
+                        "  ret i8 %a\n}")
+        assert main(["opt", str(path)]) == 0
+        assert "ret i8 %x" in capsys.readouterr().out
+
+    def test_syntax_error_exit_code(self, tmp_path, capsys):
+        path = tmp_path / "bad.ll"
+        path.write_text("define i8 @f(i8 %x) {\n  %a = smax i8 %x, 0\n"
+                        "  ret i8 %a\n}")
+        assert main(["opt", str(path)]) == 1
+        assert "expected instruction opcode" in capsys.readouterr().err
+
+    def test_patches_flag(self, tmp_path, capsys):
+        path = tmp_path / "f.ll"
+        path.write_text("define i32 @f(i32 %x) {\n"
+                        "  %s = lshr i32 %x, 31\n"
+                        "  %r = and i32 %s, 1\n  ret i32 %r\n}")
+        assert main(["opt", str(path), "--patches", "163108"]) == 0
+        out = capsys.readouterr().out
+        assert "and" not in out
+
+    def test_missing_file(self, capsys):
+        assert main(["opt", "/nonexistent.ll"]) == 2
+
+
+class TestVerifyCommand:
+    def test_correct_pair(self, clamp_files, capsys):
+        src, tgt = clamp_files
+        assert main(["verify", src, tgt]) == 0
+        assert "proved" in capsys.readouterr().out
+
+    def test_incorrect_pair(self, clamp_files, tmp_path, capsys):
+        src, _ = clamp_files
+        bad = tmp_path / "bad.ll"
+        bad.write_text(CLAMP_TGT.replace("smax", "smin"))
+        assert main(["verify", src, str(bad)]) == 1
+        assert "refuted" in capsys.readouterr().out
+
+
+class TestOtherCommands:
+    def test_mca(self, clamp_files, capsys):
+        src, _ = clamp_files
+        assert main(["mca", src]) == 0
+        assert "Total Cycles" in capsys.readouterr().out
+
+    def test_extract(self, clamp_files, capsys):
+        src, _ = clamp_files
+        assert main(["extract", src]) == 0
+        captured = capsys.readouterr()
+        assert "define" in captured.out
+
+    def test_pipeline_finds_clamp(self, clamp_files, capsys):
+        src, _ = clamp_files
+        code = main(["pipeline", src, "--model", "Gemini2.0T",
+                     "--rounds", "10"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "llvm.smax" in captured.out
+
+    def test_pipeline_unknown_model(self, clamp_files, capsys):
+        src, _ = clamp_files
+        assert main(["pipeline", src, "--model", "GPT-9"]) == 2
+
+    def test_souper_unsupported_on_clamp(self, clamp_files, capsys):
+        src, _ = clamp_files
+        assert main(["souper", src]) == 1
+        assert "unsupported" in capsys.readouterr().out
+
+    def test_minotaur(self, tmp_path, capsys):
+        path = tmp_path / "dm.ll"
+        path.write_text("""
+define i8 @f(i8 %a, i8 %b) {
+  %na = xor i8 %a, -1
+  %nb = xor i8 %b, -1
+  %r = and i8 %na, %nb
+  ret i8 %r
+}
+""")
+        assert main(["minotaur", str(path)]) == 0
+        assert "found" in capsys.readouterr().out
+
+    def test_tables_table1(self, capsys):
+        assert main(["tables", "table1"]) == 0
+        assert "Gemini2.0T" in capsys.readouterr().out
+
+    def test_tables_unknown(self, capsys):
+        assert main(["tables", "table99"]) == 2

@@ -1,0 +1,171 @@
+"""Tests for Algorithm 2: extraction, wrapping, dedup."""
+
+import pytest
+
+from repro.core import (
+    extract_from_corpus,
+    extract_from_module,
+    extract_sequences_from_block,
+    window_digest,
+    wrap_as_function,
+)
+from repro.core.extractor import ExtractionStats
+from repro.ir import parse_function, parse_module, print_function
+
+MODULE = """
+define i8 @two_chains(i8 %x, i8 %y) {
+  %a = call i8 @llvm.umax.i8(i8 %x, i8 1)
+  %b = shl nuw i8 %a, 1
+  %c = call i8 @llvm.umax.i8(i8 %b, i8 16)
+  ret i8 %c
+}
+"""
+
+
+class TestSequenceExtraction:
+    def test_single_dependent_chain(self):
+        fn = parse_function(MODULE)
+        sequences = extract_sequences_from_block(fn.entry)
+        assert len(sequences) == 1
+        assert [i.opcode for i in sequences[0]] == ["call", "shl", "call"]
+
+    def test_independent_chains_split(self):
+        fn = parse_function("""
+define i8 @f(i8 %x, i8 %y) {
+  %a = add i8 %x, 1
+  %b = mul i8 %y, 3
+  %c = add i8 %a, 2
+  ret i8 %c
+}
+""")
+        sequences = extract_sequences_from_block(fn.entry)
+        assert len(sequences) == 2
+        sizes = sorted(len(s) for s in sequences)
+        assert sizes == [1, 2]
+
+    def test_terminators_and_stores_skipped(self):
+        fn = parse_function("""
+define void @f(ptr %p, i8 %x) {
+  %a = add i8 %x, 1
+  store i8 %a, ptr %p, align 1
+  ret void
+}
+""")
+        sequences = extract_sequences_from_block(fn.entry)
+        assert all(all(i.opcode not in ("store", "ret") for i in seq)
+                   for seq in sequences)
+
+    def test_reverse_order_grows_sequences(self):
+        # The paper's algorithm prepends producers while walking backwards.
+        fn = parse_function("""
+define i8 @f(i8 %x) {
+  %a = add i8 %x, 1
+  %b = mul i8 %a, 2
+  %c = xor i8 %b, 5
+  ret i8 %c
+}
+""")
+        sequences = extract_sequences_from_block(fn.entry)
+        assert len(sequences) == 1
+        assert [i.name for i in sequences[0]] == ["a", "b", "c"]
+
+
+class TestWrapAsFunc:
+    def test_wrapping_creates_arguments(self):
+        fn = parse_function(MODULE)
+        sequences = extract_sequences_from_block(fn.entry)
+        wrapped = wrap_as_function(sequences[0])
+        assert wrapped is not None
+        assert len(wrapped.arguments) == 1         # only %x is external
+        assert wrapped.return_type == fn.return_type
+        text = print_function(wrapped)
+        assert "umax" in text and "ret i8" in text
+
+    def test_wrapped_function_is_parseable(self):
+        fn = parse_function(MODULE)
+        wrapped = wrap_as_function(
+            extract_sequences_from_block(fn.entry)[0])
+        reparsed = parse_function(print_function(wrapped))
+        assert reparsed.instruction_count() == wrapped.instruction_count()
+
+    def test_returns_last_value(self):
+        fn = parse_function("""
+define i8 @f(i8 %x) {
+  %a = add i8 %x, 1
+  %b = mul i8 %a, 3
+  ret i8 %b
+}
+""")
+        wrapped = wrap_as_function(extract_sequences_from_block(fn.entry)[0])
+        ret = wrapped.return_instruction()
+        assert ret.value.opcode == "mul"
+
+    def test_empty_sequence_rejected(self):
+        assert wrap_as_function([]) is None
+
+
+class TestDigest:
+    def test_name_invariance(self):
+        a = parse_function("define i8 @f(i8 %x) {\n  %r = add i8 %x, 1\n"
+                           "  ret i8 %r\n}")
+        b = parse_function("define i8 @g(i8 %value) {\n"
+                           "  %sum = add i8 %value, 1\n  ret i8 %sum\n}")
+        assert window_digest(a) == window_digest(b)
+
+    def test_constant_sensitivity(self):
+        a = parse_function("define i8 @f(i8 %x) {\n  %r = add i8 %x, 1\n"
+                           "  ret i8 %r\n}")
+        b = parse_function("define i8 @f(i8 %x) {\n  %r = add i8 %x, 2\n"
+                           "  ret i8 %r\n}")
+        assert window_digest(a) != window_digest(b)
+
+    def test_flag_sensitivity(self):
+        a = parse_function("define i8 @f(i8 %x) {\n  %r = add i8 %x, 1\n"
+                           "  ret i8 %r\n}")
+        b = parse_function("define i8 @f(i8 %x) {\n"
+                           "  %r = add nuw i8 %x, 1\n  ret i8 %r\n}")
+        assert window_digest(a) != window_digest(b)
+
+    def test_tail_marker_ignored(self):
+        a = parse_function(
+            "define i8 @f(i8 %x) {\n"
+            "  %r = call i8 @llvm.umin.i8(i8 %x, i8 3)\n  ret i8 %r\n}")
+        b = parse_function(
+            "define i8 @f(i8 %x) {\n"
+            "  %r = tail call i8 @llvm.umin.i8(i8 %x, i8 3)\n"
+            "  ret i8 %r\n}")
+        assert window_digest(a) == window_digest(b)
+
+
+class TestModuleExtraction:
+    def test_dedup_across_module(self):
+        module = parse_module(MODULE + "\n"
+                              + MODULE.replace("@two_chains", "@copy"))
+        stats = ExtractionStats()
+        windows = extract_from_module(module, set(), stats=stats,
+                                      skip_optimizable=False)
+        assert stats.duplicates >= 1
+        digests = [w.digest for w in windows]
+        assert len(digests) == len(set(digests))
+
+    def test_optimizable_windows_filtered(self):
+        module = parse_module("""
+define i8 @trivially_optimizable(i8 %x) {
+  %a = add i8 %x, 0
+  %b = add i8 %a, 0
+  ret i8 %b
+}
+""")
+        stats = ExtractionStats()
+        windows = extract_from_module(module, set(), stats=stats)
+        assert stats.still_optimizable >= 1
+        assert not windows
+
+    def test_corpus_extraction_counts(self):
+        modules = [parse_module(MODULE)]
+        stats = ExtractionStats()
+        windows = extract_from_corpus(modules, stats=stats)
+        assert stats.modules == 1
+        assert stats.emitted == len(windows)
+        for window in windows:
+            assert window.source_module == "module"

@@ -1,0 +1,164 @@
+"""End-to-end pipeline tests: Algorithm 1's control flow."""
+
+import pytest
+
+from repro.core import (
+    LPOPipeline,
+    PipelineConfig,
+    check_interestingness,
+    window_from_text,
+)
+from repro.corpus.issues import rq1_by_id
+from repro.ir import parse_function
+from repro.llm import GEMINI20T, PromptRequest, SimulatedLLM
+from repro.llm.client import LLMResponse, Usage
+
+CLAMP = rq1_by_id()[104875]
+
+
+class ScriptedLLM:
+    """A client that replays a fixed list of answers."""
+
+    model_name = "scripted"
+
+    def __init__(self, answers):
+        self.answers = list(answers)
+        self.requests = []
+
+    def complete(self, request):
+        self.requests.append(request)
+        text = self.answers.pop(0)
+        return LLMResponse(text=text, usage=Usage(calls=1))
+
+
+class TestInterestingness:
+    def test_fewer_instructions_wins(self):
+        report = check_interestingness(
+            parse_function(CLAMP.src), parse_function(CLAMP.tgt))
+        assert report.interesting
+        assert report.reason == "fewer instructions"
+
+    def test_identical_rejected(self):
+        fn = parse_function(CLAMP.src)
+        report = check_interestingness(fn, parse_function(CLAMP.src))
+        assert not report.interesting
+        assert "identical" in report.reason
+
+    def test_strictly_worse_rejected(self):
+        src = parse_function("define i8 @f(i8 %x) {\n"
+                             "  %r = add i8 %x, 3\n  ret i8 %r\n}")
+        worse = parse_function("define i8 @f(i8 %x) {\n"
+                               "  %a = add i8 %x, 1\n"
+                               "  %b = add i8 %a, 1\n"
+                               "  %r = add i8 %b, 1\n  ret i8 %r\n}")
+        report = check_interestingness(src, worse)
+        assert not report.interesting
+
+    def test_cycle_win_with_same_count_accepted(self):
+        src = parse_function("define i32 @f(i32 %x, i32 %y) {\n"
+                             "  %r = udiv i32 %x, %y\n  ret i32 %r\n}")
+        cheaper = parse_function("define i32 @f(i32 %x, i32 %y) {\n"
+                                 "  %r = and i32 %x, %y\n  ret i32 %r\n}")
+        report = check_interestingness(src, cheaper)
+        assert report.interesting
+        assert report.reason == "fewer llvm-mca cycles"
+
+    def test_tie_with_different_shape_accepted(self):
+        src = parse_function("define i8 @f(i8 %x, i8 %y) {\n"
+                             "  %r = and i8 %x, %y\n  ret i8 %r\n}")
+        other = parse_function("define i8 @f(i8 %x, i8 %y) {\n"
+                               "  %r = or i8 %x, %y\n  ret i8 %r\n}")
+        report = check_interestingness(src, other)
+        assert report.interesting
+        assert "different shape" in report.reason
+
+
+class TestPipelineFlow:
+    def test_correct_answer_found_first_try(self):
+        client = ScriptedLLM([CLAMP.tgt])
+        pipeline = LPOPipeline(client)
+        result = pipeline.optimize_window(window_from_text(CLAMP.src))
+        assert result.found
+        assert result.attempts[0].outcome == "found"
+        assert "umin" in result.candidate_text
+
+    def test_echo_is_uninteresting_and_stops(self):
+        client = ScriptedLLM([CLAMP.src, CLAMP.tgt])
+        pipeline = LPOPipeline(client)
+        result = pipeline.optimize_window(window_from_text(CLAMP.src))
+        assert not result.found
+        assert len(result.attempts) == 1      # Algorithm 1 line 16: break
+        assert "uninteresting" in result.attempts[0].outcome
+
+    def test_syntax_error_gets_feedback_retry(self):
+        broken = CLAMP.tgt.replace(
+            "call i8 @llvm.umin.i8(i8 %x, i8 200)", "umin i8 %x, 200")
+        client = ScriptedLLM([broken, CLAMP.tgt])
+        pipeline = LPOPipeline(client)
+        result = pipeline.optimize_window(window_from_text(CLAMP.src))
+        assert result.found
+        assert result.attempts[0].outcome == "syntax-error"
+        assert "error:" in client.requests[1].feedback
+
+    def test_wrong_answer_gets_counterexample_retry(self):
+        wrong = CLAMP.tgt.replace("umin", "umax")
+        client = ScriptedLLM([wrong, CLAMP.tgt])
+        pipeline = LPOPipeline(client)
+        result = pipeline.optimize_window(window_from_text(CLAMP.src))
+        assert result.found
+        assert result.attempts[0].outcome == "incorrect"
+        assert "Transformation doesn't verify" in client.requests[1].feedback
+
+    def test_attempt_limit_respected(self):
+        broken = "this is not IR at all"
+        client = ScriptedLLM([broken, broken, broken])
+        pipeline = LPOPipeline(client, PipelineConfig(attempt_limit=2))
+        result = pipeline.optimize_window(window_from_text(CLAMP.src))
+        assert not result.found
+        assert len(result.attempts) == 2
+
+    def test_lpo_minus_no_retry(self):
+        broken = "garbage"
+        client = ScriptedLLM([broken, CLAMP.tgt])
+        pipeline = LPOPipeline(client, PipelineConfig(attempt_limit=1))
+        result = pipeline.optimize_window(window_from_text(CLAMP.src))
+        assert not result.found
+        assert len(result.attempts) == 1
+
+    def test_candidate_is_opt_canonicalized(self):
+        # The LLM returns a correct but non-canonical candidate; opt must
+        # canonicalize before recording (paper step 3's second purpose).
+        sloppy = """
+define i8 @src(i8 %x) {
+  %a = call i8 @llvm.umin.i8(i8 %x, i8 200)
+  %r = add i8 %a, 0
+  ret i8 %r
+}
+"""
+        client = ScriptedLLM([sloppy])
+        pipeline = LPOPipeline(client)
+        result = pipeline.optimize_window(window_from_text(CLAMP.src))
+        assert result.found
+        assert "add" not in result.candidate_text
+
+    def test_usage_accumulates_across_attempts(self):
+        client = ScriptedLLM(["garbage", CLAMP.tgt])
+        pipeline = LPOPipeline(client)
+        result = pipeline.optimize_window(window_from_text(CLAMP.src))
+        assert result.usage.calls == 2
+
+
+class TestWithSimulatedModel:
+    def test_reasoning_model_finds_clamp_in_five_rounds(self):
+        pipeline = LPOPipeline(SimulatedLLM(GEMINI20T))
+        window = window_from_text(rq1_by_id()[108451].src)
+        hits = sum(
+            pipeline.optimize_window(window, round_seed=r).found
+            for r in range(5))
+        assert hits >= 3
+
+    def test_window_result_status_strings(self):
+        pipeline = LPOPipeline(SimulatedLLM(GEMINI20T))
+        window = window_from_text(CLAMP.src)
+        result = pipeline.optimize_window(window, round_seed=0)
+        assert result.status

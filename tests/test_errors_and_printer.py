@@ -1,0 +1,128 @@
+"""Tests for the error hierarchy and the textual printer."""
+
+import pytest
+
+from repro.errors import (
+    ConfigError,
+    EvaluationError,
+    IRError,
+    LLMError,
+    ParseError,
+    ReproError,
+    SolverError,
+    TimeoutExpired,
+    UndefinedBehaviorError,
+)
+from repro.ir import parse_function, print_function, print_instruction
+from repro.ir.printer import print_module
+from repro.ir.parser import parse_module
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc_type in (IRError, ParseError, EvaluationError,
+                         SolverError, LLMError, ConfigError):
+            assert issubclass(exc_type, ReproError)
+
+    def test_ub_is_evaluation_error(self):
+        assert issubclass(UndefinedBehaviorError, EvaluationError)
+        err = UndefinedBehaviorError("division by zero")
+        assert err.reason == "division by zero"
+
+    def test_timeout_carries_budgets(self):
+        err = TimeoutExpired(20.0, 25.3)
+        assert err.budget_seconds == 20.0
+        assert "timeout" in str(err)
+
+    def test_parse_error_render_without_location(self):
+        err = ParseError("something broke")
+        assert err.render() == "error: something broke"
+
+    def test_parse_error_render_with_caret(self):
+        err = ParseError("bad token", line=2, column=4,
+                         source_line="  %x = ???")
+        rendered = err.render()
+        assert rendered.splitlines()[1] == "  %x = ???"
+        assert rendered.splitlines()[2] == "   ^"
+
+
+class TestPrinterFormats:
+    def test_paper_instruction_formats(self):
+        fn = parse_function("""
+define <4 x i8> @src(i64 %a0, ptr %a1) {
+  %0 = getelementptr inbounds nuw i32, ptr %a1, i64 %a0
+  %wide.load = load <4 x i32>, ptr %0, align 4
+  %3 = icmp slt <4 x i32> %wide.load, zeroinitializer
+  %5 = tail call <4 x i32> @llvm.umin.v4i32(<4 x i32> %wide.load, <4 x i32> splat (i32 255))
+  %7 = trunc nuw <4 x i32> %5 to <4 x i8>
+  %9 = select <4 x i1> %3, <4 x i8> zeroinitializer, <4 x i8> %7
+  ret <4 x i8> %9
+}
+""")
+        text = print_function(fn)
+        assert ("getelementptr inbounds nuw i32, ptr %a1, i64 %a0"
+                in text)
+        assert "load <4 x i32>, ptr %0, align 4" in text
+        assert "icmp slt <4 x i32> %wide.load, zeroinitializer" in text
+        assert ("tail call <4 x i32> @llvm.umin.v4i32(<4 x i32> "
+                "%wide.load, <4 x i32> splat (i32 255))" in text)
+        assert "trunc nuw <4 x i32> %5 to <4 x i8>" in text
+
+    def test_store_format(self):
+        fn = parse_function("define void @f(ptr %p, i8 %v) {\n"
+                            "  store i8 %v, ptr %p, align 1\n"
+                            "  ret void\n}")
+        text = print_function(fn)
+        assert "store i8 %v, ptr %p, align 1" in text
+        assert "ret void" in text
+
+    def test_flag_ordering_stable(self):
+        fn = parse_function("define i8 @f(i8 %x) {\n"
+                            "  %r = add nsw nuw i8 %x, 1\n  ret i8 %r\n}")
+        # Flags print in canonical LLVM order: nuw before nsw.
+        assert "add nuw nsw i8" in print_function(fn)
+
+    def test_entry_label_only_when_referenced(self):
+        plain = parse_function("define i8 @f(i8 %x) {\n  ret i8 %x\n}")
+        assert "entry:" not in print_function(plain)
+        looped = parse_function("""
+define i8 @f(i8 %x) {
+entry:
+  br label %loop
+loop:
+  %p = phi i8 [ 0, %entry ], [ %p, %loop ]
+  br label %loop
+}
+""")
+        assert "entry:" in print_function(looped)
+
+    def test_print_instruction_standalone(self):
+        fn = parse_function("define i8 @f(i8 %x) {\n"
+                            "  %r = add i8 %x, 1\n  ret i8 %r\n}")
+        inst = fn.entry.instructions[0]
+        assert print_instruction(inst) == "%r = add i8 %x, 1"
+
+    def test_print_module_blank_line_separated(self):
+        module = parse_module(
+            "define i8 @a(i8 %x) {\n  ret i8 %x\n}\n"
+            "define i8 @b(i8 %x) {\n  ret i8 %x\n}\n")
+        text = print_module(module)
+        assert text.count("define") == 2
+        assert "\n\n" in text
+
+    def test_shufflevector_poison_mask_lane(self):
+        fn = parse_function(
+            "define <2 x i8> @f(<2 x i8> %v) {\n"
+            "  %r = shufflevector <2 x i8> %v, <2 x i8> poison, "
+            "<2 x i32> <i32 poison, i32 0>\n"
+            "  ret <2 x i8> %r\n}")
+        assert "<i32 poison, i32 0>" in print_function(fn)
+
+    def test_fp_literal_round_trip(self):
+        fn = parse_function(
+            "define double @f(double %x) {\n"
+            "  %r = fadd double %x, 2.550000e+02\n  ret double %r\n}")
+        text = print_function(fn)
+        assert "2.550000e+02" in text
+        reparsed = parse_function(text)
+        assert print_function(reparsed) == text

@@ -1,0 +1,102 @@
+"""Tests for the intrinsic registry and name mangling."""
+
+import pytest
+
+from repro.ir.intrinsics import (
+    intrinsic_callee,
+    intrinsic_has_side_effects,
+    intrinsic_signature,
+    known_intrinsic_names,
+    lookup_intrinsic,
+    parse_suffix_type,
+    split_intrinsic_callee,
+    type_suffix,
+)
+from repro.ir.types import DOUBLE, FLOAT, I1, I8, I32, vector_type
+
+
+class TestSuffixMangling:
+    @pytest.mark.parametrize("suffix,expected", [
+        ("i32", I32),
+        ("i8", I8),
+        ("v4i32", vector_type(I32, 4)),
+        ("f64", DOUBLE),
+        ("f32", FLOAT),
+        ("v2f32", vector_type(FLOAT, 2)),
+    ])
+    def test_parse(self, suffix, expected):
+        assert parse_suffix_type(suffix) == expected
+
+    @pytest.mark.parametrize("suffix", ["x32", "v", "vxi32", "i", "f128"])
+    def test_parse_invalid(self, suffix):
+        assert parse_suffix_type(suffix) is None
+
+    @pytest.mark.parametrize("type_", [I32, I8, vector_type(I32, 4),
+                                       DOUBLE, vector_type(FLOAT, 2)])
+    def test_round_trip(self, type_):
+        assert parse_suffix_type(type_suffix(type_)) == type_
+
+
+class TestCalleeSplitting:
+    def test_simple(self):
+        assert split_intrinsic_callee("llvm.umin.i32") == ("umin", I32)
+
+    def test_vector(self):
+        assert split_intrinsic_callee("llvm.smax.v4i32") == (
+            "smax", vector_type(I32, 4))
+
+    def test_dotted_family(self):
+        assert split_intrinsic_callee("llvm.uadd.sat.i8") == (
+            "uadd.sat", I8)
+
+    def test_unknown(self):
+        assert split_intrinsic_callee("llvm.made.up.i8") is None
+        assert split_intrinsic_callee("not_an_intrinsic") is None
+
+    def test_build_callee(self):
+        assert intrinsic_callee("umin", I32) == "llvm.umin.i32"
+
+
+class TestSignatures:
+    def test_binary_minmax(self):
+        result, args = intrinsic_signature("llvm.umin.i32")
+        assert result == I32
+        assert args == (I32, I32)
+
+    def test_abs_has_immarg(self):
+        result, args = intrinsic_signature("llvm.abs.i8")
+        assert result == I8
+        assert args == (I8, I1)
+
+    def test_fshl_ternary(self):
+        result, args = intrinsic_signature("llvm.fshl.i8")
+        assert args == (I8, I8, I8)
+
+    def test_fp_intrinsic_on_int_rejected(self):
+        assert intrinsic_signature("llvm.fabs.i32") is None
+
+    def test_int_intrinsic_on_fp_rejected(self):
+        assert intrinsic_signature("llvm.umin.f64") is None
+
+    def test_is_fpclass_returns_bool(self):
+        result, args = intrinsic_signature("llvm.is.fpclass.f64")
+        assert result == I1
+
+
+class TestRegistry:
+    def test_known_names_sorted_and_rich(self):
+        names = known_intrinsic_names()
+        assert list(names) == sorted(names)
+        for required in ("umin", "umax", "smin", "smax", "abs", "ctpop",
+                         "fshl", "uadd.sat", "fabs", "bswap"):
+            assert required in names
+
+    def test_purity(self):
+        assert not intrinsic_has_side_effects("llvm.umin.i32")
+        assert intrinsic_has_side_effects("some.external.call")
+
+    def test_lookup(self):
+        info = lookup_intrinsic("ctlz")
+        assert info.has_bool_tail
+        assert info.arity == 1
+        assert lookup_intrinsic("nope") is None

@@ -1,0 +1,167 @@
+"""Tests for BasicBlock/Function/Module containers and the IR builder."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import (
+    BasicBlock,
+    Function,
+    IRBuilder,
+    Module,
+    parse_function,
+)
+from repro.ir.builder import function_builder
+from repro.ir.types import I1, I8, I32, PTR, VOID, vector_type
+from repro.ir.values import Argument, const_int
+
+
+class TestBasicBlock:
+    def test_append_claims_ownership(self):
+        fn, builder = function_builder("f", I8, [I8])
+        inst = builder.add(fn.arguments[0], const_int(I8, 1))
+        assert inst.parent is fn.entry
+        with pytest.raises(IRError):
+            BasicBlock("other").append(inst)
+
+    def test_terminator_detection(self):
+        fn, builder = function_builder("f", I8, [I8])
+        assert fn.entry.terminator is None
+        builder.ret(fn.arguments[0])
+        assert fn.entry.terminator is not None
+
+    def test_index_of(self):
+        fn, builder = function_builder("f", I8, [I8])
+        a = builder.add(fn.arguments[0], const_int(I8, 1))
+        b = builder.add(a, const_int(I8, 2))
+        assert fn.entry.index_of(a) == 0
+        assert fn.entry.index_of(b) == 1
+
+    def test_remove_detaches(self):
+        fn, builder = function_builder("f", I8, [I8])
+        a = builder.add(fn.arguments[0], const_int(I8, 1))
+        fn.entry.remove(a)
+        assert a.parent is None
+        assert len(fn.entry) == 0
+
+
+class TestFunction:
+    def test_instruction_count_excludes_terminators(self):
+        fn = parse_function("define i8 @f(i8 %x) {\n"
+                            "  %a = add i8 %x, 1\n  ret i8 %a\n}")
+        assert fn.instruction_count() == 1
+        assert fn.instruction_count(include_terminators=True) == 2
+
+    def test_assign_names_sequential(self):
+        fn, builder = function_builder("f", I8, [I8], arg_names=[""])
+        a = builder.add(fn.arguments[0], const_int(I8, 1))
+        builder.ret(a)
+        fn.assign_names()
+        assert fn.arguments[0].name == "0"
+        assert a.name == "1"
+
+    def test_assign_names_skips_taken(self):
+        fn = Function("f", I8, [Argument(I8, "1", 0)])
+        builder = IRBuilder(fn.new_block("entry"))
+        a = builder.add(fn.arguments[0], const_int(I8, 1))
+        fn.assign_names()
+        assert a.name != "1"
+
+    def test_clone_is_deep(self):
+        fn = parse_function("define i8 @f(i8 %x) {\n"
+                            "  %a = add i8 %x, 1\n  ret i8 %a\n}")
+        copy = fn.clone("g")
+        assert copy.name == "g"
+        original_add = fn.entry.instructions[0]
+        copied_add = copy.entry.instructions[0]
+        assert copied_add is not original_add
+        # Mutating the copy leaves the original untouched.
+        copied_add.operands[1] = const_int(I8, 9)
+        assert original_add.operands[1].value == 1
+
+    def test_clone_remaps_arguments(self):
+        fn = parse_function("define i8 @f(i8 %x) {\n"
+                            "  %a = add i8 %x, 1\n  ret i8 %a\n}")
+        copy = fn.clone()
+        assert copy.entry.instructions[0].operands[0] is copy.arguments[0]
+
+    def test_replace_all_uses(self):
+        fn = parse_function("define i8 @f(i8 %x, i8 %y) {\n"
+                            "  %a = add i8 %x, %x\n  ret i8 %a\n}")
+        count = fn.replace_all_uses(fn.arguments[0], fn.arguments[1])
+        assert count == 2
+
+    def test_uses_memory(self):
+        loads = parse_function("define i8 @f(ptr %p) {\n"
+                               "  %r = load i8, ptr %p, align 1\n"
+                               "  ret i8 %r\n}")
+        pure = parse_function("define i8 @f(i8 %x) {\n  ret i8 %x\n}")
+        assert loads.uses_memory()
+        assert not pure.uses_memory()
+
+    def test_block_by_label_missing(self):
+        fn = parse_function("define i8 @f(i8 %x) {\n  ret i8 %x\n}")
+        with pytest.raises(IRError):
+            fn.block_by_label("nope")
+
+
+class TestModule:
+    def test_duplicate_function_rejected(self):
+        module = Module("m")
+        module.add_function(Function("f", VOID))
+        with pytest.raises(IRError):
+            module.add_function(Function("f", VOID))
+
+    def test_get_function(self):
+        module = Module("m")
+        fn = module.add_function(Function("f", VOID))
+        assert module.get_function("f") is fn
+        with pytest.raises(IRError):
+            module.get_function("g")
+
+
+class TestBuilder:
+    def test_not_and_neg_shorthand(self):
+        fn, builder = function_builder("f", I8, [I8])
+        x = fn.arguments[0]
+        n = builder.not_(x)
+        assert n.opcode == "xor"
+        assert n.operands[1].is_all_ones
+        neg = builder.neg(x)
+        assert neg.opcode == "sub"
+        assert neg.operands[0].is_zero
+
+    def test_intrinsic_fills_immarg(self):
+        fn, builder = function_builder("f", I8, [I8])
+        call = builder.intrinsic("abs", [fn.arguments[0]])
+        assert len(call.operands) == 2          # value + i1 immarg
+        assert call.callee == "llvm.abs.i8"
+
+    def test_intrinsic_vector_suffix(self):
+        v4 = vector_type(I8, 4)
+        fn, builder = function_builder("f", v4, [v4, v4])
+        call = builder.umin(fn.arguments[0], fn.arguments[1])
+        assert call.callee == "llvm.umin.v4i8"
+
+    def test_builder_without_block_raises(self):
+        builder = IRBuilder(None)
+        with pytest.raises(IRError):
+            builder.ret(None)
+
+    def test_cond_br_and_phi(self):
+        fn = Function("f", I8, [Argument(I1, "c", 0),
+                                Argument(I8, "x", 1)])
+        entry = fn.new_block("entry")
+        then = fn.new_block("then")
+        exit_ = fn.new_block("exit")
+        builder = IRBuilder(entry)
+        builder.cond_br(fn.arguments[0], "then", "exit")
+        builder.set_insertion_point(then)
+        doubled = builder.shl(fn.arguments[1], const_int(I8, 1))
+        builder.br("exit")
+        builder.set_insertion_point(exit_)
+        merged = builder.phi(I8, [(doubled, "then"),
+                                  (fn.arguments[1], "entry")])
+        builder.ret(merged)
+        from repro.semantics import run_function
+        assert run_function(fn, [1, 5]).value == 10
+        assert run_function(fn, [0, 5]).value == 5

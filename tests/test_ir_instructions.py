@@ -1,0 +1,269 @@
+"""Unit tests for instruction construction and type checking."""
+
+import pytest
+
+from repro.errors import IRError, TypeMismatchError
+from repro.ir.instructions import (
+    BinaryOperator,
+    Br,
+    Call,
+    Cast,
+    ExtractElement,
+    FCmp,
+    Freeze,
+    GetElementPtr,
+    ICmp,
+    InsertElement,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    ShuffleVector,
+    Store,
+    Unreachable,
+)
+from repro.ir.types import DOUBLE, I1, I8, I32, I64, PTR, vector_type
+from repro.ir.values import Argument, ConstantInt, const_int
+
+X8 = Argument(I8, "x", 0)
+Y8 = Argument(I8, "y", 1)
+XD = Argument(DOUBLE, "d", 0)
+P = Argument(PTR, "p", 0)
+C1 = Argument(I1, "c", 0)
+
+
+class TestBinaryOperator:
+    def test_basic(self):
+        inst = BinaryOperator("add", X8, Y8)
+        assert inst.type == I8
+        assert inst.lhs is X8 and inst.rhs is Y8
+
+    def test_type_mismatch(self):
+        with pytest.raises(TypeMismatchError):
+            BinaryOperator("add", X8, Argument(I32, "w"))
+
+    def test_fp_opcode_on_int_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            BinaryOperator("fadd", X8, Y8)
+
+    def test_int_opcode_on_fp_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            BinaryOperator("add", XD, XD)
+
+    def test_unknown_opcode(self):
+        with pytest.raises(IRError):
+            BinaryOperator("smax", X8, Y8)
+
+    def test_flags(self):
+        inst = BinaryOperator("add", X8, Y8, ("nuw", "nsw"))
+        assert inst.flags == {"nuw", "nsw"}
+
+    def test_invalid_flag(self):
+        with pytest.raises(IRError):
+            BinaryOperator("and", X8, Y8, ("nuw",))
+
+    def test_commutativity(self):
+        assert BinaryOperator("add", X8, Y8).is_commutative
+        assert not BinaryOperator("sub", X8, Y8).is_commutative
+
+    def test_replace_operand(self):
+        inst = BinaryOperator("add", X8, X8)
+        assert inst.replace_operand(X8, Y8) == 2
+        assert inst.lhs is Y8 and inst.rhs is Y8
+
+    def test_clone_detached(self):
+        inst = BinaryOperator("add", X8, Y8, ("nuw",))
+        copy = inst.clone()
+        assert copy is not inst
+        assert copy.operands == inst.operands
+        assert copy.parent is None
+
+
+class TestComparisons:
+    def test_icmp_result_type(self):
+        assert ICmp("slt", X8, Y8).type == I1
+
+    def test_vector_icmp_result_type(self):
+        v = Argument(vector_type(I32, 4), "v")
+        w = Argument(vector_type(I32, 4), "w")
+        assert ICmp("eq", v, w).type == vector_type(I1, 4)
+
+    def test_icmp_bad_predicate(self):
+        with pytest.raises(IRError):
+            ICmp("oeq", X8, Y8)
+
+    def test_icmp_on_fp_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            ICmp("eq", XD, XD)
+
+    def test_fcmp(self):
+        assert FCmp("oeq", XD, XD).type == I1
+
+    def test_fcmp_on_int_rejected(self):
+        with pytest.raises(TypeMismatchError):
+            FCmp("oeq", X8, Y8)
+
+    def test_same_shape_includes_predicate(self):
+        a = ICmp("slt", X8, Y8)
+        b = ICmp("slt", Y8, X8)
+        c = ICmp("sgt", X8, Y8)
+        assert a.same_shape(b)
+        assert not a.same_shape(c)
+
+
+class TestSelect:
+    def test_basic(self):
+        inst = Select(C1, X8, Y8)
+        assert inst.type == I8
+        assert inst.condition is C1
+
+    def test_arm_mismatch(self):
+        with pytest.raises(TypeMismatchError):
+            Select(C1, X8, Argument(I32, "w"))
+
+    def test_non_bool_condition(self):
+        with pytest.raises(TypeMismatchError):
+            Select(X8, X8, Y8)
+
+    def test_vector_condition_lane_check(self):
+        cond = Argument(vector_type(I1, 2), "c")
+        val = Argument(vector_type(I8, 4), "v")
+        with pytest.raises(TypeMismatchError):
+            Select(cond, val, val)
+
+
+class TestCasts:
+    def test_trunc(self):
+        wide = Argument(I32, "w")
+        assert Cast("trunc", wide, I8).type == I8
+
+    def test_trunc_must_narrow(self):
+        with pytest.raises(TypeMismatchError):
+            Cast("trunc", X8, I32)
+
+    def test_zext_must_widen(self):
+        with pytest.raises(TypeMismatchError):
+            Cast("zext", Argument(I32, "w"), I8)
+
+    def test_vector_shape_preserved(self):
+        v = Argument(vector_type(I32, 4), "v")
+        assert Cast("trunc", v, vector_type(I8, 4)).type == vector_type(I8, 4)
+        with pytest.raises(TypeMismatchError):
+            Cast("trunc", v, I8)
+
+    def test_bitcast_same_width(self):
+        assert Cast("bitcast", Argument(I64, "b"), DOUBLE).type == DOUBLE
+        with pytest.raises(TypeMismatchError):
+            Cast("bitcast", X8, DOUBLE)
+
+    def test_fp_int_conversions(self):
+        assert Cast("fptosi", XD, I32).type == I32
+        assert Cast("sitofp", X8, DOUBLE).type == DOUBLE
+
+
+class TestMemory:
+    def test_load(self):
+        inst = Load(I32, P, align=4)
+        assert inst.type == I32
+        assert inst.may_read_memory
+        assert not inst.has_side_effects
+
+    def test_load_requires_pointer(self):
+        with pytest.raises(TypeMismatchError):
+            Load(I32, X8)
+
+    def test_store(self):
+        inst = Store(X8, P, align=1)
+        assert inst.has_side_effects
+        assert inst.type.is_void
+
+    def test_gep(self):
+        idx = Argument(I64, "i")
+        inst = GetElementPtr(I32, P, idx)
+        assert inst.type == PTR
+        assert inst.element_size == 4
+
+    def test_gep_index_must_be_scalar_int(self):
+        with pytest.raises(TypeMismatchError):
+            GetElementPtr(I32, P, XD)
+
+
+class TestVectorOps:
+    def test_extractelement(self):
+        v = Argument(vector_type(I8, 4), "v")
+        inst = ExtractElement(v, ConstantInt(I64, 2))
+        assert inst.type == I8
+
+    def test_insertelement(self):
+        v = Argument(vector_type(I8, 4), "v")
+        inst = InsertElement(v, X8, ConstantInt(I64, 1))
+        assert inst.type == vector_type(I8, 4)
+
+    def test_insertelement_type_check(self):
+        v = Argument(vector_type(I8, 4), "v")
+        with pytest.raises(TypeMismatchError):
+            InsertElement(v, Argument(I32, "w"), ConstantInt(I64, 0))
+
+    def test_shuffle_result_width(self):
+        v = Argument(vector_type(I8, 4), "v")
+        inst = ShuffleVector(v, v, [0, 1])
+        assert inst.type == vector_type(I8, 2)
+
+    def test_shuffle_mask_range(self):
+        v = Argument(vector_type(I8, 4), "v")
+        with pytest.raises(IRError):
+            ShuffleVector(v, v, [8])
+        ShuffleVector(v, v, [-1, 7, 0, 3])  # poison lane + both sides OK
+
+
+class TestTerminators:
+    def test_ret(self):
+        assert Ret(X8).is_terminator
+        assert Ret(None).value is None
+
+    def test_br_unconditional(self):
+        inst = Br("exit")
+        assert inst.is_terminator
+        assert not inst.is_conditional
+
+    def test_br_conditional(self):
+        inst = Br("then", C1, "else")
+        assert inst.is_conditional
+        assert inst.condition is C1
+
+    def test_br_requires_both(self):
+        with pytest.raises(IRError):
+            Br("then", C1, None)
+
+    def test_unreachable(self):
+        assert Unreachable().is_terminator
+
+    def test_phi(self):
+        inst = Phi(I8, [(X8, "a"), (Y8, "b")])
+        assert inst.incoming == [(X8, "a"), (Y8, "b")]
+
+
+class TestCall:
+    def test_intrinsic_name(self):
+        inst = Call("llvm.umin.i32", I32, [Argument(I32, "a"),
+                                           Argument(I32, "b")])
+        assert inst.intrinsic_name == "umin"
+
+    def test_sat_intrinsic_name(self):
+        a = Argument(I32, "a")
+        inst = Call("llvm.uadd.sat.i32", I32, [a, a])
+        assert inst.intrinsic_name == "uadd.sat"
+
+    def test_pure_intrinsic_no_side_effects(self):
+        a = Argument(I32, "a")
+        inst = Call("llvm.umin.i32", I32, [a, a])
+        assert not inst.has_side_effects
+
+    def test_unknown_callee_has_side_effects(self):
+        a = Argument(I32, "a")
+        inst = Call("external_fn", I32, [a])
+        assert inst.has_side_effects
+
+    def test_freeze(self):
+        inst = Freeze(X8)
+        assert inst.type == I8

@@ -1,0 +1,256 @@
+"""Parser tests: paper figures, round-trips, and error reporting."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.ir import (
+    Call,
+    GetElementPtr,
+    ICmp,
+    Load,
+    Select,
+    parse_function,
+    parse_module,
+    print_function,
+)
+from repro.ir.types import I8, I32, PTR, vector_type
+from repro.ir.values import ConstantVector
+
+FIG1B = """
+define i8 @src(i32 %0) {
+  %2 = icmp slt i32 %0, 0
+  %3 = tail call i32 @llvm.umin.i32(i32 %0, i32 255)
+  %4 = trunc nuw i32 %3 to i8
+  %5 = select i1 %2, i8 0, i8 %4
+  ret i8 %5
+}
+"""
+
+
+class TestBasicParsing:
+    def test_figure_1b(self):
+        fn = parse_function(FIG1B)
+        assert fn.name == "src"
+        assert fn.return_type == I8
+        assert len(fn.arguments) == 1
+        assert fn.arguments[0].type == I32
+        opcodes = [i.opcode for i in fn.instructions()]
+        assert opcodes == ["icmp", "call", "trunc", "select", "ret"]
+
+    def test_icmp_predicate(self):
+        fn = parse_function(FIG1B)
+        icmp = next(iter(fn.instructions()))
+        assert isinstance(icmp, ICmp)
+        assert icmp.predicate == "slt"
+
+    def test_tail_call_flag(self):
+        fn = parse_function(FIG1B)
+        call = list(fn.instructions())[1]
+        assert isinstance(call, Call)
+        assert "tail" in call.flags
+        assert call.callee == "llvm.umin.i32"
+
+    def test_trunc_flag(self):
+        fn = parse_function(FIG1B)
+        trunc = list(fn.instructions())[2]
+        assert "nuw" in trunc.flags
+
+    def test_round_trip(self):
+        fn = parse_function(FIG1B)
+        text = print_function(fn)
+        again = parse_function(text)
+        assert print_function(again) == text
+
+
+class TestVectorParsing:
+    VEC = """
+define <4 x i8> @src(i64 %a0, ptr %a1) {
+entry:
+  %0 = getelementptr inbounds nuw i32, ptr %a1, i64 %a0
+  %wide.load = load <4 x i32>, ptr %0, align 4
+  %3 = icmp slt <4 x i32> %wide.load, zeroinitializer
+  %5 = tail call <4 x i32> @llvm.umin.v4i32(<4 x i32> %wide.load, <4 x i32> splat (i32 255))
+  %7 = trunc nuw <4 x i32> %5 to <4 x i8>
+  %9 = select <4 x i1> %3, <4 x i8> zeroinitializer, <4 x i8> %7
+  ret <4 x i8> %9
+}
+"""
+
+    def test_parse(self):
+        fn = parse_function(self.VEC)
+        assert fn.return_type == vector_type(I8, 4)
+        load = list(fn.instructions())[1]
+        assert isinstance(load, Load)
+        assert load.align == 4
+
+    def test_gep_flags(self):
+        fn = parse_function(self.VEC)
+        gep = next(iter(fn.instructions()))
+        assert isinstance(gep, GetElementPtr)
+        assert {"inbounds", "nuw"} <= gep.flags
+        assert gep.element_size == 4
+
+    def test_splat_constant(self):
+        fn = parse_function(self.VEC)
+        call = list(fn.instructions())[3]
+        splat_arg = call.operands[1]
+        assert isinstance(splat_arg, ConstantVector)
+        assert splat_arg.is_splat
+
+    def test_round_trip(self):
+        fn = parse_function(self.VEC)
+        assert print_function(parse_function(print_function(fn))) == \
+            print_function(fn)
+
+
+class TestConstants:
+    def test_negative_int(self):
+        fn = parse_function(
+            "define i8 @f(i8 %x) {\n  %r = add i8 %x, -3\n  ret i8 %r\n}")
+        add = next(iter(fn.instructions()))
+        assert add.operands[1].signed_value == -3
+
+    def test_true_false(self):
+        fn = parse_function(
+            "define i1 @f(i1 %c) {\n  %r = xor i1 %c, true\n  ret i1 %r\n}")
+        assert next(iter(fn.instructions())).operands[1].value == 1
+
+    def test_float_literal(self):
+        fn = parse_function(
+            "define double @f(double %x) {\n"
+            "  %r = fadd double %x, 1.000000e+00\n  ret double %r\n}")
+        assert next(iter(fn.instructions())).operands[1].value == 1.0
+
+    def test_undef_poison(self):
+        fn = parse_function(
+            "define i8 @f() {\n  %r = add i8 undef, poison\n  ret i8 %r\n}")
+        from repro.ir.values import PoisonValue, UndefValue
+        add = next(iter(fn.instructions()))
+        assert isinstance(add.operands[0], UndefValue)
+        assert isinstance(add.operands[1], PoisonValue)
+
+    def test_vector_literal(self):
+        fn = parse_function(
+            "define <2 x i8> @f(<2 x i8> %v) {\n"
+            "  %r = add <2 x i8> %v, <i8 1, i8 2>\n  ret <2 x i8> %r\n}")
+        literal = next(iter(fn.instructions())).operands[1]
+        assert [lane.value for lane in literal.elements] == [1, 2]
+
+
+class TestErrorMessages:
+    def test_bare_intrinsic_opcode_is_paper_error(self):
+        # Figure 3b/3c: `smax` used as an opcode must produce the exact
+        # diagnostic the paper shows being fed back to the model.
+        bad = ("define i8 @f(i8 %x) {\n"
+               "  %m = smax i8 %x, 0\n  ret i8 %m\n}")
+        with pytest.raises(ParseError) as err:
+            parse_function(bad)
+        rendered = err.value.render()
+        assert "error: expected instruction opcode" in rendered
+        assert "^" in rendered
+
+    def test_error_has_location(self):
+        bad = ("define i8 @f(i8 %x) {\n"
+               "  %m = frobnicate i8 %x\n  ret i8 %m\n}")
+        with pytest.raises(ParseError) as err:
+            parse_function(bad)
+        assert err.value.line == 2
+
+    def test_unknown_intrinsic(self):
+        bad = ("define i8 @f(i8 %x) {\n"
+               "  %m = call i8 @llvm.totallyreal.i8(i8 %x)\n"
+               "  ret i8 %m\n}")
+        with pytest.raises(ParseError, match="unknown intrinsic"):
+            parse_function(bad)
+
+    def test_wrong_intrinsic_return_type(self):
+        bad = ("define i8 @f(i32 %x) {\n"
+               "  %m = call i8 @llvm.umin.i32(i32 %x, i32 3)\n"
+               "  ret i8 %m\n}")
+        with pytest.raises(ParseError, match="wrong return type"):
+            parse_function(bad)
+
+    def test_duplicate_definition(self):
+        bad = ("define i8 @f(i8 %x) {\n"
+               "  %m = add i8 %x, 1\n  %m = add i8 %x, 2\n  ret i8 %m\n}")
+        with pytest.raises(ParseError, match="multiple definition"):
+            parse_function(bad)
+
+    def test_use_of_undefined_value(self):
+        bad = ("define i8 @f(i8 %x) {\n  ret i8 %nope\n}")
+        with pytest.raises(ParseError, match="undefined value"):
+            parse_function(bad)
+
+    def test_type_mismatch_in_call_args(self):
+        bad = ("define i32 @f(i8 %x) {\n"
+               "  %m = call i32 @llvm.umin.i32(i8 %x, i32 3)\n"
+               "  ret i32 %m\n}")
+        with pytest.raises(ParseError):
+            parse_function(bad)
+
+
+class TestModules:
+    def test_multiple_functions(self):
+        module = parse_module(FIG1B + "\n" + FIG1B.replace("@src", "@tgt"))
+        assert len(module) == 2
+        assert module.get_function("tgt").name == "tgt"
+
+    def test_declare_skipped(self):
+        text = ("declare i32 @llvm.umin.i32(i32, i32)\n" + FIG1B)
+        module = parse_module(text)
+        assert len(module) == 1
+
+    def test_parse_function_requires_single(self):
+        with pytest.raises(ParseError, match="exactly one"):
+            parse_function(FIG1B + "\n" + FIG1B.replace("@src", "@tgt"))
+
+    def test_comments_ignored(self):
+        text = "; header comment\n" + FIG1B.replace(
+            "ret i8 %5", "ret i8 %5 ; trailing")
+        fn = parse_function(text)
+        assert fn.name == "src"
+
+
+class TestMultiBlock:
+    CFG = """
+define i8 @f(i1 %c, i8 %x) {
+entry:
+  br i1 %c, label %then, label %exit
+then:
+  %d = add i8 %x, 1
+  br label %exit
+exit:
+  %r = phi i8 [ %d, %then ], [ %x, %entry ]
+  ret i8 %r
+}
+"""
+
+    def test_blocks(self):
+        fn = parse_function(self.CFG)
+        assert [b.label for b in fn.blocks] == ["entry", "then", "exit"]
+
+    def test_phi_resolved(self):
+        fn = parse_function(self.CFG)
+        phi = fn.block_by_label("exit").instructions[0]
+        values = [v for v, _ in phi.incoming]
+        assert values[0].name == "d"
+        assert values[1].name == "x"
+
+    def test_forward_reference_in_phi(self):
+        loop = """
+define i8 @f(i8 %n) {
+entry:
+  br label %loop
+loop:
+  %i = phi i8 [ 0, %entry ], [ %next, %loop ]
+  %next = add i8 %i, 1
+  %done = icmp eq i8 %next, %n
+  br i1 %done, label %exit, label %loop
+exit:
+  ret i8 %next
+}
+"""
+        fn = parse_function(loop)
+        phi = fn.block_by_label("loop").instructions[0]
+        next_inst = fn.block_by_label("loop").instructions[1]
+        assert phi.operands[1] is next_inst

@@ -1,0 +1,168 @@
+"""Unit tests for the IR type system."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir.types import (
+    DOUBLE,
+    FLOAT,
+    HALF,
+    I1,
+    I8,
+    I16,
+    I32,
+    I64,
+    LABEL,
+    PTR,
+    VOID,
+    FloatType,
+    FunctionType,
+    IntType,
+    VectorType,
+    float_type,
+    int_type,
+    parse_type_token,
+    vector_type,
+)
+
+
+class TestIntType:
+    def test_interning(self):
+        assert int_type(32) is int_type(32)
+        assert int_type(32) == IntType(32)
+
+    def test_widths(self):
+        assert I1.bits == 1
+        assert I8.bit_width == 8
+        assert I64.bit_width == 64
+
+    def test_mask(self):
+        assert I8.mask == 0xFF
+        assert I1.mask == 1
+        assert I32.mask == 0xFFFFFFFF
+
+    def test_signed_bounds(self):
+        assert I8.signed_min == -128
+        assert I8.signed_max == 127
+
+    def test_invalid_width_rejected(self):
+        with pytest.raises(IRError):
+            IntType(0)
+        with pytest.raises(IRError):
+            IntType(129)
+        with pytest.raises(IRError):
+            IntType(-4)
+
+    def test_str(self):
+        assert str(I32) == "i32"
+        assert str(int_type(7)) == "i7"
+
+    def test_scalar_type_is_self(self):
+        assert I32.scalar_type() is I32
+
+    def test_predicates(self):
+        assert I32.is_integer
+        assert not I32.is_float
+        assert not I32.is_vector
+
+
+class TestFloatType:
+    def test_kinds(self):
+        assert HALF.bit_width == 16
+        assert FLOAT.bit_width == 32
+        assert DOUBLE.bit_width == 64
+
+    def test_invalid_kind(self):
+        with pytest.raises(IRError):
+            FloatType("quad")
+
+    def test_str(self):
+        assert str(DOUBLE) == "double"
+        assert str(HALF) == "half"
+
+    def test_mantissa_exponent(self):
+        assert DOUBLE.mantissa_bits == 52
+        assert FLOAT.exponent_bits == 8
+
+    def test_equality(self):
+        assert float_type("double") == DOUBLE
+        assert FLOAT != DOUBLE
+
+
+class TestVectorType:
+    def test_construction(self):
+        v = vector_type(I32, 4)
+        assert v.count == 4
+        assert v.element == I32
+        assert str(v) == "<4 x i32>"
+
+    def test_bit_width(self):
+        assert vector_type(I32, 4).bit_width == 128
+        assert vector_type(I8, 2).bit_width == 16
+
+    def test_scalar_type(self):
+        assert vector_type(I32, 4).scalar_type() == I32
+
+    def test_with_scalar(self):
+        narrowed = vector_type(I32, 4).with_scalar(I8)
+        assert narrowed == vector_type(I8, 4)
+
+    def test_scalar_with_scalar(self):
+        assert I32.with_scalar(I8) == I8
+
+    def test_invalid_element(self):
+        with pytest.raises(IRError):
+            VectorType(VOID, 4)
+
+    def test_invalid_count(self):
+        with pytest.raises(IRError):
+            VectorType(I32, 0)
+
+    def test_equality_and_hash(self):
+        assert vector_type(I8, 4) == VectorType(I8, 4)
+        assert hash(vector_type(I8, 4)) == hash(VectorType(I8, 4))
+        assert vector_type(I8, 4) != vector_type(I8, 8)
+
+
+class TestSingletons:
+    def test_void_singleton(self):
+        from repro.ir.types import VoidType
+        assert VoidType() is VOID
+
+    def test_pointer(self):
+        assert PTR.is_pointer
+        assert PTR.bit_width == 64
+        assert str(PTR) == "ptr"
+
+    def test_label_not_first_class(self):
+        assert not LABEL.is_first_class
+        assert not VOID.is_first_class
+        assert I32.is_first_class
+
+    def test_void_has_no_width(self):
+        with pytest.raises(IRError):
+            VOID.bit_width
+
+
+class TestFunctionType:
+    def test_str(self):
+        ft = FunctionType(I32, (I8, PTR))
+        assert str(ft) == "i32 (i8, ptr)"
+
+    def test_equality(self):
+        assert FunctionType(I32, (I8,)) == FunctionType(I32, (I8,))
+        assert FunctionType(I32, (I8,)) != FunctionType(I32, (I16,))
+
+
+class TestParseTypeToken:
+    @pytest.mark.parametrize("token,expected", [
+        ("i1", I1), ("i8", I8), ("i32", I32), ("i64", I64),
+        ("double", DOUBLE), ("float", FLOAT), ("half", HALF),
+        ("ptr", PTR), ("void", VOID),
+    ])
+    def test_valid(self, token, expected):
+        assert parse_type_token(token) == expected
+
+    @pytest.mark.parametrize("token", ["i0", "i200", "int", "f32", "x"])
+    def test_invalid(self, token):
+        assert parse_type_token(token) is None

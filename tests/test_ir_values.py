@@ -1,0 +1,142 @@
+"""Unit tests for SSA values and constants."""
+
+import math
+
+import pytest
+
+from repro.errors import TypeMismatchError
+from repro.ir.types import DOUBLE, I1, I8, I32, PTR, vector_type
+from repro.ir.values import (
+    Argument,
+    ConstantFP,
+    ConstantInt,
+    ConstantPointerNull,
+    ConstantVector,
+    PoisonValue,
+    UndefValue,
+    const_bool,
+    const_fp,
+    const_int,
+    format_float_literal,
+    match_scalar_int,
+    splat,
+    zero_value,
+)
+
+
+class TestConstantInt:
+    def test_masking(self):
+        assert ConstantInt(I8, 256).value == 0
+        assert ConstantInt(I8, -1).value == 255
+
+    def test_signed_value(self):
+        assert ConstantInt(I8, 255).signed_value == -1
+        assert ConstantInt(I8, 127).signed_value == 127
+        assert ConstantInt(I8, 128).signed_value == -128
+
+    def test_predicates(self):
+        assert ConstantInt(I8, 0).is_zero
+        assert ConstantInt(I8, 1).is_one
+        assert ConstantInt(I8, 255).is_all_ones
+        assert not ConstantInt(I8, 2).is_one
+
+    def test_operand_ref(self):
+        assert ConstantInt(I32, -5).operand_ref() == "-5"
+        assert ConstantInt(I1, 1).operand_ref() == "true"
+        assert ConstantInt(I1, 0).operand_ref() == "false"
+
+    def test_equality(self):
+        assert ConstantInt(I8, 3) == ConstantInt(I8, 3)
+        assert ConstantInt(I8, 3) != ConstantInt(I32, 3)
+        assert hash(ConstantInt(I8, 3)) == hash(ConstantInt(I8, 3))
+
+    def test_requires_int_type(self):
+        with pytest.raises(TypeMismatchError):
+            ConstantInt(DOUBLE, 1)
+
+
+class TestConstantFP:
+    def test_nan(self):
+        assert ConstantFP(DOUBLE, float("nan")).is_nan
+        assert not ConstantFP(DOUBLE, 1.0).is_nan
+
+    def test_nan_equality(self):
+        a = ConstantFP(DOUBLE, float("nan"))
+        b = ConstantFP(DOUBLE, float("nan"))
+        assert a == b
+
+    def test_signed_zero_distinct(self):
+        assert ConstantFP(DOUBLE, 0.0) != ConstantFP(DOUBLE, -0.0)
+
+    def test_literal_format(self):
+        assert format_float_literal(0.0) == "0.000000e+00"
+        assert format_float_literal(1.0) == "1.000000e+00"
+        assert format_float_literal(255.0) == "2.550000e+02"
+        assert format_float_literal(-0.5) == "-5.000000e-01"
+
+
+class TestVectorConstants:
+    def test_splat(self):
+        v4 = vector_type(I32, 4)
+        c = splat(v4, ConstantInt(I32, 255))
+        assert c.is_splat
+        assert c.operand_ref() == "splat (i32 255)"
+
+    def test_zeroinitializer_render(self):
+        v4 = vector_type(I32, 4)
+        assert zero_value(v4).operand_ref() == "zeroinitializer"
+
+    def test_lane_count_checked(self):
+        v4 = vector_type(I32, 4)
+        with pytest.raises(TypeMismatchError):
+            ConstantVector(v4, [ConstantInt(I32, 1)] * 3)
+
+    def test_lane_type_checked(self):
+        v4 = vector_type(I32, 4)
+        with pytest.raises(TypeMismatchError):
+            ConstantVector(v4, [ConstantInt(I8, 1)] * 4)
+
+    def test_non_splat_render(self):
+        v2 = vector_type(I8, 2)
+        c = ConstantVector(v2, [ConstantInt(I8, 1), ConstantInt(I8, 2)])
+        assert not c.is_splat
+        assert c.operand_ref() == "<i8 1, i8 2>"
+
+
+class TestHelpers:
+    def test_const_int_splats_vectors(self):
+        v4 = vector_type(I8, 4)
+        c = const_int(v4, 7)
+        assert isinstance(c, ConstantVector)
+        assert c.is_splat
+
+    def test_const_bool(self):
+        assert const_bool(True).value == 1
+        assert const_bool(False).value == 0
+
+    def test_const_fp(self):
+        assert const_fp(DOUBLE, 1.5).value == 1.5
+
+    def test_zero_value_pointer(self):
+        assert isinstance(zero_value(PTR), ConstantPointerNull)
+
+    def test_match_scalar_int(self):
+        assert match_scalar_int(ConstantInt(I8, 3)).value == 3
+        v4 = vector_type(I8, 4)
+        assert match_scalar_int(const_int(v4, 3)).value == 3
+        assert match_scalar_int(Argument(I8, "x")) is None
+        assert match_scalar_int(const_fp(DOUBLE, 1.0)) is None
+
+    def test_undef_poison(self):
+        assert UndefValue(I8).operand_ref() == "undef"
+        assert PoisonValue(I8).operand_ref() == "poison"
+        assert UndefValue(I8) == UndefValue(I8)
+        assert UndefValue(I8) != PoisonValue(I8)
+
+
+class TestArgument:
+    def test_basic(self):
+        arg = Argument(I32, "x", 2)
+        assert arg.operand_ref() == "%x"
+        assert arg.index == 2
+        assert not arg.is_constant

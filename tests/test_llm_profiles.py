@@ -1,0 +1,105 @@
+"""Sanity tests for the model capability profiles (Table 1 metadata and
+the calibration constraints the RQ1 experiment depends on)."""
+
+import pytest
+
+from repro.llm.profiles import (
+    ALL_MODELS,
+    GEMINI20,
+    GEMINI20T,
+    GEMINI25,
+    GEMMA3,
+    GPT41,
+    LLAMA33,
+    MODELS_BY_NAME,
+    O4MINI,
+    RQ1_MODELS,
+)
+
+
+class TestTable1Metadata:
+    def test_versions_match_paper(self):
+        assert GEMMA3.version == "gemma3:27b"
+        assert LLAMA33.version == "llama3.3:70b"
+        assert GEMINI20.version == "gemini-2.0-flash"
+        assert GEMINI20T.version == "gemini-2.0-flash-thinking-exp-01-21"
+        assert GPT41.version == "gpt-4.1-2025-04-14"
+        assert O4MINI.version == "o4-mini-2025-04-16"
+        assert GEMINI25.version == "gemini-2.5-flash-lite"
+
+    def test_reasoning_flags(self):
+        assert not GEMMA3.reasoning and not LLAMA33.reasoning
+        assert not GEMINI20.reasoning and not GPT41.reasoning
+        assert GEMINI20T.reasoning and O4MINI.reasoning
+        assert GEMINI25.reasoning
+
+    def test_cutoffs(self):
+        assert LLAMA33.cutoff == "12/2023"
+        assert GEMINI20T.cutoff == "08/2024"
+        assert GEMINI25.cutoff == "01/2025"
+
+    def test_gemini25_excluded_from_rq1(self):
+        assert GEMINI25 not in RQ1_MODELS
+        assert GEMINI25 in ALL_MODELS
+        assert len(RQ1_MODELS) == 6 and len(ALL_MODELS) == 7
+
+
+class TestCalibrationConstraints:
+    def test_reasoning_models_strictly_stronger(self):
+        for skill in ("logic", "bit-tricks", "icmp-range", "minmax"):
+            assert (GEMINI20T.skill_strength(skill)
+                    > GEMINI20.skill_strength(skill))
+            assert (O4MINI.skill_strength(skill)
+                    > GPT41.skill_strength(skill))
+
+    def test_gemma_is_weakest(self):
+        for profile in (LLAMA33, GEMINI20, GPT41, GEMINI20T, O4MINI):
+            assert (GEMMA3.skill_strength("logic")
+                    < profile.skill_strength("logic"))
+
+    def test_probabilities_in_range(self):
+        for profile in ALL_MODELS:
+            for value in profile.skills.values():
+                assert 0.0 <= value <= 1.0
+            assert 0.0 <= profile.syntax_error_rate <= 1.0
+            assert 0.0 <= profile.hallucination_rate <= 1.0
+            assert 0.0 <= profile.repair_rate <= 1.0
+            assert profile.feedback_boost >= 1.0
+
+    def test_local_models_are_free(self):
+        for profile in ALL_MODELS:
+            if profile.local:
+                assert profile.usd_per_million_output == 0.0
+            else:
+                assert profile.usd_per_million_output > 0.0
+
+    def test_rq3_latency_relationship(self):
+        # Table 4: local Llama is the slow deployment, Gemini2.5 the
+        # fast API one.
+        assert (LLAMA33.mean_latency_seconds
+                > 3 * GEMINI25.mean_latency_seconds)
+
+    def test_lookup_table(self):
+        assert MODELS_BY_NAME["o4-mini"] is O4MINI
+        assert set(MODELS_BY_NAME) == {p.name for p in ALL_MODELS}
+
+
+class TestSuccessProbabilityModel:
+    def test_sigmoid_gate(self):
+        from repro.llm.knowledge import KnowledgeEntry
+        from repro.llm.simulated import SimulatedLLM
+        llm = SimulatedLLM(GEMINI20T)
+        easy = KnowledgeEntry(1, "", "logic", 0.2)
+        hard = KnowledgeEntry(2, "", "logic", 0.95)
+        unknown_skill = KnowledgeEntry(3, "", "memory", 0.2)
+        assert llm._success_probability(easy) > 0.9
+        assert llm._success_probability(hard) < 0.4
+        assert (llm._success_probability(unknown_skill)
+                < llm._success_probability(easy))
+
+    def test_zero_strength_is_zero_probability(self):
+        from repro.llm.knowledge import KnowledgeEntry
+        from repro.llm.simulated import SimulatedLLM
+        llm = SimulatedLLM(GEMMA3)   # no fp skill at all
+        entry = KnowledgeEntry(1, "", "fp", 0.1)
+        assert llm._success_probability(entry) == 0.0

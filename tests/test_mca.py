@@ -1,0 +1,102 @@
+"""Tests for the llvm-mca-style static cost model."""
+
+import pytest
+
+from repro.ir import parse_function
+from repro.mca import analyze_function, instruction_cost, total_cycles
+
+
+def cycles(src):
+    return total_cycles(parse_function(src))
+
+
+class TestRelativeCosts:
+    def test_division_much_slower_than_add(self):
+        div = cycles("define i32 @f(i32 %x, i32 %y) {\n"
+                     "  %r = udiv i32 %x, %y\n  ret i32 %r\n}")
+        add = cycles("define i32 @f(i32 %x, i32 %y) {\n"
+                     "  %r = add i32 %x, %y\n  ret i32 %r\n}")
+        assert div > 5 * add
+
+    def test_mul_slower_than_shift(self):
+        mul = cycles("define i32 @f(i32 %x) {\n  %r = mul i32 %x, 5\n"
+                     "  ret i32 %r\n}")
+        shl = cycles("define i32 @f(i32 %x) {\n  %r = shl i32 %x, 2\n"
+                     "  ret i32 %r\n}")
+        assert mul > shl
+
+    def test_mul_vs_shift_add_wontfix_case(self):
+        # The 130954 wontfix: shl+add beats mul on cycles despite more
+        # instructions — the interestingness tie-breaker the paper needs.
+        mul = cycles("define i32 @f(i32 %x) {\n  %r = mul i32 %x, 5\n"
+                     "  ret i32 %r\n}")
+        shl_add = cycles("define i32 @f(i32 %x) {\n"
+                         "  %s = shl i32 %x, 2\n"
+                         "  %r = add i32 %s, %x\n  ret i32 %r\n}")
+        assert shl_add < mul
+
+    def test_fewer_instructions_fewer_cycles(self):
+        long_chain = cycles(
+            "define i8 @f(i8 %x) {\n  %a = add i8 %x, 1\n"
+            "  %b = add i8 %a, 1\n  %c = add i8 %b, 1\n"
+            "  ret i8 %c\n}")
+        short = cycles("define i8 @f(i8 %x) {\n  %a = add i8 %x, 3\n"
+                       "  ret i8 %a\n}")
+        assert short < long_chain
+
+    def test_load_latency(self):
+        load = cycles("define i32 @f(ptr %p) {\n"
+                      "  %r = load i32, ptr %p, align 4\n  ret i32 %r\n}")
+        assert load >= 3
+
+
+class TestDependencyModel:
+    def test_dependent_chain_longer_than_parallel(self):
+        chain = cycles("define i8 @f(i8 %x) {\n"
+                       "  %a = add i8 %x, 1\n  %b = add i8 %a, 1\n"
+                       "  %c = add i8 %b, 1\n  %d = add i8 %c, 1\n"
+                       "  ret i8 %d\n}")
+        parallel = cycles("define i8 @f(i8 %x, i8 %y) {\n"
+                          "  %a = add i8 %x, 1\n  %b = add i8 %y, 1\n"
+                          "  %c = add i8 %x, 2\n  %d = add i8 %a, %b\n"
+                          "  ret i8 %d\n}")
+        assert parallel <= chain
+
+    def test_critical_path_reported(self):
+        report = analyze_function(parse_function(
+            "define i32 @f(ptr %p) {\n"
+            "  %v = load i32, ptr %p, align 4\n"
+            "  %r = add i32 %v, 1\n  ret i32 %r\n}"))
+        assert report.critical_path >= 4  # 3 (load) + 1 (add)
+
+
+class TestVectorScaling:
+    def test_wide_vectors_cost_more(self):
+        narrow = cycles("define <4 x i32> @f(<4 x i32> %v) {\n"
+                        "  %r = add <4 x i32> %v, %v\n"
+                        "  ret <4 x i32> %r\n}")
+        wide = cycles("define <8 x i32> @f(<8 x i32> %v) {\n"
+                      "  %r = add <8 x i32> %v, %v\n"
+                      "  ret <8 x i32> %r\n}")
+        assert wide >= narrow
+
+
+class TestInstructionCost:
+    def test_terminators_free(self):
+        fn = parse_function("define i8 @f(i8 %x) {\n  ret i8 %x\n}")
+        ret = fn.entry.instructions[0]
+        assert instruction_cost(ret).uops == 0
+
+    def test_intrinsic_costs(self):
+        fn = parse_function(
+            "define i32 @f(i32 %x) {\n"
+            "  %r = call i32 @llvm.ctpop.i32(i32 %x)\n  ret i32 %r\n}")
+        call = fn.entry.instructions[0]
+        assert instruction_cost(call).latency >= 2
+
+    def test_report_str(self):
+        report = analyze_function(parse_function(
+            "define i8 @f(i8 %x) {\n  %a = add i8 %x, 1\n  ret i8 %a\n}"))
+        text = str(report)
+        assert "Total Cycles" in text
+        assert report.instruction_count == 1

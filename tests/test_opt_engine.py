@@ -1,0 +1,175 @@
+"""Tests for the rewrite engine mechanics (not individual rules)."""
+
+import pytest
+
+from repro.errors import IRError
+from repro.ir import parse_function, print_function
+from repro.opt import (
+    CombineStats,
+    InstCombine,
+    RuleRegistry,
+    run_dce,
+    run_opt,
+)
+from repro.opt.engine import RuleInfo
+
+
+class TestDCE:
+    def test_removes_unused(self):
+        fn = parse_function("define i8 @f(i8 %x) {\n"
+                            "  %dead = add i8 %x, 1\n"
+                            "  %dead2 = mul i8 %dead, 2\n"
+                            "  ret i8 %x\n}")
+        assert run_dce(fn)
+        assert fn.instruction_count() == 0
+
+    def test_keeps_side_effects(self):
+        fn = parse_function("define void @f(ptr %p, i8 %x) {\n"
+                            "  store i8 %x, ptr %p, align 1\n"
+                            "  ret void\n}")
+        assert not run_dce(fn)
+        assert fn.instruction_count() == 1
+
+    def test_chains_removed_in_one_call(self):
+        fn = parse_function("define i8 @f(i8 %x) {\n"
+                            "  %a = add i8 %x, 1\n"
+                            "  %b = add i8 %a, 1\n"
+                            "  %c = add i8 %b, 1\n"
+                            "  ret i8 %x\n}")
+        run_dce(fn)
+        assert fn.instruction_count() == 0
+
+
+class TestEngineMechanics:
+    def test_stats_counted(self):
+        stats = CombineStats()
+        fn = parse_function("define i8 @f(i8 %x) {\n"
+                            "  %a = add i8 %x, 0\n"
+                            "  %b = mul i8 %a, 4\n  ret i8 %b\n}")
+        InstCombine().run(fn, stats=stats)
+        assert stats.total_rewrites >= 2
+        assert stats.rules_tried > 0
+        assert stats.iterations >= 1
+
+    def test_custom_registry_isolated(self):
+        registry = RuleRegistry()
+        fn = parse_function("define i8 @f(i8 %x) {\n"
+                            "  %a = add i8 %x, 0\n  ret i8 %a\n}")
+        # Empty registry: only folding/DCE apply; add X,0 has a
+        # non-constant operand so nothing happens.
+        changed = InstCombine(registry=registry).run(fn)
+        assert not changed
+
+    def test_extra_rules_compose(self):
+        from repro.opt import patch_rules
+        fn = parse_function("define i32 @f(i32 %x) {\n"
+                            "  %s = lshr i32 %x, 31\n"
+                            "  %r = and i32 %s, 1\n  ret i32 %r\n}")
+        stock = InstCombine().run(fn.clone())
+        assert not stock
+        patched = InstCombine(
+            extra_rules=patch_rules([163108])).run(fn)
+        assert patched
+
+    def test_ping_pong_guard(self):
+        registry = RuleRegistry()
+
+        def oscillate(inst, ctx):
+            # Pathological rule: always "changes" by swapping operands.
+            inst.operands[0], inst.operands[1] = (inst.operands[1],
+                                                  inst.operands[0])
+            return inst
+
+        registry.register(RuleInfo("oscillate", ("add",), oscillate))
+        fn = parse_function("define i8 @f(i8 %x, i8 %y) {\n"
+                            "  %r = add i8 %x, %y\n  ret i8 %r\n}")
+        with pytest.raises(IRError, match="converge"):
+            InstCombine(registry=registry).run(fn)
+
+    def test_rule_ir_errors_skipped(self):
+        registry = RuleRegistry()
+
+        def broken(inst, ctx):
+            # Builds an ill-typed instruction; the engine must treat the
+            # rule as non-matching rather than crash.
+            return ctx.binary("add", inst.operands[0],
+                              ctx.constant(inst.type, 0).type
+                              and _wrong_type_value())
+
+        from repro.ir.values import ConstantInt
+        from repro.ir.types import I32
+
+        def _wrong_type_value():
+            return ConstantInt(I32, 1)
+
+        registry.register(RuleInfo("broken", ("add",), broken))
+        fn = parse_function("define i8 @f(i8 %x) {\n"
+                            "  %r = add i8 %x, %x\n  ret i8 %r\n}")
+        changed = InstCombine(registry=registry).run(fn)
+        assert not changed  # rule failed cleanly, nothing applied
+
+    def test_pending_instructions_only_on_success(self):
+        # A rule that builds ctx instructions but returns None must not
+        # leak them into the block.
+        registry = RuleRegistry()
+
+        def teasing(inst, ctx):
+            ctx.binary("add", inst.operands[0], inst.operands[1])
+            return None
+
+        registry.register(RuleInfo("teasing", ("add",), teasing))
+        fn = parse_function("define i8 @f(i8 %x, i8 %y) {\n"
+                            "  %r = add i8 %x, %y\n  ret i8 %r\n}")
+        InstCombine(registry=registry).run(fn)
+        assert fn.instruction_count() == 1
+
+
+class TestRunOpt:
+    def test_clone_semantics(self):
+        fn = parse_function("define i8 @f(i8 %x) {\n"
+                            "  %a = add i8 %x, 0\n  ret i8 %a\n}")
+        result = run_opt(fn)
+        assert result.changed
+        # run_opt on a Function must not mutate the original.
+        assert fn.instruction_count() == 1
+
+    def test_parse_error_rendered(self):
+        result = run_opt("define i8 @f(i8 %x) {\n  %a = bogus i8 %x\n"
+                         "  ret i8 %a\n}")
+        assert result.is_failed
+        assert result.error_message.startswith("error:")
+
+    def test_new_candidate_property(self):
+        result = run_opt("define i8 @f(i8 %x) {\n"
+                         "  %a = add i8 %x, 0\n  ret i8 %a\n}")
+        assert "ret i8 %x" in result.new_candidate
+
+    def test_can_further_optimize(self):
+        from repro.opt import can_further_optimize
+        reducible = parse_function(
+            "define i8 @f(i8 %x) {\n  %a = add i8 %x, 0\n"
+            "  %b = add i8 %a, 0\n  ret i8 %b\n}")
+        assert can_further_optimize(reducible)
+        canonical = parse_function(
+            "define i8 @f(i8 %x, i8 %y) {\n  %a = add i8 %x, %y\n"
+            "  ret i8 %a\n}")
+        assert not can_further_optimize(canonical)
+
+
+class TestRegistryBookkeeping:
+    def test_default_registry_has_many_rules(self):
+        from repro.opt import DEFAULT_REGISTRY
+        assert len(DEFAULT_REGISTRY) >= 40
+
+    def test_patch_registry_separate(self):
+        from repro.opt import DEFAULT_REGISTRY, PATCH_REGISTRY, patch_rules
+        patch_rules()  # force registration
+        default_names = {info.name for info in DEFAULT_REGISTRY.all_rules()}
+        patch_names = {info.name for info in PATCH_REGISTRY.all_rules()}
+        assert not default_names & patch_names
+
+    def test_patch_rules_filter(self):
+        from repro.opt import patch_rules
+        subset = patch_rules([163108, 143636])
+        assert {info.issue_id for info in subset} == {163108, 143636}
+        assert len(patch_rules()) >= 13

@@ -1,0 +1,170 @@
+"""Tests for the PatternMatch-style matcher combinators."""
+
+import pytest
+
+from repro.ir import parse_function
+from repro.opt.patterns import (
+    m_all_ones,
+    m_any,
+    m_binop,
+    m_capture,
+    m_cast,
+    m_constint,
+    m_constint_where,
+    m_icmp,
+    m_intrinsic,
+    m_neg,
+    m_not,
+    m_one_use,
+    m_power_of_two,
+    m_same,
+    m_select,
+    m_signbit,
+    m_zero,
+    match,
+)
+
+
+def last_inst(src):
+    fn = parse_function(src)
+    from repro.opt.dce import recompute_uses
+    recompute_uses(fn)
+    body = [i for i in fn.instructions() if not i.is_terminator]
+    return body[-1]
+
+
+class TestLeafMatchers:
+    def test_capture_and_same(self):
+        inst = last_inst("define i8 @f(i8 %x) {\n"
+                         "  %r = add i8 %x, %x\n  ret i8 %r\n}")
+        bindings = match(m_binop("add", m_capture("a"), m_same("a")), inst)
+        assert bindings is not None
+        assert bindings["a"].name == "x"
+
+    def test_same_rejects_different(self):
+        inst = last_inst("define i8 @f(i8 %x, i8 %y) {\n"
+                         "  %r = add i8 %x, %y\n  ret i8 %r\n}")
+        assert match(m_binop("add", m_capture("a"), m_same("a")),
+                     inst) is None
+
+    def test_constint_captures_scalar(self):
+        inst = last_inst("define i8 @f(i8 %x) {\n"
+                         "  %r = add i8 %x, 7\n  ret i8 %r\n}")
+        bindings = match(m_binop("add", m_any(), m_constint("c")), inst)
+        assert bindings["c"].value == 7
+
+    def test_constint_sees_through_splat(self):
+        inst = last_inst(
+            "define <2 x i8> @f(<2 x i8> %v) {\n"
+            "  %r = add <2 x i8> %v, splat (i8 9)\n"
+            "  ret <2 x i8> %r\n}")
+        bindings = match(m_binop("add", m_any(), m_constint("c")), inst)
+        assert bindings["c"].value == 9
+        assert bindings["c.orig"].is_splat
+
+    @pytest.mark.parametrize("value,matcher,hit", [
+        (0, m_zero, True), (1, m_zero, False),
+        (255, m_all_ones, True), (1, m_all_ones, False),
+        (128, m_signbit, True), (64, m_signbit, False),
+        (8, m_power_of_two, True), (6, m_power_of_two, False),
+    ])
+    def test_constant_predicates(self, value, matcher, hit):
+        inst = last_inst(f"define i8 @f(i8 %x) {{\n"
+                         f"  %r = xor i8 %x, {value - 256 if value > 127 else value}\n"
+                         f"  ret i8 %r\n}}")
+        got = match(m_binop("xor", m_any(), matcher()), inst)
+        assert (got is not None) == hit
+
+    def test_constint_where(self):
+        inst = last_inst("define i8 @f(i8 %x) {\n"
+                         "  %r = add i8 %x, 6\n  ret i8 %r\n}")
+        even = m_constint_where(lambda c: c.value % 2 == 0, "c")
+        assert match(m_binop("add", m_any(), even), inst) is not None
+
+
+class TestStructuralMatchers:
+    def test_commutative_binop(self):
+        inst = last_inst("define i8 @f(i8 %x) {\n"
+                         "  %r = add i8 3, %x\n  ret i8 %r\n}")
+        strict = m_binop("add", m_capture("v"), m_constint("c"))
+        # Non-commutative order fails (constant is on the left)...
+        assert match(strict, inst) is None
+        commutative = m_binop("add", m_capture("v"), m_constint("c"),
+                              commutative=True)
+        bindings = match(commutative, inst)
+        assert bindings is not None and bindings["c"].value == 3
+
+    def test_flags_required(self):
+        plain = last_inst("define i8 @f(i8 %x) {\n"
+                          "  %r = shl i8 %x, 1\n  ret i8 %r\n}")
+        flagged = last_inst("define i8 @f(i8 %x) {\n"
+                            "  %r = shl nuw i8 %x, 1\n  ret i8 %r\n}")
+        needs_nuw = m_binop("shl", m_any(), m_any(), flags=("nuw",))
+        assert match(needs_nuw, plain) is None
+        assert match(needs_nuw, flagged) is not None
+
+    def test_icmp_predicate_and_capture(self):
+        inst = last_inst("define i1 @f(i8 %x) {\n"
+                         "  %r = icmp slt i8 %x, 0\n  ret i1 %r\n}")
+        assert match(m_icmp("slt", m_any(), m_zero()), inst) is not None
+        assert match(m_icmp("sgt", m_any(), m_zero()), inst) is None
+        bindings = match(m_icmp(None, m_any(), m_any(),
+                                capture_as="cmp"), inst)
+        assert bindings["cmp"].predicate == "slt"
+
+    def test_select_matcher(self):
+        inst = last_inst("define i8 @f(i1 %c, i8 %x, i8 %y) {\n"
+                         "  %r = select i1 %c, i8 %x, i8 %y\n"
+                         "  ret i8 %r\n}")
+        bindings = match(m_select(m_capture("c"), m_capture("t"),
+                                  m_capture("f")), inst)
+        assert bindings["t"].name == "x"
+
+    def test_cast_matcher(self):
+        inst = last_inst("define i32 @f(i8 %x) {\n"
+                         "  %r = zext i8 %x to i32\n  ret i32 %r\n}")
+        bindings = match(m_cast("zext", m_capture("v"),
+                                capture_as="ext"), inst)
+        assert bindings["v"].name == "x"
+        assert match(m_cast("sext", m_any()), inst) is None
+
+    def test_intrinsic_matcher_commutative(self):
+        inst = last_inst(
+            "define i8 @f(i8 %x) {\n"
+            "  %r = call i8 @llvm.umin.i8(i8 3, i8 %x)\n  ret i8 %r\n}")
+        ordered = m_intrinsic("umin", m_capture("v"), m_constint("c"))
+        assert match(ordered, inst) is None
+        commuted = m_intrinsic("umin", m_capture("v"), m_constint("c"),
+                               commutative=True)
+        assert match(commuted, inst) is not None
+
+    def test_not_and_neg_idioms(self):
+        not_inst = last_inst("define i8 @f(i8 %x) {\n"
+                             "  %r = xor i8 %x, -1\n  ret i8 %r\n}")
+        assert match(m_not(m_capture("v")), not_inst) is not None
+        neg_inst = last_inst("define i8 @f(i8 %x) {\n"
+                             "  %r = sub i8 0, %x\n  ret i8 %r\n}")
+        assert match(m_neg(m_capture("v")), neg_inst) is not None
+
+    def test_bindings_rollback_on_failure(self):
+        # A failed inner matcher must not leave partial captures behind.
+        inst = last_inst("define i8 @f(i8 %x, i8 %y) {\n"
+                         "  %r = add i8 %x, %y\n  ret i8 %r\n}")
+        pattern = m_binop("add", m_capture("a"), m_constint("c"),
+                          commutative=True)
+        bindings = {}
+        assert not pattern(inst, bindings)
+        assert bindings == {}
+
+    def test_one_use(self):
+        fn = parse_function("define i8 @f(i8 %x) {\n"
+                            "  %a = add i8 %x, 1\n"
+                            "  %b = mul i8 %a, %a\n  ret i8 %b\n}")
+        from repro.opt.dce import recompute_uses
+        recompute_uses(fn)
+        mul = fn.entry.instructions[1]
+        add = fn.entry.instructions[0]
+        # %a has two uses (both operands of %b).
+        assert len(add.uses) == 2
+        pattern = m_binop("mul", m_one_use(m_any()), m_any())
+        assert match(pattern, mul) is None

@@ -1,0 +1,355 @@
+"""Per-rule optimizer tests: each rewrite fires where expected and the
+result is what LLVM's InstCombine would produce."""
+
+import pytest
+
+from repro.ir import parse_function, print_function
+from repro.opt import run_opt
+
+
+def optimized(src):
+    result = run_opt(src)
+    assert result.ok, result.error
+    return result
+
+
+def body(src):
+    """The non-ret instruction opcodes after optimization."""
+    result = optimized(src)
+    return [inst.opcode for inst in result.function.instructions()
+            if not inst.is_terminator]
+
+
+def final_text(src):
+    return optimized(src).new_candidate
+
+
+class TestArithRules:
+    def test_add_zero(self):
+        assert body("define i8 @f(i8 %x) {\n  %r = add i8 %x, 0\n"
+                    "  ret i8 %r\n}") == []
+
+    def test_add_self_becomes_shl(self):
+        assert body("define i8 @f(i8 %x) {\n  %r = add i8 %x, %x\n"
+                    "  ret i8 %r\n}") == ["shl"]
+
+    def test_add_const_chain(self):
+        text = final_text("define i8 @f(i8 %x) {\n  %a = add i8 %x, 3\n"
+                          "  %r = add i8 %a, 4\n  ret i8 %r\n}")
+        assert "add i8 %x, 7" in text
+
+    def test_sub_self(self):
+        text = final_text("define i8 @f(i8 %x) {\n  %r = sub i8 %x, %x\n"
+                          "  ret i8 %r\n}")
+        assert "ret i8 0" in text
+
+    def test_sub_const_canonicalized_to_add(self):
+        text = final_text("define i8 @f(i8 %x) {\n  %r = sub i8 %x, 3\n"
+                          "  ret i8 %r\n}")
+        assert "add i8 %x, -3" in text
+
+    def test_neg_of_neg(self):
+        assert body("define i8 @f(i8 %x) {\n  %a = sub i8 0, %x\n"
+                    "  %r = sub i8 0, %a\n  ret i8 %r\n}") == []
+
+    def test_mul_pow2_to_shl(self):
+        text = final_text("define i8 @f(i8 %x) {\n  %r = mul i8 %x, 8\n"
+                          "  ret i8 %r\n}")
+        assert "shl i8 %x, 3" in text
+
+    def test_mul_pow2_preserves_flags(self):
+        text = final_text("define i8 @f(i8 %x) {\n"
+                          "  %r = mul nuw nsw i8 %x, 4\n  ret i8 %r\n}")
+        assert "shl nuw nsw i8 %x, 2" in text
+
+    def test_udiv_pow2_to_lshr(self):
+        text = final_text("define i8 @f(i8 %x) {\n  %r = udiv i8 %x, 4\n"
+                          "  ret i8 %r\n}")
+        assert "lshr i8 %x, 2" in text
+
+    def test_urem_pow2_to_and(self):
+        text = final_text("define i8 @f(i8 %x) {\n  %r = urem i8 %x, 8\n"
+                          "  ret i8 %r\n}")
+        assert "and i8 %x, 7" in text
+
+    def test_const_lhs_canonicalized_right(self):
+        text = final_text("define i8 @f(i8 %x) {\n  %r = add i8 3, %x\n"
+                          "  ret i8 %r\n}")
+        assert "add i8 %x, 3" in text
+
+
+class TestLogicRules:
+    def test_and_identities(self):
+        assert body("define i8 @f(i8 %x) {\n  %r = and i8 %x, -1\n"
+                    "  ret i8 %r\n}") == []
+        text = final_text("define i8 @f(i8 %x) {\n  %r = and i8 %x, 0\n"
+                          "  ret i8 %r\n}")
+        assert "ret i8 0" in text
+
+    def test_not_of_not(self):
+        assert body("define i8 @f(i8 %x) {\n  %a = xor i8 %x, -1\n"
+                    "  %r = xor i8 %a, -1\n  ret i8 %r\n}") == []
+
+    def test_and_with_not_self(self):
+        text = final_text("define i8 @f(i8 %x) {\n  %n = xor i8 %x, -1\n"
+                          "  %r = and i8 %x, %n\n  ret i8 %r\n}")
+        assert "ret i8 0" in text
+
+    def test_or_with_not_self(self):
+        text = final_text("define i8 @f(i8 %x) {\n  %n = xor i8 %x, -1\n"
+                          "  %r = or i8 %n, %x\n  ret i8 %r\n}")
+        assert "ret i8 -1" in text
+
+    def test_absorption(self):
+        assert body("define i8 @f(i8 %x, i8 %y) {\n"
+                    "  %o = or i8 %x, %y\n  %r = and i8 %x, %o\n"
+                    "  ret i8 %r\n}") == []
+
+    def test_logic_const_chain(self):
+        text = final_text("define i8 @f(i8 %x) {\n  %a = and i8 %x, 12\n"
+                          "  %r = and i8 %a, 10\n  ret i8 %r\n}")
+        assert "and i8 %x, 8" in text
+
+
+class TestShiftRules:
+    def test_shift_zero(self):
+        assert body("define i8 @f(i8 %x) {\n  %r = shl i8 %x, 0\n"
+                    "  ret i8 %r\n}") == []
+
+    def test_shl_chain_within_width(self):
+        text = final_text("define i8 @f(i8 %x) {\n  %a = shl i8 %x, 2\n"
+                          "  %r = shl i8 %a, 3\n  ret i8 %r\n}")
+        assert "shl i8 %x, 5" in text
+
+    def test_shl_chain_past_width(self):
+        text = final_text("define i8 @f(i8 %x) {\n  %a = shl i8 %x, 5\n"
+                          "  %r = shl i8 %a, 5\n  ret i8 %r\n}")
+        assert "ret i8 0" in text
+
+    def test_lshr_of_shl_same_amount(self):
+        text = final_text("define i8 @f(i8 %x) {\n  %a = shl i8 %x, 3\n"
+                          "  %r = lshr i8 %a, 3\n  ret i8 %r\n}")
+        assert "and i8 %x, 31" in text
+
+    def test_ashr_chain_clamps(self):
+        text = final_text("define i8 @f(i8 %x) {\n  %a = ashr i8 %x, 5\n"
+                          "  %r = ashr i8 %a, 5\n  ret i8 %r\n}")
+        assert "ashr i8 %x, 7" in text
+
+
+class TestICmpRules:
+    def test_same_operands(self):
+        text = final_text("define i1 @f(i8 %x) {\n"
+                          "  %r = icmp ule i8 %x, %x\n  ret i1 %r\n}")
+        assert "ret i1 true" in text
+
+    def test_tautology(self):
+        text = final_text("define i1 @f(i8 %x) {\n"
+                          "  %r = icmp ult i8 %x, 0\n  ret i1 %r\n}")
+        assert "ret i1 false" in text
+
+    def test_const_lhs_swapped(self):
+        text = final_text("define i1 @f(i8 %x) {\n"
+                          "  %r = icmp slt i8 3, %x\n  ret i1 %r\n}")
+        assert "icmp sgt i8 %x, 3" in text
+
+    def test_canonical_strictness(self):
+        text = final_text("define i1 @f(i8 %x) {\n"
+                          "  %r = icmp sle i8 %x, 5\n  ret i1 %r\n}")
+        assert "icmp slt i8 %x, 6" in text
+
+    def test_eq_add_const(self):
+        text = final_text("define i1 @f(i8 %x) {\n  %a = add i8 %x, 5\n"
+                          "  %r = icmp eq i8 %a, 7\n  ret i1 %r\n}")
+        assert "icmp eq i8 %x, 2" in text
+
+    def test_sub_zero(self):
+        text = final_text("define i1 @f(i8 %x, i8 %y) {\n"
+                          "  %d = sub i8 %x, %y\n"
+                          "  %r = icmp eq i8 %d, 0\n  ret i1 %r\n}")
+        assert "icmp eq i8 %x, %y" in text
+
+    def test_zext_narrowing(self):
+        text = final_text("define i1 @f(i8 %x) {\n"
+                          "  %w = zext i8 %x to i32\n"
+                          "  %r = icmp ult i32 %w, 10\n  ret i1 %r\n}")
+        assert "icmp ult i8 %x, 10" in text
+
+    def test_zext_impossible_eq(self):
+        text = final_text("define i1 @f(i8 %x) {\n"
+                          "  %w = zext i8 %x to i32\n"
+                          "  %r = icmp eq i32 %w, 1000\n  ret i1 %r\n}")
+        assert "ret i1 false" in text
+
+
+class TestSelectRules:
+    def test_same_arms(self):
+        assert body("define i8 @f(i1 %c, i8 %x) {\n"
+                    "  %r = select i1 %c, i8 %x, i8 %x\n"
+                    "  ret i8 %r\n}") == []
+
+    def test_spf_smax_formation(self):
+        text = final_text("define i8 @f(i8 %x) {\n"
+                          "  %c = icmp slt i8 %x, 0\n"
+                          "  %r = select i1 %c, i8 0, i8 %x\n"
+                          "  ret i8 %r\n}")
+        assert "llvm.smax.i8" in text
+
+    def test_spf_umin_formation(self):
+        text = final_text("define i8 @f(i8 %x, i8 %y) {\n"
+                          "  %c = icmp ult i8 %x, %y\n"
+                          "  %r = select i1 %c, i8 %x, i8 %y\n"
+                          "  ret i8 %r\n}")
+        assert "llvm.umin.i8" in text
+
+    def test_bool_arms_to_or(self):
+        text = final_text("define i1 @f(i1 %c, i1 %b) {\n"
+                          "  %r = select i1 %c, i1 true, i1 %b\n"
+                          "  ret i1 %r\n}")
+        assert "or i1 %c, %b" in text
+
+    def test_select_eq_replace(self):
+        assert body("define i8 @f(i8 %x) {\n"
+                    "  %c = icmp eq i8 %x, 3\n"
+                    "  %r = select i1 %c, i8 3, i8 %x\n"
+                    "  ret i8 %r\n}") == []
+
+    def test_not_cond_swaps_arms(self):
+        text = final_text("define i8 @f(i1 %c, i8 %x, i8 %y) {\n"
+                          "  %n = xor i1 %c, true\n"
+                          "  %r = select i1 %n, i8 %x, i8 %y\n"
+                          "  ret i8 %r\n}")
+        assert "select i1 %c, i8 %y, i8 %x" in text
+
+
+class TestCastRules:
+    def test_trunc_of_zext_same_width(self):
+        assert body("define i8 @f(i8 %x) {\n"
+                    "  %w = zext i8 %x to i32\n"
+                    "  %r = trunc i32 %w to i8\n  ret i8 %r\n}") == []
+
+    def test_trunc_of_zext_narrower(self):
+        text = final_text("define i8 @f(i16 %x) {\n"
+                          "  %w = zext i16 %x to i32\n"
+                          "  %r = trunc i32 %w to i8\n  ret i8 %r\n}")
+        assert "trunc i16 %x to i8" in text
+
+    def test_trunc_of_zext_wider(self):
+        text = final_text("define i16 @f(i8 %x) {\n"
+                          "  %w = zext i8 %x to i32\n"
+                          "  %r = trunc i32 %w to i16\n  ret i16 %r\n}")
+        assert "zext i8 %x to i16" in text
+
+    def test_ext_chains_collapse(self):
+        text = final_text("define i32 @f(i8 %x) {\n"
+                          "  %a = zext i8 %x to i16\n"
+                          "  %r = zext i16 %a to i32\n  ret i32 %r\n}")
+        assert "zext i8 %x to i32" in text
+
+    def test_sext_of_zext_is_zext(self):
+        text = final_text("define i32 @f(i8 %x) {\n"
+                          "  %a = zext i8 %x to i16\n"
+                          "  %r = sext i16 %a to i32\n  ret i32 %r\n}")
+        assert "zext i8 %x to i32" in text
+
+    def test_freeze_of_argument_removed(self):
+        assert body("define i8 @f(i8 %x) {\n  %r = freeze i8 %x\n"
+                    "  ret i8 %r\n}") == []
+
+
+class TestIntrinsicRules:
+    def test_minmax_same(self):
+        assert body("define i8 @f(i8 %x) {\n"
+                    "  %r = call i8 @llvm.umin.i8(i8 %x, i8 %x)\n"
+                    "  ret i8 %r\n}") == []
+
+    def test_umin_zero(self):
+        text = final_text("define i8 @f(i8 %x) {\n"
+                          "  %r = call i8 @llvm.umin.i8(i8 %x, i8 0)\n"
+                          "  ret i8 %r\n}")
+        assert "ret i8 0" in text
+
+    def test_umax_zero_is_identity(self):
+        assert body("define i8 @f(i8 %x) {\n"
+                    "  %r = call i8 @llvm.umax.i8(i8 %x, i8 0)\n"
+                    "  ret i8 %r\n}") == []
+
+    def test_nested_same_direction_consts(self):
+        text = final_text(
+            "define i8 @f(i8 %x) {\n"
+            "  %a = call i8 @llvm.umin.i8(i8 %x, i8 10)\n"
+            "  %r = call i8 @llvm.umin.i8(i8 %a, i8 20)\n"
+            "  ret i8 %r\n}")
+        assert "llvm.umin.i8(i8 %x, i8 10)" in text
+
+    def test_minmax_const_lhs_swapped(self):
+        text = final_text("define i8 @f(i8 %x) {\n"
+                          "  %r = call i8 @llvm.smax.i8(i8 3, i8 %x)\n"
+                          "  ret i8 %r\n}")
+        assert "@llvm.smax.i8(i8 %x, i8 3)" in text
+
+    def test_sat_identity(self):
+        assert body("define i8 @f(i8 %x) {\n"
+                    "  %r = call i8 @llvm.uadd.sat.i8(i8 %x, i8 0)\n"
+                    "  ret i8 %r\n}") == []
+
+    def test_abs_of_abs(self):
+        assert body("define i8 @f(i8 %x) {\n"
+                    "  %a = call i8 @llvm.abs.i8(i8 %x, i1 false)\n"
+                    "  %r = call i8 @llvm.abs.i8(i8 %a, i1 false)\n"
+                    "  ret i8 %r\n}") == ["call"]
+
+
+class TestFPRules:
+    def test_fadd_negzero(self):
+        assert body("define double @f(double %x) {\n"
+                    "  %r = fadd double %x, -0.000000e+00\n"
+                    "  ret double %r\n}") == []
+
+    def test_fmul_one(self):
+        assert body("define double @f(double %x) {\n"
+                    "  %r = fmul double %x, 1.000000e+00\n"
+                    "  ret double %r\n}") == []
+
+    def test_fcmp_trivial(self):
+        text = final_text("define i1 @f(double %x, double %y) {\n"
+                          "  %r = fcmp true double %x, %y\n  ret i1 %r\n}")
+        assert "ret i1 true" in text
+
+    def test_fcmp_self_ueq(self):
+        text = final_text("define i1 @f(double %x) {\n"
+                          "  %r = fcmp ueq double %x, %x\n  ret i1 %r\n}")
+        assert "ret i1 true" in text
+
+    def test_fadd_positive_zero_not_removed(self):
+        # x + (+0.0) is NOT x when x == -0.0; the optimizer must not fire.
+        assert body("define double @f(double %x) {\n"
+                    "  %r = fadd double %x, 0.000000e+00\n"
+                    "  ret double %r\n}") == ["fadd"]
+
+
+class TestConstantFolding:
+    def test_arith_folds(self):
+        text = final_text("define i8 @f() {\n  %a = add i8 3, 4\n"
+                          "  %r = mul i8 %a, 2\n  ret i8 %r\n}")
+        assert "ret i8 14" in text
+
+    def test_division_by_zero_not_folded(self):
+        assert body("define i8 @f() {\n  %r = udiv i8 1, 0\n"
+                    "  ret i8 %r\n}") == ["udiv"]
+
+    def test_icmp_folds(self):
+        text = final_text("define i1 @f() {\n  %r = icmp slt i8 -3, 2\n"
+                          "  ret i1 %r\n}")
+        assert "ret i1 true" in text
+
+    def test_poison_operand_folds_to_poison(self):
+        text = final_text("define i8 @f(i8 %x) {\n"
+                          "  %r = add i8 %x, poison\n  ret i8 %r\n}")
+        assert "ret i8 poison" in text
+
+    def test_intrinsic_folds(self):
+        text = final_text(
+            "define i8 @f() {\n"
+            "  %r = call i8 @llvm.umin.i8(i8 9, i8 4)\n  ret i8 %r\n}")
+        assert "ret i8 4" in text

@@ -1,0 +1,126 @@
+"""Property tests: the optimizer only performs refinements.
+
+Random straight-line functions are generated, optimized, and the result
+is checked against the original with the refinement tester.  This is the
+same guarantee Alive2 gives LLVM developers, turned into a CI property.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.ir.builder import IRBuilder
+from repro.ir.function import Function
+from repro.ir.printer import print_function
+from repro.ir.types import I1, I8, int_type
+from repro.ir.values import Argument, const_int
+from repro.opt import optimize_function, patch_rules
+from repro.verify.testing import run_refinement_tests
+
+_OPCODES = ("add", "sub", "mul", "and", "or", "xor", "shl", "lshr",
+            "ashr")
+_INTRINSICS = ("umin", "umax", "smin", "smax")
+_FLAG_CHOICES = ((), ("nuw",), ("nsw",), ("nuw", "nsw"))
+
+
+def random_function(seed: int, width: int = 8,
+                    length: int = 6) -> Function:
+    rng = random.Random(seed)
+    type_ = int_type(width)
+    args = [Argument(type_, f"a{i}", i) for i in range(2)]
+    function = Function("src", type_, args)
+    builder = IRBuilder(function.new_block("entry"))
+    values = list(args)
+    for _ in range(length):
+        kind = rng.random()
+        if kind < 0.55:
+            opcode = rng.choice(_OPCODES)
+            lhs = rng.choice(values)
+            rhs = (const_int(type_, rng.randrange(0, 1 << width))
+                   if rng.random() < 0.5 else rng.choice(values))
+            flags = (rng.choice(_FLAG_CHOICES)
+                     if opcode in ("add", "sub", "mul", "shl") else ())
+            values.append(builder.binop(opcode, lhs, rhs, flags))
+        elif kind < 0.75:
+            base = rng.choice(_INTRINSICS)
+            values.append(builder.intrinsic(
+                base, [rng.choice(values), rng.choice(values)]))
+        elif kind < 0.9:
+            pred = rng.choice(("eq", "ne", "ult", "slt", "uge", "sgt"))
+            cond = builder.icmp(pred, rng.choice(values),
+                                rng.choice(values))
+            values.append(builder.select(cond, rng.choice(values),
+                                         rng.choice(values)))
+        else:
+            wide = int_type(width * 2)
+            ext = builder.zext(rng.choice(values), wide)
+            values.append(builder.trunc(ext, type_))
+    builder.ret(values[-1])
+    function.assign_names()
+    return function
+
+
+@settings(max_examples=60, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.integers(min_value=0, max_value=10_000))
+def test_optimizer_is_a_refinement(seed):
+    """opt(f) must refine f on every tested input."""
+    source = random_function(seed)
+    optimized = source.clone()
+    optimize_function(optimized)
+    counterexample = run_refinement_tests(source, optimized,
+                                          random_count=40, seed=seed)
+    assert counterexample is None, (
+        f"optimizer broke refinement on seed {seed}:\n"
+        f"{print_function(source)}\n=>\n{print_function(optimized)}\n"
+        f"{counterexample.render()}")
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.integers(min_value=0, max_value=10_000))
+def test_patched_optimizer_is_a_refinement(seed):
+    """The patch rules must be refinements too."""
+    source = random_function(seed, width=8, length=5)
+    optimized = source.clone()
+    optimize_function(optimized, patches=patch_rules())
+    counterexample = run_refinement_tests(source, optimized,
+                                          random_count=30, seed=seed)
+    assert counterexample is None, (
+        f"patched optimizer broke refinement on seed {seed}:\n"
+        f"{print_function(source)}\n=>\n{print_function(optimized)}")
+
+
+@settings(max_examples=40, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.integers(min_value=0, max_value=10_000))
+def test_optimizer_never_grows_code(seed):
+    source = random_function(seed)
+    before = source.instruction_count()
+    optimize_function(source)
+    assert source.instruction_count() <= before
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.integers(min_value=0, max_value=10_000))
+def test_optimizer_is_idempotent(seed):
+    """Running opt twice must not find more work the second time."""
+    function = random_function(seed)
+    optimize_function(function)
+    once = print_function(function)
+    changed = optimize_function(function)
+    assert not changed
+    assert print_function(function) == once
+
+
+@settings(max_examples=30, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.integers(min_value=0, max_value=10_000))
+def test_print_parse_round_trip_random(seed):
+    from repro.ir import parse_function
+    function = random_function(seed)
+    text = print_function(function)
+    assert print_function(parse_function(text)) == text

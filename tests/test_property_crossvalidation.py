@@ -1,0 +1,85 @@
+"""Cross-validation properties between independent subsystems.
+
+The repository has three implementations of IR semantics that must agree:
+the interpreter (oracle), the constant folder (via the interpreter), and
+the SAT encoder's circuits.  These properties pin them to each other on
+randomly generated functions — the strongest guard against a silent
+semantics divergence between optimizer and verifier.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.ir.printer import print_function
+from repro.opt import optimize_function
+from repro.verify import check_refinement
+from tests.test_opt_soundness import random_function
+
+
+@settings(max_examples=25, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.integers(min_value=0, max_value=5_000))
+def test_function_refines_itself(seed):
+    """check_refinement(f, f) must never refute (reflexivity) — this
+    exercises encoder-vs-interpreter agreement on the SAT tier."""
+    function = random_function(seed, width=8, length=4)
+    verdict = check_refinement(function, function.clone(),
+                               random_tests=40, exhaustive_bits=8)
+    assert verdict.status in ("proved", "validated"), (
+        f"self-refinement failed ({verdict.status}) for\n"
+        f"{print_function(function)}\n{verdict.counter_example}")
+
+
+@settings(max_examples=15, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.integers(min_value=0, max_value=5_000))
+def test_sat_tier_agrees_with_testing_on_optimizer_output(seed):
+    """Full check (incl. SAT) of opt(f) vs f on 16-bit functions: if the
+    testing tier found no counterexample, the SAT tier must not either —
+    and it often upgrades 'validated' to 'proved'."""
+    source = random_function(seed, width=16, length=4)
+    optimized = source.clone()
+    optimize_function(optimized)
+    verdict = check_refinement(source, optimized, random_tests=60,
+                               exhaustive_bits=12, sat_budget=1_500_000)
+    assert verdict.status in ("proved", "validated"), (
+        f"optimizer unsound at seed {seed} ({verdict.status}):\n"
+        f"{print_function(source)}\n=>\n{print_function(optimized)}\n"
+        f"{verdict.counter_example}")
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.integers(min_value=0, max_value=5_000))
+def test_exhaustive_and_sat_agree_at_tiny_widths(seed):
+    """At i4, the exhaustive tier is ground truth; forcing the SAT path
+    must reach the same verdict."""
+    source = random_function(seed, width=4, length=3)
+    optimized = source.clone()
+    optimize_function(optimized)
+    # Exhaustive ground truth:
+    exhaustive = check_refinement(source, optimized, random_tests=10,
+                                  exhaustive_bits=16)
+    # SAT-only path (exhaustive disabled by the bit threshold):
+    sat_only = check_refinement(source, optimized, random_tests=10,
+                                exhaustive_bits=0)
+    assert exhaustive.status in ("proved", "validated")
+    assert sat_only.status in ("proved", "validated"), (
+        f"SAT disagreed with exhaustive at seed {seed}: "
+        f"{sat_only.status}\n{sat_only.counter_example}")
+
+
+@settings(max_examples=20, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(st.integers(min_value=0, max_value=5_000),
+       st.integers(min_value=0, max_value=255),
+       st.integers(min_value=0, max_value=255))
+def test_digest_stability_under_reparse(seed, a, b):
+    """Window digests are print/parse stable (dedup correctness)."""
+    from repro.core import window_digest
+    from repro.ir import parse_function
+    function = random_function(seed)
+    digest = window_digest(function)
+    reparsed = parse_function(print_function(function))
+    assert window_digest(reparsed) == digest

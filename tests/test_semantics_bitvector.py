@@ -1,0 +1,214 @@
+"""Unit + property tests for the APInt-style bitvector helpers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.semantics import bitvector as bv
+
+u8 = st.integers(min_value=0, max_value=255)
+u16 = st.integers(min_value=0, max_value=(1 << 16) - 1)
+shifts8 = st.integers(min_value=0, max_value=7)
+
+
+class TestBasics:
+    def test_mask(self):
+        assert bv.mask(8) == 0xFF
+        assert bv.mask(1) == 1
+
+    def test_to_signed(self):
+        assert bv.to_signed(0xFF, 8) == -1
+        assert bv.to_signed(0x7F, 8) == 127
+        assert bv.to_signed(0x80, 8) == -128
+
+    def test_from_signed(self):
+        assert bv.from_signed(-1, 8) == 0xFF
+        assert bv.from_signed(-128, 8) == 0x80
+
+    @given(u8)
+    def test_signed_round_trip(self, x):
+        assert bv.from_signed(bv.to_signed(x, 8), 8) == x
+
+
+class TestArithmetic:
+    @given(u8, u8)
+    def test_add_wraps(self, a, b):
+        assert bv.add(a, b, 8) == (a + b) % 256
+
+    @given(u8, u8)
+    def test_sub_neg_duality(self, a, b):
+        assert bv.sub(a, b, 8) == bv.add(a, bv.neg(b, 8), 8)
+
+    @given(u8, u8)
+    def test_add_overflow_flags(self, a, b):
+        assert bv.add_overflows_unsigned(a, b, 8) == (a + b > 255)
+        signed = bv.to_signed(a, 8) + bv.to_signed(b, 8)
+        assert bv.add_overflows_signed(a, b, 8) == not_in_i8(signed)
+
+    @given(u8, u8)
+    def test_mul_overflow_unsigned(self, a, b):
+        assert bv.mul_overflows_unsigned(a, b, 8) == (a * b > 255)
+
+
+def not_in_i8(value):
+    return not (-128 <= value <= 127)
+
+
+class TestDivision:
+    def test_udiv_by_zero(self):
+        assert bv.udiv(5, 0, 8) is None
+
+    def test_sdiv_overflow(self):
+        assert bv.sdiv(0x80, 0xFF, 8) is None  # -128 / -1
+
+    def test_sdiv_truncates_toward_zero(self):
+        assert bv.to_signed(bv.sdiv(bv.from_signed(-7, 8), 2, 8), 8) == -3
+        assert bv.to_signed(bv.sdiv(7, bv.from_signed(-2, 8), 8), 8) == -3
+
+    def test_srem_sign_follows_dividend(self):
+        assert bv.to_signed(bv.srem(bv.from_signed(-7, 8), 3, 8), 8) == -1
+        assert bv.to_signed(bv.srem(7, bv.from_signed(-3, 8), 8), 8) == 1
+
+    def test_srem_int_min_by_minus_one(self):
+        assert bv.srem(0x80, 0xFF, 8) == 0
+
+    @given(u8, st.integers(min_value=1, max_value=255))
+    def test_udivrem_identity(self, a, b):
+        q = bv.udiv(a, b, 8)
+        r = bv.urem(a, b, 8)
+        assert q * b + r == a
+
+
+class TestShifts:
+    def test_oversized_is_none(self):
+        assert bv.shl(1, 8, 8) is None
+        assert bv.lshr(1, 9, 8) is None
+        assert bv.ashr(1, 200, 8) is None
+
+    @given(u8, shifts8)
+    def test_shl_matches_python(self, a, s):
+        assert bv.shl(a, s, 8) == (a << s) & 0xFF
+
+    @given(u8, shifts8)
+    def test_ashr_sign_fill(self, a, s):
+        expected = bv.from_signed(bv.to_signed(a, 8) >> s, 8)
+        assert bv.ashr(a, s, 8) == expected
+
+
+class TestBitManipulation:
+    @given(u8)
+    def test_ctpop(self, a):
+        assert bv.ctpop(a, 8) == bin(a).count("1")
+
+    def test_ctlz_cttz_zero(self):
+        assert bv.ctlz(0, 8) == 8
+        assert bv.cttz(0, 8) == 8
+
+    @given(st.integers(min_value=1, max_value=255))
+    def test_ctlz_cttz_bounds(self, a):
+        assert bv.ctlz(a, 8) == 8 - a.bit_length()
+        assert a & (1 << bv.cttz(a, 8))
+
+    def test_bswap(self):
+        assert bv.bswap(0x1234, 16) == 0x3412
+        assert bv.bswap(0x12345678, 32) == 0x78563412
+
+    def test_bswap_odd_width_rejected(self):
+        with pytest.raises(ValueError):
+            bv.bswap(1, 8)  # requires multiple of 16
+
+    @given(u8)
+    def test_bitreverse_involution(self, a):
+        assert bv.bitreverse(bv.bitreverse(a, 8), 8) == a
+
+    @given(u8, u8, st.integers(min_value=0, max_value=31))
+    def test_fshl_fshr_duality(self, a, b, s):
+        # fshl(a, b, s) == fshr(a, b, width - s) for s % width != 0
+        width = 8
+        s %= width
+        if s == 0:
+            assert bv.fshl(a, b, 0, width) == a
+            assert bv.fshr(a, b, 0, width) == b
+        else:
+            assert bv.fshl(a, b, s, width) == bv.fshr(a, b, width - s,
+                                                      width)
+
+    @given(u8, st.integers(min_value=0, max_value=255))
+    def test_fshl_rotate_self(self, a, s):
+        # fshl(x, x, s) is rotate-left
+        width = 8
+        k = s % width
+        expected = ((a << k) | (a >> (width - k))) & 0xFF if k else a
+        assert bv.fshl(a, a, s, width) == expected
+
+
+class TestSaturating:
+    @given(u8, u8)
+    def test_uadd_sat(self, a, b):
+        assert bv.uadd_sat(a, b, 8) == min(a + b, 255)
+
+    @given(u8, u8)
+    def test_usub_sat(self, a, b):
+        assert bv.usub_sat(a, b, 8) == max(a - b, 0)
+
+    @given(u8, u8)
+    def test_sadd_sat_bounds(self, a, b):
+        result = bv.to_signed(bv.sadd_sat(a, b, 8), 8)
+        exact = bv.to_signed(a, 8) + bv.to_signed(b, 8)
+        assert result == max(-128, min(127, exact))
+
+    @given(u8, u8)
+    def test_ssub_sat_bounds(self, a, b):
+        result = bv.to_signed(bv.ssub_sat(a, b, 8), 8)
+        exact = bv.to_signed(a, 8) - bv.to_signed(b, 8)
+        assert result == max(-128, min(127, exact))
+
+
+class TestMinMaxCompare:
+    @given(u8, u8)
+    def test_umin_umax(self, a, b):
+        assert bv.umin(a, b, 8) == min(a, b)
+        assert bv.umax(a, b, 8) == max(a, b)
+
+    @given(u8, u8)
+    def test_smin_smax(self, a, b):
+        sa, sb = bv.to_signed(a, 8), bv.to_signed(b, 8)
+        assert bv.to_signed(bv.smin(a, b, 8), 8) == min(sa, sb)
+        assert bv.to_signed(bv.smax(a, b, 8), 8) == max(sa, sb)
+
+    @given(u8, u8)
+    def test_icmp_consistency(self, a, b):
+        assert bv.icmp("ult", a, b, 8) == (a < b)
+        assert bv.icmp("slt", a, b, 8) == (bv.to_signed(a, 8)
+                                           < bv.to_signed(b, 8))
+        assert bv.icmp("eq", a, b, 8) == (a == b)
+        # Duality: x pred y == not (x inverse-pred y)
+        assert bv.icmp("ule", a, b, 8) == (not bv.icmp("ugt", a, b, 8))
+        assert bv.icmp("sge", a, b, 8) == (not bv.icmp("slt", a, b, 8))
+
+    def test_icmp_unknown_predicate(self):
+        with pytest.raises(ValueError):
+            bv.icmp("weird", 1, 2, 8)
+
+
+class TestCastsAndBytes:
+    @given(u8)
+    def test_sext_preserves_value(self, a):
+        assert bv.to_signed(bv.sext(a, 8, 16), 16) == bv.to_signed(a, 8)
+
+    @given(u16)
+    def test_trunc_flags(self, a):
+        lossless_u = not bv.trunc_loses_unsigned(a, 16, 8)
+        assert lossless_u == (a < 256)
+        lossless_s = not bv.trunc_loses_signed(a, 16, 8)
+        assert lossless_s == (-128 <= bv.to_signed(a, 16) <= 127)
+
+    @given(st.integers(min_value=0, max_value=(1 << 32) - 1))
+    def test_byte_round_trip(self, a):
+        assert bv.join_bytes(bv.split_bytes(a, 32)) == a
+
+    def test_decompose_power_of_two(self):
+        assert bv.decompose_power_of_two(8) == 3
+        assert bv.decompose_power_of_two(1) == 0
+        assert bv.decompose_power_of_two(6) is None
+        assert bv.decompose_power_of_two(0) is None

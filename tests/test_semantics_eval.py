@@ -1,0 +1,257 @@
+"""Interpreter tests: instruction semantics, poison, UB, memory."""
+
+import math
+
+import pytest
+
+from repro.ir import parse_function
+from repro.semantics import Memory, POISON, Pointer, run_function
+
+
+def run(src, *args, memory=None):
+    return run_function(parse_function(src), list(args), memory=memory)
+
+
+class TestIntegerOps:
+    def test_add_wraps(self):
+        out = run("define i8 @f(i8 %x) {\n  %r = add i8 %x, 200\n"
+                  "  ret i8 %r\n}", 100)
+        assert out.value == (100 + 200) % 256
+
+    def test_nsw_overflow_is_poison(self):
+        src = ("define i8 @f(i8 %x) {\n  %r = add nsw i8 %x, 1\n"
+               "  ret i8 %r\n}")
+        assert run(src, 127).value is POISON
+        assert run(src, 10).value == 11
+
+    def test_nuw_overflow_is_poison(self):
+        src = ("define i8 @f(i8 %x) {\n  %r = add nuw i8 %x, 1\n"
+               "  ret i8 %r\n}")
+        assert run(src, 255).value is POISON
+
+    def test_udiv_by_zero_is_ub(self):
+        out = run("define i8 @f(i8 %x) {\n  %r = udiv i8 %x, 0\n"
+                  "  ret i8 %r\n}", 3)
+        assert out.is_ub
+
+    def test_sdiv_overflow_is_ub(self):
+        out = run("define i8 @f(i8 %x) {\n  %r = sdiv i8 %x, -1\n"
+                  "  ret i8 %r\n}", 0x80)
+        assert out.is_ub
+
+    def test_oversized_shift_is_poison(self):
+        out = run("define i8 @f(i8 %x) {\n  %r = shl i8 %x, 8\n"
+                  "  ret i8 %r\n}", 1)
+        assert out.value is POISON
+
+    def test_exact_flag_poison(self):
+        src = ("define i8 @f(i8 %x) {\n  %r = lshr exact i8 %x, 1\n"
+               "  ret i8 %r\n}")
+        assert run(src, 3).value is POISON
+        assert run(src, 4).value == 2
+
+    def test_disjoint_or_poison(self):
+        src = ("define i8 @f(i8 %x) {\n  %r = or disjoint i8 %x, 1\n"
+               "  ret i8 %r\n}")
+        assert run(src, 1).value is POISON
+        assert run(src, 2).value == 3
+
+
+class TestPoisonPropagation:
+    def test_poison_through_arith(self):
+        src = ("define i8 @f(i8 %x) {\n"
+               "  %p = add nuw i8 %x, 1\n"      # poison at 255
+               "  %r = mul i8 %p, 2\n  ret i8 %r\n}")
+        assert run(src, 255).value is POISON
+
+    def test_select_condition_poison(self):
+        src = ("define i8 @f(i8 %x) {\n"
+               "  %p = add nsw i8 %x, 1\n"
+               "  %c = icmp eq i8 %p, 0\n"
+               "  %r = select i1 %c, i8 1, i8 2\n  ret i8 %r\n}")
+        assert run(src, 127).value is POISON
+
+    def test_select_hides_unchosen_poison(self):
+        src = ("define i8 @f(i8 %x) {\n"
+               "  %p = add nsw i8 %x, 1\n"
+               "  %r = select i1 true, i8 5, i8 %p\n  ret i8 %r\n}")
+        assert run(src, 127).value == 5
+
+    def test_freeze_stops_poison(self):
+        src = ("define i8 @f(i8 %x) {\n"
+               "  %p = add nsw i8 %x, 1\n"
+               "  %r = freeze i8 %p\n  ret i8 %r\n}")
+        out = run(src, 127)
+        assert out.value is not POISON
+
+    def test_branch_on_poison_is_ub(self):
+        src = ("define i8 @f(i8 %x) {\n"
+               "  %p = add nsw i8 %x, 1\n"
+               "  %c = icmp eq i8 %p, 0\n"
+               "  br i1 %c, label %a, label %b\n"
+               "a:\n  ret i8 1\nb:\n  ret i8 2\n}")
+        assert run(src, 127).is_ub
+
+
+class TestIntrinsics:
+    def test_minmax(self):
+        src = ("define i8 @f(i8 %x, i8 %y) {\n"
+               "  %r = call i8 @llvm.smax.i8(i8 %x, i8 %y)\n"
+               "  ret i8 %r\n}")
+        assert run(src, 0xFF, 1).value == 1       # -1 vs 1 signed
+
+    def test_abs_poison_flag(self):
+        src = ("define i8 @f(i8 %x) {\n"
+               "  %r = call i8 @llvm.abs.i8(i8 %x, i1 true)\n"
+               "  ret i8 %r\n}")
+        assert run(src, 0x80).value is POISON
+        assert run(src, 0xFF).value == 1
+
+    def test_ctlz_zero_flag(self):
+        src = ("define i8 @f(i8 %x) {\n"
+               "  %r = call i8 @llvm.ctlz.i8(i8 %x, i1 false)\n"
+               "  ret i8 %r\n}")
+        assert run(src, 0).value == 8
+        assert run(src, 1).value == 7
+
+    def test_usub_sat(self):
+        src = ("define i8 @f(i8 %x, i8 %y) {\n"
+               "  %r = call i8 @llvm.usub.sat.i8(i8 %x, i8 %y)\n"
+               "  ret i8 %r\n}")
+        assert run(src, 3, 10).value == 0
+        assert run(src, 10, 3).value == 7
+
+
+class TestFloatingPoint:
+    def test_fcmp_nan_ordered(self):
+        src = ("define i1 @f(double %x) {\n"
+               "  %r = fcmp oeq double %x, 1.000000e+00\n  ret i1 %r\n}")
+        assert run(src, float("nan")).value == 0
+        assert run(src, 1.0).value == 1
+
+    def test_fcmp_nan_unordered(self):
+        src = ("define i1 @f(double %x) {\n"
+               "  %r = fcmp une double %x, 1.000000e+00\n  ret i1 %r\n}")
+        assert run(src, float("nan")).value == 1
+
+    def test_fdiv_by_zero_is_inf(self):
+        src = ("define double @f(double %x) {\n"
+               "  %r = fdiv double %x, 0.000000e+00\n  ret double %r\n}")
+        assert run(src, 1.0).value == float("inf")
+        assert math.isnan(run(src, 0.0).value)
+
+    def test_float_rounding(self):
+        # `float` type rounds to 32-bit precision.
+        src = ("define float @f(float %x) {\n"
+               "  %r = fadd float %x, 1.000000e+00\n  ret float %r\n}")
+        out = run(src, 1e-10)
+        assert out.value == 1.0  # 1e-10 is lost at binary32
+
+    def test_fabs_intrinsic(self):
+        src = ("define double @f(double %x) {\n"
+               "  %r = call double @llvm.fabs.f64(double %x)\n"
+               "  ret double %r\n}")
+        assert run(src, -3.5).value == 3.5
+
+
+class TestMemory:
+    def test_load_little_endian(self):
+        memory = Memory()
+        memory.add_buffer("a0", bytes([0x34, 0x12]))
+        out = run("define i16 @f(ptr %p) {\n"
+                  "  %r = load i16, ptr %p, align 2\n  ret i16 %r\n}",
+                  Pointer("a0"), memory=memory)
+        assert out.value == 0x1234
+
+    def test_store_then_load(self):
+        src = ("define i8 @f(ptr %p, i8 %v) {\n"
+               "  store i8 %v, ptr %p, align 1\n"
+               "  %r = load i8, ptr %p, align 1\n  ret i8 %r\n}")
+        out = run(src, Pointer("a0"), 42)
+        assert out.value == 42
+
+    def test_gep_offsets(self):
+        memory = Memory()
+        memory.add_buffer("a0", bytes([1, 2, 3, 4, 5, 6, 7, 8]))
+        src = ("define i8 @f(ptr %p) {\n"
+               "  %q = getelementptr i16, ptr %p, i64 2\n"
+               "  %r = load i8, ptr %q, align 1\n  ret i8 %r\n}")
+        assert run(src, Pointer("a0"), memory=memory).value == 5
+
+    def test_negative_gep_index(self):
+        memory = Memory()
+        memory.add_buffer("a0", bytes(range(16)))
+        src = ("define i8 @f(ptr %p) {\n"
+               "  %q = getelementptr i8, ptr %p, i64 4\n"
+               "  %s = getelementptr i8, ptr %q, i64 -2\n"
+               "  %r = load i8, ptr %s, align 1\n  ret i8 %r\n}")
+        assert run(src, Pointer("a0"), memory=memory).value == 2
+
+    def test_out_of_bounds_is_ub(self):
+        src = ("define i8 @f(ptr %p) {\n"
+               "  %q = getelementptr i8, ptr %p, i64 1000\n"
+               "  %r = load i8, ptr %q, align 1\n  ret i8 %r\n}")
+        assert run(src, Pointer("a0")).is_ub
+
+    def test_null_deref_is_ub(self):
+        src = ("define i8 @f(ptr %p) {\n"
+               "  %r = load i8, ptr %p, align 1\n  ret i8 %r\n}")
+        assert run(src, Pointer("null")).is_ub
+
+    def test_vector_load(self):
+        memory = Memory()
+        memory.add_buffer("a0", bytes([1, 0, 2, 0]))
+        src = ("define <2 x i16> @f(ptr %p) {\n"
+               "  %r = load <2 x i16>, ptr %p, align 2\n"
+               "  ret <2 x i16> %r\n}")
+        assert run(src, Pointer("a0"), memory=memory).value == [1, 2]
+
+
+class TestControlFlow:
+    def test_loop(self):
+        src = """
+define i8 @f(i8 %n) {
+entry:
+  br label %loop
+loop:
+  %i = phi i8 [ 0, %entry ], [ %next, %loop ]
+  %acc = phi i8 [ 0, %entry ], [ %sum, %loop ]
+  %next = add i8 %i, 1
+  %sum = add i8 %acc, %next
+  %done = icmp uge i8 %next, %n
+  br i1 %done, label %exit, label %loop
+exit:
+  ret i8 %sum
+}
+"""
+        assert run(src, 5).value == 15  # 1+2+3+4+5
+
+    def test_unreachable_is_ub(self):
+        src = ("define i8 @f(i1 %c) {\n"
+               "  br i1 %c, label %a, label %b\n"
+               "a:\n  ret i8 1\nb:\n  unreachable\n}")
+        assert run(src, 0).is_ub
+        assert run(src, 1).value == 1
+
+
+class TestVectors:
+    def test_lanewise_poison(self):
+        src = ("define <2 x i8> @f(<2 x i8> %v) {\n"
+               "  %r = add nuw <2 x i8> %v, splat (i8 1)\n"
+               "  ret <2 x i8> %r\n}")
+        out = run(src, [255, 3])
+        assert out.value[0] is POISON
+        assert out.value[1] == 4
+
+    def test_shufflevector(self):
+        src = ("define <4 x i8> @f(<4 x i8> %v) {\n"
+               "  %r = shufflevector <4 x i8> %v, <4 x i8> poison, "
+               "<4 x i32> <i32 3, i32 2, i32 1, i32 0>\n"
+               "  ret <4 x i8> %r\n}")
+        assert run(src, [1, 2, 3, 4]).value == [4, 3, 2, 1]
+
+    def test_extract_insert(self):
+        src = ("define i8 @f(<2 x i8> %v) {\n"
+               "  %w = insertelement <2 x i8> %v, i8 9, i64 0\n"
+               "  %r = extractelement <2 x i8> %w, i64 0\n  ret i8 %r\n}")
+        assert run(src, [1, 2]).value == 9

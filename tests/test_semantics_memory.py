@@ -1,0 +1,94 @@
+"""Tests for the byte-addressed memory model."""
+
+import pytest
+
+from repro.errors import UndefinedBehaviorError
+from repro.semantics.domain import POISON, Pointer
+from repro.semantics.memory import DEFAULT_BUFFER_SIZE, Memory
+
+
+class TestBuffers:
+    def test_add_buffer_pads(self):
+        memory = Memory(buffer_size=8)
+        memory.add_buffer("a", b"\x01\x02")
+        assert memory.load_bytes(Pointer("a"), 4) == [1, 2, 0, 0]
+
+    def test_store_load_round_trip(self):
+        memory = Memory()
+        memory.add_buffer("a")
+        memory.store_bytes(Pointer("a", 3), [9, 8, 7])
+        assert memory.load_bytes(Pointer("a", 3), 3) == [9, 8, 7]
+
+    def test_poison_bytes(self):
+        memory = Memory()
+        memory.add_buffer("a")
+        memory.store_bytes(Pointer("a"), [POISON, 5])
+        loaded = memory.load_bytes(Pointer("a"), 2)
+        assert loaded[0] is POISON
+        assert loaded[1] == 5
+
+
+class TestUB:
+    def test_null_access(self):
+        memory = Memory()
+        with pytest.raises(UndefinedBehaviorError):
+            memory.load_bytes(Pointer("null"), 1)
+
+    def test_unknown_base(self):
+        memory = Memory()
+        with pytest.raises(UndefinedBehaviorError):
+            memory.load_bytes(Pointer("mystery"), 1)
+
+    def test_out_of_bounds(self):
+        memory = Memory(buffer_size=4)
+        memory.add_buffer("a")
+        with pytest.raises(UndefinedBehaviorError):
+            memory.load_bytes(Pointer("a", 3), 2)
+        with pytest.raises(UndefinedBehaviorError):
+            memory.store_bytes(Pointer("a", -1), [0])
+
+
+class TestCloneAndCompare:
+    def test_clone_is_independent(self):
+        memory = Memory()
+        memory.add_buffer("a", b"\x01")
+        copy = memory.clone()
+        copy.store_bytes(Pointer("a"), [99])
+        assert memory.load_bytes(Pointer("a"), 1) == [1]
+
+    def test_equal_defined_bytes(self):
+        a = Memory()
+        a.add_buffer("buf", b"\x01\x02")
+        b = a.clone()
+        assert a.equal_defined_bytes(b)
+        b.store_bytes(Pointer("buf"), [3])
+        assert not a.equal_defined_bytes(b)
+
+    def test_poison_bytes_refine(self):
+        # Where the source wrote poison, the target may write anything.
+        src = Memory()
+        src.add_buffer("buf")
+        src.store_bytes(Pointer("buf"), [POISON])
+        tgt = src.clone()
+        tgt.store_bytes(Pointer("buf"), [42])
+        assert src.equal_defined_bytes(tgt)
+        # But not the other way around.
+        assert not tgt.equal_defined_bytes(src)
+
+    def test_different_buffer_sets(self):
+        a = Memory()
+        a.add_buffer("x")
+        b = Memory()
+        b.add_buffer("y")
+        assert not a.equal_defined_bytes(b)
+
+
+class TestPointer:
+    def test_advanced_wraps_like_i64(self):
+        p = Pointer("a", 0)
+        q = p.advanced(-1)
+        assert q.offset == (1 << 64) - 1
+
+    def test_pointer_equality(self):
+        assert Pointer("a", 4) == Pointer("a", 4)
+        assert Pointer("a", 4) != Pointer("b", 4)

@@ -1,0 +1,158 @@
+"""Targeted tests for the SAT encoder's scope and poison tracking."""
+
+import pytest
+
+from repro.ir import parse_function
+from repro.verify.circuit import CircuitBuilder
+from repro.verify.encoder import (
+    EncodingUnsupported,
+    FunctionEncoder,
+    SharedInputs,
+)
+from repro.verify.sat import SatSolver
+
+
+def encode(src, is_source=True):
+    function = parse_function(src)
+    solver = SatSolver()
+    builder = CircuitBuilder(solver)
+    inputs = SharedInputs(builder, function)
+    encoder = FunctionEncoder(builder, inputs, is_source=is_source)
+    return encoder.encode(function), builder, solver
+
+
+class TestScope:
+    def test_fp_unsupported(self):
+        with pytest.raises(EncodingUnsupported):
+            encode("define double @f(double %x) {\n  ret double %x\n}")
+
+    def test_multiblock_unsupported(self):
+        with pytest.raises(EncodingUnsupported):
+            encode("""
+define i8 @f(i1 %c) {
+  br i1 %c, label %a, label %b
+a:
+  ret i8 1
+b:
+  ret i8 2
+}
+""")
+
+    def test_symbolic_gep_load_unsupported(self):
+        with pytest.raises(EncodingUnsupported):
+            encode("""
+define i8 @f(ptr %p, i64 %i) {
+  %q = getelementptr i8, ptr %p, i64 %i
+  %r = load i8, ptr %q, align 1
+  ret i8 %r
+}
+""")
+
+    def test_source_undef_unsupported(self):
+        with pytest.raises(EncodingUnsupported):
+            encode("define i8 @f() {\n  ret i8 undef\n}")
+
+    def test_target_undef_supported(self):
+        (value, ub), builder, solver = encode(
+            "define i8 @f() {\n  ret i8 undef\n}", is_source=False)
+        assert value is not None
+
+    def test_constant_gep_load_supported(self):
+        (value, ub), builder, solver = encode("""
+define i8 @f(ptr %p) {
+  %q = getelementptr i8, ptr %p, i64 3
+  %r = load i8, ptr %q, align 1
+  ret i8 %r
+}
+""")
+        assert value.poison == builder.false_lit
+
+
+class TestPoisonBits:
+    def _poison_bit_is_constant(self, src, expected):
+        (value, ub), builder, solver = encode(src)
+        if expected is False:
+            assert value.poison == builder.false_lit
+        elif expected is True:
+            assert value.poison == builder.true_lit
+
+    def test_plain_add_never_poison(self):
+        self._poison_bit_is_constant(
+            "define i8 @f(i8 %x) {\n  %r = add i8 %x, 1\n  ret i8 %r\n}",
+            expected=False)
+
+    def test_poison_constant(self):
+        self._poison_bit_is_constant(
+            "define i8 @f() {\n  ret i8 poison\n}", expected=True)
+
+    def test_nuw_add_poison_is_satisfiable(self):
+        (value, ub), builder, solver = encode(
+            "define i8 @f(i8 %x) {\n  %r = add nuw i8 %x, 1\n"
+            "  ret i8 %r\n}")
+        # The poison bit must be reachable (x == 255) but not constant.
+        assert value.poison not in (builder.true_lit, builder.false_lit)
+        builder.assert_bit(value.poison)
+        assert solver.solve().is_sat
+
+    def test_oversized_constant_shift_is_constant_poison(self):
+        self._poison_bit_is_constant(
+            "define i8 @f(i8 %x) {\n  %r = shl i8 %x, 9\n  ret i8 %r\n}",
+            expected=True)
+
+    def test_division_ub_flag(self):
+        (value, ub), builder, solver = encode(
+            "define i8 @f(i8 %x, i8 %y) {\n  %r = udiv i8 %x, %y\n"
+            "  ret i8 %r\n}")
+        # UB (divisor == 0) must be satisfiable.
+        assert ub != builder.false_lit
+        builder.assert_bit(ub)
+        assert solver.solve().is_sat
+
+    def test_division_by_nonzero_constant_no_ub(self):
+        (value, ub), builder, solver = encode(
+            "define i8 @f(i8 %x) {\n  %r = udiv i8 %x, 3\n"
+            "  ret i8 %r\n}")
+        assert ub == builder.false_lit
+
+
+class TestVectorEncoding:
+    def test_lanes_independent(self):
+        (value, ub), builder, solver = encode(
+            "define <2 x i8> @f(<2 x i8> %v) {\n"
+            "  %r = add <2 x i8> %v, <i8 1, i8 2>\n"
+            "  ret <2 x i8> %r\n}")
+        assert isinstance(value, list)
+        assert len(value) == 2
+
+    def test_shuffle_poison_lane(self):
+        (value, ub), builder, solver = encode(
+            "define <2 x i8> @f(<2 x i8> %v) {\n"
+            "  %r = shufflevector <2 x i8> %v, <2 x i8> poison, "
+            "<2 x i32> <i32 0, i32 poison>\n"
+            "  ret <2 x i8> %r\n}")
+        assert value[0].poison == builder.false_lit
+        assert value[1].poison == builder.true_lit
+
+
+class TestIntrinsicEncoding:
+    @pytest.mark.parametrize("base,expr", [
+        ("umin", "call i8 @llvm.umin.i8(i8 %x, i8 %y)"),
+        ("smax", "call i8 @llvm.smax.i8(i8 %x, i8 %y)"),
+        ("uadd.sat", "call i8 @llvm.uadd.sat.i8(i8 %x, i8 %y)"),
+        ("fshl", "call i8 @llvm.fshl.i8(i8 %x, i8 %y, i8 3)"),
+    ])
+    def test_encodes(self, base, expr):
+        (value, ub), builder, solver = encode(
+            f"define i8 @f(i8 %x, i8 %y) {{\n  %r = {expr}\n"
+            f"  ret i8 %r\n}}")
+        assert len(value.bits) == 8
+
+    def test_ctpop_against_interpreter(self):
+        # Prove: ctpop(x) <= 8 for all x (tautology via UNSAT of > 8).
+        (value, ub), builder, solver = encode(
+            "define i8 @f(i8 %x) {\n"
+            "  %r = call i8 @llvm.ctpop.i8(i8 %x)\n  ret i8 %r\n}")
+        too_big = builder.bv_ult(builder.bv_const(8, 8), value.bits)
+        if too_big != builder.false_lit:
+            builder.assert_bit(too_big)
+            assert solver.solve().is_unsat

@@ -1,0 +1,209 @@
+"""Refinement checker tests: the Alive2-substitute contract."""
+
+import pytest
+
+from repro.ir import parse_function
+from repro.verify import check_refinement, outcome_refines
+from repro.semantics import Outcome, POISON
+
+
+def check(src, tgt, **kw):
+    return check_refinement(parse_function(src), parse_function(tgt), **kw)
+
+
+class TestProofs:
+    def test_identity(self):
+        r = check("define i8 @s(i8 %x) {\n  ret i8 %x\n}",
+                  "define i8 @t(i8 %x) {\n  ret i8 %x\n}")
+        assert r.status == "proved"
+
+    def test_paper_clamp_proved_by_sat(self):
+        src = """
+define i8 @src(i32 %0) {
+  %2 = icmp slt i32 %0, 0
+  %3 = tail call i32 @llvm.umin.i32(i32 %0, i32 255)
+  %4 = trunc nuw i32 %3 to i8
+  %5 = select i1 %2, i8 0, i8 %4
+  ret i8 %5
+}
+"""
+        tgt = """
+define i8 @tgt(i32 %0) {
+  %2 = tail call i32 @llvm.smax.i32(i32 %0, i32 0)
+  %3 = tail call i32 @llvm.umin.i32(i32 %2, i32 255)
+  %4 = trunc nuw i32 %3 to i8
+  ret i8 %4
+}
+"""
+        r = check(src, tgt)
+        assert r.status == "proved"
+        assert r.method == "sat"
+
+    def test_small_width_proved_exhaustively(self):
+        r = check("define i8 @s(i8 %x) {\n  %a = add i8 %x, 1\n"
+                  "  %b = sub i8 %a, 1\n  ret i8 %b\n}",
+                  "define i8 @t(i8 %x) {\n  ret i8 %x\n}")
+        assert r.status == "proved"
+        assert r.method == "exhaustive"
+
+    def test_load_merge_proved(self):
+        src = """
+define i32 @src(ptr %0) {
+  %2 = load i16, ptr %0, align 2
+  %3 = getelementptr i8, ptr %0, i64 2
+  %4 = load i16, ptr %3, align 1
+  %5 = zext i16 %4 to i32
+  %6 = shl nuw i32 %5, 16
+  %7 = zext i16 %2 to i32
+  %8 = or disjoint i32 %6, %7
+  ret i32 %8
+}
+"""
+        tgt = ("define i32 @tgt(ptr %0) {\n"
+               "  %2 = load i32, ptr %0, align 2\n  ret i32 %2\n}")
+        r = check(src, tgt)
+        assert r.status == "proved"
+
+
+class TestRefinementDirection:
+    def test_dropping_nsw_is_refinement(self):
+        r = check("define i32 @s(i32 %x) {\n  %a = add nsw i32 %x, 1\n"
+                  "  ret i32 %a\n}",
+                  "define i32 @t(i32 %x) {\n  %a = add i32 %x, 1\n"
+                  "  ret i32 %a\n}")
+        assert r.is_correct
+
+    def test_adding_nsw_is_not(self):
+        r = check("define i32 @s(i32 %x) {\n  %a = add i32 %x, 1\n"
+                  "  ret i32 %a\n}",
+                  "define i32 @t(i32 %x) {\n  %a = add nsw i32 %x, 1\n"
+                  "  ret i32 %a\n}")
+        assert r.status == "refuted"
+
+    def test_poison_source_frees_target(self):
+        r = check("define i8 @s(i8 %x) {\n  ret i8 poison\n}",
+                  "define i8 @t(i8 %x) {\n  ret i8 42\n}")
+        assert r.is_correct
+
+    def test_target_poison_refuted(self):
+        r = check("define i8 @s(i8 %x) {\n  ret i8 42\n}",
+                  "define i8 @t(i8 %x) {\n  ret i8 poison\n}")
+        assert r.status == "refuted"
+
+    def test_ub_source_frees_target(self):
+        r = check("define i8 @s(i8 %x) {\n  %a = udiv i8 %x, 0\n"
+                  "  ret i8 %a\n}",
+                  "define i8 @t(i8 %x) {\n  ret i8 7\n}")
+        assert r.is_correct
+
+
+class TestCounterexamples:
+    def test_wrong_constant_refuted_with_example(self):
+        r = check("define i8 @s(i8 %x) {\n  %a = add i8 %x, 1\n"
+                  "  ret i8 %a\n}",
+                  "define i8 @t(i8 %x) {\n  %a = add i8 %x, 2\n"
+                  "  ret i8 %a\n}")
+        assert r.status == "refuted"
+        text = r.counter_example
+        assert "Transformation doesn't verify!" in text
+        assert "Source value:" in text
+        assert "Target value:" in text
+
+    def test_counterexample_is_concrete(self):
+        r = check("define i1 @s(i8 %x) {\n  %c = icmp ugt i8 %x, 5\n"
+                  "  ret i1 %c\n}",
+                  "define i1 @t(i8 %x) {\n  %c = icmp ugt i8 %x, 6\n"
+                  "  ret i1 %c\n}")
+        assert r.status == "refuted"
+        assert r.counterexample is not None
+        # The only distinguishing input is x == 6.
+        assert r.counterexample.args[0] == 6
+
+
+class TestSignatureErrors:
+    def test_arg_count_mismatch(self):
+        r = check("define i8 @s(i8 %x) {\n  ret i8 %x\n}",
+                  "define i8 @t(i8 %x, i8 %y) {\n  ret i8 %x\n}")
+        assert r.status == "error"
+        assert "argument count" in r.message
+
+    def test_return_type_mismatch(self):
+        r = check("define i8 @s(i8 %x) {\n  ret i8 %x\n}",
+                  "define i16 @t(i8 %x) {\n  %w = zext i8 %x to i16\n"
+                  "  ret i16 %w\n}")
+        assert r.status == "error"
+
+    def test_arg_type_mismatch(self):
+        r = check("define i8 @s(i8 %x) {\n  ret i8 %x\n}",
+                  "define i8 @t(i16 %x) {\n  %t = trunc i16 %x to i8\n"
+                  "  ret i8 %t\n}")
+        assert r.status == "error"
+
+
+class TestFPFallsBackToTesting:
+    def test_fp_validated_not_proved(self):
+        r = check("define double @s(double %x) {\n"
+                  "  %r = fmul double %x, 1.000000e+00\n"
+                  "  ret double %r\n}",
+                  "define double @t(double %x) {\n  ret double %x\n}")
+        assert r.status == "validated"
+        assert r.method == "testing"
+
+    def test_fp_wrong_refuted(self):
+        r = check("define double @s(double %x) {\n"
+                  "  %r = fadd double %x, 1.000000e+00\n"
+                  "  ret double %r\n}",
+                  "define double @t(double %x) {\n  ret double %x\n}")
+        assert r.status == "refuted"
+
+    def test_signed_zero_distinguished(self):
+        # x * -1 * -1 == x exactly, but x + 0.0 != x at x == -0.0.
+        r = check("define double @s(double %x) {\n"
+                  "  %r = fadd double %x, 0.000000e+00\n"
+                  "  ret double %r\n}",
+                  "define double @t(double %x) {\n  ret double %x\n}")
+        assert r.status == "refuted"
+
+
+class TestOutcomeRefines:
+    def test_ub_always_ok(self):
+        ub = Outcome("ub", ub_reason="x")
+        val = Outcome("return", 3)
+        assert outcome_refines(ub, val)[0]
+        assert outcome_refines(ub, ub)[0]
+
+    def test_value_mismatch(self):
+        ok, reason = outcome_refines(Outcome("return", 3),
+                                     Outcome("return", 4))
+        assert not ok and "mismatch" in reason
+
+    def test_lane_poison_freedom(self):
+        src = Outcome("return", [POISON, 2])
+        tgt = Outcome("return", [99, 2])
+        assert outcome_refines(src, tgt)[0]
+
+    def test_lane_poison_introduced(self):
+        src = Outcome("return", [1, 2])
+        tgt = Outcome("return", [POISON, 2])
+        assert not outcome_refines(src, tgt)[0]
+
+
+class TestVectorRefinement:
+    def test_vector_proved(self):
+        src = ("define <2 x i8> @s(<2 x i8> %v) {\n"
+               "  %a = add <2 x i8> %v, splat (i8 1)\n"
+               "  %b = sub <2 x i8> %a, splat (i8 1)\n"
+               "  ret <2 x i8> %b\n}")
+        tgt = "define <2 x i8> @t(<2 x i8> %v) {\n  ret <2 x i8> %v\n}"
+        r = check(src, tgt)
+        assert r.status == "proved"
+
+    def test_vector_lane_error_refuted(self):
+        src = ("define <2 x i8> @s(<2 x i8> %v) {\n"
+               "  ret <2 x i8> %v\n}")
+        tgt = ("define <2 x i8> @t(<2 x i8> %v) {\n"
+               "  %r = shufflevector <2 x i8> %v, <2 x i8> poison, "
+               "<2 x i32> <i32 1, i32 0>\n"
+               "  ret <2 x i8> %r\n}")
+        r = check(src, tgt)
+        assert r.status == "refuted"

@@ -1,0 +1,138 @@
+"""Tests for the CDCL SAT solver."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.verify.sat import SatSolver
+
+
+def make_solver(num_vars):
+    solver = SatSolver()
+    for _ in range(num_vars):
+        solver.new_var()
+    return solver
+
+
+class TestBasics:
+    def test_empty_is_sat(self):
+        assert make_solver(0).solve().is_sat
+
+    def test_unit(self):
+        solver = make_solver(1)
+        solver.add_clause([1])
+        result = solver.solve()
+        assert result.is_sat
+        assert result.model[1] is True
+
+    def test_contradiction(self):
+        solver = make_solver(1)
+        solver.add_clause([1])
+        solver.add_clause([-1])
+        assert solver.solve().is_unsat
+
+    def test_tautology_dropped(self):
+        solver = make_solver(1)
+        solver.add_clause([1, -1])
+        assert solver.solve().is_sat
+
+    def test_implication_chain(self):
+        solver = make_solver(5)
+        solver.add_clause([1])
+        for v in range(1, 5):
+            solver.add_clause([-v, v + 1])
+        result = solver.solve()
+        assert result.is_sat
+        assert all(result.model[v] for v in range(1, 6))
+
+    def test_simple_conflict_resolution(self):
+        # (a | b) & (a | -b) & (-a | c) & (-a | -c) is UNSAT
+        solver = make_solver(3)
+        solver.add_clause([1, 2])
+        solver.add_clause([1, -2])
+        solver.add_clause([-1, 3])
+        solver.add_clause([-1, -3])
+        assert solver.solve().is_unsat
+
+
+class TestPigeonhole:
+    def _pigeonhole(self, holes):
+        """PHP(holes+1, holes): classic small UNSAT family."""
+        pigeons = holes + 1
+        solver = SatSolver()
+        var = {}
+        for p in range(pigeons):
+            for h in range(holes):
+                var[(p, h)] = solver.new_var()
+        for p in range(pigeons):
+            solver.add_clause([var[(p, h)] for h in range(holes)])
+        for h in range(holes):
+            for p1 in range(pigeons):
+                for p2 in range(p1 + 1, pigeons):
+                    solver.add_clause([-var[(p1, h)], -var[(p2, h)]])
+        return solver
+
+    @pytest.mark.parametrize("holes", [2, 3, 4])
+    def test_unsat(self, holes):
+        assert self._pigeonhole(holes).solve().is_unsat
+
+    def test_satisfiable_assignment_variant(self):
+        # holes == pigeons is satisfiable
+        solver = SatSolver()
+        n = 3
+        var = [[solver.new_var() for _ in range(n)] for _ in range(n)]
+        for p in range(n):
+            solver.add_clause(var[p])
+        for h in range(n):
+            for p1 in range(n):
+                for p2 in range(p1 + 1, n):
+                    solver.add_clause([-var[p1][h], -var[p2][h]])
+        assert solver.solve().is_sat
+
+
+class TestRandom3Sat:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=1000))
+    def test_model_satisfies_formula(self, seed):
+        rng = random.Random(seed)
+        num_vars = rng.randint(5, 20)
+        num_clauses = rng.randint(5, 3 * num_vars)
+        solver = make_solver(num_vars)
+        clauses = []
+        for _ in range(num_clauses):
+            clause = [rng.choice([-1, 1]) * rng.randint(1, num_vars)
+                      for _ in range(3)]
+            clauses.append(clause)
+            solver.add_clause(clause)
+        result = solver.solve()
+        if result.is_sat:
+            model = result.model
+            for clause in clauses:
+                assert any(
+                    (lit > 0) == model.get(abs(lit), False)
+                    for lit in clause), f"clause {clause} falsified"
+        else:
+            # Cross-check with brute force for small instances.
+            if num_vars <= 16:
+                for assignment in range(1 << num_vars):
+                    bits = [(assignment >> i) & 1 for i in range(num_vars)]
+                    if all(any((lit > 0) == bool(bits[abs(lit) - 1])
+                               for lit in clause)
+                           for clause in clauses):
+                        pytest.fail("solver said UNSAT but formula is SAT")
+
+
+class TestAssumptions:
+    def test_assumption_forces_value(self):
+        solver = make_solver(2)
+        solver.add_clause([-1, 2])
+        result = solver.solve(assumptions=[1])
+        assert result.is_sat
+        assert result.model[2] is True
+
+    def test_conflicting_assumption(self):
+        solver = make_solver(1)
+        solver.add_clause([1])
+        assert solver.solve(assumptions=[-1]).is_unsat

@@ -1,0 +1,129 @@
+"""Tests for the testing tier: input generation and counterexample
+rendering."""
+
+import pytest
+
+from repro.ir import parse_function
+from repro.semantics import Memory, Pointer
+from repro.verify.testing import (
+    Counterexample,
+    InputGenerator,
+    run_refinement_tests,
+)
+
+
+class TestInputGenerator:
+    def test_structured_covers_boundaries(self):
+        fn = parse_function("define i8 @f(i8 %x) {\n  ret i8 %x\n}")
+        generator = InputGenerator(fn)
+        values = {args[0] for args, _ in generator.structured_inputs()}
+        for boundary in (0, 1, 127, 128, 255):
+            assert boundary in values
+
+    def test_pointer_args_get_buffers(self):
+        fn = parse_function("define i8 @f(ptr %p) {\n"
+                            "  %r = load i8, ptr %p, align 1\n"
+                            "  ret i8 %r\n}")
+        generator = InputGenerator(fn)
+        args, memory = next(generator.structured_inputs())
+        assert isinstance(args[0], Pointer)
+        assert memory.has_buffer("arg0")
+
+    def test_random_inputs_deterministic_by_seed(self):
+        fn = parse_function("define i8 @f(i8 %x, i8 %y) {\n"
+                            "  ret i8 %x\n}")
+        a = [args for args, _ in
+             InputGenerator(fn, seed=5).random_inputs(10)]
+        b = [args for args, _ in
+             InputGenerator(fn, seed=5).random_inputs(10)]
+        assert a == b
+
+    def test_vector_inputs(self):
+        fn = parse_function("define <4 x i8> @f(<4 x i8> %v) {\n"
+                            "  ret <4 x i8> %v\n}")
+        generator = InputGenerator(fn)
+        args, _ = next(generator.structured_inputs())
+        assert isinstance(args[0], list) and len(args[0]) == 4
+
+    def test_cross_product_capped(self):
+        fn = parse_function(
+            "define i8 @f(i8 %a, i8 %b, i8 %c, i8 %d, i8 %e) {\n"
+            "  ret i8 %a\n}")
+        generator = InputGenerator(fn)
+        count = sum(1 for _ in generator.structured_inputs())
+        assert count <= 512
+
+
+class TestRunRefinementTests:
+    def test_finds_boundary_violation(self):
+        # Differ only at x == 255: structured inputs must catch it.
+        src = parse_function("define i8 @s(i8 %x) {\n  ret i8 %x\n}")
+        tgt = parse_function(
+            "define i8 @t(i8 %x) {\n"
+            "  %c = icmp eq i8 %x, -1\n"
+            "  %r = select i1 %c, i8 0, i8 %x\n  ret i8 %r\n}")
+        cex = run_refinement_tests(src, tgt, random_count=0)
+        assert cex is not None
+        assert cex.args[0] == 255
+
+    def test_memory_violation_found(self):
+        src = parse_function("define i8 @s(ptr %p) {\n"
+                             "  %r = load i8, ptr %p, align 1\n"
+                             "  ret i8 %r\n}")
+        tgt = parse_function("define i8 @t(ptr %p) {\n"
+                             "  %q = getelementptr i8, ptr %p, i64 1\n"
+                             "  %r = load i8, ptr %q, align 1\n"
+                             "  ret i8 %r\n}")
+        cex = run_refinement_tests(src, tgt, random_count=50)
+        assert cex is not None
+
+    def test_equivalent_passes(self):
+        src = parse_function("define i8 @s(i8 %x) {\n"
+                             "  %r = mul i8 %x, 2\n  ret i8 %r\n}")
+        tgt = parse_function("define i8 @t(i8 %x) {\n"
+                             "  %r = shl i8 %x, 1\n  ret i8 %r\n}")
+        assert run_refinement_tests(src, tgt, random_count=100) is None
+
+    def test_store_refinement_checked(self):
+        src = parse_function("define void @s(ptr %p) {\n"
+                             "  store i8 1, ptr %p, align 1\n"
+                             "  ret void\n}")
+        tgt = parse_function("define void @t(ptr %p) {\n"
+                             "  store i8 2, ptr %p, align 1\n"
+                             "  ret void\n}")
+        cex = run_refinement_tests(src, tgt, random_count=5)
+        assert cex is not None
+        assert "memory" in cex.kind
+
+
+class TestCounterexampleRendering:
+    def test_render_is_alive2_shaped(self):
+        from repro.ir.types import I8
+        from repro.semantics.eval import Outcome
+        cex = Counterexample(
+            args=[255], arg_types=[I8],
+            source_outcome=Outcome("return", 1),
+            target_outcome=Outcome("return", 2),
+            kind="value mismatch")
+        text = cex.render(I8)
+        assert text.startswith("Transformation doesn't verify!")
+        assert "ERROR: value mismatch" in text
+        assert "i8 %0 = 255" in text
+        assert "Source value: 1" in text
+        assert "Target value: 2" in text
+
+    def test_render_includes_memory(self):
+        from repro.ir.types import I8
+        cex = Counterexample(args=[], arg_types=[],
+                             memory_bytes={"arg0": [1, 2, 3]})
+        assert "memory[arg0]" in cex.render()
+
+    def test_ub_outcome_rendered(self):
+        from repro.ir.types import I8
+        from repro.semantics.eval import Outcome
+        cex = Counterexample(
+            args=[0], arg_types=[I8],
+            source_outcome=Outcome("return", 1),
+            target_outcome=Outcome("ub", ub_reason="udiv by zero"),
+            kind="target has UB where source is defined")
+        assert "UB (udiv by zero)" in cex.render(I8)
