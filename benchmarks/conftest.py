@@ -6,17 +6,28 @@ documented scale and writes the rendered text to
 from a single run.
 """
 
+import os
 import pathlib
 
 import pytest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
+#: Worker-pool width used by the scheduler benchmark; override with
+#: ``REPRO_BENCH_JOBS=N`` to measure a different pool size.
+DEFAULT_BENCH_JOBS = 4
+
 
 @pytest.fixture(scope="session")
 def results_dir() -> pathlib.Path:
     RESULTS_DIR.mkdir(exist_ok=True)
     return RESULTS_DIR
+
+
+@pytest.fixture(scope="session")
+def bench_jobs() -> int:
+    return max(1, int(os.environ.get("REPRO_BENCH_JOBS",
+                                     DEFAULT_BENCH_JOBS)))
 
 
 @pytest.fixture(scope="session")

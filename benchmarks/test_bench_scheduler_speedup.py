@@ -1,0 +1,88 @@
+"""Scheduler/cache benchmark guard: sequential vs parallel wall-clock.
+
+Runs the LPO loop over the full rq1 window corpus three ways — the
+sequential reference driver, the batch scheduler at ``bench_jobs``
+workers (override with ``REPRO_BENCH_JOBS=N``), and a cached re-run —
+and records the wall-clocks to ``benchmarks/results/scheduler_speedup``
+so the performance trajectory of the harness itself is tracked from PR
+to PR.  Equivalence of findings across all three paths is asserted, not
+just timed.
+"""
+
+import time
+
+import pytest
+
+from repro.core import LPOPipeline, PipelineConfig, window_from_text
+from repro.corpus.issues import rq1_cases
+from repro.llm import GEMINI20T, SimulatedLLM
+
+ROUNDS = 2
+
+
+@pytest.fixture(scope="module")
+def rq1_windows():
+    return [window_from_text(case.src) for case in rq1_cases()]
+
+
+def _pipeline():
+    return LPOPipeline(SimulatedLLM(GEMINI20T),
+                       PipelineConfig(attempt_limit=2))
+
+
+def _fingerprint(results):
+    return [(r.status, r.window.digest, r.candidate_text)
+            for r in results]
+
+
+def test_bench_scheduler_speedup(rq1_windows, bench_jobs,
+                                 save_artifact):
+    # Sequential reference.
+    sequential = _pipeline()
+    start = time.perf_counter()
+    seq_results = [sequential.run(rq1_windows, round_seed=r)
+                   for r in range(ROUNDS)]
+    seq_wall = time.perf_counter() - start
+
+    # Parallel batch, fresh pipeline/cache.
+    parallel = _pipeline()
+    start = time.perf_counter()
+    par_results = [parallel.run_batch(rq1_windows, round_seed=r,
+                                      jobs=bench_jobs)
+                   for r in range(ROUNDS)]
+    par_wall = time.perf_counter() - start
+
+    # Cached re-run: same pipeline, same rounds — all digests known.
+    start = time.perf_counter()
+    cached_results = [parallel.run_batch(rq1_windows, round_seed=r,
+                                         jobs=bench_jobs)
+                      for r in range(ROUNDS)]
+    cached_wall = time.perf_counter() - start
+    cached_delta = cached_results[-1].stats.cache
+
+    for round_index in range(ROUNDS):
+        assert (_fingerprint(par_results[round_index])
+                == _fingerprint(seq_results[round_index]))
+        assert (_fingerprint(cached_results[round_index])
+                == _fingerprint(seq_results[round_index]))
+
+    findings = sum(r.found for round_results in seq_results
+                   for r in round_results)
+    lines = [
+        f"rq1 corpus: {len(rq1_windows)} windows x {ROUNDS} rounds, "
+        f"{findings} findings per full pass (model {GEMINI20T.name})",
+        f"sequential wall: {seq_wall:8.2f}s",
+        f"parallel wall:   {par_wall:8.2f}s  "
+        f"(jobs={bench_jobs}, x{seq_wall / max(par_wall, 1e-9):.2f} "
+        f"vs sequential)",
+        f"cached re-run:   {cached_wall:8.2f}s  "
+        f"(x{seq_wall / max(cached_wall, 1e-9):.2f} vs sequential)",
+        f"parallel batch stats: {par_results[-1].stats.render()}",
+        f"cached batch stats:   {cached_results[-1].stats.render()}",
+    ]
+    save_artifact("scheduler_speedup", "\n".join(lines))
+
+    # Guard rails: the cache must eliminate every redundant opt/verify
+    # call, and the cached pass must be dramatically faster.
+    assert cached_delta.misses == 0
+    assert cached_wall < seq_wall / 2

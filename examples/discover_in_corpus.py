@@ -41,15 +41,18 @@ def main() -> None:
                            PipelineConfig())
     knowledge = default_knowledge_base()
 
+    # The windows are independent, so the sweep fans out over a worker
+    # pool; results come back in window order, with aggregate stats.
+    results = pipeline.run_batch(windows[:80], round_seed=7, jobs=4)
     findings = []
-    for window in windows[:80]:
-        result = pipeline.optimize_window(window, round_seed=7)
+    for window, result in zip(windows[:80], results):
         if result.found:
             entry = knowledge.lookup(window.function)
             issue = entry.issue_id if entry else "novel"
             findings.append((issue, window))
             print(f"  FOUND (issue {issue}) in "
                   f"{window.source_module}:@{window.source_function}")
+    print(f"sweep: {results.stats.render()}")
 
     distinct = sorted({issue for issue, _ in findings
                        if isinstance(issue, int)})

@@ -8,6 +8,12 @@ compares instruction counts and llvm-mca cycles, and the Alive2-style
 verifier proves the refinement — with failed attempts feeding error
 messages or counterexamples back to the model.
 
+It then re-runs the loop through ``LPOPipeline.run_batch`` — the batch
+scheduler that fans independent windows over a worker pool (``jobs=N``,
+the CLI's ``--jobs``) — and shows the digest-keyed result cache
+(``--cache`` on the CLI) answering the repeat run without a single new
+``opt`` or verifier invocation.
+
 Run:  python examples/quickstart.py
 """
 
@@ -15,6 +21,7 @@ from repro import (
     GEMINI20T,
     LPOPipeline,
     PipelineConfig,
+    ResultCache,
     SimulatedLLM,
     window_from_text,
 )
@@ -65,6 +72,24 @@ def main() -> None:
     else:
         raise SystemExit("model never produced the rewrite "
                          "(unexpected with Gemini2.0T)")
+
+    # -- corpus-scale spelling: run_batch + the result cache ------------
+    print("\n=== Batched re-run over a worker pool ===")
+    batch_pipeline = LPOPipeline(SimulatedLLM(GEMINI20T),
+                                 PipelineConfig(attempt_limit=2),
+                                 cache=ResultCache())
+    windows = [window]
+    results = batch_pipeline.run_batch(windows, round_seed=round_seed,
+                                       jobs=4)
+    print(f"batch of {results.stats.windows}: "
+          f"{results.stats.found} found "
+          f"({results.stats.cache.render()})")
+    again = batch_pipeline.run_batch(windows, round_seed=round_seed,
+                                     jobs=4)
+    print(f"cached re-run: {again.stats.found} found "
+          f"({again.stats.cache.render()})")
+    assert again.stats.cache.misses == 0, "second run must be all hits"
+    assert [r.status for r in again] == [r.status for r in results]
 
 
 if __name__ == "__main__":

@@ -9,7 +9,8 @@ The package re-implements the paper's full stack in pure Python:
 * :mod:`repro.verify` — SAT-backed translation validation (Alive2 stand-in);
 * :mod:`repro.mca` — a static cycle model (llvm-mca stand-in);
 * :mod:`repro.llm` — simulated LLM clients with capability profiles;
-* :mod:`repro.core` — LPO itself: extractor, interestingness, the loop;
+* :mod:`repro.core` — LPO itself: extractor, interestingness, the loop,
+  plus the batch scheduler and digest-keyed result cache that scale it;
 * :mod:`repro.baselines` — Souper- and Minotaur-style superoptimizers;
 * :mod:`repro.corpus` — issue datasets and the synthetic project corpus;
 * :mod:`repro.experiments` — one runner per paper table/figure.
@@ -19,12 +20,28 @@ Quickstart::
     from repro import LPOPipeline, SimulatedLLM, GEMINI20T, window_from_text
     pipeline = LPOPipeline(SimulatedLLM(GEMINI20T))
     result = pipeline.optimize_window(window_from_text(ir_text))
+
+Corpus-scale runs fan windows over a worker pool and reuse verified
+outcomes across rounds and re-runs (``python -m repro batch FILE --jobs 4
+--cache lpo-cache.json`` is the CLI spelling)::
+
+    from repro import LPOPipeline, ResultCache, SimulatedLLM, GEMINI20T
+    pipeline = LPOPipeline(SimulatedLLM(GEMINI20T),
+                           cache=ResultCache("lpo-cache.json"))
+    results = pipeline.run_batch(windows, jobs=4)   # == pipeline.run(...)
+    print(results.stats.render())   # findings, wall-clock, cache hits
+    pipeline.cache.save()           # next run skips verified digests
 """
 
 from repro.baselines import Minotaur, Souper
 from repro.core import (
+    BatchResult,
+    BatchScheduler,
+    BatchStats,
+    CacheStats,
     LPOPipeline,
     PipelineConfig,
+    ResultCache,
     Window,
     WindowResult,
     extract_from_corpus,
@@ -53,6 +70,8 @@ __version__ = "1.0.0"
 __all__ = [
     "Minotaur", "Souper",
     "LPOPipeline", "PipelineConfig", "Window", "WindowResult",
+    "BatchResult", "BatchScheduler", "BatchStats",
+    "CacheStats", "ResultCache",
     "extract_from_corpus", "window_from_text", "wrap_as_function",
     "parse_function", "parse_module", "print_function",
     "ALL_MODELS", "GEMINI20", "GEMINI20T", "GEMINI25", "GEMMA3", "GPT41",

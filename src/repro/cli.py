@@ -8,6 +8,9 @@ Commands mirror the toolchain pieces the paper composes:
 * ``extract FILE``   — slice a module into deduplicated windows;
 * ``pipeline FILE``  — run the full LPO loop on a window with a chosen
   model profile;
+* ``batch FILE``     — extract every window of a module and run the loop
+  over all of them on a worker pool (``--jobs N``), with an optional
+  persistent result cache (``--cache PATH``);
 * ``souper FILE`` / ``minotaur FILE`` — the baseline superoptimizers;
 * ``tables NAME``    — regenerate a paper table/figure.
 """
@@ -76,6 +79,19 @@ def cmd_extract(args: argparse.Namespace) -> int:
     return 0
 
 
+def _make_cache(path: Optional[str]):
+    from repro.core import ResultCache
+    return ResultCache(path)
+
+
+def _report_cache(cache, save: bool) -> None:
+    print(f"cache: {cache.stats.render()}", file=sys.stderr)
+    if save and cache.path is not None:
+        cache.save()
+        print(f"cache saved to {cache.path} ({len(cache)} entries)",
+              file=sys.stderr)
+
+
 def cmd_pipeline(args: argparse.Namespace) -> int:
     from repro.core import LPOPipeline, PipelineConfig, window_from_text
     from repro.llm import MODELS_BY_NAME, SimulatedLLM
@@ -84,19 +100,57 @@ def cmd_pipeline(args: argparse.Namespace) -> int:
         print(f"unknown model {args.model!r}; choose from "
               f"{sorted(MODELS_BY_NAME)}", file=sys.stderr)
         return 2
+    cache = _make_cache(args.cache)
     pipeline = LPOPipeline(SimulatedLLM(profile, seed=args.seed),
-                           PipelineConfig(attempt_limit=args.attempts))
+                           PipelineConfig(attempt_limit=args.attempts),
+                           cache=cache)
     window = window_from_text(_read(args.file))
-    for round_seed in range(args.rounds):
-        result = pipeline.optimize_window(window, round_seed=round_seed)
-        outcomes = ", ".join(a.outcome for a in result.attempts)
-        print(f"round {round_seed}: {outcomes}")
+    try:
+        for round_seed in range(args.rounds):
+            result = pipeline.optimize_window(window,
+                                              round_seed=round_seed)
+            outcomes = ", ".join(a.outcome for a in result.attempts)
+            print(f"round {round_seed}: {outcomes}")
+            if result.found:
+                print("\npotential missed optimization:")
+                print(result.candidate_text, end="")
+                return 0
+        print("no verified improvement found", file=sys.stderr)
+        return 1
+    finally:
+        _report_cache(cache, save=args.cache is not None)
+
+
+def cmd_batch(args: argparse.Namespace) -> int:
+    from repro.core import LPOPipeline, PipelineConfig, extract_from_corpus
+    from repro.ir import parse_module
+    from repro.llm import MODELS_BY_NAME, SimulatedLLM
+    profile = MODELS_BY_NAME.get(args.model)
+    if profile is None:
+        print(f"unknown model {args.model!r}; choose from "
+              f"{sorted(MODELS_BY_NAME)}", file=sys.stderr)
+        return 2
+    module = parse_module(_read(args.file))
+    windows = extract_from_corpus([module])
+    if not windows:
+        print("no windows extracted", file=sys.stderr)
+        return 1
+    cache = _make_cache(args.cache)
+    pipeline = LPOPipeline(SimulatedLLM(profile, seed=args.seed),
+                           PipelineConfig(attempt_limit=args.attempts),
+                           cache=cache)
+    results = pipeline.run_batch(windows, round_seed=args.seed,
+                                 jobs=args.jobs, backend=args.backend)
+    found = 0
+    for window, result in zip(windows, results):
+        print(f"@{window.source_function} %{window.source_block}: "
+              f"{result.status}")
         if result.found:
-            print("\npotential missed optimization:")
-            print(result.candidate_text, end="")
-            return 0
-    print("no verified improvement found", file=sys.stderr)
-    return 1
+            found += 1
+            print(result.candidate_text)
+    print(results.stats.render(), file=sys.stderr)
+    _report_cache(cache, save=args.cache is not None)
+    return 0 if found else 1
 
 
 def cmd_souper(args: argparse.Namespace) -> int:
@@ -179,7 +233,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--rounds", type=int, default=5)
     p.add_argument("--attempts", type=int, default=2)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--cache", metavar="PATH",
+                   help="persistent result cache (JSON); created if "
+                        "missing, saved on exit")
     p.set_defaults(func=cmd_pipeline)
+
+    p = sub.add_parser("batch",
+                       help="run the LPO loop over every window of a "
+                            "module on a worker pool")
+    p.add_argument("file")
+    p.add_argument("--model", default="Gemini2.0T")
+    p.add_argument("--jobs", type=int, default=1, metavar="N",
+                   help="worker pool width (default 1: serial)")
+    p.add_argument("--backend", choices=("thread", "process"),
+                   default="thread")
+    p.add_argument("--attempts", type=int, default=2)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--cache", metavar="PATH",
+                   help="persistent result cache (JSON); created if "
+                        "missing, saved on exit")
+    p.set_defaults(func=cmd_batch)
 
     p = sub.add_parser("souper", help="Souper-style superoptimizer")
     p.add_argument("file")

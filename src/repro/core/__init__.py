@@ -1,5 +1,7 @@
-"""The LPO core: extraction, interestingness, and the closed loop."""
+"""The LPO core: extraction, interestingness, the closed loop, and the
+batch scheduler/cache that scale it over a corpus."""
 
+from repro.core.cache import CacheStats, ResultCache
 from repro.core.dedup import window_digest
 from repro.core.extractor import (
     ExtractionStats,
@@ -19,14 +21,17 @@ from repro.core.pipeline import (
     WindowResult,
     window_from_text,
 )
+from repro.core.scheduler import BatchResult, BatchScheduler, BatchStats
 from repro.core.window import wrap_as_function
 
 __all__ = [
+    "CacheStats", "ResultCache",
     "window_digest",
     "ExtractionStats", "Window", "extract_from_corpus",
     "extract_from_module", "extract_sequences_from_block",
     "InterestingnessReport", "check_interestingness",
     "AttemptRecord", "LPOPipeline", "PipelineConfig", "WindowResult",
     "window_from_text",
+    "BatchResult", "BatchScheduler", "BatchStats",
     "wrap_as_function",
 ]

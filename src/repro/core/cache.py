@@ -1,0 +1,248 @@
+"""Digest-keyed persistent result cache for the LPO loop.
+
+The expensive steps of :class:`~repro.core.pipeline.LPOPipeline` are pure
+functions of structural digests:
+
+* canonicalizing a window with ``opt`` depends only on the window's
+  structure (its :func:`~repro.core.dedup.window_digest`);
+* running ``opt`` over an LLM answer depends only on the answer text;
+* :func:`~repro.verify.refinement.check_refinement` depends only on the
+  (source digest, candidate digest) pair and the verifier budgets.
+
+:class:`ResultCache` memoizes all three so a corpus run computes each
+outcome once — across rounds, across models, and (when given a ``path``)
+across re-runs of the whole experiment.  Entries are stored as plain JSON
+so the on-disk format is stable and diffable.
+
+Thread safety: all mutating operations take an internal lock, so one
+cache can back a :class:`~repro.core.scheduler.BatchScheduler` worker
+pool.  Hit/miss counters are kept per operation kind in
+:class:`CacheStats`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
+
+from repro.ir.function import Function
+from repro.ir.parser import parse_function
+from repro.ir.printer import print_function
+from repro.verify.refinement import VerificationResult
+
+#: Bump when the entry layout changes; mismatched files are ignored.
+CACHE_FORMAT_VERSION = 1
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters, split by operation kind."""
+
+    opt_hits: int = 0
+    opt_misses: int = 0
+    verify_hits: int = 0
+    verify_misses: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.opt_hits + self.verify_hits
+
+    @property
+    def misses(self) -> int:
+        return self.opt_misses + self.verify_misses
+
+    def snapshot(self) -> "CacheStats":
+        return CacheStats(self.opt_hits, self.opt_misses,
+                          self.verify_hits, self.verify_misses)
+
+    def delta_since(self, earlier: "CacheStats") -> "CacheStats":
+        return CacheStats(
+            self.opt_hits - earlier.opt_hits,
+            self.opt_misses - earlier.opt_misses,
+            self.verify_hits - earlier.verify_hits,
+            self.verify_misses - earlier.verify_misses)
+
+    def add(self, other: "CacheStats") -> None:
+        self.opt_hits += other.opt_hits
+        self.opt_misses += other.opt_misses
+        self.verify_hits += other.verify_hits
+        self.verify_misses += other.verify_misses
+
+    def render(self) -> str:
+        return (f"opt {self.opt_hits} hit / {self.opt_misses} miss, "
+                f"verify {self.verify_hits} hit / "
+                f"{self.verify_misses} miss")
+
+
+def text_digest(text: str) -> str:
+    """Digest of raw candidate text (pre-parse, may be malformed)."""
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+class ResultCache:
+    """A digest-keyed store of ``opt`` and ``check_refinement`` outcomes.
+
+    With ``path=None`` the cache is purely in-memory (every pipeline owns
+    one by default, so repeated rounds over the same window never redo
+    the source canonicalization).  With a ``path`` it loads existing
+    entries eagerly and persists with :meth:`save`.
+    """
+
+    def __init__(self, path: Union[str, Path, None] = None):
+        self.path = Path(path) if path is not None else None
+        self.stats = CacheStats()
+        self._lock = threading.Lock()
+        self._data: Dict[str, dict] = {}
+        #: Parsed-function memo so in-process hits skip the re-parse.
+        self._functions: Dict[str, Function] = {}
+        if self.path is not None and self.path.exists():
+            self.load(self.path)
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    # Locks don't pickle; a worker-process copy gets a fresh one (and
+    # drops the parsed-function memo, which is per-process anyway).
+    def __getstate__(self) -> dict:
+        with self._lock:
+            return {"path": self.path,
+                    "stats": self.stats.snapshot(),
+                    "data": dict(self._data)}
+
+    def __setstate__(self, state: dict) -> None:
+        self.path = state["path"]
+        self.stats = state["stats"]
+        self._data = state["data"]
+        self._functions = {}
+        self._lock = threading.Lock()
+
+    # -- opt outcomes ------------------------------------------------------
+    @staticmethod
+    def _opt_key(digest: str) -> str:
+        return f"opt:{digest}"
+
+    def get_opt(self, digest: str
+                ) -> Optional[Tuple[Optional[Function], str]]:
+        """Cached ``opt`` outcome: ``(function, "")`` on success,
+        ``(None, error_message)`` on failure, ``None`` on a miss."""
+        key = self._opt_key(digest)
+        with self._lock:
+            entry = self._data.get(key)
+            if entry is None:
+                self.stats.opt_misses += 1
+                return None
+            self.stats.opt_hits += 1
+            if not entry["ok"]:
+                return None, entry["error"]
+            function = self._functions.get(key)
+        if function is None:
+            function = parse_function(entry["text"])
+            with self._lock:
+                self._functions[key] = function
+        return function, ""
+
+    def put_opt(self, digest: str, function: Optional[Function],
+                error: str = "") -> None:
+        key = self._opt_key(digest)
+        if function is not None:
+            entry = {"ok": True, "text": print_function(function)}
+        else:
+            entry = {"ok": False, "error": error}
+        with self._lock:
+            self._data[key] = entry
+            if function is not None:
+                self._functions[key] = function
+
+    # -- refinement outcomes ----------------------------------------------
+    @staticmethod
+    def verify_key(source_digest: str, target_digest: str,
+                   random_tests: int, exhaustive_bits: int,
+                   sat_budget: int, seed: int = 0) -> str:
+        return (f"verify:{source_digest}:{target_digest}:"
+                f"{random_tests}:{exhaustive_bits}:{sat_budget}:{seed}")
+
+    def get_verify(self, key: str) -> Optional[VerificationResult]:
+        with self._lock:
+            entry = self._data.get(key)
+            if entry is None:
+                self.stats.verify_misses += 1
+                return None
+            self.stats.verify_hits += 1
+        # The counterexample is persisted pre-rendered: the pipeline only
+        # ever consumes it as feedback text (``counter_example``), which
+        # falls back to ``message`` when no structured object is present.
+        return VerificationResult(
+            status=entry["status"],
+            method=entry["method"],
+            message=entry["message"],
+            elapsed_seconds=entry["elapsed_seconds"],
+            solver_conflicts=entry["solver_conflicts"])
+
+    def put_verify(self, key: str, result: VerificationResult) -> None:
+        entry = {
+            "status": result.status,
+            "method": result.method,
+            "message": result.counter_example,
+            "elapsed_seconds": result.elapsed_seconds,
+            "solver_conflicts": result.solver_conflicts,
+        }
+        with self._lock:
+            self._data[key] = entry
+
+    # -- persistence -------------------------------------------------------
+    def save(self, path: Union[str, Path, None] = None) -> Path:
+        """Atomically write every entry as JSON; returns the path."""
+        target = Path(path) if path is not None else self.path
+        if target is None:
+            raise ValueError("ResultCache.save() needs a path (none was "
+                             "given at construction either)")
+        with self._lock:
+            payload = {"version": CACHE_FORMAT_VERSION,
+                       "entries": dict(self._data)}
+        target.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(dir=str(target.parent),
+                                        prefix=target.name, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle, indent=0, sort_keys=True)
+            os.replace(tmp_name, target)
+        except BaseException:
+            if os.path.exists(tmp_name):
+                os.unlink(tmp_name)
+            raise
+        return target
+
+    def load(self, path: Union[str, Path]) -> int:
+        """Merge entries from ``path``; returns how many were loaded."""
+        try:
+            payload = json.loads(Path(path).read_text())
+        except (OSError, json.JSONDecodeError):
+            return 0
+        if not isinstance(payload, dict):
+            return 0
+        if payload.get("version") != CACHE_FORMAT_VERSION:
+            return 0
+        entries = payload.get("entries", {})
+        if not isinstance(entries, dict):
+            return 0
+        entries = {key: entry for key, entry in entries.items()
+                   if isinstance(entry, dict)}
+        self.merge(entries)
+        return len(entries)
+
+    def merge(self, entries: Dict[str, dict]) -> None:
+        """Adopt entries computed elsewhere (a file, a worker process)."""
+        with self._lock:
+            for key, entry in entries.items():
+                self._data.setdefault(key, entry)
+
+    def export(self) -> Dict[str, dict]:
+        """The raw entry dict (for merging across process boundaries)."""
+        with self._lock:
+            return dict(self._data)

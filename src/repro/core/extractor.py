@@ -49,6 +49,11 @@ def extract_sequences_from_block(block: BasicBlock
     """``ExtractSeqsFromBB`` from Algorithm 2: all maximal dependent
     instruction sequences of a block, in reverse-traversal order."""
     seq_set: List[List[Instruction]] = []
+    # Per-sequence id-set of every member's operands: "is inst consumed
+    # by this sequence" is one set lookup instead of a scan over all
+    # members' operand lists (instructions compare by identity, so the
+    # id check is exactly the old ``in`` semantics, minus O(n²)).
+    operand_ids: List[Set[int]] = []
     for inst in reversed(block.instructions):
         if inst.is_terminator:
             continue
@@ -57,16 +62,15 @@ def extract_sequences_from_block(block: BasicBlock
             # by construction; neither can anchor a window.
             continue
         added = False
-        new_set: List[List[Instruction]] = []
-        for sequence in seq_set:
-            if any(inst in member.operands for member in sequence):
-                new_set.append([inst] + sequence)
+        inst_id = id(inst)
+        for sequence, consumed in zip(seq_set, operand_ids):
+            if inst_id in consumed:
+                sequence.insert(0, inst)
+                consumed.update(id(op) for op in inst.operands)
                 added = True
-            else:
-                new_set.append(sequence)
         if not added:
-            new_set.append([inst])
-        seq_set = new_set
+            seq_set.append([inst])
+            operand_ids.append({id(op) for op in inst.operands})
     return seq_set
 
 

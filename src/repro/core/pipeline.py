@@ -12,20 +12,30 @@ For each extracted window:
    feedback and restart the attempt (steps ⑤/⑥);
 5. verified interesting candidates are recorded as potential missed
    optimizations (step ⑦).
+
+Every expensive step is memoized in a digest-keyed
+:class:`~repro.core.cache.ResultCache` (each pipeline owns an in-memory
+one by default; pass a persistent cache to share outcomes across runs),
+and :meth:`LPOPipeline.run_batch` fans independent windows over a
+:class:`~repro.core.scheduler.BatchScheduler` worker pool while keeping
+results bit-identical to the sequential :meth:`LPOPipeline.run`.
 """
 
 from __future__ import annotations
 
+import functools
 import time
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
+from repro.core.cache import ResultCache, text_digest
+from repro.core.dedup import window_digest
 from repro.core.extractor import Window
 from repro.core.interestingness import (
     InterestingnessReport,
     check_interestingness,
 )
-from repro.errors import ParseError
+from repro.core.scheduler import BatchResult, BatchScheduler, BatchStats
 from repro.ir.function import Function
 from repro.ir.parser import parse_function
 from repro.ir.printer import print_function
@@ -87,9 +97,68 @@ class LPOPipeline:
     """Algorithm 1 over a single window or a stream of windows."""
 
     def __init__(self, client: LLMClient,
-                 config: Optional[PipelineConfig] = None):
+                 config: Optional[PipelineConfig] = None,
+                 cache: Optional[ResultCache] = None):
         self.client = client
         self.config = config if config is not None else PipelineConfig()
+        self.cache = cache if cache is not None else ResultCache()
+
+    # -- cached sub-steps ---------------------------------------------------
+    def _canonical_source(self, window: Window) -> Function:
+        """The window canonicalized by ``opt``, computed once per digest.
+
+        Candidates are compared against this form so a mere echo (which
+        opt would canonicalize the same way) can never register as an
+        "interesting" finding.  Repeated rounds over the same window (the
+        rq1/rq3 loops) hit the cache instead of re-running ``opt``.
+        """
+        cached = self.cache.get_opt(window.digest)
+        if cached is not None:
+            function, _error = cached
+            return function if function is not None else window.function
+        source_opt = run_opt(window.function)
+        if source_opt.ok and source_opt.function is not None:
+            self.cache.put_opt(window.digest, source_opt.function)
+            return source_opt.function
+        self.cache.put_opt(window.digest, None, source_opt.error_message)
+        return window.function
+
+    def _opt_candidate(self, ir_text: str
+                       ) -> Tuple[Optional[Function], str]:
+        """``opt`` over an LLM answer, memoized by the answer's digest."""
+        digest = text_digest(ir_text)
+        cached = self.cache.get_opt(digest)
+        if cached is not None:
+            return cached
+        opt_result = run_opt(ir_text)
+        if opt_result.is_failed:
+            self.cache.put_opt(digest, None, opt_result.error_message)
+            return None, opt_result.error_message
+        self.cache.put_opt(digest, opt_result.function)
+        return opt_result.function, ""
+
+    def _check_refinement(self, window: Window,
+                          candidate: Function) -> VerificationResult:
+        """Refinement check memoized by the (source, candidate) digests."""
+        config = self.config
+        # The verifier seed is part of the cache key; it must match the
+        # seed passed to check_refinement below.
+        verify_seed = 0
+        key = ResultCache.verify_key(
+            window.digest, window_digest(candidate),
+            config.random_tests, config.exhaustive_bits,
+            config.sat_budget, seed=verify_seed)
+        cached = self.cache.get_verify(key)
+        if cached is not None:
+            return cached
+        verification = check_refinement(
+            window.function, candidate,
+            random_tests=config.random_tests,
+            exhaustive_bits=config.exhaustive_bits,
+            sat_budget=config.sat_budget,
+            seed=verify_seed)
+        self.cache.put_verify(key, verification)
+        return verification
 
     # -- the closed loop over one window --------------------------------
     def optimize_window(self, window: Window,
@@ -98,13 +167,7 @@ class LPOPipeline:
         result = WindowResult(window=window, found=False)
         start = time.perf_counter()
         window_text = print_function(window.function)
-        # Canonicalize the window once: candidates are compared against
-        # this form so a mere echo (which opt would canonicalize the same
-        # way) can never register as an "interesting" finding.
-        canonical_source = window.function
-        source_opt = run_opt(window.function)
-        if source_opt.ok and source_opt.function is not None:
-            canonical_source = source_opt.function
+        canonical_source = self._canonical_source(window)
         feedback = ""
         attempt = 0
         while attempt < config.attempt_limit:
@@ -120,15 +183,14 @@ class LPOPipeline:
             result.attempts.append(record)
 
             # Step 3: opt — syntax check + canonicalize/optimize.
-            opt_result = run_opt(response.extract_ir())
-            if opt_result.is_failed:
+            candidate, opt_error = self._opt_candidate(
+                response.extract_ir())
+            if candidate is None:
                 attempt += 1
-                feedback = opt_result.error_message
+                feedback = opt_error
                 record.outcome = "syntax-error"
                 record.feedback = feedback
                 continue
-            candidate = opt_result.function
-            assert candidate is not None
 
             # Step 4: interestingness (against the canonicalized window).
             report = check_interestingness(canonical_source, candidate)
@@ -138,11 +200,7 @@ class LPOPipeline:
                 break  # Algorithm 1 line 16: abandon this window.
 
             # Step 5: correctness (Alive2 substitute).
-            verification = check_refinement(
-                window.function, candidate,
-                random_tests=config.random_tests,
-                exhaustive_bits=config.exhaustive_bits,
-                sat_budget=config.sat_budget)
+            verification = self._check_refinement(window, candidate)
             record.verification = verification
             accepted = (verification.is_proof if config.require_proof
                         else verification.is_correct)
@@ -164,15 +222,73 @@ class LPOPipeline:
         result.elapsed_seconds = time.perf_counter() - start
         return result
 
-    # -- stream driver -----------------------------------------------------
+    # -- stream drivers ----------------------------------------------------
     def run(self, windows: Sequence[Window],
             round_seed: int = 0) -> List[WindowResult]:
         return [self.optimize_window(window, round_seed=round_seed)
                 for window in windows]
 
+    def run_batch(self, windows: Sequence[Window],
+                  round_seed: int = 0,
+                  jobs: int = 1,
+                  backend: str = "thread",
+                  scheduler: Optional[BatchScheduler] = None
+                  ) -> BatchResult:
+        """Fan ``windows`` over a worker pool; results in input order.
+
+        Element-for-element identical to :meth:`run` (windows are
+        independent and every behavioural draw is keyed by window digest
+        and ``round_seed``, never by arrival order), plus aggregated
+        :class:`~repro.core.scheduler.BatchStats` as ``.stats`` on the
+        returned list.
+        """
+        if scheduler is None:
+            scheduler = BatchScheduler(jobs=jobs, backend=backend)
+        stats_before = self.cache.stats.snapshot()
+        start = time.perf_counter()
+        effective = scheduler.effective_backend(len(windows))
+        if effective == "process":
+            task = functools.partial(_optimize_window_task, self,
+                                     round_seed)
+            results = []
+            for result, entries, delta in scheduler.map(task, windows):
+                # Adopt what each worker computed so later windows (and
+                # the next batch) reuse it, and fold its hit/miss counts
+                # into this cache's accounting.
+                self.cache.merge(entries)
+                self.cache.stats.add(delta)
+                results.append(result)
+        else:
+            task = functools.partial(self.optimize_window,
+                                     round_seed=round_seed)
+            results = scheduler.map(task, windows)
+        wall = time.perf_counter() - start
+        stats = BatchStats(jobs=scheduler.jobs, backend=effective,
+                           wall_seconds=wall,
+                           cache=self.cache.stats.delta_since(
+                               stats_before))
+        for result in results:
+            stats.record(result)
+        return BatchResult(results, stats)
+
+
+def _optimize_window_task(pipeline: LPOPipeline, round_seed: int,
+                          window: Window):
+    """Process-pool work item: runs in a worker against a pickled copy
+    of the pipeline; ships the result plus only the cache entries this
+    window added (not the whole preloaded cache) and the hit/miss delta
+    back to the parent."""
+    known = set(pipeline.cache.export())
+    before = pipeline.cache.stats.snapshot()
+    result = pipeline.optimize_window(window, round_seed=round_seed)
+    delta = pipeline.cache.stats.delta_since(before)
+    new_entries = {key: entry
+                   for key, entry in pipeline.cache.export().items()
+                   if key not in known}
+    return result, new_entries, delta
+
 
 def window_from_text(ir_text: str) -> Window:
     """Wrap raw IR text as a Window (used by the RQ1 benchmark runner)."""
-    from repro.core.dedup import window_digest
     function = parse_function(ir_text)
     return Window(function=function, digest=window_digest(function))

@@ -1,0 +1,126 @@
+"""Parallel batch execution for the LPO loop.
+
+Every extracted window is independent — the loop's verdict depends only
+on the window's structure, the round seed, and the model — so a corpus
+run can fan windows out over a worker pool without changing any finding.
+:class:`BatchScheduler` does exactly that, with three backends:
+
+* ``serial``  — a plain loop (the reference behaviour);
+* ``thread``  — :class:`concurrent.futures.ThreadPoolExecutor`; shares
+  the in-process :class:`~repro.core.cache.ResultCache` directly;
+* ``process`` — :class:`concurrent.futures.ProcessPoolExecutor`; work
+  items and results cross a pickle boundary, so callers merge worker
+  cache entries back afterwards.
+
+Result ordering is deterministic regardless of completion order: the
+scheduler collects futures in submission order, so ``map`` always
+returns ``[fn(items[0]), fn(items[1]), ...]``.
+
+:class:`BatchStats` is the aggregate the experiment runners report:
+window/finding counts, per-status outcome histogram, summed
+:class:`~repro.llm.client.Usage`, wall-clock vs summed per-window
+compute time, and the cache hit/miss delta for the batch.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Sequence, TypeVar
+
+from repro.core.cache import CacheStats
+from repro.llm.client import Usage
+
+ItemT = TypeVar("ItemT")
+ResultT = TypeVar("ResultT")
+
+BACKENDS = ("serial", "thread", "process")
+
+
+@dataclass
+class BatchStats:
+    """Aggregated accounting for one batch run."""
+
+    windows: int = 0
+    found: int = 0
+    outcomes: Dict[str, int] = field(default_factory=dict)
+    usage: Usage = field(default_factory=Usage)
+    wall_seconds: float = 0.0
+    compute_seconds: float = 0.0     # sum of per-window elapsed time
+    jobs: int = 1
+    backend: str = "serial"
+    cache: CacheStats = field(default_factory=CacheStats)
+
+    def record(self, result) -> None:
+        """Fold one :class:`~repro.core.pipeline.WindowResult` in."""
+        self.windows += 1
+        self.found += int(result.found)
+        status = result.status
+        self.outcomes[status] = self.outcomes.get(status, 0) + 1
+        self.usage.add(result.usage)
+        self.compute_seconds += result.elapsed_seconds
+
+    def render(self) -> str:
+        speedup = (self.compute_seconds / self.wall_seconds
+                   if self.wall_seconds > 0 else 0.0)
+        return (f"{self.windows} windows, {self.found} found; "
+                f"wall {self.wall_seconds:.2f}s for "
+                f"{self.compute_seconds:.2f}s of compute "
+                f"(x{speedup:.2f}, jobs={self.jobs}, {self.backend}); "
+                f"cache: {self.cache.render()}")
+
+
+class BatchResult(List[ResultT]):
+    """A list of per-item results that also carries :class:`BatchStats`.
+
+    It *is* the result list — identical element-for-element to what the
+    sequential driver produces — so existing callers keep working; the
+    aggregate rides along as ``.stats``.
+    """
+
+    def __init__(self, results: Iterable[ResultT],
+                 stats: BatchStats):
+        super().__init__(results)
+        self.stats = stats
+
+
+class BatchScheduler:
+    """Deterministic fan-out of independent work items over a pool."""
+
+    def __init__(self, jobs: int = 1, backend: str = "thread"):
+        if backend not in BACKENDS:
+            raise ValueError(f"unknown scheduler backend {backend!r}; "
+                             f"choose from {BACKENDS}")
+        self.jobs = max(1, int(jobs))
+        self.backend = backend if self.jobs > 1 else "serial"
+
+    def _executor(self) -> Executor:
+        if self.backend == "process":
+            return ProcessPoolExecutor(max_workers=self.jobs)
+        return ThreadPoolExecutor(max_workers=self.jobs)
+
+    def effective_backend(self, item_count: int) -> str:
+        """The backend :meth:`map` will actually use for a batch of
+        ``item_count`` items (tiny batches never pay pool setup).
+        Callers that prepare work differently per backend (e.g. the
+        pipeline's process-pool task shipping) must key off this, not
+        off ``self.backend``."""
+        if self.backend == "serial" or item_count <= 1:
+            return "serial"
+        return self.backend
+
+    def map(self, fn: Callable[[ItemT], ResultT],
+            items: Sequence[ItemT]) -> List[ResultT]:
+        """``[fn(item) for item in items]``, fanned over the pool.
+
+        Results come back in input order; the first worker exception is
+        re-raised (after the pool drains) exactly as the serial loop
+        would raise it.
+        """
+        items = list(items)
+        if self.effective_backend(len(items)) == "serial":
+            return [fn(item) for item in items]
+        with self._executor() as pool:
+            futures = [pool.submit(fn, item) for item in items]
+            return [future.result() for future in futures]

@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro.core.scheduler import BatchScheduler
 from repro.corpus.generator import generate_corpus, project_of_module
 from repro.experiments.tables import render_table
 from repro.ir.function import Module
@@ -64,17 +65,23 @@ def _optimize_corpus(corpus: Sequence[Module],
 
 def run_impact(seed: int = 0,
                modules_per_project: int = 3,
-               issue_ids: Sequence[int] = FIXED_ISSUE_IDS
-               ) -> ImpactResults:
+               issue_ids: Sequence[int] = FIXED_ISSUE_IDS,
+               jobs: int = 1) -> ImpactResults:
     corpus = generate_corpus(seed=seed,
                              modules_per_project=modules_per_project)
     baseline = _optimize_corpus(corpus, patches=())
     baseline_tried = baseline.pop("__rules_tried__")
     results = ImpactResults(baseline_rules_tried=baseline_tried)
 
-    for issue_id in issue_ids:
-        patches = patch_rules([issue_id])
-        with_patch = _optimize_corpus(corpus, patches=patches)
+    # Each patched sweep clones the corpus functions it optimizes, so
+    # the per-issue sweeps are independent and can fan out over a pool.
+    def sweep(issue_id: int):
+        return _optimize_corpus(corpus, patches=patch_rules([issue_id]))
+
+    scheduler = BatchScheduler(jobs=jobs, backend="thread")
+    sweeps = scheduler.map(sweep, list(issue_ids))
+
+    for issue_id, with_patch in zip(issue_ids, sweeps):
         patched_tried = with_patch.pop("__rules_tried__")
         impacted_modules = []
         for module in corpus:

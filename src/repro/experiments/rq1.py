@@ -12,6 +12,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.baselines.minotaur import Minotaur
 from repro.baselines.souper import Souper
+from repro.core.cache import ResultCache
 from repro.core.pipeline import LPOPipeline, PipelineConfig, window_from_text
 from repro.corpus.issues import IssueCase, rq1_cases
 from repro.experiments.tables import format_count_cell, render_table
@@ -31,6 +32,8 @@ class RQ1Config:
     include_baselines: bool = True
     attempt_limit: int = 2
     seed: int = 0
+    jobs: int = 1                        # worker pool width per round
+    cache: Optional[ResultCache] = None  # shared across models/variants
 
     def resolved_cases(self) -> Sequence[IssueCase]:
         return self.cases if self.cases else rq1_cases()
@@ -76,22 +79,23 @@ def run_rq1(config: Optional[RQ1Config] = None) -> RQ1Results:
     results = RQ1Results(rounds=config.rounds,
                          issue_ids=[case.issue_id for case in cases])
 
+    # opt/verify outcomes depend only on window and candidate digests,
+    # never on the model, so one cache serves every model/variant leg.
+    cache = config.cache if config.cache is not None else ResultCache()
+    windows = [window_from_text(case.src) for case in cases]
     for profile in config.models:
         for variant, attempt_limit in (("LPO-", 1),
                                        ("LPO", config.attempt_limit)):
             client = SimulatedLLM(profile, seed=config.seed)
             pipeline = LPOPipeline(client, PipelineConfig(
-                attempt_limit=attempt_limit))
-            counts: Dict[int, int] = {}
-            for case in cases:
-                window = window_from_text(case.src)
-                hits = 0
-                for round_index in range(config.rounds):
-                    outcome = pipeline.optimize_window(
-                        window, round_seed=round_index)
-                    if outcome.found:
-                        hits += 1
-                counts[case.issue_id] = hits
+                attempt_limit=attempt_limit), cache=cache)
+            counts: Dict[int, int] = {
+                case.issue_id: 0 for case in cases}
+            for round_index in range(config.rounds):
+                outcomes = pipeline.run_batch(
+                    windows, round_seed=round_index, jobs=config.jobs)
+                for case, outcome in zip(cases, outcomes):
+                    counts[case.issue_id] += int(outcome.found)
             results.lpo_counts[(profile.name, variant)] = counts
 
     if config.include_baselines:

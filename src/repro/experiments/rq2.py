@@ -137,12 +137,16 @@ def run_discovery(model_name: str = "Llama3.3",
                   projects: Optional[Sequence[str]] = None,
                   modules_per_project: int = 2,
                   max_windows: int = 120,
-                  seed: int = 0) -> DiscoveryReport:
+                  seed: int = 0,
+                  jobs: int = 1,
+                  cache=None) -> DiscoveryReport:
     """Run the full LPO loop over a generated corpus sample.
 
     This is the miniature of the paper's eleven-month campaign: extract,
-    dedup, loop each window through the pipeline, and count distinct
-    planted issues rediscovered.
+    dedup, batch the windows through the pipeline (``jobs`` wide), and
+    count distinct planted issues rediscovered.  A persistent ``cache``
+    (:class:`~repro.core.cache.ResultCache`) lets re-runs skip every
+    already-verified digest.
     """
     from repro.core.extractor import ExtractionStats, extract_from_corpus
     from repro.core.pipeline import LPOPipeline, PipelineConfig
@@ -157,14 +161,14 @@ def run_discovery(model_name: str = "Llama3.3",
     windows = extract_from_corpus(corpus, stats=stats)
     windows = windows[:max_windows]
     client = SimulatedLLM(MODELS_BY_NAME[model_name], seed=seed)
-    pipeline = LPOPipeline(client, PipelineConfig())
+    pipeline = LPOPipeline(client, PipelineConfig(), cache=cache)
     knowledge = default_knowledge_base()
     report = DiscoveryReport(
         windows_extracted=stats.emitted,
         duplicates_removed=stats.duplicates)
     seen_issues = set()
-    for window in windows:
-        outcome = pipeline.optimize_window(window, round_seed=seed)
+    outcomes = pipeline.run_batch(windows, round_seed=seed, jobs=jobs)
+    for window, outcome in zip(windows, outcomes):
         if not outcome.found:
             continue
         report.findings += 1

@@ -16,6 +16,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.scheduler import BatchScheduler
 from repro.experiments.tables import geometric_mean, render_table
 
 #: C/C++ SPEC CPU2017 Integer benchmarks (footnote 3 excludes Fortran).
@@ -59,23 +60,32 @@ def _median_of_three(rng: random.Random, true_speedup: float,
     return samples[1]
 
 
-def run_spec(seed: int = 0, noise_sigma: float = 0.008) -> SpecResults:
+def _measure_patch(seed: int, noise_sigma: float, patch: str) -> SpecRun:
+    """One patched-compiler campaign; self-seeded so the per-patch runs
+    are order-independent and can fan out over a worker pool."""
+    rng = random.Random((seed, patch).__hash__())
+    per_benchmark: Dict[str, float] = {}
+    for benchmark in SPEC_BENCHMARKS:
+        density = _pattern_density(rng)
+        # Removing ~1 cycle per matched instruction out of ~1 IPC
+        # hot code: the *true* effect is measured in hundredths of
+        # a percent.
+        true_speedup = 1.0 + density * rng.uniform(0.3, 1.5)
+        per_benchmark[benchmark] = _median_of_three(
+            rng, true_speedup, noise_sigma)
+    return SpecRun(label=patch,
+                   speedup=geometric_mean(list(per_benchmark.values())),
+                   per_benchmark=per_benchmark)
+
+
+def run_spec(seed: int = 0, noise_sigma: float = 0.008,
+             jobs: int = 1) -> SpecResults:
     """Simulate the Figure 5 measurement campaign."""
     results = SpecResults()
-    for patch in FIGURE5_PATCHES:
-        rng = random.Random((seed, patch).__hash__())
-        per_benchmark: Dict[str, float] = {}
-        for benchmark in SPEC_BENCHMARKS:
-            density = _pattern_density(rng)
-            # Removing ~1 cycle per matched instruction out of ~1 IPC
-            # hot code: the *true* effect is measured in hundredths of
-            # a percent.
-            true_speedup = 1.0 + density * rng.uniform(0.3, 1.5)
-            per_benchmark[benchmark] = _median_of_three(
-                rng, true_speedup, noise_sigma)
-        speedup = geometric_mean(list(per_benchmark.values()))
-        results.runs.append(SpecRun(label=patch, speedup=speedup,
-                                    per_benchmark=per_benchmark))
+    scheduler = BatchScheduler(jobs=jobs, backend="thread")
+    results.runs = scheduler.map(
+        lambda patch: _measure_patch(seed, noise_sigma, patch),
+        FIGURE5_PATCHES)
     # Yearly comparison: one year of LLVM ≈ the union of many small
     # patches plus unrelated churn; still inside the noise band.
     rng = random.Random((seed, "yearly").__hash__())

@@ -264,7 +264,6 @@ def _extract_counterexample(builder, inputs, source,
     # Confirm on the interpreter.
     source_outcome = run_function(source, list(args),
                                   memory=memory.clone())
-    return_type = source.return_type
     counterexample = Counterexample(
         args=args, arg_types=arg_types, memory_bytes=memory_bytes,
         source_outcome=source_outcome)
@@ -277,8 +276,15 @@ def confirm_counterexample(source: Function, target: Function,
     violation is real."""
     memory = Memory(BUFFER_BYTES)
     for base, data in counterexample.memory_bytes.items():
-        memory.add_buffer(base, bytes(b for b in data
-                                      if isinstance(b, int)))
+        bad = [b for b in data if not isinstance(b, int)]
+        if bad:
+            # Dropping non-concrete bytes would silently shift every
+            # later byte and "confirm" against the wrong memory image.
+            raise SolverError(
+                f"counterexample memory for buffer {base} contains "
+                f"{len(bad)} non-concrete byte(s); cannot replay it "
+                f"on the interpreter")
+        memory.add_buffer(base, bytes(data))
     src_outcome = run_function(source, list(counterexample.args),
                                memory=memory.clone())
     tgt_outcome = run_function(target, list(counterexample.args),

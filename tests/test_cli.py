@@ -122,3 +122,52 @@ define i8 @f(i8 %a, i8 %b) {
 
     def test_tables_unknown(self, capsys):
         assert main(["tables", "table99"]) == 2
+
+
+BATCH_MODULE = """
+define i8 @two_chains(i8 %x, i8 %y) {
+  %a = call i8 @llvm.umax.i8(i8 %x, i8 1)
+  %b = shl nuw i8 %a, 1
+  %c = call i8 @llvm.umax.i8(i8 %b, i8 16)
+  ret i8 %c
+}
+"""
+
+
+class TestBatchCommand:
+    @pytest.fixture()
+    def module_file(self, tmp_path):
+        path = tmp_path / "m.ll"
+        path.write_text(BATCH_MODULE)
+        return str(path)
+
+    def test_batch_runs_parallel(self, module_file, capsys):
+        code = main(["batch", module_file, "--jobs", "4"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "@two_chains" in captured.out
+        assert "cache:" in captured.err
+
+    def test_batch_cache_persists_and_hits(self, module_file, tmp_path,
+                                           capsys):
+        cache = str(tmp_path / "cache.json")
+        assert main(["batch", module_file, "--jobs", "2",
+                     "--cache", cache]) == 0
+        first = capsys.readouterr().err
+        assert "cache saved" in first
+        assert main(["batch", module_file, "--jobs", "2",
+                     "--cache", cache]) == 0
+        second = capsys.readouterr().err
+        assert "verify 0 hit" not in second   # second run hits
+        assert " 0 miss" in second
+
+    def test_batch_unknown_model(self, module_file):
+        assert main(["batch", module_file, "--model", "GPT-9"]) == 2
+
+    def test_pipeline_cache_flag(self, clamp_files, tmp_path, capsys):
+        src, _ = clamp_files
+        cache = str(tmp_path / "cache.json")
+        code = main(["pipeline", src, "--model", "Gemini2.0T",
+                     "--rounds", "10", "--cache", cache])
+        assert code == 0
+        assert "cache saved" in capsys.readouterr().err

@@ -137,6 +137,71 @@ class TestDigest:
         assert window_digest(a) == window_digest(b)
 
 
+def _reference_extract_sequences(block):
+    """The pre-optimization O(n²) implementation, kept as the oracle for
+    the id-set fast path."""
+    seq_set = []
+    for inst in reversed(block.instructions):
+        if inst.is_terminator:
+            continue
+        if inst.opcode in ("store", "phi"):
+            continue
+        added = False
+        new_set = []
+        for sequence in seq_set:
+            if any(inst in member.operands for member in sequence):
+                new_set.append([inst] + sequence)
+                added = True
+            else:
+                new_set.append(sequence)
+        if not added:
+            new_set.append([inst])
+        seq_set = new_set
+    return seq_set
+
+
+class TestFastPathRegression:
+    def _assert_equivalent(self, block):
+        fast = extract_sequences_from_block(block)
+        reference = _reference_extract_sequences(block)
+        fast_ids = [[id(i) for i in seq] for seq in fast]
+        reference_ids = [[id(i) for i in seq] for seq in reference]
+        assert fast_ids == reference_ids
+
+    def test_handwritten_blocks_unchanged(self):
+        for text in (
+                MODULE,
+                """
+define i8 @diamond(i8 %x, i8 %y) {
+  %a = add i8 %x, 1
+  %b = mul i8 %y, 3
+  %c = xor i8 %a, %b
+  %d = and i8 %c, %a
+  ret i8 %d
+}
+""",
+                """
+define i8 @shared_producer(i8 %x) {
+  %p = add i8 %x, 7
+  %u = mul i8 %p, 2
+  %v = xor i8 %p, 9
+  %w = or i8 %u, 5
+  ret i8 %w
+}
+"""):
+            self._assert_equivalent(parse_function(text).entry)
+
+    def test_generated_corpus_unchanged(self):
+        from repro.corpus.generator import generate_corpus
+        blocks = 0
+        for module in generate_corpus(seed=7, modules_per_project=1):
+            for function in module.functions:
+                for block in function.blocks:
+                    self._assert_equivalent(block)
+                    blocks += 1
+        assert blocks > 10
+
+
 class TestModuleExtraction:
     def test_dedup_across_module(self):
         module = parse_module(MODULE + "\n"

@@ -1,0 +1,227 @@
+"""Tests for the batch scheduler and the digest-keyed result cache."""
+
+import pytest
+
+import repro.core.pipeline as pipeline_module
+from repro.core import (
+    BatchScheduler,
+    LPOPipeline,
+    PipelineConfig,
+    ResultCache,
+    window_from_text,
+)
+from repro.corpus.issues import rq1_cases
+from repro.llm import GEMINI20T, SimulatedLLM
+
+
+@pytest.fixture()
+def windows():
+    return [window_from_text(case.src) for case in rq1_cases()[:6]]
+
+
+def make_pipeline(cache=None):
+    return LPOPipeline(SimulatedLLM(GEMINI20T),
+                       PipelineConfig(attempt_limit=2), cache=cache)
+
+
+def fingerprint(results):
+    return [(r.status, r.window.digest, r.candidate_text)
+            for r in results]
+
+
+class TestSchedulerMap:
+    def test_result_order_is_input_order(self):
+        scheduler = BatchScheduler(jobs=4, backend="thread")
+        items = list(range(32))
+        assert scheduler.map(lambda x: x * x, items) == [
+            x * x for x in items]
+
+    def test_serial_fallback_for_one_job(self):
+        scheduler = BatchScheduler(jobs=1, backend="thread")
+        assert scheduler.backend == "serial"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            BatchScheduler(jobs=2, backend="gpu")
+
+    def test_worker_exception_propagates(self):
+        scheduler = BatchScheduler(jobs=2, backend="thread")
+
+        def boom(x):
+            raise RuntimeError(f"item {x}")
+
+        with pytest.raises(RuntimeError):
+            scheduler.map(boom, [1, 2, 3])
+
+
+class TestParallelEquivalence:
+    def test_thread_batch_matches_sequential(self, windows):
+        sequential = make_pipeline().run(windows, round_seed=0)
+        parallel = make_pipeline().run_batch(windows, round_seed=0,
+                                             jobs=4)
+        assert fingerprint(parallel) == fingerprint(sequential)
+
+    def test_batch_matches_across_rounds(self, windows):
+        seq_pipe, par_pipe = make_pipeline(), make_pipeline()
+        for round_seed in range(3):
+            sequential = seq_pipe.run(windows, round_seed=round_seed)
+            parallel = par_pipe.run_batch(windows,
+                                          round_seed=round_seed, jobs=4)
+            assert fingerprint(parallel) == fingerprint(sequential)
+
+    def test_jobs_one_is_serial_and_identical(self, windows):
+        sequential = make_pipeline().run(windows, round_seed=1)
+        batch = make_pipeline().run_batch(windows, round_seed=1, jobs=1)
+        assert batch.stats.backend == "serial"
+        assert fingerprint(batch) == fingerprint(sequential)
+
+
+class TestBatchStats:
+    def test_aggregates_usage_and_outcomes(self, windows):
+        results = make_pipeline().run_batch(windows, round_seed=0,
+                                            jobs=2)
+        stats = results.stats
+        assert stats.windows == len(windows)
+        assert stats.found == sum(r.found for r in results)
+        assert sum(stats.outcomes.values()) == len(windows)
+        assert stats.usage.calls == sum(r.usage.calls for r in results)
+        assert stats.wall_seconds > 0
+        assert stats.compute_seconds == pytest.approx(
+            sum(r.elapsed_seconds for r in results))
+        assert "windows" in stats.render()
+
+    def test_cache_delta_covers_only_this_batch(self, windows):
+        pipeline = make_pipeline()
+        first = pipeline.run_batch(windows, round_seed=0, jobs=2)
+        assert first.stats.cache.misses > 0
+        assert first.stats.cache.hits == 0
+        second = pipeline.run_batch(windows, round_seed=0, jobs=2)
+        assert second.stats.cache.misses == 0
+        assert second.stats.cache.hits > 0
+
+
+class TestResultCacheAccounting:
+    def test_second_run_skips_all_refinement_checks(self, windows,
+                                                    monkeypatch):
+        pipeline = make_pipeline()
+        calls = []
+        real = pipeline_module.check_refinement
+
+        def counting(*args, **kwargs):
+            calls.append(args)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(pipeline_module, "check_refinement",
+                            counting)
+        first = pipeline.run_batch(windows, round_seed=0, jobs=4)
+        assert first.stats.found > 0      # the cache has real entries
+        first_calls = len(calls)
+        assert first_calls > 0
+        again = pipeline.run_batch(windows, round_seed=0, jobs=4)
+        assert len(calls) == first_calls  # zero redundant verifications
+        assert fingerprint(again) == fingerprint(first)
+
+    def test_second_run_skips_all_opt_runs(self, windows, monkeypatch):
+        pipeline = make_pipeline()
+        calls = []
+        real = pipeline_module.run_opt
+
+        def counting(*args, **kwargs):
+            calls.append(args)
+            return real(*args, **kwargs)
+
+        monkeypatch.setattr(pipeline_module, "run_opt", counting)
+        pipeline.run_batch(windows, round_seed=0, jobs=2)
+        first_calls = len(calls)
+        assert first_calls > 0
+        pipeline.run_batch(windows, round_seed=0, jobs=2)
+        assert len(calls) == first_calls
+
+    def test_hit_miss_counters(self, windows):
+        pipeline = make_pipeline()
+        pipeline.run_batch(windows, round_seed=0, jobs=2)
+        stats = pipeline.cache.stats
+        assert stats.verify_misses > 0
+        assert stats.opt_misses > 0
+        before = stats.snapshot()
+        pipeline.run_batch(windows, round_seed=0, jobs=2)
+        delta = stats.delta_since(before)
+        assert delta.verify_misses == 0
+        assert delta.opt_misses == 0
+        # The second run repeats exactly the first run's lookups, all
+        # of them now hits.
+        assert delta.verify_hits == (before.verify_hits
+                                     + before.verify_misses)
+
+
+class TestResultCachePersistence:
+    def test_save_load_roundtrip(self, windows, tmp_path, monkeypatch):
+        path = tmp_path / "lpo-cache.json"
+        warm = make_pipeline(ResultCache(path))
+        warm_results = warm.run_batch(windows, round_seed=0, jobs=2)
+        warm.cache.save()
+        assert path.exists()
+
+        cold = make_pipeline(ResultCache(path))
+
+        def no_verify(*args, **kwargs):
+            raise AssertionError("check_refinement should be cached")
+
+        monkeypatch.setattr(pipeline_module, "check_refinement",
+                            no_verify)
+        cold_results = cold.run_batch(windows, round_seed=0, jobs=2)
+        assert fingerprint(cold_results) == fingerprint(warm_results)
+        assert cold.cache.stats.verify_misses == 0
+
+    def test_corrupt_file_ignored(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        cache = ResultCache(path)
+        assert len(cache) == 0
+
+    def test_version_mismatch_ignored(self, tmp_path):
+        path = tmp_path / "old.json"
+        path.write_text('{"version": -1, "entries": {"opt:x": {}}}')
+        cache = ResultCache(path)
+        assert len(cache) == 0
+
+    def test_non_object_json_ignored(self, tmp_path):
+        for payload in ('[1, 2]', '"text"', '42',
+                        '{"version": 1, "entries": [1]}',
+                        '{"version": 1, "entries": {"opt:x": 7}}'):
+            path = tmp_path / "odd.json"
+            path.write_text(payload)
+            assert len(ResultCache(path)) == 0
+
+    def test_save_requires_some_path(self):
+        with pytest.raises(ValueError):
+            ResultCache().save()
+
+
+class TestProcessBackend:
+    def test_process_batch_matches_sequential(self, windows):
+        sequential = make_pipeline().run(windows[:3], round_seed=0)
+        pipeline = make_pipeline()
+        parallel = pipeline.run_batch(windows[:3], round_seed=0, jobs=2,
+                                      backend="process")
+        assert fingerprint(parallel) == fingerprint(sequential)
+        # Worker cache entries were merged back into the parent.
+        assert len(pipeline.cache) > 0
+        assert pipeline.cache.stats.misses > 0
+
+    def test_single_window_batch_not_double_counted(self, windows):
+        # A one-item "process" batch falls back to running in-parent;
+        # its cache activity must not be folded in a second time.
+        reference = make_pipeline()
+        reference.run_batch(windows[:1], round_seed=0, jobs=1)
+        expected = reference.cache.stats
+
+        pipeline = make_pipeline()
+        batch = pipeline.run_batch(windows[:1], round_seed=0, jobs=4,
+                                   backend="process")
+        assert batch.stats.backend == "serial"
+        observed = pipeline.cache.stats
+        assert observed.opt_misses == expected.opt_misses
+        assert observed.verify_misses == expected.verify_misses
+        assert observed.hits == expected.hits
+        assert len(pipeline.cache) == len(reference.cache)

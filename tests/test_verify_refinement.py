@@ -120,6 +120,31 @@ class TestCounterexamples:
         assert r.counterexample.args[0] == 6
 
 
+class TestConfirmCounterexample:
+    def test_confirms_real_violation(self):
+        from repro.verify import confirm_counterexample
+        from repro.verify.testing import Counterexample
+        from repro.ir.types import int_type
+        source = parse_function("define i8 @s(i8 %x) {\n"
+                                "  %a = add i8 %x, 1\n  ret i8 %a\n}")
+        target = parse_function("define i8 @t(i8 %x) {\n"
+                                "  %a = add i8 %x, 2\n  ret i8 %a\n}")
+        cex = Counterexample(args=[0], arg_types=[int_type(8)])
+        assert confirm_counterexample(source, target, cex)
+
+    def test_non_concrete_memory_bytes_raise(self):
+        from repro.errors import SolverError
+        from repro.verify import confirm_counterexample
+        from repro.verify.testing import Counterexample
+        from repro.ir.types import int_type
+        source = parse_function("define i8 @s(i8 %x) {\n"
+                                "  ret i8 %x\n}")
+        cex = Counterexample(args=[1], arg_types=[int_type(8)],
+                             memory_bytes={1: [0x10, "undef", 0x20]})
+        with pytest.raises(SolverError):
+            confirm_counterexample(source, source, cex)
+
+
 class TestSignatureErrors:
     def test_arg_count_mismatch(self):
         r = check("define i8 @s(i8 %x) {\n  ret i8 %x\n}",
