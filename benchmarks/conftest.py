@@ -8,6 +8,7 @@ from a single run.
 
 import os
 import pathlib
+import platform
 
 import pytest
 
@@ -30,11 +31,27 @@ def bench_jobs() -> int:
                                      DEFAULT_BENCH_JOBS)))
 
 
+def environment_header() -> str:
+    """One-line machine/config stamp written atop every artifact, so
+    wall-clock numbers from different commits are only compared when
+    they came from comparable machine states.  Load is sampled at save
+    time; pool widths are each benchmark's business (the scheduler
+    artifact records its own jobs figure)."""
+    try:
+        load = f"{os.getloadavg()[0]:.2f}"
+    except (OSError, AttributeError):  # pragma: no cover - e.g. Windows
+        load = "n/a"
+    return (f"[env] host={platform.node()} "
+            f"{platform.system().lower()}-{platform.machine()} "
+            f"python={platform.python_version()} "
+            f"cpus={os.cpu_count()} load1m={load}")
+
+
 @pytest.fixture(scope="session")
 def save_artifact(results_dir):
     def save(name: str, text: str) -> None:
         path = results_dir / f"{name}.txt"
-        path.write_text(text + "\n")
+        path.write_text(environment_header() + "\n" + text + "\n")
         print(f"\n[saved {path}]")
         print(text)
     return save

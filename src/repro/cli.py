@@ -139,18 +139,22 @@ def cmd_batch(args: argparse.Namespace) -> int:
     pipeline = LPOPipeline(SimulatedLLM(profile, seed=args.seed),
                            PipelineConfig(attempt_limit=args.attempts),
                            cache=cache)
-    results = pipeline.run_batch(windows, round_seed=args.seed,
-                                 jobs=args.jobs, backend=args.backend)
-    found = 0
-    for window, result in zip(windows, results):
-        print(f"@{window.source_function} %{window.source_block}: "
-              f"{result.status}")
-        if result.found:
-            found += 1
-            print(result.candidate_text)
-    print(results.stats.render(), file=sys.stderr)
-    _report_cache(cache, save=args.cache is not None)
-    return 0 if found else 1
+    try:
+        results = pipeline.run_batch(windows, round_seed=args.seed,
+                                     jobs=args.jobs, backend=args.backend)
+        found = 0
+        for window, result in zip(windows, results):
+            print(f"@{window.source_function} %{window.source_block}: "
+                  f"{result.status}")
+            if result.found:
+                found += 1
+                print(result.candidate_text)
+        print(results.stats.render(), file=sys.stderr)
+        return 0 if found else 1
+    finally:
+        # As in cmd_pipeline: persist whatever was computed even when a
+        # worker raises, so a retry resumes instead of starting over.
+        _report_cache(cache, save=args.cache is not None)
 
 
 def cmd_souper(args: argparse.Namespace) -> int:

@@ -252,9 +252,11 @@ class LPOPipeline:
                                      round_seed)
             results = []
             for result, entries, delta in scheduler.map(task, windows):
-                # Adopt what each worker computed so later windows (and
-                # the next batch) reuse it, and fold its hit/miss counts
-                # into this cache's accounting.
+                # Adopt what each worker computed — every task was
+                # pickled with the pre-batch cache state, so only the
+                # parent and *subsequent* batches reuse these entries —
+                # and fold worker hit/miss counts into this cache's
+                # accounting.
                 self.cache.merge(entries)
                 self.cache.stats.add(delta)
                 results.append(result)

@@ -38,7 +38,11 @@ class RQ3Config:
     #: the per-case timing numbers matter (with jobs>1 each window's
     #: timer also counts time spent waiting on the GIL).
     jobs: int = 1
-    cache: Optional[ResultCache] = None  # shared across the LPO legs
+    #: Optional explicit cache shared across the LPO legs. Leave None
+    #: for Table 4 runs: each leg then gets its own cold cache, so a
+    #: later model's per-case seconds don't silently exclude opt/verify
+    #: work an earlier leg already paid for.
+    cache: Optional[ResultCache] = None
 
 
 @dataclass
@@ -75,8 +79,9 @@ def run_rq3(config: Optional[RQ3Config] = None) -> RQ3Results:
     windows = sample_windows(config)
     results = RQ3Results()
 
-    cache = config.cache if config.cache is not None else ResultCache()
     for profile in config.models:
+        cache = (config.cache if config.cache is not None
+                 else ResultCache())
         client = SimulatedLLM(profile, seed=config.seed)
         pipeline = LPOPipeline(client, PipelineConfig(), cache=cache)
         throughput = ToolThroughput(

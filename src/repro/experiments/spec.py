@@ -12,6 +12,7 @@ median-of-three protocol) swamps.
 
 from __future__ import annotations
 
+import hashlib
 import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -47,6 +48,15 @@ class SpecResults:
     noise_band: float = 0.02
 
 
+def _campaign_rng(seed: int, label: str) -> random.Random:
+    """Per-campaign rng keyed by a *stable* digest: the built-in
+    ``hash()`` is salted per process (PYTHONHASHSEED), which would make
+    every run of the campaign produce different Figure 5 numbers."""
+    payload = f"{seed}:{label}".encode()
+    return random.Random(int.from_bytes(
+        hashlib.sha256(payload).digest()[:8], "big"))
+
+
 def _pattern_density(rng: random.Random) -> float:
     """Fraction of a benchmark's *hot* instructions matching a peephole
     pattern — realistically O(1e-4..1e-3)."""
@@ -63,7 +73,7 @@ def _median_of_three(rng: random.Random, true_speedup: float,
 def _measure_patch(seed: int, noise_sigma: float, patch: str) -> SpecRun:
     """One patched-compiler campaign; self-seeded so the per-patch runs
     are order-independent and can fan out over a worker pool."""
-    rng = random.Random((seed, patch).__hash__())
+    rng = _campaign_rng(seed, patch)
     per_benchmark: Dict[str, float] = {}
     for benchmark in SPEC_BENCHMARKS:
         density = _pattern_density(rng)
@@ -88,7 +98,7 @@ def run_spec(seed: int = 0, noise_sigma: float = 0.008,
         FIGURE5_PATCHES)
     # Yearly comparison: one year of LLVM ≈ the union of many small
     # patches plus unrelated churn; still inside the noise band.
-    rng = random.Random((seed, "yearly").__hash__())
+    rng = _campaign_rng(seed, "yearly")
     per_benchmark = {}
     for benchmark in SPEC_BENCHMARKS:
         true_speedup = 1.0 + rng.uniform(-0.004, 0.012)

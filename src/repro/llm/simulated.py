@@ -163,8 +163,10 @@ class SimulatedLLM:
     def _respond(self, request: PromptRequest, text: str,
                  thinking: float) -> LLMResponse:
         profile = self.profile
-        rng = random.Random(hash((profile.name, request.round_seed,
-                                  request.attempt, len(text))))
+        # Keyed via the stable sha256 helper: built-in hash() is salted
+        # per process and would jitter modelled latency/cost across runs.
+        rng = self._rng(str(len(text)), request.round_seed, "respond",
+                        request.attempt)
         jitter = 1.0 + profile.latency_jitter * (rng.random() * 2 - 1)
         latency = profile.mean_latency_seconds * jitter
         if thinking:

@@ -57,6 +57,10 @@ class VerificationResult:
 
     status: str                       # proved/validated/refuted/error
     method: str = ""                  # testing/exhaustive/sat
+    #: In-process only: results replayed from a ResultCache carry the
+    #: rendered text in ``message`` instead (Counterexample holds live
+    #: runtime values and is not persisted).  Consume refutations via
+    #: ``counter_example``, which is identical warm or cold.
     counterexample: Optional[Counterexample] = None
     message: str = ""
     elapsed_seconds: float = 0.0

@@ -197,6 +197,30 @@ class TestResultCachePersistence:
         with pytest.raises(ValueError):
             ResultCache().save()
 
+    def test_cached_refutation_keeps_stable_surface(self):
+        # A replayed refutation has counterexample=None (live runtime
+        # values are not persisted), but the stable surface — status,
+        # method, and the rendered counter_example feedback text — must
+        # be identical warm or cold.
+        from repro.ir import parse_function
+        from repro.verify import check_refinement
+
+        source = parse_function(
+            "define i32 @src(i32 %v) {\n  ret i32 %v\n}")
+        target = parse_function(
+            "define i32 @tgt(i32 %v) {\n  ret i32 0\n}")
+        fresh = check_refinement(source, target)
+        assert fresh.status == "refuted"
+        assert fresh.counterexample is not None
+
+        cache = ResultCache()
+        key = ResultCache.verify_key("s", "t", 32, 8, 1000)
+        cache.put_verify(key, fresh)
+        cached = cache.get_verify(key)
+        assert cached.counterexample is None
+        assert (cached.status, cached.method, cached.counter_example) \
+            == (fresh.status, fresh.method, fresh.counter_example)
+
 
 class TestProcessBackend:
     def test_process_batch_matches_sequential(self, windows):

@@ -99,6 +99,40 @@ class TestRQ3Small:
         text = render_table4(results)
         assert "Time/Case" in text
 
+    def test_each_lpo_leg_runs_cold_by_default(self, monkeypatch):
+        # Table 4 compares per-case seconds across tools, so a later
+        # model leg must not inherit opt/verify work an earlier leg
+        # cached; each leg gets its own cold ResultCache unless the
+        # caller shares one explicitly.
+        import repro.experiments.rq3 as rq3_module
+
+        created = []
+
+        class RecordingCache(rq3_module.ResultCache):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                created.append(self)
+
+        monkeypatch.setattr(rq3_module, "ResultCache", RecordingCache)
+        config = RQ3Config(cases=6, modules_per_project=1,
+                           souper_timeout=5.0, enum_values=())
+        run_rq3(config)
+        assert len(created) == len(config.models)
+        # Every leg paid its own source canonicalization.
+        assert all(cache.stats.opt_misses > 0 for cache in created)
+
+    def test_explicit_shared_cache_is_reused_across_legs(self):
+        from repro.core import ResultCache
+
+        shared = ResultCache()
+        config = RQ3Config(cases=6, modules_per_project=1,
+                           souper_timeout=5.0, enum_values=(),
+                           cache=shared)
+        run_rq3(config)
+        # The second leg replays the first leg's model-independent
+        # opt outcomes instead of recomputing them.
+        assert shared.stats.opt_hits > 0
+
 
 class TestImpact:
     def test_every_patch_reported(self):
