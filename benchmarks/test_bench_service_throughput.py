@@ -1,0 +1,97 @@
+"""Service throughput benchmark: sustained jobs/sec, cold vs warm.
+
+Runs the persistent optimization service over the full rq1 window
+corpus three ways — a cold pass through the in-process API (every job
+pays the LPO loop), a warm in-process pass (every job served from the
+sharded job cache), and a warm pass over the JSON-lines socket (cache
+hits plus wire/framing overhead) — and records sustained jobs/sec for
+each into ``benchmarks/results/service_throughput.txt`` with the
+standard ``[env]`` machine header.
+
+Findings equivalence across passes is asserted, not just timed, and the
+cache guard requires the warm in-process pass to beat cold by >= 10x
+(the acceptance bar for cache-served resubmission).
+"""
+
+import time
+
+import pytest
+
+from repro.corpus.issues import rq1_cases
+from repro.service import JobSpec, OptimizationService, ServiceClient, \
+    ServiceServer
+
+
+@pytest.fixture(scope="module")
+def rq1_irs():
+    return [case.src for case in rq1_cases()]
+
+
+def _jobs_per_sec(count, wall):
+    return count / wall if wall > 0 else 0.0
+
+
+def test_bench_service_throughput(rq1_irs, bench_jobs, save_artifact):
+    service = OptimizationService(jobs=bench_jobs, backend="thread")
+    server = ServiceServer(service)
+    port = server.start_background()
+    try:
+        specs = lambda: [JobSpec(ir=ir) for ir in rq1_irs]  # noqa: E731
+
+        start = time.perf_counter()
+        cold = service.run_many(specs())
+        cold_wall = time.perf_counter() - start
+
+        start = time.perf_counter()
+        warm = service.run_many(specs())
+        warm_wall = time.perf_counter() - start
+
+        with ServiceClient(port) as client:
+            start = time.perf_counter()
+            socket_warm = client.submit_many(specs())
+            socket_wall = time.perf_counter() - start
+
+        status = service.status()
+    finally:
+        server.stop()
+        service.close()
+
+    # Equivalence before throughput: all passes agree on every verdict.
+    assert [r.status for r in warm] == [r.status for r in cold]
+    assert [r.status for r in socket_warm] == [r.status for r in cold]
+    assert not any(r.cached for r in cold)
+    assert all(r.cached for r in warm)
+    assert all(r.cached for r in socket_warm)
+
+    jobs = len(rq1_irs)
+    findings = sum(r.found for r in cold)
+    latency = status["latency"]
+    lines = [
+        f"rq1 corpus: {jobs} jobs per pass, {findings} findings "
+        f"(thread backend, jobs={bench_jobs}, "
+        f"{status['cache_shards']} cache shards)",
+        f"cold in-process:  {cold_wall:8.2f}s  "
+        f"{_jobs_per_sec(jobs, cold_wall):8.1f} jobs/s "
+        f"(every job runs the LPO loop)",
+        f"warm in-process:  {warm_wall:8.3f}s  "
+        f"{_jobs_per_sec(jobs, warm_wall):8.1f} jobs/s "
+        f"(x{cold_wall / max(warm_wall, 1e-9):.0f} vs cold; all "
+        f"served from the job cache)",
+        f"warm over socket: {socket_wall:8.3f}s  "
+        f"{_jobs_per_sec(jobs, socket_wall):8.1f} jobs/s "
+        f"(JSON-lines framing + TCP on top of cache hits)",
+        f"service latency percentiles over all passes: "
+        f"p50 {latency['p50'] * 1e3:.1f}ms "
+        f"p90 {latency['p90'] * 1e3:.1f}ms "
+        f"p99 {latency['p99'] * 1e3:.1f}ms",
+        f"job cache: {status['cache_hits']} hit / "
+        f"{status['cache_misses']} miss "
+        f"({status['job_cache_entries']} entries); pipelines "
+        f"constructed: {status['pipeline_constructions']}",
+    ]
+    save_artifact("service_throughput", "\n".join(lines))
+
+    # Guard rails: the warm pass must be served entirely from cache and
+    # be dramatically (>=10x) faster than paying the loop.
+    assert status["cache_misses"] == jobs
+    assert warm_wall < cold_wall / 10

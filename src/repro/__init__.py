@@ -11,6 +11,10 @@ The package re-implements the paper's full stack in pure Python:
 * :mod:`repro.llm` — simulated LLM clients with capability profiles;
 * :mod:`repro.core` — LPO itself: extractor, interestingness, the loop,
   plus the batch scheduler and digest-keyed result cache that scale it;
+* :mod:`repro.service` — the persistent optimization service: a
+  JSON-lines daemon with a bounded job queue, warm per-worker
+  pipelines, and a sharded job cache (``repro serve`` / ``submit`` /
+  ``status``);
 * :mod:`repro.baselines` — Souper- and Minotaur-style superoptimizers;
 * :mod:`repro.corpus` — issue datasets and the synthetic project corpus;
 * :mod:`repro.experiments` — one runner per paper table/figure.
@@ -42,6 +46,7 @@ from repro.core import (
     LPOPipeline,
     PipelineConfig,
     ResultCache,
+    ShardedResultCache,
     Window,
     WindowResult,
     extract_from_corpus,
@@ -71,7 +76,7 @@ __all__ = [
     "Minotaur", "Souper",
     "LPOPipeline", "PipelineConfig", "Window", "WindowResult",
     "BatchResult", "BatchScheduler", "BatchStats",
-    "CacheStats", "ResultCache",
+    "CacheStats", "ResultCache", "ShardedResultCache",
     "extract_from_corpus", "window_from_text", "wrap_as_function",
     "parse_function", "parse_module", "print_function",
     "ALL_MODELS", "GEMINI20", "GEMINI20T", "GEMINI25", "GEMMA3", "GPT41",

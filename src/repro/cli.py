@@ -11,8 +11,22 @@ Commands mirror the toolchain pieces the paper composes:
 * ``batch FILE``     — extract every window of a module and run the loop
   over all of them on a worker pool (``--jobs N``), with an optional
   persistent result cache (``--cache PATH``);
+* ``serve``          — run the persistent optimization service: a
+  JSON-lines TCP daemon with a bounded job queue, warm per-worker
+  pipelines, and a sharded job cache;
+* ``submit FILE``    — extract every window of a module and submit them
+  to a running service (pipelined over one connection);
+* ``status``         — print a running service's metrics (request
+  counts, queue depth, latency percentiles, cache hit rate);
 * ``souper FILE`` / ``minotaur FILE`` — the baseline superoptimizers;
 * ``tables NAME``    — regenerate a paper table/figure.
+
+Service example (two shells, or background the first)::
+
+    $ repro serve --port 7777 --jobs 4 &
+    $ repro submit module.ll --port 7777     # cold: runs the LPO loop
+    $ repro submit module.ll --port 7777     # warm: served from cache
+    $ repro status --port 7777               # hit rate, p50/p90/p99, ...
 """
 
 from __future__ import annotations
@@ -157,6 +171,95 @@ def cmd_batch(args: argparse.Namespace) -> int:
         _report_cache(cache, save=args.cache is not None)
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service import OptimizationService, ServiceServer
+    service = OptimizationService(
+        jobs=args.jobs, backend=args.backend,
+        queue_limit=args.queue_limit, cache_shards=args.shards,
+        cache_entries=args.cache_entries, llm_seed=args.seed)
+    server = ServiceServer(service, host=args.host, port=args.port)
+    try:
+        server.start_background()
+        print(f"repro service listening on {args.host}:{server.port} "
+              f"(jobs={args.jobs}, backend={args.backend}, "
+              f"queue={args.queue_limit}, shards={args.shards})",
+              file=sys.stderr)
+        if args.port_file:
+            pathlib.Path(args.port_file).write_text(f"{server.port}\n")
+        server.join()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+        server.stop()
+    finally:
+        service.close()
+        print(service.metrics.render(), file=sys.stderr)
+    return 0
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    from repro.core import extract_from_corpus
+    from repro.ir import parse_module, print_function
+    from repro.service import JobSpec, ServiceClient
+    module = parse_module(_read(args.file))
+    windows = extract_from_corpus([module])
+    if not windows:
+        print("no windows extracted", file=sys.stderr)
+        return 1
+    specs = [JobSpec(ir=print_function(window.function),
+                     model=args.model, round_seed=args.seed,
+                     attempt_limit=args.attempts)
+             for window in windows]
+    with ServiceClient(args.port, host=args.host,
+                       timeout=args.timeout) as client:
+        results = client.submit_many(specs)
+    found = 0
+    for window, result in zip(windows, results):
+        origin = "cache" if result.cached else "worker"
+        line = (f"@{window.source_function} %{window.source_block}: "
+                f"{result.status} [{origin}]")
+        if not result.ok:
+            line += f" ({result.error})"
+        print(line)
+        if result.found:
+            found += 1
+            print(result.candidate_text)
+    hits = sum(r.cached for r in results)
+    print(f"{len(results)} jobs, {found} found, {hits} served from "
+          f"cache", file=sys.stderr)
+    return 0 if found else 1
+
+
+def cmd_status(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient
+    with ServiceClient(args.port, host=args.host,
+                       timeout=args.timeout) as client:
+        status = client.status()
+    lat = status.get("latency", {})
+    print(f"service on {args.host}:{args.port} "
+          f"({status.get('backend')}, {status.get('workers')} workers, "
+          f"up {status.get('uptime_seconds', 0.0):.1f}s)")
+    print(f"jobs: {status.get('submitted')} submitted, "
+          f"{status.get('completed')} completed, "
+          f"{status.get('failed')} failed, "
+          f"{status.get('rejected')} rejected, "
+          f"{status.get('requeued')} requeued")
+    print(f"queue: depth {status.get('queue_depth')}, "
+          f"in-flight {status.get('in_flight')}")
+    print(f"job cache: {status.get('cache_hits')} hit / "
+          f"{status.get('cache_misses')} miss "
+          f"(rate {status.get('cache_hit_rate', 0.0):.2%}, "
+          f"{status.get('job_cache_entries')} entries over "
+          f"{status.get('cache_shards')} shards)")
+    print(f"step cache: {status.get('step_cache')}")
+    print(f"latency: p50 {lat.get('p50', 0.0) * 1e3:.1f}ms "
+          f"p90 {lat.get('p90', 0.0) * 1e3:.1f}ms "
+          f"p99 {lat.get('p99', 0.0) * 1e3:.1f}ms; "
+          f"throughput {status.get('jobs_per_second', 0.0):.2f} jobs/s")
+    print(f"worker pipelines constructed: "
+          f"{status.get('pipeline_constructions')}")
+    return 0
+
+
 def cmd_souper(args: argparse.Namespace) -> int:
     from repro.baselines import Souper
     from repro.ir import parse_function, print_function
@@ -258,6 +361,50 @@ def build_parser() -> argparse.ArgumentParser:
                         "missing, saved on exit")
     p.set_defaults(func=cmd_batch)
 
+    p = sub.add_parser("serve",
+                       help="run the persistent optimization service "
+                            "(JSON-lines TCP daemon)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7777,
+                   help="TCP port (0: pick an ephemeral port)")
+    p.add_argument("--jobs", type=int, default=2, metavar="N",
+                   help="worker pool width")
+    p.add_argument("--backend", choices=("thread", "process"),
+                   default="thread")
+    p.add_argument("--queue-limit", type=int, default=128,
+                   help="max queued jobs before submits block "
+                        "(backpressure)")
+    p.add_argument("--shards", type=int, default=16,
+                   help="result-cache shard count")
+    p.add_argument("--cache-entries", type=int, default=65536,
+                   help="total LRU cap across cache shards")
+    p.add_argument("--seed", type=int, default=0,
+                   help="simulated-LLM sampling seed")
+    p.add_argument("--port-file", metavar="PATH",
+                   help="write the bound port here once listening "
+                        "(useful with --port 0)")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("submit",
+                       help="submit every window of a module to a "
+                            "running service")
+    p.add_argument("file")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7777)
+    p.add_argument("--model", default="Gemini2.0T")
+    p.add_argument("--attempts", type=int, default=2)
+    p.add_argument("--seed", type=int, default=0,
+                   help="round seed for the LPO loop")
+    p.add_argument("--timeout", type=float, default=300.0)
+    p.set_defaults(func=cmd_submit)
+
+    p = sub.add_parser("status",
+                       help="print a running service's metrics")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7777)
+    p.add_argument("--timeout", type=float, default=30.0)
+    p.set_defaults(func=cmd_status)
+
     p = sub.add_parser("souper", help="Souper-style superoptimizer")
     p.add_argument("file")
     p.add_argument("--enum", type=int, default=2)
@@ -282,6 +429,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         return args.func(args)
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except ConnectionRefusedError as exc:
+        # Deliberately narrow: a broken stdout pipe (e.g. `| head`) is
+        # also a ConnectionError and must not masquerade as this.
+        print(f"error: cannot reach the service: {exc}", file=sys.stderr)
         return 2
     except ParseError as exc:
         print(exc.render(), file=sys.stderr)

@@ -1,7 +1,12 @@
 """The LPO core: extraction, interestingness, the closed loop, and the
 batch scheduler/cache that scale it over a corpus."""
 
-from repro.core.cache import CacheStats, ResultCache
+from repro.core.cache import (
+    DEFAULT_MAX_ENTRIES,
+    CacheStats,
+    ResultCache,
+    ShardedResultCache,
+)
 from repro.core.dedup import window_digest
 from repro.core.extractor import (
     ExtractionStats,
@@ -25,7 +30,8 @@ from repro.core.scheduler import BatchResult, BatchScheduler, BatchStats
 from repro.core.window import wrap_as_function
 
 __all__ = [
-    "CacheStats", "ResultCache",
+    "CacheStats", "DEFAULT_MAX_ENTRIES", "ResultCache",
+    "ShardedResultCache",
     "window_digest",
     "ExtractionStats", "Window", "extract_from_corpus",
     "extract_from_module", "extract_sequences_from_block",

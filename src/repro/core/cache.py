@@ -12,12 +12,22 @@ functions of structural digests:
 :class:`ResultCache` memoizes all three so a corpus run computes each
 outcome once — across rounds, across models, and (when given a ``path``)
 across re-runs of the whole experiment.  Entries are stored as plain JSON
-so the on-disk format is stable and diffable.
+so the on-disk format is stable and diffable.  The optimization service
+additionally memoizes whole *job* outcomes (one LPO verdict per window
+submission) through the generic :meth:`ResultCache.get_job` /
+:meth:`ResultCache.put_job` pair.
+
+Size bounds: the cache is LRU-bounded at ``max_entries`` (default
+generous; ``None`` disables the cap) and entries can be age-pruned with
+:meth:`prune` (automatic when ``max_age_seconds`` is set and the cache is
+saved).  Evictions are counted in :class:`CacheStats` alongside the
+per-operation hit/miss counters.
 
 Thread safety: all mutating operations take an internal lock, so one
 cache can back a :class:`~repro.core.scheduler.BatchScheduler` worker
-pool.  Hit/miss counters are kept per operation kind in
-:class:`CacheStats`.
+pool.  For many concurrent writers, :class:`ShardedResultCache` splits
+the key space over digest-prefix shards with one lock (and one LRU
+bound) per shard.
 """
 
 from __future__ import annotations
@@ -27,57 +37,81 @@ import json
 import os
 import tempfile
 import threading
-from dataclasses import dataclass, field
+import time
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Optional, Tuple, Union
+from typing import Dict, List, Optional, Tuple, Union
 
+from repro.errors import ParseError
 from repro.ir.function import Function
 from repro.ir.parser import parse_function
 from repro.ir.printer import print_function
 from repro.verify.refinement import VerificationResult
 
 #: Bump when the entry layout changes; mismatched files are ignored.
-CACHE_FORMAT_VERSION = 1
+#: v2: shufflevector masks in persisted opt entries carry their vector
+#: type (the printer fix) — v1 texts would no longer re-parse.
+CACHE_FORMAT_VERSION = 2
+
+#: Default LRU cap — generous: a full rq1 corpus run needs a few hundred
+#: entries, so this only guards against unbounded service lifetimes.
+DEFAULT_MAX_ENTRIES = 65_536
 
 
 @dataclass
 class CacheStats:
-    """Hit/miss counters, split by operation kind."""
+    """Hit/miss counters, split by operation kind, plus evictions."""
 
     opt_hits: int = 0
     opt_misses: int = 0
     verify_hits: int = 0
     verify_misses: int = 0
+    job_hits: int = 0
+    job_misses: int = 0
+    evictions: int = 0
 
     @property
     def hits(self) -> int:
-        return self.opt_hits + self.verify_hits
+        return self.opt_hits + self.verify_hits + self.job_hits
 
     @property
     def misses(self) -> int:
-        return self.opt_misses + self.verify_misses
+        return self.opt_misses + self.verify_misses + self.job_misses
 
     def snapshot(self) -> "CacheStats":
         return CacheStats(self.opt_hits, self.opt_misses,
-                          self.verify_hits, self.verify_misses)
+                          self.verify_hits, self.verify_misses,
+                          self.job_hits, self.job_misses,
+                          self.evictions)
 
     def delta_since(self, earlier: "CacheStats") -> "CacheStats":
         return CacheStats(
             self.opt_hits - earlier.opt_hits,
             self.opt_misses - earlier.opt_misses,
             self.verify_hits - earlier.verify_hits,
-            self.verify_misses - earlier.verify_misses)
+            self.verify_misses - earlier.verify_misses,
+            self.job_hits - earlier.job_hits,
+            self.job_misses - earlier.job_misses,
+            self.evictions - earlier.evictions)
 
     def add(self, other: "CacheStats") -> None:
         self.opt_hits += other.opt_hits
         self.opt_misses += other.opt_misses
         self.verify_hits += other.verify_hits
         self.verify_misses += other.verify_misses
+        self.job_hits += other.job_hits
+        self.job_misses += other.job_misses
+        self.evictions += other.evictions
 
     def render(self) -> str:
-        return (f"opt {self.opt_hits} hit / {self.opt_misses} miss, "
-                f"verify {self.verify_hits} hit / "
-                f"{self.verify_misses} miss")
+        out = (f"opt {self.opt_hits} hit / {self.opt_misses} miss, "
+               f"verify {self.verify_hits} hit / "
+               f"{self.verify_misses} miss")
+        if self.job_hits or self.job_misses:
+            out += f", job {self.job_hits} hit / {self.job_misses} miss"
+        if self.evictions:
+            out += f", {self.evictions} evicted"
+        return out
 
 
 def text_digest(text: str) -> str:
@@ -86,21 +120,33 @@ def text_digest(text: str) -> str:
 
 
 class ResultCache:
-    """A digest-keyed store of ``opt`` and ``check_refinement`` outcomes.
+    """A digest-keyed store of ``opt``/``check_refinement``/job outcomes.
 
     With ``path=None`` the cache is purely in-memory (every pipeline owns
     one by default, so repeated rounds over the same window never redo
     the source canonicalization).  With a ``path`` it loads existing
     entries eagerly and persists with :meth:`save`.
+
+    ``max_entries`` bounds the cache LRU-style (``None``: unbounded);
+    ``max_age_seconds`` enables age-based pruning via :meth:`prune`
+    (applied automatically on :meth:`save`).  Entry ages are tracked
+    in-memory only — entries loaded from disk are stamped at load time.
     """
 
-    def __init__(self, path: Union[str, Path, None] = None):
+    def __init__(self, path: Union[str, Path, None] = None,
+                 max_entries: Optional[int] = DEFAULT_MAX_ENTRIES,
+                 max_age_seconds: Optional[float] = None):
         self.path = Path(path) if path is not None else None
+        self.max_entries = (None if not max_entries
+                            else max(1, int(max_entries)))
+        self.max_age_seconds = max_age_seconds
         self.stats = CacheStats()
         self._lock = threading.Lock()
-        self._data: Dict[str, dict] = {}
+        self._data: Dict[str, dict] = {}     # insertion order = LRU order
         #: Parsed-function memo so in-process hits skip the re-parse.
         self._functions: Dict[str, Function] = {}
+        #: In-memory insertion/refresh timestamps for age pruning.
+        self._stamps: Dict[str, float] = {}
         if self.path is not None and self.path.exists():
             self.load(self.path)
 
@@ -112,15 +158,62 @@ class ResultCache:
     def __getstate__(self) -> dict:
         with self._lock:
             return {"path": self.path,
+                    "max_entries": self.max_entries,
+                    "max_age_seconds": self.max_age_seconds,
                     "stats": self.stats.snapshot(),
                     "data": dict(self._data)}
 
     def __setstate__(self, state: dict) -> None:
         self.path = state["path"]
+        self.max_entries = state["max_entries"]
+        self.max_age_seconds = state["max_age_seconds"]
         self.stats = state["stats"]
         self._data = state["data"]
         self._functions = {}
+        now = time.time()
+        self._stamps = {key: now for key in self._data}
         self._lock = threading.Lock()
+
+    def fold_stats(self, delta: CacheStats) -> None:
+        """Adopt hit/miss counts observed elsewhere (a worker process)."""
+        with self._lock:
+            self.stats.add(delta)
+
+    # -- LRU/age bookkeeping (callers hold the lock) -----------------------
+    def _touch_locked(self, key: str) -> None:
+        entry = self._data.pop(key)
+        self._data[key] = entry            # re-insert = move to LRU tail
+
+    def _store_locked(self, key: str, entry: dict) -> None:
+        self._data.pop(key, None)
+        self._data[key] = entry
+        self._stamps[key] = time.time()
+        if self.max_entries is not None:
+            while len(self._data) > self.max_entries:
+                oldest = next(iter(self._data))
+                self._drop_locked(oldest)
+                self.stats.evictions += 1
+
+    def _drop_locked(self, key: str) -> None:
+        self._data.pop(key, None)
+        self._functions.pop(key, None)
+        self._stamps.pop(key, None)
+
+    def prune(self, max_age_seconds: Optional[float] = None) -> int:
+        """Drop entries older than ``max_age_seconds`` (defaults to the
+        cap given at construction); returns how many were dropped."""
+        limit = (max_age_seconds if max_age_seconds is not None
+                 else self.max_age_seconds)
+        if limit is None:
+            return 0
+        cutoff = time.time() - limit
+        with self._lock:
+            stale = [key for key, stamp in self._stamps.items()
+                     if stamp < cutoff]
+            for key in stale:
+                self._drop_locked(key)
+            self.stats.evictions += len(stale)
+        return len(stale)
 
     # -- opt outcomes ------------------------------------------------------
     @staticmethod
@@ -138,13 +231,24 @@ class ResultCache:
                 self.stats.opt_misses += 1
                 return None
             self.stats.opt_hits += 1
+            self._touch_locked(key)
             if not entry["ok"]:
                 return None, entry["error"]
             function = self._functions.get(key)
         if function is None:
-            function = parse_function(entry["text"])
+            try:
+                function = parse_function(entry["text"])
+            except ParseError:
+                # A stale/corrupt persisted entry; drop it and report
+                # the lookup as the miss it effectively was.
+                with self._lock:
+                    self._drop_locked(key)
+                    self.stats.opt_hits -= 1
+                    self.stats.opt_misses += 1
+                return None
             with self._lock:
-                self._functions[key] = function
+                if key in self._data:
+                    self._functions[key] = function
         return function, ""
 
     def put_opt(self, digest: str, function: Optional[Function],
@@ -155,8 +259,8 @@ class ResultCache:
         else:
             entry = {"ok": False, "error": error}
         with self._lock:
-            self._data[key] = entry
-            if function is not None:
+            self._store_locked(key, entry)
+            if function is not None and key in self._data:
                 self._functions[key] = function
 
     # -- refinement outcomes ----------------------------------------------
@@ -174,6 +278,7 @@ class ResultCache:
                 self.stats.verify_misses += 1
                 return None
             self.stats.verify_hits += 1
+            self._touch_locked(key)
         # The counterexample is persisted pre-rendered: the pipeline only
         # ever consumes it as feedback text (``counter_example``), which
         # falls back to ``message`` when no structured object is present.
@@ -193,7 +298,29 @@ class ResultCache:
             "solver_conflicts": result.solver_conflicts,
         }
         with self._lock:
-            self._data[key] = entry
+            self._store_locked(key, entry)
+
+    # -- whole-job outcomes (the optimization service) ---------------------
+    @staticmethod
+    def job_key(digest: str) -> str:
+        return f"job:{digest}"
+
+    def get_job(self, digest: str) -> Optional[dict]:
+        """Cached service-job payload (a plain JSON-safe dict), or
+        ``None`` on a miss."""
+        key = self.job_key(digest)
+        with self._lock:
+            entry = self._data.get(key)
+            if entry is None:
+                self.stats.job_misses += 1
+                return None
+            self.stats.job_hits += 1
+            self._touch_locked(key)
+            return dict(entry)
+
+    def put_job(self, digest: str, payload: dict) -> None:
+        with self._lock:
+            self._store_locked(self.job_key(digest), dict(payload))
 
     # -- persistence -------------------------------------------------------
     def save(self, path: Union[str, Path, None] = None) -> Path:
@@ -202,6 +329,8 @@ class ResultCache:
         if target is None:
             raise ValueError("ResultCache.save() needs a path (none was "
                              "given at construction either)")
+        if self.max_age_seconds is not None:
+            self.prune()
         with self._lock:
             payload = {"version": CACHE_FORMAT_VERSION,
                        "entries": dict(self._data)}
@@ -240,9 +369,138 @@ class ResultCache:
         """Adopt entries computed elsewhere (a file, a worker process)."""
         with self._lock:
             for key, entry in entries.items():
-                self._data.setdefault(key, entry)
+                if key not in self._data:
+                    self._store_locked(key, entry)
 
     def export(self) -> Dict[str, dict]:
         """The raw entry dict (for merging across process boundaries)."""
         with self._lock:
             return dict(self._data)
+
+    def count_prefix(self, prefix: str) -> int:
+        """How many entries have keys starting with ``prefix`` (e.g.
+        ``"job:"`` — the service's per-kind metrics)."""
+        with self._lock:
+            return sum(1 for key in self._data
+                       if key.startswith(prefix))
+
+
+class ShardedResultCache:
+    """A :class:`ResultCache` split over digest-prefix shards.
+
+    Each shard is a full :class:`ResultCache` with its own lock, LRU
+    bound, and hit/miss counters, so concurrent service workers contend
+    per shard instead of on one global lock.  Keys are routed by the
+    leading bytes of a sha256 over the full entry key — a stable,
+    uniform digest-prefix partition.
+
+    ``max_entries`` is the *total* cap, divided evenly across shards.
+    With a ``path`` (a directory) each shard persists to its own
+    ``shard-NN.json`` file.
+
+    The interface mirrors :class:`ResultCache` (the pipeline accepts
+    either), except ``stats`` is an aggregated snapshot — mutate shard
+    stats only through cache operations or :meth:`fold_stats`.
+    """
+
+    def __init__(self, shards: int = 16,
+                 path: Union[str, Path, None] = None,
+                 max_entries: Optional[int] = DEFAULT_MAX_ENTRIES,
+                 max_age_seconds: Optional[float] = None):
+        self.shard_count = max(1, int(shards))
+        self.path = Path(path) if path is not None else None
+        per_shard = (None if max_entries is None else
+                     max(1, -(-int(max_entries) // self.shard_count)))
+        self._folded = CacheStats()
+        # Shards are pathless; persistence goes through save()/load()
+        # on this object so reopened entries re-route by key even when
+        # the shard count changed since they were written.
+        self._shards: List[ResultCache] = [
+            ResultCache(max_entries=per_shard,
+                        max_age_seconds=max_age_seconds)
+            for index in range(self.shard_count)]
+        if self.path is not None and self.path.exists():
+            self.load(self.path)
+
+    def _shard(self, key: str) -> ResultCache:
+        prefix = hashlib.sha256(key.encode()).digest()[:4]
+        return self._shards[int.from_bytes(prefix, "big")
+                            % self.shard_count]
+
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self._shards)
+
+    @property
+    def stats(self) -> CacheStats:
+        """Aggregated counters across all shards (a snapshot)."""
+        total = self._folded.snapshot()
+        for shard in self._shards:
+            total.add(shard.stats)
+        return total
+
+    def fold_stats(self, delta: CacheStats) -> None:
+        self._folded.add(delta)
+
+    def shard_sizes(self) -> List[int]:
+        return [len(shard) for shard in self._shards]
+
+    # -- routed operations -------------------------------------------------
+    def get_opt(self, digest: str):
+        return self._shard(ResultCache._opt_key(digest)).get_opt(digest)
+
+    def put_opt(self, digest: str, function, error: str = "") -> None:
+        self._shard(ResultCache._opt_key(digest)).put_opt(
+            digest, function, error)
+
+    verify_key = staticmethod(ResultCache.verify_key)
+
+    def get_verify(self, key: str):
+        return self._shard(key).get_verify(key)
+
+    def put_verify(self, key: str, result) -> None:
+        self._shard(key).put_verify(key, result)
+
+    def get_job(self, digest: str):
+        return self._shard(ResultCache.job_key(digest)).get_job(digest)
+
+    def put_job(self, digest: str, payload: dict) -> None:
+        self._shard(ResultCache.job_key(digest)).put_job(digest, payload)
+
+    def prune(self, max_age_seconds: Optional[float] = None) -> int:
+        return sum(shard.prune(max_age_seconds)
+                   for shard in self._shards)
+
+    def merge(self, entries: Dict[str, dict]) -> None:
+        for key, entry in entries.items():
+            self._shard(key).merge({key: entry})
+
+    def export(self) -> Dict[str, dict]:
+        merged: Dict[str, dict] = {}
+        for shard in self._shards:
+            merged.update(shard.export())
+        return merged
+
+    def count_prefix(self, prefix: str) -> int:
+        return sum(shard.count_prefix(prefix)
+                   for shard in self._shards)
+
+    # -- persistence -------------------------------------------------------
+    def save(self, path: Union[str, Path, None] = None) -> Path:
+        target = Path(path) if path is not None else self.path
+        if target is None:
+            raise ValueError("ShardedResultCache.save() needs a "
+                             "directory path")
+        target.mkdir(parents=True, exist_ok=True)
+        for index, shard in enumerate(self._shards):
+            shard.save(target / f"shard-{index:02d}.json")
+        return target
+
+    def load(self, path: Union[str, Path]) -> int:
+        """Merge every ``shard-*.json`` under ``path``; entries re-route
+        by key, so the shard count may differ from the writer's."""
+        loaded = 0
+        staging = ResultCache(max_entries=None)
+        for file in sorted(Path(path).glob("shard-*.json")):
+            loaded += staging.load(file)
+        self.merge(staging.export())
+        return loaded

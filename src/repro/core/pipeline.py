@@ -24,6 +24,7 @@ results bit-identical to the sequential :meth:`LPOPipeline.run`.
 from __future__ import annotations
 
 import functools
+import os
 import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
@@ -99,6 +100,8 @@ class LPOPipeline:
     def __init__(self, client: LLMClient,
                  config: Optional[PipelineConfig] = None,
                  cache: Optional[ResultCache] = None):
+        # ``cache`` may also be a ShardedResultCache — anything with the
+        # ResultCache get/put/merge/export/fold_stats surface works.
         self.client = client
         self.config = config if config is not None else PipelineConfig()
         self.cache = cache if cache is not None else ResultCache()
@@ -247,19 +250,29 @@ class LPOPipeline:
         stats_before = self.cache.stats.snapshot()
         start = time.perf_counter()
         effective = scheduler.effective_backend(len(windows))
+        constructions = 0
         if effective == "process":
-            task = functools.partial(_optimize_window_task, self,
-                                     round_seed)
+            # Workers build their pipeline ONCE in the executor
+            # initializer (client + config + the pre-batch cache
+            # entries cross the pickle boundary once per worker); each
+            # task then ships only its window.  Entries computed by
+            # earlier tasks stay warm in the worker's cache for later
+            # tasks on the same worker, and every task ships the
+            # entries/stats it added back to the parent.
+            task = functools.partial(_optimize_window_task, round_seed)
             results = []
-            for result, entries, delta in scheduler.map(task, windows):
-                # Adopt what each worker computed — every task was
-                # pickled with the pre-batch cache state, so only the
-                # parent and *subsequent* batches reuse these entries —
-                # and fold worker hit/miss counts into this cache's
-                # accounting.
+            built_by_worker: dict = {}
+            for result, entries, delta, worker_id, built in \
+                    scheduler.map(task, windows,
+                                  initializer=_init_worker_pipeline,
+                                  initargs=(self.client, self.config,
+                                            self.cache.export())):
                 self.cache.merge(entries)
-                self.cache.stats.add(delta)
+                self.cache.fold_stats(delta)
+                built_by_worker[worker_id] = max(
+                    built_by_worker.get(worker_id, 0), built)
                 results.append(result)
+            constructions = sum(built_by_worker.values())
         else:
             task = functools.partial(self.optimize_window,
                                      round_seed=round_seed)
@@ -268,18 +281,45 @@ class LPOPipeline:
         stats = BatchStats(jobs=scheduler.jobs, backend=effective,
                            wall_seconds=wall,
                            cache=self.cache.stats.delta_since(
-                               stats_before))
+                               stats_before),
+                           pipeline_constructions=constructions)
         for result in results:
             stats.record(result)
         return BatchResult(results, stats)
 
 
-def _optimize_window_task(pipeline: LPOPipeline, round_seed: int,
-                          window: Window):
-    """Process-pool work item: runs in a worker against a pickled copy
-    of the pipeline; ships the result plus only the cache entries this
-    window added (not the whole preloaded cache) and the hit/miss delta
-    back to the parent."""
+#: Per-worker-process state installed by :func:`_init_worker_pipeline`.
+#: Keys: ``pipeline`` (the worker's one LPOPipeline) and
+#: ``constructions`` (how many times this process built one — stays at
+#: 1 per pool unless the initializer re-runs).
+_WORKER_STATE: dict = {}
+
+
+def _init_worker_pipeline(client, config, entries: dict) -> None:
+    """Executor initializer: build the worker's pipeline exactly once.
+
+    The client (with its knowledge base), the config, and the parent's
+    pre-batch cache entries are pickled once per *worker* instead of
+    once per *task*; tasks themselves ship only a window each."""
+    if _WORKER_STATE.get("pid") != os.getpid():
+        # A forked worker inherits the parent's module state; start its
+        # construction count from a clean slate.
+        _WORKER_STATE.clear()
+        _WORKER_STATE["pid"] = os.getpid()
+    cache = ResultCache(max_entries=None)
+    cache.merge(entries)
+    _WORKER_STATE["pipeline"] = LPOPipeline(client, config, cache=cache)
+    _WORKER_STATE["constructions"] = (
+        _WORKER_STATE.get("constructions", 0) + 1)
+
+
+def _optimize_window_task(round_seed: int, window: Window):
+    """Process-pool work item: runs one window against the worker's
+    resident pipeline; ships the result plus only the cache entries this
+    task added (earlier tasks already shipped theirs) and the hit/miss
+    delta back to the parent, tagged with the worker id so the parent
+    can count pipeline constructions per worker."""
+    pipeline: LPOPipeline = _WORKER_STATE["pipeline"]
     known = set(pipeline.cache.export())
     before = pipeline.cache.stats.snapshot()
     result = pipeline.optimize_window(window, round_seed=round_seed)
@@ -287,7 +327,8 @@ def _optimize_window_task(pipeline: LPOPipeline, round_seed: int,
     new_entries = {key: entry
                    for key, entry in pipeline.cache.export().items()
                    if key not in known}
-    return result, new_entries, delta
+    return (result, new_entries, delta, os.getpid(),
+            _WORKER_STATE.get("constructions", 0))
 
 
 def window_from_text(ir_text: str) -> Window:

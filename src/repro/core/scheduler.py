@@ -10,7 +10,10 @@ run can fan windows out over a worker pool without changing any finding.
   the in-process :class:`~repro.core.cache.ResultCache` directly;
 * ``process`` — :class:`concurrent.futures.ProcessPoolExecutor`; work
   items and results cross a pickle boundary, so callers merge worker
-  cache entries back afterwards.
+  cache entries back afterwards.  Callers can pass an ``initializer``
+  to :meth:`BatchScheduler.map` that runs once per worker — the
+  pipeline uses this to build its per-worker state (client, knowledge
+  base, cache) once instead of pickling it with every task.
 
 Result ordering is deterministic regardless of completion order: the
 scheduler collects futures in submission order, so ``map`` always
@@ -27,7 +30,7 @@ from __future__ import annotations
 import time
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Sequence, TypeVar
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, TypeVar
 
 from repro.core.cache import CacheStats
 from repro.llm.client import Usage
@@ -51,6 +54,10 @@ class BatchStats:
     jobs: int = 1
     backend: str = "serial"
     cache: CacheStats = field(default_factory=CacheStats)
+    #: Process backend only: how many LPOPipeline constructions the
+    #: batch paid across all workers (== live workers when the executor
+    #: initializer is doing its job, instead of one per task).
+    pipeline_constructions: int = 0
 
     def record(self, result) -> None:
         """Fold one :class:`~repro.core.pipeline.WindowResult` in."""
@@ -64,11 +71,15 @@ class BatchStats:
     def render(self) -> str:
         speedup = (self.compute_seconds / self.wall_seconds
                    if self.wall_seconds > 0 else 0.0)
-        return (f"{self.windows} windows, {self.found} found; "
-                f"wall {self.wall_seconds:.2f}s for "
-                f"{self.compute_seconds:.2f}s of compute "
-                f"(x{speedup:.2f}, jobs={self.jobs}, {self.backend}); "
-                f"cache: {self.cache.render()}")
+        out = (f"{self.windows} windows, {self.found} found; "
+               f"wall {self.wall_seconds:.2f}s for "
+               f"{self.compute_seconds:.2f}s of compute "
+               f"(x{speedup:.2f}, jobs={self.jobs}, {self.backend}); "
+               f"cache: {self.cache.render()}")
+        if self.pipeline_constructions:
+            out += (f"; {self.pipeline_constructions} worker pipeline "
+                    f"construction(s)")
+        return out
 
 
 class BatchResult(List[ResultT]):
@@ -95,10 +106,14 @@ class BatchScheduler:
         self.jobs = max(1, int(jobs))
         self.backend = backend if self.jobs > 1 else "serial"
 
-    def _executor(self) -> Executor:
+    def _executor(self, initializer: Optional[Callable] = None,
+                  initargs: tuple = ()) -> Executor:
+        kwargs = {}
+        if initializer is not None:
+            kwargs = {"initializer": initializer, "initargs": initargs}
         if self.backend == "process":
-            return ProcessPoolExecutor(max_workers=self.jobs)
-        return ThreadPoolExecutor(max_workers=self.jobs)
+            return ProcessPoolExecutor(max_workers=self.jobs, **kwargs)
+        return ThreadPoolExecutor(max_workers=self.jobs, **kwargs)
 
     def effective_backend(self, item_count: int) -> str:
         """The backend :meth:`map` will actually use for a batch of
@@ -111,16 +126,22 @@ class BatchScheduler:
         return self.backend
 
     def map(self, fn: Callable[[ItemT], ResultT],
-            items: Sequence[ItemT]) -> List[ResultT]:
+            items: Sequence[ItemT],
+            initializer: Optional[Callable] = None,
+            initargs: tuple = ()) -> List[ResultT]:
         """``[fn(item) for item in items]``, fanned over the pool.
 
         Results come back in input order; the first worker exception is
         re-raised (after the pool drains) exactly as the serial loop
-        would raise it.
+        would raise it.  ``initializer(*initargs)`` runs once in each
+        worker before it takes tasks — on the serial fallback it runs
+        once in-process so behaviour stays uniform.
         """
         items = list(items)
         if self.effective_backend(len(items)) == "serial":
+            if initializer is not None:
+                initializer(*initargs)
             return [fn(item) for item in items]
-        with self._executor() as pool:
+        with self._executor(initializer, initargs) as pool:
             futures = [pool.submit(fn, item) for item in items]
             return [future.result() for future in futures]

@@ -98,8 +98,11 @@ def _instruction_body(inst: Instruction) -> str:
     if isinstance(inst, ShuffleVector):
         lanes = ", ".join(
             "i32 poison" if m == -1 else f"i32 {m}" for m in inst.mask)
+        # The mask carries its vector type so printed IR re-parses
+        # (and matches opt's output format).
         return (f"shufflevector {operand(inst.operands[0])}, "
-                f"{operand(inst.operands[1])}, <{lanes}>")
+                f"{operand(inst.operands[1])}, "
+                f"<{len(inst.mask)} x i32> <{lanes}>")
     if isinstance(inst, Load):
         align = f", align {inst.align}" if inst.align else ""
         return f"load {inst.type}, {operand(inst.pointer)}{align}"

@@ -1,0 +1,43 @@
+"""The persistent optimization service.
+
+A long-lived daemon around the LPO loop: jobs (one window each) enter a
+bounded queue, fan over a persistent worker pool whose workers each hold
+a warm :class:`~repro.core.pipeline.LPOPipeline`, and memoize through a
+sharded :class:`~repro.core.cache.ShardedResultCache` so a resubmitted
+corpus is served from cache.  The service speaks a JSON-lines socket
+protocol (``repro serve`` / ``repro submit`` / ``repro status``) and an
+equivalent in-process API.
+"""
+
+from repro.service.client import ServiceClient
+from repro.service.metrics import ServiceMetrics
+from repro.service.protocol import (
+    PROTOCOL_VERSION,
+    JobResult,
+    JobSpec,
+    ProtocolError,
+    decode_line,
+    encode_line,
+    job_digest,
+    result_from_wire,
+    result_to_wire,
+    spec_from_wire,
+    spec_to_wire,
+)
+from repro.service.server import (
+    OptimizationService,
+    ServiceBusyError,
+    ServiceServer,
+)
+from repro.service.workers import WorkerCrashError, WorkerPool
+
+__all__ = [
+    "ServiceClient",
+    "ServiceMetrics",
+    "PROTOCOL_VERSION", "JobResult", "JobSpec", "ProtocolError",
+    "decode_line", "encode_line", "job_digest",
+    "result_from_wire", "result_to_wire",
+    "spec_from_wire", "spec_to_wire",
+    "OptimizationService", "ServiceBusyError", "ServiceServer",
+    "WorkerCrashError", "WorkerPool",
+]

@@ -1,0 +1,124 @@
+"""Blocking JSON-lines client for the optimization service.
+
+Used by ``repro submit`` / ``repro status`` and the tests.  One client
+holds one connection; submits may be pipelined (:meth:`submit_many`
+writes every request before reading any reply) and replies are matched
+back to requests by the client-assigned job id, so out-of-order
+completion is fine.
+"""
+
+from __future__ import annotations
+
+import itertools
+import socket
+from dataclasses import replace
+from typing import Dict, List, Optional, Sequence
+
+from repro.errors import ReproError
+from repro.service.protocol import (
+    JobResult,
+    JobSpec,
+    ProtocolError,
+    decode_line,
+    encode_line,
+    result_from_wire,
+    spec_to_wire,
+)
+
+
+class ServiceClient:
+    """A synchronous connection to a running :class:`ServiceServer`."""
+
+    def __init__(self, port: int, host: str = "127.0.0.1",
+                 timeout: Optional[float] = 120.0):
+        self.host = host
+        self.port = port
+        self._sock = socket.create_connection((host, port),
+                                              timeout=timeout)
+        self._recv = self._sock.makefile("rb")
+        self._ids = itertools.count(1)
+
+    # -- plumbing ----------------------------------------------------------
+    def _send(self, message: dict) -> None:
+        self._sock.sendall(encode_line(message))
+
+    def _read(self) -> dict:
+        line = self._recv.readline()
+        if not line:
+            raise ReproError("service closed the connection")
+        return decode_line(line)
+
+    def close(self) -> None:
+        try:
+            self._recv.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- requests ----------------------------------------------------------
+    def submit(self, spec: JobSpec) -> JobResult:
+        """Round-trip one job."""
+        return self.submit_many([spec])[0]
+
+    def submit_ir(self, ir: str, **spec_kwargs) -> JobResult:
+        """Convenience: wrap IR text in a :class:`JobSpec` and submit."""
+        return self.submit(JobSpec(ir=ir, **spec_kwargs))
+
+    def submit_many(self, specs: Sequence[JobSpec]) -> List[JobResult]:
+        """Pipeline a batch of jobs; results in submission order."""
+        tagged: List[str] = []
+        pending = set()
+        for spec in specs:
+            job_id = spec.job_id or f"c{next(self._ids)}"
+            if job_id in pending:
+                raise ReproError(f"duplicate client job id {job_id!r}")
+            tagged.append(job_id)
+            pending.add(job_id)
+            self._send(spec_to_wire(replace(spec, job_id=job_id)))
+        results: Dict[str, JobResult] = {}
+        while pending:
+            message = self._read()
+            mtype = message.get("type")
+            if mtype == "result":
+                result = result_from_wire(message)
+                if result.job_id not in pending:
+                    raise ProtocolError(
+                        f"unexpected result for {result.job_id!r}")
+                pending.discard(result.job_id)
+                results[result.job_id] = result
+            elif mtype == "error":
+                job_id = message.get("job_id", "")
+                error = message.get("message", "service error")
+                if job_id in pending:
+                    pending.discard(job_id)
+                    results[job_id] = JobResult(
+                        job_id=job_id, ok=False, status="error",
+                        error=error)
+                else:
+                    raise ReproError(error)
+            else:
+                raise ProtocolError(
+                    f"unexpected message type {mtype!r}")
+        return [results[job_id] for job_id in tagged]
+
+    def status(self) -> dict:
+        """The service's metrics/pool snapshot."""
+        self._send({"type": "status"})
+        message = self._read()
+        if message.get("type") != "status_reply":
+            raise ProtocolError(
+                f"expected status_reply, got {message.get('type')!r}")
+        return message.get("status", {})
+
+    def shutdown(self) -> None:
+        """Ask the server to stop accepting connections."""
+        self._send({"type": "shutdown"})
+        message = self._read()
+        if message.get("type") != "shutting_down":
+            raise ProtocolError(
+                f"expected shutting_down, got {message.get('type')!r}")

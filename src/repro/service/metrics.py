@@ -1,0 +1,159 @@
+"""Service observability: counters, gauges, and latency percentiles.
+
+:class:`ServiceMetrics` is the one mutable stats object of the
+optimization service.  Counters cover the request lifecycle (submitted,
+completed, failed, rejected, requeued) and the job cache (hits/misses at
+the whole-job level); latencies go into a bounded reservoir from which
+percentiles are computed on demand.  Everything is lock-protected — the
+dispatcher, worker callbacks, and status readers all touch it
+concurrently.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from collections import deque
+from typing import Callable, Dict
+
+#: How many recent latencies the percentile window keeps.
+LATENCY_WINDOW = 2048
+
+
+def percentile(samples, fraction: float) -> float:
+    """Nearest-rank percentile of ``samples`` (0.0 on empty input)."""
+    ordered = sorted(samples)
+    if not ordered:
+        return 0.0
+    rank = max(0, min(len(ordered) - 1,
+                      math.ceil(fraction * len(ordered)) - 1))
+    return ordered[rank]
+
+
+class ServiceMetrics:
+    """Thread-safe request/queue/cache/latency accounting."""
+
+    def __init__(self, clock: Callable[[], float] = time.monotonic):
+        self._lock = threading.Lock()
+        self._clock = clock
+        self._started = clock()
+        self.submitted = 0
+        self.completed = 0           # includes cache-served jobs
+        self.failed = 0
+        self.rejected = 0            # backpressure: queue-full submits
+        self.requeued = 0            # worker-crash retries
+        self.cache_hits = 0          # whole-job cache hits
+        self.cache_misses = 0
+        self.in_flight = 0           # dispatched to a worker, not done
+        self._latencies = deque(maxlen=LATENCY_WINDOW)
+        #: Optional gauge: the server binds this to its queue.
+        self._queue_depth: Callable[[], int] = lambda: 0
+
+    def bind_queue_depth(self, gauge: Callable[[], int]) -> None:
+        self._queue_depth = gauge
+
+    # -- lifecycle events --------------------------------------------------
+    def record_submitted(self) -> None:
+        with self._lock:
+            self.submitted += 1
+
+    def record_rejected(self) -> None:
+        with self._lock:
+            self.rejected += 1
+
+    def record_requeued(self) -> None:
+        with self._lock:
+            self.requeued += 1
+
+    def record_dispatched(self) -> None:
+        with self._lock:
+            self.in_flight += 1
+
+    def record_undispatched(self) -> None:
+        """A dispatched job came back unfinished (crash requeue)."""
+        with self._lock:
+            self.in_flight -= 1
+
+    def record_completed(self, latency_seconds: float,
+                         cached: bool, ok: bool,
+                         dispatched: bool = True) -> None:
+        with self._lock:
+            if dispatched:
+                self.in_flight -= 1
+            if ok:
+                self.completed += 1
+            else:
+                self.failed += 1
+            if cached:
+                self.cache_hits += 1
+            else:
+                self.cache_misses += 1
+            self._latencies.append(latency_seconds)
+
+    # -- derived views -----------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        return self._queue_depth()
+
+    @property
+    def cache_hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    @property
+    def uptime_seconds(self) -> float:
+        return self._clock() - self._started
+
+    @property
+    def jobs_per_second(self) -> float:
+        up = self.uptime_seconds
+        return self.completed / up if up > 0 else 0.0
+
+    def latency_percentiles(self) -> Dict[str, float]:
+        with self._lock:
+            samples = list(self._latencies)
+        return {"p50": percentile(samples, 0.50),
+                "p90": percentile(samples, 0.90),
+                "p99": percentile(samples, 0.99)}
+
+    def to_dict(self) -> dict:
+        """A JSON-safe snapshot (the ``status_reply`` payload)."""
+        with self._lock:
+            counters = {
+                "submitted": self.submitted,
+                "completed": self.completed,
+                "failed": self.failed,
+                "rejected": self.rejected,
+                "requeued": self.requeued,
+                "cache_hits": self.cache_hits,
+                "cache_misses": self.cache_misses,
+                "in_flight": self.in_flight,
+            }
+        return {
+            **counters,
+            "queue_depth": self.queue_depth,
+            "cache_hit_rate": round(self.cache_hit_rate, 4),
+            "uptime_seconds": round(self.uptime_seconds, 3),
+            "jobs_per_second": round(self.jobs_per_second, 3),
+            "latency": {name: round(value, 6) for name, value
+                        in self.latency_percentiles().items()},
+        }
+
+    def render(self) -> str:
+        snap = self.to_dict()
+        lat = snap["latency"]
+        return (
+            f"jobs: {snap['submitted']} submitted, "
+            f"{snap['completed']} completed, {snap['failed']} failed, "
+            f"{snap['rejected']} rejected, {snap['requeued']} requeued\n"
+            f"queue: depth {snap['queue_depth']}, "
+            f"in-flight {snap['in_flight']}\n"
+            f"cache: {snap['cache_hits']} hit / "
+            f"{snap['cache_misses']} miss "
+            f"(rate {snap['cache_hit_rate']:.2%})\n"
+            f"latency: p50 {lat['p50'] * 1e3:.1f}ms "
+            f"p90 {lat['p90'] * 1e3:.1f}ms "
+            f"p99 {lat['p99'] * 1e3:.1f}ms\n"
+            f"throughput: {snap['jobs_per_second']:.2f} jobs/s "
+            f"over {snap['uptime_seconds']:.1f}s uptime")

@@ -1,0 +1,147 @@
+"""Wire protocol of the optimization service.
+
+Messages are newline-delimited JSON objects ("JSON lines"), each with a
+``type`` field:
+
+* ``{"type": "submit", "job": {...}}``        — client → server
+* ``{"type": "result", "result": {...}}``     — server → client
+* ``{"type": "status"}``                       — client → server
+* ``{"type": "status_reply", "status": {...}}``— server → client
+* ``{"type": "shutdown"}``                     — client → server
+* ``{"type": "error", "message": "..."}``      — server → client
+
+Submits may be pipelined: a client can write many submit lines before
+reading results; each result line carries the submitting side's
+``job_id`` so replies can arrive out of order.  The dataclasses here are
+the in-process currency too — the worker pool and the job cache consume
+:class:`JobSpec` / produce :class:`JobResult` directly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass
+
+from repro.errors import ParseError, ReproError
+
+PROTOCOL_VERSION = 1
+
+
+class ProtocolError(ReproError):
+    """A malformed or out-of-contract service message."""
+
+
+@dataclass
+class JobSpec:
+    """One window-optimization request.
+
+    ``ir`` is the window's textual IR; ``round_seed`` keys the simulated
+    model's sampling, ``attempt_limit`` bounds the feedback loop.  The
+    server assigns ``job_id`` when the submitter leaves it empty.
+    """
+
+    ir: str
+    model: str = "Gemini2.0T"
+    round_seed: int = 0
+    attempt_limit: int = 2
+    job_id: str = ""
+    #: Submitter-side correlation tag, echoed verbatim in the result.
+    tag: str = ""
+
+
+@dataclass
+class JobResult:
+    """The service's verdict on one job."""
+
+    job_id: str
+    ok: bool
+    status: str                      # WindowResult.status, or "error"
+    found: bool = False
+    candidate_text: str = ""
+    elapsed_seconds: float = 0.0     # in-worker compute time
+    latency_seconds: float = 0.0     # submit → completion, queue included
+    attempts: int = 0
+    cached: bool = False             # served from the job cache
+    retries: int = 0                 # worker crashes survived
+    error: str = ""
+    tag: str = ""
+
+    def render(self) -> str:
+        origin = "cache" if self.cached else "worker"
+        head = f"{self.job_id}: {self.status} [{origin}]"
+        if self.error:
+            head += f" ({self.error})"
+        return head
+
+
+def job_digest(spec: JobSpec, llm_seed: int = 0) -> str:
+    """The job-cache key: structural over the window when it parses
+    (whitespace/name-insensitive), textual otherwise, plus every knob
+    that can change the verdict — including the serving side's
+    ``llm_seed``, so a persisted cache never answers for a service
+    configured with a different sampling seed.  ``job_id``/``tag`` are
+    correlation metadata and deliberately excluded."""
+    from repro.core.dedup import window_digest
+    from repro.ir.parser import parse_function
+
+    try:
+        ir_key = window_digest(parse_function(spec.ir))
+    except ParseError:
+        ir_key = hashlib.sha256(spec.ir.encode()).hexdigest()
+    payload = (f"{spec.model}|{spec.round_seed}|{spec.attempt_limit}|"
+               f"{llm_seed}|{ir_key}")
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+# -- JSON-lines framing ----------------------------------------------------
+def encode_line(message: dict) -> bytes:
+    """One wire message: compact JSON + newline."""
+    return (json.dumps(message, separators=(",", ":"))
+            + "\n").encode("utf-8")
+
+
+def decode_line(line: bytes) -> dict:
+    """Parse one wire line; raises :class:`ProtocolError` on junk."""
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable message: {exc}") from None
+    if not isinstance(message, dict) or "type" not in message:
+        raise ProtocolError("message must be an object with a 'type'")
+    return message
+
+
+def _from_wire(cls, payload, what: str):
+    if not isinstance(payload, dict):
+        raise ProtocolError(f"{what} payload must be an object")
+    fields = {f.name for f in cls.__dataclass_fields__.values()}
+    unknown = set(payload) - fields
+    if unknown:
+        raise ProtocolError(f"unknown {what} field(s): "
+                            f"{', '.join(sorted(unknown))}")
+    try:
+        return cls(**payload)
+    except TypeError as exc:
+        raise ProtocolError(f"bad {what}: {exc}") from None
+
+
+def spec_to_wire(spec: JobSpec) -> dict:
+    return {"type": "submit", "version": PROTOCOL_VERSION,
+            "job": asdict(spec)}
+
+
+def spec_from_wire(message: dict) -> JobSpec:
+    spec = _from_wire(JobSpec, message.get("job"), "job")
+    if not isinstance(spec.ir, str) or not spec.ir.strip():
+        raise ProtocolError("job.ir must be non-empty IR text")
+    return spec
+
+
+def result_to_wire(result: JobResult) -> dict:
+    return {"type": "result", "version": PROTOCOL_VERSION,
+            "result": asdict(result)}
+
+
+def result_from_wire(message: dict) -> JobResult:
+    return _from_wire(JobResult, message.get("result"), "result")

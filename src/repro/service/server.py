@@ -1,0 +1,568 @@
+"""The long-lived optimization service and its socket front end.
+
+:class:`OptimizationService` is the in-process daemon: a bounded job
+queue (backpressure), a dispatcher thread that serves repeats from the
+sharded job cache and fans misses over the persistent
+:class:`~repro.service.workers.WorkerPool`, per-job completion events,
+and :class:`~repro.service.metrics.ServiceMetrics` accounting.  Worker
+crashes requeue the job (bounded by ``max_retries``) after the pool is
+rebuilt.
+
+:class:`ServiceServer` wraps a service in an asyncio JSON-lines TCP
+acceptor (the ``repro serve`` command): submits may be pipelined per
+connection and results stream back tagged with the client's job id.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import functools
+import itertools
+import queue
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import replace
+from typing import Callable, Dict, Optional
+
+from repro.core.cache import DEFAULT_MAX_ENTRIES, ShardedResultCache
+from repro.errors import ReproError
+from repro.service.metrics import ServiceMetrics
+from repro.service.protocol import (
+    JobResult,
+    JobSpec,
+    ProtocolError,
+    decode_line,
+    encode_line,
+    job_digest,
+    result_to_wire,
+    spec_from_wire,
+)
+from repro.service.workers import WorkerCrashError, WorkerPool
+
+#: Queue sentinel that stops the dispatcher.
+_SHUTDOWN = object()
+
+#: Payload keys a worker result contributes to the job cache entry.
+_CACHED_KEYS = ("found", "status", "candidate_text", "elapsed_seconds",
+                "attempts")
+
+#: Max bytes per wire line (asyncio's default 64 KiB is too small for
+#: large extracted windows).
+_WIRE_LIMIT = 4 * 1024 * 1024
+
+
+class ServiceBusyError(ReproError):
+    """Backpressure: the job queue is full and the submit won't wait."""
+
+
+class OptimizationService:
+    """A persistent, cache-fronted job service around the LPO loop."""
+
+    def __init__(self, jobs: int = 2, backend: str = "thread",
+                 queue_limit: int = 128, max_retries: int = 2,
+                 cache_shards: int = 16,
+                 cache_entries: Optional[int] = DEFAULT_MAX_ENTRIES,
+                 cache_age_seconds: Optional[float] = None,
+                 cache_path=None, llm_seed: int = 0):
+        self.backend = backend
+        self.cache = ShardedResultCache(shards=cache_shards,
+                                        path=cache_path,
+                                        max_entries=cache_entries,
+                                        max_age_seconds=cache_age_seconds)
+        self.metrics = ServiceMetrics()
+        # Thread workers share the service's step cache; process workers
+        # keep per-process step caches and share only the job cache.
+        self.pool = WorkerPool(
+            jobs=jobs, backend=backend, llm_seed=llm_seed,
+            cache=self.cache if backend == "thread" else None)
+        self.max_retries = max(0, int(max_retries))
+        self._queue: "queue.Queue" = queue.Queue(maxsize=queue_limit)
+        self.metrics.bind_queue_depth(self._queue.qsize)
+        self._slots = threading.Semaphore(self.pool.jobs)
+        self._lock = threading.Lock()
+        self._results: Dict[str, JobResult] = {}
+        self._events: Dict[str, threading.Event] = {}
+        #: Single-flight: digest of each job currently running → specs
+        #: of identical jobs waiting to share its result.
+        self._pending: Dict[str, list] = {}
+        self._worker_constructions: Dict[str, int] = {}
+        self._job_ids = itertools.count(1)
+        self._outstanding = 0
+        self._idle = threading.Condition(self._lock)
+        self._closed = False
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="repro-dispatch",
+            daemon=True)
+        self._dispatcher.start()
+
+    # -- submission API ----------------------------------------------------
+    def submit(self, spec: JobSpec,
+               timeout: Optional[float] = None) -> str:
+        """Queue one job; returns its job id.
+
+        ``timeout`` bounds how long to wait for queue space — ``None``
+        blocks (backpressure propagates to the caller), ``0`` raises
+        :class:`ServiceBusyError` immediately when the queue is full.
+        """
+        if self._closed:
+            raise ReproError("service is closed")
+        job_id = spec.job_id or f"job-{next(self._job_ids):06d}"
+        spec = replace(spec, job_id=job_id)
+        with self._lock:
+            if job_id in self._events or job_id in self._results:
+                raise ReproError(f"duplicate job id {job_id!r}")
+            self._events[job_id] = threading.Event()
+            self._outstanding += 1
+        try:
+            if timeout == 0:
+                self._queue.put_nowait((spec, 0, time.monotonic()))
+            else:
+                self._queue.put((spec, 0, time.monotonic()),
+                                timeout=timeout)
+        except queue.Full:
+            with self._lock:
+                self._events.pop(job_id, None)
+                self._outstanding -= 1
+                self._idle.notify_all()
+            self.metrics.record_rejected()
+            raise ServiceBusyError(
+                f"job queue full ({self._queue.maxsize} pending); "
+                f"retry later") from None
+        self.metrics.record_submitted()
+        if self._closed and not self._dispatcher.is_alive():
+            # We raced close(): our item may have landed after its
+            # straggler drain.  Drain again so no waiter hangs.
+            self._fail_stragglers()
+        return job_id
+
+    def result(self, job_id: str,
+               timeout: Optional[float] = None) -> JobResult:
+        """Wait for and consume one job's result."""
+        with self._lock:
+            event = self._events.get(job_id)
+        if event is None:
+            raise ReproError(f"unknown job id {job_id!r}")
+        if not event.wait(timeout):
+            raise ReproError(f"timed out waiting for {job_id!r}")
+        with self._lock:
+            self._events.pop(job_id, None)
+            return self._results.pop(job_id)
+
+    def run(self, spec: JobSpec,
+            timeout: Optional[float] = None) -> JobResult:
+        """Submit one job and block until its result."""
+        return self.result(self.submit(spec), timeout=timeout)
+
+    def run_many(self, specs,
+                 timeout: Optional[float] = None) -> list:
+        """Submit a batch (blocking on backpressure) and collect results
+        in submission order."""
+        job_ids = [self.submit(spec) for spec in specs]
+        return [self.result(job_id, timeout=timeout)
+                for job_id in job_ids]
+
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Block until every submitted job has finished."""
+        deadline = (None if timeout is None
+                    else time.monotonic() + timeout)
+        with self._idle:
+            while self._outstanding > 0:
+                remaining = (None if deadline is None
+                             else deadline - time.monotonic())
+                if remaining is not None and remaining <= 0:
+                    return False
+                self._idle.wait(remaining)
+        return True
+
+    def status(self) -> dict:
+        """Metrics + pool/cache shape (the ``repro status`` payload)."""
+        with self._lock:
+            process_constructions = sum(
+                self._worker_constructions.values())
+        constructions = (self.pool.pipeline_constructions
+                         if self.backend == "thread"
+                         else process_constructions)
+        return {
+            **self.metrics.to_dict(),
+            "backend": self.backend,
+            "workers": self.pool.jobs,
+            "pipeline_constructions": constructions,
+            # Only job: entries — on the thread backend the same
+            # sharded store also holds the pipelines' opt/verify steps.
+            "job_cache_entries": self.cache.count_prefix("job:"),
+            "cache_shards": self.cache.shard_count,
+            "step_cache": self.cache.stats.render(),
+        }
+
+    def close(self) -> None:
+        """Stop the dispatcher, drain in-flight work, shut the pool."""
+        if self._closed:
+            return
+        self._closed = True
+        self._queue.put(_SHUTDOWN)
+        self._dispatcher.join(timeout=30)
+        # A submit racing close() can land behind the sentinel; fail
+        # those jobs explicitly so their waiters wake instead of
+        # hanging (submit() re-drains on its side of the race too).
+        self._fail_stragglers()
+        self.drain(timeout=30)
+        self.pool.shutdown(wait=True)
+        if self.cache.path is not None:
+            self.cache.save()
+
+    def _fail_stragglers(self) -> None:
+        """Fail every job still queued after the dispatcher exited."""
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                return
+            if item is _SHUTDOWN:
+                continue
+            spec, retries, submitted = item
+            digest = job_digest(spec, llm_seed=self.pool.llm_seed)
+            self._settle(digest, spec, error="service closed",
+                         retries=retries, submitted=submitted,
+                         dispatched=False)
+
+    def __enter__(self) -> "OptimizationService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- dispatch ----------------------------------------------------------
+    def _dispatch_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _SHUTDOWN:
+                break
+            spec, retries, submitted = item
+            try:
+                self._dispatch_one(spec, retries, submitted)
+            except Exception as exc:  # noqa: BLE001 — the dispatcher
+                # must survive anything; a dead loop strands every
+                # queued job's waiter forever.
+                try:
+                    digest = job_digest(spec,
+                                        llm_seed=self.pool.llm_seed)
+                except Exception:  # noqa: BLE001
+                    self._finish(spec, error=f"dispatch failed: {exc}",
+                                 retries=retries, submitted=submitted,
+                                 dispatched=False)
+                else:
+                    # Settle (not just finish) so any waiters enrolled
+                    # behind this job are released too.
+                    self._settle(digest, spec,
+                                 error=f"dispatch failed: {exc}",
+                                 retries=retries, submitted=submitted,
+                                 dispatched=False)
+
+    def _dispatch_one(self, spec: JobSpec, retries: int,
+                      submitted: float) -> None:
+        digest = job_digest(spec, llm_seed=self.pool.llm_seed)
+        cached = self.cache.get_job(digest)
+        if cached is not None and all(key in cached
+                                      for key in _CACHED_KEYS):
+            self._settle(digest, spec, payload=cached, cached=True,
+                         retries=retries, submitted=submitted,
+                         dispatched=False)
+            return
+        if retries == 0:
+            # Single-flight: an identical job already running serves
+            # this one too (a requeued job is the running one — it
+            # must not wait on itself).
+            with self._lock:
+                waiters = self._pending.get(digest)
+                if waiters is not None:
+                    waiters.append((spec, submitted))
+                    return
+                self._pending[digest] = []
+        self._slots.acquire()         # bound in-flight work at pool width
+        try:
+            future = self.pool.submit(spec)
+        except WorkerCrashError as exc:
+            self._slots.release()
+            self.pool.restart()
+            self._crash_requeue(digest, spec, retries, submitted, exc,
+                                dispatched=False)
+            return
+        self.metrics.record_dispatched()
+        future.add_done_callback(functools.partial(
+            self._on_done, spec, retries, submitted, digest))
+
+    def _on_done(self, spec: JobSpec, retries: int, submitted: float,
+                 digest: str, future) -> None:
+        self._slots.release()
+        try:
+            exc = future.exception()
+            if exc is not None and WorkerPool.is_crash(exc):
+                self.pool.restart()
+                self._crash_requeue(digest, spec, retries, submitted,
+                                    exc, dispatched=True)
+                return
+            if exc is not None:
+                self._settle(digest, spec, error=str(exc),
+                             retries=retries, submitted=submitted,
+                             dispatched=True)
+                return
+            payload = future.result()
+            self._note_worker(payload)
+            self.cache.put_job(
+                digest, {key: payload[key] for key in _CACHED_KEYS})
+            self._settle(digest, spec, payload=payload, cached=False,
+                         retries=retries, submitted=submitted,
+                         dispatched=True)
+        except Exception as unexpected:  # noqa: BLE001 — a dead
+            # callback would strand this job's (and its waiters')
+            # result events.
+            self._settle(digest, spec,
+                         error=f"completion failed: {unexpected}",
+                         retries=retries, submitted=submitted,
+                         dispatched=False)
+
+    def _crash_requeue(self, digest: str, spec: JobSpec, retries: int,
+                       submitted: float, exc: BaseException,
+                       dispatched: bool) -> None:
+        if dispatched:
+            self.metrics.record_undispatched()
+        if retries < self.max_retries and not self._closed:
+            try:
+                self._queue.put_nowait((spec, retries + 1, submitted))
+            except queue.Full:
+                self._settle(digest, spec,
+                             error=f"requeue failed, queue full "
+                                   f"(after crash: {exc})",
+                             retries=retries, submitted=submitted,
+                             dispatched=False)
+                return
+            self.metrics.record_requeued()
+            return
+        self._settle(digest, spec,
+                     error=f"worker crashed {retries + 1}x: {exc}",
+                     retries=retries, submitted=submitted,
+                     dispatched=False)
+
+    def _settle(self, digest: str, spec: JobSpec,
+                payload: Optional[dict] = None, cached: bool = False,
+                error: str = "", retries: int = 0,
+                submitted: float = 0.0,
+                dispatched: bool = True) -> None:
+        """Finish a job and every identical job waiting on it."""
+        self._finish(spec, payload=payload, cached=cached, error=error,
+                     retries=retries, submitted=submitted,
+                     dispatched=dispatched)
+        with self._lock:
+            waiters = self._pending.pop(digest, [])
+        for waiter_spec, waiter_submitted in waiters:
+            self._finish(waiter_spec, payload=payload,
+                         cached=payload is not None, error=error,
+                         submitted=waiter_submitted, dispatched=False)
+
+    def _note_worker(self, payload: dict) -> None:
+        worker = payload.get("worker", "?")
+        built = payload.get("pipeline_constructions", 0)
+        with self._lock:
+            self._worker_constructions[worker] = max(
+                self._worker_constructions.get(worker, 0), built)
+
+    def _finish(self, spec: JobSpec, payload: Optional[dict] = None,
+                cached: bool = False, error: str = "",
+                retries: int = 0, submitted: float = 0.0,
+                dispatched: bool = True) -> None:
+        latency = time.monotonic() - submitted
+        ok = not error
+        result = JobResult(
+            job_id=spec.job_id,
+            ok=ok,
+            status=(payload["status"] if payload else "error"),
+            found=bool(payload and payload["found"]),
+            candidate_text=(payload["candidate_text"] if payload
+                            else ""),
+            elapsed_seconds=(payload["elapsed_seconds"] if payload
+                             else 0.0),
+            attempts=(payload["attempts"] if payload else 0),
+            latency_seconds=latency,
+            cached=cached,
+            retries=retries,
+            error=error,
+            tag=spec.tag)
+        self.metrics.record_completed(latency, cached=cached, ok=ok,
+                                      dispatched=dispatched)
+        with self._lock:
+            self._results[spec.job_id] = result
+            event = self._events.get(spec.job_id)
+            self._outstanding -= 1
+            self._idle.notify_all()
+        if event is not None:
+            event.set()
+
+
+class ServiceServer:
+    """Asyncio JSON-lines TCP front end over an
+    :class:`OptimizationService`."""
+
+    def __init__(self, service: OptimizationService,
+                 host: str = "127.0.0.1", port: int = 0):
+        self.service = service
+        self.host = host
+        self.port = port                 # 0: ephemeral; rebound on start
+        self._ready = threading.Event()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop: Optional[asyncio.Event] = None
+        self._thread: Optional[threading.Thread] = None
+        self._startup_error: Optional[BaseException] = None
+        self._job_executor: Optional[ThreadPoolExecutor] = None
+        #: When serving on a daemon thread, failures are re-raised by
+        #: start_background instead of crashing the thread.
+        self._background = False
+
+    # -- lifecycle ---------------------------------------------------------
+    def serve_forever(self) -> None:
+        """Bind and serve until :meth:`stop` (or a ``shutdown``
+        message).  Blocks the calling thread."""
+        try:
+            asyncio.run(self._amain())
+        except BaseException as exc:
+            self._startup_error = exc
+            if not self._background:
+                raise
+        finally:
+            self._ready.set()     # wake start_background on failure too
+
+    def start_background(self, timeout: float = 10.0) -> int:
+        """Serve on a daemon thread; returns the bound port."""
+        self._background = True
+        self._thread = threading.Thread(target=self.serve_forever,
+                                        name="repro-serve", daemon=True)
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise ReproError("service socket failed to come up")
+        if self._startup_error is not None:
+            raise ReproError(f"service socket failed to come up: "
+                             f"{self._startup_error}")
+        return self.port
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        """Wait for a background server to exit (e.g. on a client's
+        ``shutdown`` message)."""
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+    def stop(self) -> None:
+        if (self._loop is not None and self._stop is not None
+                and not self._loop.is_closed()):
+            try:
+                self._loop.call_soon_threadsafe(self._stop.set)
+            except RuntimeError:
+                pass        # loop shut down between the check and call
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+
+    async def _amain(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        # Job waits block a thread each; a dedicated executor keeps a
+        # burst of pipelined submits from starving asyncio's small
+        # shared default pool (and the status path runs inline, so
+        # monitoring stays responsive under full load).
+        self._job_executor = ThreadPoolExecutor(
+            max_workers=64, thread_name_prefix="repro-serve-job")
+        server = await asyncio.start_server(self._handle, self.host,
+                                            self.port,
+                                            limit=_WIRE_LIMIT)
+        self.port = server.sockets[0].getsockname()[1]
+        self._ready.set()
+        try:
+            async with server:
+                await self._stop.wait()
+        finally:
+            self._job_executor.shutdown(wait=False)
+
+    # -- per-connection protocol -------------------------------------------
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        loop = asyncio.get_running_loop()
+        write_lock = asyncio.Lock()
+        jobs = set()
+
+        async def send(message: dict) -> None:
+            async with write_lock:
+                writer.write(encode_line(message))
+                await writer.drain()
+
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except ValueError:
+                    # Line over _WIRE_LIMIT: the stream position is no
+                    # longer trustworthy; report and drop the client.
+                    await send({"type": "error",
+                                "message": f"message exceeds the "
+                                           f"{_WIRE_LIMIT} byte line "
+                                           f"limit"})
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                try:
+                    message = decode_line(line)
+                except ProtocolError as exc:
+                    await send({"type": "error", "message": str(exc)})
+                    continue
+                mtype = message["type"]
+                if mtype == "submit":
+                    try:
+                        spec = spec_from_wire(message)
+                    except ProtocolError as exc:
+                        await send({"type": "error",
+                                    "message": str(exc)})
+                        continue
+                    job = asyncio.ensure_future(
+                        self._serve_job(spec, send, loop))
+                    jobs.add(job)
+                    job.add_done_callback(jobs.discard)
+                elif mtype == "status":
+                    # status() only takes short locks — safe inline,
+                    # and immune to job-wait thread exhaustion.
+                    await send({"type": "status_reply",
+                                "status": self.service.status()})
+                elif mtype == "shutdown":
+                    await send({"type": "shutting_down"})
+                    self._stop.set()
+                    break
+                else:
+                    await send({"type": "error",
+                                "message": f"unknown message type "
+                                           f"{mtype!r}"})
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            if jobs:
+                await asyncio.gather(*jobs, return_exceptions=True)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _serve_job(self, spec: JobSpec,
+                         send: Callable, loop) -> None:
+        # The client's job_id is a per-connection correlation tag; the
+        # service assigns its own id and the reply restores the client's.
+        client_id = spec.job_id
+        try:
+            result = await loop.run_in_executor(
+                self._job_executor, self.service.run,
+                replace(spec, job_id=""))
+        except Exception as exc:   # noqa: BLE001 — always answer the
+            # client; an unreplied submit would hang its reader.
+            await send({"type": "error", "message": str(exc),
+                        "job_id": client_id})
+            return
+        if client_id:
+            result = replace(result, job_id=client_id)
+        await send(result_to_wire(result))

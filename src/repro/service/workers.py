@@ -1,0 +1,205 @@
+"""The service's persistent worker pool.
+
+Workers hold *warm* pipelines: a :class:`~repro.core.pipeline.LPOPipeline`
+(client, knowledge base, step cache) is constructed once per worker per
+``(model, attempt_limit)`` and reused for every subsequent job — the
+amortization the one-shot ``batch`` command cannot offer.
+
+* ``thread`` backend — one pipeline per ``(model, attempt_limit)``
+  shared by all worker threads (the pipeline is thread-safe); the step
+  cache can be the service's shared
+  :class:`~repro.core.cache.ShardedResultCache`.
+* ``process`` backend — each worker process lazily builds its own
+  pipelines in module state installed by the pool initializer; jobs
+  cross the pickle boundary as small :class:`JobSpec` payloads only.
+
+A broken pool (a worker died hard) surfaces as
+:class:`WorkerCrashError`; the server requeues the job and calls
+:meth:`WorkerPool.restart`.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import (
+    BrokenExecutor,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from typing import Dict, Optional, Tuple
+
+from repro.core.pipeline import LPOPipeline, PipelineConfig
+from repro.core.pipeline import window_from_text
+from repro.errors import ReproError
+from repro.service.protocol import JobSpec
+
+BACKENDS = ("thread", "process")
+
+
+class WorkerCrashError(ReproError):
+    """The worker pool died under a job (e.g. a killed process)."""
+
+
+def _pipeline_for_spec(model: str, attempt_limit: int,
+                       llm_seed: int, cache=None) -> LPOPipeline:
+    from repro.llm import MODELS_BY_NAME, SimulatedLLM
+    profile = MODELS_BY_NAME.get(model)
+    if profile is None:
+        raise ReproError(f"unknown model {model!r}; choose from "
+                         f"{sorted(MODELS_BY_NAME)}")
+    return LPOPipeline(SimulatedLLM(profile, seed=llm_seed),
+                       PipelineConfig(attempt_limit=attempt_limit),
+                       cache=cache)
+
+
+def _run_spec(pipeline: LPOPipeline, spec: JobSpec) -> dict:
+    """Run one job on a resident pipeline; returns a JSON-safe payload
+    (the exact dict the job cache stores)."""
+    window = window_from_text(spec.ir)
+    result = pipeline.optimize_window(window,
+                                      round_seed=spec.round_seed)
+    return {
+        "found": result.found,
+        "status": result.status,
+        "candidate_text": result.candidate_text,
+        "elapsed_seconds": result.elapsed_seconds,
+        "attempts": len(result.attempts),
+    }
+
+
+# -- process-backend worker state ------------------------------------------
+#: Per-process pipelines + construction count, installed by
+#: :func:`_process_worker_init` (reset after fork via the pid check).
+_PROCESS_STATE: dict = {}
+
+
+def _process_worker_init(llm_seed: int) -> None:
+    if _PROCESS_STATE.get("pid") != os.getpid():
+        _PROCESS_STATE.clear()
+        _PROCESS_STATE["pid"] = os.getpid()
+    _PROCESS_STATE["llm_seed"] = llm_seed
+    _PROCESS_STATE.setdefault("pipelines", {})
+    _PROCESS_STATE.setdefault("constructions", 0)
+
+
+def _process_worker_run(spec: JobSpec) -> dict:
+    pipelines: dict = _PROCESS_STATE["pipelines"]
+    key = (spec.model, spec.attempt_limit)
+    if key not in pipelines:
+        pipelines[key] = _pipeline_for_spec(
+            spec.model, spec.attempt_limit, _PROCESS_STATE["llm_seed"])
+        _PROCESS_STATE["constructions"] += 1
+    payload = _run_spec(pipelines[key], spec)
+    payload["worker"] = f"pid-{os.getpid()}"
+    payload["pipeline_constructions"] = _PROCESS_STATE["constructions"]
+    return payload
+
+
+class WorkerPool:
+    """A persistent executor whose workers keep pipelines warm."""
+
+    def __init__(self, jobs: int = 2, backend: str = "thread",
+                 llm_seed: int = 0, cache=None):
+        if backend not in BACKENDS:
+            raise ValueError(f"unknown worker backend {backend!r}; "
+                             f"choose from {BACKENDS}")
+        self.jobs = max(1, int(jobs))
+        self.backend = backend
+        self.llm_seed = llm_seed
+        #: Shared step cache for thread-backend pipelines (e.g. the
+        #: service's ShardedResultCache); process workers keep their own.
+        self.cache = cache
+        self._lock = threading.Lock()
+        #: Serializes executor replacement against submits — concurrent
+        #: restart() calls must never hand a submit a just-shut-down
+        #: executor object without converting the failure.
+        self._executor_lock = threading.Lock()
+        self._pipelines: Dict[Tuple[str, int], LPOPipeline] = {}
+        self._constructions = 0
+        self._executor = None
+        self.start()
+
+    # -- lifecycle ---------------------------------------------------------
+    def _make_executor(self):
+        if self.backend == "process":
+            return ProcessPoolExecutor(
+                max_workers=self.jobs,
+                initializer=_process_worker_init,
+                initargs=(self.llm_seed,))
+        return ThreadPoolExecutor(
+            max_workers=self.jobs, thread_name_prefix="repro-worker")
+
+    def start(self) -> None:
+        with self._executor_lock:
+            self._executor = self._make_executor()
+
+    def restart(self) -> None:
+        """Replace a broken executor (thread pipelines stay warm)."""
+        with self._executor_lock:
+            old = self._executor
+            self._executor = self._make_executor()
+        if old is not None:
+            old.shutdown(wait=False)
+
+    def shutdown(self, wait: bool = True) -> None:
+        with self._executor_lock:
+            executor = self._executor
+        if executor is not None:
+            executor.shutdown(wait=wait)
+
+    # -- job execution -----------------------------------------------------
+    @staticmethod
+    def is_crash(exc: Optional[BaseException]) -> bool:
+        """Does this failure mean "the pool died", not "the job is bad"?"""
+        return isinstance(exc, (BrokenExecutor, WorkerCrashError))
+
+    def submit(self, spec: JobSpec) -> Future:
+        """Queue one job on the pool; raises :class:`WorkerCrashError`
+        when the pool is already broken (or mid-replacement) at submit
+        time."""
+        with self._executor_lock:
+            executor = self._executor
+        try:
+            if self.backend == "process":
+                return executor.submit(_process_worker_run, spec)
+            return executor.submit(self._thread_run, spec)
+        except (BrokenExecutor, RuntimeError) as exc:
+            # RuntimeError: the executor we grabbed was shut down by a
+            # concurrent restart() — same recovery as a broken pool.
+            raise WorkerCrashError(f"worker pool broken: {exc}") from exc
+
+    def run(self, spec: JobSpec) -> dict:
+        """Blocking convenience wrapper around :meth:`submit`."""
+        future = self.submit(spec)
+        try:
+            return future.result()
+        except BrokenExecutor as exc:
+            raise WorkerCrashError(f"worker pool broken: {exc}") from exc
+
+    def _pipeline(self, model: str, attempt_limit: int) -> LPOPipeline:
+        key = (model, attempt_limit)
+        with self._lock:
+            pipeline = self._pipelines.get(key)
+            if pipeline is None:
+                pipeline = _pipeline_for_spec(
+                    model, attempt_limit, self.llm_seed,
+                    cache=self.cache)
+                self._pipelines[key] = pipeline
+                self._constructions += 1
+        return pipeline
+
+    def _thread_run(self, spec: JobSpec) -> dict:
+        pipeline = self._pipeline(spec.model, spec.attempt_limit)
+        payload = _run_spec(pipeline, spec)
+        payload["worker"] = threading.current_thread().name
+        payload["pipeline_constructions"] = self._constructions
+        return payload
+
+    @property
+    def pipeline_constructions(self) -> int:
+        """Thread backend: exact pool-wide construction count.  Process
+        backend: per-worker counts arrive in each job payload instead
+        (``pipeline_constructions`` key)."""
+        return self._constructions

@@ -1,5 +1,8 @@
 """Tests for the command-line interface."""
 
+import threading
+import time
+
 import pytest
 
 from repro.cli import main
@@ -171,3 +174,98 @@ class TestBatchCommand:
                      "--rounds", "10", "--cache", cache])
         assert code == 0
         assert "cache saved" in capsys.readouterr().err
+
+
+@pytest.fixture()
+def served_port(tmp_path):
+    """A live ``repro serve`` instance on an ephemeral port."""
+    port_file = tmp_path / "port"
+    thread = threading.Thread(
+        target=main,
+        args=(["serve", "--port", "0", "--jobs", "2",
+               "--port-file", str(port_file)],),
+        daemon=True)
+    thread.start()
+    deadline = time.time() + 15
+    while time.time() < deadline:
+        if port_file.exists() and port_file.read_text().strip():
+            break
+        time.sleep(0.05)
+    else:
+        pytest.fail("service did not come up")
+    port = port_file.read_text().strip()
+    yield port
+    from repro.service import ServiceClient
+    with ServiceClient(int(port)) as client:
+        client.shutdown()
+    thread.join(timeout=15)
+
+
+class TestServiceCommands:
+    @pytest.fixture()
+    def module_file(self, tmp_path):
+        path = tmp_path / "m.ll"
+        path.write_text(BATCH_MODULE)
+        return str(path)
+
+    def test_submit_cold_then_cached(self, served_port, module_file,
+                                     capsys):
+        assert main(["submit", module_file,
+                     "--port", served_port]) == 0
+        first = capsys.readouterr()
+        assert "[worker]" in first.out
+        assert "0 served from cache" in first.err
+
+        assert main(["submit", module_file,
+                     "--port", served_port]) == 0
+        second = capsys.readouterr()
+        assert "[cache]" in second.out
+        assert "@two_chains" in second.out
+
+    def test_status_reports_metrics(self, served_port, module_file,
+                                    capsys):
+        main(["submit", module_file, "--port", served_port])
+        capsys.readouterr()
+        assert main(["status", "--port", served_port]) == 0
+        out = capsys.readouterr().out
+        assert "job cache:" in out
+        assert "latency: p50" in out
+        assert "2 workers" in out
+
+    def test_submit_unreachable_service(self, module_file, capsys):
+        assert main(["submit", module_file, "--port", "1"]) == 2
+        assert "cannot reach" in capsys.readouterr().err
+
+    def test_status_unreachable_service(self, capsys):
+        assert main(["status", "--port", "1"]) == 2
+        assert "cannot reach" in capsys.readouterr().err
+
+    def test_rq1_corpus_resubmission_10x_faster(self, served_port,
+                                                tmp_path, capsys):
+        # Acceptance: round-trip the rq1 corpus through serve/submit
+        # twice; the second pass is served from cache and >= 10x
+        # faster, visible in `repro status` metrics.
+        from repro.corpus.issues import rq1_cases
+        module_text = "\n".join(
+            case.src.replace("@src", f"@case{index}", 1)
+            for index, case in enumerate(rq1_cases()))
+        module = tmp_path / "rq1.ll"
+        module.write_text(module_text)
+
+        start = time.perf_counter()
+        main(["submit", str(module), "--port", served_port])
+        cold_wall = time.perf_counter() - start
+        capsys.readouterr()
+
+        start = time.perf_counter()
+        main(["submit", str(module), "--port", served_port])
+        warm_wall = time.perf_counter() - start
+        out = capsys.readouterr()
+        assert "[cache]" in out.out
+        assert "[worker]" not in out.out
+        assert warm_wall < cold_wall / 10
+
+        assert main(["status", "--port", served_port]) == 0
+        status_out = capsys.readouterr().out
+        windows = int(out.err.split(" jobs")[0])
+        assert f"job cache: {windows} hit" in status_out

@@ -1,0 +1,243 @@
+"""Tests for ResultCache bounding (LRU cap, age pruning, job entries)
+and the digest-prefix ShardedResultCache."""
+
+import time
+
+import pytest
+
+from repro.core import (
+    LPOPipeline,
+    PipelineConfig,
+    ResultCache,
+    ShardedResultCache,
+    window_from_text,
+)
+from repro.corpus.issues import rq1_cases
+from repro.llm import GEMINI20T, SimulatedLLM
+
+
+def put_n(cache, count, prefix="d"):
+    for index in range(count):
+        cache.put_job(f"{prefix}{index}", {"value": index})
+
+
+class TestLRUBound:
+    def test_cap_enforced(self):
+        cache = ResultCache(max_entries=4)
+        put_n(cache, 10)
+        assert len(cache) == 4
+        assert cache.stats.evictions == 6
+        # The newest entries survive.
+        assert cache.get_job("d9") == {"value": 9}
+        assert cache.get_job("d0") is None
+
+    def test_hit_refreshes_recency(self):
+        cache = ResultCache(max_entries=3)
+        put_n(cache, 3)
+        assert cache.get_job("d0") is not None    # refresh oldest
+        cache.put_job("d3", {"value": 3})          # evicts d1, not d0
+        assert cache.get_job("d0") is not None
+        assert cache.get_job("d1") is None
+
+    def test_overwrite_does_not_evict(self):
+        cache = ResultCache(max_entries=2)
+        put_n(cache, 2)
+        cache.put_job("d1", {"value": 99})
+        assert len(cache) == 2
+        assert cache.stats.evictions == 0
+        assert cache.get_job("d1") == {"value": 99}
+
+    def test_unbounded_when_none(self):
+        cache = ResultCache(max_entries=None)
+        put_n(cache, 500)
+        assert len(cache) == 500
+        assert cache.stats.evictions == 0
+
+    def test_opt_eviction_drops_function_memo(self):
+        cache = ResultCache(max_entries=1)
+        function = window_from_text(
+            "define i8 @f(i8 %x) {\n  ret i8 %x\n}").function
+        cache.put_opt("da", function)
+        cache.put_opt("db", function)      # evicts da
+        assert len(cache) == 1
+        assert cache._functions.keys() == {ResultCache._opt_key("db")}
+        assert cache.get_opt("da") is None
+
+    def test_eviction_survives_save_roundtrip(self, tmp_path):
+        path = tmp_path / "cache.json"
+        cache = ResultCache(path, max_entries=3)
+        put_n(cache, 5)
+        cache.save()
+        reloaded = ResultCache(path, max_entries=3)
+        assert len(reloaded) == 3
+
+
+class TestAgePruning:
+    def test_prune_drops_only_stale(self, monkeypatch):
+        now = [1000.0]
+        monkeypatch.setattr(time, "time", lambda: now[0])
+        cache = ResultCache(max_age_seconds=60)
+        cache.put_job("old", {"value": 0})
+        now[0] += 120
+        cache.put_job("new", {"value": 1})
+        assert cache.prune() == 1
+        assert cache.get_job("old") is None
+        assert cache.get_job("new") is not None
+        assert cache.stats.evictions == 1
+
+    def test_prune_without_limit_is_noop(self):
+        cache = ResultCache()
+        put_n(cache, 3)
+        assert cache.prune() == 0
+        assert len(cache) == 3
+
+    def test_explicit_age_overrides(self, monkeypatch):
+        now = [1000.0]
+        monkeypatch.setattr(time, "time", lambda: now[0])
+        cache = ResultCache()
+        cache.put_job("a", {"value": 0})
+        now[0] += 10
+        assert cache.prune(max_age_seconds=5) == 1
+
+    def test_save_applies_age_pruning(self, tmp_path, monkeypatch):
+        now = [1000.0]
+        monkeypatch.setattr(time, "time", lambda: now[0])
+        cache = ResultCache(tmp_path / "c.json", max_age_seconds=30)
+        cache.put_job("a", {"value": 0})
+        now[0] += 60
+        cache.put_job("b", {"value": 1})
+        cache.save()
+        reloaded = ResultCache(tmp_path / "c.json")
+        assert len(reloaded) == 1
+
+
+class TestJobEntries:
+    def test_job_hit_miss_accounting(self):
+        cache = ResultCache()
+        assert cache.get_job("x") is None
+        cache.put_job("x", {"found": True})
+        assert cache.get_job("x") == {"found": True}
+        assert cache.stats.job_misses == 1
+        assert cache.stats.job_hits == 1
+        assert cache.stats.hits == 1
+        assert "job 1 hit / 1 miss" in cache.stats.render()
+
+    def test_job_payload_is_copied(self):
+        cache = ResultCache()
+        payload = {"found": True}
+        cache.put_job("x", payload)
+        payload["found"] = False
+        got = cache.get_job("x")
+        assert got == {"found": True}
+        got["found"] = False
+        assert cache.get_job("x") == {"found": True}
+
+    def test_unparseable_opt_entry_becomes_miss(self):
+        # A persisted entry whose text no longer parses (stale format,
+        # hand edits) must degrade to a miss, not crash the lookup.
+        cache = ResultCache()
+        cache.merge({ResultCache._opt_key("d"):
+                     {"ok": True, "text": "define junk ("}})
+        assert cache.get_opt("d") is None
+        assert cache.stats.opt_misses == 1
+        assert cache.stats.opt_hits == 0
+        assert len(cache) == 0          # the bad entry was dropped
+
+    def test_job_entries_persist(self, tmp_path):
+        path = tmp_path / "jobs.json"
+        cache = ResultCache(path)
+        cache.put_job("x", {"status": "found", "found": True})
+        cache.save()
+        assert ResultCache(path).get_job("x")["status"] == "found"
+
+
+class TestShardedCache:
+    def test_routes_and_aggregates(self):
+        cache = ShardedResultCache(shards=8)
+        put_n(cache, 64)
+        assert len(cache) == 64
+        assert sum(cache.shard_sizes()) == 64
+        # Digest-prefix routing spreads entries over multiple shards.
+        assert sum(1 for size in cache.shard_sizes() if size > 0) > 1
+        for index in range(64):
+            assert cache.get_job(f"d{index}") == {"value": index}
+        stats = cache.stats
+        assert stats.job_hits == 64
+        assert stats.job_misses == 0
+
+    def test_routing_is_stable(self):
+        a = ShardedResultCache(shards=8)
+        b = ShardedResultCache(shards=8)
+        a.put_job("digest", {"value": 1})
+        b.merge(a.export())
+        assert b.get_job("digest") == {"value": 1}
+        assert a.shard_sizes() == b.shard_sizes()
+
+    def test_total_cap_divided_across_shards(self):
+        cache = ShardedResultCache(shards=4, max_entries=8)
+        put_n(cache, 100)
+        assert all(size <= 2 for size in cache.shard_sizes())
+        assert cache.stats.evictions > 0
+
+    def test_fold_stats_included_in_aggregate(self):
+        cache = ShardedResultCache(shards=2)
+        delta = ResultCache().stats
+        delta.opt_hits = 7
+        cache.fold_stats(delta)
+        assert cache.stats.opt_hits == 7
+
+    def test_save_load_roundtrip(self, tmp_path):
+        cache = ShardedResultCache(shards=4, path=tmp_path / "shards")
+        put_n(cache, 32)
+        cache.save()
+        # A different shard count re-routes entries by key.
+        reloaded = ShardedResultCache(shards=2)
+        assert reloaded.load(tmp_path / "shards") == 32
+        assert len(reloaded) == 32
+        assert reloaded.get_job("d7") == {"value": 7}
+
+    def test_reopen_with_different_shard_count_reroutes(self,
+                                                        tmp_path):
+        writer = ShardedResultCache(shards=8, path=tmp_path / "dir")
+        put_n(writer, 32)
+        writer.save()
+        # Reopening through the constructor re-routes entries by key,
+        # so a changed shard count can't orphan persisted entries.
+        reopened = ShardedResultCache(shards=3, path=tmp_path / "dir")
+        assert len(reopened) == 32
+        for index in range(32):
+            assert reopened.get_job(f"d{index}") == {"value": index}
+
+    def test_prune_across_shards(self, monkeypatch):
+        now = [1000.0]
+        monkeypatch.setattr(time, "time", lambda: now[0])
+        cache = ShardedResultCache(shards=4, max_age_seconds=10)
+        put_n(cache, 16)
+        now[0] += 60
+        assert cache.prune() == 16
+        assert len(cache) == 0
+
+
+class TestPipelineWithShardedCache:
+    def test_batch_results_identical_to_plain_cache(self):
+        windows = [window_from_text(case.src)
+                   for case in rq1_cases()[:4]]
+
+        def fingerprint(results):
+            return [(r.status, r.window.digest, r.candidate_text)
+                    for r in results]
+
+        plain = LPOPipeline(SimulatedLLM(GEMINI20T),
+                            PipelineConfig(attempt_limit=2))
+        sharded = LPOPipeline(SimulatedLLM(GEMINI20T),
+                              PipelineConfig(attempt_limit=2),
+                              cache=ShardedResultCache(shards=4))
+        expected = plain.run_batch(windows, round_seed=0, jobs=2)
+        observed = sharded.run_batch(windows, round_seed=0, jobs=2)
+        assert fingerprint(observed) == fingerprint(expected)
+        # The batch delta is visible through the aggregated stats.
+        assert observed.stats.cache.misses > 0
+        rerun = sharded.run_batch(windows, round_seed=0, jobs=2)
+        assert fingerprint(rerun) == fingerprint(expected)
+        assert rerun.stats.cache.misses == 0
+        assert rerun.stats.cache.hits > 0

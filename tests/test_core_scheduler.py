@@ -1,5 +1,7 @@
 """Tests for the batch scheduler and the digest-keyed result cache."""
 
+import os
+
 import pytest
 
 import repro.core.pipeline as pipeline_module
@@ -220,6 +222,84 @@ class TestResultCachePersistence:
         assert cached.counterexample is None
         assert (cached.status, cached.method, cached.counter_example) \
             == (fresh.status, fresh.method, fresh.counter_example)
+
+
+#: Worker-side state for the initializer tests (module level so the
+#: process pool can pickle the functions by reference).
+_INIT_STATE: dict = {}
+
+
+def _scheduler_init(tag):
+    if _INIT_STATE.get("pid") != os.getpid():
+        _INIT_STATE.clear()
+        _INIT_STATE["pid"] = os.getpid()
+    _INIT_STATE["count"] = _INIT_STATE.get("count", 0) + 1
+    _INIT_STATE["tag"] = tag
+
+
+def _scheduler_probe(item):
+    return (os.getpid(), _INIT_STATE["count"], _INIT_STATE["tag"], item)
+
+
+class TestSchedulerInitializer:
+    def test_initializer_runs_once_per_process_worker(self):
+        scheduler = BatchScheduler(jobs=2, backend="process")
+        outcomes = scheduler.map(_scheduler_probe, list(range(8)),
+                                 initializer=_scheduler_init,
+                                 initargs=("warm",))
+        assert [item for _, _, _, item in outcomes] == list(range(8))
+        pids = {pid for pid, _, _, _ in outcomes}
+        assert 1 <= len(pids) <= 2
+        # Every task saw exactly one initialization in its worker —
+        # state was built once per worker, not once per task.
+        assert all(count == 1 for _, count, _, _ in outcomes)
+        assert all(tag == "warm" for _, _, tag, _ in outcomes)
+
+    def test_serial_fallback_still_initializes(self):
+        _INIT_STATE.clear()
+        scheduler = BatchScheduler(jobs=1, backend="thread")
+        outcomes = scheduler.map(_scheduler_probe, [1],
+                                 initializer=_scheduler_init,
+                                 initargs=("serial",))
+        assert outcomes == [(os.getpid(), 1, "serial", 1)]
+
+
+class TestProcessInitializer:
+    """The process backend builds each worker's pipeline once."""
+
+    def test_constructions_counted_per_worker(self, windows):
+        pipeline = make_pipeline()
+        batch = pipeline.run_batch(windows, round_seed=0, jobs=2,
+                                   backend="process")
+        # One construction per live worker — strictly fewer than the
+        # six tasks a per-task pickle design would pay.
+        assert 1 <= batch.stats.pipeline_constructions <= 2
+        assert batch.stats.pipeline_constructions < len(windows)
+        assert "pipeline construction" in batch.stats.render()
+
+    def test_thread_backend_reports_no_constructions(self, windows):
+        batch = make_pipeline().run_batch(windows[:2], round_seed=0,
+                                          jobs=2)
+        assert batch.stats.pipeline_constructions == 0
+
+    def test_pipeline_never_crosses_pickle_boundary(self, windows,
+                                                    monkeypatch):
+        def boom(self):
+            raise AssertionError(
+                "LPOPipeline must not be pickled per task")
+
+        monkeypatch.setattr(LPOPipeline, "__getstate__", boom,
+                            raising=False)
+        sequential = make_pipeline().run(windows[:4], round_seed=0)
+        batch = make_pipeline().run_batch(windows[:4], round_seed=0,
+                                          jobs=2, backend="process")
+        assert fingerprint(batch) == fingerprint(sequential)
+
+    def test_initializer_results_match_serial(self, windows):
+        sequential = make_pipeline().run(windows, round_seed=2)
+        batch = make_pipeline().run_batch(windows, round_seed=2,
+                                          jobs=2, backend="process")
+        assert fingerprint(batch) == fingerprint(sequential)
 
 
 class TestProcessBackend:

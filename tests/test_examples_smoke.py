@@ -37,6 +37,13 @@ def test_case_studies(monkeypatch, capsys):
     assert "crash" in out                # Minotaur on the FP case
 
 
+def test_service_demo(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "service_demo.py")
+    assert "served from cache" in out
+    assert "latency: p50" in out
+    assert "service stopped cleanly" in out
+
+
 def test_reproduce_tables_figure5(monkeypatch, capsys):
     out = run_example(monkeypatch, capsys, "reproduce_tables.py",
                       argv=["figure5"])

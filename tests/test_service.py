@@ -1,0 +1,486 @@
+"""Tests for the persistent optimization service: protocol, metrics,
+queueing/backpressure, cache-served resubmission, worker-crash requeue,
+and the JSON-lines socket front end."""
+
+import threading
+import time
+
+import pytest
+
+from repro.core import LPOPipeline, PipelineConfig, window_from_text
+from repro.corpus.issues import rq1_cases
+from repro.errors import ReproError
+from repro.llm import GEMINI20T, SimulatedLLM
+from repro.service import (
+    JobResult,
+    JobSpec,
+    OptimizationService,
+    ProtocolError,
+    ServiceBusyError,
+    ServiceClient,
+    ServiceMetrics,
+    ServiceServer,
+    WorkerCrashError,
+    decode_line,
+    encode_line,
+    job_digest,
+    result_from_wire,
+    result_to_wire,
+    spec_from_wire,
+    spec_to_wire,
+)
+from repro.service.metrics import percentile
+
+IR = "define i8 @f(i8 %x) {\n  %a = add i8 %x, 0\n  ret i8 %a\n}"
+
+
+@pytest.fixture()
+def corpus_irs():
+    return [case.src for case in rq1_cases()[:6]]
+
+
+def make_service(**kwargs):
+    kwargs.setdefault("jobs", 2)
+    kwargs.setdefault("backend", "thread")
+    return OptimizationService(**kwargs)
+
+
+class TestProtocol:
+    def test_spec_roundtrip(self):
+        spec = JobSpec(ir=IR, model="GPT-4.1", round_seed=3,
+                       attempt_limit=1, job_id="j1", tag="t")
+        assert spec_from_wire(decode_line(
+            encode_line(spec_to_wire(spec)))) == spec
+
+    def test_result_roundtrip(self):
+        result = JobResult(job_id="j1", ok=True, status="found",
+                           found=True, candidate_text="ret", cached=True,
+                           retries=1, elapsed_seconds=0.5, tag="t")
+        assert result_from_wire(decode_line(
+            encode_line(result_to_wire(result)))) == result
+
+    @pytest.mark.parametrize("line", [
+        b"not json\n", b"[1,2]\n", b'{"no": "type"}\n'])
+    def test_bad_lines_rejected(self, line):
+        with pytest.raises(ProtocolError):
+            decode_line(line)
+
+    def test_unknown_spec_field_rejected(self):
+        message = spec_to_wire(JobSpec(ir=IR))
+        message["job"]["bogus"] = 1
+        with pytest.raises(ProtocolError):
+            spec_from_wire(message)
+
+    def test_empty_ir_rejected(self):
+        message = spec_to_wire(JobSpec(ir="  "))
+        with pytest.raises(ProtocolError):
+            spec_from_wire(message)
+
+    def test_digest_is_structural(self):
+        spaced = IR.replace("  %a", "      %a")
+        assert job_digest(JobSpec(ir=IR)) == job_digest(
+            JobSpec(ir=spaced))
+
+    def test_digest_covers_knobs_not_correlation(self):
+        base = JobSpec(ir=IR)
+        assert job_digest(base) != job_digest(
+            JobSpec(ir=IR, model="GPT-4.1"))
+        assert job_digest(base) != job_digest(
+            JobSpec(ir=IR, round_seed=1))
+        assert job_digest(base) != job_digest(
+            JobSpec(ir=IR, attempt_limit=1))
+        assert job_digest(base) == job_digest(
+            JobSpec(ir=IR, job_id="x", tag="y"))
+
+    def test_digest_of_malformed_ir_still_keys(self):
+        assert job_digest(JobSpec(ir="garbage")) != job_digest(
+            JobSpec(ir="other garbage"))
+
+    def test_digest_covers_llm_seed(self):
+        # A persisted job cache must never answer for a service
+        # running with a different sampling seed.
+        spec = JobSpec(ir=IR)
+        assert job_digest(spec, llm_seed=0) != job_digest(spec,
+                                                          llm_seed=7)
+
+
+class TestMetrics:
+    def test_percentile_nearest_rank(self):
+        assert percentile([], 0.5) == 0.0
+        assert percentile([5.0], 0.99) == 5.0
+        samples = list(range(1, 101))
+        assert percentile(samples, 0.50) == 50
+        assert percentile(samples, 0.99) == 99
+
+    def test_lifecycle_counters(self):
+        metrics = ServiceMetrics()
+        metrics.record_submitted()
+        metrics.record_dispatched()
+        metrics.record_completed(0.25, cached=False, ok=True)
+        metrics.record_submitted()
+        metrics.record_completed(0.001, cached=True, ok=True,
+                                 dispatched=False)
+        metrics.record_rejected()
+        assert metrics.submitted == 2
+        assert metrics.completed == 2
+        assert metrics.rejected == 1
+        assert metrics.in_flight == 0
+        assert metrics.cache_hit_rate == 0.5
+        snap = metrics.to_dict()
+        assert snap["latency"]["p50"] > 0
+        assert "jobs/s" in metrics.render()
+
+    def test_queue_gauge_binding(self):
+        metrics = ServiceMetrics()
+        metrics.bind_queue_depth(lambda: 7)
+        assert metrics.to_dict()["queue_depth"] == 7
+
+
+class TestServiceEndToEnd:
+    def test_results_match_pipeline(self, corpus_irs):
+        reference = LPOPipeline(SimulatedLLM(GEMINI20T),
+                                PipelineConfig(attempt_limit=2))
+        expected = reference.run(
+            [window_from_text(ir) for ir in corpus_irs], round_seed=0)
+        with make_service() as service:
+            results = service.run_many(
+                [JobSpec(ir=ir) for ir in corpus_irs])
+        for want, got in zip(expected, results):
+            assert got.ok
+            assert got.status == want.status
+            assert got.found == want.found
+            assert got.candidate_text == want.candidate_text
+
+    def test_resubmission_served_from_cache(self, corpus_irs):
+        with make_service() as service:
+            specs = [JobSpec(ir=ir) for ir in corpus_irs]
+            start = time.perf_counter()
+            cold = service.run_many(specs)
+            cold_wall = time.perf_counter() - start
+            assert not any(r.cached for r in cold)
+
+            service.drain(timeout=10)
+            start = time.perf_counter()
+            warm = service.run_many([JobSpec(ir=ir)
+                                     for ir in corpus_irs])
+            warm_wall = time.perf_counter() - start
+
+            assert all(r.cached for r in warm)
+            assert [r.status for r in warm] == [r.status for r in cold]
+            assert ([r.candidate_text for r in warm]
+                    == [r.candidate_text for r in cold])
+            # Acceptance: the cached pass is >= 10x faster and the
+            # metrics show it.
+            assert warm_wall < cold_wall / 10
+            status = service.status()
+            assert status["cache_hits"] == len(corpus_irs)
+            assert status["cache_misses"] == len(corpus_irs)
+            assert status["completed"] == 2 * len(corpus_irs)
+
+    def test_submit_drain_resubmit(self, corpus_irs):
+        with make_service() as service:
+            ids = [service.submit(JobSpec(ir=ir)) for ir in corpus_irs]
+            assert service.drain(timeout=30)
+            first = [service.result(job_id, timeout=1)
+                     for job_id in ids]
+            again = service.run_many([JobSpec(ir=ir)
+                                      for ir in corpus_irs])
+            assert all(r.cached for r in again)
+            assert [r.status for r in again] == [r.status
+                                                 for r in first]
+
+    def test_pipelines_warm_across_jobs(self, corpus_irs):
+        with make_service(jobs=2) as service:
+            service.run_many([JobSpec(ir=ir) for ir in corpus_irs])
+            status = service.status()
+            # One pipeline per (model, attempt_limit), not per job.
+            assert status["pipeline_constructions"] == 1
+
+    def test_error_jobs_report_not_crash(self):
+        with make_service() as service:
+            result = service.run(JobSpec(ir="define i8 @f( {"))
+            assert not result.ok
+            assert result.status == "error"
+            assert result.error          # the opt/parse diagnostic
+            assert service.metrics.failed == 1
+
+    def test_unknown_model_is_job_error(self):
+        with make_service() as service:
+            result = service.run(JobSpec(ir=IR, model="GPT-9"))
+            assert not result.ok
+            assert "unknown model" in result.error
+
+    def test_unknown_job_id_rejected(self):
+        with make_service() as service:
+            with pytest.raises(ReproError):
+                service.result("job-999999", timeout=0.1)
+
+    def test_duplicate_job_id_rejected(self):
+        with make_service() as service:
+            service.submit(JobSpec(ir=IR, job_id="dup"))
+            with pytest.raises(ReproError):
+                service.submit(JobSpec(ir=IR, job_id="dup"))
+            service.result("dup", timeout=30)
+
+    def test_closed_service_rejects_submits(self):
+        service = make_service()
+        service.close()
+        with pytest.raises(ReproError):
+            service.submit(JobSpec(ir=IR))
+
+    def test_identical_inflight_jobs_single_flight(self):
+        with make_service(jobs=2) as service:
+            real_submit = service.pool.submit
+            dispatched = []
+
+            def counting(spec):
+                dispatched.append(spec.job_id)
+                return real_submit(spec)
+
+            service.pool.submit = counting
+            ids = [service.submit(JobSpec(ir=IR)) for _ in range(4)]
+            results = [service.result(job_id, timeout=30)
+                       for job_id in ids]
+            # One dispatch served all four identical jobs.
+            assert len(dispatched) == 1
+            assert all(r.ok for r in results)
+            assert len({r.candidate_text for r in results}) == 1
+            assert sum(r.cached for r in results) == 3
+
+    def test_job_cache_entry_count_excludes_step_entries(self):
+        with make_service(jobs=1) as service:
+            service.run(JobSpec(ir=IR))
+            status = service.status()
+            # Thread workers share the sharded store for opt/verify
+            # steps; the job-cache gauge must count only job entries.
+            assert status["job_cache_entries"] == 1
+            assert len(service.cache) > 1
+
+    def test_malformed_cached_job_entry_is_recomputed(self):
+        from repro.service.protocol import job_digest as digest_fn
+        with make_service(jobs=1) as service:
+            spec = JobSpec(ir=IR)
+            digest = digest_fn(spec, llm_seed=service.pool.llm_seed)
+            service.cache.put_job(digest, {"bogus": True})
+            result = service.run(spec, timeout=30)
+            assert result.ok
+            assert not result.cached      # recomputed, not crashed
+
+    def test_process_backend_end_to_end(self, corpus_irs):
+        with make_service(jobs=2, backend="process") as service:
+            cold = service.run_many([JobSpec(ir=ir)
+                                     for ir in corpus_irs[:3]])
+            warm = service.run_many([JobSpec(ir=ir)
+                                     for ir in corpus_irs[:3]])
+            assert all(r.ok for r in cold)
+            assert all(r.cached for r in warm)
+            status = service.status()
+            # Pipelines were built per worker process, not per job.
+            assert 1 <= status["pipeline_constructions"] <= 2
+
+
+class TestBackpressure:
+    def test_queue_full_submit_raises_busy(self):
+        import concurrent.futures
+        service = make_service(jobs=1, queue_limit=1)
+        try:
+            held = concurrent.futures.Future()
+            service.pool.submit = lambda spec: held
+            service.submit(JobSpec(ir=IR))            # in flight
+            deadline = time.time() + 5
+            while (service.metrics.in_flight == 0
+                   and time.time() < deadline):
+                time.sleep(0.01)
+            service.submit(JobSpec(ir=IR, round_seed=1))  # queued
+            with pytest.raises(ServiceBusyError):
+                service.submit(JobSpec(ir=IR, round_seed=2),
+                               timeout=0)
+            assert service.metrics.rejected == 1
+            held.set_result({"found": False, "status": "no attempts",
+                             "candidate_text": "",
+                             "elapsed_seconds": 0.0, "attempts": 0,
+                             "worker": "w",
+                             "pipeline_constructions": 1})
+            assert service.drain(timeout=10)
+        finally:
+            service.close()
+
+
+class TestWorkerCrashRequeue:
+    def test_crash_once_requeues_and_completes(self):
+        with make_service(jobs=1, max_retries=2) as service:
+            real_submit = service.pool.submit
+            calls = []
+
+            def flaky(spec):
+                calls.append(spec.job_id)
+                if len(calls) == 1:
+                    raise WorkerCrashError("induced crash")
+                return real_submit(spec)
+
+            service.pool.submit = flaky
+            result = service.run(JobSpec(ir=IR), timeout=30)
+            assert result.ok
+            assert result.retries == 1
+            assert len(calls) == 2
+            assert service.metrics.requeued == 1
+            assert service.metrics.completed == 1
+
+    def test_persistent_crash_fails_after_retries(self):
+        with make_service(jobs=1, max_retries=1) as service:
+            def dead(spec):
+                raise WorkerCrashError("pool is gone")
+
+            service.pool.submit = dead
+            result = service.run(JobSpec(ir=IR), timeout=30)
+            assert not result.ok
+            assert "crashed 2x" in result.error
+            assert service.metrics.requeued == 1
+            assert service.metrics.failed == 1
+            assert service.metrics.in_flight == 0
+
+    def test_broken_future_requeues(self):
+        from concurrent.futures.process import BrokenProcessPool
+        with make_service(jobs=1, max_retries=2) as service:
+            real_submit = service.pool.submit
+            restarts = []
+            service.pool.restart = lambda: restarts.append(True)
+            state = {"first": True}
+
+            def broken_then_fine(spec):
+                import concurrent.futures
+                if state["first"]:
+                    state["first"] = False
+                    future = concurrent.futures.Future()
+                    future.set_exception(
+                        BrokenProcessPool("worker died"))
+                    return future
+                return real_submit(spec)
+
+            service.pool.submit = broken_then_fine
+            result = service.run(JobSpec(ir=IR), timeout=30)
+            assert result.ok
+            assert result.retries == 1
+            assert restarts == [True]
+
+    def test_submit_after_pool_shutdown_is_crash(self):
+        from repro.service import WorkerPool
+        pool = WorkerPool(jobs=1, backend="thread")
+        pool.shutdown(wait=True)
+        with pytest.raises(WorkerCrashError):
+            pool.submit(JobSpec(ir=IR))
+
+    def test_is_crash_classification(self):
+        from concurrent.futures import BrokenExecutor
+        assert WorkerPoolIsCrash(BrokenExecutor())
+        assert WorkerPoolIsCrash(WorkerCrashError("x"))
+        assert not WorkerPoolIsCrash(ValueError("x"))
+        assert not WorkerPoolIsCrash(None)
+
+
+def WorkerPoolIsCrash(exc):
+    from repro.service import WorkerPool
+    return WorkerPool.is_crash(exc)
+
+
+class TestSocketServer:
+    @pytest.fixture()
+    def live(self):
+        service = make_service()
+        server = ServiceServer(service)
+        port = server.start_background()
+        yield service, server, port
+        server.stop()
+        service.close()
+
+    def test_submit_roundtrip(self, live):
+        _service, _server, port = live
+        with ServiceClient(port) as client:
+            cold = client.submit_ir(IR)
+            warm = client.submit_ir(IR)
+        assert cold.ok and warm.ok
+        assert not cold.cached and warm.cached
+        assert warm.status == cold.status
+
+    def test_pipelined_batch_matches_order(self, live, corpus_irs):
+        _service, _server, port = live
+        with ServiceClient(port) as client:
+            results = client.submit_many(
+                [JobSpec(ir=ir, tag=f"w{index}")
+                 for index, ir in enumerate(corpus_irs)])
+        assert [r.tag for r in results] == [f"w{index}" for index
+                                            in range(len(corpus_irs))]
+        assert all(r.ok for r in results)
+
+    def test_status_over_socket(self, live):
+        _service, _server, port = live
+        with ServiceClient(port) as client:
+            client.submit_ir(IR)
+            status = client.status()
+        assert status["submitted"] == 1
+        assert status["workers"] == 2
+        assert "latency" in status
+
+    def test_malformed_line_gets_error_reply(self, live):
+        _service, _server, port = live
+        import socket as socket_module
+        with socket_module.create_connection(("127.0.0.1", port),
+                                             timeout=10) as sock:
+            sock.sendall(b"this is not json\n")
+            reply = decode_line(sock.makefile("rb").readline())
+        assert reply["type"] == "error"
+
+    def test_oversized_line_gets_error_reply(self, live):
+        from repro.service.server import _WIRE_LIMIT
+        _service, _server, port = live
+        import socket as socket_module
+        with socket_module.create_connection(("127.0.0.1", port),
+                                             timeout=30) as sock:
+            sock.sendall(b"x" * (_WIRE_LIMIT + 1024) + b"\n")
+            reply = decode_line(sock.makefile("rb").readline())
+        assert reply["type"] == "error"
+        assert "limit" in reply["message"]
+
+    def test_unknown_type_gets_error_reply(self, live):
+        _service, _server, port = live
+        import socket as socket_module
+        with socket_module.create_connection(("127.0.0.1", port),
+                                             timeout=10) as sock:
+            sock.sendall(encode_line({"type": "dance"}))
+            reply = decode_line(sock.makefile("rb").readline())
+        assert reply["type"] == "error"
+        assert "dance" in reply["message"]
+
+    def test_bind_failure_reported_immediately(self, live):
+        _service, _server, port = live
+        clashing = make_service()
+        try:
+            doomed = ServiceServer(clashing, port=port)
+            start = time.perf_counter()
+            with pytest.raises(ReproError, match="failed to come up"):
+                doomed.start_background()
+            # The bind error surfaces at once, not via timeout.
+            assert time.perf_counter() - start < 5
+        finally:
+            clashing.close()
+
+    def test_shutdown_message_stops_server(self):
+        service = make_service()
+        server = ServiceServer(service)
+        port = server.start_background()
+        try:
+            with ServiceClient(port) as client:
+                client.shutdown()
+            server.join(timeout=10)
+            assert not server._thread.is_alive()
+        finally:
+            server.stop()
+            service.close()
+
+    def test_two_clients_share_the_cache(self, live):
+        _service, _server, port = live
+        with ServiceClient(port) as first:
+            first.submit_ir(IR)
+        with ServiceClient(port) as second:
+            result = second.submit_ir(IR)
+        assert result.cached
