@@ -1,0 +1,107 @@
+"""Campaign throughput benchmark: cold vs warm campaign wall-clock.
+
+Runs an rq1-style campaign (the full 25-issue corpus, one model, LPO−
+and LPO legs, 2 rounds — 100 window-jobs) through the service three
+ways: cold in-process (every job pays the LPO loop), warm in-process
+(every job served from the sharded job cache), and warm over the
+JSON-lines socket (cache hits plus wire framing and the server-side
+campaign expansion).  Records the walls and per-round detections into
+``benchmarks/results/campaign_throughput.txt`` with the standard
+``[env]`` machine header.
+
+Matrix equivalence across passes is asserted, not just timed, and the
+warm pass must beat cold by >= 10x (the cache-served resubmission bar).
+"""
+
+import time
+
+import pytest
+
+from repro.corpus.issues import rq1_cases
+from repro.service import (
+    CampaignSpec,
+    OptimizationService,
+    ServiceClient,
+    ServiceServer,
+)
+
+ROUNDS = 2
+MODELS = ["Gemini2.0T"]
+
+
+@pytest.fixture(scope="module")
+def campaign_spec():
+    cases = rq1_cases()
+    return CampaignSpec(windows=[case.src for case in cases],
+                        case_ids=[str(case.issue_id) for case in cases],
+                        rounds=ROUNDS, models=MODELS,
+                        variants=[["LPO-", 1], ["LPO", 2]])
+
+
+def test_bench_campaign_throughput(campaign_spec, bench_jobs,
+                                   save_artifact):
+    service = OptimizationService(jobs=bench_jobs, backend="thread")
+    server = ServiceServer(service)
+    port = server.start_background()
+    try:
+        start = time.perf_counter()
+        cold = service.run_campaign(campaign_spec)
+        cold_wall = time.perf_counter() - start
+
+        start = time.perf_counter()
+        warm = service.run_campaign(campaign_spec)
+        warm_wall = time.perf_counter() - start
+
+        with ServiceClient(port, timeout=600) as client:
+            start = time.perf_counter()
+            socket_warm = client.submit_campaign(campaign_spec)
+            socket_wall = time.perf_counter() - start
+
+        status = service.status()
+    finally:
+        server.stop()
+        service.close()
+
+    # Equivalence before throughput: all passes agree on the matrix.
+    assert cold.ok and warm.ok and socket_warm.ok
+    assert warm.counts == cold.counts
+    assert socket_warm.counts == cold.counts
+    assert warm.cached_jobs == warm.jobs
+    assert socket_warm.cached_jobs == socket_warm.jobs
+
+    legs = len(MODELS) * 2
+    detected = {key: sum(1 for count in counts.values() if count > 0)
+                for key, counts in cold.counts.items()}
+    lines = [
+        f"rq1 campaign: {len(campaign_spec.windows)} issues x "
+        f"{ROUNDS} rounds x {legs} legs = {cold.jobs} jobs per pass "
+        f"(thread backend, jobs={bench_jobs})",
+        f"cold in-process:  {cold_wall:8.2f}s  "
+        f"{cold.jobs / cold_wall:8.1f} jobs/s "
+        f"(every job runs the LPO loop)",
+        f"warm in-process:  {warm_wall:8.3f}s  "
+        f"{warm.jobs / max(warm_wall, 1e-9):8.1f} jobs/s "
+        f"(x{cold_wall / max(warm_wall, 1e-9):.0f} vs cold; all "
+        f"served from the job cache)",
+        f"warm over socket: {socket_wall:8.3f}s  "
+        f"{socket_warm.jobs / max(socket_wall, 1e-9):8.1f} jobs/s "
+        f"(campaign expanded server-side on top of cache hits)",
+        f"issues detected (of {len(campaign_spec.windows)}): "
+        + ", ".join(f"{key}: {count}" for key, count
+                    in sorted(detected.items())),
+        f"detections per round: "
+        + "; ".join(f"{key}: {rounds}" for key, rounds
+                    in sorted(cold.detections_per_round.items())),
+        f"campaign job latency (cold): "
+        f"p50 {cold.latency['p50'] * 1e3:.1f}ms "
+        f"p90 {cold.latency['p90'] * 1e3:.1f}ms "
+        f"p99 {cold.latency['p99'] * 1e3:.1f}ms",
+        f"campaigns run: "
+        f"{status['campaigns']['completed']} completed, "
+        f"{status['campaigns']['rounds_completed']} leg-rounds, "
+        f"{status['campaigns']['detections']} detections counted",
+    ]
+    save_artifact("campaign_throughput", "\n".join(lines))
+
+    # Guard rails: warm campaigns are cache-served and >= 10x faster.
+    assert warm_wall < cold_wall / 10

@@ -1,0 +1,16 @@
+#!/usr/bin/env sh
+# Fast pre-commit tier: the full test suite minus benchmarks/.
+#
+# Tier 1 (the release bar) is everything pytest collects from the repo
+# root — tests/ AND benchmarks/ — and regenerates every
+# benchmarks/results/*.txt artifact (~10+ minutes on a small host):
+#
+#     PYTHONPATH=src python -m pytest -x -q
+#
+# This script is the quick loop for day-to-day edits (a few minutes):
+# identical flags, benchmarks excluded.  Extra arguments are passed
+# through to pytest (e.g. scripts/check.sh -k service).
+set -e
+cd "$(dirname "$0")/.."
+PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}" \
+    exec python -m pytest tests -x -q "$@"

@@ -15,9 +15,16 @@ Commands mirror the toolchain pieces the paper composes:
   JSON-lines TCP daemon with a bounded job queue, warm per-worker
   pipelines, and a sharded job cache;
 * ``submit FILE``    — extract every window of a module and submit them
-  to a running service (pipelined over one connection);
+  to a running service (pipelined over one connection); with
+  ``--watch DIR`` it instead streams newly appearing ``.ll`` files to
+  the service (backpressure-aware), and with ``--stdin`` it reads
+  module paths from stdin as they arrive;
+* ``campaign``       — submit an rq1-style multi-round campaign (all
+  models × LPO−/LPO × rounds) to a running service and render the
+  returned detection matrix;
 * ``status``         — print a running service's metrics (request
-  counts, queue depth, latency percentiles, cache hit rate);
+  counts, queue depth, latency percentiles, cache hit rate, campaign
+  progress);
 * ``souper FILE`` / ``minotaur FILE`` — the baseline superoptimizers;
 * ``tables NAME``    — regenerate a paper table/figure.
 
@@ -26,7 +33,13 @@ Service example (two shells, or background the first)::
     $ repro serve --port 7777 --jobs 4 &
     $ repro submit module.ll --port 7777     # cold: runs the LPO loop
     $ repro submit module.ll --port 7777     # warm: served from cache
+    $ repro submit --watch drops/ --port 7777 &   # stream new files
+    $ repro campaign --port 7777 --rounds 5  # Table 2, server-side
     $ repro status --port 7777               # hit rate, p50/p90/p99, ...
+
+``submit`` exits 0 on a clean run even when nothing was found (pass
+``--fail-on-empty`` for the old grep-like behavior); nonzero means a
+transport or job error.
 """
 
 from __future__ import annotations
@@ -196,37 +209,236 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
-def cmd_submit(args: argparse.Namespace) -> int:
+#: Watch/stdin pacing: stop feeding the service while its queue is
+#: deeper than this (backpressure-aware streaming).
+_WATCH_QUEUE_SOFT_LIMIT = 32
+
+
+def _module_specs(text: str, args: argparse.Namespace):
+    """Extract a module's windows and wrap them as job specs."""
     from repro.core import extract_from_corpus
     from repro.ir import parse_module, print_function
-    from repro.service import JobSpec, ServiceClient
-    module = parse_module(_read(args.file))
+    from repro.service import JobSpec
+    module = parse_module(text)
     windows = extract_from_corpus([module])
-    if not windows:
-        print("no windows extracted", file=sys.stderr)
-        return 1
     specs = [JobSpec(ir=print_function(window.function),
                      model=args.model, round_seed=args.seed,
                      attempt_limit=args.attempts)
              for window in windows]
-    with ServiceClient(args.port, host=args.host,
-                       timeout=args.timeout) as client:
-        results = client.submit_many(specs)
-    found = 0
+    return windows, specs
+
+
+def _print_results(windows, results) -> tuple:
+    """Render one batch of job results; returns (found, errors)."""
+    found = errors = 0
     for window, result in zip(windows, results):
         origin = "cache" if result.cached else "worker"
         line = (f"@{window.source_function} %{window.source_block}: "
                 f"{result.status} [{origin}]")
         if not result.ok:
             line += f" ({result.error})"
+            errors += 1
         print(line)
         if result.found:
             found += 1
             print(result.candidate_text)
-    hits = sum(r.cached for r in results)
-    print(f"{len(results)} jobs, {found} found, {hits} served from "
-          f"cache", file=sys.stderr)
-    return 0 if found else 1
+    return found, errors
+
+
+#: How many polls a watched file that fails to read/parse is retried
+#: (it may be mid-write) before it is given up on.
+_WATCH_PARSE_RETRIES = 5
+
+
+def _ingest_file(client, path: pathlib.Path,
+                 args: argparse.Namespace) -> tuple:
+    """Submit one module file; returns (found, errors, jobs).
+
+    Raises OSError/ParseError for an unreadable or unparseable file —
+    the caller decides whether to retry (watch mode: the file may
+    still be mid-write) or count it as an error (stdin mode)."""
+    windows, specs = _module_specs(path.read_text(), args)
+    if not windows:
+        print(f"{path}: no windows extracted", file=sys.stderr)
+        return 0, 0, 0
+    results = client.submit_many(specs)
+    found, errors = _print_results(windows, results)
+    return found, errors, len(results)
+
+
+def _pace(client, interval: float) -> None:
+    """Sleep while the service queue is deep, so a fast producer
+    cannot trip the queue's hard backpressure limit."""
+    import time
+    while (client.status().get("queue_depth", 0)
+           > _WATCH_QUEUE_SOFT_LIMIT):
+        time.sleep(max(interval, 0.05))
+
+
+def _watch_loop(client, args: argparse.Namespace) -> tuple:
+    """Feed newly appearing ``*.ll`` files under ``--watch DIR`` to the
+    service until ``--idle-exit`` seconds pass with nothing new."""
+    import time
+    directory = pathlib.Path(args.watch)
+    if not directory.is_dir():
+        raise ReproError(f"--watch: not a directory: {directory}")
+    print(f"watching {directory} for new .ll files "
+          f"(interval {args.interval}s"
+          + (f", idle-exit {args.idle_exit}s" if args.idle_exit else "")
+          + ")", file=sys.stderr)
+    seen = set()
+    failed_polls: dict = {}
+    found = errors = jobs = 0
+    idle_since = time.monotonic()
+    try:
+        while True:
+            fresh = sorted(path for path in directory.glob("*.ll")
+                           if path.name not in seen)
+            for path in fresh:
+                try:
+                    file_found, file_errors, file_jobs = _ingest_file(
+                        client, path, args)
+                except (OSError, ParseError) as exc:
+                    # Likely mid-write: leave it unconsumed and retry
+                    # on later polls before giving up.
+                    polls = failed_polls.get(path.name, 0) + 1
+                    failed_polls[path.name] = polls
+                    if polls >= _WATCH_PARSE_RETRIES:
+                        print(f"{path}: {exc} (gave up after "
+                              f"{polls} polls)", file=sys.stderr)
+                        seen.add(path.name)
+                        errors += 1
+                    continue
+                seen.add(path.name)
+                failed_polls.pop(path.name, None)
+                found += file_found
+                errors += file_errors
+                jobs += file_jobs
+                _pace(client, args.interval)
+            if fresh:
+                idle_since = time.monotonic()
+            elif (args.idle_exit
+                    and time.monotonic() - idle_since
+                    >= args.idle_exit):
+                break
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        print("watch interrupted", file=sys.stderr)
+    print(f"{jobs} jobs, {found} found ({len(seen)} files watched)",
+          file=sys.stderr)
+    return found, errors
+
+
+def _stdin_loop(client, args: argparse.Namespace) -> tuple:
+    """Submit module paths as they arrive on stdin (one per line).
+
+    Unlike watch mode there is no later poll to retry on, so an
+    unreadable/unparseable path is reported and counted as an error
+    immediately."""
+    found = errors = jobs = files = 0
+    for line in sys.stdin:
+        path = line.strip()
+        if not path:
+            continue
+        files += 1
+        try:
+            file_found, file_errors, file_jobs = _ingest_file(
+                client, pathlib.Path(path), args)
+        except (OSError, ParseError) as exc:
+            print(f"{path}: {exc}", file=sys.stderr)
+            errors += 1
+            continue
+        found += file_found
+        errors += file_errors
+        jobs += file_jobs
+        _pace(client, args.interval)
+    print(f"{jobs} jobs, {found} found ({files} files from stdin)",
+          file=sys.stderr)
+    return found, errors
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    from repro.service import ServiceClient
+    modes = sum(1 for mode in (args.file, args.watch, args.stdin)
+                if mode)
+    if modes != 1:
+        print("specify exactly one of FILE, --watch DIR, or --stdin",
+              file=sys.stderr)
+        return 2
+    with ServiceClient(args.port, host=args.host,
+                       timeout=args.timeout) as client:
+        if args.watch:
+            found, errors = _watch_loop(client, args)
+        elif args.stdin:
+            found, errors = _stdin_loop(client, args)
+        else:
+            windows, specs = _module_specs(_read(args.file), args)
+            if not windows:
+                print("no windows extracted", file=sys.stderr)
+                return 1
+            results = client.submit_many(specs)
+            found, errors = _print_results(windows, results)
+            hits = sum(r.cached for r in results)
+            print(f"{len(results)} jobs, {found} found, {hits} "
+                  f"served from cache", file=sys.stderr)
+    # A clean run that found nothing is a success (exit 0) — only
+    # transport/job failures are nonzero.  --fail-on-empty restores
+    # the old grep-like contract for callers that want it.
+    if errors:
+        return 1
+    if args.fail_on_empty and not found:
+        return 1
+    return 0
+
+
+def cmd_campaign(args: argparse.Namespace) -> int:
+    from repro.experiments import campaign_to_rq1_results, render_table2
+    from repro.llm import MODELS_BY_NAME
+    from repro.service import CampaignSpec, ServiceClient
+    models = [name.strip() for name in args.models.split(",")
+              if name.strip()]
+    unknown = [name for name in models if name not in MODELS_BY_NAME]
+    if unknown:
+        print(f"unknown model(s) {', '.join(unknown)}; choose from "
+              f"{sorted(MODELS_BY_NAME)}", file=sys.stderr)
+        return 2
+    if args.file:
+        from repro.core import extract_from_corpus
+        from repro.ir import parse_module, print_function
+        module = parse_module(_read(args.file))
+        extracted = extract_from_corpus([module])
+        if not extracted:
+            print("no windows extracted", file=sys.stderr)
+            return 1
+        windows = [print_function(window.function)
+                   for window in extracted]
+        # Labels must be unique — counts are keyed by them.
+        case_ids = []
+        for window in extracted:
+            label = (f"@{window.source_function}"
+                     f"/%{window.source_block}")
+            if label in case_ids:
+                label += f"#{len(case_ids)}"
+            case_ids.append(label)
+    else:
+        from repro.corpus.issues import rq1_cases
+        cases = rq1_cases()
+        windows = [case.src for case in cases]
+        case_ids = [str(case.issue_id) for case in cases]
+    spec = CampaignSpec(windows=windows, case_ids=case_ids,
+                        rounds=args.rounds, models=models,
+                        variants=[["LPO-", 1], ["LPO", args.attempts]])
+    with ServiceClient(args.port, host=args.host,
+                       timeout=args.timeout) as client:
+        result = client.submit_campaign(spec)
+    print(render_table2(campaign_to_rq1_results(result)))
+    latency = result.latency
+    print(f"{result.render()}; wall {result.elapsed_seconds:.1f}s; "
+          f"job latency p50 {latency.get('p50', 0.0) * 1e3:.1f}ms "
+          f"p90 {latency.get('p90', 0.0) * 1e3:.1f}ms "
+          f"p99 {latency.get('p99', 0.0) * 1e3:.1f}ms",
+          file=sys.stderr)
+    return 0 if result.ok else 1
 
 
 def cmd_status(args: argparse.Namespace) -> int:
@@ -257,6 +469,18 @@ def cmd_status(args: argparse.Namespace) -> int:
           f"throughput {status.get('jobs_per_second', 0.0):.2f} jobs/s")
     print(f"worker pipelines constructed: "
           f"{status.get('pipeline_constructions')}")
+    campaigns = status.get("campaigns", {})
+    if campaigns:
+        print(f"campaigns: {campaigns.get('started', 0)} started, "
+              f"{campaigns.get('completed', 0)} completed, "
+              f"{campaigns.get('failed', 0)} failed, "
+              f"{campaigns.get('rounds_completed', 0)} rounds, "
+              f"{campaigns.get('detections', 0)} detections")
+        for progress in campaigns.get("active", ()):
+            print(f"  active {progress.get('campaign_id')}: "
+                  f"{progress.get('rounds_done')}/"
+                  f"{progress.get('rounds_total')} rounds, "
+                  f"{progress.get('detections')} detections")
     return 0
 
 
@@ -386,9 +610,25 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("submit",
-                       help="submit every window of a module to a "
-                            "running service")
-    p.add_argument("file")
+                       help="submit module windows to a running "
+                            "service (one-shot, --watch, or --stdin)")
+    p.add_argument("file", nargs="?",
+                   help="module to submit (omit with --watch/--stdin)")
+    p.add_argument("--watch", metavar="DIR",
+                   help="stream newly appearing .ll files in DIR to "
+                        "the service instead of one-shot submitting")
+    p.add_argument("--stdin", action="store_true",
+                   help="read module paths from stdin (one per line) "
+                        "as they arrive")
+    p.add_argument("--interval", type=float, default=0.5,
+                   help="watch poll / pacing interval in seconds")
+    p.add_argument("--idle-exit", type=float, default=0.0,
+                   metavar="SECONDS",
+                   help="with --watch: exit after this long with no "
+                        "new files (0: watch forever)")
+    p.add_argument("--fail-on-empty", action="store_true",
+                   help="exit 1 when no optimization was found "
+                        "(default: clean no-find exits 0)")
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=7777)
     p.add_argument("--model", default="Gemini2.0T")
@@ -397,6 +637,25 @@ def build_parser() -> argparse.ArgumentParser:
                    help="round seed for the LPO loop")
     p.add_argument("--timeout", type=float, default=300.0)
     p.set_defaults(func=cmd_submit)
+
+    p = sub.add_parser("campaign",
+                       help="run an rq1-style multi-round campaign on "
+                            "a running service and render the "
+                            "detection matrix")
+    p.add_argument("file", nargs="?",
+                   help="module whose windows form the corpus "
+                        "(default: the 25-issue rq1 benchmark)")
+    p.add_argument("--rounds", type=int, default=5)
+    p.add_argument("--models", default="Gemini2.0T",
+                   help="comma-separated model names (each runs "
+                        "LPO- and LPO legs)")
+    p.add_argument("--attempts", type=int, default=2,
+                   help="attempt limit of the LPO leg (LPO- is "
+                        "always 1)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7777)
+    p.add_argument("--timeout", type=float, default=3600.0)
+    p.set_defaults(func=cmd_campaign)
 
     p = sub.add_parser("status",
                        help="print a running service's metrics")

@@ -10,7 +10,9 @@ from repro.experiments.impact import (
 from repro.experiments.rq1 import (
     RQ1Config,
     RQ1Results,
+    campaign_to_rq1_results,
     render_table2,
+    rq1_campaign_spec,
     run_rq1,
 )
 from repro.experiments.rq2 import (
@@ -41,7 +43,8 @@ from repro.experiments.tables import render_table, render_table1
 __all__ = [
     "FIXED_ISSUE_IDS", "ImpactResults", "PatchImpact", "render_table5",
     "run_impact",
-    "RQ1Config", "RQ1Results", "render_table2", "run_rq1",
+    "RQ1Config", "RQ1Results", "campaign_to_rq1_results",
+    "render_table2", "rq1_campaign_spec", "run_rq1",
     "DiscoveryReport", "RQ2Config", "RQ2Results", "render_table3",
     "run_discovery", "run_rq2",
     "RQ3Config", "RQ3Results", "ToolThroughput", "render_table4",

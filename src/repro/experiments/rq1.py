@@ -3,6 +3,15 @@
 Runs LPO and LPO− with each model over the 25-issue benchmark for N
 rounds, plus Souper (default and enum 1-3) and Minotaur once each, and
 renders the detection matrix the way Table 2 presents it.
+
+The round loop is the shared campaign engine
+(:func:`repro.service.campaign.execute_campaign`): :func:`run_rq1`
+executes each round in-process via ``LPOPipeline.run_batch`` while the
+optimization service executes the very same
+:class:`~repro.service.protocol.CampaignSpec` by scheduling per-window
+jobs — so a campaign submitted over the socket reproduces this module's
+detection matrix exactly (see :func:`rq1_campaign_spec` /
+:func:`campaign_to_rq1_results`).
 """
 
 from __future__ import annotations
@@ -18,6 +27,12 @@ from repro.corpus.issues import IssueCase, rq1_cases
 from repro.experiments.tables import format_count_cell, render_table
 from repro.llm.profiles import RQ1_MODELS, ModelProfile
 from repro.llm.simulated import SimulatedLLM
+from repro.service.campaign import (
+    CampaignLeg,
+    RoundOutcome,
+    execute_campaign,
+)
+from repro.service.protocol import CampaignResult, CampaignSpec
 
 
 @dataclass
@@ -72,8 +87,22 @@ class RQ1Results:
         return sum(1 for hit in self.minotaur.values() if hit)
 
 
+def rq1_campaign_spec(config: Optional[RQ1Config] = None
+                      ) -> CampaignSpec:
+    """The RQ1 experiment as a service-submittable campaign."""
+    config = config if config is not None else RQ1Config()
+    cases = config.resolved_cases()
+    return CampaignSpec(
+        windows=[case.src for case in cases],
+        case_ids=[str(case.issue_id) for case in cases],
+        rounds=config.rounds,
+        models=[profile.name for profile in config.models],
+        variants=[["LPO-", 1], ["LPO", config.attempt_limit]],
+    )
+
+
 def run_rq1(config: Optional[RQ1Config] = None) -> RQ1Results:
-    """Run the full RQ1 experiment."""
+    """Run the full RQ1 experiment (in-process)."""
     config = config if config is not None else RQ1Config()
     cases = config.resolved_cases()
     results = RQ1Results(rounds=config.rounds,
@@ -83,20 +112,28 @@ def run_rq1(config: Optional[RQ1Config] = None) -> RQ1Results:
     # never on the model, so one cache serves every model/variant leg.
     cache = config.cache if config.cache is not None else ResultCache()
     windows = [window_from_text(case.src) for case in cases]
-    for profile in config.models:
-        for variant, attempt_limit in (("LPO-", 1),
-                                       ("LPO", config.attempt_limit)):
-            client = SimulatedLLM(profile, seed=config.seed)
+    profiles = {profile.name: profile for profile in config.models}
+    pipelines: Dict[CampaignLeg, LPOPipeline] = {}
+
+    def run_round(leg: CampaignLeg, round_index: int,
+                  round_seed: int) -> List[RoundOutcome]:
+        pipeline = pipelines.get(leg)
+        if pipeline is None:
+            client = SimulatedLLM(profiles[leg.model],
+                                  seed=config.seed)
             pipeline = LPOPipeline(client, PipelineConfig(
-                attempt_limit=attempt_limit), cache=cache)
-            counts: Dict[int, int] = {
-                case.issue_id: 0 for case in cases}
-            for round_index in range(config.rounds):
-                outcomes = pipeline.run_batch(
-                    windows, round_seed=round_index, jobs=config.jobs)
-                for case, outcome in zip(cases, outcomes):
-                    counts[case.issue_id] += int(outcome.found)
-            results.lpo_counts[(profile.name, variant)] = counts
+                attempt_limit=leg.attempt_limit), cache=cache)
+            pipelines[leg] = pipeline
+        outcomes = pipeline.run_batch(windows, round_seed=round_seed,
+                                      jobs=config.jobs)
+        return [RoundOutcome(found=outcome.found)
+                for outcome in outcomes]
+
+    campaign = execute_campaign(rq1_campaign_spec(config), run_round)
+    for key, counts in campaign.counts.items():
+        model, variant = CampaignResult.split_leg_key(key)
+        results.lpo_counts[(model, variant)] = {
+            int(case_id): count for case_id, count in counts.items()}
 
     if config.include_baselines:
         for case in cases:
@@ -118,24 +155,68 @@ def run_rq1(config: Optional[RQ1Config] = None) -> RQ1Results:
     return results
 
 
+def campaign_to_rq1_results(campaign: CampaignResult) -> RQ1Results:
+    """View a service campaign's aggregate as :class:`RQ1Results`
+    (baseline columns stay empty — campaigns run LPO legs only), so
+    the same Table 2 renderer serves both paths."""
+    results = RQ1Results(
+        rounds=campaign.rounds,
+        issue_ids=[int(case_id) if case_id.isdigit() else case_id
+                   for case_id in campaign.case_ids])
+    for key, counts in campaign.counts.items():
+        model, variant = CampaignResult.split_leg_key(key)
+        results.lpo_counts[(model, variant)] = {
+            (int(case_id) if case_id.isdigit() else case_id): count
+            for case_id, count in counts.items()}
+    return results
+
+
+def _column_legs(results: RQ1Results,
+                 models: Optional[Sequence[ModelProfile]]
+                 ) -> List[Tuple[str, str]]:
+    """The (model, variant) columns to render, in Table 2 order.
+
+    With explicit ``models`` (profiles or names), each gets the paper's
+    LPO−/LPO pair.  Otherwise columns come from the models/variants
+    actually present in ``results.lpo_counts`` — a custom-model run
+    renders its own columns instead of the default set's empty ones —
+    with the paper's models first, in the paper's order.
+    """
+    if models is not None:
+        names = [getattr(profile, "name", profile)
+                 for profile in models]
+        variants: Sequence[str] = ("LPO-", "LPO")
+    else:
+        present = list(dict.fromkeys(
+            model for model, _variant in results.lpo_counts))
+        paper = [profile.name for profile in RQ1_MODELS]
+        names = ([name for name in paper if name in present]
+                 + [name for name in present if name not in paper])
+        variants = tuple(dict.fromkeys(
+            variant for _model, variant in results.lpo_counts))
+    return [(name, variant) for name in names for variant in variants]
+
+
 def render_table2(results: RQ1Results,
-                  models: Sequence[ModelProfile] = RQ1_MODELS) -> str:
-    """Render the detection matrix in Table 2's layout."""
+                  models: Optional[Sequence[ModelProfile]] = None
+                  ) -> str:
+    """Render the detection matrix in Table 2's layout.
+
+    Columns default to the models present in ``results.lpo_counts``
+    (paper order first); pass ``models`` to force a column set.
+    """
+    legs = _column_legs(results, models)
     headers: List[str] = ["Issue ID"]
-    for profile in models:
-        headers.append(f"{profile.name} LPO-")
-        headers.append(f"{profile.name} LPO")
+    headers += [f"{model} {variant}" for model, variant in legs]
     headers += ["SouperDef", "SouperEnum", "Minotaur"]
 
     rows: List[List[str]] = []
     for issue_id in results.issue_ids:
         row: List[str] = [str(issue_id)]
-        for profile in models:
-            for variant in ("LPO-", "LPO"):
-                counts = results.lpo_counts.get(
-                    (profile.name, variant), {})
-                row.append(format_count_cell(counts.get(issue_id, 0),
-                                             results.rounds))
+        for model, variant in legs:
+            counts = results.lpo_counts.get((model, variant), {})
+            row.append(format_count_cell(counts.get(issue_id, 0),
+                                         results.rounds))
         row.append("Y" if results.souper_default.get(issue_id) else "")
         row.append("Y" if results.souper_enum.get(issue_id) else "")
         row.append("Y" if results.minotaur.get(issue_id) else "")
@@ -143,12 +224,10 @@ def render_table2(results: RQ1Results,
 
     average_row: List[str] = ["Average"]
     total_row: List[str] = ["Total"]
-    for profile in models:
-        for variant in ("LPO-", "LPO"):
-            average_row.append(
-                f"{results.average_per_round(profile.name, variant):.1f}")
-            total_row.append(
-                str(results.total_detected(profile.name, variant)))
+    for model, variant in legs:
+        average_row.append(
+            f"{results.average_per_round(model, variant):.1f}")
+        total_row.append(str(results.total_detected(model, variant)))
     average_row += ["N/A", "N/A", "N/A"]
     souper_default_total = sum(
         1 for hit in results.souper_default.values() if hit)

@@ -68,21 +68,40 @@ class LLMResponse:
     usage: Usage = field(default_factory=Usage)
 
     def extract_ir(self) -> str:
-        """Strip markdown fences if the model wrapped its answer."""
-        text = self.text.strip()
-        if text.startswith("```"):
-            lines = text.splitlines()
-            body = []
-            inside = False
-            for line in lines:
-                if line.startswith("```"):
-                    inside = not inside
-                    continue
-                if inside:
-                    body.append(line)
+        """The answer's IR: the first fenced code block when the model
+        used markdown, the whole completion otherwise.
+
+        The fence may appear anywhere — models often prefix prose
+        ("Here is the optimized IR: ```…```") — and an unterminated
+        fence (a truncated completion) yields everything after the
+        opener.  Text on the opening-fence line (a language tag like
+        ``llvm``) is discarded.
+        """
+        text = self.text
+        search_from = 0
+        while True:
+            open_index = text.find("```", search_from)
+            if open_index == -1:
+                return text.strip() + "\n"
+            line_end = text.find("\n", open_index + 3)
+            close_index = text.find("```", open_index + 3)
+            if (close_index != -1
+                    and (line_end == -1 or close_index < line_end)):
+                # ```…``` closed on the opener's own line is an
+                # inline code span, not a block; keep looking.
+                search_from = close_index + 3
+                continue
+            if line_end == -1:
+                # A fence opening at the very end has no body.
+                return text.strip() + "\n"
+            # The rest of the opener's line is a language tag, not IR.
+            body = text[line_end + 1:
+                        close_index if close_index != -1
+                        else len(text)]
+            body = body.strip()
             if body:
-                return "\n".join(body).strip() + "\n"
-        return text + "\n"
+                return body + "\n"
+            return text.strip() + "\n"
 
 
 class LLMClient(Protocol):

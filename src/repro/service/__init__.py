@@ -7,15 +7,46 @@ sharded :class:`~repro.core.cache.ShardedResultCache` so a resubmitted
 corpus is served from cache.  The service speaks a JSON-lines socket
 protocol (``repro serve`` / ``repro submit`` / ``repro status``) and an
 equivalent in-process API.
+
+Beyond one-shot jobs, the service runs *campaigns*
+(:class:`CampaignSpec` → :class:`CampaignResult`): an rq1-style
+multi-round, multi-leg experiment expanded server-side into per-window
+round jobs that share the queue, job cache, and single-flight dedup —
+the ``repro campaign`` command submits one over the socket and renders
+the returned detection matrix.  Corpora can also *stream in*:
+``repro submit --watch DIR`` feeds newly appearing ``.ll`` files to a
+running service (with backpressure-aware pacing), and
+``repro submit --stdin`` reads module paths from stdin as they arrive.
+
+Walkthrough (three shells, or background the first)::
+
+    $ repro serve --port 7777 --jobs 4 &
+    $ repro campaign --port 7777 --rounds 5    # rq1 matrix, server-side
+    $ repro submit --watch drops/ --port 7777  # stream new .ll files
+    $ cp new_module.ll drops/                  # picked up + submitted
+    $ repro status --port 7777                 # campaign + job metrics
 """
 
+from repro.service.campaign import (
+    CampaignLeg,
+    RoundOutcome,
+    campaign_legs,
+    execute_campaign,
+)
 from repro.service.client import ServiceClient
 from repro.service.metrics import ServiceMetrics
 from repro.service.protocol import (
     PROTOCOL_VERSION,
+    CampaignResult,
+    CampaignSpec,
     JobResult,
     JobSpec,
     ProtocolError,
+    campaign_digest,
+    campaign_from_wire,
+    campaign_result_from_wire,
+    campaign_result_to_wire,
+    campaign_to_wire,
     decode_line,
     encode_line,
     job_digest,
@@ -32,9 +63,14 @@ from repro.service.server import (
 from repro.service.workers import WorkerCrashError, WorkerPool
 
 __all__ = [
+    "CampaignLeg", "RoundOutcome", "campaign_legs", "execute_campaign",
     "ServiceClient",
     "ServiceMetrics",
-    "PROTOCOL_VERSION", "JobResult", "JobSpec", "ProtocolError",
+    "PROTOCOL_VERSION", "CampaignResult", "CampaignSpec",
+    "JobResult", "JobSpec", "ProtocolError",
+    "campaign_digest", "campaign_from_wire",
+    "campaign_result_from_wire", "campaign_result_to_wire",
+    "campaign_to_wire",
     "decode_line", "encode_line", "job_digest",
     "result_from_wire", "result_to_wire",
     "spec_from_wire", "spec_to_wire",

@@ -1,0 +1,118 @@
+"""The campaign engine: one round loop for rq1 and the service.
+
+A campaign (:class:`~repro.service.protocol.CampaignSpec`) expands into
+*legs* — one per ``(model, variant)`` pair — each running every window
+of the corpus for ``rounds`` rounds.  :func:`execute_campaign` owns the
+iteration order (models outer, variants inner, rounds innermost — the
+order Table 2 is built in) and the aggregation into a
+:class:`~repro.service.protocol.CampaignResult`; *how* one round runs
+is the caller's ``run_round`` callback:
+
+* the in-process rq1 runner executes a round as
+  ``LPOPipeline.run_batch`` over its worker pool (bit-identical to the
+  historical loop);
+* ``OptimizationService.run_campaign`` executes a round by submitting
+  one :class:`~repro.service.protocol.JobSpec` per window through the
+  service's queue/cache/single-flight machinery.
+
+Both feed the same accumulator, so a campaign submitted over the socket
+reproduces the in-process detection matrix exactly.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.service.metrics import percentile
+from repro.service.protocol import CampaignResult, CampaignSpec
+
+
+@dataclass(frozen=True)
+class CampaignLeg:
+    """One (model, variant) arm of a campaign."""
+
+    model: str
+    variant: str
+    attempt_limit: int
+
+    @property
+    def key(self) -> str:
+        return CampaignResult.leg_key(self.model, self.variant)
+
+
+@dataclass
+class RoundOutcome:
+    """One window's verdict within one round of one leg."""
+
+    found: bool
+    ok: bool = True
+    cached: bool = False
+    latency_seconds: float = 0.0
+    error: str = ""
+
+
+def campaign_legs(spec: CampaignSpec) -> List[CampaignLeg]:
+    """The legs in execution (and Table 2 column) order."""
+    return [CampaignLeg(model=model, variant=str(name),
+                        attempt_limit=int(limit))
+            for model in spec.models
+            for name, limit in spec.variants]
+
+
+#: run_round(leg, round_index, round_seed) -> one outcome per window,
+#: in corpus order.
+RoundRunner = Callable[[CampaignLeg, int, int], Sequence[RoundOutcome]]
+
+#: on_round(leg, round_index, detections) — progress hook, called after
+#: each round is aggregated.
+RoundHook = Callable[[CampaignLeg, int, int], None]
+
+
+def execute_campaign(spec: CampaignSpec, run_round: RoundRunner,
+                     on_round: Optional[RoundHook] = None
+                     ) -> CampaignResult:
+    """Run every leg/round of ``spec`` through ``run_round`` and
+    aggregate the detection matrix."""
+    case_ids = spec.resolved_case_ids()
+    seeds = spec.resolved_seeds()
+    result = CampaignResult(campaign_id=spec.campaign_id, ok=True,
+                            rounds=spec.rounds, case_ids=case_ids,
+                            tag=spec.tag)
+    latencies: List[float] = []
+    first_error = ""
+    start = time.perf_counter()
+    for leg in campaign_legs(spec):
+        counts = {case_id: 0 for case_id in case_ids}
+        per_round: List[int] = []
+        for round_index, round_seed in enumerate(seeds):
+            outcomes = run_round(leg, round_index, round_seed)
+            if len(outcomes) != len(case_ids):
+                raise ValueError(
+                    f"round runner returned {len(outcomes)} outcomes "
+                    f"for {len(case_ids)} windows")
+            detections = 0
+            for case_id, outcome in zip(case_ids, outcomes):
+                counts[case_id] += int(outcome.found)
+                detections += int(outcome.found)
+                result.jobs += 1
+                result.cached_jobs += int(outcome.cached)
+                if not outcome.ok:
+                    result.failed_jobs += 1
+                    if not first_error:
+                        first_error = outcome.error or "job failed"
+                if outcome.latency_seconds:
+                    latencies.append(outcome.latency_seconds)
+            per_round.append(detections)
+            if on_round is not None:
+                on_round(leg, round_index, detections)
+        result.counts[leg.key] = counts
+        result.detections_per_round[leg.key] = per_round
+    result.elapsed_seconds = time.perf_counter() - start
+    result.ok = result.failed_jobs == 0
+    result.error = first_error
+    result.latency = {"p50": percentile(latencies, 0.50),
+                      "p90": percentile(latencies, 0.90),
+                      "p99": percentile(latencies, 0.99)}
+    return result

@@ -1,10 +1,12 @@
 """Blocking JSON-lines client for the optimization service.
 
-Used by ``repro submit`` / ``repro status`` and the tests.  One client
-holds one connection; submits may be pipelined (:meth:`submit_many`
-writes every request before reading any reply) and replies are matched
-back to requests by the client-assigned job id, so out-of-order
-completion is fine.
+Used by ``repro submit`` / ``repro campaign`` / ``repro status`` and
+the tests.  One client holds one connection; submits may be pipelined
+(:meth:`submit_many` writes every request before reading any reply) and
+replies are matched back to requests by the client-assigned job id, so
+out-of-order completion is fine.  :meth:`submit_campaign` round-trips a
+whole multi-round campaign and blocks until the aggregated detection
+matrix comes back.
 """
 
 from __future__ import annotations
@@ -16,9 +18,13 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.errors import ReproError
 from repro.service.protocol import (
+    CampaignResult,
+    CampaignSpec,
     JobResult,
     JobSpec,
     ProtocolError,
+    campaign_result_from_wire,
+    campaign_to_wire,
     decode_line,
     encode_line,
     result_from_wire,
@@ -105,6 +111,22 @@ class ServiceClient:
                 raise ProtocolError(
                     f"unexpected message type {mtype!r}")
         return [results[job_id] for job_id in tagged]
+
+    def submit_campaign(self, spec: CampaignSpec) -> CampaignResult:
+        """Round-trip one multi-round campaign (blocks until the
+        service has run every leg/round and replies with the
+        aggregated detection matrix)."""
+        campaign_id = spec.campaign_id or f"c{next(self._ids)}"
+        self._send(campaign_to_wire(
+            replace(spec, campaign_id=campaign_id)))
+        message = self._read()
+        mtype = message.get("type")
+        if mtype == "error":
+            raise ReproError(message.get("message", "service error"))
+        if mtype != "campaign_result":
+            raise ProtocolError(
+                f"expected campaign_result, got {mtype!r}")
+        return campaign_result_from_wire(message)
 
     def status(self) -> dict:
         """The service's metrics/pool snapshot."""

@@ -46,6 +46,11 @@ class ServiceMetrics:
         self.cache_hits = 0          # whole-job cache hits
         self.cache_misses = 0
         self.in_flight = 0           # dispatched to a worker, not done
+        self.campaigns_started = 0
+        self.campaigns_completed = 0
+        self.campaigns_failed = 0    # finished with >= 1 failed job
+        self.campaign_rounds = 0     # leg-rounds completed
+        self.campaign_detections = 0 # window detections across rounds
         self._latencies = deque(maxlen=LATENCY_WINDOW)
         #: Optional gauge: the server binds this to its queue.
         self._queue_depth: Callable[[], int] = lambda: 0
@@ -74,6 +79,22 @@ class ServiceMetrics:
         """A dispatched job came back unfinished (crash requeue)."""
         with self._lock:
             self.in_flight -= 1
+
+    def record_campaign_started(self) -> None:
+        with self._lock:
+            self.campaigns_started += 1
+
+    def record_campaign_round(self, detections: int) -> None:
+        with self._lock:
+            self.campaign_rounds += 1
+            self.campaign_detections += detections
+
+    def record_campaign_finished(self, ok: bool) -> None:
+        with self._lock:
+            if ok:
+                self.campaigns_completed += 1
+            else:
+                self.campaigns_failed += 1
 
     def record_completed(self, latency_seconds: float,
                          cached: bool, ok: bool,
@@ -130,8 +151,16 @@ class ServiceMetrics:
                 "cache_misses": self.cache_misses,
                 "in_flight": self.in_flight,
             }
+            campaigns = {
+                "started": self.campaigns_started,
+                "completed": self.campaigns_completed,
+                "failed": self.campaigns_failed,
+                "rounds_completed": self.campaign_rounds,
+                "detections": self.campaign_detections,
+            }
         return {
             **counters,
+            "campaigns": campaigns,
             "queue_depth": self.queue_depth,
             "cache_hit_rate": round(self.cache_hit_rate, 4),
             "uptime_seconds": round(self.uptime_seconds, 3),
@@ -143,10 +172,15 @@ class ServiceMetrics:
     def render(self) -> str:
         snap = self.to_dict()
         lat = snap["latency"]
+        camp = snap["campaigns"]
         return (
             f"jobs: {snap['submitted']} submitted, "
             f"{snap['completed']} completed, {snap['failed']} failed, "
             f"{snap['rejected']} rejected, {snap['requeued']} requeued\n"
+            f"campaigns: {camp['started']} started, "
+            f"{camp['completed']} completed, {camp['failed']} failed, "
+            f"{camp['rounds_completed']} rounds, "
+            f"{camp['detections']} detections\n"
             f"queue: depth {snap['queue_depth']}, "
             f"in-flight {snap['in_flight']}\n"
             f"cache: {snap['cache_hits']} hit / "

@@ -5,6 +5,8 @@ Messages are newline-delimited JSON objects ("JSON lines"), each with a
 
 * ``{"type": "submit", "job": {...}}``        — client → server
 * ``{"type": "result", "result": {...}}``     — server → client
+* ``{"type": "campaign", "campaign": {...}}`` — client → server
+* ``{"type": "campaign_result", "result": {...}}`` — server → client
 * ``{"type": "status"}``                       — client → server
 * ``{"type": "status_reply", "status": {...}}``— server → client
 * ``{"type": "shutdown"}``                     — client → server
@@ -14,14 +16,18 @@ Submits may be pipelined: a client can write many submit lines before
 reading results; each result line carries the submitting side's
 ``job_id`` so replies can arrive out of order.  The dataclasses here are
 the in-process currency too — the worker pool and the job cache consume
-:class:`JobSpec` / produce :class:`JobResult` directly.
+:class:`JobSpec` / produce :class:`JobResult` directly, and
+:class:`CampaignSpec` / :class:`CampaignResult` are what
+``OptimizationService.run_campaign`` and the in-process rq1 runner
+exchange.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List
 
 from repro.errors import ParseError, ReproError
 
@@ -75,6 +81,18 @@ class JobResult:
         return head
 
 
+def _window_key(ir: str) -> str:
+    """Structural digest of one window when it parses
+    (whitespace/name-insensitive), textual otherwise."""
+    from repro.core.dedup import window_digest
+    from repro.ir.parser import parse_function
+
+    try:
+        return window_digest(parse_function(ir))
+    except ParseError:
+        return hashlib.sha256(ir.encode()).hexdigest()
+
+
 def job_digest(spec: JobSpec, llm_seed: int = 0) -> str:
     """The job-cache key: structural over the window when it parses
     (whitespace/name-insensitive), textual otherwise, plus every knob
@@ -82,16 +100,147 @@ def job_digest(spec: JobSpec, llm_seed: int = 0) -> str:
     ``llm_seed``, so a persisted cache never answers for a service
     configured with a different sampling seed.  ``job_id``/``tag`` are
     correlation metadata and deliberately excluded."""
-    from repro.core.dedup import window_digest
-    from repro.ir.parser import parse_function
-
-    try:
-        ir_key = window_digest(parse_function(spec.ir))
-    except ParseError:
-        ir_key = hashlib.sha256(spec.ir.encode()).hexdigest()
     payload = (f"{spec.model}|{spec.round_seed}|{spec.attempt_limit}|"
-               f"{llm_seed}|{ir_key}")
+               f"{llm_seed}|{_window_key(spec.ir)}")
     return hashlib.sha256(payload.encode()).hexdigest()
+
+
+# -- campaigns -------------------------------------------------------------
+@dataclass
+class CampaignSpec:
+    """A multi-round, multi-leg experiment run as one service job.
+
+    ``windows`` is the corpus (one textual IR window per case);
+    ``case_ids`` are the labels the detection matrix is keyed by
+    (defaults to window indices).  Each ``(model, variant)`` pair is a
+    *leg*: ``variants`` maps a variant name to its attempt limit (the
+    paper's LPO− is the single-attempt ablation).  Every leg runs
+    ``rounds`` rounds; round *i* samples with ``seeds[i]`` (defaults to
+    ``i``, matching the in-process rq1 loop).
+    """
+
+    windows: List[str] = field(default_factory=list)
+    case_ids: List[str] = field(default_factory=list)
+    rounds: int = 5
+    models: List[str] = field(
+        default_factory=lambda: ["Gemini2.0T"])
+    #: ``[variant_name, attempt_limit]`` pairs, run in order per model.
+    variants: List[list] = field(
+        default_factory=lambda: [["LPO-", 1], ["LPO", 2]])
+    seeds: List[int] = field(default_factory=list)
+    campaign_id: str = ""
+    #: Submitter-side correlation tag, echoed verbatim in the result.
+    tag: str = ""
+
+    def resolved_case_ids(self) -> List[str]:
+        if self.case_ids:
+            return [str(case_id) for case_id in self.case_ids]
+        return [str(index) for index in range(len(self.windows))]
+
+    def resolved_seeds(self) -> List[int]:
+        if self.seeds:
+            return list(self.seeds)
+        return list(range(self.rounds))
+
+    def validate(self) -> None:
+        """Raise :class:`ProtocolError` on a structurally bad spec."""
+        if not self.windows:
+            raise ProtocolError("campaign.windows must be non-empty")
+        if any(not isinstance(ir, str) or not ir.strip()
+               for ir in self.windows):
+            raise ProtocolError(
+                "campaign.windows must all be non-empty IR text")
+        if self.case_ids and len(self.case_ids) != len(self.windows):
+            raise ProtocolError(
+                f"campaign.case_ids ({len(self.case_ids)}) must match "
+                f"windows ({len(self.windows)})")
+        resolved = self.resolved_case_ids()
+        if len(set(resolved)) != len(resolved):
+            raise ProtocolError(
+                "campaign.case_ids must be unique (counts are keyed "
+                "by them)")
+        if self.rounds < 1:
+            raise ProtocolError("campaign.rounds must be >= 1")
+        if not self.models:
+            raise ProtocolError("campaign.models must be non-empty")
+        if not self.variants:
+            raise ProtocolError("campaign.variants must be non-empty")
+        for variant in self.variants:
+            if (len(variant) != 2 or not isinstance(variant[0], str)
+                    or not isinstance(variant[1], int)
+                    or variant[1] < 1):
+                raise ProtocolError(
+                    "campaign.variants entries must be "
+                    "[name, attempt_limit >= 1] pairs")
+        if self.seeds and len(self.seeds) != self.rounds:
+            raise ProtocolError(
+                f"campaign.seeds ({len(self.seeds)}) must match "
+                f"rounds ({self.rounds})")
+
+
+@dataclass
+class CampaignResult:
+    """The aggregated detection matrix of one campaign.
+
+    ``counts`` maps a leg key (:meth:`leg_key`) to ``case_id ->``
+    detections over all rounds; ``detections_per_round`` maps the same
+    leg key to the number of windows detected in each round.  Latency
+    percentiles cover the campaign's own jobs only (all zero on the
+    in-process path, where jobs never traverse a queue).
+    """
+
+    campaign_id: str
+    ok: bool
+    rounds: int = 0
+    case_ids: List[str] = field(default_factory=list)
+    counts: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    detections_per_round: Dict[str, List[int]] = field(
+        default_factory=dict)
+    jobs: int = 0
+    cached_jobs: int = 0
+    failed_jobs: int = 0
+    elapsed_seconds: float = 0.0
+    latency: Dict[str, float] = field(default_factory=dict)
+    error: str = ""
+    tag: str = ""
+
+    @staticmethod
+    def leg_key(model: str, variant: str) -> str:
+        return f"{model}/{variant}"
+
+    @staticmethod
+    def split_leg_key(key: str) -> tuple:
+        model, _, variant = key.rpartition("/")
+        return model, variant
+
+    def total_detected(self, model: str, variant: str) -> int:
+        counts = self.counts.get(self.leg_key(model, variant), {})
+        return sum(1 for count in counts.values() if count > 0)
+
+    def render(self) -> str:
+        head = (f"{self.campaign_id}: {self.jobs} jobs over "
+                f"{self.rounds} rounds, {self.cached_jobs} cached, "
+                f"{self.failed_jobs} failed")
+        if self.error:
+            head += f" ({self.error})"
+        return head
+
+
+def campaign_digest(spec: CampaignSpec, llm_seed: int = 0) -> str:
+    """Structural identity of a campaign: window digests plus every
+    knob that can change the matrix (models, variants, rounds, resolved
+    seeds, and the serving side's ``llm_seed``).  ``case_ids``,
+    ``campaign_id`` and ``tag`` are presentation/correlation metadata
+    and deliberately excluded."""
+    parts = [f"rounds={spec.rounds}",
+             "models=" + ",".join(spec.models),
+             "variants=" + ",".join(f"{name}:{limit}" for name, limit
+                                    in spec.variants),
+             "seeds=" + ",".join(str(seed) for seed
+                                 in spec.resolved_seeds()),
+             f"llm_seed={llm_seed}"]
+    parts.extend(_window_key(ir) for ir in spec.windows)
+    return hashlib.sha256("|".join(parts).encode()).hexdigest()
 
 
 # -- JSON-lines framing ----------------------------------------------------
@@ -145,3 +294,24 @@ def result_to_wire(result: JobResult) -> dict:
 
 def result_from_wire(message: dict) -> JobResult:
     return _from_wire(JobResult, message.get("result"), "result")
+
+
+def campaign_to_wire(spec: CampaignSpec) -> dict:
+    return {"type": "campaign", "version": PROTOCOL_VERSION,
+            "campaign": asdict(spec)}
+
+
+def campaign_from_wire(message: dict) -> CampaignSpec:
+    spec = _from_wire(CampaignSpec, message.get("campaign"), "campaign")
+    spec.validate()
+    return spec
+
+
+def campaign_result_to_wire(result: CampaignResult) -> dict:
+    return {"type": "campaign_result", "version": PROTOCOL_VERSION,
+            "result": asdict(result)}
+
+
+def campaign_result_from_wire(message: dict) -> CampaignResult:
+    return _from_wire(CampaignResult, message.get("result"),
+                      "campaign result")

@@ -8,9 +8,16 @@ and :class:`~repro.service.metrics.ServiceMetrics` accounting.  Worker
 crashes requeue the job (bounded by ``max_retries``) after the pool is
 rebuilt.
 
+:meth:`OptimizationService.run_campaign` runs a whole multi-round
+experiment (:class:`~repro.service.protocol.CampaignSpec`) as one
+service job: every leg/round expands into per-window jobs scheduled
+through the same queue, with campaign-level progress (visible in
+``status()``), metrics, and an aggregated detection matrix.
+
 :class:`ServiceServer` wraps a service in an asyncio JSON-lines TCP
 acceptor (the ``repro serve`` command): submits may be pipelined per
-connection and results stream back tagged with the client's job id.
+connection and results stream back tagged with the client's job id;
+``campaign`` messages run server-side and reply with the aggregate.
 """
 
 from __future__ import annotations
@@ -27,11 +34,22 @@ from typing import Callable, Dict, Optional
 
 from repro.core.cache import DEFAULT_MAX_ENTRIES, ShardedResultCache
 from repro.errors import ReproError
+from repro.service.campaign import (
+    CampaignLeg,
+    RoundOutcome,
+    campaign_legs,
+    execute_campaign,
+)
 from repro.service.metrics import ServiceMetrics
 from repro.service.protocol import (
+    CampaignResult,
+    CampaignSpec,
     JobResult,
     JobSpec,
     ProtocolError,
+    campaign_digest,
+    campaign_from_wire,
+    campaign_result_to_wire,
     decode_line,
     encode_line,
     job_digest,
@@ -87,6 +105,9 @@ class OptimizationService:
         #: of identical jobs waiting to share its result.
         self._pending: Dict[str, list] = {}
         self._worker_constructions: Dict[str, int] = {}
+        #: Progress of in-flight campaigns, keyed by campaign id.
+        self._campaigns: Dict[str, dict] = {}
+        self._campaign_ids = itertools.count(1)
         self._job_ids = itertools.count(1)
         self._outstanding = 0
         self._idle = threading.Condition(self._lock)
@@ -162,6 +183,74 @@ class OptimizationService:
         return [self.result(job_id, timeout=timeout)
                 for job_id in job_ids]
 
+    # -- campaigns ---------------------------------------------------------
+    def run_campaign(self, spec: CampaignSpec,
+                     timeout: Optional[float] = None) -> CampaignResult:
+        """Run a multi-round campaign to completion.
+
+        Expands the campaign into per-window round jobs scheduled
+        through the normal queue — so rounds share the job cache,
+        single-flight dedup, backpressure, and crash requeue with
+        one-shot submits — and aggregates the detection matrix.
+        ``timeout`` bounds each individual job wait, not the campaign.
+        """
+        spec.validate()
+        from repro.llm import MODELS_BY_NAME
+        unknown = [model for model in spec.models
+                   if model not in MODELS_BY_NAME]
+        if unknown:
+            raise ReproError(f"unknown model(s) {unknown!r}; choose "
+                             f"from {sorted(MODELS_BY_NAME)}")
+        campaign_id = (spec.campaign_id
+                       or f"campaign-{next(self._campaign_ids):04d}")
+        digest = campaign_digest(spec, llm_seed=self.pool.llm_seed)
+        legs = campaign_legs(spec)
+        progress = {
+            "campaign_id": campaign_id,
+            "digest": digest[:12],
+            "legs": len(legs),
+            "rounds_total": len(legs) * spec.rounds,
+            "rounds_done": 0,
+            "detections": 0,
+        }
+        with self._lock:
+            self._campaigns[campaign_id] = progress
+        self.metrics.record_campaign_started()
+
+        def run_round(leg: CampaignLeg, round_index: int,
+                      round_seed: int):
+            job_specs = [JobSpec(ir=ir, model=leg.model,
+                                 round_seed=round_seed,
+                                 attempt_limit=leg.attempt_limit)
+                         for ir in spec.windows]
+            results = self.run_many(job_specs, timeout=timeout)
+            return [RoundOutcome(found=r.found, ok=r.ok,
+                                 cached=r.cached,
+                                 latency_seconds=r.latency_seconds,
+                                 error=r.error)
+                    for r in results]
+
+        def on_round(leg: CampaignLeg, round_index: int,
+                     detections: int) -> None:
+            self.metrics.record_campaign_round(detections)
+            with self._lock:
+                progress["rounds_done"] += 1
+                progress["detections"] += detections
+
+        ok = False
+        try:
+            result = execute_campaign(
+                replace(spec, campaign_id=campaign_id),
+                run_round, on_round=on_round)
+            ok = result.ok
+        finally:
+            with self._lock:
+                self._campaigns.pop(campaign_id, None)
+            # Also on the exception path (e.g. a job-wait timeout):
+            # a started campaign must settle as completed or failed.
+            self.metrics.record_campaign_finished(ok=ok)
+        return result
+
     def drain(self, timeout: Optional[float] = None) -> bool:
         """Block until every submitted job has finished."""
         deadline = (None if timeout is None
@@ -180,11 +269,15 @@ class OptimizationService:
         with self._lock:
             process_constructions = sum(
                 self._worker_constructions.values())
+            active_campaigns = [dict(progress) for progress
+                                in self._campaigns.values()]
         constructions = (self.pool.pipeline_constructions
                          if self.backend == "thread"
                          else process_constructions)
+        snapshot = self.metrics.to_dict()
+        snapshot["campaigns"]["active"] = active_campaigns
         return {
-            **self.metrics.to_dict(),
+            **snapshot,
             "backend": self.backend,
             "workers": self.pool.jobs,
             "pipeline_constructions": constructions,
@@ -525,6 +618,17 @@ class ServiceServer:
                         self._serve_job(spec, send, loop))
                     jobs.add(job)
                     job.add_done_callback(jobs.discard)
+                elif mtype == "campaign":
+                    try:
+                        campaign = campaign_from_wire(message)
+                    except ProtocolError as exc:
+                        await send({"type": "error",
+                                    "message": str(exc)})
+                        continue
+                    job = asyncio.ensure_future(
+                        self._serve_campaign(campaign, send, loop))
+                    jobs.add(job)
+                    job.add_done_callback(jobs.discard)
                 elif mtype == "status":
                     # status() only takes short locks — safe inline,
                     # and immune to job-wait thread exhaustion.
@@ -566,3 +670,22 @@ class ServiceServer:
         if client_id:
             result = replace(result, job_id=client_id)
         await send(result_to_wire(result))
+
+    async def _serve_campaign(self, spec: CampaignSpec,
+                              send: Callable, loop) -> None:
+        # As with jobs, the client's campaign_id is a correlation tag;
+        # the service assigns its own and the reply restores the
+        # client's.
+        client_id = spec.campaign_id
+        try:
+            result = await loop.run_in_executor(
+                self._job_executor, self.service.run_campaign,
+                replace(spec, campaign_id=""))
+        except Exception as exc:   # noqa: BLE001 — always answer the
+            # client; an unreplied campaign would hang its reader.
+            await send({"type": "error", "message": str(exc),
+                        "campaign_id": client_id})
+            return
+        if client_id:
+            result = replace(result, campaign_id=client_id)
+        await send(campaign_result_to_wire(result))

@@ -1,5 +1,6 @@
 """Tests for the command-line interface."""
 
+import sys
 import threading
 import time
 
@@ -136,6 +137,14 @@ define i8 @two_chains(i8 %x, i8 %y) {
 }
 """
 
+#: Already optimal: the loop verifies but never finds an improvement.
+NO_FIND_MODULE = """
+define i8 @plain(i8 %x, i8 %y) {
+  %a = add i8 %x, %y
+  ret i8 %a
+}
+"""
+
 
 class TestBatchCommand:
     @pytest.fixture()
@@ -239,6 +248,148 @@ class TestServiceCommands:
     def test_status_unreachable_service(self, capsys):
         assert main(["status", "--port", "1"]) == 2
         assert "cannot reach" in capsys.readouterr().err
+
+    def test_submit_clean_no_find_exits_zero(self, served_port,
+                                             tmp_path, capsys):
+        # Regression: a clean run that found nothing exited 1,
+        # indistinguishable from transport/job failure.
+        path = tmp_path / "plain.ll"
+        path.write_text(NO_FIND_MODULE)
+        assert main(["submit", str(path), "--port", served_port]) == 0
+        captured = capsys.readouterr()
+        assert "0 found" in captured.err
+
+    def test_submit_fail_on_empty_restores_old_contract(
+            self, served_port, tmp_path, capsys):
+        path = tmp_path / "plain.ll"
+        path.write_text(NO_FIND_MODULE)
+        assert main(["submit", str(path), "--port", served_port,
+                     "--fail-on-empty"]) == 1
+
+    def test_submit_requires_exactly_one_mode(self, served_port,
+                                              module_file, capsys):
+        assert main(["submit", "--port", served_port]) == 2
+        assert main(["submit", module_file, "--stdin",
+                     "--port", served_port]) == 2
+        assert "exactly one" in capsys.readouterr().err
+
+    def test_watch_ingests_newly_appearing_files(self, served_port,
+                                                 tmp_path, capsys):
+        drops = tmp_path / "drops"
+        drops.mkdir()
+        (drops / "first.ll").write_text(BATCH_MODULE)
+
+        def drop_later():
+            time.sleep(0.4)
+            (drops / "second.ll").write_text(NO_FIND_MODULE)
+
+        dropper = threading.Thread(target=drop_later, daemon=True)
+        dropper.start()
+        code = main(["submit", "--watch", str(drops),
+                     "--port", served_port,
+                     "--interval", "0.1", "--idle-exit", "1.5"])
+        dropper.join()
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "@two_chains" in captured.out       # pre-existing file
+        assert "@plain" in captured.out            # appeared mid-watch
+        assert "2 files watched" in captured.err
+
+    def test_watch_survives_unparseable_file(self, served_port,
+                                             tmp_path, capsys):
+        drops = tmp_path / "drops"
+        drops.mkdir()
+        (drops / "junk.ll").write_text("this is not IR")
+        (drops / "good.ll").write_text(BATCH_MODULE)
+        code = main(["submit", "--watch", str(drops),
+                     "--port", served_port,
+                     "--interval", "0.1", "--idle-exit", "0.8"])
+        captured = capsys.readouterr()
+        assert code == 1                  # the junk file is an error...
+        assert "gave up" in captured.err
+        assert "@two_chains" in captured.out   # ...but the stream goes on
+
+    def test_watch_retries_file_caught_mid_write(self, served_port,
+                                                 tmp_path, capsys):
+        # A truncated (mid-write) file must not be consumed on its
+        # first failing poll — the completed write is picked up by a
+        # retry and the watch session stays clean.
+        drops = tmp_path / "drops"
+        drops.mkdir()
+        partial = drops / "slow.ll"
+        partial.write_text(BATCH_MODULE[:40])     # truncated: no parse
+
+        def finish_write():
+            time.sleep(0.35)
+            partial.write_text(BATCH_MODULE)
+
+        writer = threading.Thread(target=finish_write, daemon=True)
+        writer.start()
+        code = main(["submit", "--watch", str(drops),
+                     "--port", served_port,
+                     "--interval", "0.1", "--idle-exit", "1.0"])
+        writer.join()
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "@two_chains" in captured.out
+        assert "gave up" not in captured.err
+
+    def test_watch_missing_directory_errors(self, served_port, capsys):
+        assert main(["submit", "--watch", "/nonexistent-dir",
+                     "--port", served_port]) == 1
+        assert "not a directory" in capsys.readouterr().err
+
+    def test_stdin_streams_module_paths(self, served_port, tmp_path,
+                                        monkeypatch, capsys):
+        import io
+        first = tmp_path / "a.ll"
+        first.write_text(BATCH_MODULE)
+        second = tmp_path / "b.ll"
+        second.write_text(NO_FIND_MODULE)
+        monkeypatch.setattr(
+            sys, "stdin", io.StringIO(f"{first}\n\n{second}\n"))
+        assert main(["submit", "--stdin",
+                     "--port", served_port]) == 0
+        captured = capsys.readouterr()
+        assert "@two_chains" in captured.out
+        assert "@plain" in captured.out
+        assert "2 files from stdin" in captured.err
+
+    def test_campaign_matches_in_process_rq1(self, served_port,
+                                             capsys):
+        # Acceptance: `repro campaign` over the socket renders the
+        # same Table 2 counts as the in-process run_rq1 (same seeds).
+        from repro.experiments import RQ1Config, render_table2, run_rq1
+        from repro.llm.profiles import GEMINI20T
+        expected = run_rq1(RQ1Config(rounds=1, models=(GEMINI20T,),
+                                     include_baselines=False))
+        assert main(["campaign", "--port", served_port,
+                     "--rounds", "1", "--models", "Gemini2.0T"]) == 0
+        captured = capsys.readouterr()
+        assert render_table2(expected) in captured.out
+        assert "wall" in captured.err
+
+    def test_campaign_over_module_file(self, served_port, module_file,
+                                       capsys):
+        assert main(["campaign", module_file, "--port", served_port,
+                     "--rounds", "2"]) == 0
+        captured = capsys.readouterr()
+        assert "@two_chains" in captured.out
+        assert "Gemini2.0T LPO" in captured.out
+
+    def test_campaign_unknown_model(self, served_port, capsys):
+        assert main(["campaign", "--port", served_port,
+                     "--models", "GPT-9"]) == 2
+        assert "unknown model" in capsys.readouterr().err
+
+    def test_campaign_progress_in_status(self, served_port,
+                                         module_file, capsys):
+        main(["campaign", module_file, "--port", served_port,
+              "--rounds", "1"])
+        capsys.readouterr()
+        assert main(["status", "--port", served_port]) == 0
+        out = capsys.readouterr().out
+        assert "campaigns: 1 started, 1 completed" in out
 
     def test_rq1_corpus_resubmission_10x_faster(self, served_port,
                                                 tmp_path, capsys):

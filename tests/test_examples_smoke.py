@@ -44,6 +44,14 @@ def test_service_demo(monkeypatch, capsys):
     assert "service stopped cleanly" in out
 
 
+def test_campaign_demo(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "campaign_demo.py")
+    assert "Table 2" in out
+    assert "jobs served from cache" in out
+    assert "watch loop exited 0" in out
+    assert "service stopped cleanly" in out
+
+
 def test_reproduce_tables_figure5(monkeypatch, capsys):
     out = run_example(monkeypatch, capsys, "reproduce_tables.py",
                       argv=["figure5"])

@@ -53,6 +53,31 @@ class TestRQ1Small:
         assert "Average" in text and "Total" in text
         assert "SouperEnum" in text
 
+    def test_table_columns_derive_from_results(self, results):
+        # Regression: the renderer defaulted to RQ1_MODELS, so a
+        # custom-model run rendered empty columns for models never
+        # executed and zeroed totals for the ones that were.
+        text = render_table2(results)
+        assert "Gemma3 LPO-" in text and "Gemini2.0T LPO" in text
+        assert "GPT-4.1" not in text
+        assert "o4-mini" not in text
+        # And the derived table agrees with the explicit column set.
+        assert text == render_table2(results,
+                                     models=(GEMMA3, GEMINI20T))
+
+    def test_table_keeps_paper_order_for_default_models(self, results):
+        # lpo_counts insertion order here is Gemini2.0T before Gemma3;
+        # the paper's column order (Gemma3 first) must win.
+        from repro.experiments import RQ1Results
+        shuffled = RQ1Results(rounds=results.rounds,
+                              issue_ids=list(results.issue_ids))
+        for key in (("Gemini2.0T", "LPO-"), ("Gemini2.0T", "LPO"),
+                    ("Gemma3", "LPO-"), ("Gemma3", "LPO")):
+            shuffled.lpo_counts[key] = dict(results.lpo_counts[key])
+        text = render_table2(shuffled)
+        header = text.splitlines()[1]
+        assert header.index("Gemma3") < header.index("Gemini2.0T")
+
 
 class TestRQ2:
     @pytest.fixture(scope="class")

@@ -99,6 +99,58 @@ class TestResponses:
             assert not ir.startswith("```")
             parse_function_or_error(ir)
 
+    def test_prose_prefixed_fence_stripped(self):
+        # Regression: fences were only stripped when the completion
+        # *started* with ``` — prose-prefixed answers reached the
+        # parser with markdown intact.
+        from repro.llm.client import LLMResponse
+        response = LLMResponse(
+            text="Here is the optimized IR: ```llvm\n"
+                 "define i8 @f(i8 %x) {\n  ret i8 %x\n}\n```\n"
+                 "This removes the redundant add.")
+        ir = response.extract_ir()
+        assert ir == "define i8 @f(i8 %x) {\n  ret i8 %x\n}\n"
+
+    def test_unterminated_fence_takes_rest(self):
+        from repro.llm.client import LLMResponse
+        response = LLMResponse(
+            text="Sure!\n```llvm\ndefine i8 @f(i8 %x) {\n"
+                 "  ret i8 %x\n}")
+        ir = response.extract_ir()
+        assert ir == "define i8 @f(i8 %x) {\n  ret i8 %x\n}\n"
+
+    def test_unfenced_answer_unchanged(self):
+        from repro.llm.client import LLMResponse
+        body = "define i8 @f(i8 %x) {\n  ret i8 %x\n}"
+        assert LLMResponse(text=f"\n{body}\n").extract_ir() \
+            == body + "\n"
+
+    def test_leading_fence_with_language_tag(self):
+        from repro.llm.client import LLMResponse
+        body = "define i8 @f(i8 %x) {\n  ret i8 %x\n}"
+        assert LLMResponse(
+            text=f"```llvm\n{body}\n```").extract_ir() == body + "\n"
+
+    def test_empty_fence_falls_back_to_text(self):
+        from repro.llm.client import LLMResponse
+        assert LLMResponse(text="```\n```").extract_ir() \
+            == "```\n```\n"
+
+    def test_inline_span_is_not_a_block(self):
+        # ```…``` closed on its own line is inline code — the answer
+        # has no fenced block, so the whole text is returned, not the
+        # prose after the span.
+        from repro.llm.client import LLMResponse
+        text = "Use ```x = 1``` inline.\nMore prose."
+        assert LLMResponse(text=text).extract_ir() == text + "\n"
+
+    def test_inline_span_before_real_block_is_skipped(self):
+        from repro.llm.client import LLMResponse
+        body = "define i8 @f(i8 %x) {\n  ret i8 %x\n}"
+        response = LLMResponse(
+            text=f"Note ```select``` folds:\n```llvm\n{body}\n```")
+        assert response.extract_ir() == body + "\n"
+
     def test_usage_accounting(self):
         llm = SimulatedLLM(MODELS_BY_NAME["Gemini2.5"])
         response = llm.complete(PromptRequest(window_ir=CLAMP))

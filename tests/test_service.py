@@ -135,6 +135,55 @@ class TestMetrics:
         metrics.bind_queue_depth(lambda: 7)
         assert metrics.to_dict()["queue_depth"] == 7
 
+    def test_percentile_tiny_sample_edges(self):
+        # Nearest-rank on degenerate sample sets: a singleton answers
+        # every percentile, two samples split at p50, and the rank is
+        # clamped into range at both extremes.
+        assert percentile([3.0], 0.0) == 3.0
+        assert percentile([3.0], 0.5) == 3.0
+        assert percentile([3.0], 1.0) == 3.0
+        assert percentile([1.0, 2.0], 0.50) == 1.0
+        assert percentile([1.0, 2.0], 0.51) == 2.0
+        assert percentile([1.0, 2.0], 0.90) == 2.0
+        assert percentile([1.0, 2.0, 3.0], 0.0) == 1.0
+        assert percentile([1.0, 2.0, 3.0], 1.0) == 3.0
+        # Input order must not matter.
+        assert percentile([9.0, 1.0, 5.0], 0.5) == 5.0
+
+    def test_latency_window_keeps_most_recent(self):
+        from repro.service.metrics import LATENCY_WINDOW
+        metrics = ServiceMetrics()
+        total = LATENCY_WINDOW + 100
+        for index in range(total):
+            metrics.record_submitted()
+            metrics.record_completed(float(index), cached=True,
+                                     ok=True, dispatched=False)
+        with metrics._lock:
+            samples = list(metrics._latencies)
+        assert len(samples) == LATENCY_WINDOW
+        # Truncation dropped the *oldest* samples: what remains is the
+        # most recent LATENCY_WINDOW of them, so the minimum is the
+        # first survivor, not 0.
+        assert min(samples) == float(total - LATENCY_WINDOW)
+        assert max(samples) == float(total - 1)
+        assert metrics.latency_percentiles()["p99"] > samples[0]
+
+    def test_campaign_counters(self):
+        metrics = ServiceMetrics()
+        metrics.record_campaign_started()
+        metrics.record_campaign_round(3)
+        metrics.record_campaign_round(0)
+        metrics.record_campaign_finished(ok=True)
+        metrics.record_campaign_started()
+        metrics.record_campaign_finished(ok=False)
+        campaigns = metrics.to_dict()["campaigns"]
+        assert campaigns["started"] == 2
+        assert campaigns["completed"] == 1
+        assert campaigns["failed"] == 1
+        assert campaigns["rounds_completed"] == 2
+        assert campaigns["detections"] == 3
+        assert "campaigns: 2 started" in metrics.render()
+
 
 class TestServiceEndToEnd:
     def test_results_match_pipeline(self, corpus_irs):

@@ -1,0 +1,319 @@
+"""Tests for campaign jobs: the shared round engine, the service's
+campaign scheduling, protocol roundtrips, and the acceptance criterion
+that a campaign submitted over the socket reproduces the in-process
+``run_rq1`` detection matrix exactly."""
+
+import pytest
+
+from repro.corpus.issues import rq1_cases
+from repro.errors import ReproError
+from repro.experiments import (
+    RQ1Config,
+    campaign_to_rq1_results,
+    render_table2,
+    rq1_campaign_spec,
+    run_rq1,
+)
+from repro.llm.profiles import GEMINI20T, GEMMA3
+from repro.service import (
+    CampaignResult,
+    CampaignSpec,
+    OptimizationService,
+    ProtocolError,
+    RoundOutcome,
+    ServiceClient,
+    ServiceServer,
+    campaign_digest,
+    campaign_from_wire,
+    campaign_legs,
+    campaign_result_from_wire,
+    campaign_result_to_wire,
+    campaign_to_wire,
+    decode_line,
+    encode_line,
+    execute_campaign,
+)
+
+IR = "define i8 @f(i8 %x) {\n  %a = add i8 %x, 0\n  ret i8 %a\n}"
+IR_B = "define i8 @g(i8 %x) {\n  %a = sub i8 %x, 0\n  ret i8 %a\n}"
+
+
+def small_spec(**overrides) -> CampaignSpec:
+    base = dict(windows=[IR, IR_B], case_ids=["a", "b"], rounds=2,
+                models=["Gemini2.0T"],
+                variants=[["LPO-", 1], ["LPO", 2]])
+    base.update(overrides)
+    return CampaignSpec(**base)
+
+
+class TestCampaignProtocol:
+    def test_wire_roundtrip(self):
+        spec = small_spec(campaign_id="c1", tag="t")
+        assert campaign_from_wire(decode_line(
+            encode_line(campaign_to_wire(spec)))) == spec
+
+    def test_result_wire_roundtrip(self):
+        result = CampaignResult(
+            campaign_id="c1", ok=True, rounds=2, case_ids=["a", "b"],
+            counts={"Gemini2.0T/LPO": {"a": 2, "b": 0}},
+            detections_per_round={"Gemini2.0T/LPO": [1, 1]},
+            jobs=4, cached_jobs=1, elapsed_seconds=0.5,
+            latency={"p50": 0.01, "p90": 0.02, "p99": 0.02}, tag="t")
+        assert campaign_result_from_wire(decode_line(encode_line(
+            campaign_result_to_wire(result)))) == result
+
+    @pytest.mark.parametrize("overrides", [
+        dict(windows=[]),
+        dict(windows=[IR, "  "]),
+        dict(case_ids=["only-one"]),
+        dict(case_ids=["dup", "dup"]),
+        dict(rounds=0),
+        dict(models=[]),
+        dict(variants=[]),
+        dict(variants=[["LPO", 0]]),
+        dict(variants=[["LPO"]]),
+        dict(seeds=[1]),             # must match rounds
+    ])
+    def test_bad_specs_rejected(self, overrides):
+        with pytest.raises(ProtocolError):
+            small_spec(**overrides).validate()
+
+    def test_digest_is_structural_over_windows(self):
+        spaced = small_spec(windows=[IR.replace("  %a", "      %a"),
+                                     IR_B])
+        assert campaign_digest(small_spec()) == campaign_digest(spaced)
+
+    def test_digest_covers_knobs_not_correlation(self):
+        base = small_spec()
+        assert campaign_digest(base) != campaign_digest(
+            small_spec(rounds=3))
+        assert campaign_digest(base) != campaign_digest(
+            small_spec(models=["GPT-4.1"]))
+        assert campaign_digest(base) != campaign_digest(
+            small_spec(variants=[["LPO", 2]]))
+        assert campaign_digest(base) != campaign_digest(
+            small_spec(seeds=[5, 6]))
+        assert campaign_digest(base) != campaign_digest(base,
+                                                        llm_seed=7)
+        # Presentation/correlation metadata is excluded.
+        assert campaign_digest(base) == campaign_digest(
+            small_spec(campaign_id="x", tag="y",
+                       case_ids=["c", "d"]))
+
+    def test_default_seeds_match_round_indices(self):
+        assert small_spec().resolved_seeds() == [0, 1]
+        assert small_spec(seeds=[7, 9]).resolved_seeds() == [7, 9]
+
+
+class TestCampaignEngine:
+    def test_leg_order_is_models_outer_variants_inner(self):
+        spec = small_spec(models=["Gemma3", "Gemini2.0T"])
+        legs = campaign_legs(spec)
+        assert [(leg.model, leg.variant, leg.attempt_limit)
+                for leg in legs] == [
+            ("Gemma3", "LPO-", 1), ("Gemma3", "LPO", 2),
+            ("Gemini2.0T", "LPO-", 1), ("Gemini2.0T", "LPO", 2)]
+
+    def test_aggregation_and_round_order(self):
+        spec = small_spec()
+        calls = []
+
+        def run_round(leg, round_index, round_seed):
+            calls.append((leg.key, round_index, round_seed))
+            # window "a" detected in every round; "b" only in round 1.
+            return [RoundOutcome(found=True),
+                    RoundOutcome(found=round_index == 1, cached=True,
+                                 latency_seconds=0.5)]
+
+        result = execute_campaign(spec, run_round)
+        assert calls == [("Gemini2.0T/LPO-", 0, 0),
+                         ("Gemini2.0T/LPO-", 1, 1),
+                         ("Gemini2.0T/LPO", 0, 0),
+                         ("Gemini2.0T/LPO", 1, 1)]
+        for key in ("Gemini2.0T/LPO-", "Gemini2.0T/LPO"):
+            assert result.counts[key] == {"a": 2, "b": 1}
+            assert result.detections_per_round[key] == [1, 2]
+        assert result.ok
+        assert result.jobs == 8
+        assert result.cached_jobs == 4
+        assert result.latency["p50"] == 0.5
+
+    def test_failed_jobs_propagate(self):
+        def run_round(leg, round_index, round_seed):
+            return [RoundOutcome(found=False),
+                    RoundOutcome(found=False, ok=False,
+                                 error="boom")]
+
+        result = execute_campaign(small_spec(rounds=1,
+                                             variants=[["LPO", 2]]),
+                                  run_round)
+        assert not result.ok
+        assert result.failed_jobs == 1
+        assert result.error == "boom"
+
+    def test_progress_hook_sees_every_round(self):
+        seen = []
+        result = execute_campaign(
+            small_spec(),
+            lambda leg, i, seed: [RoundOutcome(found=True),
+                                  RoundOutcome(found=False)],
+            on_round=lambda leg, i, detections: seen.append(
+                (leg.key, i, detections)))
+        assert len(seen) == 4
+        assert all(detections == 1 for _key, _i, detections in seen)
+        assert result.jobs == 8
+
+    def test_mismatched_round_size_is_an_error(self):
+        with pytest.raises(ValueError):
+            execute_campaign(small_spec(),
+                             lambda leg, i, seed: [
+                                 RoundOutcome(found=False)])
+
+
+@pytest.fixture(scope="module")
+def small_rq1_config():
+    return RQ1Config(rounds=2, models=(GEMMA3, GEMINI20T),
+                     cases=rq1_cases()[:4], include_baselines=False)
+
+
+@pytest.fixture(scope="module")
+def expected_rq1(small_rq1_config):
+    return run_rq1(small_rq1_config)
+
+
+class TestServiceCampaign:
+    def test_service_campaign_matches_run_rq1(self, small_rq1_config,
+                                              expected_rq1):
+        # Acceptance: the service-side campaign engine reproduces the
+        # in-process detection matrix exactly (same seeds, same
+        # counts), job by job through the queue/cache machinery.
+        spec = rq1_campaign_spec(small_rq1_config)
+        with OptimizationService(jobs=2) as service:
+            result = service.run_campaign(spec)
+            warm = service.run_campaign(spec)
+            status = service.status()
+        got = campaign_to_rq1_results(result)
+        assert got.lpo_counts == expected_rq1.lpo_counts
+        assert result.ok
+        assert result.jobs == 2 * 2 * 2 * 4   # models*variants*rounds*cases
+        # The rerun is identical and served entirely from the job cache.
+        assert warm.counts == result.counts
+        assert warm.cached_jobs == warm.jobs
+        # Campaign metrics made it into the status payload.
+        campaigns = status["campaigns"]
+        assert campaigns["started"] == 2
+        assert campaigns["completed"] == 2
+        assert campaigns["rounds_completed"] == 2 * (2 * 2 * 2)
+        assert campaigns["active"] == []
+
+    def test_campaign_over_socket_matches(self, small_rq1_config,
+                                          expected_rq1):
+        spec = rq1_campaign_spec(small_rq1_config)
+        service = OptimizationService(jobs=2)
+        server = ServiceServer(service)
+        port = server.start_background()
+        try:
+            with ServiceClient(port, timeout=600) as client:
+                result = client.submit_campaign(spec)
+        finally:
+            server.stop()
+            service.close()
+        assert (campaign_to_rq1_results(result).lpo_counts
+                == expected_rq1.lpo_counts)
+        # The rendered matrix agrees with the in-process renderer.
+        assert (render_table2(campaign_to_rq1_results(result))
+                == render_table2(expected_rq1))
+
+    def test_client_campaign_id_restored(self):
+        service = OptimizationService(jobs=1)
+        server = ServiceServer(service)
+        port = server.start_background()
+        try:
+            with ServiceClient(port, timeout=120) as client:
+                result = client.submit_campaign(
+                    small_spec(rounds=1, campaign_id="mine",
+                               tag="exp-7"))
+        finally:
+            server.stop()
+            service.close()
+        assert result.campaign_id == "mine"
+        assert result.tag == "exp-7"
+
+    def test_unknown_model_raises(self):
+        with OptimizationService(jobs=1) as service:
+            with pytest.raises(ReproError, match="unknown model"):
+                service.run_campaign(small_spec(models=["GPT-9"]))
+
+    def test_unknown_model_over_socket_is_error_reply(self):
+        service = OptimizationService(jobs=1)
+        server = ServiceServer(service)
+        port = server.start_background()
+        try:
+            with ServiceClient(port) as client:
+                with pytest.raises(ReproError, match="unknown model"):
+                    client.submit_campaign(
+                        small_spec(models=["GPT-9"]))
+        finally:
+            server.stop()
+            service.close()
+
+    def test_malformed_campaign_over_socket_is_error_reply(self):
+        service = OptimizationService(jobs=1)
+        server = ServiceServer(service)
+        port = server.start_background()
+        try:
+            with ServiceClient(port) as client:
+                with pytest.raises((ReproError, ProtocolError)):
+                    client.submit_campaign(small_spec(windows=[]))
+        finally:
+            server.stop()
+            service.close()
+
+    def test_bad_window_becomes_failed_jobs_not_crash(self):
+        spec = small_spec(windows=[IR, "define i8 @broken( {"],
+                          rounds=1, variants=[["LPO", 2]])
+        with OptimizationService(jobs=1) as service:
+            result = service.run_campaign(spec)
+        assert not result.ok
+        assert result.failed_jobs == 1
+        assert result.error
+        assert result.counts["Gemini2.0T/LPO"]["b"] == 0
+
+    def test_aborted_campaign_still_settles_in_metrics(self):
+        # A campaign that dies mid-flight (here: a job-wait timeout)
+        # must still be recorded as finished (failed) — operators read
+        # campaign failures off `repro status`.
+        with OptimizationService(jobs=1) as service:
+            with pytest.raises(ReproError, match="timed out"):
+                service.run_campaign(small_spec(), timeout=1e-9)
+            service.drain(timeout=30)
+            campaigns = service.status()["campaigns"]
+        assert campaigns["started"] == 1
+        assert campaigns["completed"] == 0
+        assert campaigns["failed"] == 1
+        assert campaigns["active"] == []
+
+    def test_campaign_jobs_share_cache_with_one_shot_submits(self):
+        # A one-shot submit primes the job cache for the campaign's
+        # matching (model, seed, attempt_limit) jobs.
+        from repro.service import JobSpec
+        with OptimizationService(jobs=1) as service:
+            service.run(JobSpec(ir=IR, round_seed=0, attempt_limit=2))
+            result = service.run_campaign(
+                small_spec(windows=[IR], case_ids=["a"], rounds=1,
+                           variants=[["LPO", 2]]))
+        assert result.cached_jobs == 1
+
+
+class TestCampaignRendering:
+    def test_matrix_renders_campaign_models_only(self):
+        result = CampaignResult(
+            campaign_id="c", ok=True, rounds=2, case_ids=["7", "9"],
+            counts={"Gemma3/LPO-": {"7": 0, "9": 1},
+                    "Gemma3/LPO": {"7": 2, "9": 1}},
+            detections_per_round={})
+        text = render_table2(campaign_to_rq1_results(result))
+        assert "Gemma3 LPO-" in text and "Gemma3 LPO" in text
+        # No empty columns for models the campaign never ran.
+        assert "Gemini2.0T" not in text
+        assert "GPT-4.1" not in text
