@@ -1,16 +1,21 @@
-"""Service throughput benchmark: sustained jobs/sec, cold vs warm.
+"""Service throughput benchmark: sustained jobs/sec, cold vs warm,
+simulated vs HTTP backend.
 
 Runs the persistent optimization service over the full rq1 window
-corpus three ways — a cold pass through the in-process API (every job
-pays the LPO loop), a warm in-process pass (every job served from the
-sharded job cache), and a warm pass over the JSON-lines socket (cache
-hits plus wire/framing overhead) — and records sustained jobs/sec for
-each into ``benchmarks/results/service_throughput.txt`` with the
-standard ``[env]`` machine header.
+corpus five ways — ``backend=sim``: a cold pass through the in-process
+API (every job pays the LPO loop), a warm in-process pass (every job
+served from the sharded job cache), and a warm pass over the JSON-lines
+socket (cache hits plus wire/framing overhead); ``backend=http(stub)``:
+a cold and a warm pass where every LLM call additionally crosses the
+OpenAI-compatible chat-completions stub server over localhost TCP — and
+records sustained jobs/sec for each into
+``benchmarks/results/service_throughput.txt`` with the standard
+``[env]`` machine header.  The http rows keep the socket/HTTP overhead
+of the new backend path honest per PR.
 
-Findings equivalence across passes is asserted, not just timed, and the
-cache guard requires the warm in-process pass to beat cold by >= 10x
-(the acceptance bar for cache-served resubmission).
+Findings equivalence across passes (including sim vs http) is asserted,
+not just timed, and the cache guard requires each warm pass to beat its
+cold pass by >= 10x (the acceptance bar for cache-served resubmission).
 """
 
 import time
@@ -18,6 +23,7 @@ import time
 import pytest
 
 from repro.corpus.issues import rq1_cases
+from repro.llm import StubChatServer
 from repro.service import JobSpec, OptimizationService, ServiceClient, \
     ServiceServer
 
@@ -35,8 +41,16 @@ def test_bench_service_throughput(rq1_irs, bench_jobs, save_artifact):
     service = OptimizationService(jobs=bench_jobs, backend="thread")
     server = ServiceServer(service)
     port = server.start_background()
+    stub = StubChatServer().start()
+    http_model = stub.spec_for("Gemini2.0T")
+    # The http leg gets its own service: sharing one would let the sim
+    # passes pre-warm the step cache (opt/verify entries are
+    # model-independent) and make the http "cold" row a fake.
+    http_service = OptimizationService(jobs=bench_jobs,
+                                       backend="thread")
     try:
-        specs = lambda: [JobSpec(ir=ir) for ir in rq1_irs]  # noqa: E731
+        specs = lambda model="Gemini2.0T": [  # noqa: E731
+            JobSpec(ir=ir, model=model) for ir in rq1_irs]
 
         start = time.perf_counter()
         cold = service.run_many(specs())
@@ -51,47 +65,85 @@ def test_bench_service_throughput(rq1_irs, bench_jobs, save_artifact):
             socket_warm = client.submit_many(specs())
             socket_wall = time.perf_counter() - start
 
+        # The same corpus from scratch, with every LLM call crossing
+        # the OpenAI-compatible stub over localhost.
+        start = time.perf_counter()
+        http_cold = http_service.run_many(specs(http_model))
+        http_cold_wall = time.perf_counter() - start
+
+        start = time.perf_counter()
+        http_warm = http_service.run_many(specs(http_model))
+        http_warm_wall = time.perf_counter() - start
+
         status = service.status()
+        http_status = http_service.status()
     finally:
+        stub.stop()
         server.stop()
         service.close()
+        http_service.close()
 
     # Equivalence before throughput: all passes agree on every verdict.
     assert [r.status for r in warm] == [r.status for r in cold]
     assert [r.status for r in socket_warm] == [r.status for r in cold]
+    assert [r.status for r in http_cold] == [r.status for r in cold]
+    assert [r.status for r in http_warm] == [r.status for r in cold]
     assert not any(r.cached for r in cold)
     assert all(r.cached for r in warm)
     assert all(r.cached for r in socket_warm)
+    assert not any(r.cached for r in http_cold)
+    assert all(r.cached for r in http_warm)
 
     jobs = len(rq1_irs)
     findings = sum(r.found for r in cold)
     latency = status["latency"]
+    sim_backend = status["llm_backend"]
+    http_backend = http_status["llm_backend"]
+    http_calls = max(http_backend["calls"], 1)
+    # The backend's measured wall per HTTP round-trip (request framing,
+    # localhost TCP, stub-side completion) — a stabler overhead figure
+    # than subtracting the noisy CPU-bound cold walls.
+    http_call_ms = http_backend["latency_seconds"] / http_calls * 1e3
     lines = [
         f"rq1 corpus: {jobs} jobs per pass, {findings} findings "
         f"(thread backend, jobs={bench_jobs}, "
         f"{status['cache_shards']} cache shards)",
-        f"cold in-process:  {cold_wall:8.2f}s  "
+        f"backend=sim        cold in-process:  {cold_wall:8.2f}s  "
         f"{_jobs_per_sec(jobs, cold_wall):8.1f} jobs/s "
         f"(every job runs the LPO loop)",
-        f"warm in-process:  {warm_wall:8.3f}s  "
+        f"backend=sim        warm in-process:  {warm_wall:8.3f}s  "
         f"{_jobs_per_sec(jobs, warm_wall):8.1f} jobs/s "
         f"(x{cold_wall / max(warm_wall, 1e-9):.0f} vs cold; all "
         f"served from the job cache)",
-        f"warm over socket: {socket_wall:8.3f}s  "
+        f"backend=sim        warm over socket: {socket_wall:8.3f}s  "
         f"{_jobs_per_sec(jobs, socket_wall):8.1f} jobs/s "
         f"(JSON-lines framing + TCP on top of cache hits)",
+        f"backend=http(stub) cold in-process:  {http_cold_wall:8.2f}s  "
+        f"{_jobs_per_sec(jobs, http_cold_wall):8.1f} jobs/s "
+        f"(every LLM call crosses the chat-completions stub; "
+        f"{http_call_ms:.1f}ms measured wall per http call)",
+        f"backend=http(stub) warm in-process:  {http_warm_wall:8.3f}s  "
+        f"{_jobs_per_sec(jobs, http_warm_wall):8.1f} jobs/s "
+        f"(x{http_cold_wall / max(http_warm_wall, 1e-9):.0f} vs cold)",
         f"service latency percentiles over all passes: "
         f"p50 {latency['p50'] * 1e3:.1f}ms "
         f"p90 {latency['p90'] * 1e3:.1f}ms "
         f"p99 {latency['p99'] * 1e3:.1f}ms",
-        f"job cache: {status['cache_hits']} hit / "
+        f"job cache (sim service): {status['cache_hits']} hit / "
         f"{status['cache_misses']} miss "
         f"({status['job_cache_entries']} entries); pipelines "
         f"constructed: {status['pipeline_constructions']}",
+        f"llm calls: sim {sim_backend['calls']}, http "
+        f"{http_backend['calls']} ({http_backend['retries']} retries, "
+        f"{http_backend['failures']} failures)",
     ]
     save_artifact("service_throughput", "\n".join(lines))
 
-    # Guard rails: the warm pass must be served entirely from cache and
-    # be dramatically (>=10x) faster than paying the loop.
+    # Guard rails: each warm pass must be served entirely from cache
+    # and be dramatically (>=10x) faster than paying the loop; the two
+    # legs must pay the same number of LLM calls.
     assert status["cache_misses"] == jobs
+    assert http_status["cache_misses"] == jobs
+    assert sim_backend["calls"] == http_backend["calls"]
     assert warm_wall < cold_wall / 10
+    assert http_warm_wall < http_cold_wall / 10

@@ -7,7 +7,8 @@ This is the workload the paper ran intermittently for eleven months over
 the LLVM Opt Benchmark; here a seeded synthetic corpus stands in for the
 240 projects, and the whole sweep takes under a minute.
 
-Run:  python examples/discover_in_corpus.py [model-name]
+Run:  python examples/discover_in_corpus.py [model-spec]
+(a profile name, sim:Name?seed=N, or http://host:port/model)
 """
 
 import sys
@@ -19,12 +20,11 @@ from repro.core import (
     extract_from_corpus,
 )
 from repro.corpus import generate_corpus
-from repro.llm import MODELS_BY_NAME, SimulatedLLM, default_knowledge_base
+from repro.llm import default_knowledge_base, resolve_backend
 
 
 def main() -> None:
     model_name = sys.argv[1] if len(sys.argv) > 1 else "Gemini2.0T"
-    profile = MODELS_BY_NAME[model_name]
 
     print(f"generating corpus (4 projects, model: {model_name})...")
     corpus = generate_corpus(
@@ -37,7 +37,7 @@ def main() -> None:
           f"({stats.duplicates} duplicates removed, "
           f"{stats.still_optimizable} already-optimizable skipped)")
 
-    pipeline = LPOPipeline(SimulatedLLM(profile, seed=7),
+    pipeline = LPOPipeline(resolve_backend(model_name, seed=7),
                            PipelineConfig())
     knowledge = default_knowledge_base()
 

@@ -40,6 +40,15 @@ Service example (two shells, or background the first)::
 ``submit`` exits 0 on a clean run even when nothing was found (pass
 ``--fail-on-empty`` for the old grep-like behavior); nonzero means a
 transport or job error.
+
+Every ``--model``/``--models`` option takes a *model spec* resolved
+through :func:`repro.llm.backends.resolve_backend`: a bare profile
+name (``Gemini2.0T``), a simulated backend with knobs
+(``sim:GPT-4o?seed=7``), or an OpenAI-compatible endpoint
+(``http://host:port/model?timeout=30&retries=2&rps=8``)::
+
+    $ repro pipeline window.ll --model "sim:o4-mini?seed=3"
+    $ repro submit module.ll --port 7777 --model http://10.0.0.5:8000/llama
 """
 
 from __future__ import annotations
@@ -106,6 +115,31 @@ def cmd_extract(args: argparse.Namespace) -> int:
     return 0
 
 
+def _resolve_model(spec: str, seed: int):
+    """The CLI's one model-resolution path: a resolved
+    :class:`~repro.llm.backends.CompletionBackend`, or ``None`` after
+    printing the standard unknown-spec message (callers exit 2)."""
+    from repro.llm.backends import BackendResolutionError, resolve_backend
+    try:
+        return resolve_backend(spec, seed=seed)
+    except BackendResolutionError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return None
+
+
+def _validate_model_specs(specs) -> bool:
+    """Parse-only validation (no backend construction) with the same
+    error path as :func:`_resolve_model`."""
+    from repro.llm.backends import BackendResolutionError, parse_backend_spec
+    try:
+        for spec in specs:
+            parse_backend_spec(spec)
+    except BackendResolutionError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return False
+    return True
+
+
 def _make_cache(path: Optional[str]):
     from repro.core import ResultCache
     return ResultCache(path)
@@ -121,14 +155,11 @@ def _report_cache(cache, save: bool) -> None:
 
 def cmd_pipeline(args: argparse.Namespace) -> int:
     from repro.core import LPOPipeline, PipelineConfig, window_from_text
-    from repro.llm import MODELS_BY_NAME, SimulatedLLM
-    profile = MODELS_BY_NAME.get(args.model)
-    if profile is None:
-        print(f"unknown model {args.model!r}; choose from "
-              f"{sorted(MODELS_BY_NAME)}", file=sys.stderr)
+    client = _resolve_model(args.model, args.seed)
+    if client is None:
         return 2
     cache = _make_cache(args.cache)
-    pipeline = LPOPipeline(SimulatedLLM(profile, seed=args.seed),
+    pipeline = LPOPipeline(client,
                            PipelineConfig(attempt_limit=args.attempts),
                            cache=cache)
     window = window_from_text(_read(args.file))
@@ -151,11 +182,8 @@ def cmd_pipeline(args: argparse.Namespace) -> int:
 def cmd_batch(args: argparse.Namespace) -> int:
     from repro.core import LPOPipeline, PipelineConfig, extract_from_corpus
     from repro.ir import parse_module
-    from repro.llm import MODELS_BY_NAME, SimulatedLLM
-    profile = MODELS_BY_NAME.get(args.model)
-    if profile is None:
-        print(f"unknown model {args.model!r}; choose from "
-              f"{sorted(MODELS_BY_NAME)}", file=sys.stderr)
+    client = _resolve_model(args.model, args.seed)
+    if client is None:
         return 2
     module = parse_module(_read(args.file))
     windows = extract_from_corpus([module])
@@ -163,7 +191,7 @@ def cmd_batch(args: argparse.Namespace) -> int:
         print("no windows extracted", file=sys.stderr)
         return 1
     cache = _make_cache(args.cache)
-    pipeline = LPOPipeline(SimulatedLLM(profile, seed=args.seed),
+    pipeline = LPOPipeline(client,
                            PipelineConfig(attempt_limit=args.attempts),
                            cache=cache)
     try:
@@ -186,10 +214,13 @@ def cmd_batch(args: argparse.Namespace) -> int:
 
 def cmd_serve(args: argparse.Namespace) -> int:
     from repro.service import OptimizationService, ServiceServer
+    if not _validate_model_specs([args.model]):
+        return 2
     service = OptimizationService(
         jobs=args.jobs, backend=args.backend,
         queue_limit=args.queue_limit, cache_shards=args.shards,
-        cache_entries=args.cache_entries, llm_seed=args.seed)
+        cache_entries=args.cache_entries, llm_seed=args.seed,
+        default_model=args.model)
     server = ServiceServer(service, host=args.host, port=args.port)
     try:
         server.start_background()
@@ -365,6 +396,10 @@ def cmd_submit(args: argparse.Namespace) -> int:
         print("specify exactly one of FILE, --watch DIR, or --stdin",
               file=sys.stderr)
         return 2
+    # Reject a bad --model spec before connecting (empty means "use
+    # the service's default").
+    if args.model and not _validate_model_specs([args.model]):
+        return 2
     with ServiceClient(args.port, host=args.host,
                        timeout=args.timeout) as client:
         if args.watch:
@@ -393,14 +428,10 @@ def cmd_submit(args: argparse.Namespace) -> int:
 
 def cmd_campaign(args: argparse.Namespace) -> int:
     from repro.experiments import campaign_to_rq1_results, render_table2
-    from repro.llm import MODELS_BY_NAME
     from repro.service import CampaignSpec, ServiceClient
     models = [name.strip() for name in args.models.split(",")
               if name.strip()]
-    unknown = [name for name in models if name not in MODELS_BY_NAME]
-    if unknown:
-        print(f"unknown model(s) {', '.join(unknown)}; choose from "
-              f"{sorted(MODELS_BY_NAME)}", file=sys.stderr)
+    if not _validate_model_specs(models):
         return 2
     if args.file:
         from repro.core import extract_from_corpus
@@ -463,6 +494,11 @@ def cmd_status(args: argparse.Namespace) -> int:
           f"{status.get('job_cache_entries')} entries over "
           f"{status.get('cache_shards')} shards)")
     print(f"step cache: {status.get('step_cache')}")
+    backend = status.get("llm_backend", {})
+    print(f"llm backend: {backend.get('calls', 0)} calls, "
+          f"{backend.get('retries', 0)} retries, "
+          f"{backend.get('failures', 0)} failures, "
+          f"{backend.get('rate_limit_waits', 0)} rate-limit waits")
     print(f"latency: p50 {lat.get('p50', 0.0) * 1e3:.1f}ms "
           f"p90 {lat.get('p90', 0.0) * 1e3:.1f}ms "
           f"p99 {lat.get('p99', 0.0) * 1e3:.1f}ms; "
@@ -558,9 +594,15 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("file")
     p.set_defaults(func=cmd_extract)
 
+    model_spec_help = (
+        "model spec: a profile name (Gemini2.0T), sim:<name>[?seed=N], "
+        "or an OpenAI-compatible endpoint http://host:port/<model>"
+        "[?timeout=&retries=&rps=&concurrency=]")
+
     p = sub.add_parser("pipeline", help="run the LPO loop on a window")
     p.add_argument("file")
-    p.add_argument("--model", default="Gemini2.0T")
+    p.add_argument("--model", default="Gemini2.0T", metavar="SPEC",
+                   help=model_spec_help)
     p.add_argument("--rounds", type=int, default=5)
     p.add_argument("--attempts", type=int, default=2)
     p.add_argument("--seed", type=int, default=0)
@@ -573,7 +615,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="run the LPO loop over every window of a "
                             "module on a worker pool")
     p.add_argument("file")
-    p.add_argument("--model", default="Gemini2.0T")
+    p.add_argument("--model", default="Gemini2.0T", metavar="SPEC",
+                   help=model_spec_help)
     p.add_argument("--jobs", type=int, default=1, metavar="N",
                    help="worker pool width (default 1: serial)")
     p.add_argument("--backend", choices=("thread", "process"),
@@ -604,6 +647,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="total LRU cap across cache shards")
     p.add_argument("--seed", type=int, default=0,
                    help="simulated-LLM sampling seed")
+    p.add_argument("--model", default="Gemini2.0T", metavar="SPEC",
+                   help="default model spec for jobs submitted "
+                        "without one (validated at startup); "
+                        + model_spec_help)
     p.add_argument("--port-file", metavar="PATH",
                    help="write the bound port here once listening "
                         "(useful with --port 0)")
@@ -631,7 +678,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default: clean no-find exits 0)")
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=7777)
-    p.add_argument("--model", default="Gemini2.0T")
+    p.add_argument("--model", default="Gemini2.0T", metavar="SPEC",
+                   help=model_spec_help + " (empty: the serving "
+                        "side's default)")
     p.add_argument("--attempts", type=int, default=2)
     p.add_argument("--seed", type=int, default=0,
                    help="round seed for the LPO loop")
@@ -647,8 +696,8 @@ def build_parser() -> argparse.ArgumentParser:
                         "(default: the 25-issue rq1 benchmark)")
     p.add_argument("--rounds", type=int, default=5)
     p.add_argument("--models", default="Gemini2.0T",
-                   help="comma-separated model names (each runs "
-                        "LPO- and LPO legs)")
+                   help="comma-separated model specs (each runs "
+                        "LPO- and LPO legs); " + model_spec_help)
     p.add_argument("--attempts", type=int, default=2,
                    help="attempt limit of the LPO leg (LPO- is "
                         "always 1)")

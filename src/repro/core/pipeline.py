@@ -19,6 +19,15 @@ one by default; pass a persistent cache to share outcomes across runs),
 and :meth:`LPOPipeline.run_batch` fans independent windows over a
 :class:`~repro.core.scheduler.BatchScheduler` worker pool while keeping
 results bit-identical to the sequential :meth:`LPOPipeline.run`.
+
+When the client is a batch-first
+:class:`~repro.llm.backends.CompletionBackend`, ``run_batch`` instead
+drives the loop in *waves*: every active window's next attempt is
+issued as one ``complete_many`` batch (so an HTTP backend keeps many
+requests in flight on its connection pool), then each response is
+absorbed in window order — the post-LLM steps and the cache see exactly
+the sequence the sequential driver produces, so results stay
+bit-identical there too.
 """
 
 from __future__ import annotations
@@ -94,6 +103,19 @@ class WindowResult:
         return print_function(self.candidate)
 
 
+@dataclass
+class _AttemptState:
+    """Mutable per-window loop state shared by the sequential driver
+    and the wavefront (``complete_many``) driver."""
+
+    window: Window
+    result: WindowResult
+    window_text: str
+    canonical: Optional[Function] = None
+    feedback: str = ""
+    attempt: int = 0
+
+
 class LPOPipeline:
     """Algorithm 1 over a single window or a stream of windows."""
 
@@ -164,72 +186,125 @@ class LPOPipeline:
         return verification
 
     # -- the closed loop over one window --------------------------------
+    def _absorb_response(self, state: "_AttemptState",
+                         response) -> bool:
+        """Steps ③–⑦ for one LLM answer; returns True when the loop
+        should retry with the feedback now stored on ``state`` (the
+        caller re-checks the attempt limit)."""
+        config = self.config
+        result = state.result
+        result.usage += response.usage
+        record = AttemptRecord(attempt=state.attempt,
+                               response_text=response.text,
+                               outcome="pending")
+        result.attempts.append(record)
+
+        # Step 3: opt — syntax check + canonicalize/optimize.
+        candidate, opt_error = self._opt_candidate(
+            response.extract_ir())
+        if candidate is None:
+            state.attempt += 1
+            state.feedback = opt_error
+            record.outcome = "syntax-error"
+            record.feedback = opt_error
+            return True
+
+        # Step 4: interestingness (against the canonicalized window).
+        report = check_interestingness(state.canonical, candidate)
+        record.interestingness = report
+        if not report.interesting:
+            record.outcome = f"uninteresting ({report.reason})"
+            return False  # Algorithm 1 line 16: abandon this window.
+
+        # Step 5: correctness (Alive2 substitute).
+        verification = self._check_refinement(state.window, candidate)
+        record.verification = verification
+        accepted = (verification.is_proof if config.require_proof
+                    else verification.is_correct)
+        if accepted:
+            record.outcome = "found"
+            result.found = True
+            result.candidate = candidate
+            return False
+        if verification.status in ("refuted", "error"):
+            state.attempt += 1
+            state.feedback = verification.counter_example
+            record.outcome = ("incorrect"
+                              if verification.status == "refuted"
+                              else "verifier-error")
+            record.feedback = state.feedback
+            return True
+        record.outcome = f"unverified ({verification.status})"
+        return False
+
+    def _begin_window(self, window: Window) -> "_AttemptState":
+        state = _AttemptState(
+            window=window,
+            result=WindowResult(window=window, found=False),
+            window_text=print_function(window.function))
+        start = time.perf_counter()
+        state.canonical = self._canonical_source(window)
+        state.result.elapsed_seconds += time.perf_counter() - start
+        return state
+
+    def _request(self, state: "_AttemptState",
+                 round_seed: int) -> PromptRequest:
+        return PromptRequest(window_ir=state.window_text,
+                             feedback=state.feedback,
+                             attempt=state.attempt,
+                             round_seed=round_seed)
+
     def optimize_window(self, window: Window,
                         round_seed: int = 0) -> WindowResult:
         config = self.config
-        result = WindowResult(window=window, found=False)
         start = time.perf_counter()
-        window_text = print_function(window.function)
-        canonical_source = self._canonical_source(window)
-        feedback = ""
-        attempt = 0
-        while attempt < config.attempt_limit:
-            request = PromptRequest(window_ir=window_text,
-                                    feedback=feedback,
-                                    attempt=attempt,
-                                    round_seed=round_seed)
-            response = self.client.complete(request)
-            result.usage.add(response.usage)
-            record = AttemptRecord(attempt=attempt,
-                                   response_text=response.text,
-                                   outcome="pending")
-            result.attempts.append(record)
-
-            # Step 3: opt — syntax check + canonicalize/optimize.
-            candidate, opt_error = self._opt_candidate(
-                response.extract_ir())
-            if candidate is None:
-                attempt += 1
-                feedback = opt_error
-                record.outcome = "syntax-error"
-                record.feedback = feedback
-                continue
-
-            # Step 4: interestingness (against the canonicalized window).
-            report = check_interestingness(canonical_source, candidate)
-            record.interestingness = report
-            if not report.interesting:
-                record.outcome = f"uninteresting ({report.reason})"
-                break  # Algorithm 1 line 16: abandon this window.
-
-            # Step 5: correctness (Alive2 substitute).
-            verification = self._check_refinement(window, candidate)
-            record.verification = verification
-            accepted = (verification.is_proof if config.require_proof
-                        else verification.is_correct)
-            if accepted:
-                record.outcome = "found"
-                result.found = True
-                result.candidate = candidate
+        state = self._begin_window(window)
+        while state.attempt < config.attempt_limit:
+            response = self.client.complete(
+                self._request(state, round_seed))
+            if not self._absorb_response(state, response):
                 break
-            if verification.status in ("refuted", "error"):
-                attempt += 1
-                feedback = verification.counter_example
-                record.outcome = ("incorrect"
-                                  if verification.status == "refuted"
-                                  else "verifier-error")
-                record.feedback = feedback
-                continue
-            record.outcome = f"unverified ({verification.status})"
-            break
-        result.elapsed_seconds = time.perf_counter() - start
-        return result
+        state.result.elapsed_seconds = time.perf_counter() - start
+        return state.result
 
     # -- stream drivers ----------------------------------------------------
     def run(self, windows: Sequence[Window],
             round_seed: int = 0) -> List[WindowResult]:
         return [self.optimize_window(window, round_seed=round_seed)
                 for window in windows]
+
+    def _run_waves(self, windows: Sequence[Window],
+                   round_seed: int) -> Tuple[List[WindowResult], int]:
+        """Drive all windows through the loop in attempt *waves*: one
+        ``complete_many`` batch per wave over every still-active
+        window, then absorb the responses in window order.
+
+        Bit-identical to :meth:`run` — each response depends only on
+        its own request, and the cached post-LLM steps execute in the
+        same window order a sequential pass uses.  Per-window
+        ``elapsed_seconds`` counts that window's own compute (the
+        shared batch wait is not attributed to any one window).
+        """
+        config = self.config
+        states = [self._begin_window(window) for window in windows]
+        active = [state for state in states
+                  if config.attempt_limit > 0]
+        waves = 0
+        while active:
+            requests = [self._request(state, round_seed)
+                        for state in active]
+            responses = self.client.complete_many(requests)
+            waves += 1
+            retrying = []
+            for state, response in zip(active, responses):
+                start = time.perf_counter()
+                retry = self._absorb_response(state, response)
+                state.result.elapsed_seconds += (
+                    time.perf_counter() - start)
+                if retry and state.attempt < config.attempt_limit:
+                    retrying.append(state)
+            active = retrying
+        return [state.result for state in states], waves
 
     def run_batch(self, windows: Sequence[Window],
                   round_seed: int = 0,
@@ -251,7 +326,18 @@ class LPOPipeline:
         start = time.perf_counter()
         effective = scheduler.effective_backend(len(windows))
         constructions = 0
-        if effective == "process":
+        waves = 0
+        batching = callable(getattr(self.client, "complete_many",
+                                    None))
+        if batching and effective != "process":
+            # A batch-first backend owns the LLM concurrency: each
+            # wave's candidate requests go out as one complete_many
+            # call (the HTTP backend keeps them in flight together),
+            # replacing the scheduler's thread fan-out — which was
+            # GIL-bound on the pure-Python post-steps anyway.  The
+            # process backend keeps the per-worker path below.
+            results, waves = self._run_waves(windows, round_seed)
+        elif effective == "process":
             # Workers build their pipeline ONCE in the executor
             # initializer (client + config + the pre-batch cache
             # entries cross the pickle boundary once per worker); each
@@ -282,7 +368,8 @@ class LPOPipeline:
                            wall_seconds=wall,
                            cache=self.cache.stats.delta_since(
                                stats_before),
-                           pipeline_constructions=constructions)
+                           pipeline_constructions=constructions,
+                           llm_waves=waves)
         for result in results:
             stats.record(result)
         return BatchResult(results, stats)

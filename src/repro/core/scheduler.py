@@ -27,7 +27,6 @@ compute time, and the cache hit/miss delta for the batch.
 
 from __future__ import annotations
 
-import time
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, TypeVar
@@ -58,6 +57,9 @@ class BatchStats:
     #: batch paid across all workers (== live workers when the executor
     #: initializer is doing its job, instead of one per task).
     pipeline_constructions: int = 0
+    #: Batch-first clients only: how many ``complete_many`` waves the
+    #: pipeline's wavefront driver issued (0 on the per-window paths).
+    llm_waves: int = 0
 
     def record(self, result) -> None:
         """Fold one :class:`~repro.core.pipeline.WindowResult` in."""
@@ -65,7 +67,7 @@ class BatchStats:
         self.found += int(result.found)
         status = result.status
         self.outcomes[status] = self.outcomes.get(status, 0) + 1
-        self.usage.add(result.usage)
+        self.usage += result.usage
         self.compute_seconds += result.elapsed_seconds
 
     def render(self) -> str:
@@ -79,6 +81,8 @@ class BatchStats:
         if self.pipeline_constructions:
             out += (f"; {self.pipeline_constructions} worker pipeline "
                     f"construction(s)")
+        if self.llm_waves:
+            out += f"; {self.llm_waves} llm wave(s)"
         return out
 
 

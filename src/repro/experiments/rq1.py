@@ -25,8 +25,8 @@ from repro.core.cache import ResultCache
 from repro.core.pipeline import LPOPipeline, PipelineConfig, window_from_text
 from repro.corpus.issues import IssueCase, rq1_cases
 from repro.experiments.tables import format_count_cell, render_table
+from repro.llm.backends import resolve_client
 from repro.llm.profiles import RQ1_MODELS, ModelProfile
-from repro.llm.simulated import SimulatedLLM
 from repro.service.campaign import (
     CampaignLeg,
     RoundOutcome,
@@ -119,8 +119,12 @@ def run_rq1(config: Optional[RQ1Config] = None) -> RQ1Results:
                   round_seed: int) -> List[RoundOutcome]:
         pipeline = pipelines.get(leg)
         if pipeline is None:
-            client = SimulatedLLM(profiles[leg.model],
-                                  seed=config.seed)
+            # The one model-resolution path: registered profiles go
+            # through the backend registry by name; ad-hoc profiles
+            # are wrapped directly (both bit-identical to the seed
+            # SimulatedLLM construction — tests pin Table 2 counts).
+            client = resolve_client(profiles[leg.model],
+                                    seed=config.seed)
             pipeline = LPOPipeline(client, PipelineConfig(
                 attempt_limit=leg.attempt_limit), cache=cache)
             pipelines[leg] = pipeline

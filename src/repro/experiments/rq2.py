@@ -151,16 +151,15 @@ def run_discovery(model_name: str = "Llama3.3",
     from repro.core.extractor import ExtractionStats, extract_from_corpus
     from repro.core.pipeline import LPOPipeline, PipelineConfig
     from repro.corpus.generator import generate_corpus
+    from repro.llm.backends import resolve_client
     from repro.llm.knowledge import default_knowledge_base
-    from repro.llm.profiles import MODELS_BY_NAME
-    from repro.llm.simulated import SimulatedLLM
 
     corpus = generate_corpus(projects=projects, seed=seed,
                              modules_per_project=modules_per_project)
     stats = ExtractionStats()
     windows = extract_from_corpus(corpus, stats=stats)
     windows = windows[:max_windows]
-    client = SimulatedLLM(MODELS_BY_NAME[model_name], seed=seed)
+    client = resolve_client(model_name, seed=seed)
     pipeline = LPOPipeline(client, PipelineConfig(), cache=cache)
     knowledge = default_knowledge_base()
     report = DiscoveryReport(

@@ -22,8 +22,8 @@ from repro.core.extractor import Window, extract_from_corpus
 from repro.core.pipeline import LPOPipeline, PipelineConfig
 from repro.corpus.generator import generate_corpus
 from repro.experiments.tables import render_table
+from repro.llm.backends import resolve_client
 from repro.llm.profiles import GEMINI25, LLAMA33, ModelProfile
-from repro.llm.simulated import SimulatedLLM
 
 
 @dataclass
@@ -82,7 +82,7 @@ def run_rq3(config: Optional[RQ3Config] = None) -> RQ3Results:
     for profile in config.models:
         cache = (config.cache if config.cache is not None
                  else ResultCache())
-        client = SimulatedLLM(profile, seed=config.seed)
+        client = resolve_client(profile, seed=config.seed)
         pipeline = LPOPipeline(client, PipelineConfig(), cache=cache)
         throughput = ToolThroughput(
             tool=f"LPO/{profile.name}", cases=len(windows))

@@ -1,6 +1,36 @@
-"""LLM clients: the simulated models and their capability profiles."""
+"""LLM access: model specs, completion backends, and the simulation.
 
+Models are addressed by *spec* strings resolved through one registry
+(:func:`resolve_backend` in :mod:`repro.llm.backends`): bare profile
+names (``Gemini2.0T``), simulated backends with knobs
+(``sim:GPT-4o?seed=7``), and OpenAI-compatible HTTP endpoints
+(``http://host:port/model``).  Backends are batch-first
+(``complete_many``) with per-backend retry/timeout/rate-limit policy
+and unified :class:`Usage` accounting; :class:`SimulatedBackend` wraps
+the capability-profiled :class:`SimulatedLLM` bit-identically, and
+:class:`StubChatServer` is the in-repo endpoint double for the HTTP
+path.
+"""
+
+from repro.llm.backends import (
+    BackendError,
+    BackendProtocolError,
+    BackendResolutionError,
+    BackendStats,
+    BackendTimeoutError,
+    CompletionBackend,
+    HTTPBackend,
+    ParsedBackendSpec,
+    RetryPolicy,
+    SimulatedBackend,
+    known_backend_specs,
+    parse_backend_spec,
+    register_backend_scheme,
+    resolve_backend,
+    resolve_client,
+)
 from repro.llm.client import (
+    FEEDBACK_HEADER,
     SYSTEM_PROMPT,
     LLMClient,
     LLMResponse,
@@ -27,12 +57,19 @@ from repro.llm.profiles import (
     ModelProfile,
 )
 from repro.llm.simulated import SimulatedLLM
+from repro.llm.stub import StubChatServer
 
 __all__ = [
-    "SYSTEM_PROMPT", "LLMClient", "LLMResponse", "PromptRequest", "Usage",
-    "estimate_tokens",
+    "BackendError", "BackendProtocolError", "BackendResolutionError",
+    "BackendStats", "BackendTimeoutError", "CompletionBackend",
+    "HTTPBackend", "ParsedBackendSpec", "RetryPolicy",
+    "SimulatedBackend", "known_backend_specs", "parse_backend_spec",
+    "register_backend_scheme", "resolve_backend", "resolve_client",
+    "FEEDBACK_HEADER", "SYSTEM_PROMPT", "LLMClient", "LLMResponse",
+    "PromptRequest", "Usage", "estimate_tokens",
     "KnowledgeBase", "KnowledgeEntry", "default_knowledge_base",
     "ALL_MODELS", "GEMINI20", "GEMINI20T", "GEMINI25", "GEMMA3", "GPT41",
     "LLAMA33", "MODELS_BY_NAME", "O4MINI", "RQ1_MODELS", "ModelProfile",
     "SimulatedLLM",
+    "StubChatServer",
 ]

@@ -1,0 +1,793 @@
+"""Pluggable completion backends: URI-addressed, batch-first LLM access.
+
+This module is the **one model-resolution path** of the repo: every
+consumer of a model — the CLI, the experiment runners, the pipeline's
+batch driver, and the service's worker pool — turns a *model spec*
+string into a :class:`CompletionBackend` through :func:`resolve_backend`
+and never touches ``MODELS_BY_NAME`` directly.
+
+Model specs
+===========
+
+* ``Gemini2.0T``                — a bare profile name (sugar for
+  ``sim:Gemini2.0T``);
+* ``sim:GPT-4o?seed=7``         — the simulated model, with optional
+  per-backend sampling-seed / ``generalized=0`` overrides;
+* ``http://host:port/Model``    — an OpenAI-compatible
+  chat-completions endpoint (``https://`` likewise).  The final path
+  segment names the model; any prefix becomes the API base path
+  (default ``/v1``), so ``http://host:8000/v1/llama`` posts to
+  ``/v1/chat/completions`` with ``model="llama"``.  Query parameters
+  tune the transport: ``timeout``, ``retries``, ``backoff``,
+  ``backoff_multiplier``, ``max_backoff``, ``rps`` (rate-limit pacing),
+  ``concurrency`` (in-flight request cap / connection-pool size).
+
+New schemes register through :func:`register_backend_scheme`.
+
+The backend API
+===============
+
+:class:`CompletionBackend` is batch-first — ``complete_many(requests)``
+returns one :class:`~repro.llm.client.LLMResponse` per request, in
+order — and still satisfies the classic
+:class:`~repro.llm.client.LLMClient` protocol (``complete`` /
+``model_name``), so a backend drops into :class:`LPOPipeline`
+unchanged.  Each backend owns a :class:`RetryPolicy` (bounded retries
+with a *deterministic* backoff schedule, a request timeout surfaced as
+:class:`BackendTimeoutError`, and optional requests-per-second pacing)
+and a thread-safe :class:`BackendStats` with unified
+:class:`~repro.llm.client.Usage` accounting.
+
+:class:`SimulatedBackend` is the reference backend — a thin wrapper
+over :class:`~repro.llm.simulated.SimulatedLLM` with **bit-identical**
+responses.  :class:`HTTPBackend` fans a batch over a keep-alive
+connection pool so many requests are in flight at once; the in-repo
+:class:`~repro.llm.stub.StubChatServer` speaks the matching wire shape
+for tests and benchmarks.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+from urllib.parse import parse_qsl, urlsplit
+
+from repro.errors import ReproError
+from repro.llm.client import LLMResponse, PromptRequest, Usage
+from repro.llm.knowledge import KnowledgeBase
+from repro.llm.profiles import MODELS_BY_NAME, ModelProfile
+from repro.llm.simulated import SimulatedLLM
+
+
+class BackendError(ReproError):
+    """A completion backend failed to produce a response."""
+
+
+class BackendTimeoutError(BackendError):
+    """The request (including every retry) ran out of time."""
+
+
+class BackendProtocolError(BackendError):
+    """The endpoint answered with an out-of-contract payload."""
+
+
+class BackendResolutionError(ReproError):
+    """A model spec that names no resolvable backend."""
+
+
+# -- retry / pacing --------------------------------------------------------
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounded retries with a deterministic backoff schedule.
+
+    The schedule is geometric and *unjittered* on purpose: reproduction
+    runs must behave identically across hosts (a real deployment would
+    add jitter).  ``requests_per_second`` paces every outbound request
+    (retries included) so a burst of ``complete_many`` calls cannot
+    trip a provider's rate limit; ``0`` disables pacing.
+    """
+
+    max_retries: int = 2
+    backoff_seconds: float = 0.1
+    backoff_multiplier: float = 2.0
+    max_backoff_seconds: float = 2.0
+    timeout_seconds: float = 30.0
+    requests_per_second: float = 0.0
+
+    def backoff(self, retry_index: int) -> float:
+        """Delay before retry ``retry_index`` (0-based), capped."""
+        delay = (self.backoff_seconds
+                 * (self.backoff_multiplier ** retry_index))
+        return min(delay, self.max_backoff_seconds)
+
+    def schedule(self) -> Tuple[float, ...]:
+        """The full deterministic backoff schedule, one delay per
+        permitted retry."""
+        return tuple(self.backoff(index)
+                     for index in range(self.max_retries))
+
+
+class _Pacer:
+    """Global request spacing: at most ``requests_per_second`` calls
+    enter the wire per second, across all of a backend's threads.
+
+    Slots are handed out under a lock (deterministic ordering per
+    arrival); the sleep happens outside it so waiting callers don't
+    serialize each other further.
+    """
+
+    def __init__(self, requests_per_second: float,
+                 clock: Callable[[], float] = time.monotonic,
+                 sleep: Callable[[float], None] = time.sleep):
+        self._interval = (1.0 / requests_per_second
+                          if requests_per_second > 0 else 0.0)
+        self._clock = clock
+        self._sleep = sleep
+        self._lock = threading.Lock()
+        self._next_slot: Optional[float] = None
+
+    def wait(self) -> float:
+        """Block until this caller's slot; returns the delay paid."""
+        if not self._interval:
+            return 0.0
+        with self._lock:
+            now = self._clock()
+            slot = (now if self._next_slot is None
+                    else max(now, self._next_slot))
+            self._next_slot = slot + self._interval
+            delay = slot - now
+        if delay > 0:
+            self._sleep(delay)
+        return delay
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+
+# -- accounting ------------------------------------------------------------
+class BackendStats:
+    """Thread-safe per-backend accounting.
+
+    ``usage`` is the unified :class:`~repro.llm.client.Usage` sum over
+    every completed call; retries/failures/rate-limit waits count the
+    transport work around them.  The service scrapes :meth:`snapshot`
+    into :class:`~repro.service.metrics.ServiceMetrics`.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.usage = Usage()
+        self.retries = 0
+        self.failures = 0
+        self.rate_limit_waits = 0
+        self.rate_limit_wait_seconds = 0.0
+
+    @property
+    def calls(self) -> int:
+        return self.usage.calls
+
+    @property
+    def latency_seconds(self) -> float:
+        return self.usage.latency_seconds
+
+    def record_response(self, usage: Usage) -> None:
+        with self._lock:
+            self.usage += usage
+
+    def record_retry(self) -> None:
+        with self._lock:
+            self.retries += 1
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self.failures += 1
+
+    def record_rate_limit_wait(self, seconds: float) -> None:
+        with self._lock:
+            self.rate_limit_waits += 1
+            self.rate_limit_wait_seconds += seconds
+
+    def snapshot(self) -> dict:
+        """A JSON-safe copy of the counters."""
+        with self._lock:
+            return {
+                "calls": self.usage.calls,
+                "retries": self.retries,
+                "failures": self.failures,
+                "rate_limit_waits": self.rate_limit_waits,
+                "latency_seconds": round(self.usage.latency_seconds, 6),
+            }
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
+
+# -- the backend API -------------------------------------------------------
+class CompletionBackend:
+    """Batch-first access to one model.
+
+    Subclasses implement :meth:`_complete_one` (and may override
+    :meth:`_complete_batch` for real concurrency); the base class keeps
+    the :class:`BackendStats` accounting uniform.  Every backend also
+    satisfies the classic single-call
+    :class:`~repro.llm.client.LLMClient` protocol.
+    """
+
+    def __init__(self, spec: str,
+                 retry: Optional[RetryPolicy] = None):
+        self.spec = spec
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.stats = BackendStats()
+
+    @property
+    def model_name(self) -> str:
+        raise NotImplementedError
+
+    def complete(self, request: PromptRequest) -> LLMResponse:
+        """One request (the :class:`LLMClient` surface)."""
+        return self.complete_many([request])[0]
+
+    def complete_many(self, requests: Sequence[PromptRequest]
+                      ) -> List[LLMResponse]:
+        """One response per request, in request order."""
+        requests = list(requests)
+        responses = self._complete_batch(requests)
+        if len(responses) != len(requests):
+            raise BackendError(
+                f"{self.spec}: backend returned {len(responses)} "
+                f"responses for {len(requests)} requests")
+        for response in responses:
+            self.stats.record_response(response.usage)
+        return responses
+
+    def _complete_batch(self, requests: List[PromptRequest]
+                        ) -> List[LLMResponse]:
+        return [self._complete_one(request) for request in requests]
+
+    def _complete_one(self, request: PromptRequest) -> LLMResponse:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release transport resources (idempotent)."""
+
+    def __enter__(self) -> "CompletionBackend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class SimulatedBackend(CompletionBackend):
+    """The reference backend: :class:`SimulatedLLM` behind the batch
+    API, with bit-identical responses (tests pin this)."""
+
+    def __init__(self, profile: ModelProfile, seed: int = 0,
+                 knowledge: Optional[KnowledgeBase] = None,
+                 enable_generalized: bool = True,
+                 retry: Optional[RetryPolicy] = None,
+                 spec: Optional[str] = None):
+        if spec is None:
+            spec = (f"sim:{profile.name}?seed={seed}" if seed
+                    else f"sim:{profile.name}")
+        super().__init__(spec, retry=retry)
+        self.profile = profile
+        self.seed = seed
+        self._inner = SimulatedLLM(
+            profile, knowledge=knowledge, seed=seed,
+            enable_generalized=enable_generalized)
+
+    @property
+    def model_name(self) -> str:
+        return self._inner.model_name
+
+    def _complete_one(self, request: PromptRequest) -> LLMResponse:
+        # The whole point: nothing between the request and SimulatedLLM.
+        return self._inner.complete(request)
+
+
+class _ConnectionPool:
+    """A LIFO pool of keep-alive :mod:`http.client` connections."""
+
+    def __init__(self, host: str, port: int, secure: bool,
+                 timeout: float, size: int):
+        self._host = host
+        self._port = port
+        self._secure = secure
+        self._timeout = timeout
+        self._size = max(1, size)
+        self._lock = threading.Lock()
+        self._idle: List[http.client.HTTPConnection] = []
+
+    def _connect(self) -> http.client.HTTPConnection:
+        factory = (http.client.HTTPSConnection if self._secure
+                   else http.client.HTTPConnection)
+        return factory(self._host, self._port, timeout=self._timeout)
+
+    def acquire(self) -> http.client.HTTPConnection:
+        with self._lock:
+            if self._idle:
+                return self._idle.pop()
+        return self._connect()
+
+    def release(self, conn: http.client.HTTPConnection,
+                reusable: bool) -> None:
+        if not reusable:
+            conn.close()
+            return
+        with self._lock:
+            if len(self._idle) < self._size:
+                self._idle.append(conn)
+                return
+        conn.close()
+
+    def close(self) -> None:
+        with self._lock:
+            idle, self._idle = self._idle, []
+        for conn in idle:
+            conn.close()
+
+
+class HTTPBackend(CompletionBackend):
+    """An OpenAI-compatible chat-completions endpoint.
+
+    ``complete_many`` fans the batch over a thread pool bounded by
+    ``concurrency`` so that many requests are in flight at once on a
+    keep-alive connection pool of the same size.  Each request carries
+    the prompt as chat ``messages`` plus ``seed`` (the round seed) and
+    ``attempt`` — the simulated stub replays them for bit-identical
+    sampling; a real provider honours ``seed`` and ignores ``attempt``.
+
+    Per-request behaviour is governed by the :class:`RetryPolicy`:
+    429/5xx/transport errors retry on the deterministic backoff
+    schedule, timeouts surface as :class:`BackendTimeoutError` once
+    retries are exhausted, and other 4xx responses fail fast.
+    """
+
+    def __init__(self, host: str, port: int, model: str,
+                 secure: bool = False, base_path: str = "/v1",
+                 retry: Optional[RetryPolicy] = None,
+                 concurrency: int = 8,
+                 spec: Optional[str] = None,
+                 transport: Optional[Callable[[dict],
+                                              Tuple[int, dict]]] = None,
+                 clock: Callable[[], float] = time.monotonic,
+                 sleep: Callable[[float], None] = time.sleep):
+        scheme = "https" if secure else "http"
+        if spec is None:
+            spec = f"{scheme}://{host}:{port}/{model}"
+        super().__init__(spec, retry=retry)
+        self.host = host
+        self.port = port
+        self.model = model
+        self.secure = secure
+        self.base_path = "/" + base_path.strip("/") if base_path else ""
+        self.concurrency = max(1, int(concurrency))
+        self._transport = transport
+        self._clock = clock
+        self._sleep = sleep
+        self._pacer = _Pacer(self.retry.requests_per_second,
+                             clock=clock, sleep=sleep)
+        self._state_lock = threading.Lock()
+        self._pool: Optional[_ConnectionPool] = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+
+    @property
+    def model_name(self) -> str:
+        return self.model
+
+    @property
+    def endpoint(self) -> str:
+        return f"{self.base_path}/chat/completions"
+
+    # -- transport ---------------------------------------------------------
+    def _ensure_pool(self) -> _ConnectionPool:
+        with self._state_lock:
+            if self._pool is None:
+                self._pool = _ConnectionPool(
+                    self.host, self.port, self.secure,
+                    timeout=self.retry.timeout_seconds,
+                    size=self.concurrency)
+            return self._pool
+
+    def _ensure_executor(self) -> ThreadPoolExecutor:
+        with self._state_lock:
+            if self._executor is None:
+                self._executor = ThreadPoolExecutor(
+                    max_workers=self.concurrency,
+                    thread_name_prefix="repro-http")
+            return self._executor
+
+    def _post_payload(self, payload: dict) -> Tuple[int, dict]:
+        if self._transport is not None:
+            return self._transport(payload)
+        body = json.dumps(payload).encode("utf-8")
+        pool = self._ensure_pool()
+        conn = pool.acquire()
+        reusable = False
+        try:
+            conn.request("POST", self.endpoint, body=body,
+                         headers={"Content-Type": "application/json",
+                                  "Accept": "application/json"})
+            response = conn.getresponse()
+            data = response.read()
+            reusable = not response.will_close
+            status = response.status
+        finally:
+            pool.release(conn, reusable)
+        try:
+            parsed = json.loads(data.decode("utf-8")) if data else {}
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            parsed = {"error": {"message": data[:200].decode(
+                "utf-8", "replace")}}
+        if not isinstance(parsed, dict):
+            parsed = {"error": {"message": "non-object response body"}}
+        return status, parsed
+
+    # -- wire shape --------------------------------------------------------
+    def _chat_payload(self, request: PromptRequest) -> dict:
+        return {
+            "model": self.model,
+            "messages": [
+                {"role": "system", "content": request.system_prompt},
+                {"role": "user", "content": request.user_content()},
+            ],
+            "temperature": 0,
+            "seed": request.round_seed,
+            # Non-standard, ignored by real providers: lets the stub
+            # key its feedback-repair sampling exactly like the
+            # in-process simulation.
+            "attempt": request.attempt,
+        }
+
+    def _parse_completion(self, body: dict,
+                          latency: float) -> LLMResponse:
+        try:
+            choices = body["choices"]
+            text = choices[0]["message"]["content"]
+            if not isinstance(text, str):
+                raise TypeError("content is not a string")
+            usage = body.get("usage") or {}
+            parsed_usage = Usage(
+                prompt_tokens=int(usage.get("prompt_tokens", 0)),
+                completion_tokens=int(
+                    usage.get("completion_tokens", 0)),
+                latency_seconds=latency,
+                cost_usd=float(usage.get("cost_usd", 0.0)),
+                calls=1)
+        except (KeyError, IndexError, TypeError, ValueError,
+                AttributeError) as exc:
+            self.stats.record_failure()
+            raise BackendProtocolError(
+                f"{self.spec}: malformed chat completion "
+                f"({exc})") from None
+        return LLMResponse(text=text, usage=parsed_usage)
+
+    @staticmethod
+    def _error_message(body: dict, status: int) -> str:
+        error = body.get("error")
+        if isinstance(error, dict) and error.get("message"):
+            return str(error["message"])
+        return f"HTTP {status}"
+
+    # -- completion --------------------------------------------------------
+    def _complete_one(self, request: PromptRequest) -> LLMResponse:
+        policy = self.retry
+        payload = self._chat_payload(request)
+        failure: Optional[BackendError] = None
+        for try_index in range(policy.max_retries + 1):
+            if try_index:
+                self.stats.record_retry()
+                delay = policy.backoff(try_index - 1)
+                if delay > 0:
+                    self._sleep(delay)
+            waited = self._pacer.wait()
+            if waited > 0:
+                self.stats.record_rate_limit_wait(waited)
+            started = self._clock()
+            try:
+                status, body = self._post_payload(payload)
+            except TimeoutError as exc:
+                failure = BackendTimeoutError(
+                    f"{self.spec}: request timed out after "
+                    f"{policy.timeout_seconds}s ({exc or 'timeout'})")
+                continue
+            except (OSError, http.client.HTTPException) as exc:
+                failure = BackendError(
+                    f"{self.spec}: transport error: {exc}")
+                continue
+            if status == 200:
+                return self._parse_completion(
+                    body, latency=self._clock() - started)
+            message = self._error_message(body, status)
+            if status == 429 or status >= 500:
+                failure = BackendError(
+                    f"{self.spec}: retryable HTTP {status}: {message}")
+                continue
+            self.stats.record_failure()
+            raise BackendError(f"{self.spec}: HTTP {status}: {message}")
+        self.stats.record_failure()
+        assert failure is not None
+        raise failure
+
+    def _complete_batch(self, requests: List[PromptRequest]
+                        ) -> List[LLMResponse]:
+        if len(requests) <= 1:
+            return [self._complete_one(request)
+                    for request in requests]
+        executor = self._ensure_executor()
+        futures = [executor.submit(self._complete_one, request)
+                   for request in requests]
+        return [future.result() for future in futures]
+
+    def close(self) -> None:
+        with self._state_lock:
+            executor, self._executor = self._executor, None
+            pool, self._pool = self._pool, None
+        if executor is not None:
+            executor.shutdown(wait=False)
+        if pool is not None:
+            pool.close()
+
+    # Executors/sockets must not cross a pickle boundary (the process
+    # scheduler ships the client once per worker); they are rebuilt
+    # lazily on first use in the worker.
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        del state["_state_lock"], state["_pool"], state["_executor"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._state_lock = threading.Lock()
+        self._pool = None
+        self._executor = None
+
+
+# -- spec parsing and the registry -----------------------------------------
+@dataclass(frozen=True)
+class ParsedBackendSpec:
+    """A model spec split into its addressing parts (pre-construction,
+    so callers can validate without building a backend)."""
+
+    scheme: str
+    model: str
+    params: Mapping[str, str] = field(default_factory=dict)
+    host: str = ""
+    port: int = 0
+    secure: bool = False
+    base_path: str = ""
+    text: str = ""
+
+
+#: Registered scheme -> factory(parsed, default_seed) -> backend.
+_SCHEMES: Dict[str, Callable[[ParsedBackendSpec, int],
+                             CompletionBackend]] = {}
+
+#: Typed parameters per built-in scheme (``generalized`` is a flag and
+#: accepts any truthy/falsy string).  Parsing validates values with
+#: these casts so preflight rejection matches construction exactly.
+_SIM_PARAM_TYPES: Dict[str, Callable] = {"seed": int}
+_SIM_PARAMS = frozenset({"seed", "generalized"})
+_HTTP_PARAM_TYPES: Dict[str, Callable] = {
+    "timeout": float, "retries": int, "backoff": float,
+    "backoff_multiplier": float, "max_backoff": float, "rps": float,
+    "concurrency": int}
+_HTTP_PARAMS = frozenset(_HTTP_PARAM_TYPES)
+
+
+def register_backend_scheme(
+        scheme: str,
+        factory: Callable[[ParsedBackendSpec, int],
+                          CompletionBackend]) -> None:
+    """Add (or replace) a backend scheme, e.g. a future real API
+    client: ``register_backend_scheme("openai", make_openai)`` makes
+    ``openai:gpt-4.1?...`` resolvable everywhere at once."""
+    if not scheme or not scheme.replace("+", "").isalnum():
+        raise ValueError(f"bad scheme name {scheme!r}")
+    _SCHEMES[scheme.lower()] = factory
+
+
+def known_backend_specs() -> str:
+    """The one-line spec help used by every resolution error."""
+    names = ", ".join(sorted(MODELS_BY_NAME))
+    extra = sorted(set(_SCHEMES) - {"sim", "http", "https"})
+    extra_text = ("".join(f", {scheme}:<model>" for scheme in extra)
+                  if extra else "")
+    return (f"known specs: bare profile names ({names}), "
+            f"sim:<name>[?seed=N], "
+            f"http(s)://host:port/<model>[?timeout=&retries=&rps=...]"
+            f"{extra_text}")
+
+
+def _parse_params(query: str, allowed: Optional[frozenset],
+                  text: str) -> Dict[str, str]:
+    params = dict(parse_qsl(query, keep_blank_values=True))
+    if allowed is not None:
+        unknown = sorted(set(params) - allowed)
+        if unknown:
+            raise BackendResolutionError(
+                f"unknown parameter(s) {', '.join(unknown)} in model "
+                f"spec {text!r}; allowed: {', '.join(sorted(allowed))}")
+    return params
+
+
+def _number(params: Mapping[str, str], key: str, cast, default,
+            text: str):
+    raw = params.get(key)
+    if raw is None:
+        return default
+    try:
+        return cast(raw)
+    except ValueError:
+        raise BackendResolutionError(
+            f"bad {key}={raw!r} in model spec {text!r}") from None
+
+
+def _check_param_values(params: Mapping[str, str],
+                        types: Mapping[str, Callable],
+                        text: str) -> None:
+    """Reject unparseable parameter *values* at parse time, so the
+    preflight paths (CLI validation, service startup, campaign specs)
+    fail exactly where construction would."""
+    for key, cast in types.items():
+        _number(params, key, cast, None, text)
+
+
+def parse_backend_spec(spec: str) -> ParsedBackendSpec:
+    """Split and validate a model spec without constructing a backend.
+
+    Raises :class:`BackendResolutionError` for an unknown scheme, an
+    unknown simulated model, a malformed URL, or unknown parameters —
+    the same error construction would raise, so the service and CLI
+    can reject bad specs before any work is queued.
+    """
+    if not isinstance(spec, str) or not spec.strip():
+        raise BackendResolutionError(
+            f"empty model spec; {known_backend_specs()}")
+    text = spec.strip()
+    if "://" in text:
+        parts = urlsplit(text)
+        scheme = parts.scheme.lower()
+        if scheme not in _SCHEMES:
+            raise BackendResolutionError(
+                f"unknown backend scheme {scheme!r} in {text!r}; "
+                f"{known_backend_specs()}")
+        if not parts.hostname:
+            raise BackendResolutionError(
+                f"model spec {text!r} has no host")
+        segments = [piece for piece in parts.path.split("/") if piece]
+        if not segments:
+            raise BackendResolutionError(
+                f"model spec {text!r} names no model; use "
+                f"{scheme}://host:port/<model>")
+        model = segments[-1]
+        base = "/".join(segments[:-1])
+        params = _parse_params(parts.query, _HTTP_PARAMS, text)
+        _check_param_values(params, _HTTP_PARAM_TYPES, text)
+        try:
+            port = parts.port
+        except ValueError:
+            raise BackendResolutionError(
+                f"bad port in model spec {text!r}") from None
+        if port is None:
+            port = 443 if scheme == "https" else 80
+        return ParsedBackendSpec(
+            scheme=scheme, model=model, params=params,
+            host=parts.hostname, port=port,
+            secure=scheme == "https",
+            base_path=base or "v1", text=text)
+    head, _, query = text.partition("?")
+    scheme, sep, model = head.partition(":")
+    if not sep:
+        scheme, model = "sim", head
+    scheme = scheme.lower()
+    if scheme not in _SCHEMES:
+        raise BackendResolutionError(
+            f"unknown backend scheme {scheme!r} in {text!r}; "
+            f"{known_backend_specs()}")
+    if scheme == "sim":
+        if not model:
+            raise BackendResolutionError(
+                f"model spec {text!r} names no model; "
+                f"{known_backend_specs()}")
+        if model not in MODELS_BY_NAME:
+            raise BackendResolutionError(
+                f"unknown model {model!r}; choose from "
+                f"{sorted(MODELS_BY_NAME)} (or a sim:/http:// spec — "
+                f"{known_backend_specs()})")
+        params = _parse_params(query, _SIM_PARAMS, text)
+        _check_param_values(params, _SIM_PARAM_TYPES, text)
+    else:
+        params = _parse_params(query, None, text)
+    return ParsedBackendSpec(scheme=scheme, model=model, params=params,
+                             text=text)
+
+
+def resolve_backend(spec: str, seed: int = 0) -> CompletionBackend:
+    """The single model-resolution path: spec string in, backend out.
+
+    ``seed`` is the caller's default sampling seed (the service's
+    ``llm_seed``, an experiment's config seed); a ``?seed=`` parameter
+    in the spec wins over it.  Raises
+    :class:`BackendResolutionError` on anything unresolvable.
+    """
+    parsed = parse_backend_spec(spec)
+    return _SCHEMES[parsed.scheme](parsed, seed)
+
+
+def resolve_client(model, seed: int = 0) -> CompletionBackend:
+    """Resolve a spec string *or* wrap a :class:`ModelProfile`.
+
+    Experiment configs carry profile objects; registered profiles
+    route through :func:`resolve_backend` (keeping the registry the
+    one path for named models) while ad-hoc profiles are wrapped
+    directly."""
+    if isinstance(model, ModelProfile):
+        if MODELS_BY_NAME.get(model.name) is model:
+            return resolve_backend(model.name, seed=seed)
+        return SimulatedBackend(model, seed=seed)
+    return resolve_backend(model, seed=seed)
+
+
+def _truthy(raw: str) -> bool:
+    return raw.strip().lower() not in ("0", "false", "no", "off")
+
+
+def _make_simulated(parsed: ParsedBackendSpec,
+                    seed: int) -> CompletionBackend:
+    profile = MODELS_BY_NAME[parsed.model]
+    chosen = _number(parsed.params, "seed", int, seed, parsed.text)
+    generalized = _truthy(parsed.params.get("generalized", "1"))
+    return SimulatedBackend(profile, seed=chosen,
+                            enable_generalized=generalized,
+                            spec=parsed.text)
+
+
+def _make_http(parsed: ParsedBackendSpec,
+               seed: int) -> CompletionBackend:
+    params = parsed.params
+    text = parsed.text
+    policy = RetryPolicy(
+        max_retries=_number(params, "retries", int, 2, text),
+        backoff_seconds=_number(params, "backoff", float, 0.1, text),
+        backoff_multiplier=_number(params, "backoff_multiplier", float,
+                                   2.0, text),
+        max_backoff_seconds=_number(params, "max_backoff", float, 2.0,
+                                    text),
+        timeout_seconds=_number(params, "timeout", float, 30.0, text),
+        requests_per_second=_number(params, "rps", float, 0.0, text))
+    return HTTPBackend(
+        parsed.host, parsed.port, parsed.model, secure=parsed.secure,
+        base_path=parsed.base_path, retry=policy,
+        concurrency=_number(params, "concurrency", int, 8, text),
+        spec=text)
+
+
+register_backend_scheme("sim", _make_simulated)
+register_backend_scheme("http", _make_http)
+register_backend_scheme("https", _make_http)

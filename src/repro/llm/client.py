@@ -1,20 +1,29 @@
-"""LLM client protocol, prompt rendering and usage accounting.
+"""LLM request/response currency, prompt rendering, usage accounting.
 
-The pipeline is written against :class:`LLMClient`; the offline
-environment provides :class:`~repro.llm.simulated.SimulatedLLM`, and a
-real deployment would drop in an API-backed client with the same
-interface.
+:class:`LLMClient` is the minimal single-call protocol the pipeline is
+written against; :mod:`repro.llm.backends` layers the batch-first
+:class:`~repro.llm.backends.CompletionBackend` API (URI-addressed
+backends, retries, rate-limit pacing) on top of the same
+:class:`PromptRequest` / :class:`LLMResponse` / :class:`Usage` types,
+so both surfaces share one accounting currency.  :class:`Usage`
+supports ``+`` / ``+=`` so aggregation sites can sum usages without
+mutating through helper calls.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Protocol
+from typing import Protocol, Tuple
 
 SYSTEM_PROMPT = (
     "If the provided instruction sequence is suboptimal, output the "
     "optimal and correct implementation. If the result is incorrect, "
     "revise it based on the provided feedback.")
+
+#: Header introducing the feedback section of a prompt.  Both the
+#: renderer and the wire parser (the HTTP backend's stub server) key
+#: off this exact line, so a chat message round-trips losslessly.
+FEEDBACK_HEADER = "Feedback from the previous attempt:"
 
 
 @dataclass
@@ -33,18 +42,37 @@ class PromptRequest:
     round_seed: int = 0
     system_prompt: str = SYSTEM_PROMPT
 
+    def user_content(self) -> str:
+        """The user-message body: the window IR plus, on retries, the
+        feedback section.  This is what an HTTP backend sends as the
+        chat ``user`` message; :meth:`split_user_content` inverts it."""
+        parts = [self.window_ir]
+        if self.feedback:
+            parts += ["", FEEDBACK_HEADER, self.feedback]
+        return "\n".join(parts)
+
+    @staticmethod
+    def split_user_content(content: str) -> Tuple[str, str]:
+        """Invert :meth:`user_content`: ``(window_ir, feedback)``."""
+        marker = f"\n\n{FEEDBACK_HEADER}\n"
+        window_ir, sep, feedback = content.partition(marker)
+        if not sep:
+            return content, ""
+        return window_ir, feedback
+
     def render(self) -> str:
         """The full prompt text (used for token accounting)."""
-        parts = [self.system_prompt, "", self.window_ir]
-        if self.feedback:
-            parts += ["", "Feedback from the previous attempt:",
-                      self.feedback]
-        return "\n".join(parts)
+        return "\n".join([self.system_prompt, "", self.user_content()])
 
 
 @dataclass
 class Usage:
-    """Token/latency/cost accounting for one or more calls."""
+    """Token/latency/cost accounting for one or more calls.
+
+    Usages form a monoid: ``a + b`` is a new summed :class:`Usage` and
+    ``total += call`` accumulates in place, so aggregation loops read
+    like arithmetic (``sum(usages, Usage())`` works too).
+    """
 
     prompt_tokens: int = 0
     completion_tokens: int = 0
@@ -52,12 +80,31 @@ class Usage:
     cost_usd: float = 0.0
     calls: int = 0
 
-    def add(self, other: "Usage") -> None:
+    def __add__(self, other: "Usage") -> "Usage":
+        if not isinstance(other, Usage):
+            return NotImplemented
+        return Usage(
+            prompt_tokens=self.prompt_tokens + other.prompt_tokens,
+            completion_tokens=(self.completion_tokens
+                               + other.completion_tokens),
+            latency_seconds=(self.latency_seconds
+                             + other.latency_seconds),
+            cost_usd=self.cost_usd + other.cost_usd,
+            calls=self.calls + other.calls)
+
+    def __iadd__(self, other: "Usage") -> "Usage":
+        if not isinstance(other, Usage):
+            return NotImplemented
         self.prompt_tokens += other.prompt_tokens
         self.completion_tokens += other.completion_tokens
         self.latency_seconds += other.latency_seconds
         self.cost_usd += other.cost_usd
         self.calls += other.calls
+        return self
+
+    def add(self, other: "Usage") -> None:
+        """Legacy mutating aggregation; prefer ``total += other``."""
+        self.__iadd__(other)
 
 
 @dataclass

@@ -1,5 +1,11 @@
 """The simulated LLM: a capability-profiled stand-in for model APIs.
 
+Most callers reach it through the backend registry
+(``resolve_backend("sim:<name>")`` in :mod:`repro.llm.backends` wraps
+it as the bit-identical :class:`~repro.llm.backends.SimulatedBackend`);
+the in-repo :class:`~repro.llm.stub.StubChatServer` serves the same
+simulation over the OpenAI-compatible HTTP wire shape.
+
 Determinism: every behavioural draw is keyed by (model, window digest,
 round seed, purpose), so an experiment round is exactly reproducible
 while distinct rounds vary the way temperature sampling does — this is

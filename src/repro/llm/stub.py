@@ -1,0 +1,258 @@
+"""An in-repo OpenAI-compatible chat-completions stub server.
+
+:class:`StubChatServer` is the test/benchmark double for a real model
+endpoint: it speaks the chat-completions wire shape
+(``POST {base}/chat/completions`` with ``model``/``messages``/``seed``)
+and serves each request from the matching
+:class:`~repro.llm.simulated.SimulatedLLM`, reconstructing the exact
+:class:`~repro.llm.client.PromptRequest` from the chat messages plus
+the ``seed``/``attempt`` fields the
+:class:`~repro.llm.backends.HTTPBackend` sends.  Because the sampling
+keys round-trip losslessly, an ``http://host:port/<model>`` backend is
+bit-identical to ``sim:<model>`` at the detection level — the
+equivalence the backend tests and the service benchmark pin.
+
+Observability/fault knobs for tests:
+
+* ``max_in_flight`` records the peak number of concurrently served
+  requests (the batching acceptance check);
+* ``hold_for_concurrency=N`` parks every request until N are in flight
+  (bounded by ``hold_timeout``), making "≥ N in flight" deterministic;
+* ``fail_first=N`` answers the first N requests with HTTP 500 so retry
+  paths can be exercised end to end;
+* ``response_delay`` adds fixed service time per request.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional
+
+from repro.llm.client import PromptRequest
+from repro.llm.profiles import MODELS_BY_NAME
+from repro.llm.simulated import SimulatedLLM
+
+
+class _StubState:
+    """Shared, lock-protected counters and knobs of one server."""
+
+    def __init__(self, llm_seed: int, hold_for_concurrency: int,
+                 hold_timeout: float, fail_first: int,
+                 response_delay: float):
+        self.lock = threading.Lock()
+        self.cond = threading.Condition(self.lock)
+        self.llm_seed = llm_seed
+        self.hold_for_concurrency = hold_for_concurrency
+        self.hold_timeout = hold_timeout
+        self.fail_first = fail_first
+        self.response_delay = response_delay
+        self.in_flight = 0
+        self.max_in_flight = 0
+        self.requests_served = 0
+        self.failures_injected = 0
+        self.llms: Dict[str, SimulatedLLM] = {}
+
+    def llm_for(self, model: str) -> Optional[SimulatedLLM]:
+        with self.lock:
+            llm = self.llms.get(model)
+            if llm is None:
+                profile = MODELS_BY_NAME.get(model)
+                if profile is None:
+                    return None
+                llm = SimulatedLLM(profile, seed=self.llm_seed)
+                self.llms[model] = llm
+            return llm
+
+
+class _StubHandler(BaseHTTPRequestHandler):
+    # Keep-alive matters: the HTTPBackend reuses pooled connections.
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, *args) -> None:  # silence per-request noise
+        pass
+
+    @property
+    def state(self) -> _StubState:
+        return self.server.state  # type: ignore[attr-defined]
+
+    def _reply(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str) -> None:
+        self._reply(status, {"error": {"message": message,
+                                       "type": "invalid_request_error"}})
+
+    def do_POST(self) -> None:  # noqa: N802 — http.server contract
+        state = self.state
+        with state.lock:
+            state.in_flight += 1
+            state.max_in_flight = max(state.max_in_flight,
+                                      state.in_flight)
+            state.cond.notify_all()
+        try:
+            self._serve(state)
+        finally:
+            with state.lock:
+                state.in_flight -= 1
+                state.cond.notify_all()
+
+    def _serve(self, state: _StubState) -> None:
+        if not self.path.endswith("/chat/completions"):
+            self._error(404, f"no such endpoint {self.path!r}")
+            return
+        length = int(self.headers.get("Content-Length", 0))
+        try:
+            payload = json.loads(self.rfile.read(length))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            self._error(400, f"bad JSON body: {exc}")
+            return
+        if state.hold_for_concurrency:
+            deadline = time.monotonic() + state.hold_timeout
+            with state.lock:
+                while (state.max_in_flight
+                       < state.hold_for_concurrency):
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    state.cond.wait(remaining)
+        if state.response_delay > 0:
+            time.sleep(state.response_delay)
+        with state.lock:
+            if state.failures_injected < state.fail_first:
+                state.failures_injected += 1
+                inject = True
+            else:
+                state.requests_served += 1
+                inject = False
+        if inject:
+            self._error(500, "injected failure (fail_first)")
+            return
+
+        model = payload.get("model", "")
+        llm = state.llm_for(model)
+        if llm is None:
+            self._error(404, f"unknown model {model!r}; this stub "
+                             f"serves {sorted(MODELS_BY_NAME)}")
+            return
+        request = _request_from_chat(payload)
+        if request is None:
+            self._error(400, "messages must contain a user entry")
+            return
+        response = llm.complete(request)
+        self._reply(200, {
+            "id": f"stub-{state.requests_served}",
+            "object": "chat.completion",
+            "model": model,
+            "choices": [{
+                "index": 0,
+                "message": {"role": "assistant",
+                            "content": response.text},
+                "finish_reason": "stop",
+            }],
+            "usage": {
+                "prompt_tokens": response.usage.prompt_tokens,
+                "completion_tokens": response.usage.completion_tokens,
+                "total_tokens": (response.usage.prompt_tokens
+                                 + response.usage.completion_tokens),
+            },
+        })
+
+
+def _request_from_chat(payload: dict) -> Optional[PromptRequest]:
+    """Rebuild the :class:`PromptRequest` the backend serialized."""
+    system = ""
+    user = None
+    for message in payload.get("messages", ()):
+        if not isinstance(message, dict):
+            continue
+        role = message.get("role")
+        content = message.get("content", "")
+        if role == "system":
+            system = content
+        elif role == "user":
+            user = content
+    if user is None:
+        return None
+    window_ir, feedback = PromptRequest.split_user_content(user)
+    kwargs = {}
+    if system:
+        kwargs["system_prompt"] = system
+    return PromptRequest(window_ir=window_ir, feedback=feedback,
+                         attempt=int(payload.get("attempt", 0)),
+                         round_seed=int(payload.get("seed", 0)),
+                         **kwargs)
+
+
+class StubChatServer:
+    """A background-thread chat-completions server over the simulated
+    models (see the module docstring for the knobs)."""
+
+    def __init__(self, llm_seed: int = 0, host: str = "127.0.0.1",
+                 port: int = 0, hold_for_concurrency: int = 0,
+                 hold_timeout: float = 5.0, fail_first: int = 0,
+                 response_delay: float = 0.0):
+        self.host = host
+        self._state = _StubState(
+            llm_seed=llm_seed,
+            hold_for_concurrency=hold_for_concurrency,
+            hold_timeout=hold_timeout,
+            fail_first=fail_first,
+            response_delay=response_delay)
+        self._server = ThreadingHTTPServer((host, port), _StubHandler)
+        self._server.daemon_threads = True
+        self._server.state = self._state  # type: ignore[attr-defined]
+        self.port = self._server.server_address[1]
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> "StubChatServer":
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-llm-stub", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+
+    def __enter__(self) -> "StubChatServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- addressing --------------------------------------------------------
+    def spec_for(self, model: str, **params) -> str:
+        """The ``http://`` model spec addressing ``model`` here, e.g.
+        ``spec_for("Gemini2.0T", retries=1, backoff=0.01)``."""
+        query = "&".join(f"{key}={value}"
+                         for key, value in params.items())
+        suffix = f"?{query}" if query else ""
+        return f"http://{self.host}:{self.port}/{model}{suffix}"
+
+    # -- observations ------------------------------------------------------
+    @property
+    def max_in_flight(self) -> int:
+        with self._state.lock:
+            return self._state.max_in_flight
+
+    @property
+    def requests_served(self) -> int:
+        with self._state.lock:
+            return self._state.requests_served
+
+    @property
+    def failures_injected(self) -> int:
+        with self._state.lock:
+            return self._state.failures_injected

@@ -2,11 +2,14 @@
 
 :class:`ServiceMetrics` is the one mutable stats object of the
 optimization service.  Counters cover the request lifecycle (submitted,
-completed, failed, rejected, requeued) and the job cache (hits/misses at
-the whole-job level); latencies go into a bounded reservoir from which
-percentiles are computed on demand.  Everything is lock-protected — the
-dispatcher, worker callbacks, and status readers all touch it
-concurrently.
+completed, failed, rejected, requeued), the job cache (hits/misses at
+the whole-job level), and the LLM backends behind the workers (calls,
+retries, failures, rate-limit waits, summed call latency — folded in
+via :meth:`ServiceMetrics.observe_backend` from the cumulative
+snapshots each job payload carries); latencies go into a bounded
+reservoir from which percentiles are computed on demand.  Everything is
+lock-protected — the dispatcher, worker callbacks, and status readers
+all touch it concurrently.
 """
 
 from __future__ import annotations
@@ -52,6 +55,9 @@ class ServiceMetrics:
         self.campaign_rounds = 0     # leg-rounds completed
         self.campaign_detections = 0 # window detections across rounds
         self._latencies = deque(maxlen=LATENCY_WINDOW)
+        #: Cumulative LLM-backend counters, max-merged per backend key
+        #: (one key per warm backend instance; its counters only grow).
+        self._backends: Dict[str, Dict[str, float]] = {}
         #: Optional gauge: the server binds this to its queue.
         self._queue_depth: Callable[[], int] = lambda: 0
 
@@ -112,6 +118,32 @@ class ServiceMetrics:
                 self.cache_misses += 1
             self._latencies.append(latency_seconds)
 
+    def observe_backend(self, key: str,
+                        snapshot: Dict[str, float]) -> None:
+        """Fold in one backend's *cumulative* counter snapshot
+        (:meth:`repro.llm.backends.BackendStats.snapshot`).  Snapshots
+        from concurrent jobs on the same warm backend may arrive out of
+        order, so each field max-merges — counters never move
+        backwards."""
+        with self._lock:
+            seen = self._backends.setdefault(key, {})
+            for field in ("calls", "retries", "failures",
+                          "rate_limit_waits", "latency_seconds"):
+                value = snapshot.get(field, 0)
+                if isinstance(value, (int, float)):
+                    seen[field] = max(seen.get(field, 0), value)
+
+    def backend_totals(self) -> Dict[str, float]:
+        """Summed backend counters across every backend key."""
+        totals = {"calls": 0, "retries": 0, "failures": 0,
+                  "rate_limit_waits": 0, "latency_seconds": 0.0}
+        with self._lock:
+            for seen in self._backends.values():
+                for field in totals:
+                    totals[field] += seen.get(field, 0)
+        totals["latency_seconds"] = round(totals["latency_seconds"], 6)
+        return totals
+
     # -- derived views -----------------------------------------------------
     @property
     def queue_depth(self) -> int:
@@ -161,6 +193,9 @@ class ServiceMetrics:
         return {
             **counters,
             "campaigns": campaigns,
+            # "llm_backend", not "backend": the service's status()
+            # payload already uses "backend" for the worker-pool kind.
+            "llm_backend": self.backend_totals(),
             "queue_depth": self.queue_depth,
             "cache_hit_rate": round(self.cache_hit_rate, 4),
             "uptime_seconds": round(self.uptime_seconds, 3),
@@ -173,6 +208,7 @@ class ServiceMetrics:
         snap = self.to_dict()
         lat = snap["latency"]
         camp = snap["campaigns"]
+        backend = snap["llm_backend"]
         return (
             f"jobs: {snap['submitted']} submitted, "
             f"{snap['completed']} completed, {snap['failed']} failed, "
@@ -181,6 +217,11 @@ class ServiceMetrics:
             f"{camp['completed']} completed, {camp['failed']} failed, "
             f"{camp['rounds_completed']} rounds, "
             f"{camp['detections']} detections\n"
+            f"llm backend: {backend['calls']} calls, "
+            f"{backend['retries']} retries, "
+            f"{backend['failures']} failures, "
+            f"{backend['rate_limit_waits']} rate-limit waits, "
+            f"{backend['latency_seconds']:.1f}s call latency\n"
             f"queue: depth {snap['queue_depth']}, "
             f"in-flight {snap['in_flight']}\n"
             f"cache: {snap['cache_hits']} hit / "

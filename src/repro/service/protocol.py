@@ -42,9 +42,14 @@ class ProtocolError(ReproError):
 class JobSpec:
     """One window-optimization request.
 
-    ``ir`` is the window's textual IR; ``round_seed`` keys the simulated
-    model's sampling, ``attempt_limit`` bounds the feedback loop.  The
-    server assigns ``job_id`` when the submitter leaves it empty.
+    ``ir`` is the window's textual IR; ``model`` is a *model spec*
+    resolved server-side through
+    :func:`repro.llm.backends.resolve_backend` (a bare profile name
+    like the default, ``sim:Name?seed=N``, or an OpenAI-compatible
+    ``http://host:port/model`` endpoint — an empty string asks for the
+    service's configured default); ``round_seed`` keys the model's
+    sampling, ``attempt_limit`` bounds the feedback loop.  The server
+    assigns ``job_id`` when the submitter leaves it empty.
     """
 
     ir: str
@@ -113,10 +118,12 @@ class CampaignSpec:
     ``windows`` is the corpus (one textual IR window per case);
     ``case_ids`` are the labels the detection matrix is keyed by
     (defaults to window indices).  Each ``(model, variant)`` pair is a
-    *leg*: ``variants`` maps a variant name to its attempt limit (the
-    paper's LPO− is the single-attempt ablation).  Every leg runs
-    ``rounds`` rounds; round *i* samples with ``seeds[i]`` (defaults to
-    ``i``, matching the in-process rq1 loop).
+    *leg*: ``models`` holds model specs (bare names, ``sim:``, or
+    ``http://`` — see :class:`JobSpec`), and ``variants`` maps a
+    variant name to its attempt limit (the paper's LPO− is the
+    single-attempt ablation).  Every leg runs ``rounds`` rounds; round
+    *i* samples with ``seeds[i]`` (defaults to ``i``, matching the
+    in-process rq1 loop).
     """
 
     windows: List[str] = field(default_factory=list)

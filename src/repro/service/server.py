@@ -82,8 +82,16 @@ class OptimizationService:
                  cache_shards: int = 16,
                  cache_entries: Optional[int] = DEFAULT_MAX_ENTRIES,
                  cache_age_seconds: Optional[float] = None,
-                 cache_path=None, llm_seed: int = 0):
+                 cache_path=None, llm_seed: int = 0,
+                 default_model: str = ""):
         self.backend = backend
+        # The default fills jobs submitted with an empty model spec;
+        # validate it up front so a misconfigured service fails at
+        # startup, not on its first job.
+        if default_model:
+            from repro.llm.backends import parse_backend_spec
+            parse_backend_spec(default_model)
+        self.default_model = default_model
         self.cache = ShardedResultCache(shards=cache_shards,
                                         path=cache_path,
                                         max_entries=cache_entries,
@@ -130,6 +138,8 @@ class OptimizationService:
             raise ReproError("service is closed")
         job_id = spec.job_id or f"job-{next(self._job_ids):06d}"
         spec = replace(spec, job_id=job_id)
+        if not spec.model and self.default_model:
+            spec = replace(spec, model=self.default_model)
         with self._lock:
             if job_id in self._events or job_id in self._results:
                 raise ReproError(f"duplicate job id {job_id!r}")
@@ -195,12 +205,11 @@ class OptimizationService:
         ``timeout`` bounds each individual job wait, not the campaign.
         """
         spec.validate()
-        from repro.llm import MODELS_BY_NAME
-        unknown = [model for model in spec.models
-                   if model not in MODELS_BY_NAME]
-        if unknown:
-            raise ReproError(f"unknown model(s) {unknown!r}; choose "
-                             f"from {sorted(MODELS_BY_NAME)}")
+        # One resolution path: every leg's model spec must parse (an
+        # unknown sim name or scheme fails here, before any job runs).
+        from repro.llm.backends import parse_backend_spec
+        for model in spec.models:
+            parse_backend_spec(model)
         campaign_id = (spec.campaign_id
                        or f"campaign-{next(self._campaign_ids):04d}")
         digest = campaign_digest(spec, llm_seed=self.pool.llm_seed)
@@ -459,6 +468,10 @@ class OptimizationService:
         with self._lock:
             self._worker_constructions[worker] = max(
                 self._worker_constructions.get(worker, 0), built)
+        backend = payload.get("backend")
+        if isinstance(backend, dict):
+            self.metrics.observe_backend(
+                payload.get("backend_key", "?"), backend)
 
     def _finish(self, spec: JobSpec, payload: Optional[dict] = None,
                 cached: bool = False, error: str = "",

@@ -3,7 +3,11 @@
 Workers hold *warm* pipelines: a :class:`~repro.core.pipeline.LPOPipeline`
 (client, knowledge base, step cache) is constructed once per worker per
 ``(model, attempt_limit)`` and reused for every subsequent job — the
-amortization the one-shot ``batch`` command cannot offer.
+amortization the one-shot ``batch`` command cannot offer.  The client
+is whatever the job's *model spec* resolves to through
+:func:`repro.llm.backends.resolve_backend` (a simulated profile or an
+OpenAI-compatible HTTP endpoint), and each job payload piggybacks the
+backend's cumulative call/retry/latency counters back to the server.
 
 * ``thread`` backend — one pipeline per ``(model, attempt_limit)``
   shared by all worker threads (the pipeline is thread-safe); the step
@@ -44,29 +48,37 @@ class WorkerCrashError(ReproError):
 
 def _pipeline_for_spec(model: str, attempt_limit: int,
                        llm_seed: int, cache=None) -> LPOPipeline:
-    from repro.llm import MODELS_BY_NAME, SimulatedLLM
-    profile = MODELS_BY_NAME.get(model)
-    if profile is None:
-        raise ReproError(f"unknown model {model!r}; choose from "
-                         f"{sorted(MODELS_BY_NAME)}")
-    return LPOPipeline(SimulatedLLM(profile, seed=llm_seed),
+    """Build a warm pipeline whose client comes from the one
+    model-resolution path (``sim:``/bare-name/``http://`` specs all
+    land here); unknown specs raise the registry's typed error."""
+    from repro.llm.backends import resolve_backend
+    return LPOPipeline(resolve_backend(model, seed=llm_seed),
                        PipelineConfig(attempt_limit=attempt_limit),
                        cache=cache)
 
 
-def _run_spec(pipeline: LPOPipeline, spec: JobSpec) -> dict:
+def _run_spec(pipeline: LPOPipeline, spec: JobSpec,
+              backend_key: str) -> dict:
     """Run one job on a resident pipeline; returns a JSON-safe payload
-    (the exact dict the job cache stores)."""
+    (the ``_CACHED_KEYS`` subset is the exact dict the job cache
+    stores; ``backend``/``backend_key`` piggyback the backend's
+    *cumulative* call/retry/latency counters so the server can fold
+    them into :class:`~repro.service.metrics.ServiceMetrics`)."""
     window = window_from_text(spec.ir)
     result = pipeline.optimize_window(window,
                                       round_seed=spec.round_seed)
-    return {
+    payload = {
         "found": result.found,
         "status": result.status,
         "candidate_text": result.candidate_text,
         "elapsed_seconds": result.elapsed_seconds,
         "attempts": len(result.attempts),
     }
+    stats = getattr(pipeline.client, "stats", None)
+    if stats is not None:
+        payload["backend"] = stats.snapshot()
+        payload["backend_key"] = backend_key
+    return payload
 
 
 # -- process-backend worker state ------------------------------------------
@@ -91,7 +103,12 @@ def _process_worker_run(spec: JobSpec) -> dict:
         pipelines[key] = _pipeline_for_spec(
             spec.model, spec.attempt_limit, _PROCESS_STATE["llm_seed"])
         _PROCESS_STATE["constructions"] += 1
-    payload = _run_spec(pipelines[key], spec)
+    # Backend counters are per process-local pipeline, so the key must
+    # carry the pid for the server's max-merge to stay monotonic.
+    payload = _run_spec(
+        pipelines[key], spec,
+        backend_key=(f"pid-{os.getpid()}|{spec.model}|"
+                     f"{spec.attempt_limit}"))
     payload["worker"] = f"pid-{os.getpid()}"
     payload["pipeline_constructions"] = _PROCESS_STATE["constructions"]
     return payload
@@ -192,7 +209,11 @@ class WorkerPool:
 
     def _thread_run(self, spec: JobSpec) -> dict:
         pipeline = self._pipeline(spec.model, spec.attempt_limit)
-        payload = _run_spec(pipeline, spec)
+        # One shared pipeline (and backend) per (model, attempt_limit)
+        # across all threads — one cumulative counter key to match.
+        payload = _run_spec(
+            pipeline, spec,
+            backend_key=f"thread|{spec.model}|{spec.attempt_limit}")
         payload["worker"] = threading.current_thread().name
         payload["pipeline_constructions"] = self._constructions
         return payload

@@ -101,6 +101,33 @@ class TestOtherCommands:
     def test_pipeline_unknown_model(self, clamp_files, capsys):
         src, _ = clamp_files
         assert main(["pipeline", src, "--model", "GPT-9"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown model" in err
+        assert "Gemini2.0T" in err      # the known specs are listed
+
+    def test_pipeline_sim_spec_with_seed(self, clamp_files, capsys):
+        src, _ = clamp_files
+        code = main(["pipeline", src, "--model",
+                     "sim:Gemini2.0T?seed=0", "--rounds", "10"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "llvm.smax" in captured.out
+
+    def test_pipeline_unknown_scheme(self, clamp_files, capsys):
+        src, _ = clamp_files
+        assert main(["pipeline", src, "--model", "grpc:m"]) == 2
+        assert "unknown backend scheme" in capsys.readouterr().err
+
+    def test_pipeline_http_stub_spec(self, clamp_files, capsys):
+        from repro.llm import StubChatServer
+        src, _ = clamp_files
+        with StubChatServer() as stub:
+            code = main(["pipeline", src, "--model",
+                         stub.spec_for("Gemini2.0T"),
+                         "--rounds", "10"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "llvm.smax" in captured.out
 
     def test_souper_unsupported_on_clamp(self, clamp_files, capsys):
         src, _ = clamp_files
@@ -173,8 +200,20 @@ class TestBatchCommand:
         assert "verify 0 hit" not in second   # second run hits
         assert " 0 miss" in second
 
-    def test_batch_unknown_model(self, module_file):
+    def test_batch_unknown_model(self, module_file, capsys):
         assert main(["batch", module_file, "--model", "GPT-9"]) == 2
+        assert "unknown model" in capsys.readouterr().err
+
+    def test_serve_rejects_bad_default_model(self, capsys):
+        assert main(["serve", "--port", "0", "--model", "GPT-9"]) == 2
+        assert "unknown model" in capsys.readouterr().err
+
+    def test_submit_rejects_bad_model_before_connecting(self, capsys):
+        # No server is listening; the spec error must win over the
+        # connection error (validated client-side, exit 2).
+        assert main(["submit", "/nonexistent.ll", "--port", "1",
+                     "--model", "GPT-9"]) == 2
+        assert "unknown model" in capsys.readouterr().err
 
     def test_pipeline_cache_flag(self, clamp_files, tmp_path, capsys):
         src, _ = clamp_files
@@ -381,6 +420,26 @@ class TestServiceCommands:
         assert main(["campaign", "--port", served_port,
                      "--models", "GPT-9"]) == 2
         assert "unknown model" in capsys.readouterr().err
+
+    def test_campaign_http_model_spec(self, served_port, module_file,
+                                      capsys):
+        from repro.llm import StubChatServer
+        with StubChatServer() as stub:
+            spec = stub.spec_for("Gemini2.0T")
+            assert main(["campaign", module_file, "--port",
+                         served_port, "--rounds", "1",
+                         "--models", spec]) == 0
+        captured = capsys.readouterr()
+        assert "@two_chains" in captured.out
+        assert f"{spec} LPO" in captured.out
+
+    def test_status_reports_llm_backend_counters(self, served_port,
+                                                 module_file, capsys):
+        main(["submit", module_file, "--port", served_port])
+        capsys.readouterr()
+        assert main(["status", "--port", served_port]) == 0
+        out = capsys.readouterr().out
+        assert "llm backend:" in out
 
     def test_campaign_progress_in_status(self, served_port,
                                          module_file, capsys):

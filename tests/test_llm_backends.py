@@ -1,0 +1,619 @@
+"""Tests for the pluggable completion-backend API (repro.llm.backends):
+spec parsing/resolution, retry/timeout/pacing policy, bit-identity of
+the simulated backend, the HTTP backend against the in-repo stub
+server, the pipeline's complete_many wavefront, and the service's
+backend metrics."""
+
+import pickle
+import threading
+
+import pytest
+
+from repro.core.pipeline import LPOPipeline, PipelineConfig, window_from_text
+from repro.corpus.issues import rq1_cases
+from repro.errors import ReproError
+from repro.llm import (
+    GEMINI20T,
+    MODELS_BY_NAME,
+    BackendError,
+    BackendProtocolError,
+    BackendResolutionError,
+    BackendTimeoutError,
+    HTTPBackend,
+    PromptRequest,
+    RetryPolicy,
+    SimulatedBackend,
+    SimulatedLLM,
+    StubChatServer,
+    Usage,
+    parse_backend_spec,
+    resolve_backend,
+    resolve_client,
+)
+from repro.llm.backends import _Pacer
+from repro.llm.profiles import ModelProfile
+from repro.service import JobSpec, OptimizationService, ServiceMetrics
+
+WINDOW_IR = """define i8 @f(i8 %x) {
+  %a = add i8 %x, 0
+  ret i8 %a
+}"""
+
+
+def request(feedback: str = "", attempt: int = 0,
+            round_seed: int = 0) -> PromptRequest:
+    return PromptRequest(window_ir=WINDOW_IR, feedback=feedback,
+                         attempt=attempt, round_seed=round_seed)
+
+
+# -- spec parsing ----------------------------------------------------------
+class TestSpecParsing:
+    def test_bare_name_is_sim(self):
+        parsed = parse_backend_spec("Gemini2.0T")
+        assert parsed.scheme == "sim"
+        assert parsed.model == "Gemini2.0T"
+
+    def test_sim_with_params(self):
+        parsed = parse_backend_spec("sim:GPT-4.1?seed=7&generalized=0")
+        assert parsed.model == "GPT-4.1"
+        assert parsed.params == {"seed": "7", "generalized": "0"}
+
+    def test_unknown_model_lists_specs(self):
+        with pytest.raises(BackendResolutionError,
+                           match="unknown model") as exc:
+            parse_backend_spec("GPT-9")
+        assert "Gemini2.0T" in str(exc.value)
+
+    def test_unknown_scheme(self):
+        with pytest.raises(BackendResolutionError,
+                           match="unknown backend scheme"):
+            parse_backend_spec("grpc:model-x")
+
+    def test_http_spec(self):
+        parsed = parse_backend_spec(
+            "http://10.0.0.5:8000/llama?timeout=5&retries=1")
+        assert parsed.scheme == "http"
+        assert (parsed.host, parsed.port) == ("10.0.0.5", 8000)
+        assert parsed.model == "llama"
+        assert parsed.base_path == "v1"
+        assert parsed.params == {"timeout": "5", "retries": "1"}
+
+    def test_http_base_path_prefix(self):
+        parsed = parse_backend_spec("http://h:1/v2/beta/llama")
+        assert parsed.model == "llama"
+        assert parsed.base_path == "v2/beta"
+
+    def test_https_default_port(self):
+        parsed = parse_backend_spec("https://api.example.com/gpt")
+        assert parsed.port == 443 and parsed.secure
+
+    def test_http_without_model(self):
+        with pytest.raises(BackendResolutionError, match="no model"):
+            parse_backend_spec("http://host:8000")
+
+    def test_http_unknown_param(self):
+        with pytest.raises(BackendResolutionError,
+                           match="unknown parameter"):
+            parse_backend_spec("http://h:1/m?reties=3")
+
+    def test_empty_spec(self):
+        with pytest.raises(BackendResolutionError, match="empty"):
+            parse_backend_spec("   ")
+
+    def test_bad_numeric_param(self):
+        with pytest.raises(BackendResolutionError, match="bad"):
+            resolve_backend("http://h:1/m?timeout=fast")
+
+    def test_bad_param_values_rejected_at_parse_time(self):
+        # Preflight (CLI validation, service startup/campaign checks)
+        # must fail exactly where construction would — values, not
+        # just names, are validated by parse_backend_spec.
+        with pytest.raises(BackendResolutionError,
+                           match="bad seed='abc'"):
+            parse_backend_spec("sim:Gemini2.0T?seed=abc")
+        with pytest.raises(BackendResolutionError,
+                           match="bad timeout='fast'"):
+            parse_backend_spec("http://h:1/m?timeout=fast")
+        with pytest.raises(BackendResolutionError,
+                           match="bad retries='2.5'"):
+            parse_backend_spec("http://h:1/m?retries=2.5")
+
+
+class TestResolution:
+    def test_bare_name_resolves_simulated(self):
+        backend = resolve_backend("Gemini2.0T", seed=3)
+        assert isinstance(backend, SimulatedBackend)
+        assert backend.model_name == "Gemini2.0T"
+        assert backend.seed == 3
+
+    def test_spec_seed_wins_over_default(self):
+        backend = resolve_backend("sim:Gemini2.0T?seed=7", seed=3)
+        assert backend.seed == 7
+
+    def test_http_resolves_with_policy(self):
+        backend = resolve_backend(
+            "http://127.0.0.1:9/llama?timeout=5&retries=1&rps=4"
+            "&concurrency=3&backoff=0.5")
+        assert isinstance(backend, HTTPBackend)
+        assert backend.retry == RetryPolicy(
+            max_retries=1, backoff_seconds=0.5, timeout_seconds=5.0,
+            requests_per_second=4.0)
+        assert backend.concurrency == 3
+        assert backend.endpoint == "/v1/chat/completions"
+
+    def test_resolve_client_registered_profile_uses_registry(self):
+        backend = resolve_client(GEMINI20T, seed=2)
+        assert isinstance(backend, SimulatedBackend)
+        assert backend.profile is GEMINI20T and backend.seed == 2
+
+    def test_resolve_client_adhoc_profile_wrapped(self):
+        custom = ModelProfile(
+            name="Custom-X", version="x", reasoning=False, cutoff="-",
+            skills={"logic": 0.5}, syntax_error_rate=0.0,
+            hallucination_rate=0.0, repair_rate=1.0,
+            feedback_boost=1.0, mean_latency_seconds=1.0,
+            latency_jitter=0.0, usd_per_million_input=0.0,
+            usd_per_million_output=0.0)
+        backend = resolve_client(custom, seed=1)
+        assert isinstance(backend, SimulatedBackend)
+        assert backend.profile is custom
+
+
+# -- retry policy / pacing -------------------------------------------------
+class TestRetryPolicy:
+    def test_deterministic_backoff_schedule(self):
+        policy = RetryPolicy(max_retries=4, backoff_seconds=0.1,
+                             backoff_multiplier=2.0,
+                             max_backoff_seconds=0.5)
+        assert policy.schedule() == (0.1, 0.2, 0.4, 0.5)
+        # Same policy, same schedule — no jitter by design.
+        assert policy.schedule() == policy.schedule()
+
+    def test_zero_retries_empty_schedule(self):
+        assert RetryPolicy(max_retries=0).schedule() == ()
+
+
+class FakeTime:
+    def __init__(self):
+        self.now = 100.0
+        self.sleeps = []
+
+    def clock(self):
+        return self.now
+
+    def sleep(self, seconds):
+        self.sleeps.append(round(seconds, 6))
+        self.now += seconds
+
+
+class TestPacer:
+    def test_slots_spaced_at_interval(self):
+        fake = FakeTime()
+        pacer = _Pacer(10.0, clock=fake.clock, sleep=fake.sleep)
+        delays = [round(pacer.wait(), 6) for _ in range(4)]
+        assert delays == [0.0, 0.1, 0.1, 0.1]
+
+    def test_unpaced_is_free(self):
+        fake = FakeTime()
+        pacer = _Pacer(0.0, clock=fake.clock, sleep=fake.sleep)
+        assert [pacer.wait() for _ in range(3)] == [0.0, 0.0, 0.0]
+        assert fake.sleeps == []
+
+
+# -- usage arithmetic ------------------------------------------------------
+class TestUsageArithmetic:
+    def test_add_returns_new(self):
+        a = Usage(1, 2, 3.0, 4.0, 1)
+        b = Usage(10, 20, 30.0, 40.0, 2)
+        total = a + b
+        assert total == Usage(11, 22, 33.0, 44.0, 3)
+        assert a == Usage(1, 2, 3.0, 4.0, 1)  # operands untouched
+
+    def test_iadd_accumulates(self):
+        total = Usage()
+        total += Usage(prompt_tokens=5, calls=1)
+        total += Usage(prompt_tokens=7, calls=1)
+        assert (total.prompt_tokens, total.calls) == (12, 2)
+
+    def test_sum_builtin(self):
+        calls = [Usage(prompt_tokens=i, calls=1) for i in range(5)]
+        assert sum(calls, Usage()) == Usage(prompt_tokens=10, calls=5)
+
+    def test_summed_usage_equals_per_call_totals(self):
+        # Regression for the aggregation sites: a pipeline result's
+        # usage must equal the sum of its per-call usages.
+        backend = resolve_backend("Gemini2.0T")
+        requests = [request(round_seed=seed) for seed in range(4)]
+        responses = backend.complete_many(requests)
+        summed = sum((r.usage for r in responses), Usage())
+        assert backend.stats.usage == summed
+        assert summed.calls == 4
+
+
+# -- the simulated reference backend ---------------------------------------
+class TestSimulatedBackend:
+    def test_bit_identical_to_simulated_llm(self):
+        backend = resolve_backend("Gemini2.0T", seed=5)
+        reference = SimulatedLLM(MODELS_BY_NAME["Gemini2.0T"], seed=5)
+        for req in (request(round_seed=2),
+                    request(feedback="error: bad token", attempt=1,
+                            round_seed=2),
+                    request(feedback="Transformation doesn't verify",
+                            attempt=1, round_seed=3)):
+            ours = backend.complete(req)
+            theirs = reference.complete(req)
+            assert ours.text == theirs.text
+            assert ours.usage == theirs.usage
+
+    def test_complete_many_preserves_order(self):
+        backend = resolve_backend("Gemini2.0T")
+        requests = [request(round_seed=seed) for seed in range(6)]
+        batch = backend.complete_many(requests)
+        singles = [resolve_backend("Gemini2.0T").complete(req)
+                   for req in requests]
+        assert [r.text for r in batch] == [r.text for r in singles]
+
+    def test_stats_accumulate(self):
+        backend = resolve_backend("Gemini2.0T")
+        backend.complete_many([request(round_seed=s) for s in range(3)])
+        snap = backend.stats.snapshot()
+        assert snap["calls"] == 3
+        assert snap["retries"] == 0
+        assert snap["latency_seconds"] > 0
+
+    def test_backend_survives_pickling(self):
+        backend = resolve_backend("sim:Gemini2.0T?seed=4")
+        clone = pickle.loads(pickle.dumps(backend))
+        req = request(round_seed=1)
+        assert clone.complete(req).text == backend.complete(req).text
+        clone.stats.record_retry()  # the lock was rebuilt
+        assert clone.stats.retries == 1
+
+
+# -- HTTP backend against a scripted transport -----------------------------
+def ok_body(text="ok"):
+    return {"choices": [{"index": 0,
+                         "message": {"role": "assistant",
+                                     "content": text},
+                         "finish_reason": "stop"}],
+            "usage": {"prompt_tokens": 3, "completion_tokens": 2}}
+
+
+def make_http(transport, fake, **policy_kwargs):
+    policy_kwargs.setdefault("backoff_seconds", 0.05)
+    policy_kwargs.setdefault("backoff_multiplier", 2.0)
+    return HTTPBackend("127.0.0.1", 1, "m",
+                       retry=RetryPolicy(**policy_kwargs),
+                       transport=transport, concurrency=1,
+                       clock=fake.clock, sleep=fake.sleep)
+
+
+class TestHTTPBackendRetries:
+    def test_retries_then_succeeds_on_deterministic_backoff(self):
+        fake = FakeTime()
+        statuses = iter([(500, {"error": {"message": "boom"}}),
+                         (429, {"error": {"message": "slow down"}}),
+                         (200, ok_body("answer"))])
+        backend = make_http(lambda payload: next(statuses), fake,
+                            max_retries=3)
+        response = backend.complete(request())
+        assert response.text == "answer"
+        assert backend.stats.retries == 2
+        assert backend.stats.failures == 0
+        # The sleeps are exactly the policy's schedule prefix.
+        assert fake.sleeps == [0.05, 0.1]
+
+    def test_timeout_is_typed_and_exhausts_schedule(self):
+        fake = FakeTime()
+
+        def transport(payload):
+            raise TimeoutError()
+
+        backend = make_http(transport, fake, max_retries=2,
+                            timeout_seconds=7.0)
+        with pytest.raises(BackendTimeoutError, match="7.0s"):
+            backend.complete(request())
+        assert fake.sleeps == list(RetryPolicy(
+            max_retries=2, backoff_seconds=0.05,
+            backoff_multiplier=2.0).schedule())
+        assert backend.stats.retries == 2
+        assert backend.stats.failures == 1
+
+    def test_client_error_fails_fast(self):
+        fake = FakeTime()
+        calls = []
+
+        def transport(payload):
+            calls.append(payload)
+            return 400, {"error": {"message": "bad request"}}
+
+        backend = make_http(transport, fake, max_retries=3)
+        with pytest.raises(BackendError, match="bad request"):
+            backend.complete(request())
+        assert len(calls) == 1          # no retry on a 4xx
+        assert fake.sleeps == []
+
+    def test_malformed_completion_is_protocol_error(self):
+        fake = FakeTime()
+        backend = make_http(lambda payload: (200, {"nope": True}),
+                            fake)
+        with pytest.raises(BackendProtocolError):
+            backend.complete(request())
+        assert backend.stats.failures == 1
+
+    def test_malformed_usage_fields_are_protocol_errors(self):
+        # A 200 whose usage fields don't parse must surface as the
+        # typed protocol error (and count as a failure), never as a
+        # raw ValueError.
+        fake = FakeTime()
+        body = ok_body()
+        body["usage"] = {"prompt_tokens": "n/a"}
+        backend = make_http(lambda payload: (200, body), fake)
+        with pytest.raises(BackendProtocolError):
+            backend.complete(request())
+        assert backend.stats.failures == 1
+
+    def test_rate_limit_pacing_under_burst(self):
+        fake = FakeTime()
+        backend = make_http(lambda payload: (200, ok_body()), fake,
+                            requests_per_second=20.0)
+        for _ in range(2):  # a burst of complete_many calls
+            backend.complete_many(
+                [request(round_seed=s) for s in range(3)])
+        snap = backend.stats.snapshot()
+        assert snap["calls"] == 6
+        # Every call after the first waits for its 50ms slot.
+        assert snap["rate_limit_waits"] == 5
+        assert backend.stats.rate_limit_wait_seconds == pytest.approx(
+            0.25)
+
+    def test_chat_payload_round_trips_sampling_keys(self):
+        fake = FakeTime()
+        seen = []
+
+        def transport(payload):
+            seen.append(payload)
+            return 200, ok_body()
+
+        backend = make_http(transport, fake)
+        backend.complete(request(feedback="error: x", attempt=1,
+                                 round_seed=9))
+        payload = seen[0]
+        assert payload["model"] == "m"
+        assert payload["seed"] == 9 and payload["attempt"] == 1
+        roles = [m["role"] for m in payload["messages"]]
+        assert roles == ["system", "user"]
+        window_ir, feedback = PromptRequest.split_user_content(
+            payload["messages"][1]["content"])
+        assert window_ir == WINDOW_IR and feedback == "error: x"
+
+
+# -- HTTP backend against the in-repo stub server --------------------------
+class TestHTTPBackendStub:
+    def test_stub_equals_sim_with_feedback_round(self):
+        reference = SimulatedLLM(MODELS_BY_NAME["Gemini2.0T"])
+        with StubChatServer() as stub:
+            backend = resolve_backend(stub.spec_for("Gemini2.0T"))
+            try:
+                for req in (request(round_seed=4),
+                            request(feedback="error: expected type",
+                                    attempt=1, round_seed=4)):
+                    assert (backend.complete(req).text
+                            == reference.complete(req).text)
+            finally:
+                backend.close()
+
+    def test_batches_at_least_eight_in_flight(self):
+        with StubChatServer(hold_for_concurrency=8) as stub:
+            backend = resolve_backend(
+                stub.spec_for("Gemini2.0T", concurrency=12))
+            try:
+                requests = [request(round_seed=s) for s in range(12)]
+                responses = backend.complete_many(requests)
+            finally:
+                backend.close()
+            assert len(responses) == 12
+            assert stub.max_in_flight >= 8
+
+    def test_injected_failures_are_retried(self):
+        with StubChatServer(fail_first=2) as stub:
+            backend = resolve_backend(
+                stub.spec_for("Gemini2.0T", retries=3,
+                              backoff=0.01))
+            try:
+                response = backend.complete(request())
+            finally:
+                backend.close()
+            assert response.text
+            assert backend.stats.retries == 2
+            assert stub.failures_injected == 2
+
+    def test_unknown_model_is_backend_error(self):
+        with StubChatServer() as stub:
+            backend = resolve_backend(
+                stub.spec_for("GPT-9", retries=0))
+            try:
+                with pytest.raises(BackendError,
+                                   match="unknown model"):
+                    backend.complete(request())
+            finally:
+                backend.close()
+
+
+# -- the pipeline's wavefront driver ---------------------------------------
+class TestPipelineWavefront:
+    @pytest.fixture(scope="class")
+    def windows(self):
+        return [window_from_text(case.src)
+                for case in rq1_cases()[:8]]
+
+    def test_batched_backend_matches_sequential_client(self, windows):
+        reference = LPOPipeline(SimulatedLLM(GEMINI20T),
+                                PipelineConfig())
+        sequential = reference.run(windows, round_seed=1)
+        pipeline = LPOPipeline(resolve_backend("Gemini2.0T"),
+                               PipelineConfig())
+        batched = pipeline.run_batch(windows, round_seed=1)
+        assert batched.stats.llm_waves >= 1
+        for seq, wave in zip(sequential, batched):
+            assert seq.status == wave.status
+            assert seq.found == wave.found
+            assert seq.candidate_text == wave.candidate_text
+            assert ([a.outcome for a in seq.attempts]
+                    == [a.outcome for a in wave.attempts])
+            assert seq.usage == wave.usage
+        # Identical cache traffic too (the wavefront hoists only the
+        # LLM calls, never the cached post-steps).
+        assert (pipeline.cache.stats.hits
+                == reference.cache.stats.hits)
+        assert (pipeline.cache.stats.misses
+                == reference.cache.stats.misses)
+
+    def test_wave_count_reflects_retries(self, windows):
+        pipeline = LPOPipeline(resolve_backend("Gemini2.0T"),
+                               PipelineConfig())
+        batched = pipeline.run_batch(windows, round_seed=1)
+        max_attempts = max(len(result.attempts)
+                           for result in batched)
+        assert batched.stats.llm_waves == max_attempts
+
+    def test_http_backend_drives_run_batch(self):
+        windows = [window_from_text(case.src)
+                   for case in rq1_cases()[:4]]
+        reference = LPOPipeline(SimulatedLLM(GEMINI20T),
+                                PipelineConfig())
+        expected = reference.run(windows, round_seed=0)
+        with StubChatServer() as stub:
+            backend = resolve_backend(stub.spec_for("Gemini2.0T"))
+            pipeline = LPOPipeline(backend, PipelineConfig())
+            try:
+                results = pipeline.run_batch(windows, round_seed=0)
+            finally:
+                backend.close()
+        assert ([r.status for r in results]
+                == [r.status for r in expected])
+        assert ([r.candidate_text for r in results]
+                == [r.candidate_text for r in expected])
+
+
+# -- service integration ---------------------------------------------------
+class TestServiceBackendMetrics:
+    def test_observe_backend_max_merges_cumulative_snapshots(self):
+        metrics = ServiceMetrics()
+        metrics.observe_backend("k1", {"calls": 3, "retries": 1,
+                                       "latency_seconds": 0.5})
+        metrics.observe_backend("k1", {"calls": 2, "retries": 1,
+                                       "latency_seconds": 0.4})
+        metrics.observe_backend("k2", {"calls": 4, "retries": 0,
+                                       "latency_seconds": 1.0})
+        totals = metrics.backend_totals()
+        assert totals["calls"] == 7       # max(3,2) + 4
+        assert totals["retries"] == 1
+        assert totals["latency_seconds"] == pytest.approx(1.5)
+        assert metrics.to_dict()["llm_backend"]["calls"] == 7
+        assert "llm backend: 7 calls" in metrics.render()
+
+    def test_service_counts_backend_calls_for_sim_jobs(self):
+        ir = rq1_cases()[0].src
+        with OptimizationService(jobs=1, backend="thread") as service:
+            service.run(JobSpec(ir=ir))
+            status = service.status()
+        assert status["llm_backend"]["calls"] >= 1
+        assert status["llm_backend"]["retries"] == 0
+
+    def test_service_retry_counters_visible_for_http_backend(self):
+        ir = rq1_cases()[0].src
+        with StubChatServer(fail_first=1) as stub:
+            spec = stub.spec_for("Gemini2.0T", retries=2,
+                                 backoff="0.01")
+            with OptimizationService(jobs=1,
+                                     backend="thread") as service:
+                result = service.run(JobSpec(ir=ir, model=spec))
+                status = service.status()
+        assert result.ok
+        assert status["llm_backend"]["retries"] >= 1
+        assert status["llm_backend"]["calls"] >= 1
+
+    def test_service_http_jobs_match_sim_jobs_and_cache_warm(self):
+        # Acceptance: a warm service run with --model http://... passes
+        # the same equivalence bar as sim: specs.
+        irs = [case.src for case in rq1_cases()[:6]]
+        with StubChatServer() as stub:
+            http_spec = stub.spec_for("Gemini2.0T")
+            with OptimizationService(jobs=2,
+                                     backend="thread") as service:
+                sim_results = service.run_many(
+                    [JobSpec(ir=ir, model="Gemini2.0T")
+                     for ir in irs])
+                cold = service.run_many(
+                    [JobSpec(ir=ir, model=http_spec) for ir in irs])
+                warm = service.run_many(
+                    [JobSpec(ir=ir, model=http_spec) for ir in irs])
+        assert ([r.status for r in cold]
+                == [r.status for r in sim_results])
+        assert ([r.found for r in cold]
+                == [r.found for r in sim_results])
+        assert not any(r.cached for r in cold)
+        assert all(r.cached for r in warm)
+        assert ([r.status for r in warm]
+                == [r.status for r in cold])
+
+    def test_campaign_legs_equivalent_across_backends(self):
+        from repro.service import CampaignSpec
+        irs = [case.src for case in rq1_cases()[:5]]
+        with StubChatServer() as stub:
+            http_spec = stub.spec_for("Gemini2.0T")
+            with OptimizationService(jobs=2,
+                                     backend="thread") as service:
+                sim = service.run_campaign(CampaignSpec(
+                    windows=irs, rounds=2, models=["Gemini2.0T"]))
+                http = service.run_campaign(CampaignSpec(
+                    windows=irs, rounds=2, models=[http_spec]))
+        assert sim.ok and http.ok
+        assert (sim.counts["Gemini2.0T/LPO"]
+                == http.counts[f"{http_spec}/LPO"])
+        assert (sim.counts["Gemini2.0T/LPO-"]
+                == http.counts[f"{http_spec}/LPO-"])
+
+    def test_campaign_rejects_bad_spec_before_running(self):
+        from repro.service import CampaignSpec
+        with OptimizationService(jobs=1) as service:
+            with pytest.raises(ReproError, match="unknown model"):
+                service.run_campaign(CampaignSpec(
+                    windows=[WINDOW_IR], models=["GPT-9"]))
+            with pytest.raises(ReproError, match="scheme"):
+                service.run_campaign(CampaignSpec(
+                    windows=[WINDOW_IR], models=["grpc:model"]))
+
+    def test_default_model_fills_empty_spec(self):
+        ir = rq1_cases()[0].src
+        with OptimizationService(
+                jobs=1, default_model="Gemini2.0T") as service:
+            result = service.run(JobSpec(ir=ir, model=""))
+        assert result.ok
+
+    def test_bad_default_model_fails_at_startup(self):
+        with pytest.raises(ReproError, match="unknown model"):
+            OptimizationService(jobs=1, default_model="GPT-9")
+
+
+class TestBackendStatsThreadSafety:
+    def test_concurrent_recording_is_consistent(self):
+        backend = resolve_backend("Gemini2.0T")
+        errors = []
+
+        def hammer(seed):
+            try:
+                backend.complete_many(
+                    [request(round_seed=seed) for _ in range(5)])
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer, args=(seed,))
+                   for seed in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        assert backend.stats.calls == 20
