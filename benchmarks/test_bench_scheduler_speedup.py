@@ -1,12 +1,20 @@
-"""Scheduler/cache benchmark guard: sequential vs parallel wall-clock.
+"""Scheduler/cache benchmark guard: per-backend wall-clock rows.
 
-Runs the LPO loop over the full rq1 window corpus three ways — the
-sequential reference driver, the batch scheduler at ``bench_jobs``
-workers (override with ``REPRO_BENCH_JOBS=N``), and a cached re-run —
-and records the wall-clocks to ``benchmarks/results/scheduler_speedup``
-so the performance trajectory of the harness itself is tracked from PR
-to PR.  Equivalence of findings across all three paths is asserted, not
-just timed.
+Runs the LPO loop over the full rq1 window corpus four ways — the
+sequential reference driver, the batch scheduler on the *thread* and
+*process* backends at ``bench_jobs`` workers (override with
+``REPRO_BENCH_JOBS=N``), and a cached re-run — and records the
+wall-clocks to ``benchmarks/results/scheduler_speedup`` so the
+performance trajectory of the harness itself is tracked from PR to PR.
+Every wall row names its backend and job count.  Equivalence of
+findings across all paths is asserted, not just timed.
+
+The process row also reports the per-task payload (the pre-serialized
+``WindowSpec`` wire bytes each worker receives) and the per-task
+dispatch overhead, ``(process wall - sequential wall) / tasks`` — the
+honest cost of crossing the pickle boundary, which is what the
+zero-copy window shipping is there to shrink.  On a multi-core host the
+process row should instead beat sequential outright.
 
 Each wall-clock is the median of ``REPEATS`` fresh-state runs and the
 artifact carries a machine/load header (see ``environment_header``), so
@@ -41,9 +49,16 @@ def _fingerprint(results):
             for r in results]
 
 
+def _wall_row(label, wall, seq_wall, walls, detail=""):
+    runs = ", ".join(f"{w:.2f}" for w in sorted(walls))
+    speedup = f"x{seq_wall / max(wall, 1e-9):.2f} vs sequential"
+    extra = f"; {detail}" if detail else ""
+    return f"{label:<34s} {wall:8.2f}s  ({speedup}{extra}; runs: {runs})"
+
+
 def test_bench_scheduler_speedup(rq1_windows, bench_jobs,
                                  save_artifact):
-    seq_walls, par_walls, cached_walls = [], [], []
+    seq_walls, thread_walls, proc_walls, cached_walls = [], [], [], []
     for _ in range(REPEATS):
         # Sequential reference, fresh pipeline each repeat.
         sequential = _pipeline()
@@ -52,31 +67,48 @@ def test_bench_scheduler_speedup(rq1_windows, bench_jobs,
                        for r in range(ROUNDS)]
         seq_walls.append(time.perf_counter() - start)
 
-        # Parallel batch, fresh pipeline/cache each repeat.
-        parallel = _pipeline()
+        # Thread backend, fresh pipeline/cache each repeat.
+        threaded = _pipeline()
         start = time.perf_counter()
-        par_results = [parallel.run_batch(rq1_windows, round_seed=r,
-                                          jobs=bench_jobs)
-                       for r in range(ROUNDS)]
-        par_walls.append(time.perf_counter() - start)
+        thread_results = [threaded.run_batch(rq1_windows, round_seed=r,
+                                             jobs=bench_jobs,
+                                             backend="thread")
+                          for r in range(ROUNDS)]
+        thread_walls.append(time.perf_counter() - start)
+
+        # Process backend (the default), fresh pipeline/cache.
+        processed = _pipeline()
+        start = time.perf_counter()
+        proc_results = [processed.run_batch(rq1_windows, round_seed=r,
+                                            jobs=bench_jobs,
+                                            backend="process")
+                        for r in range(ROUNDS)]
+        proc_walls.append(time.perf_counter() - start)
 
         # Cached re-run: same pipeline, same rounds — all digests known.
         start = time.perf_counter()
-        cached_results = [parallel.run_batch(rq1_windows, round_seed=r,
-                                             jobs=bench_jobs)
+        cached_results = [processed.run_batch(rq1_windows, round_seed=r,
+                                              jobs=bench_jobs,
+                                              backend="process")
                           for r in range(ROUNDS)]
         cached_walls.append(time.perf_counter() - start)
 
     seq_wall = median(seq_walls)
-    par_wall = median(par_walls)
+    thread_wall = median(thread_walls)
+    proc_wall = median(proc_walls)
     cached_wall = median(cached_walls)
     cached_delta = cached_results[-1].stats.cache
 
     for round_index in range(ROUNDS):
-        assert (_fingerprint(par_results[round_index])
-                == _fingerprint(seq_results[round_index]))
-        assert (_fingerprint(cached_results[round_index])
-                == _fingerprint(seq_results[round_index]))
+        want = _fingerprint(seq_results[round_index])
+        assert _fingerprint(thread_results[round_index]) == want
+        assert _fingerprint(proc_results[round_index]) == want
+        assert _fingerprint(cached_results[round_index]) == want
+
+    tasks = ROUNDS * len(rq1_windows)
+    dispatch_ms = (proc_wall - seq_wall) / tasks * 1e3
+    payload_bytes = proc_results[0].stats.task_payload_bytes
+    payload_per_task = payload_bytes // max(len(rq1_windows), 1)
 
     findings = sum(r.found for round_results in seq_results
                    for r in round_results)
@@ -84,16 +116,18 @@ def test_bench_scheduler_speedup(rq1_windows, bench_jobs,
         f"rq1 corpus: {len(rq1_windows)} windows x {ROUNDS} rounds, "
         f"{findings} findings per full pass (model {GEMINI20T.name}); "
         f"walls are median of {REPEATS} fresh-state runs",
-        f"sequential wall: {seq_wall:8.2f}s  "
-        f"(runs: {', '.join(f'{w:.2f}' for w in sorted(seq_walls))})",
-        f"parallel wall:   {par_wall:8.2f}s  "
-        f"(jobs={bench_jobs}, x{seq_wall / max(par_wall, 1e-9):.2f} "
-        f"vs sequential; "
-        f"runs: {', '.join(f'{w:.2f}' for w in sorted(par_walls))})",
-        f"cached re-run:   {cached_wall:8.2f}s  "
-        f"(x{seq_wall / max(cached_wall, 1e-9):.2f} vs sequential)",
-        f"parallel batch stats (round {ROUNDS - 1} of last repeat, "
-        f"cache warmed by round 0): {par_results[-1].stats.render()}",
+        _wall_row("sequential (backend=serial jobs=1):", seq_wall,
+                  seq_wall, seq_walls),
+        _wall_row(f"batch (backend=thread jobs={bench_jobs}):",
+                  thread_wall, seq_wall, thread_walls),
+        _wall_row(f"batch (backend=process jobs={bench_jobs}):",
+                  proc_wall, seq_wall, proc_walls,
+                  detail=f"dispatch overhead {dispatch_ms:.1f} ms/task, "
+                         f"payload {payload_per_task} B/window"),
+        _wall_row(f"cached (backend=process jobs={bench_jobs}):",
+                  cached_wall, seq_wall, cached_walls),
+        f"process batch stats (round {ROUNDS - 1} of last repeat, "
+        f"cache warmed by round 0): {proc_results[-1].stats.render()}",
         f"cached batch stats (round {ROUNDS - 1}, fully warm): "
         f"{cached_results[-1].stats.render()}",
     ]

@@ -180,16 +180,24 @@ def cmd_pipeline(args: argparse.Namespace) -> int:
 
 
 def cmd_batch(args: argparse.Namespace) -> int:
-    from repro.core import LPOPipeline, PipelineConfig, extract_from_corpus
+    from repro.core import (
+        ExtractionStats,
+        LPOPipeline,
+        PipelineConfig,
+        extract_from_corpus,
+    )
     from repro.ir import parse_module
     client = _resolve_model(args.model, args.seed)
     if client is None:
         return 2
     module = parse_module(_read(args.file))
-    windows = extract_from_corpus([module])
+    extraction = ExtractionStats()
+    windows = extract_from_corpus([module], stats=extraction)
     if not windows:
         print("no windows extracted", file=sys.stderr)
         return 1
+    print(f"extracted {len(windows)} windows in "
+          f"{extraction.elapsed_seconds:.2f}s", file=sys.stderr)
     cache = _make_cache(args.cache)
     pipeline = LPOPipeline(client,
                            PipelineConfig(attempt_limit=args.attempts),
@@ -225,7 +233,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     try:
         server.start_background()
         print(f"repro service listening on {args.host}:{server.port} "
-              f"(jobs={args.jobs}, backend={args.backend}, "
+              f"(jobs={args.jobs}, backend={service.backend}, "
               f"queue={args.queue_limit}, shards={args.shards})",
               file=sys.stderr)
         if args.port_file:
@@ -499,6 +507,11 @@ def cmd_status(args: argparse.Namespace) -> int:
           f"{backend.get('retries', 0)} retries, "
           f"{backend.get('failures', 0)} failures, "
           f"{backend.get('rate_limit_waits', 0)} rate-limit waits")
+    phases = status.get("phases", {})
+    if phases:
+        print("phases: " + " ".join(
+            f"{name} {seconds:.2f}s"
+            for name, seconds in list(phases.items())[:6]))
     print(f"latency: p50 {lat.get('p50', 0.0) * 1e3:.1f}ms "
           f"p90 {lat.get('p90', 0.0) * 1e3:.1f}ms "
           f"p99 {lat.get('p99', 0.0) * 1e3:.1f}ms; "
@@ -617,10 +630,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("file")
     p.add_argument("--model", default="Gemini2.0T", metavar="SPEC",
                    help=model_spec_help)
-    p.add_argument("--jobs", type=int, default=1, metavar="N",
-                   help="worker pool width (default 1: serial)")
-    p.add_argument("--backend", choices=("thread", "process"),
-                   default="thread")
+    p.add_argument("--jobs", type=int, default=None, metavar="N",
+                   help="worker pool width (default: one per CPU, "
+                        "capped; 1 runs serially)")
+    p.add_argument("--backend", choices=("serial", "thread", "process"),
+                   default=None,
+                   help="worker backend (default: process — the only "
+                        "backend that scales on the pure-Python "
+                        "verifier)")
     p.add_argument("--attempts", type=int, default=2)
     p.add_argument("--seed", type=int, default=0)
     p.add_argument("--cache", metavar="PATH",
@@ -637,7 +654,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--jobs", type=int, default=2, metavar="N",
                    help="worker pool width")
     p.add_argument("--backend", choices=("thread", "process"),
-                   default="thread")
+                   default=None,
+                   help="worker backend (default: process)")
     p.add_argument("--queue-limit", type=int, default=128,
                    help="max queued jobs before submits block "
                         "(backpressure)")

@@ -26,8 +26,15 @@ from repro.core.pipeline import (
     WindowResult,
     window_from_text,
 )
+from repro.core.executor import (
+    DEFAULT_BACKEND,
+    ExecutorPool,
+    WorkerCrashError,
+    default_backend,
+    default_jobs,
+)
 from repro.core.scheduler import BatchResult, BatchScheduler, BatchStats
-from repro.core.window import wrap_as_function
+from repro.core.window import WindowSpec, wrap_as_function
 
 __all__ = [
     "CacheStats", "DEFAULT_MAX_ENTRIES", "ResultCache",
@@ -39,5 +46,7 @@ __all__ = [
     "AttemptRecord", "LPOPipeline", "PipelineConfig", "WindowResult",
     "window_from_text",
     "BatchResult", "BatchScheduler", "BatchStats",
-    "wrap_as_function",
+    "DEFAULT_BACKEND", "ExecutorPool", "WorkerCrashError",
+    "default_backend", "default_jobs",
+    "WindowSpec", "wrap_as_function",
 ]

@@ -1,0 +1,183 @@
+"""The one executor layer behind every parallel surface.
+
+``BatchScheduler`` (batch runs), ``LPOPipeline.run_batch`` (the library
+API) and the service ``WorkerPool`` used to carry three parallel
+implementations of the same concerns: backend selection, pool
+construction, worker initializers, and crash classification.  They now
+all sit on :class:`ExecutorPool`, and the *process* backend is the
+default everywhere — the verifier is pure Python, so threads buy nothing
+on compute (GIL), while processes scale with cores.
+
+Defaults resolve in one place:
+
+- jobs: ``os.cpu_count()`` clamped to :data:`MAX_DEFAULT_JOBS`
+- backend: :data:`DEFAULT_BACKEND`, overridable with the
+  ``REPRO_EXECUTOR_BACKEND`` environment variable (used by CI to force
+  the process path through the whole test surface).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import (
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from concurrent.futures.process import BrokenProcessPool
+from concurrent.futures import BrokenExecutor
+from typing import Callable, Iterable, Iterator, List, Optional, Sequence
+
+from repro.errors import ReproError
+
+BACKENDS = ("serial", "thread", "process")
+DEFAULT_BACKEND = "process"
+
+#: Ceiling for the derived default job count: batch windows are seconds
+#: of work each, so very wide pools only pay fork + cache-export cost.
+MAX_DEFAULT_JOBS = 8
+
+ENV_BACKEND = "REPRO_EXECUTOR_BACKEND"
+
+
+class WorkerCrashError(ReproError):
+    """A pool worker died (or the pool broke) while running a job."""
+
+
+def default_jobs() -> int:
+    """Worker count when the caller does not pick one: one per CPU,
+    clamped to :data:`MAX_DEFAULT_JOBS`."""
+    return max(1, min(os.cpu_count() or 1, MAX_DEFAULT_JOBS))
+
+
+def default_backend() -> str:
+    """The process backend, unless ``REPRO_EXECUTOR_BACKEND`` overrides."""
+    backend = os.environ.get(ENV_BACKEND, "").strip()
+    return backend if backend in BACKENDS else DEFAULT_BACKEND
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    if jobs is None:
+        return default_jobs()
+    return max(1, int(jobs))
+
+
+def resolve_backend(backend: Optional[str],
+                    allowed: Sequence[str] = BACKENDS) -> str:
+    resolved = default_backend() if backend is None else backend
+    if resolved not in allowed:
+        raise ValueError(
+            f"unknown worker backend {resolved!r}; pick from {allowed}")
+    return resolved
+
+
+def is_crash(exc: BaseException) -> bool:
+    """Is this exception a worker crash (as opposed to a job failure)?"""
+    return isinstance(exc, (BrokenExecutor, BrokenProcessPool,
+                            WorkerCrashError))
+
+
+class ExecutorPool:
+    """A restartable thread/process pool with uniform crash semantics.
+
+    - ``serial`` runs everything inline (initializer included), so a
+      one-job batch never pays pool setup.
+    - ``submit`` converts a broken-pool rejection into
+      :class:`WorkerCrashError` so callers handle exactly one crash type.
+    - ``restart`` tears down a broken executor and builds a fresh one;
+      the initializer runs again in every new worker.
+    """
+
+    def __init__(self, jobs: Optional[int] = None,
+                 backend: Optional[str] = None,
+                 initializer: Optional[Callable] = None,
+                 initargs: tuple = (),
+                 allowed: Sequence[str] = BACKENDS):
+        self.jobs = resolve_jobs(jobs)
+        backend = resolve_backend(backend, allowed)
+        self.backend = backend if self.jobs > 1 else (
+            "serial" if "serial" in allowed else backend)
+        self.initializer = initializer
+        self.initargs = initargs
+        self._executor = None
+        self._lock = threading.Lock()
+        self._initialized_inline = False
+        self._closed = False
+
+    # -- lifecycle -----------------------------------------------------
+    def _make_executor(self):
+        if self.backend == "thread":
+            return ThreadPoolExecutor(
+                max_workers=self.jobs,
+                initializer=self.initializer,
+                initargs=self.initargs)
+        return ProcessPoolExecutor(
+            max_workers=self.jobs,
+            initializer=self.initializer,
+            initargs=self.initargs)
+
+    def _ensure(self):
+        with self._lock:
+            if self._closed:
+                raise WorkerCrashError(
+                    "worker pool rejected job: pool is shut down")
+            if self._executor is None:
+                self._executor = self._make_executor()
+            return self._executor
+
+    def restart(self) -> None:
+        """Replace a (possibly broken) executor with a fresh one."""
+        with self._lock:
+            executor = self._executor
+            self._executor = None
+            self._closed = False
+        if executor is not None:
+            executor.shutdown(wait=False, cancel_futures=True)
+
+    def shutdown(self, wait: bool = True) -> None:
+        with self._lock:
+            executor = self._executor
+            self._executor = None
+            self._closed = True
+        if executor is not None:
+            executor.shutdown(wait=wait)
+
+    def __enter__(self) -> "ExecutorPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    # -- submission ----------------------------------------------------
+    def _run_inline(self, fn: Callable, *args) -> Future:
+        if self._closed:
+            raise WorkerCrashError(
+                "worker pool rejected job: pool is shut down")
+        if not self._initialized_inline and self.initializer is not None:
+            self.initializer(*self.initargs)
+            self._initialized_inline = True
+        future: Future = Future()
+        try:
+            future.set_result(fn(*args))
+        except BaseException as exc:   # propagate to the caller, not here
+            future.set_exception(exc)
+        return future
+
+    def submit(self, fn: Callable, *args) -> Future:
+        if self.backend == "serial":
+            return self._run_inline(fn, *args)
+        try:
+            return self._ensure().submit(fn, *args)
+        except BrokenExecutor as exc:
+            raise WorkerCrashError(f"worker pool broken: {exc}") from exc
+        except RuntimeError as exc:
+            raise WorkerCrashError(f"worker pool rejected job: {exc}") \
+                from exc
+
+    def map_ordered(self, fn: Callable, items: Iterable) -> Iterator:
+        """Apply ``fn`` to every item, yielding results in submission
+        order.  Job exceptions propagate; the pool is left usable."""
+        futures = [self.submit(fn, item) for item in items]
+        for future in futures:
+            yield future.result()

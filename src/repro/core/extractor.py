@@ -8,6 +8,7 @@ structural hash.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Sequence, Set
 
@@ -27,6 +28,7 @@ class ExtractionStats:
     duplicates: int = 0
     still_optimizable: int = 0
     emitted: int = 0
+    elapsed_seconds: float = 0.0
 
 
 @dataclass
@@ -65,12 +67,17 @@ def extract_sequences_from_block(block: BasicBlock
         inst_id = id(inst)
         for sequence, consumed in zip(seq_set, operand_ids):
             if inst_id in consumed:
-                sequence.insert(0, inst)
+                # Sequences grow in reverse order and are flipped once at
+                # the end: prepending here made one long dependence chain
+                # cost O(n²) list shifts.
+                sequence.append(inst)
                 consumed.update(id(op) for op in inst.operands)
                 added = True
         if not added:
             seq_set.append([inst])
             operand_ids.append({id(op) for op in inst.operands})
+    for sequence in seq_set:
+        sequence.reverse()
     return seq_set
 
 
@@ -82,6 +89,7 @@ def extract_from_module(module: Module, dedup_set: Set[str],
     from repro.opt.driver import can_further_optimize
     stats = stats if stats is not None else ExtractionStats()
     stats.modules += 1
+    started = time.perf_counter()
     result: List[Window] = []
     for function in module.functions:
         for block in function.blocks:
@@ -108,6 +116,7 @@ def extract_from_module(module: Module, dedup_set: Set[str],
                     source_module=module.name,
                     source_function=function.name,
                     source_block=block.label))
+    stats.elapsed_seconds += time.perf_counter() - started
     return result
 
 

@@ -46,9 +46,11 @@ from repro.core.interestingness import (
     check_interestingness,
 )
 from repro.core.scheduler import BatchResult, BatchScheduler, BatchStats
+from repro.core.window import WindowSpec
 from repro.ir.function import Function
 from repro.ir.parser import parse_function
 from repro.ir.printer import print_function
+from repro import profile
 from repro.llm.client import LLMClient, PromptRequest, Usage
 from repro.opt.driver import run_opt
 from repro.verify.refinement import VerificationResult, check_refinement
@@ -87,6 +89,8 @@ class WindowResult:
     attempts: List[AttemptRecord] = field(default_factory=list)
     usage: Usage = field(default_factory=Usage)
     elapsed_seconds: float = 0.0
+    #: Per-phase wall seconds for this window (opt, llm, verify, ...).
+    phases: dict = field(default_factory=dict)
 
     @property
     def status(self) -> str:
@@ -141,7 +145,8 @@ class LPOPipeline:
         if cached is not None:
             function, _error = cached
             return function if function is not None else window.function
-        source_opt = run_opt(window.function)
+        with profile.phase("opt"):
+            source_opt = run_opt(window.function)
         if source_opt.ok and source_opt.function is not None:
             self.cache.put_opt(window.digest, source_opt.function)
             return source_opt.function
@@ -155,7 +160,8 @@ class LPOPipeline:
         cached = self.cache.get_opt(digest)
         if cached is not None:
             return cached
-        opt_result = run_opt(ir_text)
+        with profile.phase("opt"):
+            opt_result = run_opt(ir_text)
         if opt_result.is_failed:
             self.cache.put_opt(digest, None, opt_result.error_message)
             return None, opt_result.error_message
@@ -176,12 +182,13 @@ class LPOPipeline:
         cached = self.cache.get_verify(key)
         if cached is not None:
             return cached
-        verification = check_refinement(
-            window.function, candidate,
-            random_tests=config.random_tests,
-            exhaustive_bits=config.exhaustive_bits,
-            sat_budget=config.sat_budget,
-            seed=verify_seed)
+        with profile.phase("verify"):
+            verification = check_refinement(
+                window.function, candidate,
+                random_tests=config.random_tests,
+                exhaustive_bits=config.exhaustive_bits,
+                sat_budget=config.sat_budget,
+                seed=verify_seed)
         self.cache.put_verify(key, verification)
         return verification
 
@@ -210,7 +217,8 @@ class LPOPipeline:
             return True
 
         # Step 4: interestingness (against the canonicalized window).
-        report = check_interestingness(state.canonical, candidate)
+        with profile.phase("interestingness"):
+            report = check_interestingness(state.canonical, candidate)
         record.interestingness = report
         if not report.interesting:
             record.outcome = f"uninteresting ({report.reason})"
@@ -258,12 +266,15 @@ class LPOPipeline:
                         round_seed: int = 0) -> WindowResult:
         config = self.config
         start = time.perf_counter()
-        state = self._begin_window(window)
-        while state.attempt < config.attempt_limit:
-            response = self.client.complete(
-                self._request(state, round_seed))
-            if not self._absorb_response(state, response):
-                break
+        with profile.collect() as phases:
+            state = self._begin_window(window)
+            while state.attempt < config.attempt_limit:
+                with profile.phase("llm"):
+                    response = self.client.complete(
+                        self._request(state, round_seed))
+                if not self._absorb_response(state, response):
+                    break
+        profile.merge(state.result.phases, phases)
         state.result.elapsed_seconds = time.perf_counter() - start
         return state.result
 
@@ -286,7 +297,12 @@ class LPOPipeline:
         shared batch wait is not attributed to any one window).
         """
         config = self.config
-        states = [self._begin_window(window) for window in windows]
+        states = []
+        for window in windows:
+            with profile.collect() as phases:
+                state = self._begin_window(window)
+            profile.merge(state.result.phases, phases)
+            states.append(state)
         active = [state for state in states
                   if config.attempt_limit > 0]
         waves = 0
@@ -298,7 +314,9 @@ class LPOPipeline:
             retrying = []
             for state, response in zip(active, responses):
                 start = time.perf_counter()
-                retry = self._absorb_response(state, response)
+                with profile.collect() as phases:
+                    retry = self._absorb_response(state, response)
+                profile.merge(state.result.phases, phases)
                 state.result.elapsed_seconds += (
                     time.perf_counter() - start)
                 if retry and state.attempt < config.attempt_limit:
@@ -308,8 +326,8 @@ class LPOPipeline:
 
     def run_batch(self, windows: Sequence[Window],
                   round_seed: int = 0,
-                  jobs: int = 1,
-                  backend: str = "thread",
+                  jobs: Optional[int] = None,
+                  backend: Optional[str] = None,
                   scheduler: Optional[BatchScheduler] = None
                   ) -> BatchResult:
         """Fan ``windows`` over a worker pool; results in input order.
@@ -319,7 +337,17 @@ class LPOPipeline:
         and ``round_seed``, never by arrival order), plus aggregated
         :class:`~repro.core.scheduler.BatchStats` as ``.stats`` on the
         returned list.
+
+        Defaults resolve through :mod:`repro.core.executor`: ``jobs``
+        from the CPU count, ``backend`` to the process pool.  Batch-first
+        clients (``complete_many``) keep the wavefront driver unless the
+        caller *explicitly* asks for the process backend — the wavefront
+        owns LLM concurrency, which a defaulted backend should not
+        silently take away.
         """
+        explicit_process = (scheduler.backend == "process"
+                            if scheduler is not None
+                            else backend == "process")
         if scheduler is None:
             scheduler = BatchScheduler(jobs=jobs, backend=backend)
         stats_before = self.cache.stats.snapshot()
@@ -327,36 +355,49 @@ class LPOPipeline:
         effective = scheduler.effective_backend(len(windows))
         constructions = 0
         waves = 0
+        payload_bytes = 0
         batching = callable(getattr(self.client, "complete_many",
                                     None))
-        if batching and effective != "process":
+        if batching and not (explicit_process
+                             and effective == "process"):
             # A batch-first backend owns the LLM concurrency: each
             # wave's candidate requests go out as one complete_many
             # call (the HTTP backend keeps them in flight together),
-            # replacing the scheduler's thread fan-out — which was
-            # GIL-bound on the pure-Python post-steps anyway.  The
-            # process backend keeps the per-worker path below.
+            # replacing the scheduler's worker fan-out — which was
+            # GIL-bound on the pure-Python post-steps anyway.  An
+            # explicitly requested process backend keeps the
+            # per-worker path below.
             results, waves = self._run_waves(windows, round_seed)
+            if effective == "process":
+                effective = "serial"  # waves ran inline, not in a pool
         elif effective == "process":
             # Workers build their pipeline ONCE in the executor
             # initializer (client + config + the pre-batch cache
             # entries cross the pickle boundary once per worker); each
-            # task then ships only its window.  Entries computed by
+            # task then ships only its WindowSpec wire blob — never a
+            # Module/Function object graph.  Entries computed by
             # earlier tasks stay warm in the worker's cache for later
             # tasks on the same worker, and every task ships the
             # entries/stats it added back to the parent.
+            blobs = [WindowSpec.from_window(window).to_wire()
+                     for window in windows]
+            payload_bytes = sum(len(blob) for blob in blobs)
             task = functools.partial(_optimize_window_task, round_seed)
             results = []
             built_by_worker: dict = {}
-            for result, entries, delta, worker_id, built in \
-                    scheduler.map(task, windows,
-                                  initializer=_init_worker_pipeline,
-                                  initargs=(self.client, self.config,
-                                            self.cache.export())):
+            for window, (result, entries, delta, worker_id, built) in \
+                    zip(windows,
+                        scheduler.map(task, blobs,
+                                      initializer=_init_worker_pipeline,
+                                      initargs=(self.client, self.config,
+                                                self.cache.export()))):
                 self.cache.merge(entries)
                 self.cache.fold_stats(delta)
                 built_by_worker[worker_id] = max(
                     built_by_worker.get(worker_id, 0), built)
+                # The worker strips its reconstructed window from the
+                # return payload; reattach the parent's original.
+                result.window = window
                 results.append(result)
             constructions = sum(built_by_worker.values())
         else:
@@ -369,16 +410,20 @@ class LPOPipeline:
                            cache=self.cache.stats.delta_since(
                                stats_before),
                            pipeline_constructions=constructions,
-                           llm_waves=waves)
+                           llm_waves=waves,
+                           task_payload_bytes=payload_bytes)
         for result in results:
             stats.record(result)
         return BatchResult(results, stats)
 
 
 #: Per-worker-process state installed by :func:`_init_worker_pipeline`.
-#: Keys: ``pipeline`` (the worker's one LPOPipeline) and
-#: ``constructions`` (how many times this process built one — stays at
-#: 1 per pool unless the initializer re-runs).
+#: Keys: ``pipeline`` (the worker's one LPOPipeline), ``windows`` (the
+#: worker's digest → parsed Window memo — its read-only view of the
+#: corpus, so a window text is parsed at most once per worker no matter
+#: how many tasks or batches reuse it) and ``constructions`` (how many
+#: times this process built a pipeline — stays at 1 per pool unless the
+#: initializer re-runs).
 _WORKER_STATE: dict = {}
 
 
@@ -387,7 +432,8 @@ def _init_worker_pipeline(client, config, entries: dict) -> None:
 
     The client (with its knowledge base), the config, and the parent's
     pre-batch cache entries are pickled once per *worker* instead of
-    once per *task*; tasks themselves ship only a window each."""
+    once per *task*; tasks themselves ship only a WindowSpec wire blob
+    each."""
     if _WORKER_STATE.get("pid") != os.getpid():
         # A forked worker inherits the parent's module state; start its
         # construction count from a clean slate.
@@ -396,16 +442,27 @@ def _init_worker_pipeline(client, config, entries: dict) -> None:
     cache = ResultCache(max_entries=None)
     cache.merge(entries)
     _WORKER_STATE["pipeline"] = LPOPipeline(client, config, cache=cache)
+    _WORKER_STATE.setdefault("windows", {})
     _WORKER_STATE["constructions"] = (
         _WORKER_STATE.get("constructions", 0) + 1)
 
 
-def _optimize_window_task(round_seed: int, window: Window):
-    """Process-pool work item: runs one window against the worker's
-    resident pipeline; ships the result plus only the cache entries this
-    task added (earlier tasks already shipped theirs) and the hit/miss
-    delta back to the parent, tagged with the worker id so the parent
-    can count pipeline constructions per worker."""
+def _optimize_window_task(round_seed: int, blob: bytes):
+    """Process-pool work item: the payload is one WindowSpec wire blob.
+
+    Reconstructs the window (memoized by digest in the worker's corpus
+    view), runs it against the worker's resident pipeline, and ships the
+    result plus only the cache entries this task added (earlier tasks
+    already shipped theirs) and the hit/miss delta back to the parent,
+    tagged with the worker id so the parent can count pipeline
+    constructions per worker.  The result's window is stripped before
+    the return trip — the parent reattaches its own original object."""
+    spec = WindowSpec.from_wire(blob)
+    corpus: dict = _WORKER_STATE.setdefault("windows", {})
+    window = corpus.get(spec.digest)
+    if window is None:
+        window = spec.to_window()
+        corpus[spec.digest] = window
     pipeline: LPOPipeline = _WORKER_STATE["pipeline"]
     known = set(pipeline.cache.export())
     before = pipeline.cache.stats.snapshot()
@@ -414,6 +471,7 @@ def _optimize_window_task(round_seed: int, window: Window):
     new_entries = {key: entry
                    for key, entry in pipeline.cache.export().items()
                    if key not in known}
+    result.window = None
     return (result, new_entries, delta, os.getpid(),
             _WORKER_STATE.get("constructions", 0))
 

@@ -3,7 +3,8 @@
 Every extracted window is independent — the loop's verdict depends only
 on the window's structure, the round seed, and the model — so a corpus
 run can fan windows out over a worker pool without changing any finding.
-:class:`BatchScheduler` does exactly that, with three backends:
+:class:`BatchScheduler` does exactly that, sitting on the shared
+:class:`~repro.core.executor.ExecutorPool` layer with three backends:
 
 * ``serial``  — a plain loop (the reference behaviour);
 * ``thread``  — :class:`concurrent.futures.ThreadPoolExecutor`; shares
@@ -15,6 +16,11 @@ run can fan windows out over a worker pool without changing any finding.
   pipeline uses this to build its per-worker state (client, knowledge
   base, cache) once instead of pickling it with every task.
 
+Defaults come from the executor layer: jobs from ``os.cpu_count()``
+(clamped), backend ``process`` — the verifier is pure Python, so the
+process pool is the only backend that scales with cores.  The resolved
+values are reported in :class:`BatchStats` (``jobs``/``backend``).
+
 Result ordering is deterministic regardless of completion order: the
 scheduler collects futures in submission order, so ``map`` always
 returns ``[fn(items[0]), fn(items[1]), ...]``.
@@ -22,22 +28,27 @@ returns ``[fn(items[0]), fn(items[1]), ...]``.
 :class:`BatchStats` is the aggregate the experiment runners report:
 window/finding counts, per-status outcome histogram, summed
 :class:`~repro.llm.client.Usage`, wall-clock vs summed per-window
-compute time, and the cache hit/miss delta for the batch.
+compute time, the cache hit/miss delta for the batch, the bytes each
+process task shipped across the pickle boundary, and per-phase timings.
 """
 
 from __future__ import annotations
 
-from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, TypeVar
 
 from repro.core.cache import CacheStats
+from repro.core.executor import (
+    BACKENDS,
+    ExecutorPool,
+    resolve_backend,
+    resolve_jobs,
+)
 from repro.llm.client import Usage
+from repro import profile
 
 ItemT = TypeVar("ItemT")
 ResultT = TypeVar("ResultT")
-
-BACKENDS = ("serial", "thread", "process")
 
 
 @dataclass
@@ -60,6 +71,12 @@ class BatchStats:
     #: Batch-first clients only: how many ``complete_many`` waves the
     #: pipeline's wavefront driver issued (0 on the per-window paths).
     llm_waves: int = 0
+    #: Process backend only: total bytes of WindowSpec wire blobs shipped
+    #: to workers (the whole per-task payload — nothing else crosses).
+    task_payload_bytes: int = 0
+    #: Summed per-phase wall seconds across all windows (opt, llm,
+    #: verify, verify.*, ...), where instrumented.
+    phases: Dict[str, float] = field(default_factory=dict)
 
     def record(self, result) -> None:
         """Fold one :class:`~repro.core.pipeline.WindowResult` in."""
@@ -69,6 +86,7 @@ class BatchStats:
         self.outcomes[status] = self.outcomes.get(status, 0) + 1
         self.usage += result.usage
         self.compute_seconds += result.elapsed_seconds
+        profile.merge(self.phases, getattr(result, "phases", None) or {})
 
     def render(self) -> str:
         speedup = (self.compute_seconds / self.wall_seconds
@@ -83,6 +101,10 @@ class BatchStats:
                     f"construction(s)")
         if self.llm_waves:
             out += f"; {self.llm_waves} llm wave(s)"
+        if self.task_payload_bytes:
+            out += f"; task payload {self.task_payload_bytes} B"
+        if self.phases:
+            out += f"; phases: {profile.render(self.phases)}"
         return out
 
 
@@ -101,23 +123,19 @@ class BatchResult(List[ResultT]):
 
 
 class BatchScheduler:
-    """Deterministic fan-out of independent work items over a pool."""
+    """Deterministic fan-out of independent work items over a pool.
 
-    def __init__(self, jobs: int = 1, backend: str = "thread"):
-        if backend not in BACKENDS:
-            raise ValueError(f"unknown scheduler backend {backend!r}; "
-                             f"choose from {BACKENDS}")
-        self.jobs = max(1, int(jobs))
+    ``jobs=None`` resolves to one worker per CPU (clamped);
+    ``backend=None`` resolves to the process backend (or the
+    ``REPRO_EXECUTOR_BACKEND`` override).  The resolved values are what
+    ``self.jobs`` / ``self.backend`` report.
+    """
+
+    def __init__(self, jobs: Optional[int] = None,
+                 backend: Optional[str] = None):
+        backend = resolve_backend(backend, BACKENDS)
+        self.jobs = resolve_jobs(jobs)
         self.backend = backend if self.jobs > 1 else "serial"
-
-    def _executor(self, initializer: Optional[Callable] = None,
-                  initargs: tuple = ()) -> Executor:
-        kwargs = {}
-        if initializer is not None:
-            kwargs = {"initializer": initializer, "initargs": initargs}
-        if self.backend == "process":
-            return ProcessPoolExecutor(max_workers=self.jobs, **kwargs)
-        return ThreadPoolExecutor(max_workers=self.jobs, **kwargs)
 
     def effective_backend(self, item_count: int) -> str:
         """The backend :meth:`map` will actually use for a batch of
@@ -142,10 +160,13 @@ class BatchScheduler:
         once in-process so behaviour stays uniform.
         """
         items = list(items)
-        if self.effective_backend(len(items)) == "serial":
+        backend = self.effective_backend(len(items))
+        if backend == "serial":
+            # The reference loop: run inline, stop at the first error.
             if initializer is not None:
                 initializer(*initargs)
             return [fn(item) for item in items]
-        with self._executor(initializer, initargs) as pool:
-            futures = [pool.submit(fn, item) for item in items]
-            return [future.result() for future in futures]
+        with ExecutorPool(jobs=self.jobs, backend=backend,
+                          initializer=initializer,
+                          initargs=initargs) as pool:
+            return list(pool.map_ordered(fn, items))

@@ -2,16 +2,71 @@
 
 ``WrapAsFunc`` from Algorithm 2: operands defined outside the sequence
 become function arguments, and a ``ret`` of the last value-producing
-instruction is appended.
+instruction is appended.  This module also defines :class:`WindowSpec`,
+the compact wire form a window travels in when a batch crosses the
+pickle boundary to process workers.
 """
 
 from __future__ import annotations
 
+import json
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.ir.function import Function
 from repro.ir.instructions import Instruction, Ret
 from repro.ir.values import Argument, Constant, Value
+
+
+@dataclass(frozen=True)
+class WindowSpec:
+    """The wire form of a window: text and provenance, nothing else.
+
+    Process workers must never receive ``Module``/``Function`` object
+    graphs (deep pickles, and they smuggle whole-pipeline state across
+    the boundary — the PR 2 invariant).  A spec carries exactly what a
+    worker needs to reconstruct the window: the printed IR, the digest,
+    and provenance strings.  ``to_wire`` is a flat JSON array encoded to
+    bytes, so the per-task payload is small, flat, and measurable.
+    """
+
+    ir: str
+    digest: str
+    source_module: str = ""
+    source_function: str = ""
+    source_block: str = ""
+
+    @classmethod
+    def from_window(cls, window) -> "WindowSpec":
+        from repro.ir.printer import print_function
+        return cls(ir=print_function(window.function),
+                   digest=window.digest,
+                   source_module=window.source_module,
+                   source_function=window.source_function,
+                   source_block=window.source_block)
+
+    def to_window(self):
+        """Re-parse into a full Window (worker side)."""
+        from repro.core.extractor import Window
+        from repro.ir.parser import parse_function
+        return Window(function=parse_function(self.ir),
+                      digest=self.digest,
+                      source_module=self.source_module,
+                      source_function=self.source_function,
+                      source_block=self.source_block)
+
+    def to_wire(self) -> bytes:
+        return json.dumps(
+            [self.ir, self.digest, self.source_module,
+             self.source_function, self.source_block],
+            separators=(",", ":")).encode("utf-8")
+
+    @classmethod
+    def from_wire(cls, blob: bytes) -> "WindowSpec":
+        ir, digest, module, function, block = json.loads(
+            blob.decode("utf-8"))
+        return cls(ir=ir, digest=digest, source_module=module,
+                   source_function=function, source_block=block)
 
 
 def wrap_as_function(sequence: Sequence[Instruction],

@@ -1,0 +1,82 @@
+"""Lightweight per-phase wall-clock accounting.
+
+The execution plane wants to know where a window's wall time went (opt,
+LLM, interestingness, each verify tier, parsing) without threading a
+stats object through every call.  ``collect()`` pushes a sink onto a
+thread-local stack; every ``phase(name)`` block adds its elapsed seconds
+to *all* active sinks, so an outer collector (a service job) sees the
+phases of an inner one (a pipeline window) without any plumbing.
+
+Nested phases with dotted names simply accumulate side by side:
+``verify`` and ``verify.testing`` are independent keys, so the parent
+phase keeps the full tier cost while the child records its slice.
+
+Keep this module dependency-free: it is imported from both ``repro.core``
+and ``repro.verify``, which import each other.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator
+
+_ACTIVE = threading.local()
+
+
+def _sinks() -> list:
+    stack = getattr(_ACTIVE, "stack", None)
+    if stack is None:
+        stack = []
+        _ACTIVE.stack = stack
+    return stack
+
+
+@contextmanager
+def collect() -> Iterator[Dict[str, float]]:
+    """Collect phase timings observed in this thread until exit.
+
+    Yields the sink dict; it fills in as ``phase()`` blocks close and is
+    safe to read (or merge elsewhere) after the ``with`` exits.
+    """
+    sink: Dict[str, float] = {}
+    stack = _sinks()
+    stack.append(sink)
+    try:
+        yield sink
+    finally:
+        stack.remove(sink)
+
+
+@contextmanager
+def phase(name: str) -> Iterator[None]:
+    """Time a block and credit it to ``name`` in every active sink.
+
+    With no active collector this is a few hundred nanoseconds of
+    overhead, so instrumented hot paths stay cheap when nobody listens.
+    """
+    stack = _sinks()
+    if not stack:
+        yield
+        return
+    started = time.perf_counter()
+    try:
+        yield
+    finally:
+        elapsed = time.perf_counter() - started
+        for sink in stack:
+            sink[name] = sink.get(name, 0.0) + elapsed
+
+
+def merge(into: Dict[str, float], phases: Dict[str, float]) -> None:
+    """Sum-merge one phase dict into an accumulator."""
+    for name, seconds in phases.items():
+        if isinstance(seconds, (int, float)):
+            into[name] = into.get(name, 0.0) + float(seconds)
+
+
+def render(phases: Dict[str, float], limit: int = 6) -> str:
+    """One-line summary, largest phases first."""
+    items = sorted(phases.items(), key=lambda kv: (-kv[1], kv[0]))[:limit]
+    return " ".join(f"{name} {seconds:.2f}s" for name, seconds in items)

@@ -884,3 +884,92 @@ def run_function(function: Function, args: Sequence[RuntimeValue],
         return interpreter.run()
     except UndefinedBehaviorError as ub:
         return Outcome("ub", ub_reason=ub.reason)
+
+
+#: Instruction-class -> bound Interpreter handler, in the same first-match
+#: order as :meth:`Interpreter.eval_instruction`.  FunctionRunner must stay
+#: byte-identical to the generic loop, so the two tables may never diverge.
+_PLAN_DISPATCH = (
+    (BinaryOperator, Interpreter._eval_binary),
+    (ICmp, Interpreter._eval_icmp),
+    (FCmp, Interpreter._eval_fcmp),
+    (Select, Interpreter._eval_select),
+    (Cast, Interpreter._eval_cast),
+    (Freeze, Interpreter._eval_freeze),
+    (Call, Interpreter._eval_call),
+    (Load, Interpreter._eval_load),
+    (Store, Interpreter._eval_store),
+    (GetElementPtr, Interpreter._eval_gep),
+    (ExtractElement, Interpreter._eval_extractelement),
+    (InsertElement, Interpreter._eval_insertelement),
+    (ShuffleVector, Interpreter._eval_shufflevector),
+)
+
+
+class FunctionRunner:
+    """Repeated evaluation of one function with dispatch resolved once.
+
+    :func:`run_function` re-discovers the same facts on every call: which
+    handler each instruction needs, that the function is one straight-line
+    block, that no phi scan or step counting is required.  The exhaustive
+    verifier runs the same pair of functions up to 2^16 times per check,
+    so this hoists that discovery out of the enumeration loop.  Every step
+    still calls the exact Interpreter handler the generic loop would, so
+    semantics cannot drift.  Functions that are not straight line (several
+    blocks, phis, branches) transparently fall back to the generic loop.
+    """
+
+    def __init__(self, function: Function,
+                 undef_chooser: Optional[UndefChooser] = None):
+        self.function = function
+        self.undef_chooser = undef_chooser
+        self._plan = self._compile(function)
+
+    @staticmethod
+    def _compile(function: Function):
+        blocks = function.blocks
+        if len(blocks) != 1:
+            return None
+        instructions = blocks[0].instructions
+        if len(instructions) > Interpreter.MAX_STEPS:
+            return None        # let the generic loop raise its step error
+        plan = []
+        for inst in instructions:
+            if isinstance(inst, (Phi, Br)):
+                return None
+            if isinstance(inst, (Ret, Unreachable)):
+                plan.append((None, inst, False))
+                return plan
+            for klass, handler in _PLAN_DISPATCH:
+                if isinstance(inst, klass):
+                    plan.append((handler, inst, inst.type.is_first_class))
+                    break
+            else:
+                return None    # unknown opcode: generic loop's error wins
+        return None            # no terminator: ditto
+
+    def run(self, args: Sequence[RuntimeValue],
+            memory: Optional[Memory] = None) -> Outcome:
+        plan = self._plan
+        if plan is None:
+            return run_function(self.function, args, memory=memory,
+                                undef_chooser=self.undef_chooser)
+        interpreter = Interpreter(self.function, args, memory,
+                                  self.undef_chooser)
+        values = interpreter.frame.values
+        try:
+            for handler, inst, keep in plan:
+                if handler is None:
+                    if isinstance(inst, Unreachable):
+                        return Outcome("ub",
+                                       ub_reason="reached 'unreachable'")
+                    value = (interpreter.resolve(inst.value)
+                             if inst.value is not None else None)
+                    return Outcome("return", value, interpreter.memory)
+                result = handler(interpreter, inst)
+                if keep:
+                    values[inst] = result
+        except UndefinedBehaviorError as ub:
+            return Outcome("ub", ub_reason=ub.reason)
+        raise EvaluationError(          # pragma: no cover - plan ends in Ret
+            f"@{self.function.name} plan ended without a terminator")

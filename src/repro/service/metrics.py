@@ -58,6 +58,9 @@ class ServiceMetrics:
         #: Cumulative LLM-backend counters, max-merged per backend key
         #: (one key per warm backend instance; its counters only grow).
         self._backends: Dict[str, Dict[str, float]] = {}
+        #: Summed per-phase wall seconds across fresh job completions
+        #: (opt, llm, verify, verify.*, parse — cached replays excluded).
+        self._phases: Dict[str, float] = {}
         #: Optional gauge: the server binds this to its queue.
         self._queue_depth: Callable[[], int] = lambda: 0
 
@@ -133,6 +136,22 @@ class ServiceMetrics:
                 if isinstance(value, (int, float)):
                     seen[field] = max(seen.get(field, 0), value)
 
+    def observe_phases(self, phases: Dict[str, float]) -> None:
+        """Fold in one job's per-phase seconds (deltas, so sum-merge —
+        unlike the cumulative backend snapshots above)."""
+        with self._lock:
+            for name, seconds in phases.items():
+                if isinstance(seconds, (int, float)):
+                    self._phases[name] = (self._phases.get(name, 0.0)
+                                          + float(seconds))
+
+    def phase_totals(self) -> Dict[str, float]:
+        """Summed per-phase seconds, largest first."""
+        with self._lock:
+            items = sorted(self._phases.items(),
+                           key=lambda kv: (-kv[1], kv[0]))
+        return {name: round(seconds, 6) for name, seconds in items}
+
     def backend_totals(self) -> Dict[str, float]:
         """Summed backend counters across every backend key."""
         totals = {"calls": 0, "retries": 0, "failures": 0,
@@ -196,6 +215,7 @@ class ServiceMetrics:
             # "llm_backend", not "backend": the service's status()
             # payload already uses "backend" for the worker-pool kind.
             "llm_backend": self.backend_totals(),
+            "phases": self.phase_totals(),
             "queue_depth": self.queue_depth,
             "cache_hit_rate": round(self.cache_hit_rate, 4),
             "uptime_seconds": round(self.uptime_seconds, 3),
@@ -209,6 +229,12 @@ class ServiceMetrics:
         lat = snap["latency"]
         camp = snap["campaigns"]
         backend = snap["llm_backend"]
+        phases = snap["phases"]
+        phase_line = ""
+        if phases:
+            phase_line = "\nphases: " + " ".join(
+                f"{name} {seconds:.2f}s"
+                for name, seconds in list(phases.items())[:6])
         return (
             f"jobs: {snap['submitted']} submitted, "
             f"{snap['completed']} completed, {snap['failed']} failed, "
@@ -231,4 +257,5 @@ class ServiceMetrics:
             f"p90 {lat['p90'] * 1e3:.1f}ms "
             f"p99 {lat['p99'] * 1e3:.1f}ms\n"
             f"throughput: {snap['jobs_per_second']:.2f} jobs/s "
-            f"over {snap['uptime_seconds']:.1f}s uptime")
+            f"over {snap['uptime_seconds']:.1f}s uptime"
+            + phase_line)

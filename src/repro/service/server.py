@@ -33,6 +33,7 @@ from dataclasses import replace
 from typing import Callable, Dict, Optional
 
 from repro.core.cache import DEFAULT_MAX_ENTRIES, ShardedResultCache
+from repro.core.executor import resolve_backend
 from repro.errors import ReproError
 from repro.service.campaign import (
     CampaignLeg,
@@ -56,7 +57,11 @@ from repro.service.protocol import (
     result_to_wire,
     spec_from_wire,
 )
-from repro.service.workers import WorkerCrashError, WorkerPool
+from repro.service.workers import (
+    BACKENDS as WORKER_BACKENDS,
+    WorkerCrashError,
+    WorkerPool,
+)
 
 #: Queue sentinel that stops the dispatcher.
 _SHUTDOWN = object()
@@ -77,13 +82,16 @@ class ServiceBusyError(ReproError):
 class OptimizationService:
     """A persistent, cache-fronted job service around the LPO loop."""
 
-    def __init__(self, jobs: int = 2, backend: str = "thread",
+    def __init__(self, jobs: int = 2, backend: Optional[str] = None,
                  queue_limit: int = 128, max_retries: int = 2,
                  cache_shards: int = 16,
                  cache_entries: Optional[int] = DEFAULT_MAX_ENTRIES,
                  cache_age_seconds: Optional[float] = None,
                  cache_path=None, llm_seed: int = 0,
                  default_model: str = ""):
+        # ``backend=None`` resolves through the shared executor layer
+        # (process by default; REPRO_EXECUTOR_BACKEND overrides).
+        backend = resolve_backend(backend, WORKER_BACKENDS)
         self.backend = backend
         # The default fills jobs submitted with an empty model spec;
         # validate it up front so a misconfigured service fails at
@@ -472,6 +480,11 @@ class OptimizationService:
         if isinstance(backend, dict):
             self.metrics.observe_backend(
                 payload.get("backend_key", "?"), backend)
+        phases = payload.get("phases")
+        if isinstance(phases, dict):
+            # Fresh completions only — cached replays never reach
+            # _note_worker, so phase totals count work actually done.
+            self.metrics.observe_phases(phases)
 
     def _finish(self, spec: JobSpec, payload: Optional[dict] = None,
                 cached: bool = False, error: str = "",

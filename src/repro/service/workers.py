@@ -9,13 +9,24 @@ is whatever the job's *model spec* resolves to through
 OpenAI-compatible HTTP endpoint), and each job payload piggybacks the
 backend's cumulative call/retry/latency counters back to the server.
 
+The pool itself is a :class:`~repro.core.executor.ExecutorPool` — the
+same layer behind :class:`~repro.core.scheduler.BatchScheduler` and
+``run_batch`` — so backend selection, defaults (process first) and crash
+classification are shared, not re-implemented:
+
 * ``thread`` backend — one pipeline per ``(model, attempt_limit)``
   shared by all worker threads (the pipeline is thread-safe); the step
   cache can be the service's shared
   :class:`~repro.core.cache.ShardedResultCache`.
-* ``process`` backend — each worker process lazily builds its own
-  pipelines in module state installed by the pool initializer; jobs
-  cross the pickle boundary as small :class:`JobSpec` payloads only.
+* ``process`` backend (the default) — each worker process lazily builds
+  its own pipelines in module state installed by the pool initializer;
+  jobs cross the pickle boundary as small :class:`JobSpec` payloads
+  only.
+
+Every worker resolves a job's IR through one module-level window cache
+(the shared read-only corpus view): campaigns resubmit the same windows
+round after round, so each distinct IR text is parsed once per process,
+not once per job.
 
 A broken pool (a worker died hard) surfaces as
 :class:`WorkerCrashError`; the server requeues the job and calls
@@ -26,24 +37,25 @@ from __future__ import annotations
 
 import os
 import threading
-from concurrent.futures import (
-    BrokenExecutor,
-    Future,
-    ProcessPoolExecutor,
-    ThreadPoolExecutor,
-)
+from concurrent.futures import Future
 from typing import Dict, Optional, Tuple
 
+from repro import profile
+from repro.core.cache import text_digest
+from repro.core.executor import (
+    ExecutorPool,
+    WorkerCrashError,
+    is_crash as _is_crash,
+    resolve_backend,
+    resolve_jobs,
+)
 from repro.core.pipeline import LPOPipeline, PipelineConfig
 from repro.core.pipeline import window_from_text
-from repro.errors import ReproError
 from repro.service.protocol import JobSpec
 
 BACKENDS = ("thread", "process")
 
-
-class WorkerCrashError(ReproError):
-    """The worker pool died under a job (e.g. a killed process)."""
+__all__ = ["BACKENDS", "WorkerCrashError", "WorkerPool"]
 
 
 def _pipeline_for_spec(model: str, attempt_limit: int,
@@ -51,10 +63,35 @@ def _pipeline_for_spec(model: str, attempt_limit: int,
     """Build a warm pipeline whose client comes from the one
     model-resolution path (``sim:``/bare-name/``http://`` specs all
     land here); unknown specs raise the registry's typed error."""
-    from repro.llm.backends import resolve_backend
-    return LPOPipeline(resolve_backend(model, seed=llm_seed),
+    from repro.llm.backends import resolve_backend as resolve_model
+    return LPOPipeline(resolve_model(model, seed=llm_seed),
                        PipelineConfig(attempt_limit=attempt_limit),
                        cache=cache)
+
+
+# -- shared read-only corpus view -------------------------------------------
+#: digest(ir) → parsed Window, shared by every worker in this process
+#: (thread workers share one instance; each process worker holds its
+#: own copy).  Bounded: campaigns cycle a fixed corpus, so the cap only
+#: guards against unbounded ad-hoc job streams.
+_WINDOW_CACHE_LIMIT = 4096
+_window_cache: dict = {}
+_window_cache_lock = threading.Lock()
+
+
+def _window_for_ir(ir: str):
+    key = text_digest(ir)
+    with _window_cache_lock:
+        window = _window_cache.get(key)
+    if window is not None:
+        return window
+    with profile.phase("parse"):
+        window = window_from_text(ir)
+    with _window_cache_lock:
+        if len(_window_cache) >= _WINDOW_CACHE_LIMIT:
+            _window_cache.clear()
+        _window_cache[key] = window
+    return window
 
 
 def _run_spec(pipeline: LPOPipeline, spec: JobSpec,
@@ -63,16 +100,20 @@ def _run_spec(pipeline: LPOPipeline, spec: JobSpec,
     (the ``_CACHED_KEYS`` subset is the exact dict the job cache
     stores; ``backend``/``backend_key`` piggyback the backend's
     *cumulative* call/retry/latency counters so the server can fold
-    them into :class:`~repro.service.metrics.ServiceMetrics`)."""
-    window = window_from_text(spec.ir)
-    result = pipeline.optimize_window(window,
-                                      round_seed=spec.round_seed)
+    them into :class:`~repro.service.metrics.ServiceMetrics`, and
+    ``phases`` carries this job's per-phase seconds)."""
+    with profile.collect() as phases:
+        window = _window_for_ir(spec.ir)
+        result = pipeline.optimize_window(window,
+                                          round_seed=spec.round_seed)
     payload = {
         "found": result.found,
         "status": result.status,
         "candidate_text": result.candidate_text,
         "elapsed_seconds": result.elapsed_seconds,
         "attempts": len(result.attempts),
+        "phases": {name: round(seconds, 6)
+                   for name, seconds in phases.items()},
     }
     stats = getattr(pipeline.client, "stats", None)
     if stats is not None:
@@ -91,6 +132,8 @@ def _process_worker_init(llm_seed: int) -> None:
     if _PROCESS_STATE.get("pid") != os.getpid():
         _PROCESS_STATE.clear()
         _PROCESS_STATE["pid"] = os.getpid()
+        # A forked worker also inherits the parent's parsed windows;
+        # they are read-only, so keeping them is free warm-up.
     _PROCESS_STATE["llm_seed"] = llm_seed
     _PROCESS_STATE.setdefault("pipelines", {})
     _PROCESS_STATE.setdefault("constructions", 0)
@@ -115,85 +158,84 @@ def _process_worker_run(spec: JobSpec) -> dict:
 
 
 class WorkerPool:
-    """A persistent executor whose workers keep pipelines warm."""
+    """A persistent executor whose workers keep pipelines warm.
 
-    def __init__(self, jobs: int = 2, backend: str = "thread",
+    ``backend=None`` resolves through the shared executor layer —
+    process by default (``REPRO_EXECUTOR_BACKEND`` overrides); jobs
+    default to one per CPU, clamped.
+    """
+
+    def __init__(self, jobs: Optional[int] = 2,
+                 backend: Optional[str] = None,
                  llm_seed: int = 0, cache=None):
-        if backend not in BACKENDS:
-            raise ValueError(f"unknown worker backend {backend!r}; "
-                             f"choose from {BACKENDS}")
-        self.jobs = max(1, int(jobs))
-        self.backend = backend
+        self.jobs = resolve_jobs(jobs)
+        self.backend = resolve_backend(backend, BACKENDS)
         self.llm_seed = llm_seed
         #: Shared step cache for thread-backend pipelines (e.g. the
         #: service's ShardedResultCache); process workers keep their own.
         self.cache = cache
         self._lock = threading.Lock()
-        #: Serializes executor replacement against submits — concurrent
-        #: restart() calls must never hand a submit a just-shut-down
-        #: executor object without converting the failure.
-        self._executor_lock = threading.Lock()
         self._pipelines: Dict[Tuple[str, int], LPOPipeline] = {}
         self._constructions = 0
-        self._executor = None
+        self._pool: Optional[ExecutorPool] = None
         self.start()
 
     # -- lifecycle ---------------------------------------------------------
-    def _make_executor(self):
+    def _make_pool(self) -> ExecutorPool:
         if self.backend == "process":
-            return ProcessPoolExecutor(
-                max_workers=self.jobs,
-                initializer=_process_worker_init,
-                initargs=(self.llm_seed,))
-        return ThreadPoolExecutor(
-            max_workers=self.jobs, thread_name_prefix="repro-worker")
+            return ExecutorPool(jobs=self.jobs, backend="process",
+                                initializer=_process_worker_init,
+                                initargs=(self.llm_seed,),
+                                allowed=("thread", "process"))
+        return ExecutorPool(jobs=self.jobs, backend="thread",
+                            allowed=("thread", "process"))
 
     def start(self) -> None:
-        with self._executor_lock:
-            self._executor = self._make_executor()
+        with self._lock:
+            self._pool = self._make_pool()
 
     def restart(self) -> None:
         """Replace a broken executor (thread pipelines stay warm)."""
-        with self._executor_lock:
-            old = self._executor
-            self._executor = self._make_executor()
+        with self._lock:
+            old = self._pool
+            self._pool = self._make_pool()
         if old is not None:
             old.shutdown(wait=False)
 
     def shutdown(self, wait: bool = True) -> None:
-        with self._executor_lock:
-            executor = self._executor
-        if executor is not None:
-            executor.shutdown(wait=wait)
+        with self._lock:
+            pool = self._pool
+        if pool is not None:
+            pool.shutdown(wait=wait)
 
     # -- job execution -----------------------------------------------------
     @staticmethod
     def is_crash(exc: Optional[BaseException]) -> bool:
         """Does this failure mean "the pool died", not "the job is bad"?"""
-        return isinstance(exc, (BrokenExecutor, WorkerCrashError))
+        return exc is not None and _is_crash(exc)
 
     def submit(self, spec: JobSpec) -> Future:
         """Queue one job on the pool; raises :class:`WorkerCrashError`
         when the pool is already broken (or mid-replacement) at submit
         time."""
-        with self._executor_lock:
-            executor = self._executor
-        try:
-            if self.backend == "process":
-                return executor.submit(_process_worker_run, spec)
-            return executor.submit(self._thread_run, spec)
-        except (BrokenExecutor, RuntimeError) as exc:
-            # RuntimeError: the executor we grabbed was shut down by a
-            # concurrent restart() — same recovery as a broken pool.
-            raise WorkerCrashError(f"worker pool broken: {exc}") from exc
+        with self._lock:
+            pool = self._pool
+        if self.backend == "process":
+            return pool.submit(_process_worker_run, spec)
+        return pool.submit(self._thread_run, spec)
 
     def run(self, spec: JobSpec) -> dict:
         """Blocking convenience wrapper around :meth:`submit`."""
         future = self.submit(spec)
         try:
             return future.result()
-        except BrokenExecutor as exc:
-            raise WorkerCrashError(f"worker pool broken: {exc}") from exc
+        except WorkerCrashError:
+            raise
+        except BaseException as exc:
+            if _is_crash(exc):
+                raise WorkerCrashError(
+                    f"worker pool broken: {exc}") from exc
+            raise
 
     def _pipeline(self, model: str, attempt_limit: int) -> LPOPipeline:
         key = (model, attempt_limit)

@@ -13,7 +13,7 @@ from typing import List, Optional, Tuple
 from repro.ir.function import Function
 from repro.ir.types import FloatType, IntType, PointerType, Type, VectorType
 from repro.semantics.domain import RuntimeValue
-from repro.semantics.eval import run_function
+from repro.semantics.eval import FunctionRunner
 from repro.semantics.memory import Memory
 from repro.verify.testing import Counterexample, outcome_refines
 
@@ -86,10 +86,15 @@ def check_exhaustive(source: Function, target: Function,
     arg_types = [a.type for a in source.arguments]
     pools = [_arg_values(type_) for type_ in arg_types]
     sampled = _has_float(source)
+    # Compile the straight-line evaluation plan once per check, not once
+    # per enumerated input (never cached across calls: opt can rewrite
+    # functions in place between checks).
+    run_source = FunctionRunner(source).run
+    run_target = FunctionRunner(target).run
     for combo in itertools.product(*pools):
         args = list(combo)
-        src_outcome = run_function(source, list(args), memory=Memory())
-        tgt_outcome = run_function(target, list(args), memory=Memory())
+        src_outcome = run_source(list(args), memory=Memory())
+        tgt_outcome = run_target(list(args), memory=Memory())
         ok, reason = outcome_refines(src_outcome, tgt_outcome)
         if not ok:
             return "refuted", Counterexample(

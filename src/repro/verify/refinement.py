@@ -27,6 +27,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro import profile
 from repro.errors import SolverError
 from repro.ir.function import Function
 from repro.semantics.domain import POISON, Pointer
@@ -118,16 +119,18 @@ def check_refinement(source: Function, target: Function,
         return done(VerificationResult("error", message=error))
 
     # Tier 1: cheap counterexample search.
-    counterexample = run_refinement_tests(source, target,
-                                          random_count=random_tests,
-                                          seed=seed)
+    with profile.phase("verify.testing"):
+        counterexample = run_refinement_tests(source, target,
+                                              random_count=random_tests,
+                                              seed=seed)
     if counterexample is not None:
         return done(VerificationResult("refuted", method="testing",
                                        counterexample=counterexample))
 
     # Tier 2: exhaustive proof for small spaces.
-    status, counterexample = check_exhaustive(source, target,
-                                              max_bits=exhaustive_bits)
+    with profile.phase("verify.exhaustive"):
+        status, counterexample = check_exhaustive(
+            source, target, max_bits=exhaustive_bits)
     if status == "refuted":
         return done(VerificationResult("refuted", method="exhaustive",
                                        counterexample=counterexample))
@@ -137,7 +140,8 @@ def check_refinement(source: Function, target: Function,
 
     # Tier 3: SAT proof.
     try:
-        sat_result = _check_sat(source, target, sat_budget)
+        with profile.phase("verify.sat"):
+            sat_result = _check_sat(source, target, sat_budget)
     except EncodingUnsupported as exc:
         return done(VerificationResult(
             "validated", method="testing",

@@ -9,9 +9,11 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Iterator, List, Optional, Sequence, Tuple
 
 from repro.ir.function import Function
+from repro.ir.instructions import Freeze
 from repro.ir.types import (
     FloatType,
     IntType,
@@ -26,10 +28,27 @@ from repro.semantics.domain import (
     format_runtime_value,
     values_equal,
 )
+from repro.ir.values import UndefValue
 from repro.semantics.eval import Outcome, run_function
 from repro.semantics.memory import DEFAULT_BUFFER_SIZE, Memory
 
 _INTERESTING_BYTES = (0x00, 0x01, 0x7F, 0x80, 0xFF, 0x55, 0xAA)
+
+_FLOAT_POOL = (0.0, -0.0, 1.0, -1.0, 0.5, 2.0, 255.0,
+               float("inf"), float("-inf"), float("nan"),
+               1e300, -1e300, 1e-300)
+
+
+@lru_cache(maxsize=None)
+def _int_pool_for_width(width: int) -> Tuple[int, ...]:
+    mask = (1 << width) - 1
+    pool = {0, 1, 2, mask, mask - 1,
+            1 << (width - 1),            # INT_MIN pattern
+            (1 << (width - 1)) - 1,      # INT_MAX pattern
+            0x55555555 & mask, 0xAAAAAAAA & mask}
+    if width > 8:
+        pool |= {0xFF, 0x100 & mask, 255, 256 & mask}
+    return tuple(sorted(pool))
 
 
 @dataclass
@@ -116,20 +135,13 @@ class InputGenerator:
         self.buffer_size = buffer_size
 
     # -- scalar pools ----------------------------------------------------
-    def _int_pool(self, width: int) -> List[int]:
-        mask = (1 << width) - 1
-        pool = {0, 1, 2, mask, mask - 1,
-                1 << (width - 1),            # INT_MIN pattern
-                (1 << (width - 1)) - 1,      # INT_MAX pattern
-                0x55555555 & mask, 0xAAAAAAAA & mask}
-        if width > 8:
-            pool |= {0xFF, 0x100 & mask, 255, 256 & mask}
-        return sorted(pool)
+    # Pools depend only on the width, so they are memoized at module level
+    # (rebuilding the set + sort per random lane showed up in profiles).
+    def _int_pool(self, width: int) -> Sequence[int]:
+        return _int_pool_for_width(width)
 
-    def _float_pool(self) -> List[float]:
-        return [0.0, -0.0, 1.0, -1.0, 0.5, 2.0, 255.0,
-                float("inf"), float("-inf"), float("nan"),
-                1e300, -1e300, 1e-300]
+    def _float_pool(self) -> Sequence[float]:
+        return _FLOAT_POOL
 
     def _random_lane(self, scalar: Type) -> object:
         if isinstance(scalar, IntType):
@@ -242,6 +254,35 @@ def _random_scalar(rng: random.Random, scalar: Type):
     return 0
 
 
+def _consults_undef_chooser(function: Function) -> bool:
+    """Can evaluating ``function`` ever consult the undef chooser?
+
+    The interpreter only asks the chooser when it resolves an
+    ``UndefValue`` constant or executes a ``freeze``; a function with
+    neither is deterministic, so repeating it with fresh choosers is
+    pure waste.  Conservative: aggregate constants are walked lane by
+    lane, and phi incoming values are inspected too.
+    """
+    def has_undef(value) -> bool:
+        if isinstance(value, UndefValue):
+            return True
+        elements = getattr(value, "elements", None)
+        if elements is not None:
+            return any(has_undef(element) for element in elements)
+        return False
+
+    for block in function.blocks:
+        for inst in block.instructions:
+            if isinstance(inst, Freeze):
+                return True
+            if any(has_undef(op) for op in inst.operands):
+                return True
+            for value, _label in getattr(inst, "incoming", ()):
+                if has_undef(value):
+                    return True
+    return False
+
+
 def run_refinement_tests(source: Function, target: Function,
                          random_count: int = 200,
                          seed: int = 0) -> Optional[Counterexample]:
@@ -249,19 +290,23 @@ def run_refinement_tests(source: Function, target: Function,
 
     Returns the first counterexample found, or None if every tested input
     refines.  Target-side nondeterminism (freeze/undef) is sampled with a
-    handful of choosers per input.
+    handful of choosers per input; a target that never consults the
+    chooser is deterministic and gets exactly one trial per input, with
+    the rng stream untouched so results stay bit-identical either way.
     """
     generator = InputGenerator(source, seed=seed)
     rng = random.Random(seed ^ 0x5EED)
     arg_types = [a.type for a in source.arguments]
+    trials = 3 if _consults_undef_chooser(target) else 1
 
     def check_one(args: List[RuntimeValue],
                   memory: Memory) -> Optional[Counterexample]:
         src_outcome = run_function(source, list(args),
                                    memory=memory.clone())
-        for trial in range(3):
-            chooser = _undef_chooser_from_rng(
+        for trial in range(trials):
+            chooser = (_undef_chooser_from_rng(
                 random.Random(rng.getrandbits(32)))
+                if trials > 1 else None)
             tgt_outcome = run_function(target, list(args),
                                        memory=memory.clone(),
                                        undef_chooser=chooser)

@@ -1,0 +1,154 @@
+"""Tests for the shared executor layer behind every parallel surface."""
+
+import os
+
+import pytest
+
+from repro.core import executor as executor_module
+from repro.core.executor import (
+    BACKENDS,
+    DEFAULT_BACKEND,
+    MAX_DEFAULT_JOBS,
+    ExecutorPool,
+    WorkerCrashError,
+    default_backend,
+    default_jobs,
+    is_crash,
+    resolve_backend,
+    resolve_jobs,
+)
+
+
+def _exit_hard(code):
+    # Module-level so the process backend can pickle it.
+    os._exit(code)
+
+
+def _square(x):
+    return x * x
+
+
+_INIT_CALLS = []
+
+
+def _record_init(tag):
+    _INIT_CALLS.append(tag)
+
+
+class TestDefaults:
+    def test_default_jobs_clamped_to_ceiling(self, monkeypatch):
+        monkeypatch.setattr(executor_module.os, "cpu_count", lambda: 64)
+        assert default_jobs() == MAX_DEFAULT_JOBS
+
+    def test_default_jobs_at_least_one(self, monkeypatch):
+        monkeypatch.setattr(executor_module.os, "cpu_count",
+                            lambda: None)
+        assert default_jobs() == 1
+
+    def test_default_backend_is_process(self, monkeypatch):
+        monkeypatch.delenv(executor_module.ENV_BACKEND, raising=False)
+        assert default_backend() == "process"
+        assert DEFAULT_BACKEND == "process"
+
+    def test_env_var_overrides_default_backend(self, monkeypatch):
+        monkeypatch.setenv(executor_module.ENV_BACKEND, "thread")
+        assert default_backend() == "thread"
+
+    def test_bogus_env_value_ignored(self, monkeypatch):
+        monkeypatch.setenv(executor_module.ENV_BACKEND, "gpu")
+        assert default_backend() == DEFAULT_BACKEND
+
+    def test_resolve_jobs(self):
+        assert resolve_jobs(4) == 4
+        assert resolve_jobs(0) == 1
+        assert resolve_jobs(None) == default_jobs()
+
+    def test_resolve_backend_rejects_unknown(self):
+        with pytest.raises(ValueError, match="unknown worker backend"):
+            resolve_backend("gpu")
+
+    def test_resolve_backend_respects_allowed_subset(self):
+        with pytest.raises(ValueError):
+            resolve_backend("serial", allowed=("thread", "process"))
+        assert resolve_backend("thread",
+                               allowed=("thread", "process")) == "thread"
+
+
+class TestSerialInline:
+    def test_one_job_collapses_to_serial(self):
+        pool = ExecutorPool(jobs=1, backend="process")
+        assert pool.backend == "serial"
+
+    def test_serial_not_allowed_keeps_backend(self):
+        pool = ExecutorPool(jobs=1, backend="process",
+                            allowed=("thread", "process"))
+        assert pool.backend == "process"
+        pool.shutdown()
+
+    def test_initializer_runs_once_inline(self):
+        _INIT_CALLS.clear()
+        with ExecutorPool(jobs=1, backend="serial",
+                          initializer=_record_init,
+                          initargs=("inline",)) as pool:
+            assert list(pool.map_ordered(_square, [2, 3])) == [4, 9]
+        assert _INIT_CALLS == ["inline"]
+
+    def test_inline_exception_lands_in_future(self):
+        pool = ExecutorPool(jobs=1, backend="serial")
+
+        def boom():
+            raise RuntimeError("job failed")
+
+        future = pool.submit(boom)
+        with pytest.raises(RuntimeError, match="job failed"):
+            future.result()
+
+
+class TestMapOrdered:
+    @pytest.mark.parametrize("backend", ["serial", "thread", "process"])
+    def test_results_in_submission_order(self, backend):
+        with ExecutorPool(jobs=2, backend=backend) as pool:
+            items = list(range(16))
+            assert list(pool.map_ordered(_square, items)) == [
+                x * x for x in items]
+
+
+class TestCrashSemantics:
+    def test_is_crash_classification(self):
+        from concurrent.futures import BrokenExecutor
+        from concurrent.futures.process import BrokenProcessPool
+        assert is_crash(WorkerCrashError("x"))
+        assert is_crash(BrokenExecutor("x"))
+        assert is_crash(BrokenProcessPool("x"))
+        assert not is_crash(RuntimeError("x"))
+        assert not is_crash(ValueError("x"))
+
+    def test_submit_after_shutdown_raises_worker_crash(self):
+        pool = ExecutorPool(jobs=2, backend="thread")
+        pool.submit(_square, 2).result()
+        pool.shutdown()
+        with pytest.raises(WorkerCrashError):
+            pool.submit(_square, 3)
+
+    def test_serial_submit_after_shutdown_raises(self):
+        pool = ExecutorPool(jobs=1, backend="serial")
+        pool.shutdown()
+        with pytest.raises(WorkerCrashError):
+            pool.submit(_square, 3)
+
+    def test_process_crash_then_restart_recovers(self):
+        with ExecutorPool(jobs=2, backend="process") as pool:
+            assert pool.submit(_square, 3).result() == 9
+            future = pool.submit(_exit_hard, 13)
+            with pytest.raises(BaseException) as excinfo:
+                future.result()
+            assert is_crash(excinfo.value)
+            pool.restart()
+            assert pool.submit(_square, 4).result() == 16
+
+    def test_restart_reopens_a_shut_down_pool(self):
+        pool = ExecutorPool(jobs=2, backend="thread")
+        pool.shutdown()
+        pool.restart()
+        assert pool.submit(_square, 5).result() == 25
+        pool.shutdown()

@@ -115,11 +115,15 @@ class TestResultCacheAccounting:
 
         monkeypatch.setattr(pipeline_module, "check_refinement",
                             counting)
-        first = pipeline.run_batch(windows, round_seed=0, jobs=4)
+        # The counting monkeypatch lives in this process: pin the thread
+        # backend so every call is observable (process workers fork).
+        first = pipeline.run_batch(windows, round_seed=0, jobs=4,
+                                   backend="thread")
         assert first.stats.found > 0      # the cache has real entries
         first_calls = len(calls)
         assert first_calls > 0
-        again = pipeline.run_batch(windows, round_seed=0, jobs=4)
+        again = pipeline.run_batch(windows, round_seed=0, jobs=4,
+                                   backend="thread")
         assert len(calls) == first_calls  # zero redundant verifications
         assert fingerprint(again) == fingerprint(first)
 
@@ -133,10 +137,13 @@ class TestResultCacheAccounting:
             return real(*args, **kwargs)
 
         monkeypatch.setattr(pipeline_module, "run_opt", counting)
-        pipeline.run_batch(windows, round_seed=0, jobs=2)
+        # Thread backend: the counting monkeypatch lives in this process.
+        pipeline.run_batch(windows, round_seed=0, jobs=2,
+                           backend="thread")
         first_calls = len(calls)
         assert first_calls > 0
-        pipeline.run_batch(windows, round_seed=0, jobs=2)
+        pipeline.run_batch(windows, round_seed=0, jobs=2,
+                           backend="thread")
         assert len(calls) == first_calls
 
     def test_hit_miss_counters(self, windows):
@@ -279,7 +286,7 @@ class TestProcessInitializer:
 
     def test_thread_backend_reports_no_constructions(self, windows):
         batch = make_pipeline().run_batch(windows[:2], round_seed=0,
-                                          jobs=2)
+                                          jobs=2, backend="thread")
         assert batch.stats.pipeline_constructions == 0
 
     def test_pipeline_never_crosses_pickle_boundary(self, windows,
@@ -329,3 +336,127 @@ class TestProcessBackend:
         assert observed.verify_misses == expected.verify_misses
         assert observed.hits == expected.hits
         assert len(pipeline.cache) == len(reference.cache)
+
+
+class TestDefaultResolution:
+    """Defaults come from the shared executor layer."""
+
+    def test_default_jobs_derived_from_cpu_count(self):
+        from repro.core import default_jobs
+        scheduler = BatchScheduler()
+        assert scheduler.jobs == default_jobs()
+
+    def test_default_backend_is_process(self, monkeypatch):
+        from repro.core import executor as executor_module
+        monkeypatch.delenv(executor_module.ENV_BACKEND, raising=False)
+        monkeypatch.setattr(executor_module.os, "cpu_count", lambda: 4)
+        scheduler = BatchScheduler()
+        assert scheduler.backend == "process"
+        assert scheduler.jobs == 4
+
+    def test_resolved_jobs_reported_in_stats(self, windows):
+        batch = make_pipeline().run_batch(windows[:2], round_seed=0)
+        from repro.core import default_jobs
+        assert batch.stats.jobs == default_jobs()
+
+
+class TestProcessBitIdentity:
+    """Acceptance: the default process path over the FULL rq1 corpus is
+    bit-identical to the sequential driver — results and cache
+    hit/miss counts both."""
+
+    def test_full_rq1_results_and_cache_counts(self):
+        corpus = [window_from_text(case.src) for case in rq1_cases()]
+        reference = make_pipeline()
+        expected = []
+        for round_seed in range(2):
+            expected.append(fingerprint(
+                reference.run(corpus, round_seed=round_seed)))
+        pipeline = make_pipeline()
+        for round_seed in range(2):
+            batch = pipeline.run_batch(corpus, round_seed=round_seed,
+                                       jobs=2, backend="process")
+            assert fingerprint(batch) == expected[round_seed]
+        ref_stats = reference.cache.stats
+        proc_stats = pipeline.cache.stats
+        assert proc_stats.opt_hits == ref_stats.opt_hits
+        assert proc_stats.opt_misses == ref_stats.opt_misses
+        assert proc_stats.verify_hits == ref_stats.verify_hits
+        assert proc_stats.verify_misses == ref_stats.verify_misses
+        assert len(pipeline.cache) == len(reference.cache)
+
+
+class _RecordingScheduler(BatchScheduler):
+    """Captures exactly what run_batch hands the pool per task."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.items = None
+
+    def map(self, fn, items, initializer=None, initargs=()):
+        self.items = list(items)
+        return super().map(fn, self.items,
+                           initializer=initializer, initargs=initargs)
+
+
+class TestWindowSpecPayload:
+    """The PR 2 invariant, extended: a process task's payload is the
+    WindowSpec wire blob alone — no Window/Function object graphs."""
+
+    def test_per_task_payload_is_window_spec_wire(self, windows):
+        import pickle
+
+        from repro.core import WindowSpec
+
+        subset = windows[:3]
+        scheduler = _RecordingScheduler(jobs=2, backend="process")
+        pipeline = make_pipeline()
+        batch = pipeline.run_batch(subset, round_seed=0,
+                                   scheduler=scheduler)
+        assert scheduler.items is not None
+        assert len(scheduler.items) == len(subset)
+        for window, item in zip(subset, scheduler.items):
+            assert isinstance(item, bytes)
+            assert item == WindowSpec.from_window(window).to_wire()
+            # The wire form undercuts the object-graph pickle it
+            # replaced (that is the zero-copy win).
+            assert len(item) < len(pickle.dumps(window))
+        assert batch.stats.task_payload_bytes == sum(
+            len(item) for item in scheduler.items)
+        assert "task payload" in batch.stats.render()
+
+    def test_spec_roundtrip_preserves_window(self, windows):
+        from repro.core import WindowSpec
+        from repro.ir.printer import print_function
+
+        for window in windows:
+            spec = WindowSpec.from_wire(
+                WindowSpec.from_window(window).to_wire())
+            rebuilt = spec.to_window()
+            assert rebuilt.digest == window.digest
+            assert (print_function(rebuilt.function)
+                    == print_function(window.function))
+
+    def test_results_keep_parent_window_objects(self, windows):
+        subset = windows[:3]
+        pipeline = make_pipeline()
+        batch = pipeline.run_batch(subset, round_seed=0, jobs=2,
+                                   backend="process")
+        for window, result in zip(subset, batch):
+            assert result.window is window
+
+
+class TestPhaseAccounting:
+    def test_batch_stats_carry_phase_timings(self, windows):
+        batch = make_pipeline().run_batch(windows[:2], round_seed=0,
+                                          jobs=1)
+        phases = batch.stats.phases
+        assert phases, "expected per-phase timings on a cold batch"
+        assert "verify" in phases
+        assert all(seconds >= 0.0 for seconds in phases.values())
+        assert "phases:" in batch.stats.render()
+
+    def test_phases_cross_the_process_boundary(self, windows):
+        batch = make_pipeline().run_batch(windows[:3], round_seed=0,
+                                          jobs=2, backend="process")
+        assert "verify" in batch.stats.phases

@@ -533,3 +533,37 @@ class TestSocketServer:
         with ServiceClient(port) as second:
             result = second.submit_ir(IR)
         assert result.cached
+
+
+class TestPhaseAccounting:
+    def test_fresh_jobs_report_phase_timings(self, corpus_irs):
+        with make_service() as service:
+            service.run_many([JobSpec(ir=ir) for ir in corpus_irs])
+            phases = service.status()["phases"]
+            assert phases, "fresh jobs should report per-phase seconds"
+            assert "verify" in phases
+            assert all(seconds >= 0.0 for seconds in phases.values())
+
+    def test_cached_replays_add_no_phase_time(self):
+        with make_service() as service:
+            service.run(JobSpec(ir=IR))
+            first = service.status()["phases"]
+            service.run(JobSpec(ir=IR))   # whole-job cache hit
+            assert service.status()["phases"] == first
+
+    def test_phases_survive_process_boundary(self):
+        with make_service(backend="process") as service:
+            result = service.run(JobSpec(ir=IR))
+            assert result.ok
+            phases = service.status()["phases"]
+            # With the process backend every phase is timed worker-side,
+            # so any entry proves the timings crossed the boundary.
+            # ("parse" can be absent: forked workers inherit the parent's
+            # module-level window cache.)
+            assert "opt" in phases
+            assert "llm" in phases
+
+    def test_render_mentions_phases(self, corpus_irs):
+        with make_service() as service:
+            service.run(JobSpec(ir=corpus_irs[0]))
+            assert "phases:" in service.metrics.render()

@@ -127,3 +127,59 @@ class TestCounterexampleRendering:
             target_outcome=Outcome("ub", ub_reason="udiv by zero"),
             kind="target has UB where source is defined")
         assert "UB (udiv by zero)" in cex.render(I8)
+
+
+class TestDeterministicTargetFastPath:
+    """A target that never consults the undef chooser gets one trial
+    per input instead of three — same verdicts, a third of the work."""
+
+    def test_deterministic_target_runs_once_per_input(self, monkeypatch):
+        import repro.verify.testing as testing_module
+
+        src = parse_function("define i8 @s(i8 %x) {\n"
+                             "  %r = add i8 %x, 0\n"
+                             "  ret i8 %r\n}")
+        tgt = parse_function("define i8 @t(i8 %x) {\n"
+                             "  ret i8 %x\n}")
+        assert not testing_module._consults_undef_chooser(tgt)
+
+        runs = []
+        real_run = testing_module.run_function
+
+        def counting(function, args, **kwargs):
+            runs.append(function.name)
+            return real_run(function, args, **kwargs)
+
+        monkeypatch.setattr(testing_module, "run_function", counting)
+        assert run_refinement_tests(src, tgt, random_count=4) is None
+        source_runs = runs.count("s")
+        target_runs = runs.count("t")
+        assert source_runs > 0
+        # One target trial per source run: no undef triplication.
+        assert target_runs == source_runs
+
+    def test_freeze_target_keeps_three_trials(self):
+        import repro.verify.testing as testing_module
+
+        tgt = parse_function("define i8 @t(i8 %x) {\n"
+                             "  %f = freeze i8 %x\n"
+                             "  ret i8 %f\n}")
+        assert testing_module._consults_undef_chooser(tgt)
+
+    def test_undef_operand_detected(self):
+        import repro.verify.testing as testing_module
+
+        tgt = parse_function("define i8 @t(i8 %x) {\n"
+                             "  %r = add i8 %x, undef\n"
+                             "  ret i8 %r\n}")
+        assert testing_module._consults_undef_chooser(tgt)
+
+    def test_fast_path_still_catches_bugs(self):
+        src = parse_function("define i8 @s(i8 %x) {\n"
+                             "  %r = udiv i8 %x, 3\n"
+                             "  ret i8 %r\n}")
+        tgt = parse_function("define i8 @t(i8 %x) {\n"
+                             "  %r = lshr i8 %x, 2\n"
+                             "  ret i8 %r\n}")
+        cex = run_refinement_tests(src, tgt, random_count=8)
+        assert cex is not None
