@@ -16,16 +16,23 @@ of the new backend path honest per PR.
 Findings equivalence across passes (including sim vs http) is asserted,
 not just timed, and the cache guard requires each warm pass to beat its
 cold pass by >= 10x (the acceptance bar for cache-served resubmission).
+
+Telemetry is deliberately ON for the sim service: a JSON-lines
+structured log receives every lifecycle event and a live ``/metrics``
+exporter is scraped mid-run, so the warm-path guard doubles as the
+"observability stays off the hot path" regression check.
 """
 
 import time
+import urllib.request
 
 import pytest
 
+from repro import obs
 from repro.corpus.issues import rq1_cases
 from repro.llm import StubChatServer
-from repro.service import JobSpec, OptimizationService, ServiceClient, \
-    ServiceServer
+from repro.service import JobSpec, MetricsExporter, \
+    OptimizationService, ServiceClient, ServiceServer
 
 
 @pytest.fixture(scope="module")
@@ -37,10 +44,18 @@ def _jobs_per_sec(count, wall):
     return count / wall if wall > 0 else 0.0
 
 
-def test_bench_service_throughput(rq1_irs, bench_jobs, save_artifact):
-    service = OptimizationService(jobs=bench_jobs, backend="thread")
+def test_bench_service_throughput(rq1_irs, bench_jobs, save_artifact,
+                                  tmp_path):
+    # Full telemetry on the timed service: every job logs its
+    # submit/dispatch/settle events while the benchmark runs.
+    log_path = tmp_path / "service-events.jsonl"
+    logger = obs.StructuredLogger(path=str(log_path))
+    service = OptimizationService(jobs=bench_jobs, backend="thread",
+                                  logger=logger)
     server = ServiceServer(service)
     port = server.start_background()
+    exporter = MetricsExporter(service)
+    metrics_port = exporter.start()
     stub = StubChatServer().start()
     http_model = stub.spec_for("Gemini2.0T")
     # The http leg gets its own service: sharing one would let the sim
@@ -65,6 +80,13 @@ def test_bench_service_throughput(rq1_irs, bench_jobs, save_artifact):
             socket_warm = client.submit_many(specs())
             socket_wall = time.perf_counter() - start
 
+        # One live scrape between passes: the endpoint must serve a
+        # parseable exposition while the service is warm and loaded.
+        with urllib.request.urlopen(
+                f"http://127.0.0.1:{metrics_port}/metrics",
+                timeout=10) as response:
+            exposition = response.read().decode("utf-8")
+
         # The same corpus from scratch, with every LLM call crossing
         # the OpenAI-compatible stub over localhost.
         start = time.perf_counter()
@@ -79,9 +101,12 @@ def test_bench_service_throughput(rq1_irs, bench_jobs, save_artifact):
         http_status = http_service.status()
     finally:
         stub.stop()
+        exporter.stop()
         server.stop()
         service.close()
         http_service.close()
+        logger.close()
+    log_events = len(log_path.read_text().splitlines())
 
     # Equivalence before throughput: all passes agree on every verdict.
     assert [r.status for r in warm] == [r.status for r in cold]
@@ -136,14 +161,22 @@ def test_bench_service_throughput(rq1_irs, bench_jobs, save_artifact):
         f"llm calls: sim {sim_backend['calls']}, http "
         f"{http_backend['calls']} ({http_backend['retries']} retries, "
         f"{http_backend['failures']} failures)",
+        f"telemetry: ON for the sim service (structured log: "
+        f"{log_events} events; /metrics scraped live mid-run)",
     ]
     save_artifact("service_throughput", "\n".join(lines))
 
     # Guard rails: each warm pass must be served entirely from cache
-    # and be dramatically (>=10x) faster than paying the loop; the two
-    # legs must pay the same number of LLM calls.
+    # and be dramatically (>=10x) faster than paying the loop — with
+    # telemetry enabled, so logging/scraping cannot creep onto the hot
+    # path; the two legs must pay the same number of LLM calls.
     assert status["cache_misses"] == jobs
     assert http_status["cache_misses"] == jobs
     assert sim_backend["calls"] == http_backend["calls"]
     assert warm_wall < cold_wall / 10
     assert http_warm_wall < http_cold_wall / 10
+    # The live scrape served real series, and the log captured the
+    # whole lifecycle of every sim-service job (3 passes x submit +
+    # settle at least).
+    assert "repro_job_latency_seconds_bucket" in exposition
+    assert log_events >= 6 * jobs

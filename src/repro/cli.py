@@ -221,15 +221,37 @@ def cmd_batch(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
-    from repro.service import OptimizationService, ServiceServer
+    from repro import obs
+    from repro.service import (
+        MetricsExporter,
+        OptimizationService,
+        ServiceServer,
+    )
     if not _validate_model_specs([args.model]):
         return 2
+    # The daemon's structured-event sink: "-" is stderr, anything else
+    # a JSON-lines file; installed as the process default so every
+    # service component (pool, dispatcher, socket server) shares it,
+    # and restored on exit (the CLI can run in-process under tests).
+    if args.log_file == "-":
+        logger = obs.StructuredLogger(stream=sys.stderr,
+                                      level=args.log_level)
+    else:
+        logger = obs.StructuredLogger(path=args.log_file,
+                                      level=args.log_level)
+    previous_logger = obs.install(logger)
     service = OptimizationService(
         jobs=args.jobs, backend=args.backend,
         queue_limit=args.queue_limit, cache_shards=args.shards,
         cache_entries=args.cache_entries, llm_seed=args.seed,
-        default_model=args.model)
+        default_model=args.model, logger=logger,
+        slow_job_seconds=(None if args.slow_job_threshold <= 0
+                          else args.slow_job_threshold))
     server = ServiceServer(service, host=args.host, port=args.port)
+    exporter = None
+    if args.metrics_port is not None:
+        exporter = MetricsExporter(service, host=args.host,
+                                   port=args.metrics_port)
     try:
         server.start_background()
         print(f"repro service listening on {args.host}:{server.port} "
@@ -238,12 +260,23 @@ def cmd_serve(args: argparse.Namespace) -> int:
               file=sys.stderr)
         if args.port_file:
             pathlib.Path(args.port_file).write_text(f"{server.port}\n")
+        if exporter is not None:
+            exporter.start()
+            print(f"metrics on http://{args.host}:{exporter.port}"
+                  f"/metrics", file=sys.stderr)
+            if args.metrics_port_file:
+                pathlib.Path(args.metrics_port_file).write_text(
+                    f"{exporter.port}\n")
         server.join()
     except KeyboardInterrupt:
         print("shutting down", file=sys.stderr)
         server.stop()
     finally:
+        if exporter is not None:
+            exporter.stop()
         service.close()
+        obs.install(previous_logger)
+        logger.close()
         print(service.metrics.render(), file=sys.stderr)
     return 0
 
@@ -318,6 +351,9 @@ def _watch_loop(client, args: argparse.Namespace) -> tuple:
     """Feed newly appearing ``*.ll`` files under ``--watch DIR`` to the
     service until ``--idle-exit`` seconds pass with nothing new."""
     import time
+
+    from repro import obs
+    log = obs.default()
     directory = pathlib.Path(args.watch)
     if not directory.is_dir():
         raise ReproError(f"--watch: not a directory: {directory}")
@@ -325,6 +361,8 @@ def _watch_loop(client, args: argparse.Namespace) -> tuple:
           f"(interval {args.interval}s"
           + (f", idle-exit {args.idle_exit}s" if args.idle_exit else "")
           + ")", file=sys.stderr)
+    log.info("watch.start", directory=str(directory),
+             interval=args.interval, idle_exit=args.idle_exit)
     seen = set()
     failed_polls: dict = {}
     found = errors = jobs = 0
@@ -345,20 +383,31 @@ def _watch_loop(client, args: argparse.Namespace) -> tuple:
                     if polls >= _WATCH_PARSE_RETRIES:
                         print(f"{path}: {exc} (gave up after "
                               f"{polls} polls)", file=sys.stderr)
+                        log.warning("watch.give_up", file=str(path),
+                                    polls=polls, error=str(exc))
                         seen.add(path.name)
                         errors += 1
+                    else:
+                        log.debug("watch.retry", file=str(path),
+                                  polls=polls, error=str(exc))
                     continue
                 seen.add(path.name)
                 failed_polls.pop(path.name, None)
                 found += file_found
                 errors += file_errors
                 jobs += file_jobs
+                log.info("watch.ingest", file=str(path),
+                         jobs=file_jobs, found=file_found,
+                         errors=file_errors)
                 _pace(client, args.interval)
             if fresh:
                 idle_since = time.monotonic()
             elif (args.idle_exit
                     and time.monotonic() - idle_since
                     >= args.idle_exit):
+                log.info("watch.idle_exit",
+                         idle_seconds=args.idle_exit,
+                         files=len(seen), jobs=jobs)
                 break
             time.sleep(args.interval)
     except KeyboardInterrupt:
@@ -408,22 +457,36 @@ def cmd_submit(args: argparse.Namespace) -> int:
     # the service's default").
     if args.model and not _validate_model_specs([args.model]):
         return 2
-    with ServiceClient(args.port, host=args.host,
-                       timeout=args.timeout) as client:
-        if args.watch:
-            found, errors = _watch_loop(client, args)
-        elif args.stdin:
-            found, errors = _stdin_loop(client, args)
+    ingest_log = previous_log = None
+    if args.log_file:
+        from repro import obs
+        if args.log_file == "-":
+            ingest_log = obs.StructuredLogger(stream=sys.stderr)
         else:
-            windows, specs = _module_specs(_read(args.file), args)
-            if not windows:
-                print("no windows extracted", file=sys.stderr)
-                return 1
-            results = client.submit_many(specs)
-            found, errors = _print_results(windows, results)
-            hits = sum(r.cached for r in results)
-            print(f"{len(results)} jobs, {found} found, {hits} "
-                  f"served from cache", file=sys.stderr)
+            ingest_log = obs.StructuredLogger(path=args.log_file)
+        previous_log = obs.install(ingest_log)
+    try:
+        with ServiceClient(args.port, host=args.host,
+                           timeout=args.timeout) as client:
+            if args.watch:
+                found, errors = _watch_loop(client, args)
+            elif args.stdin:
+                found, errors = _stdin_loop(client, args)
+            else:
+                windows, specs = _module_specs(_read(args.file), args)
+                if not windows:
+                    print("no windows extracted", file=sys.stderr)
+                    return 1
+                results = client.submit_many(specs)
+                found, errors = _print_results(windows, results)
+                hits = sum(r.cached for r in results)
+                print(f"{len(results)} jobs, {found} found, {hits} "
+                      f"served from cache", file=sys.stderr)
+    finally:
+        if ingest_log is not None:
+            from repro import obs
+            obs.install(previous_log)
+            ingest_log.close()
     # A clean run that found nothing is a success (exit 0) — only
     # transport/job failures are nonzero.  --fail-on-empty restores
     # the old grep-like contract for callers that want it.
@@ -485,6 +548,10 @@ def cmd_status(args: argparse.Namespace) -> int:
     with ServiceClient(args.port, host=args.host,
                        timeout=args.timeout) as client:
         status = client.status()
+    if args.json:
+        import json
+        print(json.dumps(status, indent=2, sort_keys=True))
+        return 0
     lat = status.get("latency", {})
     print(f"service on {args.host}:{args.port} "
           f"({status.get('backend')}, {status.get('workers')} workers, "
@@ -509,9 +576,10 @@ def cmd_status(args: argparse.Namespace) -> int:
           f"{backend.get('rate_limit_waits', 0)} rate-limit waits")
     phases = status.get("phases", {})
     if phases:
-        print("phases: " + " ".join(
-            f"{name} {seconds:.2f}s"
-            for name, seconds in list(phases.items())[:6]))
+        from repro import profile
+        # One formatting path for phase lines (batch stats, service
+        # metrics, and this command all render identically).
+        print("phases: " + profile.render(phases))
     print(f"latency: p50 {lat.get('p50', 0.0) * 1e3:.1f}ms "
           f"p90 {lat.get('p90', 0.0) * 1e3:.1f}ms "
           f"p99 {lat.get('p99', 0.0) * 1e3:.1f}ms; "
@@ -672,6 +740,23 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--port-file", metavar="PATH",
                    help="write the bound port here once listening "
                         "(useful with --port 0)")
+    p.add_argument("--log-file", default="-", metavar="PATH",
+                   help="JSON-lines structured-event sink "
+                        "(default '-': stderr)")
+    p.add_argument("--log-level", default="info",
+                   choices=("debug", "info", "warning", "error"),
+                   help="minimum structured-event severity")
+    p.add_argument("--metrics-port", type=int, default=None,
+                   metavar="PORT",
+                   help="serve a Prometheus /metrics HTTP endpoint on "
+                        "this port (0: ephemeral; omit: disabled)")
+    p.add_argument("--metrics-port-file", metavar="PATH",
+                   help="write the bound metrics port here (useful "
+                        "with --metrics-port 0)")
+    p.add_argument("--slow-job-threshold", type=float, default=10.0,
+                   metavar="SECONDS",
+                   help="fresh jobs slower than this log a job.slow "
+                        "event with their span breakdown (<=0: off)")
     p.set_defaults(func=cmd_serve)
 
     p = sub.add_parser("submit",
@@ -703,6 +788,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0,
                    help="round seed for the LPO loop")
     p.add_argument("--timeout", type=float, default=300.0)
+    p.add_argument("--log-file", default=None, metavar="PATH",
+                   help="JSON-lines structured-event sink for "
+                        "ingestion events ('-': stderr; default: off)")
     p.set_defaults(func=cmd_submit)
 
     p = sub.add_parser("campaign",
@@ -729,6 +817,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=7777)
     p.add_argument("--timeout", type=float, default=30.0)
+    p.add_argument("--json", action="store_true",
+                   help="print the raw status snapshot as JSON "
+                        "(machine-readable; includes the latency "
+                        "histograms)")
     p.set_defaults(func=cmd_status)
 
     p = sub.add_parser("souper", help="Souper-style superoptimizer")

@@ -1,0 +1,168 @@
+"""Structured logging for the service plane (dependency-free).
+
+One event is one JSON object on one line: wall-clock ``ts`` (epoch
+seconds), monotonic ``mono`` (for ordering/deltas across clock steps),
+``level``, ``event`` name, plus whatever correlation fields the caller
+attaches (job digest, campaign id, worker backend, attempt, ...).  The
+format is deliberately boring — ``jq``-able, greppable, and mergeable
+across a fleet of ``repro serve`` daemons by sorting on ``ts``.
+
+:class:`StructuredLogger` is thread-safe and cheap when disabled: the
+library default is a logger with no sink, whose :meth:`~StructuredLogger.emit`
+returns before formatting anything, so instrumented hot paths cost a
+dict construction and one predicate when nobody listens.  ``repro serve
+--log-file PATH`` (default: stderr) selects the sink for the daemon;
+:func:`configure` sets the process-wide default used by components not
+handed an explicit logger (the CLI's ``submit --watch`` ingestion, test
+fixtures).
+
+Keep this module dependency-free and import-light: it is imported from
+the service plane and from the CLI before any heavy subsystem loads.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import sys
+import threading
+import time
+from typing import Callable, Optional
+
+#: Severity order for level filtering.
+LEVELS = ("debug", "info", "warning", "error")
+
+_LEVEL_RANK = {name: rank for rank, name in enumerate(LEVELS)}
+
+
+class StructuredLogger:
+    """Thread-safe JSON-lines event sink.
+
+    ``stream`` is any writable text file object (it is *not* closed by
+    the logger unless :meth:`close` is called and the logger opened it
+    itself via ``path``).  ``level`` drops events below the given
+    severity.  ``bound`` fields are merged into every event — use
+    :meth:`bind` to derive a child logger carrying correlation fields
+    (e.g. a campaign id) without threading them through every call.
+    """
+
+    def __init__(self, stream: Optional[io.TextIOBase] = None,
+                 path: Optional[str] = None, level: str = "debug",
+                 bound: Optional[dict] = None,
+                 clock: Callable[[], float] = time.time,
+                 mono: Callable[[], float] = time.monotonic):
+        if level not in _LEVEL_RANK:
+            raise ValueError(f"unknown log level {level!r}; "
+                             f"expected one of {', '.join(LEVELS)}")
+        self._owns_stream = False
+        if stream is None and path is not None:
+            stream = open(path, "a", encoding="utf-8")
+            self._owns_stream = True
+        self._stream = stream
+        self._rank = _LEVEL_RANK[level]
+        self._bound = dict(bound or {})
+        self._clock = clock
+        self._mono = mono
+        self._lock = threading.Lock()
+
+    @property
+    def enabled(self) -> bool:
+        """Is there anywhere for events to go?"""
+        return self._stream is not None
+
+    def bind(self, **fields) -> "StructuredLogger":
+        """A child logger whose events all carry ``fields`` (shares the
+        parent's stream, lock, and level)."""
+        child = StructuredLogger.__new__(StructuredLogger)
+        child._owns_stream = False
+        child._stream = self._stream
+        child._rank = self._rank
+        child._bound = {**self._bound, **fields}
+        child._clock = self._clock
+        child._mono = self._mono
+        child._lock = self._lock
+        return child
+
+    def emit(self, level: str, event: str, **fields) -> None:
+        """Write one event line (no-op when disabled or filtered)."""
+        if self._stream is None or _LEVEL_RANK.get(level, 0) < self._rank:
+            return
+        record = {"ts": round(self._clock(), 6),
+                  "mono": round(self._mono(), 6),
+                  "level": level, "event": event}
+        record.update(self._bound)
+        record.update(fields)
+        line = json.dumps(record, separators=(",", ":"),
+                          default=str) + "\n"
+        with self._lock:
+            try:
+                self._stream.write(line)
+                self._stream.flush()
+            except (OSError, ValueError):
+                # A torn-down sink (closed file, broken pipe) must never
+                # take the service down with it.
+                self._stream = None
+
+    def debug(self, event: str, **fields) -> None:
+        self.emit("debug", event, **fields)
+
+    def info(self, event: str, **fields) -> None:
+        self.emit("info", event, **fields)
+
+    def warning(self, event: str, **fields) -> None:
+        self.emit("warning", event, **fields)
+
+    def error(self, event: str, **fields) -> None:
+        self.emit("error", event, **fields)
+
+    def close(self) -> None:
+        if self._owns_stream and self._stream is not None:
+            try:
+                self._stream.close()
+            finally:
+                self._stream = None
+
+
+#: The disabled logger library code falls back to when nothing was
+#: configured — every emit is a cheap early return.
+NULL = StructuredLogger(stream=None)
+
+_default = NULL
+_default_lock = threading.Lock()
+
+
+def install(logger: StructuredLogger) -> StructuredLogger:
+    """Swap in ``logger`` as the process-wide default; returns the
+    previous default (so a scoped caller — the CLI, a test fixture —
+    can restore it when done).  Neither logger is closed."""
+    global _default
+    with _default_lock:
+        previous = _default
+        _default = logger
+    return previous
+
+
+def configure(path: Optional[str] = None, stream=None,
+              level: str = "debug") -> StructuredLogger:
+    """Install (and return) the process-wide default logger.
+
+    ``path="-"`` or ``stream=sys.stderr`` logs to stderr; with neither
+    ``path`` nor ``stream`` the default reverts to the disabled
+    :data:`NULL` logger.  The previous default is closed if it owned
+    its sink (use :func:`install` directly to swap without closing).
+    """
+    if path == "-":
+        path, stream = None, sys.stderr
+    if path is None and stream is None:
+        logger = NULL
+    else:
+        logger = StructuredLogger(stream=stream, path=path, level=level)
+    previous = install(logger)
+    if previous is not NULL and previous is not logger:
+        previous.close()
+    return logger
+
+
+def default() -> StructuredLogger:
+    """The process-wide default logger (disabled until configured)."""
+    return _default

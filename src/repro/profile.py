@@ -1,4 +1,4 @@
-"""Lightweight per-phase wall-clock accounting.
+"""Lightweight per-phase wall-clock accounting and trace spans.
 
 The execution plane wants to know where a window's wall time went (opt,
 LLM, interestingness, each verify tier, parsing) without threading a
@@ -11,6 +11,15 @@ Nested phases with dotted names simply accumulate side by side:
 ``verify`` and ``verify.testing`` are independent keys, so the parent
 phase keeps the full tier cost while the child records its slice.
 
+``trace()`` collects the same blocks as a *span tree* instead of a flat
+sum: each ``phase`` block becomes one span dict (``name``, ``start``
+seconds since the trace began, ``elapsed``, ``parent`` index into the
+span list, ``-1`` for roots) in completion order.  Spans are plain
+JSON-safe dicts so a service worker can ship a job's tree across the
+process boundary in its payload exactly like the flat phases; the
+structure survives intact (see :func:`span_children` /
+:func:`render_spans`).
+
 Keep this module dependency-free: it is imported from both ``repro.core``
 and ``repro.verify``, which import each other.
 """
@@ -20,7 +29,7 @@ from __future__ import annotations
 import threading
 import time
 from contextlib import contextmanager
-from typing import Dict, Iterator
+from typing import Dict, Iterator, List, Sequence
 
 _ACTIVE = threading.local()
 
@@ -31,6 +40,39 @@ def _sinks() -> list:
         stack = []
         _ACTIVE.stack = stack
     return stack
+
+
+def _tracers() -> list:
+    stack = getattr(_ACTIVE, "tracers", None)
+    if stack is None:
+        stack = []
+        _ACTIVE.tracers = stack
+    return stack
+
+
+class _SpanTracer:
+    """One active ``trace()`` collection: spans plus its open-span
+    stack (indices into ``spans``), all relative to ``origin``."""
+
+    __slots__ = ("spans", "open", "origin")
+
+    def __init__(self):
+        self.spans: List[dict] = []
+        self.open: List[int] = []
+        self.origin = time.perf_counter()
+
+    def enter(self, name: str, started: float) -> int:
+        parent = self.open[-1] if self.open else -1
+        index = len(self.spans)
+        self.spans.append({"name": name,
+                           "start": started - self.origin,
+                           "elapsed": 0.0, "parent": parent})
+        self.open.append(index)
+        return index
+
+    def exit(self, index: int, elapsed: float) -> None:
+        self.spans[index]["elapsed"] = elapsed
+        self.open.remove(index)
 
 
 @contextmanager
@@ -50,6 +92,24 @@ def collect() -> Iterator[Dict[str, float]]:
 
 
 @contextmanager
+def trace() -> Iterator[List[dict]]:
+    """Collect a span tree for this thread until exit.
+
+    Yields the span list; every ``phase(name)`` block that closes while
+    the trace is active appends one span dict (``name``/``start``/
+    ``elapsed``/``parent``).  Traces nest independently of ``collect()``
+    sinks — both observe the same blocks.
+    """
+    tracer = _SpanTracer()
+    stack = _tracers()
+    stack.append(tracer)
+    try:
+        yield tracer.spans
+    finally:
+        stack.remove(tracer)
+
+
+@contextmanager
 def phase(name: str) -> Iterator[None]:
     """Time a block and credit it to ``name`` in every active sink.
 
@@ -57,16 +117,21 @@ def phase(name: str) -> Iterator[None]:
     overhead, so instrumented hot paths stay cheap when nobody listens.
     """
     stack = _sinks()
-    if not stack:
+    tracers = _tracers()
+    if not stack and not tracers:
         yield
         return
     started = time.perf_counter()
+    opened = [(tracer, tracer.enter(name, started))
+              for tracer in tracers]
     try:
         yield
     finally:
         elapsed = time.perf_counter() - started
         for sink in stack:
             sink[name] = sink.get(name, 0.0) + elapsed
+        for tracer, index in opened:
+            tracer.exit(index, elapsed)
 
 
 def merge(into: Dict[str, float], phases: Dict[str, float]) -> None:
@@ -80,3 +145,43 @@ def render(phases: Dict[str, float], limit: int = 6) -> str:
     """One-line summary, largest phases first."""
     items = sorted(phases.items(), key=lambda kv: (-kv[1], kv[0]))[:limit]
     return " ".join(f"{name} {seconds:.2f}s" for name, seconds in items)
+
+
+def round_spans(spans: Sequence[dict], digits: int = 6) -> List[dict]:
+    """A JSON/wire-friendly copy with rounded float fields."""
+    return [{"name": span["name"],
+             "start": round(span["start"], digits),
+             "elapsed": round(span["elapsed"], digits),
+             "parent": span["parent"]}
+            for span in spans]
+
+
+def span_children(spans: Sequence[dict]) -> Dict[int, List[int]]:
+    """Parent index (``-1`` for roots) → child indices, each list in
+    start order."""
+    children: Dict[int, List[int]] = {}
+    for index, span in enumerate(spans):
+        children.setdefault(span.get("parent", -1), []).append(index)
+    for siblings in children.values():
+        siblings.sort(key=lambda index: spans[index]["start"])
+    return children
+
+
+def render_spans(spans: Sequence[dict]) -> str:
+    """Multi-line tree view, two spaces of indent per depth::
+
+        verify 1.20s @0.03s
+          verify.testing 0.40s @0.03s
+    """
+    children = span_children(spans)
+    lines: List[str] = []
+
+    def walk(parent: int, depth: int) -> None:
+        for index in children.get(parent, ()):
+            span = spans[index]
+            lines.append(f"{'  ' * depth}{span['name']} "
+                         f"{span['elapsed']:.2f}s @{span['start']:.2f}s")
+            walk(index, depth + 1)
+
+    walk(-1, 0)
+    return "\n".join(lines)

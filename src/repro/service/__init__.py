@@ -34,7 +34,12 @@ from repro.service.campaign import (
     execute_campaign,
 )
 from repro.service.client import ServiceClient
-from repro.service.metrics import ServiceMetrics
+from repro.service.exporter import MetricsExporter, render_prometheus
+from repro.service.metrics import (
+    LATENCY_BUCKETS,
+    Histogram,
+    ServiceMetrics,
+)
 from repro.service.protocol import (
     PROTOCOL_VERSION,
     CampaignResult,
@@ -65,7 +70,8 @@ from repro.service.workers import WorkerCrashError, WorkerPool
 __all__ = [
     "CampaignLeg", "RoundOutcome", "campaign_legs", "execute_campaign",
     "ServiceClient",
-    "ServiceMetrics",
+    "MetricsExporter", "render_prometheus",
+    "LATENCY_BUCKETS", "Histogram", "ServiceMetrics",
     "PROTOCOL_VERSION", "CampaignResult", "CampaignSpec",
     "JobResult", "JobSpec", "ProtocolError",
     "campaign_digest", "campaign_from_wire",

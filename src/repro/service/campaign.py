@@ -112,7 +112,8 @@ def execute_campaign(spec: CampaignSpec, run_round: RoundRunner,
     result.elapsed_seconds = time.perf_counter() - start
     result.ok = result.failed_jobs == 0
     result.error = first_error
-    result.latency = {"p50": percentile(latencies, 0.50),
-                      "p90": percentile(latencies, 0.90),
-                      "p99": percentile(latencies, 0.99)}
+    ordered = sorted(latencies)   # one sort for all three ranks
+    result.latency = {"p50": percentile(ordered, 0.50, ordered=True),
+                      "p90": percentile(ordered, 0.90, ordered=True),
+                      "p99": percentile(ordered, 0.99, ordered=True)}
     return result

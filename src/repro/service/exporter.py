@@ -1,0 +1,269 @@
+"""Prometheus-text ``/metrics`` endpoint for the service.
+
+Two layers, split so the wire format is testable without sockets:
+
+* :func:`render_prometheus` — a pure function from one
+  :meth:`OptimizationService.status()
+  <repro.service.server.OptimizationService.status>` snapshot to
+  Prometheus text exposition format (version 0.0.4): every counter
+  becomes a ``*_total`` series, gauges stay bare, per-phase seconds get
+  a ``phase`` label, and the exact fixed-bucket latency histograms
+  (:data:`~repro.service.metrics.LATENCY_BUCKETS`) become conventional
+  ``_bucket{le=...}``/``_sum``/``_count`` series split by ``origin``
+  (``worker`` vs ``cache``).  The reservoir percentiles are exported as
+  separate ``*_recent_seconds{quantile=...}`` gauges — a base name
+  distinct from the histogram's, since one family cannot be both.
+
+* :class:`MetricsExporter` — a stdlib :class:`ThreadingHTTPServer` on a
+  daemon thread next to the socket server (``repro serve
+  --metrics-port``), answering ``GET /metrics`` (exposition),
+  ``/healthz`` (liveness) and ``/status`` (the raw JSON snapshot).
+  Scrapes call ``service.status()``, which only takes short locks, so
+  concurrent scrapes during a live campaign are safe and each one is a
+  point-in-time-consistent snapshot.
+
+Histogram bucket counts are exact and cumulative, so a future mesh
+front end can sum the per-shard series with plain ``sum by (le)`` —
+the property the reservoir percentiles cannot offer.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import List, Optional
+
+__all__ = ["MetricsExporter", "render_prometheus"]
+
+#: Content type of the Prometheus text exposition format.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+_PERCENTILE_QUANTILES = {"p50": "0.5", "p90": "0.9", "p99": "0.99"}
+
+
+def _escape_label(value: str) -> str:
+    return (str(value).replace("\\", r"\\").replace("\n", r"\n")
+            .replace('"', r'\"'))
+
+
+def _number(value) -> str:
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+class _Lines:
+    """Accumulates one exposition document, one family at a time."""
+
+    def __init__(self):
+        self._out: List[str] = []
+
+    def family(self, name: str, kind: str, help_text: str) -> None:
+        self._out.append(f"# HELP {name} {help_text}")
+        self._out.append(f"# TYPE {name} {kind}")
+
+    def sample(self, name: str, value, labels: Optional[dict] = None
+               ) -> None:
+        if labels:
+            rendered = ",".join(
+                f'{key}="{_escape_label(val)}"'
+                for key, val in labels.items())
+            self._out.append(f"{name}{{{rendered}}} {_number(value)}")
+        else:
+            self._out.append(f"{name} {_number(value)}")
+
+    def text(self) -> str:
+        return "\n".join(self._out) + "\n"
+
+
+def render_prometheus(status: dict) -> str:
+    """Render one ``status()`` snapshot as Prometheus text exposition."""
+    out = _Lines()
+
+    job_counters = (
+        ("submitted", "Jobs accepted into the queue."),
+        ("completed", "Jobs finished successfully (incl. cache-served)."),
+        ("failed", "Jobs finished with an error."),
+        ("rejected", "Submits refused by queue backpressure."),
+        ("requeued", "Crash-requeued job attempts."),
+        ("cache_hits", "Whole-job cache hits."),
+        ("cache_misses", "Whole-job cache misses."),
+    )
+    for field, help_text in job_counters:
+        name = f"repro_jobs_{field}_total"
+        out.family(name, "counter", help_text)
+        out.sample(name, status.get(field, 0))
+
+    gauges = (
+        ("repro_jobs_in_flight", "in_flight",
+         "Jobs dispatched to a worker and not yet settled."),
+        ("repro_queue_depth", "queue_depth",
+         "Jobs waiting in the dispatch queue."),
+        ("repro_cache_hit_rate", "cache_hit_rate",
+         "Whole-job cache hit rate over the service lifetime."),
+        ("repro_uptime_seconds", "uptime_seconds",
+         "Seconds since the service started."),
+        ("repro_jobs_per_second", "jobs_per_second",
+         "Completed jobs per second of uptime."),
+        ("repro_workers", "workers", "Worker-pool width."),
+        ("repro_pipeline_constructions", "pipeline_constructions",
+         "Warm pipelines built across the pool's lifetime."),
+        ("repro_job_cache_entries", "job_cache_entries",
+         "Whole-job entries currently in the result cache."),
+    )
+    for name, field, help_text in gauges:
+        if field not in status:
+            continue
+        out.family(name, "gauge", help_text)
+        out.sample(name, status[field])
+
+    campaigns = status.get("campaigns", {})
+    campaign_counters = (
+        ("started", "repro_campaigns_started_total",
+         "Campaigns accepted."),
+        ("completed", "repro_campaigns_completed_total",
+         "Campaigns finished with every job ok."),
+        ("failed", "repro_campaigns_failed_total",
+         "Campaigns finished with at least one failed job."),
+        ("rounds_completed", "repro_campaign_rounds_total",
+         "Leg-rounds completed across all campaigns."),
+        ("detections", "repro_campaign_detections_total",
+         "Window detections across all campaign rounds."),
+    )
+    for field, name, help_text in campaign_counters:
+        out.family(name, "counter", help_text)
+        out.sample(name, campaigns.get(field, 0))
+    out.family("repro_campaigns_active", "gauge",
+               "Campaigns currently running.")
+    out.sample("repro_campaigns_active",
+               len(campaigns.get("active", ())))
+
+    llm = status.get("llm_backend", {})
+    llm_counters = (
+        ("calls", "repro_llm_calls_total", "LLM backend calls."),
+        ("retries", "repro_llm_retries_total", "LLM call retries."),
+        ("failures", "repro_llm_failures_total", "LLM call failures."),
+        ("rate_limit_waits", "repro_llm_rate_limit_waits_total",
+         "Rate-limit waits across LLM backends."),
+        ("latency_seconds", "repro_llm_call_latency_seconds_total",
+         "Summed LLM call latency in seconds."),
+    )
+    for field, name, help_text in llm_counters:
+        out.family(name, "counter", help_text)
+        out.sample(name, llm.get(field, 0))
+
+    phases = status.get("phases", {})
+    out.family("repro_phase_seconds_total", "counter",
+               "Wall seconds per pipeline phase across fresh jobs.")
+    for phase, seconds in sorted(phases.items()):
+        out.sample("repro_phase_seconds_total", seconds,
+                   {"phase": phase})
+
+    latency = status.get("latency", {})
+    out.family("repro_job_latency_recent_seconds", "gauge",
+               "Recent job-latency percentiles from a bounded "
+               "reservoir (not mergeable across shards).")
+    for field, quantile in _PERCENTILE_QUANTILES.items():
+        if field in latency:
+            out.sample("repro_job_latency_recent_seconds",
+                       latency[field], {"quantile": quantile})
+
+    histograms = status.get("latency_histograms", {})
+    if histograms:
+        out.family("repro_job_latency_seconds", "histogram",
+                   "Exact job latency by origin (worker vs cache); "
+                   "bucket counts sum across mesh shards.")
+        for origin in sorted(histograms):
+            snapshot = histograms[origin]
+            buckets = snapshot.get("buckets", {})
+            # Numeric bounds ascending, "+Inf" last (the counts are
+            # already cumulative, so order is presentation only).
+            labels = sorted(
+                (label for label in buckets if label != "+Inf"),
+                key=float) + [label for label in ("+Inf",)
+                              if label in buckets]
+            for label in labels:
+                out.sample("repro_job_latency_seconds_bucket",
+                           buckets[label],
+                           {"origin": origin, "le": label})
+            out.sample("repro_job_latency_seconds_sum",
+                       snapshot.get("sum", 0.0), {"origin": origin})
+            out.sample("repro_job_latency_seconds_count",
+                       snapshot.get("count", 0), {"origin": origin})
+
+    return out.text()
+
+
+class MetricsExporter:
+    """A threaded HTTP sidecar serving ``/metrics`` for one service."""
+
+    def __init__(self, service, host: str = "127.0.0.1", port: int = 0):
+        self.service = service
+        self.host = host
+        self.port = port                 # 0: ephemeral; rebound on start
+        self._httpd: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> int:
+        """Bind and serve on a daemon thread; returns the bound port."""
+        exporter = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self):          # noqa: N802 — http.server API
+                if self.path == "/metrics":
+                    body = render_prometheus(
+                        exporter.service.status()).encode("utf-8")
+                    self._reply(200, CONTENT_TYPE, body)
+                elif self.path == "/healthz":
+                    self._reply(200, "text/plain; charset=utf-8",
+                                b"ok\n")
+                elif self.path == "/status":
+                    body = json.dumps(
+                        exporter.service.status()).encode("utf-8")
+                    self._reply(200, "application/json", body)
+                else:
+                    self._reply(404, "text/plain; charset=utf-8",
+                                b"not found\n")
+
+            def _reply(self, code: int, content_type: str,
+                       body: bytes) -> None:
+                self.send_response(code)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args) -> None:
+                pass    # scrape noise stays out of stderr; the bind
+                        # itself is logged as a structured event below
+
+        self._httpd = ThreadingHTTPServer((self.host, self.port),
+                                          Handler)
+        self._httpd.daemon_threads = True
+        self.port = self._httpd.server_address[1]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="repro-metrics",
+            daemon=True)
+        self._thread.start()
+        self.service.log.info("metrics.listen", host=self.host,
+                              port=self.port)
+        return self.port
+
+    def stop(self) -> None:
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+            self._httpd = None
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+            self._thread = None
+
+    def __enter__(self) -> "MetricsExporter":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

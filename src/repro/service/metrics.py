@@ -1,4 +1,4 @@
-"""Service observability: counters, gauges, and latency percentiles.
+"""Service observability: counters, gauges, histograms, percentiles.
 
 :class:`ServiceMetrics` is the one mutable stats object of the
 optimization service.  Counters cover the request lifecycle (submitted,
@@ -6,10 +6,13 @@ completed, failed, rejected, requeued), the job cache (hits/misses at
 the whole-job level), and the LLM backends behind the workers (calls,
 retries, failures, rate-limit waits, summed call latency — folded in
 via :meth:`ServiceMetrics.observe_backend` from the cumulative
-snapshots each job payload carries); latencies go into a bounded
-reservoir from which percentiles are computed on demand.  Everything is
-lock-protected — the dispatcher, worker callbacks, and status readers
-all touch it concurrently.
+snapshots each job payload carries).  Latencies are recorded twice, on
+purpose: a bounded reservoir gives *recent* percentiles for humans, and
+fixed-bucket :class:`Histogram` counts (exact, never sampled) give the
+Prometheus ``/metrics`` endpoint series that stay sum-mergeable across
+future mesh shards — two shards' bucket counts add where two reservoirs
+cannot.  Everything is lock-protected — the dispatcher, worker
+callbacks, and status readers all touch it concurrently.
 """
 
 from __future__ import annotations
@@ -18,20 +21,91 @@ import math
 import threading
 import time
 from collections import deque
-from typing import Callable, Dict
+from typing import Callable, Dict, Optional, Sequence
 
 #: How many recent latencies the percentile window keeps.
 LATENCY_WINDOW = 2048
 
+#: Fixed job-latency bucket bounds in seconds, identical for every
+#: service instance so histogram counts from different shards of a
+#: future mesh sum exactly (a "+Inf" bucket is always appended).
+#: Spans cache hits (~100µs) through multi-attempt LLM jobs (minutes).
+LATENCY_BUCKETS = (0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+                   0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+                   120.0, 300.0)
 
-def percentile(samples, fraction: float) -> float:
-    """Nearest-rank percentile of ``samples`` (0.0 on empty input)."""
-    ordered = sorted(samples)
-    if not ordered:
+
+def percentile(samples, fraction: float, ordered: bool = False) -> float:
+    """Nearest-rank percentile of ``samples`` (0.0 on empty input).
+
+    Pass ``ordered=True`` when ``samples`` is already sorted — callers
+    taking several percentiles of one reservoir should sort once and
+    reuse the ordered list instead of paying the sort per percentile.
+    """
+    values = samples if ordered else sorted(samples)
+    if not values:
         return 0.0
-    rank = max(0, min(len(ordered) - 1,
-                      math.ceil(fraction * len(ordered)) - 1))
-    return ordered[rank]
+    rank = max(0, min(len(values) - 1,
+                      math.ceil(fraction * len(values)) - 1))
+    return values[rank]
+
+
+def bucket_label(bound: float) -> str:
+    """The Prometheus ``le`` label for one bucket bound."""
+    return f"{bound:g}"
+
+
+class Histogram:
+    """Fixed-bucket histogram: exact counts, a sum, and a total.
+
+    Counts are kept per bucket internally and exposed *cumulatively*
+    (Prometheus ``le`` convention: each labelled count includes every
+    smaller bucket, ``+Inf`` equals ``count``) by :meth:`to_dict`.
+    Cumulative counts still sum across instances, so shard snapshots
+    merge with plain addition — see :meth:`merge`.
+
+    Not internally locked: :class:`ServiceMetrics` mutates it under its
+    own lock.
+    """
+
+    def __init__(self, buckets: Sequence[float] = LATENCY_BUCKETS):
+        self.bounds = tuple(sorted(buckets))
+        self._counts = [0] * (len(self.bounds) + 1)  # last: +Inf
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                self._counts[index] += 1
+                break
+        else:
+            self._counts[-1] += 1
+        self.sum += value
+        self.count += 1
+
+    def to_dict(self) -> dict:
+        """JSON-safe snapshot with cumulative ``le``-labelled counts."""
+        cumulative = 0
+        buckets = {}
+        for bound, count in zip(self.bounds, self._counts):
+            cumulative += count
+            buckets[bucket_label(bound)] = cumulative
+        buckets["+Inf"] = cumulative + self._counts[-1]
+        return {"buckets": buckets, "sum": round(self.sum, 6),
+                "count": self.count}
+
+    @staticmethod
+    def merge(left: dict, right: dict) -> dict:
+        """Sum two :meth:`to_dict` snapshots (the mesh-federation
+        primitive); both must use the same bucket bounds."""
+        if set(left["buckets"]) != set(right["buckets"]):
+            raise ValueError("histogram bucket bounds differ")
+        return {"buckets": {label: left["buckets"][label]
+                            + right["buckets"][label]
+                            for label in left["buckets"]},
+                "sum": round(left["sum"] + right["sum"], 6),
+                "count": left["count"] + right["count"]}
 
 
 class ServiceMetrics:
@@ -55,8 +129,15 @@ class ServiceMetrics:
         self.campaign_rounds = 0     # leg-rounds completed
         self.campaign_detections = 0 # window detections across rounds
         self._latencies = deque(maxlen=LATENCY_WINDOW)
+        #: Exact fixed-bucket latency counts by origin: worker-computed
+        #: jobs and cache-served replays live in different decades, so
+        #: one merged histogram would blur both.
+        self._histograms = {"worker": Histogram(), "cache": Histogram()}
         #: Cumulative LLM-backend counters, max-merged per backend key
-        #: (one key per warm backend instance; its counters only grow).
+        #: (one key per warm backend *instance* — the key carries the
+        #: worker-pool generation, so a restarted pool's reset counters
+        #: land under a fresh key instead of being pinned below the old
+        #: high-water mark; totals sum across keys/generations).
         self._backends: Dict[str, Dict[str, float]] = {}
         #: Summed per-phase wall seconds across fresh job completions
         #: (opt, llm, verify, verify.*, parse — cached replays excluded).
@@ -120,6 +201,8 @@ class ServiceMetrics:
             else:
                 self.cache_misses += 1
             self._latencies.append(latency_seconds)
+            self._histograms["cache" if cached
+                             else "worker"].observe(latency_seconds)
 
     def observe_backend(self, key: str,
                         snapshot: Dict[str, float]) -> None:
@@ -127,7 +210,10 @@ class ServiceMetrics:
         (:meth:`repro.llm.backends.BackendStats.snapshot`).  Snapshots
         from concurrent jobs on the same warm backend may arrive out of
         order, so each field max-merges — counters never move
-        backwards."""
+        backwards.  ``key`` must be scoped to one backend instance's
+        lifetime (the worker pool embeds its generation), so a restart
+        that resets :class:`~repro.llm.backends.BackendStats` starts a
+        new key rather than deflating an old one."""
         with self._lock:
             seen = self._backends.setdefault(key, {})
             for field in ("calls", "retries", "failures",
@@ -184,10 +270,19 @@ class ServiceMetrics:
 
     def latency_percentiles(self) -> Dict[str, float]:
         with self._lock:
-            samples = list(self._latencies)
-        return {"p50": percentile(samples, 0.50),
-                "p90": percentile(samples, 0.90),
-                "p99": percentile(samples, 0.99)}
+            ordered = sorted(self._latencies)
+        # One sort serves all three ranks (the reservoir holds up to
+        # LATENCY_WINDOW samples; three full sorts per status call was
+        # the bulk of to_dict's cost).
+        return {"p50": percentile(ordered, 0.50, ordered=True),
+                "p90": percentile(ordered, 0.90, ordered=True),
+                "p99": percentile(ordered, 0.99, ordered=True)}
+
+    def latency_histograms(self) -> Dict[str, dict]:
+        """Cumulative-bucket snapshots by origin (``worker``/``cache``)."""
+        with self._lock:
+            return {origin: histogram.to_dict() for origin, histogram
+                    in self._histograms.items()}
 
     def to_dict(self) -> dict:
         """A JSON-safe snapshot (the ``status_reply`` payload)."""
@@ -222,9 +317,11 @@ class ServiceMetrics:
             "jobs_per_second": round(self.jobs_per_second, 3),
             "latency": {name: round(value, 6) for name, value
                         in self.latency_percentiles().items()},
+            "latency_histograms": self.latency_histograms(),
         }
 
     def render(self) -> str:
+        from repro import profile
         snap = self.to_dict()
         lat = snap["latency"]
         camp = snap["campaigns"]
@@ -232,9 +329,8 @@ class ServiceMetrics:
         phases = snap["phases"]
         phase_line = ""
         if phases:
-            phase_line = "\nphases: " + " ".join(
-                f"{name} {seconds:.2f}s"
-                for name, seconds in list(phases.items())[:6])
+            # Same largest-first one-liner the batch path prints.
+            phase_line = "\nphases: " + profile.render(phases)
         return (
             f"jobs: {snap['submitted']} submitted, "
             f"{snap['completed']} completed, {snap['failed']} failed, "

@@ -32,6 +32,7 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import replace
 from typing import Callable, Dict, Optional
 
+from repro import obs, profile
 from repro.core.cache import DEFAULT_MAX_ENTRIES, ShardedResultCache
 from repro.core.executor import resolve_backend
 from repro.errors import ReproError
@@ -88,11 +89,19 @@ class OptimizationService:
                  cache_entries: Optional[int] = DEFAULT_MAX_ENTRIES,
                  cache_age_seconds: Optional[float] = None,
                  cache_path=None, llm_seed: int = 0,
-                 default_model: str = ""):
+                 default_model: str = "",
+                 logger: Optional[obs.StructuredLogger] = None,
+                 slow_job_seconds: Optional[float] = 10.0):
         # ``backend=None`` resolves through the shared executor layer
         # (process by default; REPRO_EXECUTOR_BACKEND overrides).
         backend = resolve_backend(backend, WORKER_BACKENDS)
         self.backend = backend
+        #: Structured-event sink for the job lifecycle (falls back to
+        #: the process default, which is disabled until configured).
+        self.log = logger if logger is not None else obs.default()
+        #: Fresh jobs slower than this emit a ``job.slow`` event with
+        #: their span breakdown (``None`` disables the slow-job log).
+        self.slow_job_seconds = slow_job_seconds
         # The default fills jobs submitted with an empty model spec;
         # validate it up front so a misconfigured service fails at
         # startup, not on its first job.
@@ -109,7 +118,8 @@ class OptimizationService:
         # keep per-process step caches and share only the job cache.
         self.pool = WorkerPool(
             jobs=jobs, backend=backend, llm_seed=llm_seed,
-            cache=self.cache if backend == "thread" else None)
+            cache=self.cache if backend == "thread" else None,
+            logger=self.log)
         self.max_retries = max(0, int(max_retries))
         self._queue: "queue.Queue" = queue.Queue(maxsize=queue_limit)
         self.metrics.bind_queue_depth(self._queue.qsize)
@@ -132,6 +142,10 @@ class OptimizationService:
             target=self._dispatch_loop, name="repro-dispatch",
             daemon=True)
         self._dispatcher.start()
+        self.log.info("service.start", backend=self.backend,
+                      workers=self.pool.jobs, queue_limit=queue_limit,
+                      cache_shards=cache_shards, llm_seed=llm_seed,
+                      default_model=default_model)
 
     # -- submission API ----------------------------------------------------
     def submit(self, spec: JobSpec,
@@ -148,6 +162,13 @@ class OptimizationService:
         spec = replace(spec, job_id=job_id)
         if not spec.model and self.default_model:
             spec = replace(spec, model=self.default_model)
+        # The digest is computed once here and rides the queue: the
+        # dispatcher, requeues, and every structured event reuse it
+        # (it is the correlation key from submit through settle).
+        try:
+            digest = job_digest(spec, llm_seed=self.pool.llm_seed)
+        except Exception:  # noqa: BLE001 — surfaced at dispatch time
+            digest = ""
         with self._lock:
             if job_id in self._events or job_id in self._results:
                 raise ReproError(f"duplicate job id {job_id!r}")
@@ -155,9 +176,10 @@ class OptimizationService:
             self._outstanding += 1
         try:
             if timeout == 0:
-                self._queue.put_nowait((spec, 0, time.monotonic()))
+                self._queue.put_nowait((spec, digest, 0,
+                                        time.monotonic()))
             else:
-                self._queue.put((spec, 0, time.monotonic()),
+                self._queue.put((spec, digest, 0, time.monotonic()),
                                 timeout=timeout)
         except queue.Full:
             with self._lock:
@@ -165,10 +187,16 @@ class OptimizationService:
                 self._outstanding -= 1
                 self._idle.notify_all()
             self.metrics.record_rejected()
+            self.log.warning("job.reject", job_id=job_id,
+                             digest=digest,
+                             queue_limit=self._queue.maxsize)
             raise ServiceBusyError(
                 f"job queue full ({self._queue.maxsize} pending); "
                 f"retry later") from None
         self.metrics.record_submitted()
+        self.log.info("job.submit", job_id=job_id, digest=digest,
+                      model=spec.model, round_seed=spec.round_seed,
+                      attempt_limit=spec.attempt_limit)
         if self._closed and not self._dispatcher.is_alive():
             # We raced close(): our item may have landed after its
             # straggler drain.  Drain again so no waiter hangs.
@@ -233,6 +261,10 @@ class OptimizationService:
         with self._lock:
             self._campaigns[campaign_id] = progress
         self.metrics.record_campaign_started()
+        self.log.info("campaign.start", campaign_id=campaign_id,
+                      digest=digest[:12], legs=len(legs),
+                      rounds_total=len(legs) * spec.rounds,
+                      windows=len(spec.windows))
 
         def run_round(leg: CampaignLeg, round_index: int,
                       round_seed: int):
@@ -253,8 +285,12 @@ class OptimizationService:
             with self._lock:
                 progress["rounds_done"] += 1
                 progress["detections"] += detections
+            self.log.debug("campaign.round", campaign_id=campaign_id,
+                           leg=leg.key, round=round_index,
+                           detections=detections)
 
         ok = False
+        result = None
         try:
             result = execute_campaign(
                 replace(spec, campaign_id=campaign_id),
@@ -266,6 +302,12 @@ class OptimizationService:
             # Also on the exception path (e.g. a job-wait timeout):
             # a started campaign must settle as completed or failed.
             self.metrics.record_campaign_finished(ok=ok)
+            self.log.info(
+                "campaign.finish", campaign_id=campaign_id, ok=ok,
+                detections=progress["detections"],
+                rounds_done=progress["rounds_done"],
+                failed_jobs=(result.failed_jobs if result is not None
+                             else -1))
         return result
 
     def drain(self, timeout: Optional[float] = None) -> bool:
@@ -320,6 +362,12 @@ class OptimizationService:
         self.pool.shutdown(wait=True)
         if self.cache.path is not None:
             self.cache.save()
+        snapshot = self.metrics.to_dict()
+        self.log.info("service.close",
+                      submitted=snapshot["submitted"],
+                      completed=snapshot["completed"],
+                      failed=snapshot["failed"],
+                      cache_hits=snapshot["cache_hits"])
 
     def _fail_stragglers(self) -> None:
         """Fail every job still queued after the dispatcher exited."""
@@ -330,8 +378,9 @@ class OptimizationService:
                 return
             if item is _SHUTDOWN:
                 continue
-            spec, retries, submitted = item
-            digest = job_digest(spec, llm_seed=self.pool.llm_seed)
+            spec, digest, retries, submitted = item
+            if not digest:
+                digest = job_digest(spec, llm_seed=self.pool.llm_seed)
             self._settle(digest, spec, error="service closed",
                          retries=retries, submitted=submitted,
                          dispatched=False)
@@ -348,16 +397,19 @@ class OptimizationService:
             item = self._queue.get()
             if item is _SHUTDOWN:
                 break
-            spec, retries, submitted = item
+            spec, digest, retries, submitted = item
             try:
-                self._dispatch_one(spec, retries, submitted)
+                self._dispatch_one(spec, digest, retries, submitted)
             except Exception as exc:  # noqa: BLE001 — the dispatcher
                 # must survive anything; a dead loop strands every
                 # queued job's waiter forever.
-                try:
-                    digest = job_digest(spec,
-                                        llm_seed=self.pool.llm_seed)
-                except Exception:  # noqa: BLE001
+                if not digest:
+                    try:
+                        digest = job_digest(
+                            spec, llm_seed=self.pool.llm_seed)
+                    except Exception:  # noqa: BLE001
+                        digest = ""
+                if not digest:
                     self._finish(spec, error=f"dispatch failed: {exc}",
                                  retries=retries, submitted=submitted,
                                  dispatched=False)
@@ -369,12 +421,17 @@ class OptimizationService:
                                  retries=retries, submitted=submitted,
                                  dispatched=False)
 
-    def _dispatch_one(self, spec: JobSpec, retries: int,
+    def _dispatch_one(self, spec: JobSpec, digest: str, retries: int,
                       submitted: float) -> None:
-        digest = job_digest(spec, llm_seed=self.pool.llm_seed)
+        if not digest:
+            # submit() could not digest this spec; recompute here so
+            # the failure settles as a job error, not a dead dispatcher.
+            digest = job_digest(spec, llm_seed=self.pool.llm_seed)
         cached = self.cache.get_job(digest)
         if cached is not None and all(key in cached
                                       for key in _CACHED_KEYS):
+            self.log.info("job.cache_hit", job_id=spec.job_id,
+                          digest=digest)
             self._settle(digest, spec, payload=cached, cached=True,
                          retries=retries, submitted=submitted,
                          dispatched=False)
@@ -387,6 +444,8 @@ class OptimizationService:
                 waiters = self._pending.get(digest)
                 if waiters is not None:
                     waiters.append((spec, submitted))
+                    self.log.debug("job.coalesce", job_id=spec.job_id,
+                                   digest=digest)
                     return
                 self._pending[digest] = []
         self._slots.acquire()         # bound in-flight work at pool width
@@ -399,6 +458,8 @@ class OptimizationService:
                                 dispatched=False)
             return
         self.metrics.record_dispatched()
+        self.log.debug("job.dispatch", job_id=spec.job_id,
+                       digest=digest, retries=retries)
         future.add_done_callback(functools.partial(
             self._on_done, spec, retries, submitted, digest))
 
@@ -439,7 +500,8 @@ class OptimizationService:
             self.metrics.record_undispatched()
         if retries < self.max_retries and not self._closed:
             try:
-                self._queue.put_nowait((spec, retries + 1, submitted))
+                self._queue.put_nowait((spec, digest, retries + 1,
+                                        submitted))
             except queue.Full:
                 self._settle(digest, spec,
                              error=f"requeue failed, queue full "
@@ -448,6 +510,9 @@ class OptimizationService:
                              dispatched=False)
                 return
             self.metrics.record_requeued()
+            self.log.warning("job.requeue", job_id=spec.job_id,
+                             digest=digest, retries=retries + 1,
+                             error=str(exc))
             return
         self._settle(digest, spec,
                      error=f"worker crashed {retries + 1}x: {exc}",
@@ -462,13 +527,14 @@ class OptimizationService:
         """Finish a job and every identical job waiting on it."""
         self._finish(spec, payload=payload, cached=cached, error=error,
                      retries=retries, submitted=submitted,
-                     dispatched=dispatched)
+                     dispatched=dispatched, digest=digest)
         with self._lock:
             waiters = self._pending.pop(digest, [])
         for waiter_spec, waiter_submitted in waiters:
             self._finish(waiter_spec, payload=payload,
                          cached=payload is not None, error=error,
-                         submitted=waiter_submitted, dispatched=False)
+                         submitted=waiter_submitted, dispatched=False,
+                         digest=digest)
 
     def _note_worker(self, payload: dict) -> None:
         worker = payload.get("worker", "?")
@@ -489,7 +555,7 @@ class OptimizationService:
     def _finish(self, spec: JobSpec, payload: Optional[dict] = None,
                 cached: bool = False, error: str = "",
                 retries: int = 0, submitted: float = 0.0,
-                dispatched: bool = True) -> None:
+                dispatched: bool = True, digest: str = "") -> None:
         latency = time.monotonic() - submitted
         ok = not error
         result = JobResult(
@@ -509,6 +575,24 @@ class OptimizationService:
             tag=spec.tag)
         self.metrics.record_completed(latency, cached=cached, ok=ok,
                                       dispatched=dispatched)
+        self.log.info("job.settle", job_id=spec.job_id, digest=digest,
+                      ok=ok, cached=cached, found=result.found,
+                      status=result.status,
+                      latency_seconds=round(latency, 6),
+                      retries=retries, error=error)
+        # Slow-job log: fresh completions over the threshold get their
+        # span breakdown (waiters settle as cached, so each slow run is
+        # reported exactly once).
+        spans = payload.get("spans") if payload else None
+        if (not cached and spans
+                and self.slow_job_seconds is not None
+                and latency >= self.slow_job_seconds):
+            self.log.warning(
+                "job.slow", job_id=spec.job_id, digest=digest,
+                latency_seconds=round(latency, 6),
+                threshold_seconds=self.slow_job_seconds,
+                spans=spans,
+                breakdown=profile.render_spans(spans))
         with self._lock:
             self._results[spec.job_id] = result
             event = self._events.get(spec.job_id)
@@ -592,6 +676,8 @@ class ServiceServer:
                                             self.port,
                                             limit=_WIRE_LIMIT)
         self.port = server.sockets[0].getsockname()[1]
+        self.service.log.info("server.listen", host=self.host,
+                              port=self.port)
         self._ready.set()
         try:
             async with server:

@@ -40,7 +40,7 @@ import threading
 from concurrent.futures import Future
 from typing import Dict, Optional, Tuple
 
-from repro import profile
+from repro import obs, profile
 from repro.core.cache import text_digest
 from repro.core.executor import (
     ExecutorPool,
@@ -100,9 +100,10 @@ def _run_spec(pipeline: LPOPipeline, spec: JobSpec,
     (the ``_CACHED_KEYS`` subset is the exact dict the job cache
     stores; ``backend``/``backend_key`` piggyback the backend's
     *cumulative* call/retry/latency counters so the server can fold
-    them into :class:`~repro.service.metrics.ServiceMetrics`, and
-    ``phases`` carries this job's per-phase seconds)."""
-    with profile.collect() as phases:
+    them into :class:`~repro.service.metrics.ServiceMetrics`,
+    ``phases`` carries this job's per-phase seconds, and ``spans`` its
+    trace tree — both cross the process boundary as plain dicts)."""
+    with profile.collect() as phases, profile.trace() as spans:
         window = _window_for_ir(spec.ir)
         result = pipeline.optimize_window(window,
                                           round_seed=spec.round_seed)
@@ -114,6 +115,7 @@ def _run_spec(pipeline: LPOPipeline, spec: JobSpec,
         "attempts": len(result.attempts),
         "phases": {name: round(seconds, 6)
                    for name, seconds in phases.items()},
+        "spans": profile.round_spans(spans),
     }
     stats = getattr(pipeline.client, "stats", None)
     if stats is not None:
@@ -128,13 +130,14 @@ def _run_spec(pipeline: LPOPipeline, spec: JobSpec,
 _PROCESS_STATE: dict = {}
 
 
-def _process_worker_init(llm_seed: int) -> None:
+def _process_worker_init(llm_seed: int, generation: int = 0) -> None:
     if _PROCESS_STATE.get("pid") != os.getpid():
         _PROCESS_STATE.clear()
         _PROCESS_STATE["pid"] = os.getpid()
         # A forked worker also inherits the parent's parsed windows;
         # they are read-only, so keeping them is free warm-up.
     _PROCESS_STATE["llm_seed"] = llm_seed
+    _PROCESS_STATE["generation"] = generation
     _PROCESS_STATE.setdefault("pipelines", {})
     _PROCESS_STATE.setdefault("constructions", 0)
 
@@ -146,11 +149,15 @@ def _process_worker_run(spec: JobSpec) -> dict:
         pipelines[key] = _pipeline_for_spec(
             spec.model, spec.attempt_limit, _PROCESS_STATE["llm_seed"])
         _PROCESS_STATE["constructions"] += 1
-    # Backend counters are per process-local pipeline, so the key must
-    # carry the pid for the server's max-merge to stay monotonic.
+    # Backend counters are per process-local pipeline: the key carries
+    # the pid so the server's max-merge stays monotonic, and the pool
+    # generation so a restarted pool (fresh workers, reset counters —
+    # possibly on a *reused* pid) starts a new key instead of being
+    # pinned below the dead generation's high-water mark.
     payload = _run_spec(
         pipelines[key], spec,
-        backend_key=(f"pid-{os.getpid()}|{spec.model}|"
+        backend_key=(f"gen{_PROCESS_STATE.get('generation', 0)}|"
+                     f"pid-{os.getpid()}|{spec.model}|"
                      f"{spec.attempt_limit}"))
     payload["worker"] = f"pid-{os.getpid()}"
     payload["pipeline_constructions"] = _PROCESS_STATE["constructions"]
@@ -167,25 +174,37 @@ class WorkerPool:
 
     def __init__(self, jobs: Optional[int] = 2,
                  backend: Optional[str] = None,
-                 llm_seed: int = 0, cache=None):
+                 llm_seed: int = 0, cache=None, logger=None):
         self.jobs = resolve_jobs(jobs)
         self.backend = resolve_backend(backend, BACKENDS)
         self.llm_seed = llm_seed
+        #: Bumped on every :meth:`restart`; embedded in backend keys so
+        #: reset counters from a fresh pool never max-merge against a
+        #: dead generation's totals.
+        self.generation = 0
         #: Shared step cache for thread-backend pipelines (e.g. the
         #: service's ShardedResultCache); process workers keep their own.
         self.cache = cache
+        self._log = logger if logger is not None else obs.default()
         self._lock = threading.Lock()
         self._pipelines: Dict[Tuple[str, int], LPOPipeline] = {}
+        #: Backend key per warm thread pipeline, fixed at construction
+        #: time — a pipeline that survives a pool restart keeps its
+        #: cumulative stats, so it must keep its key too.
+        self._backend_keys: Dict[Tuple[str, int], str] = {}
         self._constructions = 0
         self._pool: Optional[ExecutorPool] = None
         self.start()
+        self._log.info("pool.start", backend=self.backend,
+                       jobs=self.jobs, generation=self.generation)
 
     # -- lifecycle ---------------------------------------------------------
     def _make_pool(self) -> ExecutorPool:
         if self.backend == "process":
             return ExecutorPool(jobs=self.jobs, backend="process",
                                 initializer=_process_worker_init,
-                                initargs=(self.llm_seed,),
+                                initargs=(self.llm_seed,
+                                          self.generation),
                                 allowed=("thread", "process"))
         return ExecutorPool(jobs=self.jobs, backend="thread",
                             allowed=("thread", "process"))
@@ -195,10 +214,14 @@ class WorkerPool:
             self._pool = self._make_pool()
 
     def restart(self) -> None:
-        """Replace a broken executor (thread pipelines stay warm)."""
+        """Replace a broken executor under the next generation (thread
+        pipelines stay warm and keep their generation-scoped keys)."""
         with self._lock:
+            self.generation += 1
             old = self._pool
             self._pool = self._make_pool()
+        self._log.warning("pool.restart", backend=self.backend,
+                          generation=self.generation)
         if old is not None:
             old.shutdown(wait=False)
 
@@ -237,7 +260,8 @@ class WorkerPool:
                     f"worker pool broken: {exc}") from exc
             raise
 
-    def _pipeline(self, model: str, attempt_limit: int) -> LPOPipeline:
+    def _pipeline(self, model: str,
+                  attempt_limit: int) -> Tuple[LPOPipeline, str]:
         key = (model, attempt_limit)
         with self._lock:
             pipeline = self._pipelines.get(key)
@@ -246,16 +270,21 @@ class WorkerPool:
                     model, attempt_limit, self.llm_seed,
                     cache=self.cache)
                 self._pipelines[key] = pipeline
+                # The key names this pipeline's (cumulative) stats for
+                # its whole lifetime: the generation it was *built* in,
+                # not the pool's current one.
+                self._backend_keys[key] = (
+                    f"gen{self.generation}|thread|{model}|"
+                    f"{attempt_limit}")
                 self._constructions += 1
-        return pipeline
+            return pipeline, self._backend_keys[key]
 
     def _thread_run(self, spec: JobSpec) -> dict:
-        pipeline = self._pipeline(spec.model, spec.attempt_limit)
+        pipeline, backend_key = self._pipeline(spec.model,
+                                               spec.attempt_limit)
         # One shared pipeline (and backend) per (model, attempt_limit)
         # across all threads — one cumulative counter key to match.
-        payload = _run_spec(
-            pipeline, spec,
-            backend_key=f"thread|{spec.model}|{spec.attempt_limit}")
+        payload = _run_spec(pipeline, spec, backend_key=backend_key)
         payload["worker"] = threading.current_thread().name
         payload["pipeline_constructions"] = self._constructions
         return payload

@@ -1,0 +1,37 @@
+"""Shared test fixtures.
+
+The session-scoped ``_service_log_sink`` fixture routes the process-wide
+structured-log default (:func:`repro.obs.configure`) to
+``test-logs/service-events.jsonl`` under the repo root for the whole
+test run.  Every service constructed without an explicit logger then
+writes its lifecycle events there, which gives two things for free:
+
+* a real JSON-lines artifact that CI uploads when the suite fails
+  (``actions/upload-artifact`` with ``if: failure()``), so a flaky
+  service test ships its event history with the failure;
+* permanent coverage that the default-logger path (not just explicit
+  ``StructuredLogger`` instances) survives the whole suite.
+
+Tests that assert on specific events still pass their own logger /
+stream explicitly — this sink is deliberately shared and append-only.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro import obs
+
+_LOG_DIR = pathlib.Path(__file__).resolve().parent.parent / "test-logs"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _service_log_sink():
+    _LOG_DIR.mkdir(exist_ok=True)
+    path = _LOG_DIR / "service-events.jsonl"
+    path.unlink(missing_ok=True)     # fresh file per test session
+    logger = obs.configure(path=str(path))
+    yield logger
+    obs.configure()                  # back to the disabled default

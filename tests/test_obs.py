@@ -1,0 +1,224 @@
+"""Structured logging, trace spans, and latency histograms."""
+
+import io
+import json
+import threading
+
+import pytest
+
+from repro import obs, profile
+from repro.service.metrics import (
+    LATENCY_BUCKETS,
+    Histogram,
+    ServiceMetrics,
+    bucket_label,
+    percentile,
+)
+
+
+def _events(buf: io.StringIO):
+    return [json.loads(line) for line in buf.getvalue().splitlines()]
+
+
+class TestStructuredLogger:
+    def test_event_shape(self):
+        buf = io.StringIO()
+        log = obs.StructuredLogger(stream=buf)
+        log.info("job.submit", job_id="job-1", digest="abc")
+        (event,) = _events(buf)
+        assert event["event"] == "job.submit"
+        assert event["level"] == "info"
+        assert event["job_id"] == "job-1"
+        assert event["digest"] == "abc"
+        assert isinstance(event["ts"], float)
+        assert isinstance(event["mono"], float)
+
+    def test_one_line_per_event(self):
+        buf = io.StringIO()
+        log = obs.StructuredLogger(stream=buf)
+        log.info("a", text="line1\nline2")   # newlines stay escaped
+        log.info("b")
+        assert len(buf.getvalue().splitlines()) == 2
+        assert _events(buf)[0]["text"] == "line1\nline2"
+
+    def test_level_filtering(self):
+        buf = io.StringIO()
+        log = obs.StructuredLogger(stream=buf, level="warning")
+        log.debug("dropped")
+        log.info("dropped")
+        log.warning("kept")
+        log.error("kept")
+        assert [e["event"] for e in _events(buf)] == ["kept", "kept"]
+
+    def test_unknown_level_rejected(self):
+        with pytest.raises(ValueError):
+            obs.StructuredLogger(stream=io.StringIO(), level="loud")
+
+    def test_bind_carries_fields(self):
+        buf = io.StringIO()
+        log = obs.StructuredLogger(stream=buf)
+        child = log.bind(campaign_id="c-1")
+        child.info("campaign.round", detections=3)
+        (event,) = _events(buf)
+        assert event["campaign_id"] == "c-1"
+        assert event["detections"] == 3
+        # Per-call fields win over bound ones.
+        child.bind(detections=0).info("x", detections=9)
+        assert _events(buf)[1]["detections"] == 9
+
+    def test_disabled_logger_is_noop(self):
+        log = obs.StructuredLogger(stream=None)
+        assert not log.enabled
+        log.info("nothing")          # must not raise
+
+    def test_non_serializable_fields_coerced(self):
+        buf = io.StringIO()
+        obs.StructuredLogger(stream=buf).info("x", obj=object())
+        (event,) = _events(buf)
+        assert "object object" in event["obj"]
+
+    def test_sink_failure_disables_not_raises(self):
+        class Broken(io.StringIO):
+            def write(self, *_):
+                raise OSError("gone")
+        log = obs.StructuredLogger(stream=Broken())
+        log.info("first")            # trips the failure
+        assert not log.enabled
+        log.info("second")           # silent no-op now
+
+    def test_thread_safety_line_integrity(self):
+        buf = io.StringIO()
+        log = obs.StructuredLogger(stream=buf)
+
+        def spam(tag):
+            for index in range(50):
+                log.info("spam", tag=tag, index=index)
+        threads = [threading.Thread(target=spam, args=(t,))
+                   for t in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        events = _events(buf)        # every line parses
+        assert len(events) == 200
+
+    def test_configure_default_roundtrip(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        logger = obs.configure(path=str(path))
+        try:
+            assert obs.default() is logger
+            obs.default().info("hello", n=1)
+        finally:
+            obs.configure()
+        assert obs.default() is obs.NULL
+        (event,) = [json.loads(line)
+                    for line in path.read_text().splitlines()]
+        assert event["event"] == "hello"
+
+
+class TestTraceSpans:
+    def test_nesting_and_parents(self):
+        with profile.trace() as spans:
+            with profile.phase("outer"):
+                with profile.phase("inner"):
+                    pass
+                with profile.phase("inner2"):
+                    pass
+        # Spans complete in exit order; parents point into the list.
+        by_name = {span["name"]: span for span in spans}
+        outer_index = spans.index(by_name["outer"])
+        assert by_name["outer"]["parent"] == -1
+        assert by_name["inner"]["parent"] == outer_index
+        assert by_name["inner2"]["parent"] == outer_index
+        assert by_name["outer"]["elapsed"] >= by_name["inner"]["elapsed"]
+        assert by_name["inner2"]["start"] >= by_name["inner"]["start"]
+
+    def test_trace_and_collect_observe_same_blocks(self):
+        with profile.collect() as phases, profile.trace() as spans:
+            with profile.phase("work"):
+                pass
+        assert "work" in phases
+        assert [span["name"] for span in spans] == ["work"]
+
+    def test_round_spans_json_safe(self):
+        with profile.trace() as spans:
+            with profile.phase("w"):
+                pass
+        wire = profile.round_spans(spans)
+        assert json.loads(json.dumps(wire)) == wire
+
+    def test_render_spans_indents_children(self):
+        spans = [
+            {"name": "inner", "start": 0.01, "elapsed": 0.5, "parent": 1},
+            {"name": "outer", "start": 0.0, "elapsed": 1.0, "parent": -1},
+        ]
+        text = profile.render_spans(spans)
+        lines = text.splitlines()
+        assert lines[0].startswith("outer 1.00s")
+        assert lines[1].startswith("  inner 0.50s")
+
+    def test_span_children_orders_by_start(self):
+        spans = [
+            {"name": "b", "start": 0.2, "elapsed": 0.1, "parent": -1},
+            {"name": "a", "start": 0.1, "elapsed": 0.1, "parent": -1},
+        ]
+        assert profile.span_children(spans) == {-1: [1, 0]}
+
+
+class TestHistogram:
+    def test_observe_and_cumulative_buckets(self):
+        hist = Histogram(buckets=(1.0, 2.0, 5.0))
+        for value in (0.5, 1.5, 1.7, 3.0, 100.0):
+            hist.observe(value)
+        snap = hist.to_dict()
+        assert snap["count"] == 5
+        assert snap["sum"] == pytest.approx(106.7)
+        assert snap["buckets"] == {"1": 1, "2": 3, "5": 4, "+Inf": 5}
+
+    def test_boundary_lands_in_le_bucket(self):
+        hist = Histogram(buckets=(1.0,))
+        hist.observe(1.0)            # le convention: value <= bound
+        assert hist.to_dict()["buckets"]["1"] == 1
+
+    def test_merge_sums_snapshots(self):
+        left, right = Histogram(buckets=(1.0,)), Histogram(buckets=(1.0,))
+        left.observe(0.5)
+        right.observe(2.0)
+        merged = Histogram.merge(left.to_dict(), right.to_dict())
+        assert merged == {"buckets": {"1": 1, "+Inf": 2},
+                          "sum": 2.5, "count": 2}
+
+    def test_merge_rejects_mismatched_bounds(self):
+        left, right = Histogram(buckets=(1.0,)), Histogram(buckets=(2.0,))
+        with pytest.raises(ValueError):
+            Histogram.merge(left.to_dict(), right.to_dict())
+
+    def test_bucket_labels_are_compact(self):
+        assert bucket_label(0.0005) == "0.0005"
+        assert bucket_label(1.0) == "1"
+        assert bucket_label(30.0) == "30"
+
+    def test_default_bounds_sorted_ascending(self):
+        assert list(LATENCY_BUCKETS) == sorted(LATENCY_BUCKETS)
+
+
+class TestMetricsHistogramIntegration:
+    def test_completed_jobs_split_by_origin(self):
+        metrics = ServiceMetrics()
+        metrics.record_completed(0.2, cached=False, ok=True,
+                                 dispatched=False)
+        metrics.record_completed(0.0002, cached=True, ok=True,
+                                 dispatched=False)
+        snap = metrics.latency_histograms()
+        assert snap["worker"]["count"] == 1
+        assert snap["cache"]["count"] == 1
+        assert snap["cache"]["buckets"]["0.0005"] == 1
+        assert snap["worker"]["buckets"]["0.0005"] == 0
+        assert metrics.to_dict()["latency_histograms"] == snap
+
+    def test_percentile_ordered_fast_path_matches(self):
+        samples = [5.0, 1.0, 3.0, 2.0, 4.0]
+        ordered = sorted(samples)
+        for fraction in (0.5, 0.9, 0.99):
+            assert (percentile(samples, fraction)
+                    == percentile(ordered, fraction, ordered=True))

@@ -1,0 +1,426 @@
+"""Fleet telemetry end to end: lifecycle events with digest
+correlation, the Prometheus /metrics endpoint (live-scrape consistency
+included), slow-job span logging, and generation-scoped backend keys
+across pool restarts."""
+
+import io
+import json
+import re
+import threading
+import time
+import urllib.request
+
+import pytest
+
+from repro import obs
+from repro.service import (
+    CampaignSpec,
+    JobSpec,
+    MetricsExporter,
+    OptimizationService,
+    ServiceBusyError,
+    ServiceClient,
+    ServiceMetrics,
+    ServiceServer,
+    WorkerCrashError,
+    WorkerPool,
+    render_prometheus,
+)
+from repro.service.metrics import LATENCY_BUCKETS
+
+IR = "define i8 @f(i8 %x) {\n  %a = add i8 %x, 0\n  ret i8 %a\n}"
+
+IR2 = "define i8 @g(i8 %x) {\n  %a = mul i8 %x, 4\n  ret i8 %a\n}"
+
+
+def logged_service(**kwargs):
+    """A thread-backend service writing events to a StringIO sink."""
+    buf = io.StringIO()
+    logger = obs.StructuredLogger(stream=buf)
+    kwargs.setdefault("jobs", 2)
+    kwargs.setdefault("backend", "thread")
+    service = OptimizationService(logger=logger, **kwargs)
+    return service, buf
+
+
+def events_of(buf: io.StringIO):
+    return [json.loads(line) for line in buf.getvalue().splitlines()]
+
+
+def named(events, name):
+    return [event for event in events if event["event"] == name]
+
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})? (?P<value>\S+)$")
+
+
+def parse_prometheus(text: str):
+    """Exposition text → {(name, ((label, value), ...)): float}.
+
+    Raises on any non-comment line that is not a valid sample — the
+    test double for a scraper's parser.
+    """
+    samples = {}
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE_RE.match(line)
+        assert match, f"unparseable exposition line: {line!r}"
+        labels = ()
+        if match.group("labels"):
+            pairs = []
+            for part in match.group("labels").split(","):
+                key, _, value = part.partition("=")
+                assert value.startswith('"') and value.endswith('"')
+                pairs.append((key, value[1:-1]))
+            labels = tuple(sorted(pairs))
+        samples[(match.group("name"), labels)] = float(
+            match.group("value"))
+    return samples
+
+
+class TestLifecycleEvents:
+    def test_cold_then_cached_digest_correlation(self):
+        service, buf = logged_service()
+        with service:
+            cold = service.run(JobSpec(ir=IR), timeout=30)
+            warm = service.run(JobSpec(ir=IR), timeout=30)
+        assert cold.ok and warm.ok and warm.cached
+        events = events_of(buf)
+        submits = named(events, "job.submit")
+        settles = named(events, "job.settle")
+        assert len(submits) == 2 and len(settles) == 2
+        # One digest correlates the whole lifecycle of both jobs
+        # (identical spec → identical digest).
+        digest = submits[0]["digest"]
+        assert digest
+        assert {e["digest"] for e in submits + settles} == {digest}
+        assert named(events, "job.dispatch")[0]["digest"] == digest
+        (hit,) = named(events, "job.cache_hit")
+        assert hit["digest"] == digest
+        assert hit["job_id"] == submits[1]["job_id"]
+        # Settle events carry the outcome fields.
+        assert [e["cached"] for e in settles] == [False, True]
+        assert all(e["ok"] and e["latency_seconds"] >= 0
+                   for e in settles)
+        # Start/close bracket the run.
+        assert named(events, "service.start")
+        (close,) = named(events, "service.close")
+        assert close["submitted"] == 2 and close["completed"] == 2
+
+    def test_reject_event_on_backpressure(self):
+        import concurrent.futures
+        service, buf = logged_service(jobs=1, queue_limit=1)
+        try:
+            held = concurrent.futures.Future()
+            service.pool.submit = lambda spec: held
+            service.submit(JobSpec(ir=IR))
+            deadline = time.time() + 5
+            while (service.metrics.in_flight == 0
+                   and time.time() < deadline):
+                time.sleep(0.01)
+            service.submit(JobSpec(ir=IR, round_seed=1))
+            with pytest.raises(ServiceBusyError):
+                service.submit(JobSpec(ir=IR, round_seed=2), timeout=0)
+            (reject,) = named(events_of(buf), "job.reject")
+            assert reject["level"] == "warning"
+            assert reject["digest"]
+            assert reject["queue_limit"] == 1
+            held.set_result({"found": False, "status": "no attempts",
+                             "candidate_text": "",
+                             "elapsed_seconds": 0.0, "attempts": 0,
+                             "worker": "w",
+                             "pipeline_constructions": 1})
+            assert service.drain(timeout=10)
+        finally:
+            service.close()
+
+    def test_crash_requeue_event(self):
+        service, buf = logged_service(jobs=1, max_retries=2)
+        with service:
+            real_submit = service.pool.submit
+            calls = []
+
+            def flaky(spec):
+                calls.append(spec.job_id)
+                if len(calls) == 1:
+                    raise WorkerCrashError("induced crash")
+                return real_submit(spec)
+
+            service.pool.submit = flaky
+            result = service.run(JobSpec(ir=IR), timeout=30)
+            assert result.ok and result.retries == 1
+        events = events_of(buf)
+        (submit,) = named(events, "job.submit")
+        (requeue,) = named(events, "job.requeue")
+        (settle,) = named(events, "job.settle")
+        assert requeue["digest"] == submit["digest"] == settle["digest"]
+        assert requeue["retries"] == 1
+        assert "induced crash" in requeue["error"]
+        assert named(events, "pool.restart")
+        assert settle["retries"] == 1 and settle["ok"]
+
+    def test_slow_job_emits_span_breakdown_once(self):
+        service, buf = logged_service(slow_job_seconds=0.0)
+        with service:
+            service.run(JobSpec(ir=IR), timeout=30)
+            service.run(JobSpec(ir=IR), timeout=30)   # cached: no event
+        events = events_of(buf)
+        (slow,) = named(events, "job.slow")
+        assert slow["level"] == "warning"
+        assert slow["threshold_seconds"] == 0.0
+        assert slow["spans"], "span tree must ride the payload"
+        names = {span["name"] for span in slow["spans"]}
+        assert "llm" in names
+        assert slow["breakdown"].count("\n") >= 1
+        assert slow["digest"] == named(events, "job.submit")[0]["digest"]
+
+    def test_slow_job_disabled_by_none(self):
+        service, buf = logged_service(slow_job_seconds=None)
+        with service:
+            service.run(JobSpec(ir=IR), timeout=30)
+        assert not named(events_of(buf), "job.slow")
+
+    def test_campaign_events(self):
+        service, buf = logged_service()
+        with service:
+            result = service.run_campaign(CampaignSpec(
+                windows=[IR], case_ids=["w0"], rounds=2,
+                models=["Gemini2.0T"], variants=[["LPO", 1]]))
+        assert result.ok
+        events = events_of(buf)
+        (start,) = named(events, "campaign.start")
+        (finish,) = named(events, "campaign.finish")
+        assert start["campaign_id"] == finish["campaign_id"]
+        assert start["legs"] == 1 and start["rounds_total"] == 2
+        assert start["windows"] == 1
+        rounds = named(events, "campaign.round")
+        assert len(rounds) == 2
+        assert {e["campaign_id"] for e in rounds} == {
+            start["campaign_id"]}
+        assert finish["ok"] and finish["rounds_done"] == 2
+        assert finish["failed_jobs"] == 0
+
+
+class TestGenerationKeying:
+    def test_backend_totals_sum_across_generations(self):
+        # Regression: a restarted pool resets BackendStats; under a
+        # generation-less key the fresh (smaller) counters max-merged
+        # against the dead pool's high-water mark and the totals
+        # stalled.  Generation-scoped keys sum instead.
+        metrics = ServiceMetrics()
+        metrics.observe_backend("gen0|pid-7|M|2", {"calls": 100})
+        assert metrics.backend_totals()["calls"] == 100
+        # Pool restarts; same pid reused, counters reset to 5.
+        metrics.observe_backend("gen1|pid-7|M|2", {"calls": 5})
+        assert metrics.backend_totals()["calls"] == 105
+        # A stale gen0 snapshot arriving late still max-merges (no
+        # double count), and the total keeps moving.
+        metrics.observe_backend("gen0|pid-7|M|2", {"calls": 80})
+        assert metrics.backend_totals()["calls"] == 105
+
+    def test_thread_keys_fixed_at_build_generation(self):
+        pool = WorkerPool(jobs=1, backend="thread")
+        try:
+            _, key_before = pool._pipeline("Gemini2.0T", 2)
+            assert key_before.startswith("gen0|thread|")
+            pool.restart()
+            assert pool.generation == 1
+            # The surviving pipeline keeps its cumulative stats, so it
+            # must keep its gen0 key — rotating it would double-count.
+            _, key_after = pool._pipeline("Gemini2.0T", 2)
+            assert key_after == key_before
+            # A pipeline first built *after* the restart gets gen1.
+            _, key_new = pool._pipeline("Gemini2.0T", 3)
+            assert key_new.startswith("gen1|thread|")
+        finally:
+            pool.shutdown()
+
+    def test_process_worker_key_carries_generation(self):
+        from repro.service.workers import (
+            _PROCESS_STATE,
+            _process_worker_init,
+            _process_worker_run,
+        )
+        saved = dict(_PROCESS_STATE)
+        try:
+            _process_worker_init(0, generation=3)
+            payload = _process_worker_run(JobSpec(ir=IR))
+            assert payload["backend_key"].startswith("gen3|pid-")
+        finally:
+            _PROCESS_STATE.clear()
+            _PROCESS_STATE.update(saved)
+
+    def test_service_totals_grow_after_forced_restart(self):
+        service, _ = logged_service(jobs=1)
+        with service:
+            service.run(JobSpec(ir=IR), timeout=30)
+            before = service.metrics.backend_totals()["calls"]
+            assert before > 0
+            service.pool.restart()
+            # New spec → a pipeline built in the new generation, whose
+            # fresh counters must add to (not max against) the totals.
+            service.run(JobSpec(ir=IR2, attempt_limit=1), timeout=30)
+            after = service.metrics.backend_totals()["calls"]
+            assert after > before
+
+
+class TestPrometheusRendering:
+    def test_counters_gauges_and_histograms(self):
+        service, _ = logged_service()
+        with service:
+            service.run(JobSpec(ir=IR), timeout=30)
+            service.run(JobSpec(ir=IR), timeout=30)
+            status = service.status()
+            text = render_prometheus(status)
+        samples = parse_prometheus(text)
+        assert samples[("repro_jobs_submitted_total", ())] == 2
+        assert samples[("repro_jobs_completed_total", ())] == 2
+        assert samples[("repro_jobs_cache_hits_total", ())] == 1
+        assert samples[("repro_queue_depth", ())] == 0
+        assert samples[("repro_llm_calls_total", ())] > 0
+        assert samples[("repro_workers", ())] == 2
+        # Phase series carry a phase label.
+        assert any(name == "repro_phase_seconds_total"
+                   and dict(labels).get("phase") == "llm"
+                   for name, labels in samples)
+        # Exactly one bucket series per bound (+Inf) per origin, with
+        # matching _sum/_count, reconciling against the JSON snapshot.
+        for origin in ("worker", "cache"):
+            buckets = {dict(labels)["le"]: value
+                       for (name, labels), value in samples.items()
+                       if name == "repro_job_latency_seconds_bucket"
+                       and dict(labels)["origin"] == origin}
+            assert len(buckets) == len(LATENCY_BUCKETS) + 1
+            snap = status["latency_histograms"][origin]
+            assert buckets == {label: float(count) for label, count
+                               in snap["buckets"].items()}
+            key = (("le", "+Inf"), ("origin", origin))
+            count_key = ("repro_job_latency_seconds_count",
+                         (("origin", origin),))
+            assert samples[("repro_job_latency_seconds_bucket",
+                            tuple(sorted(key)))] == samples[count_key]
+            assert samples[count_key] == snap["count"]
+        # HELP/TYPE metadata present for the histogram family.
+        assert "# TYPE repro_job_latency_seconds histogram" in text
+        assert "# TYPE repro_jobs_submitted_total counter" in text
+
+    def test_quantile_gauges_use_distinct_family(self):
+        service, _ = logged_service()
+        with service:
+            service.run(JobSpec(ir=IR), timeout=30)
+            samples = parse_prometheus(
+                render_prometheus(service.status()))
+        quantiles = {dict(labels)["quantile"]
+                     for name, labels in samples
+                     if name == "repro_job_latency_recent_seconds"}
+        assert quantiles == {"0.5", "0.9", "0.99"}
+
+    def test_label_escaping(self):
+        text = render_prometheus(
+            {"phases": {'odd"phase\\name': 1.5}})
+        assert r'phase="odd\"phase\\name"' in text
+        parse_prometheus(text)
+
+
+class TestMetricsEndpoint:
+    @pytest.fixture()
+    def live(self):
+        service, buf = logged_service()
+        server = ServiceServer(service)
+        port = server.start_background()
+        exporter = MetricsExporter(service)
+        metrics_port = exporter.start()
+        yield service, port, metrics_port, buf
+        exporter.stop()
+        server.stop()
+        service.close()
+
+    @staticmethod
+    def _scrape(port: int) -> str:
+        with urllib.request.urlopen(
+                f"http://127.0.0.1:{port}/metrics", timeout=10) as resp:
+            assert resp.status == 200
+            assert resp.headers["Content-Type"].startswith("text/plain")
+            return resp.read().decode("utf-8")
+
+    def test_concurrent_scrapes_during_live_campaign(self, live):
+        service, port, metrics_port, _ = live
+        spec = CampaignSpec(
+            windows=[IR, IR2], case_ids=["w0", "w1"], rounds=3,
+            models=["Gemini2.0T"], variants=[["LPO-", 1], ["LPO", 2]])
+        done = threading.Event()
+        campaign_result = {}
+
+        def drive():
+            try:
+                with ServiceClient(port) as client:
+                    campaign_result["result"] = client.submit_campaign(
+                        spec)
+            finally:
+                done.set()
+
+        driver = threading.Thread(target=drive, daemon=True)
+        driver.start()
+        snapshots = []
+        while not done.is_set():
+            snapshots.append(parse_prometheus(
+                self._scrape(metrics_port)))
+            time.sleep(0.01)
+        driver.join(timeout=60)
+        assert campaign_result["result"].ok
+        snapshots.append(parse_prometheus(self._scrape(metrics_port)))
+        bucket_keys = [key for key in snapshots[-1]
+                       if key[0] == "repro_job_latency_seconds_bucket"]
+        for snap in snapshots:
+            # Internal consistency of every mid-campaign scrape.
+            assert (snap[("repro_jobs_completed_total", ())]
+                    + snap[("repro_jobs_failed_total", ())]
+                    <= snap[("repro_jobs_submitted_total", ())])
+        for earlier, later in zip(snapshots, snapshots[1:]):
+            # Counters and histogram buckets are monotone across
+            # scrapes (no torn or regressing reads).
+            for key in bucket_keys + [
+                    ("repro_jobs_submitted_total", ()),
+                    ("repro_jobs_completed_total", ())]:
+                assert earlier.get(key, 0.0) <= later[key]
+        # At quiesce the exposition agrees exactly with the socket
+        # status payload.
+        status = service.status()
+        final = snapshots[-1]
+        assert final[("repro_jobs_submitted_total", ())] == status[
+            "submitted"]
+        assert final[("repro_jobs_completed_total", ())] == status[
+            "completed"]
+        assert final[(
+            "repro_job_latency_seconds_count",
+            (("origin", "worker"),))] == status[
+                "latency_histograms"]["worker"]["count"]
+        assert final[("repro_campaigns_completed_total", ())] == 1
+
+    def test_status_and_healthz_and_404(self, live):
+        _, _, metrics_port, _ = live
+        base = f"http://127.0.0.1:{metrics_port}"
+        with urllib.request.urlopen(f"{base}/healthz", timeout=10) as r:
+            assert r.read() == b"ok\n"
+        with urllib.request.urlopen(f"{base}/status", timeout=10) as r:
+            status = json.loads(r.read())
+            assert "latency_histograms" in status
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(f"{base}/nope", timeout=10)
+        assert excinfo.value.code == 404
+
+    def test_socket_lifecycle_appears_in_log(self, live):
+        service, port, _, buf = live
+        with ServiceClient(port) as client:
+            client.submit_many([JobSpec(ir=IR)])
+        assert service.drain(timeout=10)
+        events = events_of(buf)
+        assert named(events, "server.listen")
+        assert named(events, "metrics.listen")
+        (submit,) = named(events, "job.submit")
+        settle_digests = {e["digest"]
+                          for e in named(events, "job.settle")}
+        assert submit["digest"] in settle_digests
