@@ -1,0 +1,108 @@
+"""Static analysis over the miniature IR: verifier + dataflow.
+
+The package is the cheap, deterministic gate in front of everything
+expensive: the pipeline prescreens LLM candidates with
+:func:`verify_module` before spending a verify pass, the service/CLI
+ingestion paths lint ``.ll`` files before submitting jobs, and
+``repro lint`` exposes the same checks standalone.  Codes are stable
+(``A001``…, see :data:`~repro.analysis.verifier.DIAGNOSTIC_CODES`) so
+metrics, logs and tests can key on them.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.cfg import CFG, dominators
+from repro.analysis.dataflow import (
+    BlockFacts,
+    DataflowAnalysis,
+    KnownBits,
+    LivenessAnalysis,
+    ReachingDefsAnalysis,
+    known_bits_function,
+    live_into_blocks,
+    reaching_definitions,
+    solve,
+    static_refutation,
+)
+from repro.analysis.verifier import (
+    DIAGNOSTIC_CODES,
+    SYNTAX_CODE,
+    Diagnostic,
+    verify_function,
+    verify_module,
+)
+from repro.errors import ParseError
+from repro.ir.function import Module
+from repro.ir.parser import parse_module
+
+#: The outcome string the pipeline reports for a prescreen rejection.
+_INVALID_OUTCOME = re.compile(r"^invalid \((A\d{3})\)$")
+
+
+def invalid_outcome(code: str) -> str:
+    """The pipeline outcome string for a prescreen rejection."""
+    return f"invalid ({code})"
+
+
+def reject_code(outcome: str) -> Optional[str]:
+    """The diagnostic code behind a pipeline outcome, if it is one of
+    the static-analysis rejections (``syntax-error`` counts as A001)."""
+    if outcome == "syntax-error":
+        return SYNTAX_CODE
+    match = _INVALID_OUTCOME.match(outcome)
+    return match.group(1) if match else None
+
+
+def reject_codes(outcomes: Dict[str, int]) -> Dict[str, int]:
+    """Filter an outcome histogram down to ``{diagnostic code: count}``."""
+    codes: Dict[str, int] = {}
+    for outcome, count in outcomes.items():
+        code = reject_code(outcome)
+        if code is not None and count:
+            codes[code] = codes.get(code, 0) + count
+    return codes
+
+
+def lint_text(text: str, name: str = "module"
+              ) -> Tuple[Optional[Module], List[Diagnostic]]:
+    """Parse + verify textual IR, never raising.
+
+    Returns ``(module, diagnostics)``; the module is None exactly when
+    the text does not parse, in which case the single diagnostic is the
+    positioned A001 carrying the parser's line/column.
+    """
+    try:
+        module = parse_module(text, name)
+    except ParseError as exc:
+        return None, [Diagnostic(
+            code=SYNTAX_CODE, message=exc.message,
+            line=exc.line or None, column=exc.column or None)]
+    return module, verify_module(module)
+
+
+__all__ = [
+    "CFG",
+    "BlockFacts",
+    "DataflowAnalysis",
+    "DIAGNOSTIC_CODES",
+    "Diagnostic",
+    "KnownBits",
+    "LivenessAnalysis",
+    "ReachingDefsAnalysis",
+    "SYNTAX_CODE",
+    "dominators",
+    "invalid_outcome",
+    "known_bits_function",
+    "lint_text",
+    "live_into_blocks",
+    "reaching_definitions",
+    "reject_code",
+    "reject_codes",
+    "solve",
+    "static_refutation",
+    "verify_function",
+    "verify_module",
+]

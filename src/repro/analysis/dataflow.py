@@ -1,0 +1,663 @@
+"""Dataflow analyses over the CFG: a worklist solver plus clients.
+
+Three layers:
+
+* :func:`solve` — a generic iterate-to-fixpoint worklist solver; an
+  analysis supplies direction, the boundary/initial values, ``join``
+  and a per-block transfer function, and gets back per-block in/out
+  facts.
+* :class:`LivenessAnalysis` / :class:`ReachingDefsAnalysis` — the two
+  classic set-based clients, used by tests and available to passes.
+* :class:`KnownBits` + :func:`known_bits_function` — a miniature
+  ValueTracking: per-value known-zero/known-one masks and an unsigned
+  range, propagated through the arithmetic the miniature IR supports.
+
+The known-bits layer feeds :func:`static_refutation`: when the source
+and the candidate *provably* disagree on the returned value — a bit
+that is always 1 on one side and always 0 on the other, or unsigned
+output ranges that cannot intersect — the pair is refuted without
+running a single test.  Soundness gate: the proof argument ("for every
+input the outputs differ") only holds when both functions are total,
+poison-free functions of their arguments, so :func:`_refutation_safe`
+admits only straight-line integer code with no flags, no division, no
+memory, no calls and no undef/poison.  Anything outside that subset
+falls through to the testing tier untouched — the static tier is never
+weaker than the verifier, only earlier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional
+
+from repro.analysis.cfg import CFG
+from repro.ir.function import BasicBlock, Function
+from repro.ir.instructions import (
+    BinaryOperator,
+    Cast,
+    ICmp,
+    Instruction,
+    Phi,
+    Ret,
+    Select,
+)
+from repro.ir.types import IntType
+from repro.ir.values import (
+    Argument,
+    Constant,
+    ConstantInt,
+    PoisonValue,
+    UndefValue,
+    Value,
+)
+
+# ---------------------------------------------------------------------------
+# Generic worklist solver
+# ---------------------------------------------------------------------------
+
+
+class DataflowAnalysis:
+    """Interface the solver drives.  Facts must be joinable values with
+    a well-defined equality (frozensets, tuples, dicts compared by
+    ``==``)."""
+
+    #: "forward": facts flow entry -> exit; "backward": exit -> entry.
+    direction = "forward"
+
+    def boundary(self, function: Function):
+        """Fact at the graph boundary (entry in, or exit out)."""
+        raise NotImplementedError
+
+    def initial(self, block: BasicBlock):
+        """Optimistic starting fact for every other block."""
+        raise NotImplementedError
+
+    def join(self, facts: List):
+        """Merge facts flowing in from several edges."""
+        raise NotImplementedError
+
+    def transfer(self, block: BasicBlock, fact):
+        """Push a fact through ``block``, returning the outgoing fact."""
+        raise NotImplementedError
+
+
+@dataclass
+class BlockFacts:
+    """Solver output for one block (in the analysis direction)."""
+
+    entry: object
+    exit: object
+
+
+def solve(cfg: CFG,
+          analysis: DataflowAnalysis) -> Dict[str, BlockFacts]:
+    """Run ``analysis`` to fixpoint over ``cfg``.
+
+    Returns ``label -> BlockFacts`` where ``entry`` is the fact at the
+    top of the block and ``exit`` the fact at the bottom, regardless of
+    direction.  Termination needs the usual contract: ``join`` is
+    monotone and the lattice has finite height.
+    """
+    forward = analysis.direction == "forward"
+    if forward:
+        order = cfg.reverse_postorder()
+        inputs = cfg.predecessors
+    else:
+        order = list(reversed(cfg.reverse_postorder()))
+        inputs = cfg.successors
+    # Unreachable blocks still get their initial facts so lookups are
+    # total, but they never join into reachable ones.
+    facts: Dict[str, object] = {
+        block.label: analysis.initial(block) for block in cfg.blocks}
+    out: Dict[str, object] = {}
+    boundary = analysis.boundary(cfg.function)
+
+    start_label = order[0] if order else None
+    worklist = list(order)
+    pending = set(worklist)
+    while worklist:
+        label = worklist.pop(0)
+        pending.discard(label)
+        block = cfg.function.block_by_label(label)
+        incoming = [out[src] for src in inputs[label] if src in out]
+        if label == start_label:
+            incoming.append(boundary)
+        if incoming:
+            fact_in = analysis.join(incoming)
+        else:
+            fact_in = analysis.initial(block)
+        facts[label] = fact_in
+        new_out = analysis.transfer(block, fact_in)
+        if label not in out or out[label] != new_out:
+            out[label] = new_out
+            for nxt in (cfg.successors if forward
+                        else cfg.predecessors)[label]:
+                if nxt not in pending:
+                    pending.add(nxt)
+                    worklist.append(nxt)
+
+    results: Dict[str, BlockFacts] = {}
+    for block in cfg.blocks:
+        label = block.label
+        results[label] = BlockFacts(
+            entry=facts[label],
+            exit=out.get(label, analysis.initial(block)))
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Liveness
+# ---------------------------------------------------------------------------
+
+
+def _tracked_operands(inst: Instruction) -> List[Value]:
+    return [op for op in inst.operands
+            if isinstance(op, (Instruction, Argument))]
+
+
+class LivenessAnalysis(DataflowAnalysis):
+    """Backward may-analysis: which values are live at each point.
+
+    Facts are frozensets of :class:`Instruction`/:class:`Argument`
+    objects (identity-hashed — exactly SSA values, never constants).
+    ``entry``/``exit`` in the solver result are live-out/live-in of the
+    block respectively, since the analysis runs backward.
+    """
+
+    direction = "backward"
+
+    def boundary(self, function: Function) -> FrozenSet[Value]:
+        return frozenset()
+
+    def initial(self, block: BasicBlock) -> FrozenSet[Value]:
+        return frozenset()
+
+    def join(self, facts: List[FrozenSet[Value]]) -> FrozenSet[Value]:
+        merged: set = set()
+        for fact in facts:
+            merged |= fact
+        return frozenset(merged)
+
+    def transfer(self, block: BasicBlock,
+                 live_out: FrozenSet[Value]) -> FrozenSet[Value]:
+        live = set(live_out)
+        for inst in reversed(block.instructions):
+            live.discard(inst)
+            for operand in _tracked_operands(inst):
+                live.add(operand)
+        return frozenset(live)
+
+
+def live_into_blocks(function: Function) -> Dict[str, FrozenSet[Value]]:
+    """``label -> values live on entry to that block``."""
+    cfg = CFG(function)
+    solved = solve(cfg, LivenessAnalysis())
+    # Backward analysis: the block's "out" fact is its live-in set.
+    return {label: facts.exit for label, facts in solved.items()}
+
+
+# ---------------------------------------------------------------------------
+# Reaching definitions
+# ---------------------------------------------------------------------------
+
+
+class ReachingDefsAnalysis(DataflowAnalysis):
+    """Forward may-analysis: which definitions reach each point.
+
+    In SSA no definition is ever killed, so the fact is the union of
+    definitions along some path from entry — which is precisely the
+    set of values whose defining block can reach here.  The verifier's
+    dominance check is the universal (must) version of this; tests use
+    the two together.
+    """
+
+    direction = "forward"
+
+    def boundary(self, function: Function) -> FrozenSet[Value]:
+        return frozenset(function.arguments)
+
+    def initial(self, block: BasicBlock) -> FrozenSet[Value]:
+        return frozenset()
+
+    def join(self, facts: List[FrozenSet[Value]]) -> FrozenSet[Value]:
+        merged: set = set()
+        for fact in facts:
+            merged |= fact
+        return frozenset(merged)
+
+    def transfer(self, block: BasicBlock,
+                 reaching: FrozenSet[Value]) -> FrozenSet[Value]:
+        defs = set(reaching)
+        for inst in block.instructions:
+            if not inst.type.is_void:
+                defs.add(inst)
+        return frozenset(defs)
+
+
+def reaching_definitions(
+        function: Function) -> Dict[str, FrozenSet[Value]]:
+    """``label -> definitions reaching the top of that block``."""
+    cfg = CFG(function)
+    solved = solve(cfg, ReachingDefsAnalysis())
+    return {label: facts.entry for label, facts in solved.items()}
+
+
+# ---------------------------------------------------------------------------
+# Known bits / constant range
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class KnownBits:
+    """What is provable about one integer value: bit masks + range.
+
+    ``zeros``/``ones`` are masks of bits known to be 0/1 in every
+    execution; ``umin``/``umax`` bound the unsigned value.  The two
+    views are kept mutually consistent by :meth:`normalized`, which is
+    applied by every constructor path, so ``zext (trunc x to i8)``
+    knows both "top bits zero" and "value <= 255".
+    """
+
+    bits: int
+    zeros: int
+    ones: int
+    umin: int
+    umax: int
+
+    @staticmethod
+    def unknown(bits: int) -> "KnownBits":
+        mask = (1 << bits) - 1
+        return KnownBits(bits, 0, 0, 0, mask)
+
+    @staticmethod
+    def constant(bits: int, value: int) -> "KnownBits":
+        mask = (1 << bits) - 1
+        value &= mask
+        return KnownBits(bits, mask & ~value, value, value, value)
+
+    @staticmethod
+    def from_masks(bits: int, zeros: int, ones: int) -> "KnownBits":
+        mask = (1 << bits) - 1
+        return KnownBits(bits, zeros & mask, ones & mask,
+                         0, mask).normalized()
+
+    @property
+    def mask(self) -> int:
+        return (1 << self.bits) - 1
+
+    @property
+    def is_constant(self) -> bool:
+        return self.umin == self.umax
+
+    def normalized(self) -> "KnownBits":
+        """Tighten masks from the range and the range from the masks."""
+        zeros, ones = self.zeros, self.ones
+        umin, umax = self.umin, self.umax
+        # Range -> masks: bits above the highest possible value are 0.
+        if umax < self.mask:
+            zeros |= self.mask & ~((1 << umax.bit_length()) - 1)
+        # Masks -> range: known ones floor the value, known zeros cap it.
+        umin = max(umin, ones)
+        umax = min(umax, self.mask & ~zeros)
+        if umin == umax:
+            value = umin
+            zeros |= self.mask & ~value
+            ones |= value
+        return KnownBits(self.bits, zeros, ones, umin, umax)
+
+    def join(self, other: "KnownBits") -> "KnownBits":
+        """Facts true on both sides (the lattice meet-of-information)."""
+        return KnownBits(self.bits,
+                         self.zeros & other.zeros,
+                         self.ones & other.ones,
+                         min(self.umin, other.umin),
+                         max(self.umax, other.umax))
+
+    def contradicts(self, other: "KnownBits") -> Optional[str]:
+        """A reason the two values can never be equal, or None."""
+        clash = (self.ones & other.zeros) | (self.zeros & other.ones)
+        if clash:
+            bit = clash.bit_length() - 1
+            one_side = "source" if (self.ones >> bit) & 1 else "target"
+            other_side = "target" if one_side == "source" else "source"
+            return (f"bit {bit} of the return value is always 1 in the "
+                    f"{one_side} and always 0 in the {other_side}")
+        if self.umin > other.umax or other.umin > self.umax:
+            return (f"return ranges cannot intersect: source in "
+                    f"[{self.umin}, {self.umax}], target in "
+                    f"[{other.umin}, {other.umax}]")
+        return None
+
+
+def _kb_add(a: KnownBits, b: KnownBits) -> KnownBits:
+    total_max = a.umax + b.umax
+    if total_max <= a.mask:
+        return KnownBits(a.bits, 0, 0, a.umin + b.umin,
+                         total_max).normalized()
+    return KnownBits.unknown(a.bits)
+
+
+def _kb_sub(a: KnownBits, b: KnownBits) -> KnownBits:
+    if a.umin >= b.umax:  # cannot borrow
+        return KnownBits(a.bits, 0, 0, a.umin - b.umax,
+                         a.umax - b.umin).normalized()
+    return KnownBits.unknown(a.bits)
+
+
+def _kb_mul(a: KnownBits, b: KnownBits) -> KnownBits:
+    product_max = a.umax * b.umax
+    if product_max <= a.mask:
+        return KnownBits(a.bits, 0, 0, a.umin * b.umin,
+                         product_max).normalized()
+    return KnownBits.unknown(a.bits)
+
+
+def _kb_and(a: KnownBits, b: KnownBits) -> KnownBits:
+    return KnownBits.from_masks(a.bits, a.zeros | b.zeros,
+                                a.ones & b.ones)
+
+
+def _kb_or(a: KnownBits, b: KnownBits) -> KnownBits:
+    return KnownBits.from_masks(a.bits, a.zeros & b.zeros,
+                                a.ones | b.ones)
+
+
+def _kb_xor(a: KnownBits, b: KnownBits) -> KnownBits:
+    known = (a.zeros | a.ones) & (b.zeros | b.ones)
+    ones = (a.ones ^ b.ones) & known
+    return KnownBits.from_masks(a.bits, known & ~ones, ones)
+
+
+def _kb_shl(a: KnownBits, amount: int) -> KnownBits:
+    mask = a.mask
+    zeros = ((a.zeros << amount) | ((1 << amount) - 1)) & mask
+    ones = (a.ones << amount) & mask
+    return KnownBits.from_masks(a.bits, zeros, ones)
+
+
+def _kb_lshr(a: KnownBits, amount: int) -> KnownBits:
+    high = a.mask & ~(a.mask >> amount)
+    zeros = (a.zeros >> amount) | high
+    return KnownBits.from_masks(a.bits, zeros, a.ones >> amount)
+
+
+def _kb_ashr(a: KnownBits, amount: int) -> KnownBits:
+    sign = 1 << (a.bits - 1)
+    if a.zeros & sign:  # sign bit known 0: same as lshr
+        return _kb_lshr(a, amount)
+    if a.ones & sign:   # sign bit known 1: shifted-in bits are 1
+        high = a.mask & ~(a.mask >> amount)
+        ones = (a.ones >> amount) | high
+        return KnownBits.from_masks(a.bits, a.zeros >> amount, ones)
+    known = a.zeros | a.ones
+    return KnownBits.from_masks(a.bits, (a.zeros >> amount) & known,
+                                (a.ones >> amount) & known)
+
+
+def _kb_cast(opcode: str, src: KnownBits, dst_bits: int) -> KnownBits:
+    mask = (1 << dst_bits) - 1
+    if opcode == "trunc":
+        return KnownBits.from_masks(dst_bits, src.zeros & mask,
+                                    src.ones & mask)
+    if opcode == "zext":
+        zeros = src.zeros | (mask & ~src.mask)
+        return KnownBits(dst_bits, zeros, src.ones, src.umin,
+                         src.umax).normalized()
+    if opcode == "sext":
+        sign = 1 << (src.bits - 1)
+        extension = mask & ~src.mask
+        if src.zeros & sign:
+            return KnownBits(dst_bits, src.zeros | extension, src.ones,
+                             src.umin, src.umax).normalized()
+        if src.ones & sign:
+            return KnownBits.from_masks(dst_bits, src.zeros,
+                                        src.ones | extension)
+        return KnownBits.unknown(dst_bits)
+    return KnownBits.unknown(dst_bits)
+
+
+def _kb_icmp(predicate: str, a: KnownBits,
+             b: KnownBits) -> KnownBits:
+    """i1 result; decided only when the ranges already decide it."""
+    verdict: Optional[bool] = None
+    if predicate == "eq":
+        if a.contradicts(b):
+            verdict = False
+        elif a.is_constant and b.is_constant and a.umin == b.umin:
+            verdict = True
+    elif predicate == "ne":
+        if a.contradicts(b):
+            verdict = True
+        elif a.is_constant and b.is_constant and a.umin == b.umin:
+            verdict = False
+    elif predicate == "ult":
+        if a.umax < b.umin:
+            verdict = True
+        elif a.umin >= b.umax:
+            verdict = False
+    elif predicate == "ule":
+        if a.umax <= b.umin:
+            verdict = True
+        elif a.umin > b.umax:
+            verdict = False
+    elif predicate == "ugt":
+        if a.umin > b.umax:
+            verdict = True
+        elif a.umax <= b.umin:
+            verdict = False
+    elif predicate == "uge":
+        if a.umin >= b.umax:
+            verdict = True
+        elif a.umax < b.umin:
+            verdict = False
+    if verdict is None:
+        return KnownBits.unknown(1)
+    return KnownBits.constant(1, int(verdict))
+
+
+_KB_BINOPS = {
+    "add": _kb_add,
+    "sub": _kb_sub,
+    "mul": _kb_mul,
+    "and": _kb_and,
+    "or": _kb_or,
+    "xor": _kb_xor,
+}
+
+_KB_SHIFTS = {"shl": _kb_shl, "lshr": _kb_lshr, "ashr": _kb_ashr}
+
+
+def _known_bits_of(value: Value,
+                   env: Dict[int, KnownBits]) -> Optional[KnownBits]:
+    """KnownBits for an operand, or None when the type is untracked."""
+    type_ = value.type
+    if not isinstance(type_, IntType):
+        return None
+    if isinstance(value, ConstantInt):
+        return KnownBits.constant(type_.bits, value.value)
+    if isinstance(value, (UndefValue, PoisonValue)):
+        return KnownBits.unknown(type_.bits)
+    if isinstance(value, Constant):
+        return KnownBits.unknown(type_.bits)
+    known = env.get(id(value))
+    if known is None:
+        return KnownBits.unknown(type_.bits)
+    return known
+
+
+def _transfer_known_bits(inst: Instruction,
+                         env: Dict[int, KnownBits]) -> None:
+    """Record what ``inst`` proves about its result, if anything."""
+    if not isinstance(inst.type, IntType):
+        return
+    bits = inst.type.bits
+    result = KnownBits.unknown(bits)
+    if isinstance(inst, BinaryOperator):
+        lhs = _known_bits_of(inst.operands[0], env)
+        rhs = _known_bits_of(inst.operands[1], env)
+        if lhs is not None and rhs is not None:
+            handler = _KB_BINOPS.get(inst.opcode)
+            if handler is not None:
+                result = handler(lhs, rhs)
+            elif inst.opcode in _KB_SHIFTS and rhs.is_constant \
+                    and rhs.umin < bits:
+                result = _KB_SHIFTS[inst.opcode](lhs, rhs.umin)
+    elif isinstance(inst, Cast):
+        src = _known_bits_of(inst.operands[0], env)
+        if src is not None:
+            result = _kb_cast(inst.opcode, src, bits)
+    elif isinstance(inst, ICmp):
+        lhs = _known_bits_of(inst.operands[0], env)
+        rhs = _known_bits_of(inst.operands[1], env)
+        if lhs is not None and rhs is not None:
+            result = _kb_icmp(inst.predicate, lhs, rhs)
+    elif isinstance(inst, Select):
+        condition = _known_bits_of(inst.operands[0], env)
+        true_kb = _known_bits_of(inst.operands[1], env)
+        false_kb = _known_bits_of(inst.operands[2], env)
+        if true_kb is not None and false_kb is not None:
+            if condition is not None and condition.is_constant:
+                result = true_kb if condition.umin else false_kb
+            else:
+                result = true_kb.join(false_kb)
+    elif isinstance(inst, Phi):
+        arms = [_known_bits_of(value, env)
+                for value, _label in inst.incoming]
+        if arms and all(arm is not None for arm in arms):
+            result = arms[0]
+            for arm in arms[1:]:
+                result = result.join(arm)
+    env[id(inst)] = result
+
+
+def known_bits_function(
+        function: Function) -> Dict[int, KnownBits]:
+    """``id(instruction) -> KnownBits`` for every integer-typed
+    instruction, arguments unknown.
+
+    A forward pass in reverse postorder, iterated to fixpoint so loop
+    phis settle (joins only widen, and the lattice is finite, so this
+    terminates).  Anything the transfer doesn't model is simply
+    unknown — the result is always a sound over-approximation.
+    """
+    cfg = CFG(function)
+    order = cfg.reverse_postorder()
+    env: Dict[int, KnownBits] = {}
+    for _round in range(len(order) + 1):
+        before = dict(env)
+        for label in order:
+            block = function.block_by_label(label)
+            for inst in block.instructions:
+                _transfer_known_bits(inst, env)
+        if env == before:
+            break
+    return env
+
+
+# ---------------------------------------------------------------------------
+# Static refutation
+# ---------------------------------------------------------------------------
+
+#: Binary opcodes admitted by the refutation safety gate.  Everything
+#: here is total (no UB for any operand values) once flags are excluded.
+_SAFE_BINOPS = frozenset(
+    ["add", "sub", "mul", "and", "or", "xor", "shl", "lshr", "ashr"])
+_SAFE_CASTS = frozenset(["trunc", "zext", "sext"])
+
+
+def _refutation_safe(function: Function) -> bool:
+    """True when the function is a *total, deterministic* map from its
+    arguments to its return value — the precondition for turning a
+    static value contradiction into a refutation.
+
+    Requires: one block returning a scalar integer; only flag-free
+    integer arithmetic/compares/selects/casts from the safe subsets
+    (shifts need a constant, in-range amount — out-of-range shifts are
+    poison); no undef/poison operands.  Conservative by design: saying
+    "no" only costs a testing-tier run.
+    """
+    if len(function.blocks) != 1:
+        return False
+    if not isinstance(function.return_type, IntType):
+        return False
+    for argument in function.arguments:
+        if not isinstance(argument.type, IntType):
+            return False
+    block = function.blocks[0]
+    for inst in block.instructions:
+        if inst.flags:
+            return False
+        for operand in inst.operands:
+            if isinstance(operand, (UndefValue, PoisonValue)):
+                return False
+        if isinstance(inst, Ret):
+            continue
+        if not isinstance(inst.type, IntType):
+            return False
+        if isinstance(inst, BinaryOperator):
+            if inst.opcode not in _SAFE_BINOPS:
+                return False
+            if inst.opcode in _KB_SHIFTS:
+                amount = inst.operands[1]
+                if not (isinstance(amount, ConstantInt)
+                        and amount.value < inst.type.bits):
+                    return False
+        elif isinstance(inst, Cast):
+            if inst.opcode not in _SAFE_CASTS:
+                return False
+        elif isinstance(inst, (ICmp, Select)):
+            continue
+        else:
+            return False
+    return True
+
+
+def static_refutation(source: Function,
+                      target: Function) -> Optional[str]:
+    """A proof that ``target`` cannot refine ``source``, or None.
+
+    When both functions pass :func:`_refutation_safe`, every execution
+    maps the (shared) arguments to exactly one integer; a bit the two
+    sides provably disagree on, or disjoint unsigned output ranges,
+    means the outputs differ for *every* input.  The returned message
+    deliberately embeds the verifier's "Transformation doesn't verify"
+    marker so downstream feedback handling (and the simulated model)
+    treat it exactly like a testing-tier counterexample.
+    """
+    if not (_refutation_safe(source) and _refutation_safe(target)):
+        return None
+    source_ret = source.blocks[0].terminator
+    target_ret = target.blocks[0].terminator
+    if not (isinstance(source_ret, Ret) and isinstance(target_ret, Ret)):
+        return None
+    if source_ret.value is None or target_ret.value is None:
+        return None
+    source_kb = _known_bits_of(source_ret.value,
+                               known_bits_function(source))
+    target_kb = _known_bits_of(target_ret.value,
+                               known_bits_function(target))
+    if source_kb is None or target_kb is None:
+        return None
+    if source_kb.bits != target_kb.bits:
+        return None
+    reason = source_kb.contradicts(target_kb)
+    if reason is None:
+        return None
+    return ("Transformation doesn't verify!\n"
+            f"ERROR: Value mismatch (static proof)\n\n{reason}; "
+            "the target cannot produce the source's output for any "
+            "input")
+
+
+__all__ = [
+    "BlockFacts",
+    "DataflowAnalysis",
+    "KnownBits",
+    "LivenessAnalysis",
+    "ReachingDefsAnalysis",
+    "known_bits_function",
+    "live_into_blocks",
+    "reaching_definitions",
+    "solve",
+    "static_refutation",
+]

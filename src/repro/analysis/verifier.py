@@ -1,0 +1,540 @@
+"""An LLVM ``-verify``-style checker for the miniature IR.
+
+The instruction constructors already refuse most *locally* ill-typed
+IR at build time, and the parser refuses IR that is not even
+syntactic.  What neither can see is module/function-level structure:
+SSA dominance, terminator placement, duplicate names, phi/predecessor
+agreement, callee signatures — and none of it is re-checked after
+passes or tests mutate instructions in place.  :func:`verify_function`
+checks all of it and reports *every* violation as a structured
+:class:`Diagnostic` with a stable code, instead of crashing deep
+inside :mod:`repro.semantics.eval` on the first bad operand.
+
+Diagnostic codes are append-only (tools and tests key on them):
+
+====  ======================================================
+code  meaning
+====  ======================================================
+A001  text fails to parse or canonicalize (syntax)
+A002  function has no basic blocks
+A003  block has no terminator
+A004  instruction appears after the block terminator
+A005  duplicate block label
+A006  duplicate value name (or duplicate function name)
+A007  branch to an unknown label
+A008  entry block has predecessors
+A009  use of a value not defined in the function
+A010  operand does not dominate its use
+A011  malformed phi (placement, incoming blocks, arm types)
+A012  operand type mismatch
+A013  return value disagrees with the function return type
+A014  unknown callee or intrinsic signature mismatch
+====  ======================================================
+
+A001 is produced by the textual front ends (``repro lint``, the
+pipeline's opt gate) for input the parser rejects; the structural
+checks here start at A002.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.analysis.cfg import CFG, dominators
+from repro.errors import TypeMismatchError
+from repro.ir.function import BasicBlock, Function, Module
+from repro.ir.instructions import (
+    FP_BINARY_OPS,
+    INT_BINARY_OPS,
+    BinaryOperator,
+    Br,
+    Call,
+    Cast,
+    ExtractElement,
+    FCmp,
+    GetElementPtr,
+    ICmp,
+    InsertElement,
+    Instruction,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    ShuffleVector,
+    Store,
+    _check_cast_types,
+)
+from repro.ir.intrinsics import intrinsic_signature
+from repro.ir.types import (
+    FloatType,
+    IntType,
+    PointerType,
+    VectorType,
+    VoidType,
+)
+from repro.ir.values import Argument, Constant
+
+#: Stable code -> short title (the lint/docs table).
+DIAGNOSTIC_CODES: Dict[str, str] = {
+    "A001": "syntax error",
+    "A002": "empty function",
+    "A003": "missing terminator",
+    "A004": "instruction after terminator",
+    "A005": "duplicate block label",
+    "A006": "duplicate value name",
+    "A007": "branch to unknown label",
+    "A008": "entry block has predecessors",
+    "A009": "use of undefined value",
+    "A010": "operand does not dominate use",
+    "A011": "malformed phi",
+    "A012": "operand type mismatch",
+    "A013": "return type mismatch",
+    "A014": "unknown callee",
+}
+
+#: The code textual front ends attach to parser rejections.
+SYNTAX_CODE = "A001"
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One verifier finding, positioned as precisely as the IR allows."""
+
+    code: str
+    message: str
+    function: str = ""
+    block: Optional[str] = None
+    instruction: Optional[str] = None
+    #: Source position, set only for parser-derived (A001) diagnostics.
+    line: Optional[int] = None
+    column: Optional[int] = None
+
+    def location(self) -> str:
+        parts = []
+        if self.function:
+            parts.append(f"function @{self.function}")
+        if self.block is not None:
+            parts.append(f"block %{self.block}")
+        if self.instruction is not None:
+            parts.append(f"at '{self.instruction}'")
+        return ", ".join(parts)
+
+    def render(self) -> str:
+        where = self.location()
+        text = f"{self.code}: {self.message}"
+        return f"{text} ({where})" if where else text
+
+    def to_dict(self) -> dict:
+        """JSON-safe form (the ``repro lint --json`` record)."""
+        return {
+            "code": self.code,
+            "message": self.message,
+            "function": self.function,
+            "block": self.block,
+            "instruction": self.instruction,
+            "line": self.line,
+            "column": self.column,
+        }
+
+
+def _describe(inst: Instruction) -> str:
+    if inst.name:
+        return f"%{inst.name} = {inst.opcode}"
+    return inst.opcode
+
+
+class _FunctionVerifier:
+    """One verification pass; collects diagnostics instead of raising."""
+
+    def __init__(self, function: Function):
+        self.function = function
+        self.diagnostics: List[Diagnostic] = []
+
+    def report(self, code: str, message: str,
+               block: Optional[BasicBlock] = None,
+               inst: Optional[Instruction] = None) -> None:
+        self.diagnostics.append(Diagnostic(
+            code=code, message=message, function=self.function.name,
+            block=block.label if block is not None else None,
+            instruction=_describe(inst) if inst is not None else None))
+
+    # -- structure ---------------------------------------------------------
+    def check_structure(self) -> bool:
+        """Blocks, labels, terminators.  False: too broken to continue."""
+        function = self.function
+        if not function.blocks:
+            self.report("A002", "function has no basic blocks")
+            return False
+        seen_labels: Set[str] = set()
+        for block in function.blocks:
+            if block.label in seen_labels:
+                self.report("A005",
+                            f"duplicate block label %{block.label}",
+                            block=block)
+            seen_labels.add(block.label)
+            terminator_at = None
+            for index, inst in enumerate(block.instructions):
+                if inst.is_terminator and terminator_at is None:
+                    terminator_at = index
+                elif terminator_at is not None:
+                    self.report(
+                        "A004",
+                        f"instruction after terminator in %{block.label}",
+                        block=block, inst=inst)
+                    break
+            if terminator_at is None:
+                self.report("A003",
+                            f"block %{block.label} has no terminator",
+                            block=block)
+        return True
+
+    def check_names(self) -> None:
+        seen: Set[str] = set()
+        for argument in self.function.arguments:
+            if argument.name in seen:
+                self.report(
+                    "A006",
+                    f"duplicate value name %{argument.name}")
+            seen.add(argument.name)
+        for block in self.function.blocks:
+            for inst in block.instructions:
+                if not inst.name:
+                    continue
+                if inst.name in seen:
+                    self.report("A006",
+                                f"duplicate value name %{inst.name}",
+                                block=block, inst=inst)
+                seen.add(inst.name)
+
+    def check_cfg(self, cfg: CFG) -> None:
+        for block in self.function.blocks:
+            terminator = block.terminator
+            if isinstance(terminator, Br):
+                targets = [terminator.target]
+                if terminator.false_target is not None:
+                    targets.append(terminator.false_target)
+                for label in targets:
+                    if label not in cfg.labels:
+                        self.report(
+                            "A007",
+                            f"branch to unknown label %{label}",
+                            block=block, inst=terminator)
+        entry = self.function.blocks[0]
+        if cfg.predecessors.get(entry.label):
+            preds = ", ".join(
+                f"%{label}"
+                for label in sorted(cfg.predecessors[entry.label]))
+            self.report(
+                "A008",
+                f"entry block %{entry.label} has predecessors ({preds})",
+                block=entry)
+
+    # -- SSA form ----------------------------------------------------------
+    def check_ssa(self, cfg: CFG) -> None:
+        function = self.function
+        arguments = {id(argument) for argument in function.arguments}
+        positions: Dict[int, Tuple[str, int]] = {}
+        for block in function.blocks:
+            for index, inst in enumerate(block.instructions):
+                positions[id(inst)] = (block.label, index)
+        reachable = cfg.reachable()
+        dom = dominators(cfg)
+
+        def dominates_point(def_site: Tuple[str, int],
+                            use_block: str, use_index: int) -> bool:
+            def_block, def_index = def_site
+            if def_block == use_block:
+                return def_index < use_index
+            return def_block in dom.get(use_block, set())
+
+        for block in function.blocks:
+            in_dead_code = block.label not in reachable
+            for index, inst in enumerate(block.instructions):
+                operands = list(inst.operands)
+                incoming = (inst.incoming_blocks
+                            if isinstance(inst, Phi) else None)
+                for op_index, operand in enumerate(operands):
+                    if isinstance(operand, Constant):
+                        continue
+                    if isinstance(operand, Argument):
+                        if id(operand) not in arguments:
+                            self.report(
+                                "A009",
+                                f"use of argument %{operand.name} not "
+                                f"declared by this function",
+                                block=block, inst=inst)
+                        continue
+                    if not isinstance(operand, Instruction):
+                        self.report(
+                            "A009",
+                            f"operand {operand!r} is not a value "
+                            f"defined in this function",
+                            block=block, inst=inst)
+                        continue
+                    def_site = positions.get(id(operand))
+                    if def_site is None:
+                        self.report(
+                            "A009",
+                            f"use of undefined value "
+                            f"%{operand.name or '?'}",
+                            block=block, inst=inst)
+                        continue
+                    # Dominance is only meaningful in reachable code
+                    # (LLVM exempts dead blocks the same way).
+                    if in_dead_code:
+                        continue
+                    if incoming is not None:
+                        # A phi use happens at the end of the incoming
+                        # edge's source block, not at the phi itself.
+                        source = incoming[op_index] \
+                            if op_index < len(incoming) else None
+                        if source is None or source not in reachable:
+                            continue
+                        source_block = cfg.function.block_by_label(source)
+                        ok = dominates_point(
+                            def_site, source,
+                            len(source_block.instructions))
+                    else:
+                        ok = dominates_point(def_site, block.label,
+                                             index)
+                    if not ok:
+                        self.report(
+                            "A010",
+                            f"operand %{operand.name or '?'} does not "
+                            f"dominate this use",
+                            block=block, inst=inst)
+
+    # -- phis --------------------------------------------------------------
+    def check_phis(self, cfg: CFG) -> None:
+        for block in self.function.blocks:
+            seen_non_phi = False
+            for inst in block.instructions:
+                if not isinstance(inst, Phi):
+                    seen_non_phi = True
+                    continue
+                if seen_non_phi:
+                    self.report(
+                        "A011",
+                        f"phi %{inst.name or '?'} is not grouped at "
+                        f"the top of %{block.label}",
+                        block=block, inst=inst)
+                expected = sorted(cfg.predecessors.get(block.label, []))
+                got = sorted(inst.incoming_blocks)
+                if got != expected:
+                    want = ", ".join(f"%{label}" for label in expected)
+                    have = ", ".join(f"%{label}" for label in got)
+                    self.report(
+                        "A011",
+                        f"phi incoming blocks [{have}] do not match "
+                        f"predecessors [{want or 'none'}]",
+                        block=block, inst=inst)
+                for value, label in inst.incoming:
+                    if value.type != inst.type:
+                        self.report(
+                            "A011",
+                            f"phi arm from %{label} has type "
+                            f"{value.type}, phi is {inst.type}",
+                            block=block, inst=inst)
+
+    # -- types -------------------------------------------------------------
+    def check_types(self) -> None:
+        for block in self.function.blocks:
+            for inst in block.instructions:
+                error = _type_error(inst)
+                if error is not None:
+                    self.report("A012", error, block=block, inst=inst)
+                if isinstance(inst, Ret):
+                    self._check_ret(block, inst)
+                if isinstance(inst, Call):
+                    self._check_call(block, inst)
+
+    def _check_ret(self, block: BasicBlock, inst: Ret) -> None:
+        expected = self.function.return_type
+        value = inst.value
+        if value is None:
+            if not isinstance(expected, VoidType):
+                self.report(
+                    "A013",
+                    f"ret void in a function returning {expected}",
+                    block=block, inst=inst)
+        elif value.type != expected:
+            self.report(
+                "A013",
+                f"ret operand has type {value.type}, function "
+                f"returns {expected}",
+                block=block, inst=inst)
+
+    def _check_call(self, block: BasicBlock, inst: Call) -> None:
+        signature = intrinsic_signature(inst.callee)
+        if signature is None:
+            self.report("A014",
+                        f"unknown callee @{inst.callee}",
+                        block=block, inst=inst)
+            return
+        result_type, arg_types = signature
+        if inst.type != result_type:
+            self.report(
+                "A014",
+                f"@{inst.callee} returns {result_type}, call "
+                f"produces {inst.type}",
+                block=block, inst=inst)
+        if len(inst.operands) != len(arg_types):
+            self.report(
+                "A014",
+                f"@{inst.callee} takes {len(arg_types)} argument(s), "
+                f"call passes {len(inst.operands)}",
+                block=block, inst=inst)
+            return
+        for index, (operand, expected) in enumerate(
+                zip(inst.operands, arg_types)):
+            if operand.type != expected:
+                self.report(
+                    "A014",
+                    f"@{inst.callee} argument {index} expects "
+                    f"{expected}, got {operand.type}",
+                    block=block, inst=inst)
+
+
+def _type_error(inst: Instruction) -> Optional[str]:
+    """Re-run the constructor-level operand type rules on live IR.
+
+    Passes and tests mutate ``operands`` in place, so construction-time
+    checking alone cannot keep a module well typed.  Returns the first
+    violated rule as text, or None.
+    """
+    for operand in inst.operands:
+        if operand is None:
+            return "missing operand"
+        if not operand.type.is_first_class:
+            return (f"operand {operand.operand_ref()} has "
+                    f"non-first-class type {operand.type}")
+    if isinstance(inst, BinaryOperator):
+        if len(inst.operands) != 2:
+            return f"'{inst.opcode}' needs 2 operands"
+        lhs, rhs = inst.operands
+        if lhs.type != rhs.type:
+            return (f"binary operand types differ: {lhs.type} vs "
+                    f"{rhs.type}")
+        scalar = lhs.type.scalar_type()
+        if inst.opcode in INT_BINARY_OPS and not isinstance(scalar,
+                                                            IntType):
+            return (f"'{inst.opcode}' requires integer operands, "
+                    f"got {lhs.type}")
+        if inst.opcode in FP_BINARY_OPS and not isinstance(scalar,
+                                                           FloatType):
+            return (f"'{inst.opcode}' requires float operands, "
+                    f"got {lhs.type}")
+        if inst.type != lhs.type:
+            return (f"result type {inst.type} differs from operand "
+                    f"type {lhs.type}")
+    elif isinstance(inst, (ICmp, FCmp)):
+        lhs, rhs = inst.operands
+        if lhs.type != rhs.type:
+            return (f"{inst.opcode} operand types differ: {lhs.type} "
+                    f"vs {rhs.type}")
+        scalar = lhs.type.scalar_type()
+        if isinstance(inst, ICmp):
+            if not isinstance(scalar, (IntType, PointerType)):
+                return (f"icmp requires integer or pointer operands, "
+                        f"got {lhs.type}")
+        elif not isinstance(scalar, FloatType):
+            return f"fcmp requires float operands, got {lhs.type}"
+    elif isinstance(inst, Select):
+        condition, true_value, false_value = inst.operands
+        if true_value.type != false_value.type:
+            return (f"select arms have different types: "
+                    f"{true_value.type} vs {false_value.type}")
+        cond_scalar = condition.type.scalar_type()
+        if not (isinstance(cond_scalar, IntType)
+                and cond_scalar.bits == 1):
+            return (f"select condition must be i1-based, got "
+                    f"{condition.type}")
+        if inst.type != true_value.type:
+            return (f"select result type {inst.type} differs from "
+                    f"arm type {true_value.type}")
+    elif isinstance(inst, Cast):
+        try:
+            _check_cast_types(inst.opcode, inst.operands[0].type,
+                              inst.type)
+        except TypeMismatchError as exc:
+            return str(exc)
+    elif isinstance(inst, ExtractElement):
+        vector, index = inst.operands
+        if not isinstance(vector.type, VectorType):
+            return (f"extractelement requires a vector, got "
+                    f"{vector.type}")
+        if not isinstance(index.type.scalar_type(), IntType):
+            return "extractelement index must be integer"
+        if inst.type != vector.type.element:
+            return (f"extractelement result {inst.type} differs from "
+                    f"element type {vector.type.element}")
+    elif isinstance(inst, InsertElement):
+        vector, element, _index = inst.operands
+        if not isinstance(vector.type, VectorType):
+            return f"insertelement requires a vector, got {vector.type}"
+        if element.type != vector.type.element:
+            return (f"insertelement element type {element.type} != "
+                    f"vector element {vector.type.element}")
+    elif isinstance(inst, ShuffleVector):
+        lhs, rhs = inst.operands
+        if lhs.type != rhs.type or not isinstance(lhs.type, VectorType):
+            return "shufflevector operands must share a vector type"
+        limit = lhs.type.count * 2
+        for lane in inst.mask:
+            if lane != -1 and not 0 <= lane < limit:
+                return f"shuffle mask lane {lane} out of range"
+    elif isinstance(inst, Load):
+        if not isinstance(inst.operands[0].type, PointerType):
+            return (f"load pointer operand must be ptr, got "
+                    f"{inst.operands[0].type}")
+    elif isinstance(inst, Store):
+        if not isinstance(inst.operands[1].type, PointerType):
+            return (f"store pointer operand must be ptr, got "
+                    f"{inst.operands[1].type}")
+    elif isinstance(inst, GetElementPtr):
+        pointer, index = inst.operands
+        if not isinstance(pointer.type, PointerType):
+            return f"gep pointer operand must be ptr, got {pointer.type}"
+        if not isinstance(index.type, IntType):
+            return (f"gep index must be a scalar integer, got "
+                    f"{index.type}")
+    elif isinstance(inst, Br):
+        condition = inst.condition
+        if condition is not None:
+            cond_type = condition.type
+            if not (isinstance(cond_type, IntType)
+                    and cond_type.bits == 1):
+                return f"br condition must be i1, got {cond_type}"
+    return None
+
+
+def verify_function(function: Function) -> List[Diagnostic]:
+    """Every structural/SSA/type violation in ``function``, in source
+    order per check family (empty list: the function is well formed)."""
+    verifier = _FunctionVerifier(function)
+    if not verifier.check_structure():
+        return verifier.diagnostics
+    verifier.check_names()
+    cfg = CFG(function)
+    verifier.check_cfg(cfg)
+    verifier.check_ssa(cfg)
+    verifier.check_phis(cfg)
+    verifier.check_types()
+    return verifier.diagnostics
+
+
+def verify_module(module: Module) -> List[Diagnostic]:
+    """:func:`verify_function` over every function, plus module-level
+    name uniqueness."""
+    diagnostics: List[Diagnostic] = []
+    seen: Set[str] = set()
+    for function in module.functions:
+        if function.name in seen:
+            diagnostics.append(Diagnostic(
+                code="A006",
+                message=f"duplicate function name @{function.name}",
+                function=function.name))
+        seen.add(function.name)
+        diagnostics.extend(verify_function(function))
+    return diagnostics

@@ -13,7 +13,6 @@ FP select/bitcast windows.
 from __future__ import annotations
 
 import time
-from typing import Optional
 
 from repro.baselines.souper import SuperoptResult
 from repro.ir.function import Function
@@ -43,7 +42,6 @@ from repro.opt.patterns import (
     m_same,
     match,
 )
-from repro.semantics import bitvector as bv
 from repro.verify.refinement import check_refinement
 
 #: The sketch library; rules register here instead of the default

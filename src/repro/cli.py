@@ -6,6 +6,9 @@ Commands mirror the toolchain pieces the paper composes:
 * ``verify SRC TGT`` — translation-validate a rewrite (Alive2 workflow);
 * ``mca FILE``       — static cycle analysis of a function;
 * ``extract FILE``   — slice a module into deduplicated windows;
+* ``lint FILE...``   — parse + verify ``.ll`` files, reporting coded,
+  positioned diagnostics (``A001``…); exit 0 only when every file is
+  clean, ``--json`` for machine output;
 * ``pipeline FILE``  — run the full LPO loop on a window with a chosen
   model profile;
 * ``batch FILE``     — extract every window of a module and run the loop
@@ -58,7 +61,7 @@ import pathlib
 import sys
 from typing import List, Optional
 
-from repro.errors import ParseError, ReproError
+from repro.errors import ParseError, ReproError, VerificationError
 
 
 def _read(path: str) -> str:
@@ -91,6 +94,8 @@ def cmd_verify(args: argparse.Namespace) -> int:
           f"{verdict.elapsed_seconds:.2f}s)")
     if verdict.counterexample is not None:
         print(verdict.counter_example)
+    elif verdict.message:
+        print(verdict.message)
     return 0 if verdict.is_correct else 1
 
 
@@ -286,12 +291,28 @@ def cmd_serve(args: argparse.Namespace) -> int:
 _WATCH_QUEUE_SOFT_LIMIT = 32
 
 
-def _module_specs(text: str, args: argparse.Namespace):
+def _verify_or_raise(module, origin: str) -> None:
+    """Ingestion gate: raise VerificationError (with every positioned
+    diagnostic) when a parsed module fails the static verifier, so
+    malformed corpus files are rejected here instead of crashing deep
+    inside a worker's evaluator."""
+    from repro.analysis import verify_module
+    diagnostics = verify_module(module)
+    if diagnostics:
+        rendered = "\n".join(d.render() for d in diagnostics)
+        raise VerificationError(
+            f"{origin}: {len(diagnostics)} verifier diagnostic(s)\n"
+            f"{rendered}")
+
+
+def _module_specs(text: str, args: argparse.Namespace,
+                  origin: str = "module"):
     """Extract a module's windows and wrap them as job specs."""
     from repro.core import extract_from_corpus
     from repro.ir import parse_module, print_function
     from repro.service import JobSpec
     module = parse_module(text)
+    _verify_or_raise(module, origin)
     windows = extract_from_corpus([module])
     specs = [JobSpec(ir=print_function(window.function),
                      model=args.model, round_seed=args.seed,
@@ -328,8 +349,11 @@ def _ingest_file(client, path: pathlib.Path,
 
     Raises OSError/ParseError for an unreadable or unparseable file —
     the caller decides whether to retry (watch mode: the file may
-    still be mid-write) or count it as an error (stdin mode)."""
-    windows, specs = _module_specs(path.read_text(), args)
+    still be mid-write) or count it as an error (stdin mode) — and
+    VerificationError for a parsed module the static verifier rejects
+    (never retried: the diagnostics are deterministic)."""
+    windows, specs = _module_specs(path.read_text(), args,
+                                   origin=str(path))
     if not windows:
         print(f"{path}: no windows extracted", file=sys.stderr)
         return 0, 0, 0
@@ -375,6 +399,16 @@ def _watch_loop(client, args: argparse.Namespace) -> tuple:
                 try:
                     file_found, file_errors, file_jobs = _ingest_file(
                         client, path, args)
+                except VerificationError as exc:
+                    # Parsed but failed the verifier: deterministic,
+                    # so no later poll can fix it — reject now with
+                    # the positioned diagnostics.
+                    print(f"{path}: {exc}", file=sys.stderr)
+                    log.warning("watch.reject", file=str(path),
+                                error=str(exc))
+                    seen.add(path.name)
+                    errors += 1
+                    continue
                 except (OSError, ParseError) as exc:
                     # Likely mid-write: leave it unconsumed and retry
                     # on later polls before giving up.
@@ -432,7 +466,7 @@ def _stdin_loop(client, args: argparse.Namespace) -> tuple:
         try:
             file_found, file_errors, file_jobs = _ingest_file(
                 client, pathlib.Path(path), args)
-        except (OSError, ParseError) as exc:
+        except (OSError, ParseError, VerificationError) as exc:
             print(f"{path}: {exc}", file=sys.stderr)
             errors += 1
             continue
@@ -508,6 +542,7 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         from repro.core import extract_from_corpus
         from repro.ir import parse_module, print_function
         module = parse_module(_read(args.file))
+        _verify_or_raise(module, args.file)
         extracted = extract_from_corpus([module])
         if not extracted:
             print("no windows extracted", file=sys.stderr)
@@ -580,6 +615,11 @@ def cmd_status(args: argparse.Namespace) -> int:
         # One formatting path for phase lines (batch stats, service
         # metrics, and this command all render identically).
         print("phases: " + profile.render(phases))
+    analysis = status.get("analysis", {})
+    if analysis.get("rejects"):
+        codes = ", ".join(f"{code}:{count}" for code, count
+                          in analysis.get("codes", {}).items())
+        print(f"analysis: {analysis['rejects']} reject(s) [{codes}]")
     print(f"latency: p50 {lat.get('p50', 0.0) * 1e3:.1f}ms "
           f"p90 {lat.get('p90', 0.0) * 1e3:.1f}ms "
           f"p99 {lat.get('p99', 0.0) * 1e3:.1f}ms; "
@@ -599,6 +639,39 @@ def cmd_status(args: argparse.Namespace) -> int:
                   f"{progress.get('rounds_total')} rounds, "
                   f"{progress.get('detections')} detections")
     return 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Standalone corpus auditing: parse + verify each file.
+
+    Exit codes: 0 every file clean, 1 any diagnostics, 2 usage/IO
+    errors (via main's FileNotFoundError handling)."""
+    from repro.analysis import lint_text
+    records = []
+    total = 0
+    for name in args.files:
+        _module, diagnostics = lint_text(_read(name), name=name)
+        total += len(diagnostics)
+        if args.json:
+            records.append({
+                "file": name,
+                "diagnostics": [d.to_dict() for d in diagnostics],
+            })
+            continue
+        for diagnostic in diagnostics:
+            position = (f":{diagnostic.line}:{diagnostic.column}"
+                        if diagnostic.line else "")
+            print(f"{name}{position}: {diagnostic.render()}")
+    if args.json:
+        import json
+        print(json.dumps({"files": records, "diagnostics": total},
+                         indent=2))
+    elif total:
+        print(f"{total} diagnostic(s) in {len(args.files)} file(s)",
+              file=sys.stderr)
+    else:
+        print(f"{len(args.files)} file(s) clean", file=sys.stderr)
+    return 1 if total else 0
 
 
 def cmd_souper(args: argparse.Namespace) -> int:
@@ -674,6 +747,14 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("extract", help="extract windows from a module")
     p.add_argument("file")
     p.set_defaults(func=cmd_extract)
+
+    p = sub.add_parser(
+        "lint",
+        help="parse + verify .ll files, reporting coded diagnostics")
+    p.add_argument("files", nargs="+", metavar="FILE")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable diagnostics on stdout")
+    p.set_defaults(func=cmd_lint)
 
     model_spec_help = (
         "model spec: a profile name (Gemini2.0T), sim:<name>[?seed=N], "

@@ -25,7 +25,7 @@ from repro.ir.instructions import (
     ShuffleVector,
     Store,
 )
-from repro.ir.values import Argument, Constant, Value
+from repro.ir.values import Constant, Value
 
 
 def _operand_token(operand: Value, positions: Dict[int, str]) -> str:

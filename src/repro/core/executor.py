@@ -27,7 +27,7 @@ from concurrent.futures import (
 )
 from concurrent.futures.process import BrokenProcessPool
 from concurrent.futures import BrokenExecutor
-from typing import Callable, Iterable, Iterator, List, Optional, Sequence
+from typing import Callable, Iterable, Iterator, Optional, Sequence
 
 from repro.errors import ReproError
 

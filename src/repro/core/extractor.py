@@ -9,8 +9,8 @@ structural hash.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence, Set
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Set
 
 from repro.ir.function import BasicBlock, Function, Module
 from repro.ir.instructions import Instruction

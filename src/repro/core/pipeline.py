@@ -5,7 +5,10 @@ For each extracted window:
 1. prompt the LLM for an optimal rewrite (step ②);
 2. run the candidate through ``opt`` — syntax errors become feedback and
    restart the attempt, otherwise the optimized/canonicalized output
-   becomes the candidate (steps ③/⑥);
+   becomes the candidate (steps ③/⑥); survivors are prescreened by the
+   :mod:`repro.analysis` verifier, and structurally ill-formed IR
+   restarts the attempt with the coded diagnostic as feedback
+   (outcome ``invalid (<code>)``);
 3. check interestingness — uninteresting candidates abandon the window
    (steps ④, Algorithm 1 line 16);
 4. verify refinement with the Alive2 substitute — counterexamples become
@@ -38,6 +41,7 @@ import time
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Tuple
 
+from repro.analysis import invalid_outcome, verify_function
 from repro.core.cache import ResultCache, text_digest
 from repro.core.dedup import window_digest
 from repro.core.extractor import Window
@@ -216,6 +220,22 @@ class LPOPipeline:
             record.feedback = opt_error
             return True
 
+        # Step 3½: static prescreen.  The parser/constructors validate
+        # everything they build, but ``opt`` passes rewrite instructions
+        # in place (and ``clone()`` bypasses constructor checks), so a
+        # candidate can reach this point structurally broken.  Reject it
+        # here with a coded diagnostic instead of crashing inside the
+        # evaluator or burning a verify pass.
+        with profile.phase("analysis"):
+            diagnostics = verify_function(candidate)
+        if diagnostics:
+            state.attempt += 1
+            state.feedback = "\n".join(
+                d.render() for d in diagnostics)
+            record.outcome = invalid_outcome(diagnostics[0].code)
+            record.feedback = state.feedback
+            return True
+
         # Step 4: interestingness (against the canonicalized window).
         with profile.phase("interestingness"):
             report = check_interestingness(state.canonical, candidate)
@@ -356,6 +376,7 @@ class LPOPipeline:
         constructions = 0
         waves = 0
         payload_bytes = 0
+        duplicate_entries = 0
         batching = callable(getattr(self.client, "complete_many",
                                     None))
         if batching and not (explicit_process
@@ -385,12 +406,28 @@ class LPOPipeline:
             task = functools.partial(_optimize_window_task, round_seed)
             results = []
             built_by_worker: dict = {}
+            snapshot = self.cache.export()
+            # Keys any completed task (or the pre-batch cache) already
+            # produced.  Two windows can share a cache key (e.g. two LLM
+            # answers with identical text); whether the second window's
+            # worker recomputes it or hits it depends on task->worker
+            # placement, which is timing-dependent.  Folding raw worker
+            # deltas would make the batch totals nondeterministic, so
+            # duplicate recomputations are reclassified as the hits a
+            # sequential pass would have counted.
+            known = set(snapshot)
             for window, (result, entries, delta, worker_id, built) in \
                     zip(windows,
                         scheduler.map(task, blobs,
                                       initializer=_init_worker_pipeline,
                                       initargs=(self.client, self.config,
-                                                self.cache.export()))):
+                                                snapshot))):
+                for key in entries:
+                    if key in known:
+                        _reclassify_duplicate(delta, key)
+                        duplicate_entries += 1
+                    else:
+                        known.add(key)
                 self.cache.merge(entries)
                 self.cache.fold_stats(delta)
                 built_by_worker[worker_id] = max(
@@ -411,10 +448,34 @@ class LPOPipeline:
                                stats_before),
                            pipeline_constructions=constructions,
                            llm_waves=waves,
-                           task_payload_bytes=payload_bytes)
+                           task_payload_bytes=payload_bytes,
+                           duplicate_entries=duplicate_entries)
         for result in results:
             stats.record(result)
         return BatchResult(results, stats)
+
+
+def _reclassify_duplicate(delta, key: str) -> None:
+    """Turn one worker-side miss for ``key`` into the hit a sequential
+    pass would have counted.
+
+    A process worker that recomputes an entry another task already
+    shipped genuinely missed its *local* cache, but the batch-level
+    accounting promises sequential-equivalent totals: in the sequential
+    reference the second lookup of a shared key is a hit.  Each
+    duplicated key appears exactly once in the later task's new-entry
+    payload (the first lookup misses and stores it; later same-task
+    lookups hit), so flipping one miss per duplicate key restores the
+    canonical counts regardless of task->worker placement."""
+    if key.startswith("opt:"):
+        delta.opt_misses -= 1
+        delta.opt_hits += 1
+    elif key.startswith("verify:"):
+        delta.verify_misses -= 1
+        delta.verify_hits += 1
+    elif key.startswith("job:"):
+        delta.job_misses -= 1
+        delta.job_hits += 1
 
 
 #: Per-worker-process state installed by :func:`_init_worker_pipeline`.

@@ -37,6 +37,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, TypeVar
 
+from repro.analysis import reject_code
 from repro.core.cache import CacheStats
 from repro.core.executor import (
     BACKENDS,
@@ -74,9 +75,20 @@ class BatchStats:
     #: Process backend only: total bytes of WindowSpec wire blobs shipped
     #: to workers (the whole per-task payload — nothing else crosses).
     task_payload_bytes: int = 0
+    #: Process backend only: cache entries recomputed by more than one
+    #: worker because tasks sharing a key landed on different processes.
+    #: Their redundant misses are reclassified as the hits a sequential
+    #: pass counts, so the ``cache`` delta stays placement-independent;
+    #: this field keeps the duplicated work visible.
+    duplicate_entries: int = 0
     #: Summed per-phase wall seconds across all windows (opt, llm,
     #: verify, verify.*, ...), where instrumented.
     phases: Dict[str, float] = field(default_factory=dict)
+    #: Attempts the static-analysis gate rejected before the verify
+    #: tier (syntax errors and ``invalid (<code>)`` outcomes), total
+    #: and per diagnostic code.
+    analysis_rejects: int = 0
+    analysis_codes: Dict[str, int] = field(default_factory=dict)
 
     def record(self, result) -> None:
         """Fold one :class:`~repro.core.pipeline.WindowResult` in."""
@@ -86,6 +98,12 @@ class BatchStats:
         self.outcomes[status] = self.outcomes.get(status, 0) + 1
         self.usage += result.usage
         self.compute_seconds += result.elapsed_seconds
+        for attempt in getattr(result, "attempts", None) or []:
+            code = reject_code(attempt.outcome)
+            if code is not None:
+                self.analysis_rejects += 1
+                self.analysis_codes[code] = \
+                    self.analysis_codes.get(code, 0) + 1
         profile.merge(self.phases, getattr(result, "phases", None) or {})
 
     def render(self) -> str:
@@ -103,6 +121,15 @@ class BatchStats:
             out += f"; {self.llm_waves} llm wave(s)"
         if self.task_payload_bytes:
             out += f"; task payload {self.task_payload_bytes} B"
+        if self.duplicate_entries:
+            out += (f"; {self.duplicate_entries} duplicate cache "
+                    f"entr{'y' if self.duplicate_entries == 1 else 'ies'}")
+        if self.analysis_rejects:
+            codes = ", ".join(
+                f"{code}:{count}" for code, count
+                in sorted(self.analysis_codes.items()))
+            out += (f"; {self.analysis_rejects} analysis reject(s) "
+                    f"[{codes}]")
         if self.phases:
             out += f"; phases: {profile.render(self.phases)}"
         return out

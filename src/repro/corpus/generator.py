@@ -13,7 +13,7 @@ count.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.corpus.issues import IssueCase, rq1_cases
@@ -21,7 +21,7 @@ from repro.corpus.issues_rq2 import rq2_cases
 from repro.ir.builder import IRBuilder
 from repro.ir.function import Function, Module
 from repro.ir.parser import parse_function
-from repro.ir.types import I8, I16, I32, I64, IntType, int_type
+from repro.ir.types import int_type
 from repro.ir.values import Argument, const_int
 
 

@@ -19,9 +19,9 @@ Baseline detectability (the Souper/Minotaur columns of both tables) is
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from functools import lru_cache
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Tuple
 
 from repro.ir.function import Function
 from repro.ir.parser import parse_function

@@ -13,7 +13,7 @@ For each fixed issue's patch we report:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from repro.core.scheduler import BatchScheduler
 from repro.corpus.generator import generate_corpus, project_of_module

@@ -15,7 +15,7 @@ from __future__ import annotations
 import hashlib
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.scheduler import BatchScheduler
 from repro.experiments.tables import geometric_mean, render_table

@@ -6,7 +6,7 @@ hand-written IR in the datasets goes through the textual parser instead.
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Union
+from typing import Optional, Sequence
 
 from repro.errors import IRError
 from repro.ir.function import BasicBlock, Function

@@ -23,7 +23,6 @@ from repro.ir.types import (
     VectorType,
     I1,
     VOID,
-    int_type,
     vector_type,
 )
 from repro.ir.values import Constant, ConstantInt, Value

@@ -13,7 +13,7 @@ LPO loop forwards them verbatim to the LLM as repair feedback.
 from __future__ import annotations
 
 import re
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ParseError
 from repro.ir.function import BasicBlock, Function, Module

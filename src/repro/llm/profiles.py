@@ -21,7 +21,7 @@ ordering: Gemma3 ≪ Llama3.3 ≈ Gemini2.0 ≈ GPT-4.1 < o4-mini ≲ Gemini2.0T
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Tuple
 
 

@@ -12,7 +12,6 @@ from dataclasses import dataclass
 from typing import Dict
 
 from repro.ir.function import Function
-from repro.ir.instructions import Instruction
 from repro.ir.values import Value
 from repro.mca.cost_model import instruction_cost
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict
 
-from repro.ir.instructions import Call, Cast, Instruction
+from repro.ir.instructions import Call, Instruction
 from repro.ir.types import FloatType, VectorType
 
 

@@ -15,13 +15,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.ir.instructions import (
-    BinaryOperator,
-    Call,
-    Cast,
-    Freeze,
-    Instruction,
-)
+from repro.ir.instructions import Call, Cast, Freeze, Instruction
 from repro.ir.types import IntType
 from repro.ir.values import (
     Argument,

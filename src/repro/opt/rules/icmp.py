@@ -11,13 +11,7 @@ from repro.ir.instructions import (
     Instruction,
 )
 from repro.ir.types import IntType
-from repro.ir.values import (
-    Constant,
-    ConstantInt,
-    const_bool,
-    const_int,
-    match_scalar_int,
-)
+from repro.ir.values import Constant, ConstantInt, const_int, match_scalar_int
 from repro.opt.engine import RewriteContext, rule
 from repro.opt.patterns import m_binop, m_capture, m_constint, match
 from repro.semantics import bitvector as bv

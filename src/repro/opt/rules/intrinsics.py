@@ -6,7 +6,7 @@ from typing import Optional
 
 from repro.ir.instructions import Call, Instruction
 from repro.ir.types import IntType
-from repro.ir.values import Constant, ConstantInt, const_int, match_scalar_int
+from repro.ir.values import Constant, const_int, match_scalar_int
 from repro.opt.engine import RewriteContext, rule
 from repro.semantics import bitvector as bv
 

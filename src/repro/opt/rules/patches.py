@@ -29,7 +29,6 @@ from repro.opt.patterns import (
     m_cast,
     m_constint,
     m_intrinsic,
-    m_same,
     match,
 )
 from repro.semantics import bitvector as bv
@@ -95,7 +94,6 @@ def fcmp_ord_select_collapse(inst: Instruction, ctx: RewriteContext):
     if not (isinstance(guard, FCmp) and guard.predicate == "ord"):
         return None
     from repro.ir.values import ConstantFP
-    import math
     # select (fcmp ord X, 0.0), X, 0.0
     x = guard.lhs
     if selector.true_value is not x:

@@ -2,11 +2,10 @@
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.ir.instructions import ICmp, Instruction, Select
 from repro.ir.types import IntType, VectorType
-from repro.ir.values import Constant, const_int, match_scalar_int
+from repro.ir.values import Constant, match_scalar_int
 from repro.opt.analysis import may_be_poison
 from repro.opt.engine import RewriteContext, rule
 from repro.opt.patterns import m_capture, m_not, match

@@ -37,7 +37,6 @@ from repro.ir.instructions import (
 from repro.ir.intrinsics import split_intrinsic_callee
 from repro.ir.types import FloatType, IntType, PointerType, Type, VectorType
 from repro.ir.values import (
-    Argument,
     Constant,
     ConstantFP,
     ConstantInt,

@@ -155,6 +155,19 @@ def render_prometheus(status: dict) -> str:
         out.family(name, "counter", help_text)
         out.sample(name, llm.get(field, 0))
 
+    analysis = status.get("analysis", {})
+    out.family("repro_analysis_rejects_total", "counter",
+               "Candidate attempts rejected by the static-analysis "
+               "gate before the verify tier.")
+    out.sample("repro_analysis_rejects_total",
+               analysis.get("rejects", 0))
+    codes = analysis.get("codes", {})
+    out.family("repro_analysis_code_rejects_total", "counter",
+               "Static-analysis rejections by diagnostic code.")
+    for code, count in sorted(codes.items()):
+        out.sample("repro_analysis_code_rejects_total", count,
+                   {"code": code})
+
     phases = status.get("phases", {})
     out.family("repro_phase_seconds_total", "counter",
                "Wall seconds per pipeline phase across fresh jobs.")

@@ -142,6 +142,10 @@ class ServiceMetrics:
         #: Summed per-phase wall seconds across fresh job completions
         #: (opt, llm, verify, verify.*, parse — cached replays excluded).
         self._phases: Dict[str, float] = {}
+        #: Attempts the static-analysis gate rejected pre-verify, by
+        #: diagnostic code (fresh completions only, like phases).
+        self.analysis_rejects = 0
+        self._analysis_codes: Dict[str, int] = {}
         #: Optional gauge: the server binds this to its queue.
         self._queue_depth: Callable[[], int] = lambda: 0
 
@@ -231,6 +235,21 @@ class ServiceMetrics:
                     self._phases[name] = (self._phases.get(name, 0.0)
                                           + float(seconds))
 
+    def record_analysis(self, codes: Dict[str, int]) -> None:
+        """Fold in one job's static-analysis rejections (deltas, so
+        sum-merge), keyed by diagnostic code (``A001``…)."""
+        with self._lock:
+            for code, count in codes.items():
+                if isinstance(count, int) and count > 0:
+                    self.analysis_rejects += count
+                    self._analysis_codes[code] = (
+                        self._analysis_codes.get(code, 0) + count)
+
+    def analysis_code_totals(self) -> Dict[str, int]:
+        """Rejections per diagnostic code, code order."""
+        with self._lock:
+            return dict(sorted(self._analysis_codes.items()))
+
     def phase_totals(self) -> Dict[str, float]:
         """Summed per-phase seconds, largest first."""
         with self._lock:
@@ -311,6 +330,10 @@ class ServiceMetrics:
             # payload already uses "backend" for the worker-pool kind.
             "llm_backend": self.backend_totals(),
             "phases": self.phase_totals(),
+            "analysis": {
+                "rejects": self.analysis_rejects,
+                "codes": self.analysis_code_totals(),
+            },
             "queue_depth": self.queue_depth,
             "cache_hit_rate": round(self.cache_hit_rate, 4),
             "uptime_seconds": round(self.uptime_seconds, 3),
@@ -331,6 +354,12 @@ class ServiceMetrics:
         if phases:
             # Same largest-first one-liner the batch path prints.
             phase_line = "\nphases: " + profile.render(phases)
+        analysis = snap["analysis"]
+        if analysis["rejects"]:
+            codes = ", ".join(f"{code}:{count}" for code, count
+                              in analysis["codes"].items())
+            phase_line += (f"\nanalysis: {analysis['rejects']} "
+                           f"reject(s) [{codes}]")
         return (
             f"jobs: {snap['submitted']} submitted, "
             f"{snap['completed']} completed, {snap['failed']} failed, "

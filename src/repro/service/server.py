@@ -480,6 +480,12 @@ class OptimizationService:
                 return
             payload = future.result()
             self._note_worker(payload)
+            analysis = payload.get("analysis")
+            if isinstance(analysis, dict) and analysis:
+                self.log.info(
+                    "analysis.reject", job_id=spec.job_id,
+                    digest=digest, codes=analysis,
+                    rejects=sum(analysis.values()))
             self.cache.put_job(
                 digest, {key: payload[key] for key in _CACHED_KEYS})
             self._settle(digest, spec, payload=payload, cached=False,
@@ -551,6 +557,11 @@ class OptimizationService:
             # Fresh completions only — cached replays never reach
             # _note_worker, so phase totals count work actually done.
             self.metrics.observe_phases(phases)
+        analysis = payload.get("analysis")
+        if isinstance(analysis, dict):
+            # Same fresh-only rule: a cached replay's rejections were
+            # already counted when the job first ran.
+            self.metrics.record_analysis(analysis)
 
     def _finish(self, spec: JobSpec, payload: Optional[dict] = None,
                 cached: bool = False, error: str = "",

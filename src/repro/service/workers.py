@@ -41,6 +41,7 @@ from concurrent.futures import Future
 from typing import Dict, Optional, Tuple
 
 from repro import obs, profile
+from repro.analysis import reject_code
 from repro.core.cache import text_digest
 from repro.core.executor import (
     ExecutorPool,
@@ -117,6 +118,16 @@ def _run_spec(pipeline: LPOPipeline, spec: JobSpec,
                    for name, seconds in phases.items()},
         "spans": profile.round_spans(spans),
     }
+    # Attempts the static-analysis gate rejected pre-verify, as
+    # {diagnostic code: count} — folded into ServiceMetrics and the
+    # analysis.reject log event by the server.
+    codes: Dict[str, int] = {}
+    for attempt in result.attempts:
+        code = reject_code(attempt.outcome)
+        if code is not None:
+            codes[code] = codes.get(code, 0) + 1
+    if codes:
+        payload["analysis"] = codes
     stats = getattr(pipeline.client, "stats", None)
     if stats is not None:
         payload["backend"] = stats.snapshot()

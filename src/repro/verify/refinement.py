@@ -1,10 +1,14 @@
 """The Alive2-substitute entry point: :func:`check_refinement`.
 
 Given a source and a target function, decides whether the transformation
-src → tgt is a correct refinement.  Three tiers are combined:
+src → tgt is a correct refinement.  Four tiers are combined:
 
+0. **static** — a dataflow (known-bits/range) proof that the outputs
+   always differ refutes the pair without executing anything; it only
+   fires on the poison/UB-free subset where the proof is sound;
 1. **testing** — structured + randomized counterexample search (always
-   runs first; catching violations cheaply keeps the loop fast);
+   runs first otherwise; catching violations cheaply keeps the loop
+   fast);
 2. **exhaustive** — a full input-space enumeration when the quantified
    space is small (a proof);
 3. **SAT** — bit-blasting both functions over shared inputs and asking a
@@ -28,9 +32,11 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from repro import profile
+from repro.analysis.dataflow import static_refutation
+from repro.analysis.verifier import verify_function
 from repro.errors import SolverError
 from repro.ir.function import Function
-from repro.semantics.domain import POISON, Pointer
+from repro.semantics.domain import Pointer
 from repro.semantics.eval import run_function
 from repro.semantics.memory import Memory
 from repro.verify.circuit import CircuitBuilder
@@ -57,7 +63,7 @@ class VerificationResult:
     """Outcome of one refinement check."""
 
     status: str                       # proved/validated/refuted/error
-    method: str = ""                  # testing/exhaustive/sat
+    method: str = ""                  # static/testing/exhaustive/sat
     #: In-process only: results replayed from a ResultCache carry the
     #: rendered text in ``message`` instead (Counterexample holds live
     #: runtime values and is not persisted).  Consume refutations via
@@ -117,6 +123,31 @@ def check_refinement(source: Function, target: Function,
     error = _signature_error(source, target)
     if error is not None:
         return done(VerificationResult("error", message=error))
+
+    # Ill-formed functions cannot be compared: the evaluator trusts
+    # declared types, so e.g. a candidate that declares i8 but returns
+    # an i1 value would otherwise be "proved" against an i8 source by
+    # numeric coincidence.  Real Alive2 type-checks its inputs; so do
+    # we.  (The pipeline prescreen rejects such candidates earlier
+    # with per-code metrics — this gate covers direct callers.)
+    for role, function in (("source", source), ("target", target)):
+        diagnostics = verify_function(function)
+        if diagnostics:
+            return done(VerificationResult(
+                "error",
+                message=f"ERROR: {role} function is ill-formed: "
+                        + "; ".join(d.render() for d in diagnostics)))
+
+    # Tier 0: static refutation.  A dataflow proof that the outputs
+    # differ for every input skips execution entirely.  Only fires on
+    # the total, poison-free subset (see repro.analysis.dataflow), where
+    # the testing tier below would refute the same pair anyway — the
+    # static tier is never weaker than the dynamic ones, only earlier.
+    with profile.phase("verify.static"):
+        static_message = static_refutation(source, target)
+    if static_message is not None:
+        return done(VerificationResult("refuted", method="static",
+                                       message=static_message))
 
     # Tier 1: cheap counterexample search.
     with profile.phase("verify.testing"):

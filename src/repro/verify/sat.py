@@ -14,7 +14,7 @@ Literal encoding: variable ``v`` (1-based int) has literals ``+v``/``-v``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.errors import SolverError

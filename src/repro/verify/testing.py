@@ -233,7 +233,6 @@ class InputGenerator:
 
 
 def _undef_chooser_from_rng(rng: random.Random):
-    from repro.semantics.domain import default_lane
 
     def chooser(type_: Type) -> RuntimeValue:
         if isinstance(type_, VectorType):

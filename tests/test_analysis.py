@@ -1,0 +1,671 @@
+"""The static-analysis subsystem: verifier codes, dataflow, refutation.
+
+Three contracts are pinned here:
+
+* **every diagnostic code fires** — each ``A0xx`` in DIAGNOSTIC_CODES
+  has at least one triggering input (textual where the parser allows
+  it, programmatic IR surgery where constructors would reject the
+  broken form at build time);
+* **zero false positives** — the full rq1 corpus (every source and
+  every target) lints clean, so the pipeline prescreen can never
+  reject a legitimate candidate;
+* **static refutation is sound** — whenever the dataflow tier refutes
+  a pair, the dynamic verifier refutes the same pair (the static tier
+  is only ever *earlier*, never *stronger*).
+"""
+
+import pytest
+
+from repro.analysis import (
+    CFG,
+    DIAGNOSTIC_CODES,
+    KnownBits,
+    dominators,
+    invalid_outcome,
+    known_bits_function,
+    lint_text,
+    live_into_blocks,
+    reaching_definitions,
+    reject_code,
+    reject_codes,
+    static_refutation,
+    verify_function,
+    verify_module,
+)
+from repro.corpus.issues import rq1_cases
+from repro.ir import parse_function, parse_module
+from repro.ir.types import IntType
+from repro.ir.values import ConstantInt
+
+
+def codes_of(text):
+    _module, diagnostics = lint_text(text)
+    return [d.code for d in diagnostics]
+
+
+DIAMOND = """
+define i32 @f(i32 %x, i1 %c) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  %va = add i32 %x, 1
+  br label %join
+b:
+  %vb = mul i32 %x, 2
+  br label %join
+join:
+  %p = phi i32 [ %va, %a ], [ %vb, %b ]
+  ret i32 %p
+}
+"""
+
+
+# ---------------------------------------------------------------------------
+# The diagnostic table itself.
+
+class TestDiagnosticTable:
+    def test_codes_are_dense_and_stable(self):
+        assert sorted(DIAGNOSTIC_CODES) == [
+            f"A{index:03d}" for index in range(1, 15)]
+
+    def test_render_carries_code_and_location(self):
+        function = parse_function(
+            "define i32 @f(i32 %x) {\nentry:\n  %r = add i32 %x, 1\n}")
+        (diagnostic,) = verify_function(function)
+        assert diagnostic.code == "A003"
+        rendered = diagnostic.render()
+        assert rendered.startswith("A003: ")
+        assert "function @f" in rendered
+        assert "block %entry" in rendered
+
+    def test_to_dict_is_json_shaped(self):
+        _module, (diagnostic,) = lint_text("not ir at all")
+        record = diagnostic.to_dict()
+        assert record["code"] == "A001"
+        assert isinstance(record["line"], int)
+        assert isinstance(record["column"], int)
+
+
+# ---------------------------------------------------------------------------
+# Text-triggerable codes: parse succeeds, the verifier objects.
+
+class TestTextTriggeredCodes:
+    def test_a003_missing_terminator(self):
+        assert codes_of("define i32 @f(i32 %x) {\n"
+                        "entry:\n  %r = add i32 %x, 1\n}") == ["A003"]
+
+    def test_a004_instruction_after_terminator(self):
+        assert codes_of("define i32 @f(i32 %x) {\n"
+                        "entry:\n  ret i32 %x\n"
+                        "  %r = add i32 %x, 1\n}") == ["A004"]
+
+    def test_a005_duplicate_block_label(self):
+        assert codes_of("define i32 @f(i32 %x) {\n"
+                        "entry:\n  br label %a\n"
+                        "a:\n  br label %a\n"
+                        "a:\n  ret i32 %x\n}") == ["A005"]
+
+    def test_a007_branch_to_unknown_label(self):
+        assert codes_of("define i32 @f(i32 %x) {\n"
+                        "entry:\n  br label %nowhere\n}") == ["A007"]
+
+    def test_a008_entry_block_has_predecessors(self):
+        assert codes_of("define i32 @f(i32 %x) {\n"
+                        "entry:\n  br label %entry\n}") == ["A008"]
+
+    def test_a010_dominance_violation(self):
+        # %v is defined only on the %a arm but used in the join block.
+        text = """
+define i32 @f(i32 %x, i1 %c) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  %v = add i32 %x, 1
+  br label %join
+b:
+  br label %join
+join:
+  %r = add i32 %v, 2
+  ret i32 %r
+}
+"""
+        _module, diagnostics = lint_text(text)
+        assert [d.code for d in diagnostics] == ["A010"]
+        assert "%v" in diagnostics[0].message
+
+    def test_a011_phi_incoming_from_non_predecessor(self):
+        text = """
+define i32 @f(i32 %x, i1 %c) {
+entry:
+  br i1 %c, label %a, label %b
+a:
+  br label %join
+b:
+  br label %join
+join:
+  %p = phi i32 [ %x, %a ], [ 7, %entry ]
+  ret i32 %p
+}
+"""
+        assert codes_of(text) == ["A011"]
+
+    def test_a013_return_type_mismatch(self):
+        assert codes_of("define i32 @f(i64 %x) {\n"
+                        "entry:\n  ret i64 %x\n}") == ["A013"]
+
+    def test_dead_code_is_not_a_dominance_violation(self):
+        # An unreachable block may use anything; LLVM's verifier gives
+        # unreachable code a pass and so do we.
+        text = """
+define i32 @f(i32 %x) {
+entry:
+  ret i32 %x
+dead:
+  %r = add i32 %ghost_free_pass, 1
+  br label %dead
+}
+"""
+        function = parse_function(text.replace("%ghost_free_pass", "%x"))
+        assert verify_function(function) == []
+
+
+# ---------------------------------------------------------------------------
+# Codes the parser/constructors make unreachable from text: trigger by
+# mutating live IR the way a buggy rewrite pass would.
+
+class TestMutationTriggeredCodes:
+    def simple(self):
+        return parse_function("define i32 @f(i32 %x) {\n"
+                              "entry:\n  %r = add i32 %x, 1\n"
+                              "  ret i32 %r\n}")
+
+    def test_a002_empty_function(self):
+        function = self.simple()
+        function.blocks.clear()
+        assert [d.code for d in verify_function(function)] == ["A002"]
+
+    def test_a006_duplicate_value_name(self):
+        function = self.simple()
+        block = function.blocks[0]
+        block.instructions.insert(1, block.instructions[0].clone())
+        assert [d.code for d in verify_function(function)] == ["A006"]
+
+    def test_a006_duplicate_function_name(self):
+        module = parse_module("define i32 @f(i32 %x) {\n"
+                              "entry:\n  ret i32 %x\n}")
+        clone = parse_module("define i32 @f(i32 %x) {\n"
+                             "entry:\n  ret i32 %x\n}")
+        module.functions.append(clone.functions[0])
+        assert [d.code for d in verify_module(module)] == ["A006"]
+
+    def test_a009_use_of_undefined_value(self):
+        function = parse_function("define i32 @f(i32 %x) {\n"
+                                  "entry:\n  %a = add i32 %x, 1\n"
+                                  "  %r = add i32 %a, 2\n"
+                                  "  ret i32 %r\n}")
+        # Delete %a's definition; %r still holds a reference to it.
+        del function.blocks[0].instructions[0]
+        diagnostics = verify_function(function)
+        assert [d.code for d in diagnostics] == ["A009"]
+        assert "%a" in diagnostics[0].message
+
+    def test_a012_operand_type_mismatch(self):
+        function = self.simple()
+        function.blocks[0].instructions[0].operands[1] = \
+            ConstantInt(IntType(8), 1)
+        diagnostics = verify_function(function)
+        assert [d.code for d in diagnostics] == ["A012"]
+
+    def test_a014_unknown_callee(self):
+        function = parse_function(
+            "define i32 @f(i32 %x) {\nentry:\n"
+            "  %r = call i32 @llvm.smax.i32(i32 %x, i32 0)\n"
+            "  ret i32 %r\n}")
+        function.blocks[0].instructions[0].callee = "llvm.bogus.i32"
+        assert [d.code for d in verify_function(function)] == ["A014"]
+
+    def test_a014_bad_intrinsic_arity(self):
+        function = parse_function(
+            "define i32 @f(i32 %x) {\nentry:\n"
+            "  %r = call i32 @llvm.smax.i32(i32 %x, i32 0)\n"
+            "  ret i32 %r\n}")
+        del function.blocks[0].instructions[0].operands[1]
+        assert [d.code for d in verify_function(function)] == ["A014"]
+
+
+# ---------------------------------------------------------------------------
+# Parser diagnostics (A001) keep their source position.
+
+class TestParserDiagnostics:
+    def test_unparseable_text_is_positioned_a001(self):
+        text = ("define i32 @f(i32 %x) {\n"
+                "entry:\n"
+                "  %r = add i32 %x, 1\n"
+                "  %s = frobnicate i32 %r\n"
+                "  ret i32 %s\n}")
+        module, diagnostics = lint_text(text)
+        assert module is None
+        (diagnostic,) = diagnostics
+        assert diagnostic.code == "A001"
+        assert diagnostic.line == 4
+        assert diagnostic.column is not None
+
+    def test_type_error_inside_parse_is_a001(self):
+        module, diagnostics = lint_text(
+            "define i32 @f(i32 %x) {\nentry:\n"
+            "  %r = add i32 %x, %ghost\n  ret i32 %r\n}")
+        assert module is None
+        assert [d.code for d in diagnostics] == ["A001"]
+
+    def test_clean_module_has_no_diagnostics(self):
+        module, diagnostics = lint_text(DIAMOND)
+        assert module is not None
+        assert diagnostics == []
+
+
+# ---------------------------------------------------------------------------
+# Zero false positives over the benchmark corpus.
+
+class TestCleanCorpus:
+    def test_every_rq1_source_and_target_lints_clean(self):
+        for case in rq1_cases():
+            for role, text in (("src", case.src), ("tgt", case.tgt)):
+                module, diagnostics = lint_text(
+                    text, name=f"{case.issue_id}.{role}")
+                assert module is not None, (case.issue_id, role)
+                assert diagnostics == [], (case.issue_id, role,
+                                           [d.render()
+                                            for d in diagnostics])
+
+
+# ---------------------------------------------------------------------------
+# Outcome-string helpers shared by scheduler/service accounting.
+
+class TestOutcomeHelpers:
+    def test_invalid_outcome_roundtrip(self):
+        assert invalid_outcome("A012") == "invalid (A012)"
+        assert reject_code("invalid (A012)") == "A012"
+
+    def test_syntax_error_counts_as_a001(self):
+        assert reject_code("syntax-error") == "A001"
+
+    def test_other_outcomes_are_not_rejections(self):
+        for outcome in ("found", "incorrect", "uninteresting (identical)",
+                        "unverified (validated)", "verifier-error"):
+            assert reject_code(outcome) is None
+
+    def test_reject_codes_folds_histogram(self):
+        histogram = {"found": 3, "syntax-error": 2,
+                     "invalid (A012)": 1, "invalid (A009)": 4}
+        assert reject_codes(histogram) == {"A001": 2, "A012": 1,
+                                           "A009": 4}
+
+
+# ---------------------------------------------------------------------------
+# CFG scaffolding.
+
+class TestCFG:
+    def test_diamond_edges(self):
+        cfg = CFG(parse_function(DIAMOND))
+        assert cfg.successors["entry"] == ["a", "b"]
+        assert cfg.predecessors["join"] == ["a", "b"]
+
+    def test_reverse_postorder_topological_on_dag(self):
+        order = CFG(parse_function(DIAMOND)).reverse_postorder()
+        assert order[0] == "entry"
+        assert order[-1] == "join"
+        assert set(order) == {"entry", "a", "b", "join"}
+
+    def test_dominators_diamond(self):
+        dom = dominators(CFG(parse_function(DIAMOND)))
+        assert dom["join"] == {"entry", "join"}
+        assert dom["a"] == {"entry", "a"}
+
+    def test_unreachable_block_not_in_dominators(self):
+        function = parse_function(
+            "define i32 @f(i32 %x) {\nentry:\n  ret i32 %x\n"
+            "dead:\n  br label %dead\n}")
+        dom = dominators(CFG(function))
+        assert "dead" not in dom
+
+
+# ---------------------------------------------------------------------------
+# Dataflow: liveness / reaching definitions.
+
+class TestLiveness:
+    def test_branch_arms_keep_x_live(self):
+        function = parse_function(DIAMOND)
+        live = live_into_blocks(function)
+        entry_names = {getattr(v, "name", "?") for v in live["entry"]}
+        assert "x" in entry_names        # both arms still need %x
+        join_names = {getattr(v, "name", "?") for v in live["join"]}
+        assert join_names == {"va", "vb"}    # the phi's arms
+
+    def test_dead_value_is_not_live_downstream(self):
+        function = parse_function(
+            "define i32 @f(i32 %x, i32 %y) {\nentry:\n"
+            "  %dead = add i32 %y, 1\n  br label %exit\n"
+            "exit:\n  ret i32 %x\n}")
+        live = live_into_blocks(function)
+        exit_names = {getattr(v, "name", "?") for v in live["exit"]}
+        assert exit_names == {"x"}           # %dead and %y die in entry
+
+
+class TestReachingDefs:
+    def test_both_arm_defs_reach_the_join(self):
+        reaching = reaching_definitions(parse_function(DIAMOND))
+        names = {getattr(v, "name", "?") for v in reaching["join"]}
+        assert {"va", "vb", "x", "c"} <= names
+
+    def test_arm_defs_do_not_cross_arms(self):
+        reaching = reaching_definitions(parse_function(DIAMOND))
+        assert "vb" not in {getattr(v, "name", "?")
+                            for v in reaching["a"]}
+
+
+# ---------------------------------------------------------------------------
+# Known bits.
+
+class TestKnownBits:
+    def test_constant_is_fully_known(self):
+        fact = KnownBits.constant(8, 5)
+        assert fact.is_constant
+        assert fact.ones == 5
+        assert fact.zeros == 0xFF ^ 5
+
+    def test_join_widens(self):
+        joined = KnownBits.constant(8, 5).join(KnownBits.constant(8, 7))
+        assert joined.ones == 5          # bits 0 and 2 agree
+        assert not joined.is_constant
+
+    def test_contradiction_on_clashing_bit(self):
+        odd = KnownBits.from_masks(8, zeros=0, ones=1)
+        even = KnownBits.from_masks(8, zeros=1, ones=0)
+        reason = odd.contradicts(even)
+        assert reason is not None and "bit 0" in reason
+        assert odd.contradicts(odd) is None
+
+    def test_contradiction_on_disjoint_ranges(self):
+        import dataclasses
+        low = dataclasses.replace(KnownBits.unknown(8),
+                                  umin=0, umax=3).normalized()
+        high = dataclasses.replace(KnownBits.unknown(8),
+                                   umin=200, umax=255).normalized()
+        assert low.contradicts(high) is not None
+
+    def returned_bits(self, text):
+        function = parse_function(text)
+        env = known_bits_function(function)
+        return env[id(function.blocks[0].terminator.operands[0])]
+
+    def test_or_pins_ones_and_pins_zeros(self):
+        ored = self.returned_bits(
+            "define i32 @f(i32 %x) {\nentry:\n"
+            "  %r = or i32 %x, 1\n  ret i32 %r\n}")
+        assert ored.ones & 1 == 1
+        masked = self.returned_bits(
+            "define i32 @f(i32 %x) {\nentry:\n"
+            "  %r = and i32 %x, -2\n  ret i32 %r\n}")
+        assert masked.zeros & 1 == 1
+
+    def test_zext_pins_high_bits(self):
+        widened = self.returned_bits(
+            "define i32 @f(i8 %x) {\nentry:\n"
+            "  %r = zext i8 %x to i32\n  ret i32 %r\n}")
+        assert widened.umax <= 0xFF
+
+
+# ---------------------------------------------------------------------------
+# Static refutation: the tier-0 proof and its soundness contract.
+
+REFUTE_PAIRS = [
+    # (source, target): outputs provably differ for every input.
+    ("define i32 @f(i32 %x) {\nentry:\n  %r = or i32 %x, 1\n"
+     "  ret i32 %r\n}",
+     "define i32 @f(i32 %x) {\nentry:\n  %r = and i32 %x, -2\n"
+     "  ret i32 %r\n}"),
+    ("define i8 @f(i8 %x) {\nentry:\n  %r = lshr i8 %x, 4\n"
+     "  ret i8 %r\n}",
+     "define i8 @f(i8 %x) {\nentry:\n  %r = or i8 %x, -128\n"
+     "  ret i8 %r\n}"),
+]
+
+
+class TestStaticRefutation:
+    def test_identical_functions_are_never_refuted(self):
+        source = parse_function(REFUTE_PAIRS[0][0])
+        assert static_refutation(source, source) is None
+
+    @pytest.mark.parametrize("pair", REFUTE_PAIRS)
+    def test_provably_different_pair_is_refuted(self, pair):
+        source = parse_function(pair[0])
+        target = parse_function(pair[1])
+        message = static_refutation(source, target)
+        assert message is not None
+        # The message must look like verifier feedback to the LLM loop
+        # (the simulated model keys on this marker).
+        assert message.startswith("Transformation doesn't verify!")
+        assert "static proof" in message
+
+    @pytest.mark.parametrize("pair", REFUTE_PAIRS)
+    def test_never_stronger_than_the_dynamic_verifier(self, pair):
+        # Soundness: any pair the static tier refutes must also be
+        # refuted by the downstream tiers it short-circuits.
+        from repro.verify.testing import run_refinement_tests
+        source = parse_function(pair[0])
+        target = parse_function(pair[1])
+        assert static_refutation(source, target) is not None
+        counterexample = run_refinement_tests(source, target,
+                                              random_count=64, seed=0)
+        assert counterexample is not None
+
+    def test_check_refinement_reports_static_method(self):
+        from repro.verify import check_refinement
+        source = parse_function(REFUTE_PAIRS[0][0])
+        target = parse_function(REFUTE_PAIRS[0][1])
+        result = check_refinement(source, target)
+        assert result.status == "refuted"
+        assert result.method == "static"
+        assert "static proof" in result.counter_example
+
+    def test_ill_formed_candidate_is_an_error_not_a_proof(self):
+        # Regression: the evaluator trusts declared types, so this
+        # candidate (declares i8, returns an i1 value) used to be
+        # "proved" against the i8 source by numeric coincidence — and
+        # was counted as a Table 2 detection for issue 141930.  The
+        # refinement checker must type-check its inputs like Alive2.
+        from repro.verify import check_refinement
+        source = parse_function(
+            "define i8 @src(i8 %x) {\nentry:\n"
+            "  %c = icmp ugt i8 %x, 5\n"
+            "  %r = select i1 %c, i8 1, i8 0\n  ret i8 %r\n}")
+        target = parse_function(
+            "define i8 @src(i8 %x) {\nentry:\n"
+            "  %c = icmp ugt i8 %x, 5\n  ret i1 %c\n}")
+        result = check_refinement(source, target)
+        assert result.status == "error"
+        assert "ill-formed" in result.message
+        assert "A013" in result.message
+
+    def test_unsafe_features_disable_the_tier(self):
+        # Poison-generating flags make the pointwise argument unsound;
+        # the gate must refuse rather than guess.
+        source = parse_function(
+            "define i32 @f(i32 %x) {\nentry:\n"
+            "  %r = add nsw i32 %x, 1\n  ret i32 %r\n}")
+        target = parse_function(
+            "define i32 @f(i32 %x) {\nentry:\n"
+            "  %r = or i32 %x, 1\n  ret i32 %r\n}")
+        assert static_refutation(source, target) is None
+
+    def test_multi_block_functions_disable_the_tier(self):
+        source = parse_function(DIAMOND)
+        target = parse_function(DIAMOND.replace("add i32 %x, 1",
+                                                "or i32 %x, 1"))
+        assert static_refutation(source, target) is None
+
+    def test_correct_rewrites_survive_the_corpus(self):
+        # No rq1 (src, tgt) pair — all correct refinements — may be
+        # statically refuted.
+        for case in rq1_cases():
+            source = parse_function(case.src)
+            target = parse_function(case.tgt)
+            assert static_refutation(source, target) is None, \
+                case.issue_id
+
+
+# ---------------------------------------------------------------------------
+# Pipeline prescreen: an ill-formed candidate is rejected pre-verify.
+
+class TestPipelinePrescreen:
+    def broken_candidate(self):
+        function = parse_function(
+            "define i32 @f(i32 %x) {\nentry:\n"
+            "  %r = add i32 %x, 1\n  ret i32 %r\n}")
+        function.blocks[0].instructions[0].operands[1] = \
+            ConstantInt(IntType(8), 1)
+        return function
+
+    def make_pipeline(self, answers):
+        from repro.core import LPOPipeline, PipelineConfig
+        from repro.llm.client import LLMResponse, Usage
+
+        class Scripted:
+            model_name = "scripted"
+
+            def __init__(self, texts):
+                self.texts = list(texts)
+
+            def complete(self, request):
+                return LLMResponse(text=self.texts.pop(0),
+                                   usage=Usage(calls=1))
+
+        return LPOPipeline(Scripted(answers),
+                           PipelineConfig(attempt_limit=2))
+
+    def test_invalid_outcome_with_code_and_feedback(self):
+        from repro.core import window_from_text
+        source = ("define i32 @f(i32 %x) {\nentry:\n"
+                  "  %a = add i32 %x, 1\n  %r = mul i32 %a, 2\n"
+                  "  ret i32 %r\n}")
+        pipeline = self.make_pipeline(["ignored", "ignored"])
+        broken = self.broken_candidate()
+        pipeline._opt_candidate = lambda text: (broken, "")
+
+        result = pipeline.optimize_window(window_from_text(source))
+        assert not result.found
+        assert len(result.attempts) == 2      # rejected, retried, rejected
+        for attempt in result.attempts:
+            assert attempt.outcome == invalid_outcome("A012")
+            assert "A012" in attempt.feedback
+        assert "analysis" in result.phases
+
+    def test_prescreen_rejections_fold_into_batch_stats(self):
+        from repro.core.scheduler import BatchStats
+        from repro.llm.client import Usage
+
+        class FakeAttempt:
+            def __init__(self, outcome):
+                self.outcome = outcome
+
+        class FakeResult:
+            found = False
+            elapsed_seconds = 0.0
+            usage = Usage()
+            phases = {}
+            attempts = [FakeAttempt("syntax-error"),
+                        FakeAttempt("invalid (A012)"),
+                        FakeAttempt("found")]
+
+            @property
+            def status(self):
+                return "found"
+
+        stats = BatchStats()
+        stats.record(FakeResult())
+        assert stats.analysis_rejects == 2
+        assert stats.analysis_codes == {"A001": 1, "A012": 1}
+        assert "analysis reject" in stats.render()
+        assert "A012" in stats.render()
+
+
+# ---------------------------------------------------------------------------
+# Service surfaces: metrics fold, text render, Prometheus families.
+
+class TestServiceAnalysisMetrics:
+    def test_record_and_snapshot(self):
+        from repro.service.metrics import ServiceMetrics
+        metrics = ServiceMetrics()
+        metrics.record_analysis({"A001": 2, "A012": 1})
+        metrics.record_analysis({"A001": 1})
+        snap = metrics.to_dict()
+        assert snap["analysis"]["rejects"] == 4
+        assert snap["analysis"]["codes"] == {"A001": 3, "A012": 1}
+        rendered = metrics.render()
+        assert "analysis: 4 reject(s)" in rendered
+        assert "A001:3" in rendered
+
+    def test_silent_when_nothing_rejected(self):
+        from repro.service.metrics import ServiceMetrics
+        assert "analysis" not in ServiceMetrics().render()
+
+    def test_prometheus_families(self):
+        from repro.service.exporter import render_prometheus
+        from repro.service.metrics import ServiceMetrics
+        metrics = ServiceMetrics()
+        metrics.record_analysis({"A009": 5})
+        text = render_prometheus(metrics.to_dict())
+        assert "repro_analysis_rejects_total 5" in text
+        assert ('repro_analysis_code_rejects_total{code="A009"} 5'
+                in text)
+
+    def test_ignores_garbage_payloads(self):
+        from repro.service.metrics import ServiceMetrics
+        metrics = ServiceMetrics()
+        metrics.record_analysis({"A001": -3, "A002": "x", "A003": 0})
+        assert metrics.to_dict()["analysis"]["rejects"] == 0
+
+
+class TestServiceEndToEndRejection:
+    """Acceptance: a simulated corruption-mode candidate is rejected
+    before verify and its coded diagnostic is visible on every service
+    surface — status dict, /metrics families, and the structured log."""
+
+    def test_corrupted_candidate_visible_everywhere(self):
+        import io
+        import json
+
+        from repro import obs
+        from repro.corpus.issues import rq1_by_id
+        from repro.service import JobSpec, OptimizationService
+        from repro.service.exporter import render_prometheus
+
+        # Deterministic: the clamp window under Gemini2.0T at
+        # round_seed=1 emits a corrupt_syntax answer first, then the
+        # repaired rewrite (['syntax-error', 'found']).
+        clamp = rq1_by_id()[104875]
+        buf = io.StringIO()
+        log = obs.StructuredLogger(stream=buf)
+        with OptimizationService(jobs=1, backend="thread",
+                                 logger=log) as service:
+            result = service.run_many(
+                [JobSpec(ir=clamp.src, model="Gemini2.0T",
+                         round_seed=1)])[0]
+        assert result.ok and result.found
+
+        status = service.status()
+        assert status["analysis"]["rejects"] == 1
+        assert status["analysis"]["codes"] == {"A001": 1}
+
+        text = render_prometheus(status)
+        assert "repro_analysis_rejects_total 1" in text
+        assert ('repro_analysis_code_rejects_total{code="A001"} 1'
+                in text)
+
+        events = [json.loads(line)
+                  for line in buf.getvalue().splitlines()]
+        (reject,) = [e for e in events
+                     if e["event"] == "analysis.reject"]
+        assert reject["codes"] == {"A001": 1}
+        assert reject["rejects"] == 1
+        assert reject["digest"]

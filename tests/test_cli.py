@@ -280,6 +280,21 @@ class TestServiceCommands:
         assert "latency: p50" in out
         assert "2 workers" in out
 
+    def test_status_reports_analysis_rejects(self, served_port,
+                                             tmp_path, capsys):
+        # Gemini2.0T on this case with round seed 1 emits one
+        # corrupted (unparseable) candidate before the find; the
+        # prescreen reject must be visible in `repro status`.
+        from repro.corpus.issues import rq1_by_id
+        case_file = tmp_path / "c104875.ll"
+        case_file.write_text(rq1_by_id()[104875].src)
+        assert main(["submit", str(case_file), "--port", served_port,
+                     "--model", "Gemini2.0T", "--seed", "1"]) == 0
+        capsys.readouterr()
+        assert main(["status", "--port", served_port]) == 0
+        out = capsys.readouterr().out
+        assert "analysis: 1 reject(s) [A001:1]" in out
+
     def test_submit_unreachable_service(self, module_file, capsys):
         assert main(["submit", module_file, "--port", "1"]) == 2
         assert "cannot reach" in capsys.readouterr().err
@@ -479,3 +494,112 @@ class TestServiceCommands:
         status_out = capsys.readouterr().out
         windows = int(out.err.split(" jobs")[0])
         assert f"job cache: {windows} hit" in status_out
+
+
+#: Parses fine, fails the verifier (A013: returns i64 from an i32
+#: function) — the shape only programmatic gates can catch.
+ILL_FORMED_MODULE = """
+define i32 @bad(i64 %x) {
+entry:
+  ret i64 %x
+}
+"""
+
+
+class TestLintCommand:
+    def test_clean_file_exits_zero(self, clamp_files, capsys):
+        src, tgt = clamp_files
+        assert main(["lint", src, tgt]) == 0
+        captured = capsys.readouterr()
+        assert captured.out == ""
+        assert "2 file(s) clean" in captured.err
+
+    def test_syntax_error_is_positioned(self, tmp_path, capsys):
+        path = tmp_path / "broken.ll"
+        path.write_text("define i8 @f(i8 %x) {\nentry:\n"
+                        "  %a = smax i8 %x, 0\n  ret i8 %a\n}")
+        assert main(["lint", str(path)]) == 1
+        captured = capsys.readouterr()
+        assert f"{path}:3:" in captured.out
+        assert "A001:" in captured.out
+        assert "1 diagnostic(s)" in captured.err
+
+    def test_verifier_diagnostic_exits_one(self, tmp_path, capsys):
+        path = tmp_path / "ill.ll"
+        path.write_text(ILL_FORMED_MODULE)
+        assert main(["lint", str(path)]) == 1
+        assert "A013:" in capsys.readouterr().out
+
+    def test_json_output_is_machine_readable(self, tmp_path, clamp_files,
+                                             capsys):
+        import json
+        src, _ = clamp_files
+        path = tmp_path / "ill.ll"
+        path.write_text(ILL_FORMED_MODULE)
+        assert main(["lint", "--json", src, str(path)]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["diagnostics"] == 1
+        clean, dirty = report["files"]
+        assert clean["diagnostics"] == []
+        assert dirty["diagnostics"][0]["code"] == "A013"
+
+    def test_json_clean_exits_zero(self, clamp_files, capsys):
+        import json
+        src, _ = clamp_files
+        assert main(["lint", "--json", src]) == 0
+        assert json.loads(capsys.readouterr().out)["diagnostics"] == 0
+
+    def test_missing_file_exits_two(self, capsys):
+        assert main(["lint", "/nonexistent.ll"]) == 2
+
+
+class TestIngestionGate:
+    """Ill-formed (but parseable) IR is rejected before job submission."""
+
+    def test_submit_rejects_ill_formed_module(self, served_port,
+                                              tmp_path, capsys):
+        path = tmp_path / "ill.ll"
+        path.write_text(ILL_FORMED_MODULE)
+        assert main(["submit", str(path), "--port", served_port]) == 1
+        err = capsys.readouterr().err
+        assert "verifier diagnostic" in err
+        assert "A013" in err
+
+    def test_watch_rejects_without_retry_and_carries_on(
+            self, served_port, tmp_path, capsys):
+        drops = tmp_path / "drops"
+        drops.mkdir()
+        (drops / "ill.ll").write_text(ILL_FORMED_MODULE)
+        (drops / "good.ll").write_text(BATCH_MODULE)
+        code = main(["submit", "--watch", str(drops),
+                     "--port", served_port,
+                     "--interval", "0.1", "--idle-exit", "0.8"])
+        captured = capsys.readouterr()
+        assert code == 1                       # the reject is an error...
+        assert "A013" in captured.err
+        assert "gave up" not in captured.err   # ...but never retried
+        assert "@two_chains" in captured.out   # the stream goes on
+        assert "2 files watched" in captured.err
+
+    def test_stdin_rejects_ill_formed_module(self, served_port,
+                                             tmp_path, monkeypatch,
+                                             capsys):
+        import io
+        ill = tmp_path / "ill.ll"
+        ill.write_text(ILL_FORMED_MODULE)
+        good = tmp_path / "good.ll"
+        good.write_text(BATCH_MODULE)
+        monkeypatch.setattr(sys, "stdin",
+                            io.StringIO(f"{ill}\n{good}\n"))
+        assert main(["submit", "--stdin", "--port", served_port]) == 1
+        captured = capsys.readouterr()
+        assert "A013" in captured.err
+        assert "@two_chains" in captured.out
+
+    def test_campaign_rejects_ill_formed_file(self, served_port,
+                                              tmp_path, capsys):
+        path = tmp_path / "ill.ll"
+        path.write_text(ILL_FORMED_MODULE)
+        assert main(["campaign", str(path), "--port", served_port,
+                     "--rounds", "1"]) == 1
+        assert "A013" in capsys.readouterr().err

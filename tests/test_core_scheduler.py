@@ -386,6 +386,46 @@ class TestProcessBitIdentity:
         assert len(pipeline.cache) == len(reference.cache)
 
 
+class TestDuplicateReclassification:
+    """The deterministic-accounting half of the bit-identity contract:
+    a worker that recomputes a key another task already shipped has its
+    miss flipped to the hit a sequential pass would have counted."""
+
+    def delta(self):
+        from repro.core.cache import CacheStats
+        return CacheStats(opt_hits=2, opt_misses=3,
+                          verify_hits=1, verify_misses=4,
+                          job_hits=0, job_misses=2)
+
+    def test_flips_one_miss_per_prefix(self):
+        from repro.core.pipeline import _reclassify_duplicate
+        delta = self.delta()
+        _reclassify_duplicate(delta, "opt:abc")
+        assert (delta.opt_hits, delta.opt_misses) == (3, 2)
+        _reclassify_duplicate(delta, "verify:abc")
+        assert (delta.verify_hits, delta.verify_misses) == (2, 3)
+        _reclassify_duplicate(delta, "job:abc")
+        assert (delta.job_hits, delta.job_misses) == (1, 1)
+
+    def test_totals_are_preserved(self):
+        from repro.core.pipeline import _reclassify_duplicate
+        delta = self.delta()
+        before = (delta.hits + delta.misses)
+        _reclassify_duplicate(delta, "opt:abc")
+        assert delta.hits + delta.misses == before
+
+    def test_unknown_prefix_is_untouched(self):
+        from repro.core.pipeline import _reclassify_duplicate
+        delta = self.delta()
+        _reclassify_duplicate(delta, "mystery:abc")
+        assert delta == self.delta()
+
+    def test_batch_stats_render_reports_duplicates(self):
+        from repro.core.scheduler import BatchStats
+        stats = BatchStats(duplicate_entries=2)
+        assert "2 duplicate cache entries" in stats.render()
+
+
 class _RecordingScheduler(BatchScheduler):
     """Captures exactly what run_batch hands the pool per task."""
 

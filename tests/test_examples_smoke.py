@@ -52,6 +52,14 @@ def test_campaign_demo(monkeypatch, capsys):
     assert "service stopped cleanly" in out
 
 
+def test_lint_corpus(monkeypatch, capsys):
+    out = run_example(monkeypatch, capsys, "lint_corpus.py")
+    assert "zero false positives" in out
+    assert "A013" in out
+    assert "A001" in out
+    assert "static proof" in out
+
+
 def test_reproduce_tables_figure5(monkeypatch, capsys):
     out = run_example(monkeypatch, capsys, "reproduce_tables.py",
                       argv=["figure5"])
