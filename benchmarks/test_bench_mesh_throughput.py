@@ -1,0 +1,176 @@
+"""Mesh throughput benchmark: 1-shard vs 2-shard scaling through the
+router, plus the federation hit rate on warm resubmission.
+
+Runs the full rq1 window corpus through a ``MeshRouter`` over warm
+sockets three ways — a 1-shard mesh (the router in front of a single
+``repro serve`` instance: pure routing overhead), a 2-shard mesh (the
+corpus consistent-hash-split across two shard services), and a warm
+2-shard resubmission (every job a shard-side cache hit) — and records
+sustained jobs/sec for each into
+``benchmarks/results/mesh_throughput.txt`` with the standard ``[env]``
+machine header.  A final pass re-routes the corpus after forging the
+federation index so every remembered shard differs from the ring
+owner, measuring the probe-then-redirect hit rate the cache-federation
+path delivers.
+
+Findings equivalence across all passes is asserted, not just timed,
+and the fleet-status counters must reconcile exactly with the
+per-shard sums (`federate_status` is what the artifact numbers come
+from).
+"""
+
+import time
+
+import pytest
+
+from repro.corpus.issues import rq1_cases
+from repro.service import (
+    JobSpec,
+    MeshRouter,
+    OptimizationService,
+    ServiceServer,
+    ShardEndpoint,
+    job_digest,
+)
+
+
+@pytest.fixture(scope="module")
+def rq1_irs():
+    return [case.src for case in rq1_cases()]
+
+
+def _jobs_per_sec(count, wall):
+    return count / wall if wall > 0 else 0.0
+
+
+class _Fleet:
+    def __init__(self, count, jobs):
+        self.shards = []
+        for _ in range(count):
+            service = OptimizationService(jobs=jobs, backend="thread")
+            server = ServiceServer(service, host="127.0.0.1", port=0)
+            port = server.start_background()
+            self.shards.append((service, server, port))
+        self.endpoints = [ShardEndpoint("127.0.0.1", port)
+                          for _service, _server, port in self.shards]
+
+    def close(self):
+        for service, server, _port in self.shards:
+            server.stop()
+            service.close()
+
+
+def test_bench_mesh_throughput(rq1_irs, bench_jobs, save_artifact):
+    # Per-shard worker width splits the benchmark budget so the
+    # 2-shard row measures distribution, not extra hardware.
+    single = _Fleet(1, jobs=bench_jobs)
+    pair = _Fleet(2, jobs=max(1, bench_jobs // 2))
+    router_single = MeshRouter(single.endpoints, health_interval=None)
+    router_pair = MeshRouter(pair.endpoints, health_interval=None)
+    try:
+        specs = lambda: [JobSpec(ir=ir) for ir in rq1_irs]  # noqa: E731
+
+        start = time.perf_counter()
+        one_shard = router_single.route_many(specs())
+        one_wall = time.perf_counter() - start
+
+        start = time.perf_counter()
+        two_shard = router_pair.route_many(specs())
+        two_wall = time.perf_counter() - start
+
+        start = time.perf_counter()
+        warm = router_pair.route_many(specs())
+        warm_wall = time.perf_counter() - start
+
+        # Federation pass: recreate the state failover leaves behind —
+        # every job's result lives on the shard the ring does NOT
+        # point at (warmed directly, untimed), and the router's
+        # federation index remembers that serving shard.  Re-routing
+        # then measures the probe-and-redirect path: a hit means the
+        # job was answered from the warm non-owner without the cold
+        # ring owner re-running anything.
+        key_to_service = {endpoint.key: service
+                          for endpoint, (service, _server, _port)
+                          in zip(pair.endpoints, pair.shards)}
+        to_warm = {}
+        for ir in rq1_irs:
+            spec = JobSpec(ir=ir)
+            digest = job_digest(spec, llm_seed=0)
+            owner = router_pair.ring.owner(digest)
+            other = next(key for key in router_pair.ring.keys
+                         if key != owner)
+            to_warm.setdefault(other, []).append(spec)
+            router_pair._served[digest] = other
+        for key, shard_specs in to_warm.items():
+            key_to_service[key].run_many(shard_specs)
+        swapped = len(rq1_irs)
+        start = time.perf_counter()
+        federated = router_pair.route_many(specs())
+        federated_wall = time.perf_counter() - start
+
+        fleet_status = router_pair.status(refresh=True)
+        router_metrics = router_pair.metrics.to_dict()
+        shard_statuses = [service.status()
+                          for service, _server, _port in pair.shards]
+    finally:
+        router_single.close()
+        router_pair.close()
+        single.close()
+        pair.close()
+
+    jobs = len(rq1_irs)
+    findings = sum(r.found for r in one_shard)
+
+    # Equivalence before throughput: every pass, every verdict.
+    for results in (two_shard, warm, federated):
+        assert [r.status for r in results] == [r.status
+                                               for r in one_shard]
+    assert not any(r.cached for r in one_shard)
+    assert not any(r.cached for r in two_shard)
+    assert all(r.cached for r in warm)
+    assert all(r.cached for r in federated)
+
+    # Fleet counters reconcile exactly with the per-shard sums.
+    for field in ("submitted", "completed", "cache_hits",
+                  "cache_misses"):
+        assert fleet_status[field] == sum(snap[field]
+                                          for snap in shard_statuses)
+
+    probes = router_metrics["federation_probes"]
+    hits = router_metrics["federation_hits"]
+    hit_rate = hits / probes if probes else 0.0
+    spread = dict(sorted(router_metrics["per_shard"].items()))
+    lines = [
+        f"rq1 corpus: {jobs} jobs per pass, {findings} findings "
+        f"(thread shards, {bench_jobs} total workers, warm router "
+        f"sockets)",
+        f"1-shard mesh  cold: {one_wall:8.2f}s  "
+        f"{_jobs_per_sec(jobs, one_wall):8.1f} jobs/s "
+        f"(router + one shard: the routing-overhead baseline)",
+        f"2-shard mesh  cold: {two_wall:8.2f}s  "
+        f"{_jobs_per_sec(jobs, two_wall):8.1f} jobs/s "
+        f"(corpus consistent-hash-split across two shards)",
+        f"2-shard mesh  warm: {warm_wall:8.3f}s  "
+        f"{_jobs_per_sec(jobs, warm_wall):8.1f} jobs/s "
+        f"(x{two_wall / max(warm_wall, 1e-9):.0f} vs cold; every job "
+        f"a shard cache hit)",
+        f"2-shard federated:  {federated_wall:8.3f}s  "
+        f"{_jobs_per_sec(jobs, federated_wall):8.1f} jobs/s "
+        f"({hits}/{probes} probe hits = {hit_rate:.0%} federation "
+        f"hit rate, {swapped} digests re-homed)",
+        f"routing spread over 2 shards: "
+        + ", ".join(f"{key}: {count}" for key, count in spread.items()),
+        f"fleet totals: {fleet_status['submitted']} submitted = "
+        f"per-shard sum "
+        f"({' + '.join(str(s['submitted']) for s in shard_statuses)}); "
+        f"{fleet_status['cache_hits']} cache hits",
+    ]
+    save_artifact("mesh_throughput", "\n".join(lines))
+
+    # Guard rails: warm resubmission must be dramatically faster than
+    # the cold pass, federation must answer from the warm shard every
+    # time (the index was fully re-homed), and the hash split must
+    # actually use both shards.
+    assert warm_wall < two_wall / 10
+    assert probes == swapped and hits == probes
+    assert len(spread) == 2 and min(spread.values()) > 0

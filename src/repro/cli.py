@@ -27,7 +27,13 @@ Commands mirror the toolchain pieces the paper composes:
   returned detection matrix;
 * ``status``         — print a running service's metrics (request
   counts, queue depth, latency percentiles, cache hit rate, campaign
-  progress);
+  progress); ``--mesh`` renders a router's fleet-wide view;
+* ``mesh serve``     — run the mesh router: a consistent-hash front
+  end over N ``repro serve`` shards (``--shard host:port`` or
+  ``--shards-file``) with health-checked failover, cache federation,
+  optional ``--token`` authn and per-client ``--quota``; ``mesh
+  status`` / ``mesh submit`` are the router-flavored twins of
+  ``status`` / ``submit``;
 * ``souper FILE`` / ``minotaur FILE`` — the baseline superoptimizers;
 * ``tables NAME``    — regenerate a paper table/figure.
 
@@ -66,6 +72,13 @@ from repro.errors import ParseError, ReproError, VerificationError
 
 def _read(path: str) -> str:
     return pathlib.Path(path).read_text()
+
+
+def _write_port_file(path, port: int) -> None:
+    """Atomic port-file write: a watcher polling the path never reads
+    a partially written number."""
+    from repro.service.mesh import write_file_atomic
+    write_file_atomic(path, f"{port}\n")
 
 
 def cmd_opt(args: argparse.Namespace) -> int:
@@ -264,14 +277,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
               f"queue={args.queue_limit}, shards={args.shards})",
               file=sys.stderr)
         if args.port_file:
-            pathlib.Path(args.port_file).write_text(f"{server.port}\n")
+            _write_port_file(args.port_file, server.port)
         if exporter is not None:
             exporter.start()
             print(f"metrics on http://{args.host}:{exporter.port}"
                   f"/metrics", file=sys.stderr)
             if args.metrics_port_file:
-                pathlib.Path(args.metrics_port_file).write_text(
-                    f"{exporter.port}\n")
+                _write_port_file(args.metrics_port_file, exporter.port)
         server.join()
     except KeyboardInterrupt:
         print("shutting down", file=sys.stderr)
@@ -501,7 +513,8 @@ def cmd_submit(args: argparse.Namespace) -> int:
         previous_log = obs.install(ingest_log)
     try:
         with ServiceClient(args.port, host=args.host,
-                           timeout=args.timeout) as client:
+                           timeout=args.timeout,
+                           token=args.token) as client:
             if args.watch:
                 found, errors = _watch_loop(client, args)
             elif args.stdin:
@@ -566,7 +579,8 @@ def cmd_campaign(args: argparse.Namespace) -> int:
                         rounds=args.rounds, models=models,
                         variants=[["LPO-", 1], ["LPO", args.attempts]])
     with ServiceClient(args.port, host=args.host,
-                       timeout=args.timeout) as client:
+                       timeout=args.timeout,
+                       token=args.token) as client:
         result = client.submit_campaign(spec)
     print(render_table2(campaign_to_rq1_results(result)))
     latency = result.latency
@@ -578,15 +592,139 @@ def cmd_campaign(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def cmd_mesh_serve(args: argparse.Namespace) -> int:
+    from repro import obs
+    from repro.service import MetricsExporter
+    from repro.service.mesh import (
+        MeshRouter,
+        MeshServer,
+        parse_shard,
+        read_shards_file,
+    )
+    endpoints = [parse_shard(text) for text in args.shard]
+    if args.shards_file:
+        endpoints.extend(read_shards_file(args.shards_file))
+    if not endpoints:
+        print("error: no shards (use --shard HOST:PORT and/or "
+              "--shards-file PATH)", file=sys.stderr)
+        return 2
+    # Same sink discipline as cmd_serve: one process-default logger,
+    # restored on exit.
+    if args.log_file == "-":
+        logger = obs.StructuredLogger(stream=sys.stderr,
+                                      level=args.log_level)
+    else:
+        logger = obs.StructuredLogger(path=args.log_file,
+                                      level=args.log_level)
+    previous_logger = obs.install(logger)
+    router = MeshRouter(
+        endpoints, token=args.token, quota=args.quota,
+        llm_seed=args.seed,
+        health_interval=(None if args.health_interval <= 0
+                         else args.health_interval),
+        connect_timeout=args.connect_timeout,
+        request_timeout=args.request_timeout, logger=logger)
+    server = MeshServer(router, host=args.host, port=args.port)
+    exporter = None
+    if args.metrics_port is not None:
+        exporter = MetricsExporter(router, host=args.host,
+                                   port=args.metrics_port)
+    try:
+        server.start_background()
+        print(f"repro mesh router listening on "
+              f"{args.host}:{server.port} ({len(endpoints)} shard(s), "
+              f"token {'on' if args.token else 'off'}, "
+              f"quota {args.quota if args.quota else 'off'})",
+              file=sys.stderr)
+        if args.port_file:
+            _write_port_file(args.port_file, server.port)
+        if exporter is not None:
+            exporter.start()
+            print(f"fleet metrics on http://{args.host}:"
+                  f"{exporter.port}/metrics", file=sys.stderr)
+            if args.metrics_port_file:
+                _write_port_file(args.metrics_port_file, exporter.port)
+        server.join()
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+        server.stop()
+    finally:
+        if exporter is not None:
+            exporter.stop()
+        router.close()
+        obs.install(previous_logger)
+        logger.close()
+    return 0
+
+
+def _render_mesh_status(args: argparse.Namespace, status: dict,
+                        mesh: dict) -> int:
+    """Human rendering of a router's federated status snapshot."""
+    shards = mesh.get("shards", ())
+    router = mesh.get("router", {})
+    print(f"mesh router on {args.host}:{args.port} "
+          f"({mesh.get('healthy_shards', 0)}/{len(shards)} shards "
+          f"healthy, up {mesh.get('uptime_seconds', 0.0):.1f}s, "
+          f"token {'on' if mesh.get('authenticated') else 'off'}, "
+          f"quota {mesh.get('quota') if mesh.get('quota') else 'off'})")
+    for shard in shards:
+        state = ("up" if shard.get("healthy")
+                 else f"DOWN ({shard.get('error') or 'unreachable'})")
+        print(f"  shard {shard.get('shard')}: {state}, "
+              f"{shard.get('routed', 0)} jobs routed")
+    print(f"fleet jobs: {status.get('submitted')} submitted, "
+          f"{status.get('completed')} completed, "
+          f"{status.get('failed')} failed, "
+          f"{status.get('requeued')} requeued "
+          f"({status.get('workers')} workers, "
+          f"{status.get('jobs_per_second', 0.0):.2f} jobs/s)")
+    print(f"fleet cache: {status.get('cache_hits')} hit / "
+          f"{status.get('cache_misses')} miss "
+          f"(rate {status.get('cache_hit_rate', 0.0):.2%}, "
+          f"{status.get('job_cache_entries')} entries)")
+    probes = router.get("federation_probes", 0)
+    print(f"router: {router.get('routed', 0)} routed, "
+          f"{router.get('coalesced', 0)} coalesced, "
+          f"{router.get('failovers', 0)} failovers, "
+          f"federation {router.get('federation_hits', 0)}/{probes} "
+          f"probe hits")
+    if router.get("auth_rejects") or router.get("quota_rejects"):
+        print(f"tenancy: {router.get('auth_rejects', 0)} auth "
+              f"reject(s), {router.get('quota_rejects', 0)} quota "
+              f"reject(s)")
+    campaigns = status.get("campaigns", {})
+    if campaigns.get("started"):
+        print(f"campaigns: {campaigns.get('started', 0)} started, "
+              f"{campaigns.get('completed', 0)} completed, "
+              f"{campaigns.get('failed', 0)} failed, "
+              f"{campaigns.get('rounds_completed', 0)} rounds, "
+              f"{campaigns.get('detections', 0)} detections")
+        for progress in campaigns.get("active", ()):
+            print(f"  active {progress.get('campaign_id')}: "
+                  f"{progress.get('rounds_done')}/"
+                  f"{progress.get('rounds_total')} rounds, "
+                  f"{progress.get('detections')} detections")
+    return 0
+
+
 def cmd_status(args: argparse.Namespace) -> int:
     from repro.service import ServiceClient
     with ServiceClient(args.port, host=args.host,
-                       timeout=args.timeout) as client:
+                       timeout=args.timeout,
+                       token=args.token) as client:
         status = client.status()
+    mesh = status.get("mesh")
+    if args.mesh and mesh is None:
+        print(f"error: the service on {args.host}:{args.port} is not "
+              f"a mesh router (its status has no mesh section)",
+              file=sys.stderr)
+        return 2
     if args.json:
         import json
         print(json.dumps(status, indent=2, sort_keys=True))
         return 0
+    if mesh is not None:
+        return _render_mesh_status(args, status, mesh)
     lat = status.get("latency", {})
     print(f"service on {args.host}:{args.port} "
           f"({status.get('backend')}, {status.get('workers')} workers, "
@@ -840,39 +978,73 @@ def build_parser() -> argparse.ArgumentParser:
                         "event with their span breakdown (<=0: off)")
     p.set_defaults(func=cmd_serve)
 
+    token_help = ("shared secret for a mesh router started with "
+                  "--token (plain shards need none)")
+
+    def add_submit_arguments(p, port: int) -> None:
+        """One argument set for ``submit`` and ``mesh submit`` (only
+        the default port differs)."""
+        p.add_argument("file", nargs="?",
+                       help="module to submit (omit with "
+                            "--watch/--stdin)")
+        p.add_argument("--watch", metavar="DIR",
+                       help="stream newly appearing .ll files in DIR "
+                            "to the service instead of one-shot "
+                            "submitting")
+        p.add_argument("--stdin", action="store_true",
+                       help="read module paths from stdin (one per "
+                            "line) as they arrive")
+        p.add_argument("--interval", type=float, default=0.5,
+                       help="watch poll / pacing interval in seconds")
+        p.add_argument("--idle-exit", type=float, default=0.0,
+                       metavar="SECONDS",
+                       help="with --watch: exit after this long with "
+                            "no new files (0: watch forever)")
+        p.add_argument("--fail-on-empty", action="store_true",
+                       help="exit 1 when no optimization was found "
+                            "(default: clean no-find exits 0)")
+        p.add_argument("--host", default="127.0.0.1")
+        p.add_argument("--port", type=int, default=port)
+        p.add_argument("--model", default="Gemini2.0T", metavar="SPEC",
+                       help=model_spec_help + " (empty: the serving "
+                            "side's default)")
+        p.add_argument("--attempts", type=int, default=2)
+        p.add_argument("--seed", type=int, default=0,
+                       help="round seed for the LPO loop")
+        p.add_argument("--timeout", type=float, default=300.0)
+        p.add_argument("--token", default=None, metavar="SECRET",
+                       help=token_help)
+        p.add_argument("--log-file", default=None, metavar="PATH",
+                       help="JSON-lines structured-event sink for "
+                            "ingestion events ('-': stderr; "
+                            "default: off)")
+        p.set_defaults(func=cmd_submit)
+
+    def add_status_arguments(p, port: int, mesh: bool) -> None:
+        """One argument set for ``status`` and ``mesh status`` (the
+        latter defaults to the router port and the fleet view)."""
+        p.add_argument("--host", default="127.0.0.1")
+        p.add_argument("--port", type=int, default=port)
+        p.add_argument("--timeout", type=float, default=30.0)
+        p.add_argument("--token", default=None, metavar="SECRET",
+                       help=token_help)
+        p.add_argument("--json", action="store_true",
+                       help="print the raw status snapshot as JSON "
+                            "(machine-readable; includes the latency "
+                            "histograms)")
+        if mesh:
+            p.set_defaults(mesh=True)
+        else:
+            p.add_argument("--mesh", action="store_true",
+                           help="require and render a mesh router's "
+                                "fleet-wide view (error against a "
+                                "plain shard)")
+        p.set_defaults(func=cmd_status)
+
     p = sub.add_parser("submit",
                        help="submit module windows to a running "
                             "service (one-shot, --watch, or --stdin)")
-    p.add_argument("file", nargs="?",
-                   help="module to submit (omit with --watch/--stdin)")
-    p.add_argument("--watch", metavar="DIR",
-                   help="stream newly appearing .ll files in DIR to "
-                        "the service instead of one-shot submitting")
-    p.add_argument("--stdin", action="store_true",
-                   help="read module paths from stdin (one per line) "
-                        "as they arrive")
-    p.add_argument("--interval", type=float, default=0.5,
-                   help="watch poll / pacing interval in seconds")
-    p.add_argument("--idle-exit", type=float, default=0.0,
-                   metavar="SECONDS",
-                   help="with --watch: exit after this long with no "
-                        "new files (0: watch forever)")
-    p.add_argument("--fail-on-empty", action="store_true",
-                   help="exit 1 when no optimization was found "
-                        "(default: clean no-find exits 0)")
-    p.add_argument("--host", default="127.0.0.1")
-    p.add_argument("--port", type=int, default=7777)
-    p.add_argument("--model", default="Gemini2.0T", metavar="SPEC",
-                   help=model_spec_help + " (empty: the serving "
-                        "side's default)")
-    p.add_argument("--attempts", type=int, default=2)
-    p.add_argument("--seed", type=int, default=0,
-                   help="round seed for the LPO loop")
-    p.add_argument("--timeout", type=float, default=300.0)
-    p.add_argument("--log-file", default=None, metavar="PATH",
-                   help="JSON-lines structured-event sink for "
-                        "ingestion events ('-': stderr; default: off)")
-    p.set_defaults(func=cmd_submit)
+    add_submit_arguments(p, port=7777)
 
     p = sub.add_parser("campaign",
                        help="run an rq1-style multi-round campaign on "
@@ -891,18 +1063,78 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=7777)
     p.add_argument("--timeout", type=float, default=3600.0)
+    p.add_argument("--token", default=None, metavar="SECRET",
+                   help=token_help)
     p.set_defaults(func=cmd_campaign)
 
     p = sub.add_parser("status",
                        help="print a running service's metrics")
+    add_status_arguments(p, port=7777, mesh=False)
+
+    mesh_parser = sub.add_parser(
+        "mesh",
+        help="multi-host mesh: route jobs across N repro serve shards")
+    mesh_sub = mesh_parser.add_subparsers(dest="mesh_command",
+                                          required=True)
+
+    p = mesh_sub.add_parser(
+        "serve",
+        help="run the mesh router: consistent-hash front end over "
+             "N shards with failover + cache federation")
     p.add_argument("--host", default="127.0.0.1")
-    p.add_argument("--port", type=int, default=7777)
-    p.add_argument("--timeout", type=float, default=30.0)
-    p.add_argument("--json", action="store_true",
-                   help="print the raw status snapshot as JSON "
-                        "(machine-readable; includes the latency "
-                        "histograms)")
-    p.set_defaults(func=cmd_status)
+    p.add_argument("--port", type=int, default=7000,
+                   help="router TCP port (0: pick an ephemeral port)")
+    p.add_argument("--shard", action="append", default=[],
+                   metavar="HOST:PORT",
+                   help="one shard endpoint (repeatable)")
+    p.add_argument("--shards-file", metavar="PATH",
+                   help="file of shard endpoints, one host:port per "
+                        "line (# comments ok); adds to --shard")
+    p.add_argument("--token", default=None, metavar="SECRET",
+                   help="require this shared secret from every "
+                        "client connection (typed auth errors "
+                        "otherwise; omit: open)")
+    p.add_argument("--quota", type=int, default=None, metavar="N",
+                   help="max in-flight requests per client identity "
+                        "(typed backpressure errors over the limit; "
+                        "omit: unlimited)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="llm seed used for routing digests (must "
+                        "match the shards' --seed)")
+    p.add_argument("--health-interval", type=float, default=2.0,
+                   metavar="SECONDS",
+                   help="seconds between shard health checks "
+                        "(<=0: only route-time failure detection)")
+    p.add_argument("--connect-timeout", type=float, default=5.0,
+                   help="per-attempt shard connect timeout")
+    p.add_argument("--request-timeout", type=float, default=600.0,
+                   help="per-request shard socket timeout")
+    p.add_argument("--port-file", metavar="PATH",
+                   help="write the bound router port here once "
+                        "listening (useful with --port 0)")
+    p.add_argument("--log-file", default="-", metavar="PATH",
+                   help="JSON-lines structured-event sink "
+                        "(default '-': stderr)")
+    p.add_argument("--log-level", default="info",
+                   choices=("debug", "info", "warning", "error"),
+                   help="minimum structured-event severity")
+    p.add_argument("--metrics-port", type=int, default=None,
+                   metavar="PORT",
+                   help="serve fleet-wide Prometheus /metrics on "
+                        "this port (0: ephemeral; omit: disabled)")
+    p.add_argument("--metrics-port-file", metavar="PATH",
+                   help="write the bound metrics port here (useful "
+                        "with --metrics-port 0)")
+    p.set_defaults(func=cmd_mesh_serve)
+
+    p = mesh_sub.add_parser(
+        "status", help="print a router's fleet-wide status")
+    add_status_arguments(p, port=7000, mesh=True)
+
+    p = mesh_sub.add_parser(
+        "submit",
+        help="submit module windows through the mesh router")
+    add_submit_arguments(p, port=7000)
 
     p = sub.add_parser("souper", help="Souper-style superoptimizer")
     p.add_argument("file")

@@ -18,6 +18,12 @@ the returned detection matrix.  Corpora can also *stream in*:
 running service (with backpressure-aware pacing), and
 ``repro submit --stdin`` reads module paths from stdin as they arrive.
 
+Past one box, the *mesh* (:class:`MeshRouter` / ``repro mesh serve``)
+fronts N ``repro serve`` shards behind the same protocol: jobs
+consistent-hash by :func:`job_digest` across the fleet, failed shards
+fail over, warm caches federate, and ``repro status --mesh`` /
+``/metrics`` present :func:`federate_status`-summed fleet totals.
+
 Walkthrough (three shells, or background the first)::
 
     $ repro serve --port 7777 --jobs 4 &
@@ -25,6 +31,15 @@ Walkthrough (three shells, or background the first)::
     $ repro submit --watch drops/ --port 7777  # stream new .ll files
     $ cp new_module.ll drops/                  # picked up + submitted
     $ repro status --port 7777                 # campaign + job metrics
+
+Mesh walkthrough::
+
+    $ repro serve --port 7777 &
+    $ repro serve --port 7778 &
+    $ repro mesh serve --port 7000 \\
+          --shard 127.0.0.1:7777 --shard 127.0.0.1:7778 &
+    $ repro campaign --port 7000 --rounds 5    # fans out across shards
+    $ repro status --port 7000 --mesh          # fleet totals
 """
 
 from repro.service.campaign import (
@@ -35,6 +50,16 @@ from repro.service.campaign import (
 )
 from repro.service.client import ServiceClient
 from repro.service.exporter import MetricsExporter, render_prometheus
+from repro.service.mesh import (
+    HashRing,
+    MeshRouter,
+    MeshServer,
+    ShardEndpoint,
+    federate_status,
+    parse_shard,
+    read_shards_file,
+    write_shards_file,
+)
 from repro.service.metrics import (
     LATENCY_BUCKETS,
     Histogram,
@@ -42,11 +67,13 @@ from repro.service.metrics import (
 )
 from repro.service.protocol import (
     PROTOCOL_VERSION,
+    AuthenticationError,
     CampaignResult,
     CampaignSpec,
     JobResult,
     JobSpec,
     ProtocolError,
+    QuotaExceededError,
     campaign_digest,
     campaign_from_wire,
     campaign_result_from_wire,
@@ -71,9 +98,13 @@ __all__ = [
     "CampaignLeg", "RoundOutcome", "campaign_legs", "execute_campaign",
     "ServiceClient",
     "MetricsExporter", "render_prometheus",
+    "HashRing", "MeshRouter", "MeshServer", "ShardEndpoint",
+    "federate_status", "parse_shard", "read_shards_file",
+    "write_shards_file",
     "LATENCY_BUCKETS", "Histogram", "ServiceMetrics",
-    "PROTOCOL_VERSION", "CampaignResult", "CampaignSpec",
-    "JobResult", "JobSpec", "ProtocolError",
+    "PROTOCOL_VERSION", "AuthenticationError", "CampaignResult",
+    "CampaignSpec", "JobResult", "JobSpec", "ProtocolError",
+    "QuotaExceededError",
     "campaign_digest", "campaign_from_wire",
     "campaign_result_from_wire", "campaign_result_to_wire",
     "campaign_to_wire",

@@ -1,18 +1,32 @@
 """Blocking JSON-lines client for the optimization service.
 
-Used by ``repro submit`` / ``repro campaign`` / ``repro status`` and
-the tests.  One client holds one connection; submits may be pipelined
-(:meth:`submit_many` writes every request before reading any reply) and
-replies are matched back to requests by the client-assigned job id, so
-out-of-order completion is fine.  :meth:`submit_campaign` round-trips a
-whole multi-round campaign and blocks until the aggregated detection
-matrix comes back.
+Used by ``repro submit`` / ``repro campaign`` / ``repro status``, the
+mesh router's shard connections, and the tests.  One client holds one
+connection; submits may be pipelined (:meth:`submit_many` writes every
+request before reading any reply) and replies are matched back to
+requests by the client-assigned job id, so out-of-order completion is
+fine.  :meth:`submit_campaign` round-trips a whole multi-round campaign
+and blocks until the aggregated detection matrix comes back.
+
+Connecting is politely retried: a service that is mid-restart answers
+``ConnectionRefusedError`` for a moment, so the constructor retries up
+to ``connect_retries`` times with deterministic geometric backoff
+before giving up (``connect_retries=0`` restores the old fail-fast
+behavior — the mesh health checker wants exactly one cheap attempt).
+``connect_timeout`` bounds each attempt separately from the per-request
+``timeout``.
+
+``token`` authenticates against a mesh router
+(:class:`~repro.service.mesh.MeshServer`): the shared secret is sent as
+an ``auth`` message immediately after connecting, and a rejection
+raises :class:`~repro.service.protocol.AuthenticationError`.
 """
 
 from __future__ import annotations
 
 import itertools
 import socket
+import time
 from dataclasses import replace
 from typing import Dict, List, Optional, Sequence
 
@@ -23,26 +37,70 @@ from repro.service.protocol import (
     JobResult,
     JobSpec,
     ProtocolError,
+    auth_to_wire,
     campaign_result_from_wire,
     campaign_to_wire,
     decode_line,
     encode_line,
+    probe_to_wire,
+    raise_for_error,
     result_from_wire,
     spec_to_wire,
 )
 
+#: Connect errors worth retrying: the far side is plausibly mid-restart.
+_RETRYABLE_CONNECT = (ConnectionRefusedError, ConnectionResetError,
+                      ConnectionAbortedError, TimeoutError)
+
+
+def _connect_with_retry(host: str, port: int,
+                        connect_timeout: Optional[float],
+                        retries: int, backoff: float,
+                        sleep=time.sleep) -> socket.socket:
+    """``socket.create_connection`` with bounded retry + geometric
+    backoff (delays ``backoff, 2*backoff, ...`` — deterministic, like
+    the LLM transport's RetryPolicy)."""
+    attempt = 0
+    while True:
+        try:
+            return socket.create_connection((host, port),
+                                            timeout=connect_timeout)
+        except _RETRYABLE_CONNECT:
+            if attempt >= retries:
+                raise
+            sleep(backoff * (2 ** attempt))
+            attempt += 1
+
 
 class ServiceClient:
-    """A synchronous connection to a running :class:`ServiceServer`."""
+    """A synchronous connection to a running :class:`ServiceServer`
+    (or a :class:`~repro.service.mesh.MeshServer` router)."""
 
     def __init__(self, port: int, host: str = "127.0.0.1",
-                 timeout: Optional[float] = 120.0):
+                 timeout: Optional[float] = 120.0,
+                 connect_timeout: Optional[float] = None,
+                 connect_retries: int = 2,
+                 connect_backoff: float = 0.1,
+                 token: Optional[str] = None,
+                 client_name: str = ""):
         self.host = host
         self.port = port
-        self._sock = socket.create_connection((host, port),
-                                              timeout=timeout)
+        self._sock = _connect_with_retry(
+            host, port,
+            connect_timeout if connect_timeout is not None else timeout,
+            max(0, int(connect_retries)), connect_backoff)
+        self._sock.settimeout(timeout)
         self._recv = self._sock.makefile("rb")
         self._ids = itertools.count(1)
+        if token is not None:
+            self._authenticate(token, client_name)
+
+    def _authenticate(self, token: str, client_name: str) -> None:
+        self._send(auth_to_wire(token, client=client_name))
+        message = self._read()
+        if message.get("type") != "auth_ok":
+            raise ProtocolError(
+                f"expected auth_ok, got {message.get('type')!r}")
 
     # -- plumbing ----------------------------------------------------------
     def _send(self, message: dict) -> None:
@@ -52,7 +110,12 @@ class ServiceClient:
         line = self._recv.readline()
         if not line:
             raise ReproError("service closed the connection")
-        return decode_line(line)
+        message = decode_line(line)
+        # Coded errors (auth/quota) are typed client-side exceptions
+        # everywhere; uncoded errors stay caller-handled (e.g. per-job
+        # error results in submit_many).
+        raise_for_error(message)
+        return message
 
     def close(self) -> None:
         try:
@@ -67,16 +130,29 @@ class ServiceClient:
         self.close()
 
     # -- requests ----------------------------------------------------------
-    def submit(self, spec: JobSpec) -> JobResult:
+    def submit(self, spec: JobSpec,
+               raise_wire_errors: bool = False) -> JobResult:
         """Round-trip one job."""
-        return self.submit_many([spec])[0]
+        return self.submit_many(
+            [spec], raise_wire_errors=raise_wire_errors)[0]
 
     def submit_ir(self, ir: str, **spec_kwargs) -> JobResult:
         """Convenience: wrap IR text in a :class:`JobSpec` and submit."""
         return self.submit(JobSpec(ir=ir, **spec_kwargs))
 
-    def submit_many(self, specs: Sequence[JobSpec]) -> List[JobResult]:
-        """Pipeline a batch of jobs; results in submission order."""
+    def submit_many(self, specs: Sequence[JobSpec],
+                    raise_wire_errors: bool = False) -> List[JobResult]:
+        """Pipeline a batch of jobs; results in submission order.
+
+        The wire distinguishes a job *answer* (a ``result`` message,
+        even one with ``status="error"`` — e.g. unparseable IR) from a
+        server-side *exception* (an ``error`` message: a dying server,
+        a full queue).  By default both become :class:`JobResult`\\ s so
+        plain callers always get one result per spec; with
+        ``raise_wire_errors=True`` server-side exceptions raise
+        :class:`ReproError` instead — the mesh router uses this to
+        fail a job over to another shard rather than returning a
+        dying shard's excuse as the answer."""
         tagged: List[str] = []
         pending = set()
         for spec in specs:
@@ -100,6 +176,8 @@ class ServiceClient:
             elif mtype == "error":
                 job_id = message.get("job_id", "")
                 error = message.get("message", "service error")
+                if raise_wire_errors:
+                    raise ReproError(error)
                 if job_id in pending:
                     pending.discard(job_id)
                     results[job_id] = JobResult(
@@ -127,6 +205,16 @@ class ServiceClient:
             raise ProtocolError(
                 f"expected campaign_result, got {mtype!r}")
         return campaign_result_from_wire(message)
+
+    def probe(self, digest: str) -> bool:
+        """Does the serving side's job cache hold ``digest``?  (The
+        mesh router's cache-federation primitive — nothing runs.)"""
+        self._send(probe_to_wire(digest))
+        message = self._read()
+        if message.get("type") != "probe_reply":
+            raise ProtocolError(
+                f"expected probe_reply, got {message.get('type')!r}")
+        return bool(message.get("hit"))
 
     def status(self) -> dict:
         """The service's metrics/pool snapshot."""

@@ -175,6 +175,10 @@ def render_prometheus(status: dict) -> str:
         out.sample("repro_phase_seconds_total", seconds,
                    {"phase": phase})
 
+    mesh = status.get("mesh")
+    if mesh is not None:
+        _render_mesh(out, mesh)
+
     latency = status.get("latency", {})
     out.family("repro_job_latency_recent_seconds", "gauge",
                "Recent job-latency percentiles from a bounded "
@@ -208,6 +212,58 @@ def render_prometheus(status: dict) -> str:
                        snapshot.get("count", 0), {"origin": origin})
 
     return out.text()
+
+
+def _render_mesh(out: _Lines, mesh: dict) -> None:
+    """Router-plane series for a mesh status snapshot (present only
+    when the snapshot came from a :class:`~repro.service.mesh
+    .MeshRouter` — shard snapshots never carry a ``mesh`` key)."""
+    shards = mesh.get("shards", ())
+    out.family("repro_mesh_shards", "gauge", "Configured shards.")
+    out.sample("repro_mesh_shards", len(shards))
+    out.family("repro_mesh_shards_healthy", "gauge",
+               "Shards that answered the last health check.")
+    out.sample("repro_mesh_shards_healthy",
+               mesh.get("healthy_shards", 0))
+    out.family("repro_mesh_shard_up", "gauge",
+               "Per-shard liveness (1 up, 0 down).")
+    for shard in shards:
+        out.sample("repro_mesh_shard_up", shard.get("healthy", False),
+                   {"shard": shard.get("shard", "")})
+
+    router = mesh.get("router", {})
+    router_counters = (
+        ("routed", "repro_mesh_routed_total",
+         "Jobs routed to a shard by the mesh router."),
+        ("coalesced", "repro_mesh_coalesced_total",
+         "Jobs answered by router-level single-flight dedup."),
+        ("failovers", "repro_mesh_failovers_total",
+         "Jobs re-routed after their shard failed mid-flight."),
+        ("federation_probes", "repro_mesh_federation_probes_total",
+         "Cache-federation probes sent to warm non-owner shards."),
+        ("federation_hits", "repro_mesh_federation_hits_total",
+         "Jobs answered from a warm non-owner shard's cache."),
+        ("federation_misses", "repro_mesh_federation_misses_total",
+         "Federation probes that found the entry evicted."),
+        ("no_shard_errors", "repro_mesh_no_shard_errors_total",
+         "Jobs failed because no live shard remained."),
+        ("auth_rejects", "repro_mesh_auth_rejects_total",
+         "Connections rejected for a bad or missing token."),
+        ("quota_rejects", "repro_mesh_quota_rejects_total",
+         "Submissions rejected by the per-client quota."),
+    )
+    for field, name, help_text in router_counters:
+        out.family(name, "counter", help_text)
+        out.sample(name, router.get(field, 0))
+    out.family("repro_mesh_shard_routed_total", "counter",
+               "Jobs routed per shard.")
+    for shard_key, count in router.get("per_shard", {}).items():
+        out.sample("repro_mesh_shard_routed_total", count,
+                   {"shard": shard_key})
+    out.family("repro_mesh_uptime_seconds", "gauge",
+               "Seconds since the router started.")
+    out.sample("repro_mesh_uptime_seconds",
+               mesh.get("uptime_seconds", 0.0))
 
 
 class MetricsExporter:

@@ -1,0 +1,1135 @@
+"""The multi-host service mesh: a consistent-hash router over N
+``repro serve`` shards.
+
+One ``repro serve`` daemon saturates one box; the mesh makes a fleet
+of them behave like one service.  :class:`MeshRouter` speaks the same
+JSON-lines protocol to clients that a single shard does — ``repro
+submit``/``campaign``/``status`` work unchanged against a router — and
+routes every job by consistent-hashing its structural
+:func:`~repro.service.protocol.job_digest` across the shard set:
+
+* **Routing.** A :class:`HashRing` with virtual nodes maps each digest
+  to its *owner* shard, so identical jobs always land on the same
+  shard's warm job cache and the corpus spreads evenly as shards are
+  added.  Routing is pure digest arithmetic — the router holds no
+  pipeline, no worker pool, and no LPO state.
+
+* **Health + failover.** A background checker pings each shard's
+  ``status`` endpoint; an unreachable shard is marked down and excluded
+  from the ring walk (the same ``excluded``-set idiom the service's
+  crash requeue uses).  A job in flight to a shard that dies is
+  re-routed to the next live owner — jobs are pure, digest-keyed
+  computations, so a re-run on another shard returns the identical
+  result and nothing is lost or duplicated.
+
+* **Cache federation.** The router remembers which shard served each
+  digest.  When a resubmission hashes to a *cold* owner (the ring
+  changed — e.g. the original owner was down at first submission), the
+  router first ``probe``\\ s the remembered warm shard's job cache and
+  routes there on a hit, so the fleet answers from any shard's cache
+  before any shard re-runs the LPO loop.
+
+* **Single-flight.** Identical jobs in flight through the router share
+  one shard round-trip (the same dedup the service applies per
+  instance, lifted to the fleet — preserved across failover
+  re-routing).
+
+* **Campaign fan-out.** :meth:`MeshRouter.run_campaign` drives the
+  same round engine (:func:`~repro.service.campaign.execute_campaign`)
+  as ``run_rq1`` and the single service, routing every per-window job
+  across the fleet in parallel; aggregate detection matrices are
+  bit-identical to a single-shard run.
+
+* **Tenancy.** A shared-secret ``--token`` gates the router's socket
+  (typed ``auth`` errors), and per-client in-flight quotas answer
+  over-quota submissions with a typed ``quota`` backpressure error —
+  the knobs a mesh needs before it can take real multi-tenant traffic.
+  Shards themselves stay unauthenticated: they are the private plane
+  behind the router.
+
+* **Fleet status.** :func:`federate_status` sums every shard's
+  counters and :meth:`Histogram.merge
+  <repro.service.metrics.Histogram.merge>`\\ s the fixed-bucket latency
+  histograms into one view; ``repro status --mesh`` renders it and the
+  unchanged Prometheus exporter serves it from the router's
+  ``--metrics-port``.
+
+:class:`MeshServer` is the asyncio socket front end (``repro mesh
+serve``) — the mesh twin of
+:class:`~repro.service.server.ServiceServer`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import bisect
+import hashlib
+import itertools
+import os
+import pathlib
+import tempfile
+import threading
+import time
+from collections import OrderedDict
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro import obs
+from repro.errors import ReproError
+from repro.service.campaign import (
+    CampaignLeg,
+    RoundOutcome,
+    campaign_legs,
+    execute_campaign,
+)
+from repro.service.client import ServiceClient
+from repro.service.metrics import Histogram
+from repro.service.protocol import (
+    AuthenticationError,
+    CampaignResult,
+    CampaignSpec,
+    JobResult,
+    JobSpec,
+    ProtocolError,
+    QuotaExceededError,
+    campaign_digest,
+    campaign_from_wire,
+    campaign_result_to_wire,
+    decode_line,
+    encode_line,
+    error_to_wire,
+    job_digest,
+    result_to_wire,
+    spec_from_wire,
+)
+
+__all__ = [
+    "HashRing", "MeshRouter", "MeshServer", "ShardEndpoint",
+    "federate_status", "parse_shard", "read_shards_file",
+    "write_file_atomic", "write_shards_file",
+]
+
+#: Virtual nodes per shard on the hash ring: enough that two or three
+#: shards split a corpus near-evenly, cheap enough to rebuild at will.
+VNODES = 64
+
+#: How many digest → serving-shard entries the federation index keeps
+#: (LRU; an evicted entry degrades to a normal ring route, never an
+#: error).
+FEDERATION_INDEX_ENTRIES = 65536
+
+#: Transport failures that trigger failover to the next live shard.
+#: ProtocolError subclasses (auth/quota/wire junk) are deliberately
+#: excluded: they are answers, not dead shards.
+_FAILOVER_ERRORS = (OSError, ReproError)
+
+#: Max bytes per wire line (mirrors the shard server's limit).
+_WIRE_LIMIT = 4 * 1024 * 1024
+
+
+# -- shard addressing ------------------------------------------------------
+@dataclass(frozen=True)
+class ShardEndpoint:
+    """One ``repro serve`` daemon's address."""
+
+    host: str
+    port: int
+
+    @property
+    def key(self) -> str:
+        return f"{self.host}:{self.port}"
+
+
+def parse_shard(text: str) -> ShardEndpoint:
+    """``host:port`` → :class:`ShardEndpoint` (raises ReproError)."""
+    host, sep, port = text.strip().rpartition(":")
+    if not sep or not host:
+        raise ReproError(f"bad shard address {text!r} "
+                         f"(expected host:port)")
+    try:
+        number = int(port)
+    except ValueError:
+        raise ReproError(f"bad shard port in {text!r}") from None
+    if not 0 < number < 65536:
+        raise ReproError(f"bad shard port in {text!r}")
+    return ShardEndpoint(host=host, port=number)
+
+
+def read_shards_file(path) -> List[ShardEndpoint]:
+    """One ``host:port`` per line; blank lines and ``#`` comments
+    ignored."""
+    endpoints = []
+    for line in pathlib.Path(path).read_text().splitlines():
+        stripped = line.split("#", 1)[0].strip()
+        if stripped:
+            endpoints.append(parse_shard(stripped))
+    return endpoints
+
+
+def write_file_atomic(path, text: str) -> None:
+    """Write via a same-directory temp file + ``os.replace`` so a
+    concurrent reader (a port-file watcher, a router loading a shards
+    file) never observes a partial write."""
+    target = pathlib.Path(path)
+    handle, tmp_name = tempfile.mkstemp(
+        prefix=f".{target.name}.", dir=str(target.parent or "."))
+    try:
+        with os.fdopen(handle, "w", encoding="utf-8") as tmp:
+            tmp.write(text)
+        os.replace(tmp_name, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def write_shards_file(path, endpoints: Sequence[ShardEndpoint]) -> None:
+    """Persist a shard list (atomically — see
+    :func:`write_file_atomic`)."""
+    write_file_atomic(path, "".join(f"{endpoint.key}\n"
+                                    for endpoint in endpoints))
+
+
+# -- consistent hashing ----------------------------------------------------
+def _ring_point(value: str) -> int:
+    return int.from_bytes(
+        hashlib.sha256(value.encode("utf-8")).digest()[:8], "big")
+
+
+class HashRing:
+    """Consistent hashing with virtual nodes.
+
+    Each shard key is placed at :data:`VNODES` pseudo-random points on
+    a 64-bit ring; a digest routes to the first point clockwise from
+    its own hash.  ``excluded`` keys are skipped in ring order — the
+    failover walk — so removing a shard only moves the jobs it owned,
+    never reshuffles the fleet.
+    """
+
+    def __init__(self, keys: Sequence[str], vnodes: int = VNODES):
+        self.keys = tuple(keys)
+        points: List[Tuple[int, str]] = []
+        for key in self.keys:
+            for index in range(vnodes):
+                points.append((_ring_point(f"{key}#{index}"), key))
+        points.sort()
+        self._points = points
+        self._hashes = [point for point, _key in points]
+
+    def owner(self, digest: str, excluded=frozenset()) -> Optional[str]:
+        """The live shard owning ``digest`` (``None`` when every shard
+        is excluded)."""
+        if not self._points:
+            return None
+        start = bisect.bisect_right(self._hashes, _ring_point(digest))
+        total = len(self._points)
+        seen = set()
+        for step in range(total):
+            _point, key = self._points[(start + step) % total]
+            if key in seen:
+                continue
+            seen.add(key)
+            if key not in excluded:
+                return key
+            if len(seen) == len(self.keys):
+                return None
+        return None
+
+
+# -- router metrics --------------------------------------------------------
+class MeshMetrics:
+    """Lock-protected router-plane counters (the shard planes keep
+    their own :class:`~repro.service.metrics.ServiceMetrics`)."""
+
+    _COUNTERS = ("routed", "coalesced", "failovers",
+                 "federation_probes", "federation_hits",
+                 "federation_misses", "no_shard_errors",
+                 "auth_rejects", "quota_rejects")
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        for name in self._COUNTERS:
+            setattr(self, name, 0)
+        self.per_shard: Dict[str, int] = {}
+        self.campaigns_started = 0
+        self.campaigns_completed = 0
+        self.campaigns_failed = 0
+        self.campaign_rounds = 0
+        self.campaign_detections = 0
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            setattr(self, name, getattr(self, name) + amount)
+
+    def record_routed(self, shard_key: str) -> None:
+        with self._lock:
+            self.routed += 1
+            self.per_shard[shard_key] = (
+                self.per_shard.get(shard_key, 0) + 1)
+
+    def to_dict(self) -> dict:
+        with self._lock:
+            snapshot = {name: getattr(self, name)
+                        for name in self._COUNTERS}
+            snapshot["per_shard"] = dict(sorted(self.per_shard.items()))
+            snapshot["campaigns"] = {
+                "started": self.campaigns_started,
+                "completed": self.campaigns_completed,
+                "failed": self.campaigns_failed,
+                "rounds_completed": self.campaign_rounds,
+                "detections": self.campaign_detections,
+            }
+        return snapshot
+
+
+# -- fleet-status federation -----------------------------------------------
+#: Shard-status counters/gauges that sum across the fleet.
+_SUM_FIELDS = ("submitted", "completed", "failed", "rejected",
+               "requeued", "cache_hits", "cache_misses", "in_flight",
+               "queue_depth", "workers", "pipeline_constructions",
+               "job_cache_entries", "cache_shards", "jobs_per_second")
+
+_CAMPAIGN_FIELDS = ("started", "completed", "failed",
+                    "rounds_completed", "detections")
+
+_LLM_FIELDS = ("calls", "retries", "failures", "rate_limit_waits",
+               "latency_seconds")
+
+
+def federate_status(snapshots: Sequence[dict]) -> dict:
+    """One fleet view from N shard ``status()`` snapshots.
+
+    Counters and gauges sum; per-phase seconds, analysis codes, and
+    campaign counters sum-merge; the fixed-bucket latency histograms
+    merge exactly via :meth:`Histogram.merge
+    <repro.service.metrics.Histogram.merge>` (identical bucket bounds
+    on every shard make this lossless — the property the reservoir
+    percentiles cannot offer, which is why the fleet view has no
+    ``latency`` percentile entry).  The result keeps the shape of a
+    single service's status dict, so
+    :func:`~repro.service.exporter.render_prometheus` renders it
+    unchanged.
+    """
+    fleet: dict = {field: 0 for field in _SUM_FIELDS}
+    campaigns = {field: 0 for field in _CAMPAIGN_FIELDS}
+    active: List[dict] = []
+    llm = {field: 0 for field in _LLM_FIELDS}
+    phases: Dict[str, float] = {}
+    analysis_codes: Dict[str, int] = {}
+    analysis_rejects = 0
+    histograms: Dict[str, dict] = {}
+    uptime = 0.0
+    for snapshot in snapshots:
+        for field in _SUM_FIELDS:
+            value = snapshot.get(field, 0)
+            if isinstance(value, (int, float)):
+                fleet[field] += value
+        snap_campaigns = snapshot.get("campaigns", {})
+        for field in _CAMPAIGN_FIELDS:
+            campaigns[field] += snap_campaigns.get(field, 0)
+        active.extend(snap_campaigns.get("active", ()))
+        snap_llm = snapshot.get("llm_backend", {})
+        for field in _LLM_FIELDS:
+            value = snap_llm.get(field, 0)
+            if isinstance(value, (int, float)):
+                llm[field] += value
+        for name, seconds in snapshot.get("phases", {}).items():
+            if isinstance(seconds, (int, float)):
+                phases[name] = phases.get(name, 0.0) + float(seconds)
+        snap_analysis = snapshot.get("analysis", {})
+        analysis_rejects += snap_analysis.get("rejects", 0)
+        for code, count in snap_analysis.get("codes", {}).items():
+            if isinstance(count, int):
+                analysis_codes[code] = (analysis_codes.get(code, 0)
+                                        + count)
+        for origin, histogram in snapshot.get(
+                "latency_histograms", {}).items():
+            if origin in histograms:
+                histograms[origin] = Histogram.merge(
+                    histograms[origin], histogram)
+            else:
+                histograms[origin] = histogram
+        uptime = max(uptime, snapshot.get("uptime_seconds", 0.0))
+    fleet["jobs_per_second"] = round(fleet["jobs_per_second"], 3)
+    total_lookups = fleet["cache_hits"] + fleet["cache_misses"]
+    fleet["cache_hit_rate"] = round(
+        fleet["cache_hits"] / total_lookups if total_lookups else 0.0,
+        4)
+    fleet["uptime_seconds"] = round(uptime, 3)
+    fleet["campaigns"] = {**campaigns, "active": active}
+    llm["latency_seconds"] = round(llm["latency_seconds"], 6)
+    fleet["llm_backend"] = llm
+    fleet["phases"] = {name: round(seconds, 6) for name, seconds
+                       in sorted(phases.items(),
+                                 key=lambda kv: (-kv[1], kv[0]))}
+    fleet["analysis"] = {"rejects": analysis_rejects,
+                         "codes": dict(sorted(analysis_codes.items()))}
+    fleet["latency_histograms"] = histograms
+    fleet["shards"] = len(snapshots)
+    return fleet
+
+
+# -- per-shard connection state --------------------------------------------
+class _Shard:
+    """One shard's health flag, connection pool, and last snapshot."""
+
+    def __init__(self, endpoint: ShardEndpoint,
+                 connect_timeout: float, request_timeout: float):
+        self.endpoint = endpoint
+        self.key = endpoint.key
+        self.healthy = True          # optimistic: failover self-corrects
+        self.last_error = ""
+        self.last_status: Optional[dict] = None
+        self.connect_timeout = connect_timeout
+        self.request_timeout = request_timeout
+        self._idle: List[ServiceClient] = []
+        self._lock = threading.Lock()
+
+    def connect(self, retries: int = 0) -> ServiceClient:
+        return ServiceClient(self.endpoint.port,
+                             host=self.endpoint.host,
+                             timeout=self.request_timeout,
+                             connect_timeout=self.connect_timeout,
+                             connect_retries=retries)
+
+    def borrow(self) -> ServiceClient:
+        with self._lock:
+            if self._idle:
+                return self._idle.pop()
+        # Mid-restart shards get the polite retry; a hard-down shard
+        # still fails within ~3 backoff steps and trips failover.
+        return self.connect(retries=1)
+
+    def release(self, client: ServiceClient, broken: bool) -> None:
+        if broken:
+            try:
+                client.close()
+            except OSError:
+                pass
+            return
+        with self._lock:
+            self._idle.append(client)
+
+    def close_idle(self) -> None:
+        with self._lock:
+            idle, self._idle = self._idle, []
+        for client in idle:
+            try:
+                client.close()
+            except OSError:
+                pass
+
+
+class _Flight:
+    """Router-level single-flight slot for one digest."""
+
+    def __init__(self):
+        self.done = threading.Event()
+        self.result: Optional[JobResult] = None
+
+
+# -- the router ------------------------------------------------------------
+class MeshRouter:
+    """Routes jobs/campaigns across a fleet of ``repro serve`` shards.
+
+    In-process twin of the socket front end: tests and embedders call
+    :meth:`route_job` / :meth:`run_campaign` / :meth:`status` directly;
+    :class:`MeshServer` exposes the same over the JSON-lines protocol.
+    """
+
+    def __init__(self, shards: Sequence[ShardEndpoint],
+                 token: Optional[str] = None,
+                 quota: Optional[int] = None,
+                 llm_seed: int = 0,
+                 health_interval: Optional[float] = 2.0,
+                 connect_timeout: float = 5.0,
+                 request_timeout: float = 600.0,
+                 route_threads: Optional[int] = None,
+                 logger: Optional[obs.StructuredLogger] = None):
+        if not shards:
+            raise ReproError("a mesh needs at least one shard")
+        seen = set()
+        for endpoint in shards:
+            if endpoint.key in seen:
+                raise ReproError(f"duplicate shard {endpoint.key}")
+            seen.add(endpoint.key)
+        self.log = logger if logger is not None else obs.default()
+        self.token = token
+        #: Max in-flight requests (jobs or campaigns) per client
+        #: identity; ``None`` = unlimited.
+        self.quota = quota if quota is None else max(1, int(quota))
+        self.llm_seed = llm_seed
+        self._shards: "OrderedDict[str, _Shard]" = OrderedDict(
+            (endpoint.key, _Shard(endpoint, connect_timeout,
+                                  request_timeout))
+            for endpoint in shards)
+        self.ring = HashRing(list(self._shards))
+        self.metrics = MeshMetrics()
+        self._lock = threading.Lock()
+        #: digest → shard key that served it (LRU-bounded federation
+        #: index: lets a resubmission hit a warm shard even when the
+        #: ring now points at a cold one).
+        self._served: "OrderedDict[str, str]" = OrderedDict()
+        self._inflight: Dict[str, _Flight] = {}
+        self._client_inflight: Dict[str, int] = {}
+        self._campaigns: Dict[str, dict] = {}
+        self._job_ids = itertools.count(1)
+        self._campaign_ids = itertools.count(1)
+        self._started = time.monotonic()
+        self._closed = False
+        width = (route_threads if route_threads is not None
+                 else min(32, 8 * len(self._shards)))
+        self._route_pool = ThreadPoolExecutor(
+            max_workers=max(2, width),
+            thread_name_prefix="repro-mesh-route")
+        self.log.info("mesh.start", shards=list(self._shards),
+                      quota=self.quota, llm_seed=llm_seed,
+                      token=bool(token),
+                      health_interval=health_interval)
+        self._health_stop = threading.Event()
+        self._health_thread: Optional[threading.Thread] = None
+        if health_interval is not None and health_interval > 0:
+            self._health_thread = threading.Thread(
+                target=self._health_loop, args=(health_interval,),
+                name="repro-mesh-health", daemon=True)
+            self._health_thread.start()
+
+    # -- shard health ------------------------------------------------------
+    def _health_loop(self, interval: float) -> None:
+        while not self._health_stop.wait(interval):
+            try:
+                self.check_health()
+            except Exception:  # noqa: BLE001 — the checker must outlive
+                pass           # any single bad probe
+
+    def check_health(self) -> Dict[str, bool]:
+        """Ping every shard's status endpoint once; returns the health
+        map.  Called periodically by the background thread and directly
+        by tests (deterministic, no timing races)."""
+        health = {}
+        for shard in self._shards.values():
+            try:
+                client = shard.connect(retries=0)
+                try:
+                    shard.last_status = client.status()
+                finally:
+                    client.close()
+            except _FAILOVER_ERRORS as exc:
+                self._mark_down(shard, exc)
+            else:
+                self._mark_up(shard)
+            health[shard.key] = shard.healthy
+        return health
+
+    def _mark_down(self, shard: _Shard, exc: BaseException) -> None:
+        shard.last_error = str(exc)
+        if shard.healthy:
+            shard.healthy = False
+            shard.close_idle()
+            self.log.warning("mesh.shard_down", shard=shard.key,
+                             error=str(exc))
+
+    def _mark_up(self, shard: _Shard) -> None:
+        shard.last_error = ""
+        if not shard.healthy:
+            shard.healthy = True
+            self.log.info("mesh.shard_up", shard=shard.key)
+
+    def _down_shards(self) -> set:
+        return {key for key, shard in self._shards.items()
+                if not shard.healthy}
+
+    # -- tenancy -----------------------------------------------------------
+    def check_token(self, token: Optional[str], client_id: str) -> None:
+        """Raise :class:`AuthenticationError` unless ``token`` matches
+        the router's shared secret (no-op when authn is disabled)."""
+        if self.token is None:
+            return
+        if token != self.token:
+            self.metrics.bump("auth_rejects")
+            self.log.warning("mesh.auth_reject", client=client_id,
+                             provided=bool(token))
+            raise AuthenticationError(
+                "bad or missing token" if token
+                else "missing token (this mesh requires --token)")
+
+    def acquire_slot(self, client_id: str) -> None:
+        """Count one in-flight request against ``client_id``'s quota;
+        raises :class:`QuotaExceededError` over the limit."""
+        with self._lock:
+            inflight = self._client_inflight.get(client_id, 0)
+            if self.quota is not None and inflight >= self.quota:
+                self.metrics.quota_rejects += 1
+                self.log.warning("mesh.quota_reject", client=client_id,
+                                 in_flight=inflight, quota=self.quota)
+                raise QuotaExceededError(
+                    f"client {client_id!r} has {inflight} requests in "
+                    f"flight (quota {self.quota}); retry after "
+                    f"results drain")
+            self._client_inflight[client_id] = inflight + 1
+
+    def release_slot(self, client_id: str) -> None:
+        with self._lock:
+            remaining = self._client_inflight.get(client_id, 0) - 1
+            if remaining > 0:
+                self._client_inflight[client_id] = remaining
+            else:
+                self._client_inflight.pop(client_id, None)
+
+    # -- routing -----------------------------------------------------------
+    def route_job(self, spec: JobSpec, client_id: str = "") -> JobResult:
+        """Route one job to its owning shard (with federation,
+        failover, and fleet-level single-flight); blocks for the
+        result.  Never raises for shard-side failures — they come back
+        as error results, exactly like a single service's."""
+        if self._closed:
+            raise ReproError("mesh router is closed")
+        job_id = spec.job_id or f"mesh-{next(self._job_ids):06d}"
+        spec = replace(spec, job_id=job_id)
+        try:
+            digest = job_digest(spec, llm_seed=self.llm_seed)
+        except Exception as exc:  # noqa: BLE001 — a spec the digest
+            # chokes on routes nowhere; answer, don't die.
+            return JobResult(job_id=job_id, ok=False, status="error",
+                             error=f"undigestable job: {exc}",
+                             tag=spec.tag)
+        with self._lock:
+            flight = self._inflight.get(digest)
+            if flight is None:
+                flight = _Flight()
+                self._inflight[digest] = flight
+                leader = True
+            else:
+                leader = False
+        if not leader:
+            # Identical job already crossing the mesh: share its
+            # result (cached from this submitter's point of view).
+            self.metrics.bump("coalesced")
+            self.log.debug("mesh.coalesce", job_id=job_id,
+                           digest=digest)
+            flight.done.wait()
+            shared = flight.result
+            if shared is None:       # leader died unsettled
+                return JobResult(job_id=job_id, ok=False,
+                                 status="error",
+                                 error="coalesced job was abandoned",
+                                 tag=spec.tag)
+            return replace(shared, job_id=job_id, tag=spec.tag,
+                           cached=shared.ok or shared.cached)
+        try:
+            result = self._route_digest(spec, digest)
+        except BaseException:
+            # Leader must always settle followers, even on surprises.
+            with self._lock:
+                self._inflight.pop(digest, None)
+            flight.done.set()
+            raise
+        flight.result = result
+        with self._lock:
+            self._inflight.pop(digest, None)
+        flight.done.set()
+        return result
+
+    def _route_digest(self, spec: JobSpec, digest: str) -> JobResult:
+        excluded = self._down_shards()
+        attempted: set = set()
+        target = self._federation_target(digest, excluded)
+        while True:
+            shard_key = (target if target is not None
+                         else self.ring.owner(digest,
+                                              excluded | attempted))
+            target = None
+            if shard_key is None:
+                self.metrics.bump("no_shard_errors")
+                self.log.error("mesh.no_shards", job_id=spec.job_id,
+                               digest=digest,
+                               attempted=sorted(attempted))
+                return JobResult(
+                    job_id=spec.job_id, ok=False, status="error",
+                    error=f"no live shard for job "
+                          f"({len(attempted)} tried, "
+                          f"{len(self._shards)} configured)",
+                    tag=spec.tag)
+            shard = self._shards[shard_key]
+            try:
+                result = self._submit_to(shard, spec)
+            except _FAILOVER_ERRORS as exc:
+                # The shard died under this job (or between health
+                # ticks): exclude it and walk the ring — the job is
+                # pure and digest-keyed, so a re-run elsewhere yields
+                # the identical result.
+                self._mark_down(shard, exc)
+                attempted.add(shard_key)
+                self.metrics.bump("failovers")
+                self.log.warning("mesh.failover", job_id=spec.job_id,
+                                 digest=digest, shard=shard_key,
+                                 error=str(exc))
+                continue
+            self.metrics.record_routed(shard_key)
+            self.log.debug("mesh.route", job_id=spec.job_id,
+                           digest=digest, shard=shard_key,
+                           cached=result.cached)
+            if result.ok:
+                with self._lock:
+                    self._served[digest] = shard_key
+                    self._served.move_to_end(digest)
+                    while len(self._served) > FEDERATION_INDEX_ENTRIES:
+                        self._served.popitem(last=False)
+            return result
+
+    def _federation_target(self, digest: str,
+                           excluded: set) -> Optional[str]:
+        """The warm non-owner shard to answer from, if any.
+
+        When the federation index remembers a serving shard that is
+        *not* the current ring owner, probe its job cache; on a hit the
+        job routes there (answered from cache, no LPO re-run on the
+        cold owner), on a miss (evicted) the index entry is dropped and
+        the ring decides.
+        """
+        with self._lock:
+            remembered = self._served.get(digest)
+        if remembered is None or remembered in excluded:
+            return None
+        if remembered == self.ring.owner(digest, excluded):
+            return None              # owner is already the warm shard
+        shard = self._shards.get(remembered)
+        if shard is None:
+            return None
+        self.metrics.bump("federation_probes")
+        try:
+            hit = self._probe(shard, digest)
+        except _FAILOVER_ERRORS as exc:
+            self._mark_down(shard, exc)
+            return None
+        if hit:
+            self.metrics.bump("federation_hits")
+            self.log.info("mesh.federation_hit", digest=digest,
+                          shard=remembered)
+            return remembered
+        self.metrics.bump("federation_misses")
+        with self._lock:
+            self._served.pop(digest, None)
+        return None
+
+    def _submit_to(self, shard: _Shard, spec: JobSpec) -> JobResult:
+        client = shard.borrow()
+        broken = True
+        try:
+            # The shard connection assigns its own per-connection id;
+            # the mesh-side id is restored on the way out.  Wire
+            # ``error`` replies (a shard-side exception: the server
+            # dying mid-request, a full queue) raise and fail over —
+            # only a real job answer (a ``result``, even one with
+            # status="error") settles the job here.
+            result = client.submit(replace(spec, job_id=""),
+                                   raise_wire_errors=True)
+            broken = False
+        finally:
+            shard.release(client, broken=broken)
+        return replace(result, job_id=spec.job_id)
+
+    def _probe(self, shard: _Shard, digest: str) -> bool:
+        client = shard.borrow()
+        broken = True
+        try:
+            hit = client.probe(digest)
+            broken = False
+        finally:
+            shard.release(client, broken=broken)
+        return hit
+
+    def route_many(self, specs: Sequence[JobSpec],
+                   client_id: str = "") -> List[JobResult]:
+        """Route a batch concurrently across the fleet; results in
+        submission order."""
+        futures = [self._route_pool.submit(self.route_job, spec,
+                                           client_id)
+                   for spec in specs]
+        return [future.result() for future in futures]
+
+    # -- campaigns ---------------------------------------------------------
+    def run_campaign(self, spec: CampaignSpec,
+                     client_id: str = "") -> CampaignResult:
+        """Fan one multi-round campaign out across the fleet.
+
+        Drives the same round engine as ``run_rq1`` and the
+        single-shard service — rounds in order, each round's per-window
+        jobs routed concurrently — so the aggregated detection matrix
+        is bit-identical to a single-shard run of the same spec.
+        """
+        spec.validate()
+        from repro.llm.backends import parse_backend_spec
+        for model in spec.models:
+            parse_backend_spec(model)
+        campaign_id = (spec.campaign_id
+                       or f"mesh-campaign-{next(self._campaign_ids):04d}")
+        digest = campaign_digest(spec, llm_seed=self.llm_seed)
+        legs = campaign_legs(spec)
+        progress = {
+            "campaign_id": campaign_id,
+            "digest": digest[:12],
+            "legs": len(legs),
+            "rounds_total": len(legs) * spec.rounds,
+            "rounds_done": 0,
+            "detections": 0,
+        }
+        with self._lock:
+            self._campaigns[campaign_id] = progress
+        self.metrics.bump("campaigns_started")
+        self.log.info("mesh.campaign.start", campaign_id=campaign_id,
+                      digest=digest[:12], legs=len(legs),
+                      windows=len(spec.windows), shards=len(self._shards))
+
+        def run_round(leg: CampaignLeg, round_index: int,
+                      round_seed: int):
+            job_specs = [JobSpec(ir=ir, model=leg.model,
+                                 round_seed=round_seed,
+                                 attempt_limit=leg.attempt_limit)
+                         for ir in spec.windows]
+            results = self.route_many(job_specs, client_id=client_id)
+            return [RoundOutcome(found=r.found, ok=r.ok,
+                                 cached=r.cached,
+                                 latency_seconds=r.latency_seconds,
+                                 error=r.error)
+                    for r in results]
+
+        def on_round(leg: CampaignLeg, round_index: int,
+                     detections: int) -> None:
+            with self._lock:
+                progress["rounds_done"] += 1
+                progress["detections"] += detections
+            self.metrics.bump("campaign_rounds")
+            self.metrics.bump("campaign_detections", detections)
+            self.log.debug("mesh.campaign.round",
+                           campaign_id=campaign_id, leg=leg.key,
+                           round=round_index, detections=detections)
+
+        ok = False
+        result = None
+        try:
+            result = execute_campaign(
+                replace(spec, campaign_id=campaign_id),
+                run_round, on_round=on_round)
+            ok = result.ok
+        finally:
+            with self._lock:
+                self._campaigns.pop(campaign_id, None)
+            self.metrics.bump("campaigns_completed" if ok
+                              else "campaigns_failed")
+            self.log.info(
+                "mesh.campaign.finish", campaign_id=campaign_id,
+                ok=ok, detections=progress["detections"],
+                rounds_done=progress["rounds_done"])
+        return result
+
+    # -- fleet status ------------------------------------------------------
+    def shard_statuses(self, refresh: bool = True) -> List[dict]:
+        """Per-shard descriptors (health, address, last snapshot).
+
+        ``refresh=True`` fetches live snapshots from reachable shards
+        first, so fleet sums reflect this instant; a down shard
+        contributes its last known snapshot (marked stale).
+        """
+        if refresh:
+            self.check_health()
+        descriptors = []
+        for shard in self._shards.values():
+            descriptors.append({
+                "shard": shard.key,
+                "healthy": shard.healthy,
+                "error": shard.last_error,
+                "routed": self.metrics.to_dict()["per_shard"].get(
+                    shard.key, 0),
+                "status": shard.last_status,
+            })
+        return descriptors
+
+    def status(self, refresh: bool = True) -> dict:
+        """The fleet view: federated shard counters + the ``mesh``
+        section (per-shard health, router counters).  Shape-compatible
+        with a single service's ``status()`` so the Prometheus
+        exporter and ``repro status`` render it unchanged."""
+        descriptors = self.shard_statuses(refresh=refresh)
+        snapshots = [d["status"] for d in descriptors
+                     if d["status"] is not None]
+        fleet = federate_status(snapshots)
+        router = self.metrics.to_dict()
+        router_campaigns = router.pop("campaigns")
+        # Router-run campaigns live here, not on any shard (shards see
+        # only the expanded per-window jobs).
+        for field in _CAMPAIGN_FIELDS:
+            fleet["campaigns"][field] += router_campaigns[field]
+        with self._lock:
+            fleet["campaigns"]["active"].extend(
+                dict(progress) for progress in self._campaigns.values())
+        fleet["mesh"] = {
+            "shards": [{key: value for key, value in d.items()
+                        if key != "status"} for d in descriptors],
+            "healthy_shards": sum(d["healthy"] for d in descriptors),
+            "router": router,
+            "quota": self.quota,
+            "authenticated": self.token is not None,
+            "uptime_seconds": round(
+                time.monotonic() - self._started, 3),
+        }
+        fleet["backend"] = "mesh"
+        return fleet
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._health_stop.set()
+        if self._health_thread is not None:
+            self._health_thread.join(timeout=10)
+        self._route_pool.shutdown(wait=True)
+        for shard in self._shards.values():
+            shard.close_idle()
+        self.log.info("mesh.close",
+                      routed=self.metrics.to_dict()["routed"])
+
+    def __enter__(self) -> "MeshRouter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+# -- the socket front end --------------------------------------------------
+class MeshServer:
+    """Asyncio JSON-lines TCP front end over a :class:`MeshRouter`.
+
+    Speaks the same protocol as
+    :class:`~repro.service.server.ServiceServer`, plus the tenancy
+    handshake: when the router has a token, the first message on every
+    connection must be ``auth`` (typed ``code="auth"`` errors
+    otherwise), and every submit/campaign passes the per-client quota
+    gate (typed ``code="quota"`` backpressure).
+    """
+
+    def __init__(self, router: MeshRouter, host: str = "127.0.0.1",
+                 port: int = 0):
+        self.router = router
+        self.host = host
+        self.port = port                 # 0: ephemeral; rebound on start
+        self._ready = threading.Event()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._stop: Optional[asyncio.Event] = None
+        self._thread: Optional[threading.Thread] = None
+        self._startup_error: Optional[BaseException] = None
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self._background = False
+
+    # -- lifecycle ---------------------------------------------------------
+    def serve_forever(self) -> None:
+        try:
+            asyncio.run(self._amain())
+        except BaseException as exc:
+            self._startup_error = exc
+            if not self._background:
+                raise
+        finally:
+            self._ready.set()
+
+    def start_background(self, timeout: float = 10.0) -> int:
+        self._background = True
+        self._thread = threading.Thread(target=self.serve_forever,
+                                        name="repro-mesh-serve",
+                                        daemon=True)
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise ReproError("mesh socket failed to come up")
+        if self._startup_error is not None:
+            raise ReproError(f"mesh socket failed to come up: "
+                             f"{self._startup_error}")
+        return self.port
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+    def stop(self) -> None:
+        if (self._loop is not None and self._stop is not None
+                and not self._loop.is_closed()):
+            try:
+                self._loop.call_soon_threadsafe(self._stop.set)
+            except RuntimeError:
+                pass
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+
+    async def _amain(self) -> None:
+        self._loop = asyncio.get_running_loop()
+        self._stop = asyncio.Event()
+        # Routed jobs block a thread each on a shard round-trip; size
+        # the wait pool like the shard server's.
+        self._executor = ThreadPoolExecutor(
+            max_workers=64, thread_name_prefix="repro-mesh-wait")
+        server = await asyncio.start_server(self._handle, self.host,
+                                            self.port,
+                                            limit=_WIRE_LIMIT)
+        self.port = server.sockets[0].getsockname()[1]
+        self.router.log.info("mesh.listen", host=self.host,
+                             port=self.port)
+        self._ready.set()
+        try:
+            async with server:
+                await self._stop.wait()
+        finally:
+            self._executor.shutdown(wait=False)
+
+    # -- per-connection protocol -------------------------------------------
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        loop = asyncio.get_running_loop()
+        write_lock = asyncio.Lock()
+        tasks = set()
+        peer = writer.get_extra_info("peername")
+        client_id = f"{peer[0]}" if peer else "unknown"
+        authed = self.router.token is None
+
+        async def send(message: dict) -> None:
+            async with write_lock:
+                writer.write(encode_line(message))
+                await writer.drain()
+
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except ValueError:
+                    await send(error_to_wire(
+                        f"message exceeds the {_WIRE_LIMIT} byte "
+                        f"line limit"))
+                    break
+                if not line:
+                    break
+                if not line.strip():
+                    continue
+                try:
+                    message = decode_line(line)
+                except ProtocolError as exc:
+                    await send(error_to_wire(str(exc)))
+                    continue
+                mtype = message["type"]
+                if mtype == "auth":
+                    token = message.get("token")
+                    name = message.get("client") or client_id
+                    try:
+                        self.router.check_token(
+                            token if isinstance(token, str) else None,
+                            name)
+                    except AuthenticationError as exc:
+                        await send(error_to_wire(
+                            str(exc), code=AuthenticationError.code))
+                        break        # an unauthenticated peer is done
+                    authed = True
+                    client_id = name
+                    await send({"type": "auth_ok"})
+                    continue
+                if not authed:
+                    self.router.metrics.bump("auth_rejects")
+                    self.router.log.warning("mesh.auth_reject",
+                                            client=client_id,
+                                            provided=False)
+                    await send(error_to_wire(
+                        "authenticate first (this mesh requires "
+                        "--token)", code=AuthenticationError.code))
+                    break
+                if mtype == "submit":
+                    try:
+                        spec = spec_from_wire(message)
+                    except ProtocolError as exc:
+                        await send(error_to_wire(str(exc)))
+                        continue
+                    task = asyncio.ensure_future(
+                        self._serve_job(spec, client_id, send, loop))
+                    tasks.add(task)
+                    task.add_done_callback(tasks.discard)
+                elif mtype == "campaign":
+                    try:
+                        campaign = campaign_from_wire(message)
+                    except ProtocolError as exc:
+                        await send(error_to_wire(str(exc)))
+                        continue
+                    task = asyncio.ensure_future(
+                        self._serve_campaign(campaign, client_id,
+                                             send, loop))
+                    tasks.add(task)
+                    task.add_done_callback(tasks.discard)
+                elif mtype == "status":
+                    # Unlike a shard's, mesh status fans out over the
+                    # network — keep the event loop free.
+                    status = await loop.run_in_executor(
+                        self._executor, self.router.status)
+                    await send({"type": "status_reply",
+                                "status": status})
+                elif mtype == "shutdown":
+                    await send({"type": "shutting_down"})
+                    self._stop.set()
+                    break
+                else:
+                    await send(error_to_wire(
+                        f"unknown message type {mtype!r}"))
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            if tasks:
+                await asyncio.gather(*tasks, return_exceptions=True)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError,
+                    asyncio.CancelledError):
+                pass    # loop teardown cancels lingering closes
+
+    async def _serve_job(self, spec: JobSpec, client_id: str,
+                         send: Callable, loop) -> None:
+        client_job_id = spec.job_id
+        try:
+            self.router.acquire_slot(client_id)
+        except QuotaExceededError as exc:
+            await send(error_to_wire(str(exc),
+                                     code=QuotaExceededError.code,
+                                     job_id=client_job_id))
+            return
+        try:
+            result = await loop.run_in_executor(
+                self._executor, self.router.route_job,
+                replace(spec, job_id=""), client_id)
+        except Exception as exc:   # noqa: BLE001 — always answer
+            await send(error_to_wire(str(exc), job_id=client_job_id))
+            return
+        finally:
+            self.router.release_slot(client_id)
+        if client_job_id:
+            result = replace(result, job_id=client_job_id)
+        await send(result_to_wire(result))
+
+    async def _serve_campaign(self, spec: CampaignSpec, client_id: str,
+                              send: Callable, loop) -> None:
+        client_campaign_id = spec.campaign_id
+        try:
+            self.router.acquire_slot(client_id)
+        except QuotaExceededError as exc:
+            await send(error_to_wire(str(exc),
+                                     code=QuotaExceededError.code,
+                                     campaign_id=client_campaign_id))
+            return
+        try:
+            result = await loop.run_in_executor(
+                self._executor, self.router.run_campaign,
+                replace(spec, campaign_id=""), client_id)
+        except Exception as exc:   # noqa: BLE001 — always answer
+            await send(error_to_wire(str(exc),
+                                     campaign_id=client_campaign_id))
+            return
+        finally:
+            self.router.release_slot(client_id)
+        if client_campaign_id:
+            result = replace(result, campaign_id=client_campaign_id)
+        await send(campaign_result_to_wire(result))

@@ -9,8 +9,21 @@ Messages are newline-delimited JSON objects ("JSON lines"), each with a
 * ``{"type": "campaign_result", "result": {...}}`` — server → client
 * ``{"type": "status"}``                       — client → server
 * ``{"type": "status_reply", "status": {...}}``— server → client
+* ``{"type": "probe", "digest": "..."}``       — client → server
+* ``{"type": "probe_reply", "digest": "...", "hit": bool}`` — server → client
+* ``{"type": "auth", "token": "...", "client": "..."}`` — client → server
+* ``{"type": "auth_ok"}``                      — server → client
 * ``{"type": "shutdown"}``                     — client → server
 * ``{"type": "error", "message": "..."}``      — server → client
+
+Error replies may carry a ``code`` field naming a typed failure class:
+``"auth"`` (bad or missing shared-secret token — the mesh router's
+tenancy gate) and ``"quota"`` (the submitting client is over its
+in-flight quota; backpressure, retry after results drain).  Clients map
+those codes back to :class:`AuthenticationError` /
+:class:`QuotaExceededError`.  ``probe`` asks whether the serving side's
+job cache holds a given digest *without* running anything — the mesh
+router's cache-federation primitive.
 
 Submits may be pipelined: a client can write many submit lines before
 reading results; each result line carries the submitting side's
@@ -36,6 +49,50 @@ PROTOCOL_VERSION = 1
 
 class ProtocolError(ReproError):
     """A malformed or out-of-contract service message."""
+
+
+class AuthenticationError(ProtocolError):
+    """The mesh rejected a request's shared-secret token (wire error
+    ``code="auth"``)."""
+
+    code = "auth"
+
+
+class QuotaExceededError(ReproError):
+    """The submitting client is over its in-flight quota — distinct
+    from :class:`~repro.service.server.ServiceBusyError` (global queue
+    backpressure): only *this* tenant must back off (wire error
+    ``code="quota"``)."""
+
+    code = "quota"
+
+
+#: Wire error ``code`` → the typed exception clients raise for it.
+ERROR_CODES = {
+    AuthenticationError.code: AuthenticationError,
+    QuotaExceededError.code: QuotaExceededError,
+}
+
+
+def error_to_wire(message: str, code: str = "", **extra) -> dict:
+    """An error reply; ``code`` marks a typed failure class
+    (see :data:`ERROR_CODES`)."""
+    reply = {"type": "error", "message": message}
+    if code:
+        reply["code"] = code
+    reply.update(extra)
+    return reply
+
+
+def raise_for_error(message: dict) -> None:
+    """Raise the typed exception for a coded error reply (no-op for
+    non-error messages and uncoded errors — those stay caller-handled,
+    e.g. per-job error results)."""
+    if message.get("type") != "error":
+        return
+    exc_type = ERROR_CODES.get(message.get("code", ""))
+    if exc_type is not None:
+        raise exc_type(message.get("message", "service error"))
 
 
 @dataclass
@@ -322,3 +379,20 @@ def campaign_result_to_wire(result: CampaignResult) -> dict:
 def campaign_result_from_wire(message: dict) -> CampaignResult:
     return _from_wire(CampaignResult, message.get("result"),
                       "campaign result")
+
+
+def probe_to_wire(digest: str) -> dict:
+    return {"type": "probe", "version": PROTOCOL_VERSION,
+            "digest": digest}
+
+
+def probe_from_wire(message: dict) -> str:
+    digest = message.get("digest")
+    if not isinstance(digest, str) or not digest:
+        raise ProtocolError("probe.digest must be a non-empty string")
+    return digest
+
+
+def auth_to_wire(token: str, client: str = "") -> dict:
+    return {"type": "auth", "version": PROTOCOL_VERSION,
+            "token": token, "client": client}

@@ -55,6 +55,7 @@ from repro.service.protocol import (
     decode_line,
     encode_line,
     job_digest,
+    probe_from_wire,
     result_to_wire,
     spec_from_wire,
 )
@@ -757,6 +758,21 @@ class ServiceServer:
                     # and immune to job-wait thread exhaustion.
                     await send({"type": "status_reply",
                                 "status": self.service.status()})
+                elif mtype == "probe":
+                    # Cache-federation probe: a plain sharded-cache
+                    # lookup (short per-shard lock), safe inline.
+                    try:
+                        digest = probe_from_wire(message)
+                    except ProtocolError as exc:
+                        await send({"type": "error",
+                                    "message": str(exc)})
+                        continue
+                    cached = self.service.cache.get_job(digest)
+                    hit = (cached is not None
+                           and all(key in cached
+                                   for key in _CACHED_KEYS))
+                    await send({"type": "probe_reply",
+                                "digest": digest, "hit": hit})
                 elif mtype == "shutdown":
                     await send({"type": "shutting_down"})
                     self._stop.set()

@@ -496,6 +496,137 @@ class TestServiceCommands:
         assert f"job cache: {windows} hit" in status_out
 
 
+def _cli_daemon(argv, port_file):
+    """Run a serve-style CLI command on a daemon thread; returns the
+    bound port once the port file appears."""
+    thread = threading.Thread(target=main, args=(argv,), daemon=True)
+    thread.start()
+    deadline = time.time() + 15
+    while time.time() < deadline:
+        if port_file.exists() and port_file.read_text().strip():
+            break
+        time.sleep(0.05)
+    else:
+        pytest.fail(f"{argv[0]} did not come up")
+    return port_file.read_text().strip(), thread
+
+
+@pytest.fixture()
+def meshed_port(tmp_path):
+    """Two CLI shards behind a CLI mesh router; yields (router_port,
+    shard_ports)."""
+    from repro.service import ServiceClient
+    shard_ports, threads = [], []
+    for index in range(2):
+        port_file = tmp_path / f"shard{index}.port"
+        port, thread = _cli_daemon(
+            ["serve", "--port", "0", "--jobs", "2",
+             "--port-file", str(port_file)], port_file)
+        shard_ports.append(port)
+        threads.append(thread)
+    shards_file = tmp_path / "shards"
+    shards_file.write_text(
+        f"127.0.0.1:{shard_ports[0]}\n# comment\n")
+    router_file = tmp_path / "router.port"
+    router_port, router_thread = _cli_daemon(
+        ["mesh", "serve", "--port", "0",
+         "--shards-file", str(shards_file),
+         "--shard", f"127.0.0.1:{shard_ports[1]}",
+         "--health-interval", "0.2",
+         "--port-file", str(router_file)], router_file)
+    threads.append(router_thread)
+    yield router_port, shard_ports
+    with ServiceClient(int(router_port)) as client:
+        client.shutdown()               # router only
+    for port in shard_ports:
+        with ServiceClient(int(port)) as client:
+            client.shutdown()
+    for thread in threads:
+        thread.join(timeout=15)
+
+
+class TestMeshCommands:
+    @pytest.fixture()
+    def module_file(self, tmp_path):
+        path = tmp_path / "m.ll"
+        path.write_text(BATCH_MODULE)
+        return str(path)
+
+    def test_submit_through_router_cold_then_cached(
+            self, meshed_port, module_file, capsys):
+        router_port, _shards = meshed_port
+        assert main(["mesh", "submit", module_file,
+                     "--port", router_port]) == 0
+        first = capsys.readouterr()
+        assert "[worker]" in first.out
+        assert main(["mesh", "submit", module_file,
+                     "--port", router_port]) == 0
+        assert "[cache]" in capsys.readouterr().out
+
+    def test_mesh_status_renders_fleet_view(self, meshed_port,
+                                            module_file, capsys):
+        router_port, _shards = meshed_port
+        main(["mesh", "submit", module_file, "--port", router_port])
+        capsys.readouterr()
+        assert main(["mesh", "status", "--port", router_port]) == 0
+        out = capsys.readouterr().out
+        assert "mesh router on" in out
+        assert "2/2 shards healthy" in out
+        assert "fleet jobs:" in out
+        assert "router:" in out
+        # The plain command reaches the same view via --mesh.
+        assert main(["status", "--mesh", "--port", router_port]) == 0
+        assert "mesh router on" in capsys.readouterr().out
+
+    def test_status_mesh_flag_rejects_plain_shard(self, meshed_port,
+                                                  capsys):
+        _router_port, shard_ports = meshed_port
+        assert main(["status", "--mesh",
+                     "--port", shard_ports[0]]) == 2
+        assert "not a mesh router" in capsys.readouterr().err
+
+    def test_mesh_serve_requires_shards(self, capsys):
+        assert main(["mesh", "serve", "--port", "0"]) == 2
+        assert "no shards" in capsys.readouterr().err
+
+    def test_mesh_serve_rejects_bad_shard_address(self, capsys):
+        assert main(["mesh", "serve", "--port", "0",
+                     "--shard", "nonsense"]) == 1
+        assert "bad shard address" in capsys.readouterr().err
+
+    def test_token_required_and_honored(self, tmp_path, module_file,
+                                        capsys):
+        from repro.service import ServiceClient
+        shard_file = tmp_path / "shard.port"
+        shard_port, shard_thread = _cli_daemon(
+            ["serve", "--port", "0", "--jobs", "2",
+             "--port-file", str(shard_file)], shard_file)
+        router_file = tmp_path / "router.port"
+        router_port, router_thread = _cli_daemon(
+            ["mesh", "serve", "--port", "0",
+             "--shard", f"127.0.0.1:{shard_port}",
+             "--token", "sesame", "--port-file", str(router_file)],
+            router_file)
+        try:
+            assert main(["mesh", "submit", module_file,
+                         "--port", router_port]) == 1
+            assert "token" in capsys.readouterr().err
+            assert main(["mesh", "submit", module_file,
+                         "--port", router_port,
+                         "--token", "sesame"]) == 0
+            assert main(["mesh", "status", "--port", router_port,
+                         "--token", "sesame"]) == 0
+            assert "1/1 shards healthy" in capsys.readouterr().out
+        finally:
+            with ServiceClient(int(router_port),
+                               token="sesame") as client:
+                client.shutdown()
+            with ServiceClient(int(shard_port)) as client:
+                client.shutdown()
+            router_thread.join(timeout=15)
+            shard_thread.join(timeout=15)
+
+
 #: Parses fine, fails the verifier (A013: returns i64 from an i32
 #: function) — the shape only programmatic gates can catch.
 ILL_FORMED_MODULE = """

@@ -193,6 +193,36 @@ class TestHistogram:
         with pytest.raises(ValueError):
             Histogram.merge(left.to_dict(), right.to_dict())
 
+    def test_merge_rejects_subset_schema(self):
+        # Same bounds present on one side, one missing on the other:
+        # still a schema mismatch, not a silent zero-fill.
+        left = Histogram(buckets=(1.0, 2.0)).to_dict()
+        right = Histogram(buckets=(1.0,)).to_dict()
+        with pytest.raises(ValueError):
+            Histogram.merge(left, right)
+
+    def test_merge_empty_with_populated_is_identity(self):
+        empty = Histogram(buckets=(1.0, 2.0))
+        populated = Histogram(buckets=(1.0, 2.0))
+        for value in (0.5, 1.5, 9.0):
+            populated.observe(value)
+        snap = populated.to_dict()
+        assert Histogram.merge(empty.to_dict(), snap) == snap
+        assert Histogram.merge(snap, empty.to_dict()) == snap
+
+    def test_merge_of_merged_is_associative(self):
+        snaps = []
+        for values in ((0.1,), (0.5, 1.5), (2.5, 9.0, 0.2)):
+            hist = Histogram(buckets=(1.0, 2.0))
+            for value in values:
+                hist.observe(value)
+            snaps.append(hist.to_dict())
+        a, b, c = snaps
+        left_first = Histogram.merge(Histogram.merge(a, b), c)
+        right_first = Histogram.merge(a, Histogram.merge(b, c))
+        assert left_first == right_first
+        assert left_first["count"] == 6
+
     def test_bucket_labels_are_compact(self):
         assert bucket_label(0.0005) == "0.0005"
         assert bucket_label(1.0) == "1"

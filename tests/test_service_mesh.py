@@ -1,0 +1,636 @@
+"""Tests for the multi-host service mesh: shard addressing, the
+consistent-hash ring, routing/failover/federation through
+``MeshRouter``, fleet status federation, campaign fan-out
+bit-identity (incl. killing a shard mid-campaign), and the tenancy
+layer (token authn + per-client quotas) on the socket front end."""
+
+import io
+import json
+import threading
+import time
+import urllib.request
+
+import pytest
+
+from repro import obs
+from repro.errors import ReproError
+from repro.experiments import RQ1Config, campaign_to_rq1_results, run_rq1
+from repro.llm.profiles import GEMINI20T, GEMMA3
+from repro.service import (
+    AuthenticationError,
+    HashRing,
+    JobSpec,
+    MeshRouter,
+    MeshServer,
+    MetricsExporter,
+    OptimizationService,
+    QuotaExceededError,
+    ServiceClient,
+    ServiceServer,
+    ShardEndpoint,
+    federate_status,
+    job_digest,
+    parse_shard,
+    read_shards_file,
+    write_shards_file,
+)
+from repro.service.metrics import Histogram
+
+IR = "define i8 @f(i8 %x) {\n  %a = add i8 %x, 0\n  ret i8 %a\n}"
+IR_B = "define i8 @g(i8 %x) {\n  %a = sub i8 %x, 0\n  ret i8 %a\n}"
+
+
+def _events(buf: io.StringIO):
+    return [json.loads(line) for line in buf.getvalue().splitlines()]
+
+
+class _LiveShard:
+    """One in-process shard the tests can kill and restart at will."""
+
+    def __init__(self):
+        self.service = OptimizationService(jobs=2, backend="thread")
+        self.server = ServiceServer(self.service, host="127.0.0.1",
+                                    port=0)
+        self.port = self.server.start_background()
+        self.endpoint = ShardEndpoint("127.0.0.1", self.port)
+
+    def kill(self):
+        self.server.stop()
+
+    def restart(self):
+        # Same port, same (still-warm) service — a crashed-and-
+        # recovered shard keeps its job cache.
+        self.server = ServiceServer(self.service, host="127.0.0.1",
+                                    port=self.port)
+        self.server.start_background()
+
+    def close(self):
+        self.server.stop()
+        self.service.close()
+
+
+@pytest.fixture()
+def fleet():
+    shards = [_LiveShard(), _LiveShard()]
+    yield shards
+    for shard in shards:
+        shard.close()
+
+
+def make_router(fleet, **kwargs):
+    kwargs.setdefault("health_interval", None)   # deterministic tests
+    kwargs.setdefault("connect_timeout", 5.0)
+    return MeshRouter([shard.endpoint for shard in fleet], **kwargs)
+
+
+def logged_router(fleet, **kwargs):
+    buf = io.StringIO()
+    kwargs.setdefault("logger", obs.StructuredLogger(stream=buf))
+    return make_router(fleet, **kwargs), buf
+
+
+class TestShardAddressing:
+    def test_parse_shard(self):
+        assert parse_shard("10.0.0.5:7777") == ShardEndpoint(
+            "10.0.0.5", 7777)
+        assert parse_shard(" localhost:1 \n").key == "localhost:1"
+
+    @pytest.mark.parametrize("text", [
+        "nohost", ":7777", "host:", "host:notaport", "host:0",
+        "host:70000"])
+    def test_bad_addresses_rejected(self, text):
+        with pytest.raises(ReproError):
+            parse_shard(text)
+
+    def test_shards_file_roundtrip(self, tmp_path):
+        path = tmp_path / "shards"
+        endpoints = [ShardEndpoint("a", 1), ShardEndpoint("b", 2)]
+        write_shards_file(path, endpoints)
+        assert read_shards_file(path) == endpoints
+        # Atomic write leaves no temp droppings next to the target.
+        assert [p.name for p in tmp_path.iterdir()] == ["shards"]
+
+    def test_shards_file_comments_and_blanks(self, tmp_path):
+        path = tmp_path / "shards"
+        path.write_text("# fleet\n\nhost1:7777  # primary\nhost2:7778\n")
+        assert read_shards_file(path) == [ShardEndpoint("host1", 7777),
+                                          ShardEndpoint("host2", 7778)]
+
+    def test_duplicate_shards_rejected(self):
+        with pytest.raises(ReproError):
+            MeshRouter([ShardEndpoint("a", 1), ShardEndpoint("a", 1)],
+                       health_interval=None)
+
+    def test_empty_fleet_rejected(self):
+        with pytest.raises(ReproError):
+            MeshRouter([], health_interval=None)
+
+
+class TestHashRing:
+    def test_owner_is_deterministic(self):
+        ring = HashRing(["a:1", "b:2", "c:3"])
+        digests = [f"digest-{n}" for n in range(50)]
+        owners = [ring.owner(d) for d in digests]
+        assert owners == [HashRing(["a:1", "b:2", "c:3"]).owner(d)
+                          for d in digests]
+
+    def test_spreads_across_shards(self):
+        ring = HashRing(["a:1", "b:2"])
+        owners = {ring.owner(f"digest-{n}") for n in range(100)}
+        assert owners == {"a:1", "b:2"}
+
+    def test_excluded_walks_to_next_live_shard(self):
+        ring = HashRing(["a:1", "b:2", "c:3"])
+        for n in range(50):
+            digest = f"digest-{n}"
+            owner = ring.owner(digest)
+            fallback = ring.owner(digest, excluded={owner})
+            assert fallback is not None and fallback != owner
+
+    def test_all_excluded_is_none(self):
+        ring = HashRing(["a:1", "b:2"])
+        assert ring.owner("x", excluded={"a:1", "b:2"}) is None
+        assert HashRing([]).owner("x") is None
+
+    def test_exclusion_matches_smaller_ring(self):
+        # Consistency: excluding a shard only moves the jobs it owned.
+        full = HashRing(["a:1", "b:2", "c:3"])
+        without = HashRing(["a:1", "c:3"])
+        for n in range(100):
+            digest = f"digest-{n}"
+            assert (full.owner(digest, excluded={"b:2"})
+                    == without.owner(digest))
+
+
+class TestRouting:
+    def test_cold_then_warm(self, fleet):
+        with make_router(fleet) as router:
+            cold = router.route_job(JobSpec(ir=IR))
+            assert cold.ok and not cold.cached
+            warm = router.route_job(JobSpec(ir=IR))
+            assert warm.ok and warm.cached
+            snapshot = router.metrics.to_dict()
+            assert snapshot["routed"] == 2
+        # Identical digests land on the same shard's cache: exactly
+        # one shard saw both submissions.
+        assert sorted(snapshot["per_shard"].values()) == [2]
+
+    def test_client_job_id_and_tag_preserved(self, fleet):
+        with make_router(fleet) as router:
+            result = router.route_job(JobSpec(ir=IR, job_id="mine",
+                                              tag="t1"))
+            assert result.job_id == "mine" and result.tag == "t1"
+            assert router.route_job(JobSpec(ir=IR)).job_id.startswith(
+                "mesh-")
+
+    def test_unparseable_ir_is_error_result_not_raise(self, fleet):
+        # job_digest falls back to raw text for unparseable IR, so the
+        # job still routes; the shard answers with a job-scoped error
+        # result (never a transport failure, never a failover).
+        with make_router(fleet) as router:
+            result = router.route_job(JobSpec(ir="this is not IR"))
+            assert not result.ok and result.status == "error"
+            assert result.error
+            assert router.metrics.to_dict()["failovers"] == 0
+
+    def test_batch_spreads_and_preserves_order(self, fleet):
+        corpus = [IR, IR_B]
+        with make_router(fleet) as router:
+            results = router.route_many(
+                [JobSpec(ir=ir, job_id=f"j{n}")
+                 for n, ir in enumerate(corpus)])
+            assert [r.job_id for r in results] == ["j0", "j1"]
+            assert all(r.ok for r in results)
+
+    def test_single_flight_coalesces_identical_jobs(self, fleet):
+        router = make_router(fleet)
+        gate = threading.Event()
+        original = router._submit_to
+
+        def gated_submit(shard, spec):
+            gate.wait(timeout=30)
+            return original(shard, spec)
+
+        router._submit_to = gated_submit
+        results = {}
+
+        def route(name):
+            results[name] = router.route_job(JobSpec(ir=IR,
+                                                     job_id=name))
+
+        threads = [threading.Thread(target=route, args=(f"j{n}",))
+                   for n in range(3)]
+        for thread in threads:
+            thread.start()
+        # Wait until one leader is in flight and the rest coalesced.
+        deadline = time.time() + 10
+        while (router.metrics.to_dict()["coalesced"] < 2
+               and time.time() < deadline):
+            time.sleep(0.01)
+        gate.set()
+        for thread in threads:
+            thread.join(timeout=30)
+        snapshot = router.metrics.to_dict()
+        assert snapshot["routed"] == 1           # one shard round-trip
+        assert snapshot["coalesced"] == 2
+        assert sorted(results) == ["j0", "j1", "j2"]
+        assert all(r.ok for r in results.values())
+        for name, result in results.items():
+            assert result.job_id == name
+        router.close()
+
+
+class TestFailoverAndHealth:
+    def test_failover_reroutes_to_live_shard(self, fleet):
+        router, buf = logged_router(fleet)
+        with router:
+            spec = JobSpec(ir=IR)
+            digest = job_digest(spec, llm_seed=0)
+            owner_key = router.ring.owner(digest)
+            victim = next(shard for shard in fleet
+                          if shard.endpoint.key == owner_key)
+            victim.kill()
+            result = router.route_job(spec)
+            assert result.ok
+            snapshot = router.metrics.to_dict()
+            assert snapshot["failovers"] >= 1
+            assert snapshot["per_shard"].get(owner_key, 0) == 0
+        events = {event["event"] for event in _events(buf)}
+        assert "mesh.failover" in events
+        assert "mesh.shard_down" in events
+
+    def test_wire_error_reply_triggers_failover(self, fleet):
+        # A shard whose server answers a wire *error* (its wait pool
+        # shut down mid-request, its queue full) is failing, not
+        # answering: the router must fail the job over instead of
+        # returning the dying shard's excuse as the result.  (A job
+        # answer with status="error" — e.g. unparseable IR — travels
+        # as a *result* message and still settles without failover.)
+        router, buf = logged_router(fleet)
+        with router:
+            spec = JobSpec(ir=IR)
+            digest = job_digest(spec, llm_seed=0)
+            owner_key = router.ring.owner(digest)
+            victim = next(shard for shard in fleet
+                          if shard.endpoint.key == owner_key)
+
+            def dying_run(run_spec, timeout=None):
+                raise RuntimeError(
+                    "cannot schedule new futures after shutdown")
+
+            victim.service.run = dying_run
+            result = router.route_job(spec)
+            assert result.ok
+            snapshot = router.metrics.to_dict()
+            assert snapshot["failovers"] == 1
+            assert snapshot["per_shard"].get(owner_key, 0) == 0
+        events = {event["event"] for event in _events(buf)}
+        assert "mesh.failover" in events
+
+    def test_wire_error_raises_for_strict_client(self, fleet):
+        # The client-level switch the router relies on: by default a
+        # server-side exception becomes a per-job error result; with
+        # raise_wire_errors=True it raises ReproError.
+        victim = fleet[0]
+
+        def dying_run(run_spec, timeout=None):
+            raise RuntimeError("wait pool is gone")
+
+        victim.service.run = dying_run
+        with ServiceClient(victim.port) as client:
+            lenient = client.submit(JobSpec(ir=IR, job_id="j1"))
+            assert not lenient.ok and "wait pool" in lenient.error
+        with ServiceClient(victim.port) as client:
+            with pytest.raises(ReproError, match="wait pool"):
+                client.submit(JobSpec(ir=IR, job_id="j2"),
+                              raise_wire_errors=True)
+
+    def test_all_shards_down_is_error_result_not_raise(self, fleet):
+        router, buf = logged_router(fleet)
+        with router:
+            for shard in fleet:
+                shard.kill()
+            result = router.route_job(JobSpec(ir=IR))
+            assert not result.ok and "no live shard" in result.error
+            assert router.metrics.to_dict()["no_shard_errors"] == 1
+        assert any(event["event"] == "mesh.no_shards"
+                   for event in _events(buf))
+
+    def test_health_check_marks_down_and_up(self, fleet):
+        router, buf = logged_router(fleet)
+        with router:
+            assert all(router.check_health().values())
+            fleet[0].kill()
+            health = router.check_health()
+            assert health[fleet[0].endpoint.key] is False
+            assert health[fleet[1].endpoint.key] is True
+            fleet[0].restart()
+            assert all(router.check_health().values())
+        events = [event["event"] for event in _events(buf)]
+        assert "mesh.shard_down" in events
+        assert "mesh.shard_up" in events
+        # One transition each way — repeated checks don't re-log.
+        assert events.count("mesh.shard_down") == 1
+        assert events.count("mesh.shard_up") == 1
+
+    def test_background_checker_detects_dead_shard(self, fleet):
+        with make_router(fleet, health_interval=0.05) as router:
+            fleet[0].kill()
+            deadline = time.time() + 10
+            while time.time() < deadline:
+                status = router.status(refresh=False)
+                if status["mesh"]["healthy_shards"] == 1:
+                    break
+                time.sleep(0.05)
+            else:
+                pytest.fail("health checker never noticed the death")
+
+
+class TestCacheFederation:
+    def test_warm_resubmission_served_from_federation(self, fleet):
+        router, buf = logged_router(fleet)
+        with router:
+            spec = JobSpec(ir=IR)
+            digest = job_digest(spec, llm_seed=0)
+            owner_key = router.ring.owner(digest)
+            owner = next(shard for shard in fleet
+                         if shard.endpoint.key == owner_key)
+            other = next(shard for shard in fleet
+                         if shard.endpoint.key != owner_key)
+            # First submission with the hash-owner down: failover
+            # serves (and caches) it on the other shard.
+            owner.kill()
+            router.check_health()
+            assert router.route_job(spec).ok
+            # Owner comes back cold; the ring again points at it.
+            owner.restart()
+            router.check_health()
+            owner_runs = owner.service.status()["submitted"]
+            result = router.route_job(spec)
+            assert result.ok and result.cached     # no LPO re-run
+            snapshot = router.metrics.to_dict()
+            assert snapshot["federation_probes"] == 1
+            assert snapshot["federation_hits"] == 1
+            # The warm shard answered; the cold owner ran nothing new.
+            assert owner.service.status()["submitted"] == owner_runs
+            assert (snapshot["per_shard"][other.endpoint.key]
+                    == snapshot["routed"])
+        assert any(event["event"] == "mesh.federation_hit"
+                   for event in _events(buf))
+
+    def test_federation_miss_falls_back_to_ring_owner(self, fleet):
+        with make_router(fleet) as router:
+            spec = JobSpec(ir=IR)
+            digest = job_digest(spec, llm_seed=0)
+            owner_key = router.ring.owner(digest)
+            other_key = next(shard.endpoint.key for shard in fleet
+                             if shard.endpoint.key != owner_key)
+            # Forge a stale index entry: the remembered shard never
+            # actually served this digest (models an evicted entry).
+            router._served[digest] = other_key
+            result = router.route_job(spec)
+            assert result.ok
+            snapshot = router.metrics.to_dict()
+            assert snapshot["federation_misses"] == 1
+            assert snapshot["per_shard"].get(owner_key) == 1
+            assert digest not in router._served or (
+                router._served[digest] == owner_key)
+
+    def test_probe_wire_message(self, fleet):
+        spec = JobSpec(ir=IR)
+        digest = job_digest(spec, llm_seed=0)
+        with ServiceClient(fleet[0].port) as client:
+            assert client.probe(digest) is False
+            assert client.submit(spec).ok
+            assert client.probe(digest) is True
+
+
+class TestFleetStatus:
+    def test_counters_equal_per_shard_sums(self, fleet):
+        with make_router(fleet) as router:
+            for ir in (IR, IR_B, IR):
+                assert router.route_job(JobSpec(ir=ir)).ok
+            fleet_status = router.status()
+            shard_statuses = [shard.service.status()
+                              for shard in fleet]
+        for field in ("submitted", "completed", "cache_hits",
+                      "cache_misses", "workers", "job_cache_entries"):
+            assert fleet_status[field] == sum(
+                snap[field] for snap in shard_statuses), field
+        assert fleet_status["submitted"] == 3
+        assert "latency" not in fleet_status   # not mergeable
+
+    def test_histograms_are_exact_merges(self, fleet):
+        with make_router(fleet) as router:
+            for ir in (IR, IR_B, IR):
+                router.route_job(JobSpec(ir=ir))
+            fleet_status = router.status()
+            snaps = [shard.service.status()["latency_histograms"]
+                     for shard in fleet]
+        for origin, merged in fleet_status["latency_histograms"].items():
+            parts = [snap[origin] for snap in snaps if origin in snap]
+            expected = parts[0]
+            for part in parts[1:]:
+                expected = Histogram.merge(expected, part)
+            assert merged == expected
+
+    def test_federate_status_pure_function(self):
+        hist_a = Histogram(buckets=(1.0, 2.0))
+        hist_a.observe(0.5)
+        hist_b = Histogram(buckets=(1.0, 2.0))
+        hist_b.observe(1.5)
+        snapshots = [
+            {"submitted": 3, "completed": 2, "cache_hits": 1,
+             "cache_misses": 2, "uptime_seconds": 9.0,
+             "phases": {"llm": 1.0}, "jobs_per_second": 1.5,
+             "campaigns": {"started": 1, "completed": 1, "failed": 0,
+                           "rounds_completed": 4, "detections": 2,
+                           "active": []},
+             "latency_histograms": {"worker": hist_a.to_dict()}},
+            {"submitted": 5, "completed": 5, "cache_hits": 3,
+             "cache_misses": 2, "uptime_seconds": 4.0,
+             "phases": {"llm": 0.5, "verify": 0.25},
+             "jobs_per_second": 2.0,
+             "campaigns": {"started": 0, "completed": 0, "failed": 0,
+                           "rounds_completed": 0, "detections": 0,
+                           "active": []},
+             "latency_histograms": {"worker": hist_b.to_dict()}},
+        ]
+        fleet_view = federate_status(snapshots)
+        assert fleet_view["submitted"] == 8
+        assert fleet_view["cache_hit_rate"] == pytest.approx(4 / 8)
+        assert fleet_view["uptime_seconds"] == 9.0   # max, not sum
+        assert fleet_view["jobs_per_second"] == pytest.approx(3.5)
+        assert fleet_view["phases"]["llm"] == pytest.approx(1.5)
+        assert fleet_view["campaigns"]["rounds_completed"] == 4
+        assert fleet_view["latency_histograms"]["worker"] == (
+            Histogram.merge(hist_a.to_dict(), hist_b.to_dict()))
+        assert fleet_view["shards"] == 2
+
+    def test_metrics_exporter_serves_fleet_view(self, fleet):
+        with make_router(fleet) as router:
+            router.route_job(JobSpec(ir=IR))
+            router.route_job(JobSpec(ir=IR))
+            with MetricsExporter(router) as exporter:
+                with urllib.request.urlopen(
+                        f"http://127.0.0.1:{exporter.port}/metrics",
+                        timeout=10) as resp:
+                    text = resp.read().decode("utf-8")
+        assert "repro_jobs_submitted_total 2" in text
+        assert "repro_mesh_shards 2" in text
+        assert "repro_mesh_routed_total 2" in text
+        assert 'repro_mesh_shard_up{shard="' in text
+        assert "repro_job_latency_seconds_bucket" in text
+
+
+@pytest.fixture(scope="module")
+def rq1_setup():
+    from repro.corpus.issues import rq1_cases
+    from repro.experiments import rq1_campaign_spec
+    config = RQ1Config(rounds=2, models=(GEMMA3, GEMINI20T),
+                       cases=rq1_cases()[:4], include_baselines=False)
+    return config, run_rq1(config), rq1_campaign_spec(config)
+
+
+class TestMeshCampaign:
+    def test_two_shard_campaign_bit_identical_to_run_rq1(
+            self, fleet, rq1_setup):
+        config, expected, spec = rq1_setup
+        with make_router(fleet) as router:
+            result = router.run_campaign(spec)
+        assert result.ok
+        assert campaign_to_rq1_results(result).lpo_counts == (
+            expected.lpo_counts)
+        legs = len(config.models) * 2               # LPO- and LPO
+        assert result.jobs == legs * config.rounds * len(spec.windows)
+        # Both shards actually participated in the fan-out.
+        routed = router.metrics.to_dict()["per_shard"]
+        assert len(routed) == 2 and sum(routed.values()) == result.jobs
+
+    def test_shard_killed_mid_campaign_completes_identically(
+            self, fleet, rq1_setup):
+        config, expected, spec = rq1_setup
+        router, buf = logged_router(fleet)
+        original = router._submit_to
+        state = {"calls": 0, "killed": False}
+
+        def killing_submit(shard, job_spec):
+            state["calls"] += 1
+            # Kill whichever shard receives the 5th job, just before
+            # it would serve it: a guaranteed mid-flight death.
+            if state["calls"] == 5 and not state["killed"]:
+                state["killed"] = True
+                victim = next(s for s in fleet
+                              if s.endpoint.key == shard.key)
+                victim.kill()
+            return original(shard, job_spec)
+
+        router._submit_to = killing_submit
+        with router:
+            result = router.run_campaign(spec)
+        assert state["killed"]
+        assert result.ok
+        # No lost or duplicated jobs: the exact expected job count,
+        # and a bit-identical detection matrix.
+        legs = len(config.models) * 2
+        assert result.jobs == legs * config.rounds * len(spec.windows)
+        assert campaign_to_rq1_results(result).lpo_counts == (
+            expected.lpo_counts)
+        assert router.metrics.to_dict()["failovers"] >= 1
+        events = {event["event"] for event in _events(buf)}
+        assert "mesh.failover" in events
+        assert "mesh.campaign.finish" in events
+
+    def test_campaign_over_socket_matches(self, fleet, rq1_setup):
+        _config, expected, spec = rq1_setup
+        with make_router(fleet) as router:
+            server = MeshServer(router, port=0)
+            port = server.start_background()
+            try:
+                with ServiceClient(port, timeout=600.0) as client:
+                    result = client.submit_campaign(spec)
+            finally:
+                server.stop()
+        assert result.ok
+        assert campaign_to_rq1_results(result).lpo_counts == (
+            expected.lpo_counts)
+
+
+class TestTenancy:
+    @pytest.fixture()
+    def secured(self, fleet):
+        router, buf = logged_router(fleet, token="sesame", quota=1)
+        server = MeshServer(router, port=0)
+        port = server.start_background()
+        yield router, port, buf
+        server.stop()
+        router.close()
+
+    def test_missing_token_rejected_typed(self, secured):
+        _router, port, buf = secured
+        with ServiceClient(port) as client:
+            with pytest.raises(AuthenticationError):
+                client.submit(JobSpec(ir=IR))
+        assert any(event["event"] == "mesh.auth_reject"
+                   for event in _events(buf))
+
+    def test_bad_token_rejected_typed(self, secured):
+        _router, port, buf = secured
+        with pytest.raises(AuthenticationError):
+            ServiceClient(port, token="wrong")
+        rejects = [event for event in _events(buf)
+                   if event["event"] == "mesh.auth_reject"]
+        assert rejects and rejects[-1]["provided"] is True
+
+    def test_good_token_serves_and_counts(self, secured):
+        router, port, _buf = secured
+        with ServiceClient(port, token="sesame",
+                           client_name="alice") as client:
+            assert client.submit(JobSpec(ir=IR)).ok
+            assert client.status()["mesh"]["authenticated"] is True
+        assert router.metrics.to_dict()["auth_rejects"] == 0
+
+    def test_quota_exceeded_is_distinct_backpressure_error(
+            self, secured):
+        router, port, buf = secured
+        gate = threading.Event()
+        original = router.route_job
+
+        def gated_route(spec, client_id=""):
+            gate.wait(timeout=30)
+            return original(spec, client_id)
+
+        router.route_job = gated_route
+        # Both connections share one client identity (peer host), so
+        # the second in-flight submit must trip the quota of 1.
+        first = ServiceClient(port, token="sesame")
+        second = ServiceClient(port, token="sesame")
+        try:
+            from repro.service import spec_to_wire
+            first._send(spec_to_wire(JobSpec(ir=IR, job_id="q1")))
+            deadline = time.time() + 10
+            while (not router._client_inflight
+                   and time.time() < deadline):
+                time.sleep(0.01)
+            with pytest.raises(QuotaExceededError):
+                second.submit(JobSpec(ir=IR))
+            gate.set()
+            reply = first._read()
+            assert reply["type"] == "result"
+        finally:
+            gate.set()
+            first.close()
+            second.close()
+        assert router.metrics.to_dict()["quota_rejects"] == 1
+        assert any(event["event"] == "mesh.quota_reject"
+                   for event in _events(buf))
+
+    def test_quota_slot_accounting(self, fleet):
+        with make_router(fleet, quota=2) as router:
+            router.acquire_slot("alice")
+            router.acquire_slot("alice")
+            with pytest.raises(QuotaExceededError):
+                router.acquire_slot("alice")
+            router.acquire_slot("bob")      # per-client, not global
+            router.release_slot("alice")
+            router.acquire_slot("alice")    # freed slot reusable

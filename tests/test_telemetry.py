@@ -325,6 +325,67 @@ class TestPrometheusRendering:
         parse_prometheus(text)
 
 
+class TestFederatedRendering:
+    """render_prometheus over a federate_status-summed fleet dict —
+    counters must equal the per-shard sums, histograms must be the
+    exact merges, and the mesh-only series must appear."""
+
+    def _shard_statuses(self):
+        statuses = []
+        for seed_ir in (IR, IR2):
+            service, _ = logged_service()
+            with service:
+                service.run(JobSpec(ir=seed_ir), timeout=30)
+                service.run(JobSpec(ir=seed_ir), timeout=30)
+                statuses.append(service.status())
+        return statuses
+
+    def test_summed_counters_and_merged_histograms(self):
+        from repro.service import federate_status
+        from repro.service.metrics import Histogram
+        statuses = self._shard_statuses()
+        fleet = federate_status(statuses)
+        fleet["mesh"] = {
+            "shards": [{"shard": "127.0.0.1:7777", "healthy": True},
+                       {"shard": "127.0.0.1:7778", "healthy": False}],
+            "healthy_shards": 1,
+            "router": {"routed": 4, "failovers": 1,
+                       "federation_probes": 2, "federation_hits": 1,
+                       "per_shard": {"127.0.0.1:7777": 3,
+                                     "127.0.0.1:7778": 1}},
+            "uptime_seconds": 12.5,
+        }
+        samples = parse_prometheus(render_prometheus(fleet))
+        assert samples[("repro_jobs_submitted_total", ())] == sum(
+            status["submitted"] for status in statuses)
+        assert samples[("repro_jobs_cache_hits_total", ())] == sum(
+            status["cache_hits"] for status in statuses)
+        assert samples[("repro_workers", ())] == 4
+        # Histogram buckets are the exact Histogram.merge sums.
+        merged = Histogram.merge(
+            statuses[0]["latency_histograms"]["worker"],
+            statuses[1]["latency_histograms"]["worker"])
+        for label, count in merged["buckets"].items():
+            key = tuple(sorted((("le", label), ("origin", "worker"))))
+            assert samples[("repro_job_latency_seconds_bucket",
+                            key)] == count
+        # Mesh-only families render with per-shard labels.
+        assert samples[("repro_mesh_shards", ())] == 2
+        assert samples[("repro_mesh_shards_healthy", ())] == 1
+        assert samples[("repro_mesh_routed_total", ())] == 4
+        assert samples[("repro_mesh_failovers_total", ())] == 1
+        assert samples[("repro_mesh_shard_up",
+                        (("shard", "127.0.0.1:7777"),))] == 1
+        assert samples[("repro_mesh_shard_up",
+                        (("shard", "127.0.0.1:7778"),))] == 0
+        assert samples[("repro_mesh_shard_routed_total",
+                        (("shard", "127.0.0.1:7777"),))] == 3
+        # No percentile gauges in a fleet view: reservoir percentiles
+        # are not mergeable, so federate_status omits them.
+        assert not any(name == "repro_job_latency_recent_seconds"
+                       for name, _labels in samples)
+
+
 class TestMetricsEndpoint:
     @pytest.fixture()
     def live(self):
