@@ -2,12 +2,14 @@
 simulated vs HTTP backend.
 
 Runs the persistent optimization service over the full rq1 window
-corpus five ways — ``backend=sim``: a cold pass through the in-process
+corpus six ways — ``backend=sim``: a cold pass through the in-process
 API (every job pays the LPO loop), a warm in-process pass (every job
 served from the sharded job cache), and a warm pass over the JSON-lines
 socket (cache hits plus wire/framing overhead); ``backend=http(stub)``:
 a cold and a warm pass where every LLM call additionally crosses the
-OpenAI-compatible chat-completions stub server over localhost TCP — and
+OpenAI-compatible chat-completions stub server over localhost TCP, plus
+a cold pass with ``transport=aio`` (the asyncio event-loop transport,
+the thread-vs-aio comparison row) — and
 records sustained jobs/sec for each into
 ``benchmarks/results/service_throughput.txt`` with the standard
 ``[env]`` machine header.  The http rows keep the socket/HTTP overhead
@@ -63,6 +65,11 @@ def test_bench_service_throughput(rq1_irs, bench_jobs, save_artifact,
     # model-independent) and make the http "cold" row a fake.
     http_service = OptimizationService(jobs=bench_jobs,
                                        backend="thread")
+    # Same isolation logic for the asyncio-transport leg: its own
+    # service, so its cold pass really pays every LLM call.
+    aio_model = stub.spec_for("Gemini2.0T", transport="aio")
+    aio_service = OptimizationService(jobs=bench_jobs,
+                                      backend="thread")
     try:
         specs = lambda model="Gemini2.0T": [  # noqa: E731
             JobSpec(ir=ir, model=model) for ir in rq1_irs]
@@ -97,14 +104,22 @@ def test_bench_service_throughput(rq1_irs, bench_jobs, save_artifact,
         http_warm = http_service.run_many(specs(http_model))
         http_warm_wall = time.perf_counter() - start
 
+        # The same cold corpus again with the asyncio transport under
+        # the identical stub — the thread-vs-aio row.
+        start = time.perf_counter()
+        aio_cold = aio_service.run_many(specs(aio_model))
+        aio_cold_wall = time.perf_counter() - start
+
         status = service.status()
         http_status = http_service.status()
+        aio_status = aio_service.status()
     finally:
         stub.stop()
         exporter.stop()
         server.stop()
         service.close()
         http_service.close()
+        aio_service.close()
         logger.close()
     log_events = len(log_path.read_text().splitlines())
 
@@ -113,6 +128,7 @@ def test_bench_service_throughput(rq1_irs, bench_jobs, save_artifact,
     assert [r.status for r in socket_warm] == [r.status for r in cold]
     assert [r.status for r in http_cold] == [r.status for r in cold]
     assert [r.status for r in http_warm] == [r.status for r in cold]
+    assert [r.status for r in aio_cold] == [r.status for r in cold]
     assert not any(r.cached for r in cold)
     assert all(r.cached for r in warm)
     assert all(r.cached for r in socket_warm)
@@ -150,6 +166,12 @@ def test_bench_service_throughput(rq1_irs, bench_jobs, save_artifact,
         f"backend=http(stub) warm in-process:  {http_warm_wall:8.3f}s  "
         f"{_jobs_per_sec(jobs, http_warm_wall):8.1f} jobs/s "
         f"(x{http_cold_wall / max(http_warm_wall, 1e-9):.0f} vs cold)",
+        f"backend=http(stub) cold, transport=aio: {aio_cold_wall:6.2f}s"
+        f"  {_jobs_per_sec(jobs, aio_cold_wall):8.1f} jobs/s "
+        f"(thread transport {http_cold_wall:.2f}s -> asyncio "
+        f"{aio_cold_wall:.2f}s on the same corpus/stub; "
+        f"{aio_status['llm_backend']['calls']} calls on one event "
+        f"loop)",
         f"service latency percentiles over all passes: "
         f"p50 {latency['p50'] * 1e3:.1f}ms "
         f"p90 {latency['p90'] * 1e3:.1f}ms "
@@ -173,6 +195,7 @@ def test_bench_service_throughput(rq1_irs, bench_jobs, save_artifact,
     assert status["cache_misses"] == jobs
     assert http_status["cache_misses"] == jobs
     assert sim_backend["calls"] == http_backend["calls"]
+    assert aio_status["llm_backend"]["calls"] == http_backend["calls"]
     assert warm_wall < cold_wall / 10
     assert http_warm_wall < http_cold_wall / 10
     # The live scrape served real series, and the log captured the

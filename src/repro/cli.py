@@ -577,7 +577,8 @@ def cmd_campaign(args: argparse.Namespace) -> int:
         case_ids = [str(case.issue_id) for case in cases]
     spec = CampaignSpec(windows=windows, case_ids=case_ids,
                         rounds=args.rounds, models=models,
-                        variants=[["LPO-", 1], ["LPO", args.attempts]])
+                        variants=[["LPO-", 1], ["LPO", args.attempts]],
+                        budget_usd=args.budget)
     with ServiceClient(args.port, host=args.host,
                        timeout=args.timeout,
                        token=args.token) as client:
@@ -623,7 +624,9 @@ def cmd_mesh_serve(args: argparse.Namespace) -> int:
         health_interval=(None if args.health_interval <= 0
                          else args.health_interval),
         connect_timeout=args.connect_timeout,
-        request_timeout=args.request_timeout, logger=logger)
+        timeout=args.timeout,
+        connect_retries=args.connect_retries,
+        connect_backoff=args.connect_backoff, logger=logger)
     server = MeshServer(router, host=args.host, port=args.port)
     exporter = None
     if args.metrics_port is not None:
@@ -746,7 +749,8 @@ def cmd_status(args: argparse.Namespace) -> int:
     print(f"llm backend: {backend.get('calls', 0)} calls, "
           f"{backend.get('retries', 0)} retries, "
           f"{backend.get('failures', 0)} failures, "
-          f"{backend.get('rate_limit_waits', 0)} rate-limit waits")
+          f"{backend.get('rate_limit_waits', 0)} rate-limit waits, "
+          f"${backend.get('cost_usd', 0.0):.4f} spent")
     phases = status.get("phases", {})
     if phases:
         from repro import profile
@@ -896,8 +900,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     model_spec_help = (
         "model spec: a profile name (Gemini2.0T), sim:<name>[?seed=N], "
-        "or an OpenAI-compatible endpoint http://host:port/<model>"
-        "[?timeout=&retries=&rps=&concurrency=]")
+        "an OpenAI-compatible endpoint http://host:port/<model>"
+        "[?timeout=&retries=&rps=&concurrency=&transport=thread|aio], "
+        "or a real provider openai:<model> / anthropic:<model> "
+        "(API key from OPENAI_API_KEY / ANTHROPIC_API_KEY — never in "
+        "the spec)")
 
     p = sub.add_parser("pipeline", help="run the LPO loop on a window")
     p.add_argument("file")
@@ -1060,6 +1067,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--attempts", type=int, default=2,
                    help="attempt limit of the LPO leg (LPO- is "
                         "always 1)")
+    p.add_argument("--budget", type=float, default=0.0, metavar="USD",
+                   help="stop the campaign once backend spend reaches "
+                        "this many dollars (0: unlimited); partial "
+                        "results are returned with a budget-exhausted "
+                        "marker")
     p.add_argument("--host", default="127.0.0.1")
     p.add_argument("--port", type=int, default=7777)
     p.add_argument("--timeout", type=float, default=3600.0)
@@ -1105,10 +1117,18 @@ def build_parser() -> argparse.ArgumentParser:
                    metavar="SECONDS",
                    help="seconds between shard health checks "
                         "(<=0: only route-time failure detection)")
+    p.add_argument("--timeout", "--request-timeout", dest="timeout",
+                   type=float, default=600.0,
+                   help="per-request shard socket timeout "
+                        "(--request-timeout is a deprecated alias)")
     p.add_argument("--connect-timeout", type=float, default=5.0,
                    help="per-attempt shard connect timeout")
-    p.add_argument("--request-timeout", type=float, default=600.0,
-                   help="per-request shard socket timeout")
+    p.add_argument("--connect-retries", type=int, default=1,
+                   help="extra shard connect attempts before a route "
+                        "fails over (0: fail fast)")
+    p.add_argument("--connect-backoff", type=float, default=0.1,
+                   help="base seconds of geometric backoff between "
+                        "connect attempts")
     p.add_argument("--port-file", metavar="PATH",
                    help="write the bound router port here once "
                         "listening (useful with --port 0)")

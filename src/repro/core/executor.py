@@ -29,7 +29,9 @@ from concurrent.futures.process import BrokenProcessPool
 from concurrent.futures import BrokenExecutor
 from typing import Callable, Iterable, Iterator, Optional, Sequence
 
-from repro.errors import ReproError
+# WorkerCrashError moved to repro.errors (stable .code, one catchable
+# hierarchy); imported back so its historical home keeps exporting it.
+from repro.errors import WorkerCrashError
 
 BACKENDS = ("serial", "thread", "process")
 DEFAULT_BACKEND = "process"
@@ -39,10 +41,6 @@ DEFAULT_BACKEND = "process"
 MAX_DEFAULT_JOBS = 8
 
 ENV_BACKEND = "REPRO_EXECUTOR_BACKEND"
-
-
-class WorkerCrashError(ReproError):
-    """A pool worker died (or the pool broke) while running a job."""
 
 
 def default_jobs() -> int:

@@ -4,13 +4,33 @@ Every error raised by this library derives from :class:`ReproError`, so
 callers can catch one type at the pipeline boundary.  Parse errors carry
 LLVM-``opt``-style location information because the LPO feedback loop sends
 the rendered message back to the LLM verbatim.
+
+The operationally interesting errors — the ones a service client wants
+to branch on — carry a stable :attr:`ReproError.code` string matching
+the wire protocol's ``ERROR_CODES`` table, so one ``except`` hierarchy
+covers in-process calls and socket round-trips alike:
+``BackendError``/``BackendTimeoutError`` (the LLM transport),
+``AuthenticationError``/``QuotaExceededError`` (mesh tenancy),
+``ServiceBusyError`` (queue backpressure), and ``WorkerCrashError``
+(executor-pool deaths).  They live here — not in the subsystems that
+raise them — so client code imports one module; the historical homes
+(``repro.llm.backends``, ``repro.service.protocol``,
+``repro.service.server``, ``repro.core.executor``) re-export the same
+classes.
 """
 
 from __future__ import annotations
 
 
 class ReproError(Exception):
-    """Base class for all errors raised by the repro library."""
+    """Base class for all errors raised by the repro library.
+
+    ``code`` is a stable machine-readable tag (empty for errors that
+    only ever surface in-process); coded errors round-trip the service
+    wire as typed exceptions via ``ERROR_CODES``.
+    """
+
+    code = ""
 
 
 class IRError(ReproError):
@@ -92,3 +112,41 @@ class LLMError(ReproError):
 
 class ConfigError(ReproError):
     """Raised when pipeline configuration values are inconsistent."""
+
+
+# -- coded errors (the client-facing taxonomy) ------------------------------
+class BackendError(ReproError):
+    """A completion backend failed to produce a response."""
+
+    code = "backend"
+
+
+class BackendTimeoutError(BackendError):
+    """The request (including every retry) ran out of time."""
+
+    code = "timeout"
+
+
+class AuthenticationError(ReproError):
+    """A rejected credential: a bad mesh token, or a provider scheme
+    whose API-key environment variable is unset/refused."""
+
+    code = "auth"
+
+
+class QuotaExceededError(ReproError):
+    """A per-client quota said no; retry later or shed load."""
+
+    code = "quota"
+
+
+class ServiceBusyError(ReproError):
+    """The service's bounded job queue is full (backpressure)."""
+
+    code = "busy"
+
+
+class WorkerCrashError(ReproError):
+    """A pool worker died (or the pool broke) while running a job."""
+
+    code = "worker_crash"

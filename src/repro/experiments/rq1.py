@@ -128,10 +128,19 @@ def run_rq1(config: Optional[RQ1Config] = None) -> RQ1Results:
             pipeline = LPOPipeline(client, PipelineConfig(
                 attempt_limit=leg.attempt_limit), cache=cache)
             pipelines[leg] = pipeline
+        stats = getattr(pipeline.client, "stats", None)
+        cost_before = (stats.usage.cost_usd if stats is not None
+                       else 0.0)
         outcomes = pipeline.run_batch(windows, round_seed=round_seed,
                                       jobs=config.jobs)
-        return [RoundOutcome(found=outcome.found)
-                for outcome in outcomes]
+        # Spend is accounted per round (the batch is one wavefront);
+        # the whole round delta rides the first outcome — only the
+        # campaign-level sum is meaningful.
+        round_cost = (max(0.0, stats.usage.cost_usd - cost_before)
+                      if stats is not None else 0.0)
+        return [RoundOutcome(found=outcome.found,
+                             cost_usd=round_cost if index == 0 else 0.0)
+                for index, outcome in enumerate(outcomes)]
 
     campaign = execute_campaign(rq1_campaign_spec(config), run_round)
     for key, counts in campaign.counts.items():

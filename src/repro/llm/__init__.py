@@ -3,16 +3,25 @@
 Models are addressed by *spec* strings resolved through one registry
 (:func:`resolve_backend` in :mod:`repro.llm.backends`): bare profile
 names (``Gemini2.0T``), simulated backends with knobs
-(``sim:GPT-4o?seed=7``), and OpenAI-compatible HTTP endpoints
-(``http://host:port/model``).  Backends are batch-first
+(``sim:GPT-4o?seed=7``), OpenAI-compatible HTTP endpoints
+(``http://host:port/model``, thread or ``transport=aio`` asyncio
+transport), and real providers (``openai:``/``anthropic:`` — API keys
+from env, never in specs).  Backends are batch-first
 (``complete_many``) with per-backend retry/timeout/rate-limit policy
-and unified :class:`Usage` accounting; :class:`SimulatedBackend` wraps
-the capability-profiled :class:`SimulatedLLM` bit-identically, and
-:class:`StubChatServer` is the in-repo endpoint double for the HTTP
-path.
+and unified :class:`Usage` accounting (including ``cost_usd``);
+:class:`SimulatedBackend` wraps the capability-profiled
+:class:`SimulatedLLM` bit-identically, and :class:`StubChatServer` is
+the in-repo endpoint double for both HTTP wire shapes.
+
+**The client contract is** :class:`CompletionBackend`: batch-first
+``complete_many`` plus single-call ``complete`` sugar.  The historical
+``LLMClient`` protocol name is deprecated — importing it from this
+package warns once and hands back the old class for compatibility.
 """
 
+from repro.llm.aio import AsyncHTTPBackend
 from repro.llm.backends import (
+    ENV_TRANSPORT,
     BackendError,
     BackendProtocolError,
     BackendResolutionError,
@@ -32,7 +41,6 @@ from repro.llm.backends import (
 from repro.llm.client import (
     FEEDBACK_HEADER,
     SYSTEM_PROMPT,
-    LLMClient,
     LLMResponse,
     PromptRequest,
     Usage,
@@ -59,7 +67,18 @@ from repro.llm.profiles import (
 from repro.llm.simulated import SimulatedLLM
 from repro.llm.stub import StubChatServer
 
+# Importing the providers module registers the openai:/anthropic:
+# schemes with the spec registry (same pattern as sim:/http:).
+from repro.llm import providers  # noqa: F401  (import for effect)
+from repro.llm.providers import (
+    AnthropicBackend,
+    AsyncAnthropicBackend,
+    AsyncOpenAIBackend,
+    OpenAIBackend,
+)
+
 __all__ = [
+    "AsyncHTTPBackend", "ENV_TRANSPORT",
     "BackendError", "BackendProtocolError", "BackendResolutionError",
     "BackendStats", "BackendTimeoutError", "CompletionBackend",
     "HTTPBackend", "ParsedBackendSpec", "RetryPolicy",
@@ -72,4 +91,28 @@ __all__ = [
     "LLAMA33", "MODELS_BY_NAME", "O4MINI", "RQ1_MODELS", "ModelProfile",
     "SimulatedLLM",
     "StubChatServer",
+    "OpenAIBackend", "AsyncOpenAIBackend",
+    "AnthropicBackend", "AsyncAnthropicBackend",
 ]
+
+
+def __getattr__(name: str):
+    """Deprecation shim: ``repro.llm.LLMClient`` still resolves, but
+    warns once per process — :class:`CompletionBackend` is the
+    documented integration contract now.  (The warning fires exactly
+    once because the resolved class is cached into ``globals()``, so
+    later lookups never reach this hook.)"""
+    if name == "LLMClient":
+        import warnings
+
+        warnings.warn(
+            "repro.llm.LLMClient is deprecated; integrate against "
+            "repro.llm.CompletionBackend (batch-first complete_many, "
+            "with single-shot complete() as sugar) instead",
+            DeprecationWarning, stacklevel=2)
+        from repro.llm.client import LLMClient
+
+        globals()["LLMClient"] = LLMClient
+        return LLMClient
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,370 @@
+"""Asyncio chat-completions transport behind the synchronous API.
+
+The thread-pool :class:`~repro.llm.backends.HTTPBackend` tops out at
+``concurrency`` OS threads (~8 requests in flight); an LLM wire that
+serves thousands of concurrent users needs hundreds.
+:class:`AsyncHTTPBackend` keeps the **same synchronous
+``complete_many`` contract** — pipeline wavefronts, service workers,
+and mesh shards call it unchanged — while the transport underneath is
+a private asyncio event loop in one dedicated daemon thread:
+
+* each request is a coroutine bounded by one :class:`asyncio.Semaphore`
+  (default 128 in flight, vs 8 threads);
+* connections are raw ``asyncio.open_connection`` streams speaking
+  HTTP/1.1 with keep-alive, pooled per backend;
+* per-request timeouts ride :func:`asyncio.wait_for`; the
+  :class:`~repro.llm.backends.RetryPolicy` backoff schedule is driven
+  by ``asyncio.sleep`` (plus ``Retry-After`` on 429s — a courtesy the
+  thread transport never paid);
+* rate-limit pacing reuses the deterministic
+  :class:`~repro.llm.backends._Pacer` slot bookkeeping, with the wait
+  itself awaited on the loop instead of blocking a thread.
+
+Select it with ``transport=aio`` on any ``http(s)://`` model spec, or
+process-wide with ``REPRO_LLM_TRANSPORT=aio``.  ``close()`` cancels
+in-flight work, closes every pooled stream, and joins the loop thread
+— no leaked sockets or threads (the async failure-mode tests run under
+``-W error::ResourceWarning``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import json
+import threading
+from typing import Dict, List, Optional, Tuple
+
+from repro.llm.backends import (
+    BackendError,
+    BackendProtocolError,
+    BackendTimeoutError,
+    HTTPBackend,
+    _Pacer,
+)
+from repro.llm.client import LLMResponse, PromptRequest
+
+__all__ = ["AsyncHTTPBackend"]
+
+#: Default in-flight bound — the whole point of the transport: 16x the
+#: thread pool's 8, still one OS thread.
+DEFAULT_AIO_CONCURRENCY = 128
+
+
+def _no_sleep(_seconds: float) -> None:
+    """Pacer sleep stub: the slot delay is awaited on the loop instead
+    (module-level so the backend stays picklable)."""
+
+
+def _retry_after_seconds(headers: Dict[str, str]) -> float:
+    """A 429's ``Retry-After`` in seconds (0 when absent/unparseable;
+    HTTP-date form is ignored — providers we care about send deltas)."""
+    raw = headers.get("retry-after", "")
+    try:
+        return max(0.0, float(raw))
+    except ValueError:
+        return 0.0
+
+
+class AsyncHTTPBackend(HTTPBackend):
+    """:class:`HTTPBackend` with the transport swapped for asyncio.
+
+    The event loop lives in a private daemon thread created lazily on
+    first use (and rebuilt after ``close()`` or a pickle hop, exactly
+    like the thread transport's pool/executor).  ``complete_many``
+    submits one batch coroutine with
+    :func:`asyncio.run_coroutine_threadsafe` and blocks the caller —
+    the synchronous contract every existing call-site relies on.
+    """
+
+    def __init__(self, *args, **kwargs):
+        kwargs.setdefault("concurrency", DEFAULT_AIO_CONCURRENCY)
+        super().__init__(*args, **kwargs)
+        # The slot math stays deterministic and thread-safe; the delay
+        # it returns is awaited (see _complete_one_async) rather than
+        # slept, so a paced burst never blocks the loop thread.
+        self._pacer = _Pacer(self.retry.requests_per_second,
+                             clock=self._clock, sleep=_no_sleep)
+        self._aio_sleep = asyncio.sleep
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._loop_thread: Optional[threading.Thread] = None
+        #: Idle keep-alive streams; touched only from the loop thread,
+        #: so a plain list needs no lock.
+        self._aio_idle: List[Tuple[asyncio.StreamReader,
+                                   asyncio.StreamWriter]] = []
+        self._semaphore: Optional[asyncio.Semaphore] = None
+
+    # -- the loop thread ---------------------------------------------------
+    def _ensure_loop(self) -> asyncio.AbstractEventLoop:
+        with self._state_lock:
+            if self._loop is None:
+                loop = asyncio.new_event_loop()
+                thread = threading.Thread(target=loop.run_forever,
+                                          name="repro-aio", daemon=True)
+                thread.start()
+                self._loop = loop
+                self._loop_thread = thread
+            return self._loop
+
+    def _complete_batch(self, requests: List[PromptRequest]
+                        ) -> List[LLMResponse]:
+        if not requests:
+            return []
+        loop = self._ensure_loop()
+        future = asyncio.run_coroutine_threadsafe(
+            self._run_batch(list(requests)), loop)
+        try:
+            return future.result()
+        except concurrent.futures.CancelledError:
+            raise BackendError(
+                f"{self.spec}: backend closed during "
+                f"complete_many") from None
+
+    def _complete_one(self, request: PromptRequest) -> LLMResponse:
+        return self._complete_batch([request])[0]
+
+    async def _run_batch(self, requests: List[PromptRequest]
+                         ) -> List[LLMResponse]:
+        if self._semaphore is None:
+            self._semaphore = asyncio.Semaphore(self.concurrency)
+
+        async def bounded(request: PromptRequest) -> LLMResponse:
+            async with self._semaphore:
+                return await self._complete_one_async(request)
+
+        # return_exceptions keeps every sibling running to completion
+        # (or cancellation) — no orphaned tasks to leak connections —
+        # then the first failure in *request order* is re-raised, the
+        # same first-error surface as the thread transport.
+        results = await asyncio.gather(
+            *(bounded(request) for request in requests),
+            return_exceptions=True)
+        for result in results:
+            if isinstance(result, BaseException):
+                raise result
+        return list(results)
+
+    # -- one request, with retries -----------------------------------------
+    async def _complete_one_async(self, request: PromptRequest
+                                  ) -> LLMResponse:
+        policy = self.retry
+        payload = self._chat_payload(request)
+        failure: Optional[BackendError] = None
+        server_delay = 0.0
+        for try_index in range(policy.max_retries + 1):
+            if try_index:
+                self.stats.record_retry()
+                delay = max(policy.backoff(try_index - 1), server_delay)
+                if delay > 0:
+                    await self._aio_sleep(delay)
+            server_delay = 0.0
+            waited = self._pacer.wait()
+            if waited > 0:
+                self.stats.record_rate_limit_wait(waited)
+                await self._aio_sleep(waited)
+            started = self._clock()
+            try:
+                timeout = policy.timeout_seconds or None
+                status, body, headers = await asyncio.wait_for(
+                    self._post_async(payload), timeout=timeout)
+            except (asyncio.TimeoutError, TimeoutError) as exc:
+                failure = BackendTimeoutError(
+                    f"{self.spec}: request timed out after "
+                    f"{policy.timeout_seconds}s ({exc or 'timeout'})")
+                continue
+            except (OSError, EOFError) as exc:
+                failure = BackendError(
+                    f"{self.spec}: transport error: {exc}")
+                continue
+            if status == 200:
+                return self._parse_completion(
+                    body, latency=self._clock() - started)
+            message = self._error_message(body, status)
+            if status == 429 or status >= 500:
+                failure = BackendError(
+                    f"{self.spec}: retryable HTTP {status}: {message}")
+                if status == 429:
+                    server_delay = _retry_after_seconds(headers)
+                continue
+            self.stats.record_failure()
+            raise BackendError(
+                f"{self.spec}: HTTP {status}: {message}")
+        self.stats.record_failure()
+        assert failure is not None
+        raise failure
+
+    # -- HTTP/1.1 over streams ---------------------------------------------
+    async def _post_async(self, payload: dict
+                          ) -> Tuple[int, dict, Dict[str, str]]:
+        if self._transport is not None:
+            # Injected test transports keep working here too; they may
+            # return (status, body) or (status, body, headers).
+            result = self._transport(payload)
+            if len(result) == 2:
+                status, body = result
+                return status, body, {}
+            return result
+        body = json.dumps(payload).encode("utf-8")
+        reader, writer = await self._acquire_stream()
+        reusable = False
+        try:
+            headers = {"Host": f"{self.host}:{self.port}",
+                       "Content-Type": "application/json",
+                       "Accept": "application/json",
+                       "Content-Length": str(len(body))}
+            headers.update(self._request_headers())
+            head = (f"POST {self.endpoint} HTTP/1.1\r\n"
+                    + "".join(f"{name}: {value}\r\n"
+                              for name, value in headers.items())
+                    + "\r\n").encode("latin-1")
+            writer.write(head + body)
+            await writer.drain()
+            status, reply_headers = await self._read_head(reader)
+            data = await self._read_body(reader, reply_headers)
+            reusable = (reply_headers.get("connection", "").lower()
+                        != "close")
+        finally:
+            self._release_stream(reader, writer, reusable)
+        try:
+            parsed = json.loads(data.decode("utf-8")) if data else {}
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            parsed = {"error": {"message": data[:200].decode(
+                "utf-8", "replace")}}
+        if not isinstance(parsed, dict):
+            parsed = {"error": {"message": "non-object response body"}}
+        return status, parsed, reply_headers
+
+    async def _read_head(self, reader: asyncio.StreamReader
+                         ) -> Tuple[int, Dict[str, str]]:
+        line = await reader.readline()
+        if not line:
+            # Mid-stream disconnect before any status line: retryable
+            # transport trouble, not a protocol violation.
+            raise ConnectionResetError("server closed the connection")
+        parts = line.decode("latin-1").split(None, 2)
+        if len(parts) < 2 or not parts[1].isdigit():
+            raise BackendProtocolError(
+                f"{self.spec}: malformed status line "
+                f"{line[:80]!r}")
+        status = int(parts[1])
+        headers: Dict[str, str] = {}
+        while True:
+            line = await reader.readline()
+            if not line:
+                raise ConnectionResetError(
+                    "connection closed inside response headers")
+            if line in (b"\r\n", b"\n"):
+                return status, headers
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+
+    async def _read_body(self, reader: asyncio.StreamReader,
+                         headers: Dict[str, str]) -> bytes:
+        length = headers.get("content-length")
+        if length is not None:
+            try:
+                return await reader.readexactly(int(length))
+            except asyncio.IncompleteReadError as exc:
+                raise ConnectionResetError(
+                    f"connection closed mid-body ({len(exc.partial)} "
+                    f"of {length} bytes)") from None
+        if headers.get("transfer-encoding", "").lower() == "chunked":
+            chunks: List[bytes] = []
+            while True:
+                size_line = await reader.readline()
+                try:
+                    size = int(size_line.split(b";")[0].strip() or b"0",
+                               16)
+                except ValueError:
+                    raise BackendProtocolError(
+                        f"{self.spec}: bad chunk size "
+                        f"{size_line[:40]!r}") from None
+                if size == 0:
+                    await reader.readline()
+                    return b"".join(chunks)
+                chunks.append(await reader.readexactly(size))
+                await reader.readexactly(2)
+        return await reader.read()
+
+    # -- the stream pool (loop thread only) --------------------------------
+    async def _acquire_stream(self) -> Tuple[asyncio.StreamReader,
+                                             asyncio.StreamWriter]:
+        while self._aio_idle:
+            reader, writer = self._aio_idle.pop()
+            if writer.is_closing():
+                continue
+            return reader, writer
+        ssl_context = None
+        if self.secure:
+            import ssl
+            ssl_context = ssl.create_default_context()
+        return await asyncio.open_connection(self.host, self.port,
+                                             ssl=ssl_context)
+
+    def _release_stream(self, reader: asyncio.StreamReader,
+                        writer: asyncio.StreamWriter,
+                        reusable: bool) -> None:
+        if (reusable and not writer.is_closing()
+                and len(self._aio_idle) < self.concurrency):
+            self._aio_idle.append((reader, writer))
+            return
+        writer.close()
+
+    # -- shutdown ----------------------------------------------------------
+    async def _shutdown_async(self) -> None:
+        current = asyncio.current_task()
+        tasks = [task for task in asyncio.all_tasks()
+                 if task is not current]
+        for task in tasks:
+            task.cancel()
+        if tasks:
+            await asyncio.gather(*tasks, return_exceptions=True)
+        idle, self._aio_idle = self._aio_idle, []
+        for _reader, writer in idle:
+            writer.close()
+        for _reader, writer in idle:
+            try:
+                await writer.wait_closed()
+            except (OSError, ConnectionError):
+                pass
+        # Streams closed by cancelled tasks finish closing in later
+        # loop iterations; drain a few so no transport outlives the
+        # loop (keeps -W error::ResourceWarning green).
+        for _ in range(3):
+            await asyncio.sleep(0)
+
+    def close(self) -> None:
+        with self._state_lock:
+            loop, self._loop = self._loop, None
+            thread, self._loop_thread = self._loop_thread, None
+            self._semaphore = None
+        if loop is None:
+            return
+        try:
+            future = asyncio.run_coroutine_threadsafe(
+                self._shutdown_async(), loop)
+            future.result(timeout=5.0)
+        except (concurrent.futures.TimeoutError, RuntimeError):
+            pass
+        loop.call_soon_threadsafe(loop.stop)
+        if thread is not None:
+            thread.join(timeout=5.0)
+        loop.close()
+
+    # Loop, thread, streams, and semaphore are all loop-affine; like
+    # the thread transport's pool/executor they never cross a pickle
+    # boundary and are rebuilt lazily on the other side.
+    def __getstate__(self) -> dict:
+        state = super().__getstate__()
+        for key in ("_loop", "_loop_thread", "_aio_idle", "_semaphore",
+                    "_aio_sleep"):
+            state.pop(key, None)
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        super().__setstate__(state)
+        self._aio_sleep = asyncio.sleep
+        self._loop = None
+        self._loop_thread = None
+        self._aio_idle = []
+        self._semaphore = None

@@ -20,7 +20,16 @@ Model specs
   ``/v1/chat/completions`` with ``model="llama"``.  Query parameters
   tune the transport: ``timeout``, ``retries``, ``backoff``,
   ``backoff_multiplier``, ``max_backoff``, ``rps`` (rate-limit pacing),
-  ``concurrency`` (in-flight request cap / connection-pool size).
+  ``concurrency`` (in-flight request cap / connection-pool size), and
+  ``transport`` (``thread``: the default pool of ~8 OS threads;
+  ``aio``: the :class:`~repro.llm.aio.AsyncHTTPBackend` event-loop
+  transport holding hundreds in flight).  ``REPRO_LLM_TRANSPORT``
+  changes the default process-wide, like ``REPRO_EXECUTOR_BACKEND``
+  does for the executor layer;
+* ``openai:gpt-4.1`` / ``anthropic:claude-sonnet-4-5`` — real
+  provider endpoints (see :mod:`repro.llm.providers`).  API keys come
+  from ``OPENAI_API_KEY`` / ``ANTHROPIC_API_KEY`` env vars only —
+  never from specs, and they never appear in digests or logs.
 
 New schemes register through :func:`register_backend_scheme`.
 
@@ -50,6 +59,7 @@ from __future__ import annotations
 
 import http.client
 import json
+import os
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -65,19 +75,28 @@ from typing import (
 )
 from urllib.parse import parse_qsl, urlsplit
 
-from repro.errors import ReproError
+from repro.errors import (
+    BackendError,
+    BackendTimeoutError,
+    ReproError,
+)
 from repro.llm.client import LLMResponse, PromptRequest, Usage
 from repro.llm.knowledge import KnowledgeBase
 from repro.llm.profiles import MODELS_BY_NAME, ModelProfile
 from repro.llm.simulated import SimulatedLLM
 
-
-class BackendError(ReproError):
-    """A completion backend failed to produce a response."""
-
-
-class BackendTimeoutError(BackendError):
-    """The request (including every retry) ran out of time."""
+# BackendError / BackendTimeoutError moved to repro.errors (the one
+# client-facing taxonomy, stable .code attributes); re-exported here so
+# historical `from repro.llm.backends import BackendError` keeps
+# working.
+__all__ = [
+    "BackendError", "BackendTimeoutError", "BackendProtocolError",
+    "BackendResolutionError", "RetryPolicy", "BackendStats",
+    "CompletionBackend", "SimulatedBackend", "HTTPBackend",
+    "ParsedBackendSpec", "register_backend_scheme",
+    "known_backend_specs", "parse_backend_spec", "resolve_backend",
+    "resolve_client", "ENV_TRANSPORT",
+]
 
 
 class BackendProtocolError(BackendError):
@@ -215,6 +234,7 @@ class BackendStats:
                 "failures": self.failures,
                 "rate_limit_waits": self.rate_limit_waits,
                 "latency_seconds": round(self.usage.latency_seconds, 6),
+                "cost_usd": round(self.usage.cost_usd, 6),
             }
 
     def __getstate__(self) -> dict:
@@ -375,6 +395,7 @@ class HTTPBackend(CompletionBackend):
                  spec: Optional[str] = None,
                  transport: Optional[Callable[[dict],
                                               Tuple[int, dict]]] = None,
+                 cost_rates: Optional[Tuple[float, float]] = None,
                  clock: Callable[[], float] = time.monotonic,
                  sleep: Callable[[float], None] = time.sleep):
         scheme = "https" if secure else "http"
@@ -387,6 +408,9 @@ class HTTPBackend(CompletionBackend):
         self.secure = secure
         self.base_path = "/" + base_path.strip("/") if base_path else ""
         self.concurrency = max(1, int(concurrency))
+        #: ($ per million input tokens, $ per million output tokens);
+        #: used when the endpoint doesn't price its own replies.
+        self.cost_rates = cost_rates
         self._transport = transport
         self._clock = clock
         self._sleep = sleep
@@ -429,10 +453,12 @@ class HTTPBackend(CompletionBackend):
         pool = self._ensure_pool()
         conn = pool.acquire()
         reusable = False
+        headers = {"Content-Type": "application/json",
+                   "Accept": "application/json"}
+        headers.update(self._request_headers())
         try:
             conn.request("POST", self.endpoint, body=body,
-                         headers={"Content-Type": "application/json",
-                                  "Accept": "application/json"})
+                         headers=headers)
             response = conn.getresponse()
             data = response.read()
             reusable = not response.will_close
@@ -449,6 +475,22 @@ class HTTPBackend(CompletionBackend):
         return status, parsed
 
     # -- wire shape --------------------------------------------------------
+    def _request_headers(self) -> Dict[str, str]:
+        """Extra per-request HTTP headers.  Provider subclasses put
+        API-key auth here — keys ride request headers *only*, never
+        the spec string (which lands in digests, logs, and status)."""
+        return {}
+
+    def _priced(self, prompt_tokens: int, completion_tokens: int,
+                reported: float) -> float:
+        """A reply's $ cost: the endpoint's own figure when it sends
+        one, else this backend's per-model rate table."""
+        if reported or self.cost_rates is None:
+            return reported
+        rate_in, rate_out = self.cost_rates
+        return (prompt_tokens * rate_in
+                + completion_tokens * rate_out) / 1e6
+
     def _chat_payload(self, request: PromptRequest) -> dict:
         return {
             "model": self.model,
@@ -472,12 +514,15 @@ class HTTPBackend(CompletionBackend):
             if not isinstance(text, str):
                 raise TypeError("content is not a string")
             usage = body.get("usage") or {}
+            prompt_tokens = int(usage.get("prompt_tokens", 0))
+            completion_tokens = int(usage.get("completion_tokens", 0))
             parsed_usage = Usage(
-                prompt_tokens=int(usage.get("prompt_tokens", 0)),
-                completion_tokens=int(
-                    usage.get("completion_tokens", 0)),
+                prompt_tokens=prompt_tokens,
+                completion_tokens=completion_tokens,
                 latency_seconds=latency,
-                cost_usd=float(usage.get("cost_usd", 0.0)),
+                cost_usd=self._priced(
+                    prompt_tokens, completion_tokens,
+                    float(usage.get("cost_usd", 0.0))),
                 calls=1)
         except (KeyError, IndexError, TypeError, ValueError,
                 AttributeError) as exc:
@@ -593,10 +638,27 @@ _SCHEMES: Dict[str, Callable[[ParsedBackendSpec, int],
 #: these casts so preflight rejection matches construction exactly.
 _SIM_PARAM_TYPES: Dict[str, Callable] = {"seed": int}
 _SIM_PARAMS = frozenset({"seed", "generalized"})
+
+#: Process-wide default transport for http(s) specs (and the provider
+#: schemes built on them): "thread" or "aio" — same idea as
+#: REPRO_EXECUTOR_BACKEND for the executor layer.
+ENV_TRANSPORT = "REPRO_LLM_TRANSPORT"
+
+
+def _transport_name(raw: str) -> str:
+    """Validate-and-normalize a transport choice (a _number cast, so
+    ``?transport=bogus`` is rejected at parse time like any other bad
+    parameter value)."""
+    name = raw.strip().lower()
+    if name not in ("thread", "aio"):
+        raise ValueError(name)
+    return name
+
+
 _HTTP_PARAM_TYPES: Dict[str, Callable] = {
     "timeout": float, "retries": int, "backoff": float,
     "backoff_multiplier": float, "max_backoff": float, "rps": float,
-    "concurrency": int}
+    "concurrency": int, "transport": _transport_name}
 _HTTP_PARAMS = frozenset(_HTTP_PARAM_TYPES)
 
 
@@ -768,11 +830,9 @@ def _make_simulated(parsed: ParsedBackendSpec,
                             spec=parsed.text)
 
 
-def _make_http(parsed: ParsedBackendSpec,
-               seed: int) -> CompletionBackend:
-    params = parsed.params
-    text = parsed.text
-    policy = RetryPolicy(
+def _http_retry_policy(params: Mapping[str, str],
+                       text: str) -> RetryPolicy:
+    return RetryPolicy(
         max_retries=_number(params, "retries", int, 2, text),
         backoff_seconds=_number(params, "backoff", float, 0.1, text),
         backoff_multiplier=_number(params, "backoff_multiplier", float,
@@ -781,11 +841,50 @@ def _make_http(parsed: ParsedBackendSpec,
                                     text),
         timeout_seconds=_number(params, "timeout", float, 30.0, text),
         requests_per_second=_number(params, "rps", float, 0.0, text))
-    return HTTPBackend(
+
+
+def _choose_transport(params: Mapping[str, str], text: str,
+                      default: str = "thread") -> str:
+    """``?transport=`` wins, then ``REPRO_LLM_TRANSPORT``, then the
+    scheme's default."""
+    chosen = _number(params, "transport", _transport_name, None, text)
+    if chosen is not None:
+        return chosen
+    raw = os.environ.get(ENV_TRANSPORT, "").strip()
+    if not raw:
+        return default
+    try:
+        return _transport_name(raw)
+    except ValueError:
+        raise BackendResolutionError(
+            f"bad {ENV_TRANSPORT}={raw!r}; choose thread or "
+            f"aio") from None
+
+
+def _http_backend_class(transport: str):
+    """The backend class for a transport name (aio imported lazily —
+    it imports from this module)."""
+    if transport == "aio":
+        from repro.llm.aio import AsyncHTTPBackend
+        return AsyncHTTPBackend
+    return HTTPBackend
+
+
+def _make_http(parsed: ParsedBackendSpec,
+               seed: int) -> CompletionBackend:
+    params = parsed.params
+    text = parsed.text
+    transport = _choose_transport(params, text)
+    cls = _http_backend_class(transport)
+    # The aio transport's whole point is depth: default 128 in flight
+    # (DEFAULT_AIO_CONCURRENCY) vs the thread pool's 8.
+    concurrency = _number(params, "concurrency", int,
+                          128 if transport == "aio" else 8, text)
+    return cls(
         parsed.host, parsed.port, parsed.model, secure=parsed.secure,
-        base_path=parsed.base_path, retry=policy,
-        concurrency=_number(params, "concurrency", int, 8, text),
-        spec=text)
+        base_path=parsed.base_path,
+        retry=_http_retry_policy(params, text),
+        concurrency=concurrency, spec=text)
 
 
 register_backend_scheme("sim", _make_simulated)

@@ -1,0 +1,282 @@
+"""Real provider schemes: ``openai:`` and ``anthropic:`` model specs.
+
+Built on the same transports as ``http(s)://`` specs (the thread pool
+or, by default here, the :class:`~repro.llm.aio.AsyncHTTPBackend`
+event loop), with per-provider request/response shaping and per-model
+$ cost tables feeding :class:`~repro.llm.client.Usage.cost_usd`.
+
+**API keys come from the environment only** — ``OPENAI_API_KEY`` /
+``ANTHROPIC_API_KEY``.  A spec string travels far (job digests,
+structured logs, ``repro status``, campaign results), so the parser
+rejects any key-looking query parameter outright, and the key itself
+rides the request *headers* of each call and nothing else.
+
+Spec grammar (every knob optional)::
+
+    openai:gpt-4.1?timeout=30&retries=2&rps=8&transport=aio
+    anthropic:claude-sonnet-4-5?concurrency=64
+
+plus ``host=``/``port=``/``insecure=1`` to point a provider scheme at
+a different endpoint — which is how the in-repo
+:class:`~repro.llm.stub.StubChatServer` tests both shapes offline
+(``StubChatServer.provider_spec_for``).
+
+Cost tables are $ per **million** tokens (input, output), matched by
+longest model-name prefix; unknown provider models run unpriced, and a
+simulated profile name (the stub's models) falls back to the profile's
+own rates so offline runs still account spend.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.errors import AuthenticationError
+from repro.llm.aio import AsyncHTTPBackend
+from repro.llm.backends import (
+    _HTTP_PARAM_TYPES,
+    _HTTP_PARAMS,
+    _choose_transport,
+    _http_retry_policy,
+    _number,
+    _parse_params,
+    _truthy,
+    BackendProtocolError,
+    BackendResolutionError,
+    CompletionBackend,
+    HTTPBackend,
+    ParsedBackendSpec,
+    register_backend_scheme,
+)
+from repro.llm.client import LLMResponse, PromptRequest, Usage
+from repro.llm.profiles import MODELS_BY_NAME
+
+__all__ = [
+    "OpenAIBackend", "AsyncOpenAIBackend",
+    "AnthropicBackend", "AsyncAnthropicBackend",
+    "OPENAI_COSTS", "ANTHROPIC_COSTS", "cost_rates_for",
+]
+
+#: ($ per 1M input tokens, $ per 1M output tokens), longest-prefix
+#: matched on the model name.
+OPENAI_COSTS: Dict[str, Tuple[float, float]] = {
+    "gpt-4.1-mini": (0.40, 1.60),
+    "gpt-4.1-nano": (0.10, 0.40),
+    "gpt-4.1": (2.00, 8.00),
+    "gpt-4o-mini": (0.15, 0.60),
+    "gpt-4o": (2.50, 10.00),
+    "o3": (2.00, 8.00),
+    "o4-mini": (1.10, 4.40),
+}
+
+ANTHROPIC_COSTS: Dict[str, Tuple[float, float]] = {
+    "claude-opus-4": (15.00, 75.00),
+    "claude-sonnet-4": (3.00, 15.00),
+    "claude-haiku-4": (1.00, 5.00),
+    "claude-3-5-haiku": (0.80, 4.00),
+}
+
+#: Anthropic requires an explicit completion cap per request.
+_ANTHROPIC_MAX_TOKENS = 4096
+_ANTHROPIC_VERSION = "2023-06-01"
+
+_PROVIDER_PARAMS = _HTTP_PARAMS | frozenset({"host", "port",
+                                             "insecure"})
+_PROVIDER_PARAM_TYPES = dict(_HTTP_PARAM_TYPES, port=int)
+
+
+def cost_rates_for(model: str,
+                   table: Mapping[str, Tuple[float, float]]
+                   ) -> Optional[Tuple[float, float]]:
+    """The cost table entry for ``model`` (longest-prefix match), a
+    simulated profile's own rates for stub-addressed offline runs, or
+    ``None`` (unpriced)."""
+    best: Optional[Tuple[float, float]] = None
+    best_length = -1
+    for prefix, rates in table.items():
+        if model.startswith(prefix) and len(prefix) > best_length:
+            best, best_length = rates, len(prefix)
+    if best is not None:
+        return best
+    profile = MODELS_BY_NAME.get(model)
+    if profile is not None:
+        return (profile.usd_per_million_input,
+                profile.usd_per_million_output)
+    return None
+
+
+class _ProviderMixin:
+    """Shared provider plumbing: the env-sourced API key and the spec
+    hygiene around it."""
+
+    #: Subclasses name their key's environment variable.
+    api_key_env = ""
+
+    def __init__(self, *args, api_key: str = "", **kwargs):
+        super().__init__(*args, **kwargs)
+        self._api_key = api_key
+
+
+class _OpenAIShaping(_ProviderMixin):
+    """OpenAI chat completions: standard payload (no ``attempt``
+    side-channel), ``Authorization: Bearer`` auth."""
+
+    api_key_env = "OPENAI_API_KEY"
+
+    def _request_headers(self) -> Dict[str, str]:
+        return {"Authorization": f"Bearer {self._api_key}"}
+
+    def _chat_payload(self, request: PromptRequest) -> dict:
+        payload = super()._chat_payload(request)
+        # The stub's feedback-replay key is a non-standard field; a
+        # real provider's strict validator has no business seeing it.
+        payload.pop("attempt", None)
+        return payload
+
+
+class _AnthropicShaping(_ProviderMixin):
+    """Anthropic messages API: ``{base}/messages``, top-level
+    ``system``, ``x-api-key`` auth, ``input/output_tokens`` usage."""
+
+    api_key_env = "ANTHROPIC_API_KEY"
+
+    @property
+    def endpoint(self) -> str:
+        return f"{self.base_path}/messages"
+
+    def _request_headers(self) -> Dict[str, str]:
+        return {"x-api-key": self._api_key,
+                "anthropic-version": _ANTHROPIC_VERSION}
+
+    def _chat_payload(self, request: PromptRequest) -> dict:
+        return {
+            "model": self.model,
+            "max_tokens": _ANTHROPIC_MAX_TOKENS,
+            "system": request.system_prompt,
+            "messages": [
+                {"role": "user", "content": request.user_content()},
+            ],
+        }
+
+    def _parse_completion(self, body: dict,
+                          latency: float) -> LLMResponse:
+        try:
+            blocks = body["content"]
+            text = "".join(block["text"] for block in blocks
+                           if isinstance(block, dict)
+                           and block.get("type") == "text")
+            if not blocks or not isinstance(text, str):
+                raise TypeError("content has no text blocks")
+            usage = body.get("usage") or {}
+            prompt_tokens = int(usage.get("input_tokens", 0))
+            completion_tokens = int(usage.get("output_tokens", 0))
+        except (KeyError, IndexError, TypeError, ValueError,
+                AttributeError) as exc:
+            self.stats.record_failure()
+            raise BackendProtocolError(
+                f"{self.spec}: malformed messages reply "
+                f"({exc})") from None
+        return LLMResponse(text=text, usage=Usage(
+            prompt_tokens=prompt_tokens,
+            completion_tokens=completion_tokens,
+            latency_seconds=latency,
+            cost_usd=self._priced(prompt_tokens, completion_tokens,
+                                  0.0),
+            calls=1))
+
+
+class OpenAIBackend(_OpenAIShaping, HTTPBackend):
+    """``openai:`` over the thread transport."""
+
+
+class AsyncOpenAIBackend(_OpenAIShaping, AsyncHTTPBackend):
+    """``openai:`` over the asyncio transport (the default)."""
+
+
+class AnthropicBackend(_AnthropicShaping, HTTPBackend):
+    """``anthropic:`` over the thread transport."""
+
+
+class AsyncAnthropicBackend(_AnthropicShaping, AsyncHTTPBackend):
+    """``anthropic:`` over the asyncio transport (the default)."""
+
+
+def _provider_params(parsed: ParsedBackendSpec) -> Mapping[str, str]:
+    """Validate a provider spec's query the way http(s) parsing does —
+    plus the hard rule that nothing key-shaped may appear there."""
+    text = parsed.text
+    for name in parsed.params:
+        lowered = name.lower()
+        if "key" in lowered or "token" in lowered \
+                or "secret" in lowered:
+            raise BackendResolutionError(
+                f"model spec {text!r} must not carry credentials; "
+                f"API keys come from the environment "
+                f"(OPENAI_API_KEY / ANTHROPIC_API_KEY), never from "
+                f"specs")
+    # Re-run the shared parser for the unknown-name and bad-value
+    # errors (provider schemes skip validation in parse_backend_spec,
+    # which only knows the built-in param tables).
+    query = text.partition("?")[2]
+    params = _parse_params(query, _PROVIDER_PARAMS, text)
+    for key, cast in _PROVIDER_PARAM_TYPES.items():
+        _number(params, key, cast, None, text)
+    return params
+
+
+def _require_api_key(env_var: str, scheme: str) -> str:
+    key = os.environ.get(env_var, "")
+    if not key:
+        raise AuthenticationError(
+            f"{scheme}: model specs carry no credentials; set the "
+            f"{env_var} environment variable")
+    return key
+
+
+def _make_provider(parsed: ParsedBackendSpec, *,
+                   scheme: str, default_host: str,
+                   thread_cls, aio_cls,
+                   costs: Mapping[str, Tuple[float, float]]
+                   ) -> CompletionBackend:
+    text = parsed.text
+    if not parsed.model:
+        raise BackendResolutionError(
+            f"model spec {text!r} names no model; use "
+            f"{scheme}:<model>[?timeout=&retries=&...]")
+    params = _provider_params(parsed)
+    secure = not ("insecure" in params
+                  and _truthy(params["insecure"]))
+    host = params.get("host", default_host)
+    port = _number(params, "port", int, 443 if secure else 80, text)
+    transport = _choose_transport(params, text, default="aio")
+    cls = aio_cls if transport == "aio" else thread_cls
+    concurrency = _number(params, "concurrency", int,
+                          128 if transport == "aio" else 8, text)
+    api_key = _require_api_key(cls.api_key_env, scheme)
+    return cls(
+        host, port, parsed.model, secure=secure, base_path="/v1",
+        retry=_http_retry_policy(params, text),
+        concurrency=concurrency, spec=text,
+        cost_rates=cost_rates_for(parsed.model, costs),
+        api_key=api_key)
+
+
+def _make_openai(parsed: ParsedBackendSpec,
+                 seed: int) -> CompletionBackend:
+    return _make_provider(
+        parsed, scheme="openai", default_host="api.openai.com",
+        thread_cls=OpenAIBackend, aio_cls=AsyncOpenAIBackend,
+        costs=OPENAI_COSTS)
+
+
+def _make_anthropic(parsed: ParsedBackendSpec,
+                    seed: int) -> CompletionBackend:
+    return _make_provider(
+        parsed, scheme="anthropic", default_host="api.anthropic.com",
+        thread_cls=AnthropicBackend, aio_cls=AsyncAnthropicBackend,
+        costs=ANTHROPIC_COSTS)
+
+
+register_backend_scheme("openai", _make_openai)
+register_backend_scheme("anthropic", _make_anthropic)

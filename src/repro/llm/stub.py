@@ -12,6 +12,14 @@ keys round-trip losslessly, an ``http://host:port/<model>`` backend is
 bit-identical to ``sim:<model>`` at the detection level — the
 equivalence the backend tests and the service benchmark pin.
 
+The stub also speaks the Anthropic messages shape
+(``POST {base}/messages`` with ``system``/``messages`` and
+``input_tokens``/``output_tokens`` usage), so the ``openai:`` /
+``anthropic:`` provider schemes are offline-testable end to end —
+including the rule that API keys ride request *headers* only: the
+handler records every auth-ish header it sees (``seen_headers``) and
+tests assert the key arrived there and nowhere else.
+
 Observability/fault knobs for tests:
 
 * ``max_in_flight`` records the peak number of concurrently served
@@ -20,12 +28,20 @@ Observability/fault knobs for tests:
   (bounded by ``hold_timeout``), making "≥ N in flight" deterministic;
 * ``fail_first=N`` answers the first N requests with HTTP 500 so retry
   paths can be exercised end to end;
+* ``disconnect_first=N`` kills the connection mid-body (headers sent,
+  body truncated) for the first N requests — the mid-stream
+  disconnect the async transport must survive;
+* ``rate_limit_first=N`` answers the first N requests with HTTP 429
+  carrying ``Retry-After: retry_after`` — provider-paced backoff;
+* ``header_delay`` stalls before the status line (a slow-header read
+  that should trip the client's request timeout);
 * ``response_delay`` adds fixed service time per request.
 """
 
 from __future__ import annotations
 
 import json
+import socket
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
@@ -41,7 +57,9 @@ class _StubState:
 
     def __init__(self, llm_seed: int, hold_for_concurrency: int,
                  hold_timeout: float, fail_first: int,
-                 response_delay: float):
+                 response_delay: float, disconnect_first: int = 0,
+                 rate_limit_first: int = 0, retry_after: float = 0.0,
+                 header_delay: float = 0.0):
         self.lock = threading.Lock()
         self.cond = threading.Condition(self.lock)
         self.llm_seed = llm_seed
@@ -49,10 +67,19 @@ class _StubState:
         self.hold_timeout = hold_timeout
         self.fail_first = fail_first
         self.response_delay = response_delay
+        self.disconnect_first = disconnect_first
+        self.rate_limit_first = rate_limit_first
+        self.retry_after = retry_after
+        self.header_delay = header_delay
         self.in_flight = 0
         self.max_in_flight = 0
         self.requests_served = 0
         self.failures_injected = 0
+        self.disconnects_injected = 0
+        self.rate_limits_injected = 0
+        #: Last-seen value of each auth-ish request header (tests
+        #: assert API keys ride headers, never specs/URLs).
+        self.seen_headers: Dict[str, str] = {}
         self.llms: Dict[str, SimulatedLLM] = {}
 
     def llm_for(self, model: str) -> Optional[SimulatedLLM]:
@@ -78,13 +105,31 @@ class _StubHandler(BaseHTTPRequestHandler):
     def state(self) -> _StubState:
         return self.server.state  # type: ignore[attr-defined]
 
-    def _reply(self, status: int, payload: dict) -> None:
+    def _reply(self, status: int, payload: dict,
+               extra_headers: Optional[Dict[str, str]] = None) -> None:
         body = json.dumps(payload).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
+
+    def _disconnect(self) -> None:
+        """Mid-stream fault: full headers, truncated body, dead
+        socket — the client sees EOF inside the response."""
+        self.send_response(200)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", "1000")
+        self.end_headers()
+        self.wfile.write(b'{"choices": [')
+        self.wfile.flush()
+        self.close_connection = True
+        try:
+            self.connection.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
 
     def _error(self, status: int, message: str) -> None:
         self._reply(status, {"error": {"message": message,
@@ -105,14 +150,49 @@ class _StubHandler(BaseHTTPRequestHandler):
                 state.cond.notify_all()
 
     def _serve(self, state: _StubState) -> None:
-        if not self.path.endswith("/chat/completions"):
+        for name in ("authorization", "x-api-key",
+                     "anthropic-version"):
+            value = self.headers.get(name)
+            if value is not None:
+                with state.lock:
+                    state.seen_headers[name] = value
+        if self.path.endswith("/chat/completions"):
+            shape = "openai"
+        elif self.path.endswith("/messages"):
+            shape = "anthropic"
+        else:
             self._error(404, f"no such endpoint {self.path!r}")
             return
+        if state.header_delay > 0:
+            # Stall before the status line: the client is mid
+            # "read response head" and its request timeout must fire.
+            time.sleep(state.header_delay)
         length = int(self.headers.get("Content-Length", 0))
         try:
             payload = json.loads(self.rfile.read(length))
         except (json.JSONDecodeError, UnicodeDecodeError) as exc:
             self._error(400, f"bad JSON body: {exc}")
+            return
+        with state.lock:
+            inject_disconnect = (state.disconnects_injected
+                                 < state.disconnect_first)
+            if inject_disconnect:
+                state.disconnects_injected += 1
+        if inject_disconnect:
+            self._disconnect()
+            return
+        with state.lock:
+            limited = (state.rate_limits_injected
+                       < state.rate_limit_first)
+            if limited:
+                state.rate_limits_injected += 1
+        if limited:
+            self._reply(
+                429,
+                {"error": {"message": "injected rate limit",
+                           "type": "rate_limit_error"}},
+                extra_headers={
+                    "Retry-After": f"{state.retry_after:g}"})
             return
         if state.hold_for_concurrency:
             deadline = time.monotonic() + state.hold_timeout
@@ -142,11 +222,32 @@ class _StubHandler(BaseHTTPRequestHandler):
             self._error(404, f"unknown model {model!r}; this stub "
                              f"serves {sorted(MODELS_BY_NAME)}")
             return
-        request = _request_from_chat(payload)
+        if shape == "anthropic":
+            request = _request_from_messages(payload)
+        else:
+            request = _request_from_chat(payload)
         if request is None:
             self._error(400, "messages must contain a user entry")
             return
         response = llm.complete(request)
+        if shape == "anthropic":
+            self._reply(200, {
+                "id": f"stub-{state.requests_served}",
+                "type": "message",
+                "role": "assistant",
+                "model": model,
+                "content": [{"type": "text",
+                             "text": response.text}],
+                "stop_reason": "end_turn",
+                # Anthropic's usage vocabulary — and, like the real
+                # API, no price: the client's cost table prices it.
+                "usage": {
+                    "input_tokens": response.usage.prompt_tokens,
+                    "output_tokens":
+                        response.usage.completion_tokens,
+                },
+            })
+            return
         self._reply(200, {
             "id": f"stub-{state.requests_served}",
             "object": "chat.completion",
@@ -162,6 +263,9 @@ class _StubHandler(BaseHTTPRequestHandler):
                 "completion_tokens": response.usage.completion_tokens,
                 "total_tokens": (response.usage.prompt_tokens
                                  + response.usage.completion_tokens),
+                # Priced server-side from the simulated profile's
+                # rates, so http(s) specs keep cost parity with sim:.
+                "cost_usd": response.usage.cost_usd,
             },
         })
 
@@ -191,6 +295,42 @@ def _request_from_chat(payload: dict) -> Optional[PromptRequest]:
                          **kwargs)
 
 
+def _request_from_messages(payload: dict) -> Optional[PromptRequest]:
+    """Rebuild a :class:`PromptRequest` from the Anthropic messages
+    shape (top-level ``system``, user turns in ``messages``; the API
+    has no sampling seed, so simulated sampling keys off seed 0)."""
+    user = None
+    for message in payload.get("messages", ()):
+        if not isinstance(message, dict):
+            continue
+        if message.get("role") == "user":
+            content = message.get("content", "")
+            if isinstance(content, list):
+                content = "".join(
+                    block.get("text", "") for block in content
+                    if isinstance(block, dict)
+                    and block.get("type") == "text")
+            user = content
+    if user is None:
+        return None
+    window_ir, feedback = PromptRequest.split_user_content(user)
+    kwargs = {}
+    system = payload.get("system", "")
+    if system:
+        kwargs["system_prompt"] = system
+    return PromptRequest(window_ir=window_ir, feedback=feedback,
+                         **kwargs)
+
+
+class _StubServer(ThreadingHTTPServer):
+    # A burst of 128 truly simultaneous connects is the point of the
+    # asyncio transport; socketserver's default listen backlog of 5
+    # drops most of the burst's SYNs and the kernel's retransmit
+    # backoff (1s, 2s, 4s, ...) then races every concurrency latch.
+    request_queue_size = 256
+    daemon_threads = True
+
+
 class StubChatServer:
     """A background-thread chat-completions server over the simulated
     models (see the module docstring for the knobs)."""
@@ -198,16 +338,22 @@ class StubChatServer:
     def __init__(self, llm_seed: int = 0, host: str = "127.0.0.1",
                  port: int = 0, hold_for_concurrency: int = 0,
                  hold_timeout: float = 5.0, fail_first: int = 0,
-                 response_delay: float = 0.0):
+                 response_delay: float = 0.0,
+                 disconnect_first: int = 0,
+                 rate_limit_first: int = 0, retry_after: float = 0.0,
+                 header_delay: float = 0.0):
         self.host = host
         self._state = _StubState(
             llm_seed=llm_seed,
             hold_for_concurrency=hold_for_concurrency,
             hold_timeout=hold_timeout,
             fail_first=fail_first,
-            response_delay=response_delay)
-        self._server = ThreadingHTTPServer((host, port), _StubHandler)
-        self._server.daemon_threads = True
+            response_delay=response_delay,
+            disconnect_first=disconnect_first,
+            rate_limit_first=rate_limit_first,
+            retry_after=retry_after,
+            header_delay=header_delay)
+        self._server = _StubServer((host, port), _StubHandler)
         self._server.state = self._state  # type: ignore[attr-defined]
         self.port = self._server.server_address[1]
         self._thread: Optional[threading.Thread] = None
@@ -241,6 +387,18 @@ class StubChatServer:
         suffix = f"?{query}" if query else ""
         return f"http://{self.host}:{self.port}/{model}{suffix}"
 
+    def provider_spec_for(self, scheme: str, model: str,
+                          **params) -> str:
+        """A provider-scheme spec (``openai:``/``anthropic:``)
+        addressed at this stub, e.g.
+        ``provider_spec_for("openai", "Gemini2.0T", retries=0)``.
+        Note what is *not* here: no API key — keys come from env."""
+        pieces = [f"host={self.host}", f"port={self.port}",
+                  "insecure=1"]
+        pieces.extend(f"{key}={value}"
+                      for key, value in params.items())
+        return f"{scheme}:{model}?" + "&".join(pieces)
+
     # -- observations ------------------------------------------------------
     @property
     def max_in_flight(self) -> int:
@@ -256,3 +414,18 @@ class StubChatServer:
     def failures_injected(self) -> int:
         with self._state.lock:
             return self._state.failures_injected
+
+    @property
+    def disconnects_injected(self) -> int:
+        with self._state.lock:
+            return self._state.disconnects_injected
+
+    @property
+    def rate_limits_injected(self) -> int:
+        with self._state.lock:
+            return self._state.rate_limits_injected
+
+    @property
+    def seen_headers(self) -> Dict[str, str]:
+        with self._state.lock:
+            return dict(self._state.seen_headers)

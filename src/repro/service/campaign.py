@@ -51,6 +51,9 @@ class RoundOutcome:
     cached: bool = False
     latency_seconds: float = 0.0
     error: str = ""
+    #: $ this window's job spent on its backend (0 for cached jobs and
+    #: unpriced backends) — summed into ``CampaignResult.spend_usd``.
+    cost_usd: float = 0.0
 
 
 def campaign_legs(spec: CampaignSpec) -> List[CampaignLeg]:
@@ -69,12 +72,23 @@ RoundRunner = Callable[[CampaignLeg, int, int], Sequence[RoundOutcome]]
 #: each round is aggregated.
 RoundHook = Callable[[CampaignLeg, int, int], None]
 
+#: on_budget(leg, round_index, spend_usd) — called once, when
+#: accumulated spend first reaches ``spec.budget_usd``.
+BudgetHook = Callable[[CampaignLeg, int, float], None]
+
 
 def execute_campaign(spec: CampaignSpec, run_round: RoundRunner,
-                     on_round: Optional[RoundHook] = None
+                     on_round: Optional[RoundHook] = None,
+                     on_budget: Optional[BudgetHook] = None
                      ) -> CampaignResult:
     """Run every leg/round of ``spec`` through ``run_round`` and
-    aggregate the detection matrix."""
+    aggregate the detection matrix.
+
+    With a nonzero ``spec.budget_usd``, spend is checked after every
+    round (the wavefront of in-flight work): the round that crosses the
+    budget is the last one run, the partial leg's counts are recorded
+    as they stand, and the result comes back with
+    ``budget_exhausted=True``."""
     case_ids = spec.resolved_case_ids()
     seeds = spec.resolved_seeds()
     result = CampaignResult(campaign_id=spec.campaign_id, ok=True,
@@ -82,6 +96,7 @@ def execute_campaign(spec: CampaignSpec, run_round: RoundRunner,
                             tag=spec.tag)
     latencies: List[float] = []
     first_error = ""
+    budget = float(spec.budget_usd)
     start = time.perf_counter()
     for leg in campaign_legs(spec):
         counts = {case_id: 0 for case_id in case_ids}
@@ -98,6 +113,7 @@ def execute_campaign(spec: CampaignSpec, run_round: RoundRunner,
                 detections += int(outcome.found)
                 result.jobs += 1
                 result.cached_jobs += int(outcome.cached)
+                result.spend_usd += outcome.cost_usd
                 if not outcome.ok:
                     result.failed_jobs += 1
                     if not first_error:
@@ -107,8 +123,16 @@ def execute_campaign(spec: CampaignSpec, run_round: RoundRunner,
             per_round.append(detections)
             if on_round is not None:
                 on_round(leg, round_index, detections)
+            if budget > 0 and result.spend_usd >= budget:
+                result.budget_exhausted = True
+                if on_budget is not None:
+                    on_budget(leg, round_index, result.spend_usd)
+                break
+        # Record the (possibly partial) leg exactly as it ran.
         result.counts[leg.key] = counts
         result.detections_per_round[leg.key] = per_round
+        if result.budget_exhausted:
+            break
     result.elapsed_seconds = time.perf_counter() - start
     result.ok = result.failed_jobs == 0
     result.error = first_error

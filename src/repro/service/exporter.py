@@ -150,6 +150,8 @@ def render_prometheus(status: dict) -> str:
          "Rate-limit waits across LLM backends."),
         ("latency_seconds", "repro_llm_call_latency_seconds_total",
          "Summed LLM call latency in seconds."),
+        ("cost_usd", "repro_llm_cost_usd_total",
+         "Summed LLM spend in USD."),
     )
     for field, name, help_text in llm_counters:
         out.family(name, "counter", help_text)

@@ -296,7 +296,7 @@ _CAMPAIGN_FIELDS = ("started", "completed", "failed",
                     "rounds_completed", "detections")
 
 _LLM_FIELDS = ("calls", "retries", "failures", "rate_limit_waits",
-               "latency_seconds")
+               "latency_seconds", "cost_usd")
 
 
 def federate_status(snapshots: Sequence[dict]) -> dict:
@@ -361,6 +361,7 @@ def federate_status(snapshots: Sequence[dict]) -> dict:
     fleet["uptime_seconds"] = round(uptime, 3)
     fleet["campaigns"] = {**campaigns, "active": active}
     llm["latency_seconds"] = round(llm["latency_seconds"], 6)
+    llm["cost_usd"] = round(llm["cost_usd"], 6)
     fleet["llm_backend"] = llm
     fleet["phases"] = {name: round(seconds, 6) for name, seconds
                        in sorted(phases.items(),
@@ -377,31 +378,39 @@ class _Shard:
     """One shard's health flag, connection pool, and last snapshot."""
 
     def __init__(self, endpoint: ShardEndpoint,
-                 connect_timeout: float, request_timeout: float):
+                 connect_timeout: float, timeout: float,
+                 connect_retries: int = 1,
+                 connect_backoff: float = 0.1):
         self.endpoint = endpoint
         self.key = endpoint.key
         self.healthy = True          # optimistic: failover self-corrects
         self.last_error = ""
         self.last_status: Optional[dict] = None
         self.connect_timeout = connect_timeout
-        self.request_timeout = request_timeout
+        self.timeout = timeout
+        self.connect_retries = max(0, int(connect_retries))
+        self.connect_backoff = connect_backoff
         self._idle: List[ServiceClient] = []
         self._lock = threading.Lock()
 
-    def connect(self, retries: int = 0) -> ServiceClient:
+    def connect(self, retries: Optional[int] = None) -> ServiceClient:
         return ServiceClient(self.endpoint.port,
                              host=self.endpoint.host,
-                             timeout=self.request_timeout,
+                             timeout=self.timeout,
                              connect_timeout=self.connect_timeout,
-                             connect_retries=retries)
+                             connect_retries=(self.connect_retries
+                                              if retries is None
+                                              else retries),
+                             connect_backoff=self.connect_backoff)
 
     def borrow(self) -> ServiceClient:
         with self._lock:
             if self._idle:
                 return self._idle.pop()
-        # Mid-restart shards get the polite retry; a hard-down shard
-        # still fails within ~3 backoff steps and trips failover.
-        return self.connect(retries=1)
+        # Mid-restart shards get the polite retry (the router's
+        # ``connect_retries``); a hard-down shard still fails within a
+        # few backoff steps and trips failover.
+        return self.connect()
 
     def release(self, client: ServiceClient, broken: bool) -> None:
         if broken:
@@ -446,9 +455,21 @@ class MeshRouter:
                  llm_seed: int = 0,
                  health_interval: Optional[float] = 2.0,
                  connect_timeout: float = 5.0,
-                 request_timeout: float = 600.0,
+                 timeout: float = 600.0,
+                 connect_retries: int = 1,
+                 connect_backoff: float = 0.1,
                  route_threads: Optional[int] = None,
-                 logger: Optional[obs.StructuredLogger] = None):
+                 logger: Optional[obs.StructuredLogger] = None,
+                 request_timeout: Optional[float] = None):
+        if request_timeout is not None:
+            # Historical name for the per-request bound; ``timeout``
+            # matches ServiceClient and the backend-spec grammar now.
+            import warnings
+            warnings.warn(
+                "MeshRouter(request_timeout=...) is deprecated; pass "
+                "timeout= (connection-level knobs keep the connect_* "
+                "prefix)", DeprecationWarning, stacklevel=2)
+            timeout = request_timeout
         if not shards:
             raise ReproError("a mesh needs at least one shard")
         seen = set()
@@ -463,8 +484,9 @@ class MeshRouter:
         self.quota = quota if quota is None else max(1, int(quota))
         self.llm_seed = llm_seed
         self._shards: "OrderedDict[str, _Shard]" = OrderedDict(
-            (endpoint.key, _Shard(endpoint, connect_timeout,
-                                  request_timeout))
+            (endpoint.key, _Shard(endpoint, connect_timeout, timeout,
+                                  connect_retries=connect_retries,
+                                  connect_backoff=connect_backoff))
             for endpoint in shards)
         self.ring = HashRing(list(self._shards))
         self.metrics = MeshMetrics()

@@ -221,7 +221,8 @@ class ServiceMetrics:
         with self._lock:
             seen = self._backends.setdefault(key, {})
             for field in ("calls", "retries", "failures",
-                          "rate_limit_waits", "latency_seconds"):
+                          "rate_limit_waits", "latency_seconds",
+                          "cost_usd"):
                 value = snapshot.get(field, 0)
                 if isinstance(value, (int, float)):
                     seen[field] = max(seen.get(field, 0), value)
@@ -260,12 +261,14 @@ class ServiceMetrics:
     def backend_totals(self) -> Dict[str, float]:
         """Summed backend counters across every backend key."""
         totals = {"calls": 0, "retries": 0, "failures": 0,
-                  "rate_limit_waits": 0, "latency_seconds": 0.0}
+                  "rate_limit_waits": 0, "latency_seconds": 0.0,
+                  "cost_usd": 0.0}
         with self._lock:
             for seen in self._backends.values():
                 for field in totals:
                     totals[field] += seen.get(field, 0)
         totals["latency_seconds"] = round(totals["latency_seconds"], 6)
+        totals["cost_usd"] = round(totals["cost_usd"], 6)
         return totals
 
     # -- derived views -----------------------------------------------------
@@ -372,7 +375,8 @@ class ServiceMetrics:
             f"{backend['retries']} retries, "
             f"{backend['failures']} failures, "
             f"{backend['rate_limit_waits']} rate-limit waits, "
-            f"{backend['latency_seconds']:.1f}s call latency\n"
+            f"{backend['latency_seconds']:.1f}s call latency, "
+            f"${backend['cost_usd']:.4f} spent\n"
             f"queue: depth {snap['queue_depth']}, "
             f"in-flight {snap['in_flight']}\n"
             f"cache: {snap['cache_hits']} hit / "

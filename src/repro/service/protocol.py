@@ -42,7 +42,16 @@ import json
 from dataclasses import asdict, dataclass, field
 from typing import Dict, List
 
-from repro.errors import ParseError, ReproError
+from repro import errors
+from repro.errors import (
+    BackendError,
+    BackendTimeoutError,
+    ParseError,
+    QuotaExceededError,
+    ReproError,
+    ServiceBusyError,
+    WorkerCrashError,
+)
 
 PROTOCOL_VERSION = 1
 
@@ -51,26 +60,31 @@ class ProtocolError(ReproError):
     """A malformed or out-of-contract service message."""
 
 
-class AuthenticationError(ProtocolError):
+class AuthenticationError(errors.AuthenticationError, ProtocolError):
     """The mesh rejected a request's shared-secret token (wire error
-    ``code="auth"``)."""
+    ``code="auth"``).
 
-    code = "auth"
+    Doubly based: it *is* the taxonomy's
+    :class:`repro.errors.AuthenticationError` (one hierarchy for
+    clients) and it stays a :class:`ProtocolError` (the router/server
+    handshake paths catch that).
+    """
 
 
-class QuotaExceededError(ReproError):
-    """The submitting client is over its in-flight quota — distinct
-    from :class:`~repro.service.server.ServiceBusyError` (global queue
-    backpressure): only *this* tenant must back off (wire error
-    ``code="quota"``)."""
-
-    code = "quota"
-
+# QuotaExceededError lives in repro.errors now (the one client-facing
+# taxonomy); re-exported from its historical wire-protocol home.
 
 #: Wire error ``code`` → the typed exception clients raise for it.
+#: Every coded class of the repro.errors taxonomy is listed, so any
+#: server that tags an error with a stable code gets a typed exception
+#: client-side for free (today only auth/quota ride the wire coded).
 ERROR_CODES = {
     AuthenticationError.code: AuthenticationError,
     QuotaExceededError.code: QuotaExceededError,
+    ServiceBusyError.code: ServiceBusyError,
+    WorkerCrashError.code: WorkerCrashError,
+    BackendError.code: BackendError,
+    BackendTimeoutError.code: BackendTimeoutError,
 }
 
 
@@ -132,6 +146,7 @@ class JobResult:
     attempts: int = 0
     cached: bool = False             # served from the job cache
     retries: int = 0                 # worker crashes survived
+    cost_usd: float = 0.0            # LLM spend (0 for cached jobs)
     error: str = ""
     tag: str = ""
 
@@ -192,6 +207,10 @@ class CampaignSpec:
     variants: List[list] = field(
         default_factory=lambda: [["LPO-", 1], ["LPO", 2]])
     seeds: List[int] = field(default_factory=list)
+    #: Stop-loss in dollars (0: unlimited).  A leg finishes the round
+    #: that crosses the budget, then the campaign stops cleanly with
+    #: ``budget_exhausted`` set — never mid-wavefront.
+    budget_usd: float = 0.0
     campaign_id: str = ""
     #: Submitter-side correlation tag, echoed verbatim in the result.
     tag: str = ""
@@ -240,6 +259,9 @@ class CampaignSpec:
             raise ProtocolError(
                 f"campaign.seeds ({len(self.seeds)}) must match "
                 f"rounds ({self.rounds})")
+        if not isinstance(self.budget_usd, (int, float)) \
+                or self.budget_usd < 0:
+            raise ProtocolError("campaign.budget_usd must be >= 0")
 
 
 @dataclass
@@ -265,6 +287,11 @@ class CampaignResult:
     failed_jobs: int = 0
     elapsed_seconds: float = 0.0
     latency: Dict[str, float] = field(default_factory=dict)
+    #: Total LLM spend across every leg ($; cached jobs cost nothing).
+    spend_usd: float = 0.0
+    #: True when a ``budget_usd`` cap stopped the campaign early; the
+    #: matrix then covers only the rounds that actually ran.
+    budget_exhausted: bool = False
     error: str = ""
     tag: str = ""
 
@@ -285,6 +312,10 @@ class CampaignResult:
         head = (f"{self.campaign_id}: {self.jobs} jobs over "
                 f"{self.rounds} rounds, {self.cached_jobs} cached, "
                 f"{self.failed_jobs} failed")
+        if self.spend_usd:
+            head += f", ${self.spend_usd:.4f} spent"
+        if self.budget_exhausted:
+            head += " [budget exhausted]"
         if self.error:
             head += f" ({self.error})"
         return head
@@ -303,6 +334,10 @@ def campaign_digest(spec: CampaignSpec, llm_seed: int = 0) -> str:
              "seeds=" + ",".join(str(seed) for seed
                                  in spec.resolved_seeds()),
              f"llm_seed={llm_seed}"]
+    # A stop-loss changes which rounds run, so it is identity — but
+    # only when set, keeping every pre-budget digest stable.
+    if spec.budget_usd:
+        parts.append(f"budget={spec.budget_usd}")
     parts.extend(_window_key(ir) for ir in spec.windows)
     return hashlib.sha256("|".join(parts).encode()).hexdigest()
 

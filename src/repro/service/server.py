@@ -35,7 +35,7 @@ from typing import Callable, Dict, Optional
 from repro import obs, profile
 from repro.core.cache import DEFAULT_MAX_ENTRIES, ShardedResultCache
 from repro.core.executor import resolve_backend
-from repro.errors import ReproError
+from repro.errors import ReproError, ServiceBusyError
 from repro.service.campaign import (
     CampaignLeg,
     RoundOutcome,
@@ -77,9 +77,9 @@ _CACHED_KEYS = ("found", "status", "candidate_text", "elapsed_seconds",
 _WIRE_LIMIT = 4 * 1024 * 1024
 
 
-class ServiceBusyError(ReproError):
-    """Backpressure: the job queue is full and the submit won't wait."""
-
+# ServiceBusyError moved to repro.errors (stable ``code="busy"``, one
+# catchable hierarchy); imported back above so its historical home here
+# keeps exporting it.
 
 class OptimizationService:
     """A persistent, cache-fronted job service around the LPO loop."""
@@ -277,7 +277,8 @@ class OptimizationService:
             return [RoundOutcome(found=r.found, ok=r.ok,
                                  cached=r.cached,
                                  latency_seconds=r.latency_seconds,
-                                 error=r.error)
+                                 error=r.error,
+                                 cost_usd=r.cost_usd)
                     for r in results]
 
         def on_round(leg: CampaignLeg, round_index: int,
@@ -290,12 +291,20 @@ class OptimizationService:
                            leg=leg.key, round=round_index,
                            detections=detections)
 
+        def on_budget(leg: CampaignLeg, round_index: int,
+                      spend_usd: float) -> None:
+            self.log.warning(
+                "campaign.budget", campaign_id=campaign_id,
+                leg=leg.key, round=round_index,
+                spend_usd=round(spend_usd, 6),
+                budget_usd=spec.budget_usd)
+
         ok = False
         result = None
         try:
             result = execute_campaign(
                 replace(spec, campaign_id=campaign_id),
-                run_round, on_round=on_round)
+                run_round, on_round=on_round, on_budget=on_budget)
             ok = result.ok
         finally:
             with self._lock:
@@ -308,7 +317,11 @@ class OptimizationService:
                 detections=progress["detections"],
                 rounds_done=progress["rounds_done"],
                 failed_jobs=(result.failed_jobs if result is not None
-                             else -1))
+                             else -1),
+                spend_usd=(round(result.spend_usd, 6)
+                           if result is not None else 0.0),
+                budget_exhausted=(result.budget_exhausted
+                                  if result is not None else False))
         return result
 
     def drain(self, timeout: Optional[float] = None) -> bool:
@@ -353,7 +366,29 @@ class OptimizationService:
         if self._closed:
             return
         self._closed = True
-        self._queue.put(_SHUTDOWN)
+        # Never block on a full queue here: with every slot busy the
+        # dispatcher can be pinned in _dispatch_one for a while, and a
+        # blocking put would deadlock close() against it.  Make room
+        # by failing queued jobs instead — the service is closing, so
+        # "service closed" is those jobs' honest answer.
+        while True:
+            try:
+                self._queue.put_nowait(_SHUTDOWN)
+                break
+            except queue.Full:
+                try:
+                    item = self._queue.get_nowait()
+                except queue.Empty:
+                    continue
+                if item is _SHUTDOWN:
+                    continue
+                spec, digest, retries, submitted = item
+                if not digest:
+                    digest = job_digest(spec,
+                                        llm_seed=self.pool.llm_seed)
+                self._settle(digest, spec, error="service closed",
+                             retries=retries, submitted=submitted,
+                             dispatched=False)
         self._dispatcher.join(timeout=30)
         # A submit racing close() can land behind the sentinel; fail
         # those jobs explicitly so their waiters wake instead of
@@ -583,6 +618,9 @@ class OptimizationService:
             latency_seconds=latency,
             cached=cached,
             retries=retries,
+            # Absent from cached payloads (_CACHED_KEYS): a cache hit
+            # spends nothing.
+            cost_usd=(payload.get("cost_usd", 0.0) if payload else 0.0),
             error=error,
             tag=spec.tag)
         self.metrics.record_completed(latency, cached=cached, ok=ok,

@@ -104,6 +104,13 @@ def _run_spec(pipeline: LPOPipeline, spec: JobSpec,
     them into :class:`~repro.service.metrics.ServiceMetrics`,
     ``phases`` carries this job's per-phase seconds, and ``spans`` its
     trace tree — both cross the process boundary as plain dicts)."""
+    stats = getattr(pipeline.client, "stats", None)
+    # Cumulative counter read *before* the job, so the after-minus-
+    # before difference prices this job alone.  (Thread workers share
+    # one client per (model, attempt_limit): concurrent jobs can each
+    # observe the other's spend in their window, which at worst
+    # over-attributes — budget checks stop early, never late.)
+    cost_before = stats.usage.cost_usd if stats is not None else 0.0
     with profile.collect() as phases, profile.trace() as spans:
         window = _window_for_ir(spec.ir)
         result = pipeline.optimize_window(window,
@@ -128,8 +135,9 @@ def _run_spec(pipeline: LPOPipeline, spec: JobSpec,
             codes[code] = codes.get(code, 0) + 1
     if codes:
         payload["analysis"] = codes
-    stats = getattr(pipeline.client, "stats", None)
     if stats is not None:
+        payload["cost_usd"] = round(
+            max(0.0, stats.usage.cost_usd - cost_before), 9)
         payload["backend"] = stats.snapshot()
         payload["backend_key"] = backend_key
     return payload
@@ -239,8 +247,18 @@ class WorkerPool:
     def shutdown(self, wait: bool = True) -> None:
         with self._lock:
             pool = self._pool
+            pipelines = list(self._pipelines.values())
         if pool is not None:
             pool.shutdown(wait=wait)
+        # Warm thread-pipelines own real transports (keep-alive
+        # connection pools, the aio event-loop thread); release them
+        # with the pool so a closed service leaks no sockets/threads.
+        # (Process-backend pipelines live in the worker processes and
+        # die with them.)
+        for pipeline in pipelines:
+            close = getattr(pipeline.client, "close", None)
+            if close is not None:
+                close()
 
     # -- job execution -----------------------------------------------------
     @staticmethod

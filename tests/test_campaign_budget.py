@@ -1,0 +1,178 @@
+"""Budget-aware campaigns: per-job cost accounting, the spend
+accumulator, the budget stop (within one round wavefront), digest
+stability, wire round-trips, and the structured campaign.budget event.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro import obs
+from repro.corpus.issues import rq1_cases
+from repro.service import (
+    CampaignSpec,
+    OptimizationService,
+)
+from repro.service.campaign import RoundOutcome, execute_campaign
+from repro.service.protocol import (
+    ProtocolError,
+    campaign_digest,
+    campaign_result_from_wire,
+    campaign_result_to_wire,
+    result_from_wire,
+    result_to_wire,
+)
+
+
+def spec_for(rounds: int = 4, budget: float = 0.0,
+             cases: int = 2) -> CampaignSpec:
+    selected = rq1_cases()[:cases]
+    return CampaignSpec(
+        windows=[case.src for case in selected],
+        case_ids=[str(case.issue_id) for case in selected],
+        rounds=rounds, models=["Gemini2.0T"],
+        variants=[["LPO", 2]], budget_usd=budget)
+
+
+# -- the engine ------------------------------------------------------------
+class TestBudgetEngine:
+    def test_stops_within_one_round_of_crossing(self):
+        spec = CampaignSpec(windows=["w"], case_ids=["1"], rounds=10,
+                            models=["Gemini2.0T"],
+                            variants=[["LPO", 2]], budget_usd=0.25)
+        rounds_run = []
+
+        def run_round(leg, round_index, round_seed):
+            rounds_run.append(round_index)
+            return [RoundOutcome(found=True, cost_usd=0.1)]
+
+        result = execute_campaign(spec, run_round)
+        # 0.1 + 0.1 + 0.1 crosses 0.25 on round 2; round 3 never runs.
+        assert rounds_run == [0, 1, 2]
+        assert result.budget_exhausted
+        assert result.spend_usd == pytest.approx(0.3)
+        # The partial leg is recorded exactly as far as it ran.
+        assert result.detections_per_round["Gemini2.0T/LPO"] == [1, 1, 1]
+        assert "[budget exhausted]" in result.render()
+        assert "$0.3000 spent" in result.render()
+
+    def test_budget_hook_fires_once_at_crossing(self):
+        spec = CampaignSpec(windows=["w"], case_ids=["1"], rounds=5,
+                            models=["Gemini2.0T"],
+                            variants=[["LPO-", 1], ["LPO", 2]],
+                            budget_usd=0.15)
+        fired = []
+        result = execute_campaign(
+            spec,
+            lambda leg, ri, rs: [RoundOutcome(found=False,
+                                              cost_usd=0.1)],
+            on_budget=lambda leg, ri, spend: fired.append(
+                (leg.key, ri, spend)))
+        assert fired == [("Gemini2.0T/LPO-", 1, pytest.approx(0.2))]
+        # The second leg never starts once the budget is gone.
+        assert list(result.counts) == ["Gemini2.0T/LPO-"]
+
+    def test_zero_budget_means_unlimited(self):
+        spec = CampaignSpec(windows=["w"], case_ids=["1"], rounds=3,
+                            models=["Gemini2.0T"],
+                            variants=[["LPO", 2]])
+        result = execute_campaign(
+            spec, lambda leg, ri, rs: [RoundOutcome(found=True,
+                                                    cost_usd=5.0)])
+        assert not result.budget_exhausted
+        assert result.jobs == 3
+        assert result.spend_usd == pytest.approx(15.0)
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ProtocolError, match="budget_usd"):
+            spec_for(budget=-1.0).validate()
+
+
+# -- digests and the wire --------------------------------------------------
+class TestBudgetProtocol:
+    def test_digest_stable_without_budget(self):
+        # Pre-budget digests must not shift: a zero budget adds no
+        # digest part, so warm job caches stay warm.
+        assert (campaign_digest(spec_for(), llm_seed=0)
+                == campaign_digest(spec_for(budget=0.0), llm_seed=0))
+        assert (campaign_digest(spec_for(), llm_seed=0)
+                != campaign_digest(spec_for(budget=2.5), llm_seed=0))
+
+    def test_campaign_wire_roundtrip_carries_spend(self):
+        svc_result = campaign_result_from_wire(campaign_result_to_wire(
+            _result_with_spend()))
+        assert svc_result.spend_usd == pytest.approx(0.125)
+        assert svc_result.budget_exhausted
+
+    def test_job_result_wire_roundtrip_carries_cost(self):
+        from repro.service.protocol import JobResult
+        result = JobResult(job_id="j1", ok=True, status="done",
+                           cost_usd=0.003)
+        assert result_from_wire(
+            result_to_wire(result)).cost_usd == 0.003
+
+    def test_campaign_spec_wire_roundtrip_carries_budget(self):
+        from repro.service.protocol import (
+            campaign_from_wire,
+            campaign_to_wire,
+        )
+        spec = spec_for(budget=1.5)
+        assert campaign_from_wire(
+            campaign_to_wire(spec)).budget_usd == 1.5
+
+
+def _result_with_spend():
+    spec = CampaignSpec(windows=["w"], case_ids=["1"], rounds=2,
+                        models=["Gemini2.0T"], variants=[["LPO", 2]],
+                        budget_usd=0.1)
+    return execute_campaign(
+        spec, lambda leg, ri, rs: [RoundOutcome(found=True,
+                                                cost_usd=0.0625)])
+
+
+# -- through the service ---------------------------------------------------
+class TestServiceBudget:
+    def test_budget_campaign_stops_and_reports(self):
+        sink = io.StringIO()
+        logger = obs.StructuredLogger(stream=sink, level="debug")
+        service = OptimizationService(jobs=2, backend="thread",
+                                      logger=logger)
+        try:
+            # A budget below one simulated call's price: the first
+            # round crosses it, later rounds and the LPO leg never run.
+            spec = spec_for(rounds=3, budget=1e-6)
+            spec.variants = [["LPO-", 1], ["LPO", 2]]
+            result = service.run_campaign(spec)
+        finally:
+            service.close()
+        assert result.budget_exhausted
+        assert result.spend_usd > 1e-6
+        assert result.jobs == len(spec.case_ids)
+        assert "[budget exhausted]" in result.render()
+        events = [json.loads(line) for line in
+                  sink.getvalue().splitlines()]
+        budget_events = [e for e in events
+                         if e["event"] == "campaign.budget"]
+        assert len(budget_events) == 1
+        assert budget_events[0]["spend_usd"] > 0
+        finish = [e for e in events if e["event"] == "campaign.finish"]
+        assert finish and finish[0]["budget_exhausted"] is True
+        # The spend also lands in the service's metrics surface
+        # (repro status / the Prometheus exporter read this).
+        totals = service.metrics.backend_totals()
+        assert totals["cost_usd"] > 0
+        assert "spent" in service.metrics.render()
+
+    def test_cached_rounds_spend_nothing(self):
+        service = OptimizationService(jobs=1, backend="thread")
+        try:
+            first = service.run_campaign(spec_for(rounds=2))
+            again = service.run_campaign(spec_for(rounds=2))
+        finally:
+            service.close()
+        assert first.spend_usd > 0
+        # Identical campaign: every job replays from the cache, and a
+        # cache hit costs nothing.
+        assert again.cached_jobs == again.jobs
+        assert again.spend_usd == 0.0

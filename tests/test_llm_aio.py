@@ -1,0 +1,364 @@
+"""Async transport (repro.llm.aio) and provider-scheme tests: the
+wide in-flight bound, failure modes (mid-stream disconnects, slow
+headers, 429 pacing, shutdown during in-flight work), transport
+selection, the openai:/anthropic: schemes against the in-repo stub,
+the LLMClient deprecation shim, and the unified error taxonomy.
+
+The whole module runs with ResourceWarning promoted to error: a leaked
+socket or unclosed event loop fails the test that leaked it.
+"""
+
+import pickle
+import threading
+import time
+
+import pytest
+
+from repro import errors
+from repro.llm import (
+    MODELS_BY_NAME,
+    AsyncHTTPBackend,
+    BackendError,
+    BackendResolutionError,
+    BackendTimeoutError,
+    HTTPBackend,
+    PromptRequest,
+    SimulatedLLM,
+    StubChatServer,
+    parse_backend_spec,
+    resolve_backend,
+)
+from repro.llm.aio import _retry_after_seconds
+from repro.llm.backends import ENV_TRANSPORT
+
+pytestmark = pytest.mark.filterwarnings("error::ResourceWarning")
+
+WINDOW_IR = """define i8 @f(i8 %x) {
+  %a = add i8 %x, 0
+  ret i8 %a
+}"""
+
+
+def request(feedback: str = "", attempt: int = 0,
+            round_seed: int = 0) -> PromptRequest:
+    return PromptRequest(window_ir=WINDOW_IR, feedback=feedback,
+                         attempt=attempt, round_seed=round_seed)
+
+
+def no_aio_threads() -> bool:
+    return all("repro-aio" not in thread.name
+               for thread in threading.enumerate())
+
+
+# -- transport selection ---------------------------------------------------
+class TestTransportSelection:
+    def test_transport_param_resolves_async_backend(self):
+        backend = resolve_backend("http://h:1/m?transport=aio")
+        try:
+            assert isinstance(backend, AsyncHTTPBackend)
+            assert backend.concurrency == 128
+        finally:
+            backend.close()
+
+    def test_thread_stays_default(self):
+        backend = resolve_backend("http://h:1/m")
+        try:
+            assert isinstance(backend, HTTPBackend)
+            assert not isinstance(backend, AsyncHTTPBackend)
+        finally:
+            backend.close()
+
+    def test_bad_transport_rejected_at_parse_time(self):
+        with pytest.raises(BackendResolutionError,
+                           match="bad transport='bogus'"):
+            parse_backend_spec("http://h:1/m?transport=bogus")
+
+    def test_env_var_switches_transport(self, monkeypatch):
+        monkeypatch.setenv(ENV_TRANSPORT, "aio")
+        backend = resolve_backend("http://h:1/m")
+        try:
+            assert isinstance(backend, AsyncHTTPBackend)
+        finally:
+            backend.close()
+        # An explicit spec param still wins over the environment.
+        backend = resolve_backend("http://h:1/m?transport=thread")
+        try:
+            assert not isinstance(backend, AsyncHTTPBackend)
+        finally:
+            backend.close()
+
+    def test_bad_env_transport_is_typed_error(self, monkeypatch):
+        monkeypatch.setenv(ENV_TRANSPORT, "fibers")
+        with pytest.raises(BackendResolutionError,
+                           match="REPRO_LLM_TRANSPORT"):
+            resolve_backend("http://h:1/m")
+
+
+# -- the wide in-flight bound ----------------------------------------------
+class TestAioConcurrency:
+    def test_at_least_sixty_four_in_flight(self):
+        # The acceptance bar: one latch parks requests until 64 are
+        # concurrently in flight; the thread transport (8-ish threads)
+        # would deadlock-timeout here, the aio transport sails through.
+        with StubChatServer(hold_for_concurrency=64,
+                            hold_timeout=30.0) as stub:
+            backend = resolve_backend(
+                stub.spec_for("Gemini2.0T", transport="aio",
+                              concurrency=80))
+            try:
+                requests = [request(round_seed=s) for s in range(80)]
+                responses = backend.complete_many(requests)
+            finally:
+                backend.close()
+            assert len(responses) == 80
+            assert stub.max_in_flight >= 64
+        assert no_aio_threads()
+
+    def test_bit_identical_to_sim_with_cost(self):
+        with StubChatServer() as stub:
+            backend = resolve_backend(
+                stub.spec_for("Gemini2.0T", transport="aio"))
+            reference = SimulatedLLM(MODELS_BY_NAME["Gemini2.0T"],
+                                     seed=0)
+            try:
+                for req in (request(round_seed=2),
+                            request(feedback="error: bad token",
+                                    attempt=1, round_seed=2)):
+                    ours = backend.complete(req)
+                    theirs = reference.complete(req)
+                    assert ours.text == theirs.text
+                    assert (ours.usage.prompt_tokens
+                            == theirs.usage.prompt_tokens)
+                    assert ours.usage.cost_usd == theirs.usage.cost_usd
+            finally:
+                backend.close()
+        assert no_aio_threads()
+
+
+# -- failure modes ---------------------------------------------------------
+class TestAioFailureModes:
+    def test_mid_stream_disconnect_is_retried(self):
+        with StubChatServer(disconnect_first=2) as stub:
+            backend = resolve_backend(
+                stub.spec_for("Gemini2.0T", transport="aio",
+                              retries=3, backoff=0.01))
+            try:
+                response = backend.complete(request())
+            finally:
+                backend.close()
+            assert response.text
+            assert stub.disconnects_injected == 2
+        assert no_aio_threads()
+
+    def test_disconnects_beyond_retries_raise(self):
+        with StubChatServer(disconnect_first=5) as stub:
+            backend = resolve_backend(
+                stub.spec_for("Gemini2.0T", transport="aio",
+                              retries=1, backoff=0.01))
+            try:
+                with pytest.raises(BackendError,
+                                   match="transport error"):
+                    backend.complete(request())
+            finally:
+                backend.close()
+        assert no_aio_threads()
+
+    def test_slow_headers_trip_request_timeout(self):
+        with StubChatServer(header_delay=2.0) as stub:
+            backend = resolve_backend(
+                stub.spec_for("Gemini2.0T", transport="aio",
+                              timeout=0.2, retries=0))
+            try:
+                with pytest.raises(BackendTimeoutError,
+                                   match="timed out after 0.2s"):
+                    backend.complete(request())
+            finally:
+                backend.close()
+        assert no_aio_threads()
+
+    def test_429_paces_with_retry_after(self):
+        with StubChatServer(rate_limit_first=1,
+                            retry_after=0.7) as stub:
+            backend = resolve_backend(
+                stub.spec_for("Gemini2.0T", transport="aio",
+                              retries=2, backoff=0.01))
+            slept = []
+
+            async def recording_sleep(seconds):
+                slept.append(seconds)
+
+            backend._aio_sleep = recording_sleep
+            try:
+                response = backend.complete(request())
+            finally:
+                backend.close()
+            assert response.text
+            assert stub.rate_limits_injected == 1
+            # The server's Retry-After (0.7s) outranks the policy's
+            # 0.01s backoff — the wait is paced, not hammered.
+            assert 0.7 in slept
+        assert no_aio_threads()
+
+    def test_close_during_in_flight_raises_typed_error(self):
+        with StubChatServer(response_delay=30.0) as stub:
+            backend = resolve_backend(
+                stub.spec_for("Gemini2.0T", transport="aio",
+                              retries=0))
+            caught = []
+
+            def run():
+                try:
+                    backend.complete(request())
+                except BackendError as exc:
+                    caught.append(exc)
+
+            worker = threading.Thread(target=run)
+            worker.start()
+            deadline = time.monotonic() + 10.0
+            while (stub.max_in_flight < 1
+                   and time.monotonic() < deadline):
+                time.sleep(0.01)
+            backend.close()
+            worker.join(timeout=10.0)
+            assert not worker.is_alive()
+            assert caught and "closed" in str(caught[0])
+        assert no_aio_threads()
+
+    def test_retry_after_parsing(self):
+        assert _retry_after_seconds({"retry-after": "2.5"}) == 2.5
+        assert _retry_after_seconds({"retry-after": "soon"}) == 0.0
+        assert _retry_after_seconds({}) == 0.0
+
+    def test_backend_survives_pickle(self):
+        with StubChatServer() as stub:
+            backend = resolve_backend(
+                stub.spec_for("Gemini2.0T", transport="aio"))
+            try:
+                first = backend.complete(request())
+            finally:
+                backend.close()
+            clone = pickle.loads(pickle.dumps(backend))
+            try:
+                again = clone.complete(request())
+            finally:
+                clone.close()
+            assert again.text == first.text
+        assert no_aio_threads()
+
+
+# -- provider schemes ------------------------------------------------------
+class TestProviderSchemes:
+    def test_openai_scheme_offline(self, monkeypatch):
+        monkeypatch.setenv("OPENAI_API_KEY", "sk-test-123")
+        with StubChatServer() as stub:
+            backend = resolve_backend(
+                stub.provider_spec_for("openai", "Gemini2.0T"))
+            reference = SimulatedLLM(MODELS_BY_NAME["Gemini2.0T"],
+                                     seed=0)
+            try:
+                response = backend.complete(request(round_seed=3))
+            finally:
+                backend.close()
+            assert response.text == reference.complete(
+                request(round_seed=3)).text
+            # The key rode the Authorization header — and nowhere else:
+            # the spec string itself was parsed credential-free.
+            assert (stub.seen_headers.get("authorization")
+                    == "Bearer sk-test-123")
+        assert no_aio_threads()
+
+    def test_anthropic_scheme_offline(self, monkeypatch):
+        monkeypatch.setenv("ANTHROPIC_API_KEY", "ak-test-456")
+        with StubChatServer() as stub:
+            backend = resolve_backend(
+                stub.provider_spec_for("anthropic", "Gemini2.0T"))
+            try:
+                response = backend.complete(request())
+            finally:
+                backend.close()
+            assert response.text
+            assert (stub.seen_headers.get("x-api-key")
+                    == "ak-test-456")
+            assert stub.seen_headers.get("anthropic-version")
+            # Anthropic replies carry no price; the client's cost
+            # table (here the profile's own rates) prices the tokens.
+            profile = MODELS_BY_NAME["Gemini2.0T"]
+            expected = (response.usage.prompt_tokens
+                        * profile.usd_per_million_input
+                        + response.usage.completion_tokens
+                        * profile.usd_per_million_output) / 1e6
+            assert response.usage.cost_usd == pytest.approx(expected)
+        assert no_aio_threads()
+
+    def test_provider_thread_transport_opt_out(self, monkeypatch):
+        monkeypatch.setenv("OPENAI_API_KEY", "sk-test-123")
+        with StubChatServer() as stub:
+            backend = resolve_backend(
+                stub.provider_spec_for("openai", "Gemini2.0T",
+                                       transport="thread"))
+            try:
+                assert not isinstance(backend, AsyncHTTPBackend)
+                assert backend.complete(request()).text
+            finally:
+                backend.close()
+
+    def test_missing_key_is_auth_error(self, monkeypatch):
+        monkeypatch.delenv("OPENAI_API_KEY", raising=False)
+        with pytest.raises(errors.AuthenticationError,
+                           match="OPENAI_API_KEY"):
+            resolve_backend("openai:gpt-4.1")
+
+    def test_key_in_spec_is_rejected(self, monkeypatch):
+        monkeypatch.setenv("OPENAI_API_KEY", "sk-test-123")
+        with pytest.raises(BackendResolutionError,
+                           match="must not carry credentials"):
+            resolve_backend("openai:gpt-4.1?api_key=sk-leaked")
+
+    def test_cost_tables_longest_prefix(self):
+        from repro.llm.providers import (
+            OPENAI_COSTS,
+            cost_rates_for,
+        )
+        assert cost_rates_for("gpt-4.1", OPENAI_COSTS) == (2.00, 8.00)
+        assert (cost_rates_for("gpt-4.1-mini-2025", OPENAI_COSTS)
+                == (0.40, 1.60))
+        assert cost_rates_for("mystery-model", OPENAI_COSTS) is None
+
+
+# -- the one-surface client API --------------------------------------------
+class TestClientSurface:
+    def test_llmclient_deprecation_warns_once(self):
+        import repro.llm as llm
+        llm.__dict__.pop("LLMClient", None)   # reset the cached shim
+        with pytest.warns(DeprecationWarning,
+                          match="CompletionBackend"):
+            first = llm.LLMClient
+        # Second access comes from the module dict — no second warning.
+        import warnings
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            assert llm.LLMClient is first
+
+    def test_error_taxonomy_codes(self):
+        from repro.service.protocol import ERROR_CODES
+        assert errors.BackendError.code == "backend"
+        assert errors.BackendTimeoutError.code == "timeout"
+        assert errors.AuthenticationError.code == "auth"
+        assert errors.QuotaExceededError.code == "quota"
+        assert errors.ServiceBusyError.code == "busy"
+        assert errors.WorkerCrashError.code == "worker_crash"
+        # One catchable hierarchy, and every coded class rides the wire.
+        assert issubclass(errors.BackendTimeoutError,
+                          errors.BackendError)
+        for cls in (errors.BackendError, errors.BackendTimeoutError,
+                    errors.AuthenticationError,
+                    errors.QuotaExceededError, errors.ServiceBusyError,
+                    errors.WorkerCrashError):
+            assert issubclass(cls, errors.ReproError)
+            assert ERROR_CODES[cls.code] is cls or issubclass(
+                ERROR_CODES[cls.code], cls)
+
+    def test_service_busy_importable_from_old_home(self):
+        from repro.service import ServiceBusyError
+        assert ServiceBusyError is errors.ServiceBusyError
+        assert ServiceBusyError.code == "busy"

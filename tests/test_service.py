@@ -340,9 +340,20 @@ class TestBackpressure:
             while (service.metrics.in_flight == 0
                    and time.time() < deadline):
                 time.sleep(0.01)
-            service.submit(JobSpec(ir=IR, round_seed=1))  # queued
+            # Job 2: the idle dispatcher dequeues it immediately and
+            # then blocks waiting for the one (busy) slot — wait for
+            # the dequeue, or job 3's queue-full check would race it.
+            service.submit(JobSpec(ir=IR, round_seed=1))
+            deadline = time.time() + 5
+            while (service._queue.qsize() > 0
+                   and time.time() < deadline):
+                time.sleep(0.01)
+            assert service._queue.qsize() == 0
+            # Job 3 fills the queue for real: the dispatcher is pinned
+            # on the slot and cannot drain it out from under job 4.
+            service.submit(JobSpec(ir=IR, round_seed=2))
             with pytest.raises(ServiceBusyError):
-                service.submit(JobSpec(ir=IR, round_seed=2),
+                service.submit(JobSpec(ir=IR, round_seed=3),
                                timeout=0)
             assert service.metrics.rejected == 1
             held.set_result({"found": False, "status": "no attempts",
